@@ -1,0 +1,252 @@
+//! Data types supported by the Hexcute tile-level programming model,
+//! including the sub-byte integer and FP8 types used by weight-only
+//! quantization (Appendix B of the paper).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An element data type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum DType {
+    F64,
+    F32,
+    F16,
+    BF16,
+    F8E4M3,
+    F8E5M2,
+    I64,
+    I32,
+    I16,
+    I8,
+    U8,
+    I4,
+    U4,
+    I2,
+    U2,
+    I1,
+    U1,
+}
+
+impl DType {
+    /// All data types, useful for exhaustive tests.
+    pub const ALL: [DType; 17] = [
+        DType::F64,
+        DType::F32,
+        DType::F16,
+        DType::BF16,
+        DType::F8E4M3,
+        DType::F8E5M2,
+        DType::I64,
+        DType::I32,
+        DType::I16,
+        DType::I8,
+        DType::U8,
+        DType::I4,
+        DType::U4,
+        DType::I2,
+        DType::U2,
+        DType::I1,
+        DType::U1,
+    ];
+
+    /// The width of one element in bits.
+    pub fn bits(&self) -> usize {
+        match self {
+            DType::F64 | DType::I64 => 64,
+            DType::F32 | DType::I32 => 32,
+            DType::F16 | DType::BF16 | DType::I16 => 16,
+            DType::F8E4M3 | DType::F8E5M2 | DType::I8 | DType::U8 => 8,
+            DType::I4 | DType::U4 => 4,
+            DType::I2 | DType::U2 => 2,
+            DType::I1 | DType::U1 => 1,
+        }
+    }
+
+    /// The number of bytes occupied by `count` contiguous elements.
+    ///
+    /// Sub-byte types are packed; the count is rounded up to a whole byte.
+    pub fn bytes_for(&self, count: usize) -> usize {
+        (self.bits() * count).div_ceil(8)
+    }
+
+    /// The number of elements that fit in `bytes` bytes.
+    pub fn elements_per_bytes(&self, bytes: usize) -> usize {
+        bytes * 8 / self.bits()
+    }
+
+    /// Whether the type is a floating-point type.
+    pub fn is_float(&self) -> bool {
+        matches!(
+            self,
+            DType::F64 | DType::F32 | DType::F16 | DType::BF16 | DType::F8E4M3 | DType::F8E5M2
+        )
+    }
+
+    /// Whether the type is an integer type.
+    pub fn is_integer(&self) -> bool {
+        !self.is_float()
+    }
+
+    /// Whether the type is narrower than one byte.
+    pub fn is_sub_byte(&self) -> bool {
+        self.bits() < 8
+    }
+
+    /// Whether the type is a signed integer.
+    pub fn is_signed_integer(&self) -> bool {
+        matches!(
+            self,
+            DType::I64 | DType::I32 | DType::I16 | DType::I8 | DType::I4 | DType::I2 | DType::I1
+        )
+    }
+
+    /// The canonical lowercase name, matching the Hexcute DSL grammar.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DType::F64 => "float64",
+            DType::F32 => "float32",
+            DType::F16 => "float16",
+            DType::BF16 => "bfloat16",
+            DType::F8E4M3 => "float8_e4m3",
+            DType::F8E5M2 => "float8_e5m2",
+            DType::I64 => "int64",
+            DType::I32 => "int32",
+            DType::I16 => "int16",
+            DType::I8 => "int8",
+            DType::U8 => "uint8",
+            DType::I4 => "int4",
+            DType::U4 => "uint4",
+            DType::I2 => "int2",
+            DType::U2 => "uint2",
+            DType::I1 => "int1",
+            DType::U1 => "uint1",
+        }
+    }
+
+    /// The value range representable by an integer type, used by the
+    /// functional simulator when casting. Returns `None` for floats.
+    pub fn integer_range(&self) -> Option<(i64, i64)> {
+        if self.is_float() {
+            return None;
+        }
+        let bits = self.bits() as u32;
+        if self.is_signed_integer() {
+            let max = (1i64 << (bits - 1)) - 1;
+            Some((-(1i64 << (bits - 1)), max))
+        } else {
+            Some((0, (1i64 << bits) - 1))
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown data-type name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDTypeError(pub String);
+
+impl fmt::Display for ParseDTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown data type `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseDTypeError {}
+
+impl FromStr for DType {
+    type Err = ParseDTypeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DType::ALL
+            .iter()
+            .copied()
+            .find(|d| d.name() == s)
+            .ok_or_else(|| ParseDTypeError(s.to_string()))
+    }
+}
+
+/// The memory space a tensor lives in (Appendix B: `Global | Shared |
+/// Register`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemSpace {
+    /// Device global memory (DRAM / L2).
+    Global,
+    /// Software-managed shared memory within a thread block.
+    Shared,
+    /// Per-thread register files.
+    Register,
+}
+
+impl fmt::Display for MemSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemSpace::Global => "global",
+            MemSpace::Shared => "shared",
+            MemSpace::Register => "register",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_widths() {
+        assert_eq!(DType::F16.bits(), 16);
+        assert_eq!(DType::I4.bits(), 4);
+        assert_eq!(DType::F8E4M3.bits(), 8);
+        assert_eq!(DType::U1.bits(), 1);
+        assert_eq!(DType::F64.bits(), 64);
+    }
+
+    #[test]
+    fn packed_byte_counts() {
+        assert_eq!(DType::I4.bytes_for(8), 4);
+        assert_eq!(DType::I4.bytes_for(3), 2);
+        assert_eq!(DType::F16.bytes_for(8), 16);
+        assert_eq!(DType::U1.bytes_for(9), 2);
+        assert_eq!(DType::I4.elements_per_bytes(16), 32);
+        assert_eq!(DType::F16.elements_per_bytes(16), 8);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(DType::BF16.is_float());
+        assert!(DType::F8E5M2.is_float());
+        assert!(DType::I4.is_integer());
+        assert!(DType::I4.is_sub_byte());
+        assert!(!DType::I8.is_sub_byte());
+        assert!(DType::I4.is_signed_integer());
+        assert!(!DType::U4.is_signed_integer());
+    }
+
+    #[test]
+    fn integer_ranges() {
+        assert_eq!(DType::I4.integer_range(), Some((-8, 7)));
+        assert_eq!(DType::U4.integer_range(), Some((0, 15)));
+        assert_eq!(DType::I8.integer_range(), Some((-128, 127)));
+        assert_eq!(DType::F16.integer_range(), None);
+    }
+
+    #[test]
+    fn name_round_trip() {
+        for d in DType::ALL {
+            assert_eq!(d.name().parse::<DType>().unwrap(), d);
+        }
+        assert!("float4".parse::<DType>().is_err());
+    }
+
+    #[test]
+    fn mem_space_display() {
+        assert_eq!(MemSpace::Global.to_string(), "global");
+        assert_eq!(MemSpace::Shared.to_string(), "shared");
+        assert_eq!(MemSpace::Register.to_string(), "register");
+    }
+}

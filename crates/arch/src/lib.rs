@@ -1,0 +1,39 @@
+//! # hexcute-arch
+//!
+//! GPU architecture models, element data types and the collective-instruction
+//! catalog used by the Hexcute compiler.
+//!
+//! The crate provides:
+//!
+//! * [`DType`] / [`MemSpace`] — element types (including sub-byte and FP8
+//!   types) and memory spaces of the tile-level programming model;
+//! * [`GpuArch`] — descriptions of the NVIDIA A100 and H100 GPUs used in the
+//!   paper's evaluation (bandwidths, latencies, shared-memory banking,
+//!   feature flags such as TMA and warp-group MMA);
+//! * [`MmaAtom`] and [`CopyAtom`] — the collective instructions Hexcute
+//!   lowers tile-level operations to, each modelled by the thread-value
+//!   layouts of its operands exactly as in Section III of the paper.
+//!
+//! ```
+//! use hexcute_arch::{fastest_mma, DType, GpuArch};
+//!
+//! let h100 = GpuArch::h100();
+//! let atom = fastest_mma(&h100, DType::F16, DType::F16, DType::F32, false).unwrap();
+//! assert_eq!((atom.m, atom.n, atom.k), (16, 8, 16));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod copy;
+mod dtype;
+mod gpu;
+mod mma;
+
+pub use copy::{copy_candidates, copy_catalog, ldmatrix_layouts, CopyAtom, CopyKind, LatencyClass};
+pub use dtype::{DType, MemSpace, ParseDTypeError};
+pub use gpu::{GpuArch, GpuGeneration};
+pub use mma::{
+    fastest_mma, mma_candidates_sorted, mma_catalog, mma_m16n8k16, mma_m16n8k32, mma_m16n8k8, wgmma_m64,
+    MmaAtom,
+};

@@ -1,0 +1,442 @@
+//! Tensor Core (matrix-multiply-accumulate) instruction atoms.
+//!
+//! Each atom is described, as in CuTe and the paper (Section III), by the
+//! thread-value layouts of its A, B and C operands over the instruction tile.
+//! These layouts are the `p` functions of the `gemm` constraint in
+//! Fig. 19(b): they tie the register distribution of the operation-level
+//! tensors to the fragments the hardware instruction expects.
+
+use std::fmt;
+
+use hexcute_layout::{Layout, TvLayout};
+
+use crate::dtype::DType;
+use crate::gpu::GpuArch;
+
+/// A Tensor Core MMA instruction atom `D = A·Bᵀ + C`.
+///
+/// Operand layout conventions (column-major linearization):
+/// * `a` is laid out over an `(m, k)` tile,
+/// * `b` over an `(n, k)` tile,
+/// * `c` over an `(m, n)` tile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MmaAtom {
+    /// PTX-style mnemonic, e.g. `mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32`.
+    pub name: String,
+    /// Instruction tile M extent.
+    pub m: usize,
+    /// Instruction tile N extent.
+    pub n: usize,
+    /// Instruction tile K extent.
+    pub k: usize,
+    /// Element type of the A operand.
+    pub a_dtype: DType,
+    /// Element type of the B operand.
+    pub b_dtype: DType,
+    /// Element type of the accumulator.
+    pub acc_dtype: DType,
+    /// Thread-value layout of the A fragment over the `(m, k)` tile.
+    pub a: TvLayout,
+    /// Thread-value layout of the B fragment over the `(n, k)` tile.
+    pub b: TvLayout,
+    /// Thread-value layout of the C fragment over the `(m, n)` tile.
+    pub c: TvLayout,
+    /// Number of threads executing the instruction collectively (32 for
+    /// `mma.sync`, 128 for `wgmma`).
+    pub threads: usize,
+    /// Minimum compute capability.
+    pub min_cc: (u32, u32),
+    /// Whether the A operand is read directly from shared memory (`wgmma`).
+    pub a_in_smem: bool,
+    /// Whether the B operand is read directly from shared memory (`wgmma`).
+    pub b_in_smem: bool,
+    /// Cycles the issuing warp (group) is occupied per instruction.
+    pub issue_cycles: f64,
+    /// Cycles until the result is available.
+    pub completion_cycles: f64,
+}
+
+impl MmaAtom {
+    /// Floating point operations performed by one instruction invocation.
+    pub fn flops(&self) -> usize {
+        2 * self.m * self.n * self.k
+    }
+
+    /// Throughput of the instruction in FLOP per cycle (per issuing warp
+    /// group), derived from the issue interval.
+    pub fn flops_per_cycle(&self) -> f64 {
+        self.flops() as f64 / self.issue_cycles
+    }
+
+    /// Whether the atom is available on the architecture and matches the
+    /// requested operand types.
+    pub fn matches(&self, arch: &GpuArch, a: DType, b: DType, acc: DType) -> bool {
+        arch.supports_cc(self.min_cc) && self.a_dtype == a && self.b_dtype == b && self.acc_dtype == acc
+    }
+}
+
+impl fmt::Display for MmaAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}x{}x{}]", self.name, self.m, self.n, self.k)
+    }
+}
+
+fn tv(thread: Layout, value: Layout, tile: Vec<usize>) -> TvLayout {
+    TvLayout::new(thread, value, tile).expect("instruction atom layouts are within their tiles")
+}
+
+/// The `mma.sync.aligned.m16n8k16` FP16/BF16 atom (SM80+).
+pub fn mma_m16n8k16(input: DType, acc: DType) -> MmaAtom {
+    MmaAtom {
+        name: format!(
+            "mma.sync.aligned.m16n8k16.row.col.{}.{}.{}.{}",
+            short(acc),
+            short(input),
+            short(input),
+            short(acc)
+        ),
+        m: 16,
+        n: 8,
+        k: 16,
+        a_dtype: input,
+        b_dtype: input,
+        acc_dtype: acc,
+        a: tv(
+            Layout::from_flat(&[4, 8], &[32, 1]),
+            Layout::from_flat(&[2, 2, 2], &[16, 8, 128]),
+            vec![16, 16],
+        ),
+        b: tv(
+            Layout::from_flat(&[4, 8], &[16, 1]),
+            Layout::from_flat(&[2, 2], &[8, 64]),
+            vec![8, 16],
+        ),
+        c: tv(
+            Layout::from_flat(&[4, 8], &[32, 1]),
+            Layout::from_flat(&[2, 2], &[16, 8]),
+            vec![16, 8],
+        ),
+        threads: 32,
+        min_cc: (8, 0),
+        a_in_smem: false,
+        b_in_smem: false,
+        issue_cycles: 8.0,
+        completion_cycles: 24.0,
+    }
+}
+
+/// The `mma.sync.aligned.m16n8k8` FP16/BF16 atom (SM80+), a half-rate
+/// fallback when the K extent of the tile is too small for `k16`.
+pub fn mma_m16n8k8(input: DType, acc: DType) -> MmaAtom {
+    MmaAtom {
+        name: format!(
+            "mma.sync.aligned.m16n8k8.row.col.{}.{}.{}.{}",
+            short(acc),
+            short(input),
+            short(input),
+            short(acc)
+        ),
+        m: 16,
+        n: 8,
+        k: 8,
+        a_dtype: input,
+        b_dtype: input,
+        acc_dtype: acc,
+        a: tv(
+            Layout::from_flat(&[4, 8], &[32, 1]),
+            Layout::from_flat(&[2, 2], &[16, 8]),
+            vec![16, 8],
+        ),
+        b: tv(
+            Layout::from_flat(&[4, 8], &[16, 1]),
+            Layout::from_mode(2, 8),
+            vec![8, 8],
+        ),
+        c: tv(
+            Layout::from_flat(&[4, 8], &[32, 1]),
+            Layout::from_flat(&[2, 2], &[16, 8]),
+            vec![16, 8],
+        ),
+        threads: 32,
+        min_cc: (8, 0),
+        a_in_smem: false,
+        b_in_smem: false,
+        issue_cycles: 8.0,
+        completion_cycles: 20.0,
+    }
+}
+
+/// The `mma.sync.aligned.m16n8k32` atom for 8-bit operands (INT8 on SM80+,
+/// FP8 on SM89+).
+pub fn mma_m16n8k32(input: DType, acc: DType) -> MmaAtom {
+    let min_cc = if input.is_float() { (8, 9) } else { (8, 0) };
+    MmaAtom {
+        name: format!(
+            "mma.sync.aligned.m16n8k32.row.col.{}.{}.{}.{}",
+            short(acc),
+            short(input),
+            short(input),
+            short(acc)
+        ),
+        m: 16,
+        n: 8,
+        k: 32,
+        a_dtype: input,
+        b_dtype: input,
+        acc_dtype: acc,
+        a: tv(
+            Layout::from_flat(&[4, 8], &[64, 1]),
+            Layout::from_flat(&[4, 2, 2], &[16, 8, 256]),
+            vec![16, 32],
+        ),
+        b: tv(
+            Layout::from_flat(&[4, 8], &[32, 1]),
+            Layout::from_flat(&[4, 2], &[8, 128]),
+            vec![8, 32],
+        ),
+        c: tv(
+            Layout::from_flat(&[4, 8], &[32, 1]),
+            Layout::from_flat(&[2, 2], &[16, 8]),
+            vec![16, 8],
+        ),
+        threads: 32,
+        min_cc,
+        a_in_smem: false,
+        b_in_smem: false,
+        issue_cycles: 8.0,
+        completion_cycles: 24.0,
+    }
+}
+
+/// A Hopper warp-group MMA (`wgmma.mma_async.m64nNk16`) atom operating on a
+/// whole warp group of 128 threads with operands sourced from shared memory.
+///
+/// The accumulator layout is the `m16n8` fragment expanded over 4 warps along
+/// M and `n / 8` value repetitions along N, which is the hardware layout of
+/// the `wgmma` accumulator.
+///
+/// # Panics
+///
+/// Panics if `n` is not a multiple of 8 or is larger than 256.
+pub fn wgmma_m64(n: usize, input: DType, acc: DType) -> MmaAtom {
+    assert!(n % 8 == 0 && n <= 256, "wgmma N extent must be a multiple of 8, at most 256");
+    let k = if input.bits() == 8 { 32 } else { 16 };
+    let base = if input.bits() == 8 {
+        mma_m16n8k32(input, acc)
+    } else {
+        mma_m16n8k16(input, acc)
+    };
+    use hexcute_layout::RepeatMode;
+    let c = base
+        .c
+        .expand(&[RepeatMode::along(4, 0)], &[RepeatMode::along(n / 8, 1)])
+        .expect("wgmma accumulator expansion is well-formed");
+    let a = base
+        .a
+        .expand(&[RepeatMode::along(4, 0)], &[])
+        .expect("wgmma A expansion is well-formed");
+    let b = base
+        .b
+        .expand(&[RepeatMode::broadcast(4)], &[RepeatMode::along(n / 8, 0)])
+        .expect("wgmma B expansion is well-formed");
+    MmaAtom {
+        name: format!("wgmma.mma_async.sync.aligned.m64n{n}k{k}.{}.{}.{}", short(acc), short(input), short(input)),
+        m: 64,
+        n,
+        k,
+        a_dtype: input,
+        b_dtype: input,
+        acc_dtype: acc,
+        a,
+        b,
+        c,
+        threads: 128,
+        min_cc: (9, 0),
+        a_in_smem: true,
+        b_in_smem: true,
+        issue_cycles: 8.0 * (n as f64 / 8.0) / 4.0,
+        completion_cycles: 32.0 + n as f64 / 4.0,
+    }
+}
+
+fn short(d: DType) -> &'static str {
+    match d {
+        DType::F32 => "f32",
+        DType::F16 => "f16",
+        DType::BF16 => "bf16",
+        DType::F8E4M3 => "e4m3",
+        DType::F8E5M2 => "e5m2",
+        DType::I32 => "s32",
+        DType::I8 => "s8",
+        DType::U8 => "u8",
+        DType::I4 => "s4",
+        DType::U4 => "u4",
+        _ => "b16",
+    }
+}
+
+/// All MMA atoms available on the given architecture.
+pub fn mma_catalog(arch: &GpuArch) -> Vec<MmaAtom> {
+    let mut atoms = vec![
+        mma_m16n8k16(DType::F16, DType::F32),
+        mma_m16n8k16(DType::BF16, DType::F32),
+        mma_m16n8k16(DType::F16, DType::F16),
+        mma_m16n8k8(DType::F16, DType::F32),
+        mma_m16n8k8(DType::BF16, DType::F32),
+        mma_m16n8k32(DType::I8, DType::I32),
+        mma_m16n8k32(DType::F8E4M3, DType::F32),
+        mma_m16n8k32(DType::F8E5M2, DType::F32),
+    ];
+    if arch.has_wgmma {
+        for n in [64, 128, 256] {
+            atoms.push(wgmma_m64(n, DType::F16, DType::F32));
+            atoms.push(wgmma_m64(n, DType::BF16, DType::F32));
+            atoms.push(wgmma_m64(n, DType::F8E4M3, DType::F32));
+        }
+    }
+    atoms.retain(|a| arch.supports_cc(a.min_cc));
+    atoms
+}
+
+/// All MMA atoms matching the operand/accumulator types, sorted from the
+/// highest to the lowest throughput. The synthesis engine walks this list and
+/// picks the first atom whose tile divides the operation (Algorithm 1,
+/// line 8, with a fallback when the fastest instruction does not fit).
+pub fn mma_candidates_sorted(
+    arch: &GpuArch,
+    a_dtype: DType,
+    b_dtype: DType,
+    acc_dtype: DType,
+    allow_warp_group: bool,
+) -> Vec<MmaAtom> {
+    let mut atoms: Vec<MmaAtom> = mma_catalog(arch)
+        .into_iter()
+        .filter(|atom| atom.matches(arch, a_dtype, b_dtype, acc_dtype))
+        .filter(|atom| allow_warp_group || atom.threads == 32)
+        .collect();
+    atoms.sort_by(|x, y| {
+        y.flops_per_cycle()
+            .partial_cmp(&x.flops_per_cycle())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(y.k.cmp(&x.k))
+    });
+    atoms
+}
+
+/// The fastest available MMA atom for the given operand/accumulator types,
+/// preferring larger K extents and (on Hopper) warp-group instructions —
+/// this is the "fastest Tensor Core instruction" selection of Algorithm 1,
+/// line 8.
+pub fn fastest_mma(
+    arch: &GpuArch,
+    a_dtype: DType,
+    b_dtype: DType,
+    acc_dtype: DType,
+    allow_warp_group: bool,
+) -> Option<MmaAtom> {
+    mma_catalog(arch)
+        .into_iter()
+        .filter(|atom| atom.matches(arch, a_dtype, b_dtype, acc_dtype))
+        .filter(|atom| allow_warp_group || atom.threads == 32)
+        .max_by(|x, y| {
+            x.flops_per_cycle()
+                .partial_cmp(&y.flops_per_cycle())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(x.k.cmp(&y.k))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fragment_layouts_cover_their_tiles_exactly() {
+        for atom in [
+            mma_m16n8k16(DType::F16, DType::F32),
+            mma_m16n8k8(DType::F16, DType::F32),
+            mma_m16n8k32(DType::I8, DType::I32),
+        ] {
+            assert!(atom.a.is_exclusive(), "{}: A fragment not exclusive", atom.name);
+            assert!(atom.b.is_exclusive(), "{}: B fragment not exclusive", atom.name);
+            assert!(atom.c.is_exclusive(), "{}: C fragment not exclusive", atom.name);
+            assert_eq!(atom.a.tile_size(), atom.m * atom.k);
+            assert_eq!(atom.b.tile_size(), atom.n * atom.k);
+            assert_eq!(atom.c.tile_size(), atom.m * atom.n);
+            assert_eq!(atom.a.num_threads(), 32);
+        }
+    }
+
+    #[test]
+    fn m16n8k16_matches_the_ptx_fragment_spec() {
+        let atom = mma_m16n8k16(DType::F16, DType::F32);
+        // Thread 0 of the warp owns C elements (0,0), (0,1), (8,0), (8,1).
+        assert_eq!(atom.c.tile_coords(0, 0), vec![0, 0]);
+        assert_eq!(atom.c.tile_coords(0, 1), vec![0, 1]);
+        assert_eq!(atom.c.tile_coords(0, 2), vec![8, 0]);
+        assert_eq!(atom.c.tile_coords(0, 3), vec![8, 1]);
+        // Thread 1 shifts two columns right.
+        assert_eq!(atom.c.tile_coords(1, 0), vec![0, 2]);
+        // Thread 4 (next group) moves down one row.
+        assert_eq!(atom.c.tile_coords(4, 0), vec![1, 0]);
+        // A fragment: thread 0 also owns (0,8) in its second K half.
+        assert_eq!(atom.a.tile_coords(0, 4), vec![0, 8]);
+        // B fragment (N,K): thread 0 owns (0,0) and (0,1).
+        assert_eq!(atom.b.tile_coords(0, 0), vec![0, 0]);
+        assert_eq!(atom.b.tile_coords(0, 1), vec![0, 1]);
+        assert_eq!(atom.b.tile_coords(0, 2), vec![0, 8]);
+        // Thread 1 covers K columns 2 and 3.
+        assert_eq!(atom.b.tile_coords(1, 0), vec![0, 2]);
+        // Thread 4 covers N row 1.
+        assert_eq!(atom.b.tile_coords(4, 0), vec![1, 0]);
+    }
+
+    #[test]
+    fn catalog_respects_architecture_gating() {
+        let a100 = GpuArch::a100();
+        let h100 = GpuArch::h100();
+        let a100_atoms = mma_catalog(&a100);
+        let h100_atoms = mma_catalog(&h100);
+        assert!(a100_atoms.iter().all(|a| a.threads == 32));
+        assert!(a100_atoms.iter().all(|a| !a.name.contains("e4m3")));
+        assert!(h100_atoms.iter().any(|a| a.threads == 128));
+        assert!(h100_atoms.len() > a100_atoms.len());
+    }
+
+    #[test]
+    fn fastest_mma_prefers_wgmma_on_hopper() {
+        let h100 = GpuArch::h100();
+        let best = fastest_mma(&h100, DType::F16, DType::F16, DType::F32, true).unwrap();
+        assert_eq!(best.threads, 128);
+        assert!(best.name.starts_with("wgmma"));
+        let warp_only = fastest_mma(&h100, DType::F16, DType::F16, DType::F32, false).unwrap();
+        assert_eq!(warp_only.threads, 32);
+        assert_eq!(warp_only.k, 16);
+    }
+
+    #[test]
+    fn fastest_mma_on_a100_is_m16n8k16() {
+        let a100 = GpuArch::a100();
+        let best = fastest_mma(&a100, DType::F16, DType::F16, DType::F32, true).unwrap();
+        assert_eq!((best.m, best.n, best.k), (16, 8, 16));
+        assert!(fastest_mma(&a100, DType::F8E4M3, DType::F8E4M3, DType::F32, true).is_none());
+    }
+
+    #[test]
+    fn wgmma_accumulator_spans_the_warp_group() {
+        let atom = wgmma_m64(128, DType::F16, DType::F32);
+        assert_eq!(atom.c.num_threads(), 128);
+        assert_eq!(atom.c.tile_shape(), &[64, 128]);
+        assert!(atom.c.is_exclusive());
+        // Warp 1's first thread (lane 32) starts at row 16.
+        assert_eq!(atom.c.tile_coords(32, 0), vec![16, 0]);
+        assert!(atom.a_in_smem && atom.b_in_smem);
+    }
+
+    #[test]
+    fn flops_accounting() {
+        let atom = mma_m16n8k16(DType::F16, DType::F32);
+        assert_eq!(atom.flops(), 2 * 16 * 8 * 16);
+        assert!(atom.flops_per_cycle() > 100.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! # hexcute-baselines
+//!
+//! The comparison points of the paper's evaluation, rebuilt as documented in
+//! `DESIGN.md`:
+//!
+//! * [`triton`] — a Triton-style compilation path: the same tile-level
+//!   programs compiled with Triton's documented behaviours (case-by-case
+//!   layouts → no `ldmatrix`/TMA/`wgmma`, row-major shared memory, heuristic
+//!   dataflow with the excessive copies of Fig. 4(a) for mixed-type
+//!   operators, and no software-pipelining control for emerging operators);
+//! * [`marlin`] — performance models of the Marlin-old (one kernel launch
+//!   per expert) and Marlin-new (fused, near-roofline) MoE kernels;
+//! * [`libraries`] — roofline-based latency models of the expert-tuned
+//!   libraries (cuBLAS, CUTLASS, FlashAttention-2/3, FlashInfer, the Mamba
+//!   library), with efficiency factors documented next to their sources.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod libraries;
+pub mod marlin;
+pub mod triton;
+
+pub use libraries::{library_latency_us, Library, Workload};
+pub use marlin::{marlin_new_moe_latency_us, marlin_old_moe_latency_us};
+pub use triton::{triton_latency_us, triton_moe_program, triton_options, TritonReport};

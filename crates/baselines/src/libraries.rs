@@ -1,0 +1,139 @@
+//! Roofline-based latency models of the expert-tuned kernel libraries the
+//! paper compares against.
+//!
+//! These baselines are *models*, not reimplementations: each library is
+//! characterized by the fraction of the Tensor-Core roofline it achieves on
+//! compute-bound problems and the fraction of DRAM bandwidth it achieves on
+//! memory-bound problems. The factors are calibrated from public benchmark
+//! data and from the relative numbers reported in the paper, and are listed
+//! in `EXPERIMENTS.md`.
+
+use hexcute_arch::{DType, GpuArch};
+
+/// A workload characterized for roofline modelling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    /// Floating point operations.
+    pub flops: f64,
+    /// Bytes moved between DRAM and the chip.
+    pub bytes: f64,
+    /// The multiply data type (selects the Tensor-Core peak).
+    pub dtype: DType,
+    /// Number of kernel launches used to execute the workload.
+    pub launches: usize,
+}
+
+impl Workload {
+    /// A single-launch workload.
+    pub fn new(flops: f64, bytes: f64, dtype: DType) -> Self {
+        Workload { flops, bytes, dtype, launches: 1 }
+    }
+}
+
+/// The expert-tuned baselines of Table II and Section VII-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Library {
+    /// cuBLAS FP16 GEMM.
+    CuBlas,
+    /// CUTLASS blockwise-scaled FP8 GEMM.
+    CutlassFp8,
+    /// FlashAttention-2 (A100 forward attention).
+    FlashAttention2,
+    /// FlashAttention-3 (H100 forward attention).
+    FlashAttention3,
+    /// FlashInfer (decode attention).
+    FlashInfer,
+    /// The hand-written Mamba selective-scan library (cub::BlockLoad scalar
+    /// loads, Table IV).
+    MambaLibrary,
+}
+
+impl Library {
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Library::CuBlas => "cuBLAS",
+            Library::CutlassFp8 => "CUTLASS",
+            Library::FlashAttention2 => "FlashAttention2",
+            Library::FlashAttention3 => "FlashAttention3",
+            Library::FlashInfer => "FlashInfer",
+            Library::MambaLibrary => "Mamba library",
+        }
+    }
+
+    /// Fraction of the Tensor-Core roofline achieved on compute-bound
+    /// problems.
+    pub fn compute_efficiency(&self) -> f64 {
+        match self {
+            Library::CuBlas => 0.90,
+            Library::CutlassFp8 => 0.78,
+            Library::FlashAttention2 => 0.72,
+            Library::FlashAttention3 => 0.75,
+            Library::FlashInfer => 0.70,
+            Library::MambaLibrary => 0.50,
+        }
+    }
+
+    /// Fraction of DRAM bandwidth achieved on memory-bound problems.
+    pub fn bandwidth_efficiency(&self) -> f64 {
+        match self {
+            Library::CuBlas => 0.85,
+            Library::CutlassFp8 => 0.80,
+            Library::FlashAttention2 => 0.80,
+            Library::FlashAttention3 => 0.85,
+            Library::FlashInfer => 0.82,
+            // cub::BlockLoad falls back to scalar loads for the scan's
+            // operand tensors (Table IV), wasting most of the bandwidth.
+            Library::MambaLibrary => 0.21,
+        }
+    }
+}
+
+/// Latency of a library baseline on a roofline-characterized workload.
+pub fn library_latency_us(library: Library, workload: &Workload, arch: &GpuArch) -> f64 {
+    let ideal = arch.roofline_latency_us(0.0, workload.flops, workload.dtype);
+    let compute_us = if workload.flops > 0.0 { ideal / library.compute_efficiency() } else { 0.0 };
+    let mem_us = workload.bytes / (arch.dram_bandwidth_gbs * library.bandwidth_efficiency()) * 1e-3;
+    workload.launches as f64 * arch.kernel_launch_overhead_us + compute_us.max(mem_us)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_bound_latency_tracks_the_tensor_core_peak() {
+        let arch = GpuArch::a100();
+        let w = Workload::new(2.0 * 4096f64.powi(3), 3.0 * 4096.0 * 4096.0 * 2.0, DType::F16);
+        let cublas = library_latency_us(Library::CuBlas, &w, &arch);
+        let ideal = arch.roofline_latency_us(0.0, w.flops, DType::F16);
+        assert!(cublas > ideal);
+        assert!(cublas < ideal * 1.3);
+    }
+
+    #[test]
+    fn memory_bound_latency_tracks_bandwidth_efficiency() {
+        let arch = GpuArch::h100();
+        let w = Workload::new(1e6, 1e9, DType::F16);
+        let mamba = library_latency_us(Library::MambaLibrary, &w, &arch);
+        let fa3 = library_latency_us(Library::FlashAttention3, &w, &arch);
+        // The Mamba library's scalar loads waste ~4x of the bandwidth.
+        assert!(mamba / fa3 > 3.0);
+    }
+
+    #[test]
+    fn every_library_has_sane_factors() {
+        for lib in [
+            Library::CuBlas,
+            Library::CutlassFp8,
+            Library::FlashAttention2,
+            Library::FlashAttention3,
+            Library::FlashInfer,
+            Library::MambaLibrary,
+        ] {
+            assert!(!lib.name().is_empty());
+            assert!(lib.compute_efficiency() > 0.0 && lib.compute_efficiency() <= 1.0);
+            assert!(lib.bandwidth_efficiency() > 0.0 && lib.bandwidth_efficiency() <= 1.0);
+        }
+    }
+}

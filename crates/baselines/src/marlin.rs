@@ -1,0 +1,89 @@
+//! Performance models of the Marlin mixed-type MoE kernels shipped in vLLM
+//! (Section VII-B of the paper).
+//!
+//! * **Marlin-old** (vLLM v0.8.2) launches a separate mixed-type GEMM kernel
+//!   for every active expert; at 256 experts the kernel-launch overhead
+//!   dominates, which is why the paper reports a 28.42× gap.
+//! * **Marlin-new** (vLLM v0.9.2) is a fused grouped-GEMM kernel that runs
+//!   close to the weight-streaming roofline; the paper reports Hexcute at
+//!   0.89×–1.01× of it.
+
+use hexcute_arch::{DType, GpuArch};
+use hexcute_kernels::moe::MoeShape;
+
+/// Fraction of the weight-streaming roofline the fused Marlin-new kernel
+/// achieves.
+pub const MARLIN_NEW_BANDWIDTH_EFFICIENCY: f64 = 0.88;
+
+/// Fraction of the roofline a single-expert Marlin GEMM achieves once
+/// launched (the launches themselves dominate at high expert counts).
+pub const MARLIN_OLD_BANDWIDTH_EFFICIENCY: f64 = 0.70;
+
+/// Per-expert dispatch overhead of the Marlin-old path in vLLM v0.8.2: the
+/// Python-level expert loop, kernel launch and stream synchronization. This
+/// is the source of the 28× gap the paper reports.
+pub const MARLIN_OLD_DISPATCH_US: f64 = 90.0;
+
+fn roofline_us(shape: &MoeShape, arch: &GpuArch, bandwidth_efficiency: f64) -> f64 {
+    let bytes = shape.weight_bytes() + shape.activation_bytes();
+    let mem_us = bytes / (arch.dram_bandwidth_gbs * bandwidth_efficiency) * 1e-3;
+    let compute_us = arch.roofline_latency_us(0.0, shape.flops(), DType::F16);
+    mem_us.max(compute_us)
+}
+
+/// Latency of the Marlin-new fused MoE kernel.
+pub fn marlin_new_moe_latency_us(shape: &MoeShape, arch: &GpuArch) -> f64 {
+    arch.kernel_launch_overhead_us + roofline_us(shape, arch, MARLIN_NEW_BANDWIDTH_EFFICIENCY)
+}
+
+/// Latency of the Marlin-old implementation: one kernel launch per active
+/// expert, each processing that expert's share of the tokens.
+pub fn marlin_old_moe_latency_us(shape: &MoeShape, arch: &GpuArch) -> f64 {
+    // The old implementation sweeps every expert of the layer, whether or
+    // not it received tokens.
+    let experts = shape.experts.max(1);
+    // Each launch processes roughly routed_rows / experts rows against one
+    // expert's weights.
+    let per_expert_rows = shape.routed_rows().div_ceil(experts).max(1);
+    let per_expert_bytes = shape.weight_bytes() / experts as f64
+        + (per_expert_rows * (shape.hidden + shape.intermediate)) as f64 * 2.0;
+    let per_expert_flops = 2.0 * per_expert_rows as f64 * shape.hidden as f64 * shape.intermediate as f64;
+    let mem_us = per_expert_bytes / (arch.dram_bandwidth_gbs * MARLIN_OLD_BANDWIDTH_EFFICIENCY) * 1e-3;
+    let compute_us = arch.roofline_latency_us(0.0, per_expert_flops, DType::F16);
+    experts as f64 * (arch.kernel_launch_overhead_us + MARLIN_OLD_DISPATCH_US + mem_us.max(compute_us))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marlin_old_launch_overhead_dominates_at_many_experts() {
+        let arch = GpuArch::h100();
+        let shape = MoeShape::deepseek_r1(32);
+        let old = marlin_old_moe_latency_us(&shape, &arch);
+        let new = marlin_new_moe_latency_us(&shape, &arch);
+        assert!(old / new > 5.0, "expected a large gap, got {:.2}", old / new);
+        // The launch overhead alone accounts for most of Marlin-old's time.
+        let launches_us = shape.experts as f64 * (arch.kernel_launch_overhead_us + MARLIN_OLD_DISPATCH_US);
+        assert!(launches_us / old > 0.5);
+    }
+
+    #[test]
+    fn marlin_new_tracks_the_weight_streaming_roofline() {
+        let arch = GpuArch::h100();
+        let shape = MoeShape::deepseek_r1(16);
+        let latency = marlin_new_moe_latency_us(&shape, &arch);
+        let ideal = (shape.weight_bytes() + shape.activation_bytes()) / arch.dram_bandwidth_gbs * 1e-3;
+        assert!(latency > ideal);
+        assert!(latency < ideal * 1.5);
+    }
+
+    #[test]
+    fn latency_grows_with_token_count_once_compute_bound() {
+        let arch = GpuArch::h100();
+        let small = marlin_new_moe_latency_us(&MoeShape::deepseek_r1(16), &arch);
+        let large = marlin_new_moe_latency_us(&MoeShape::deepseek_r1(4096), &arch);
+        assert!(large > small);
+    }
+}

@@ -1,0 +1,59 @@
+//! Criterion benchmarks of the synthesis engine and the compiler driver,
+//! including the anchor-selection and swizzle ablations called out in
+//! DESIGN.md.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use hexcute_arch::GpuArch;
+use hexcute_core::{Compiler, CompilerOptions};
+use hexcute_kernels::gemm::{fp16_gemm, GemmConfig, GemmShape};
+use hexcute_kernels::moe::{mixed_type_moe, MoeConfig, MoeDataflow, MoeShape};
+use hexcute_synthesis::{Synthesizer, SynthesisOptions};
+
+fn bench_synthesis(c: &mut Criterion) {
+    let arch = GpuArch::a100();
+    let h100 = GpuArch::h100();
+    let gemm = fp16_gemm(GemmShape::new(4096, 4096, 4096), GemmConfig::default()).unwrap();
+    let moe = mixed_type_moe(MoeShape::deepseek_r1(64), MoeConfig::default(), MoeDataflow::Efficient).unwrap();
+
+    c.bench_function("synthesis/gemm_all_candidates", |b| {
+        b.iter(|| {
+            Synthesizer::new(black_box(&gemm), &arch, SynthesisOptions::default())
+                .synthesize()
+                .unwrap()
+        })
+    });
+    c.bench_function("synthesis/moe_all_candidates", |b| {
+        b.iter(|| {
+            Synthesizer::new(black_box(&moe), &h100, SynthesisOptions::default())
+                .synthesize()
+                .unwrap()
+        })
+    });
+    // Ablation: disabling swizzle selection (bank conflicts remain).
+    c.bench_function("synthesis/gemm_no_swizzles", |b| {
+        let options = SynthesisOptions { disable_swizzles: true, ..SynthesisOptions::default() };
+        b.iter(|| {
+            Synthesizer::new(black_box(&gemm), &arch, options.clone())
+                .synthesize()
+                .unwrap()
+        })
+    });
+    // Full compilation (synthesis + cost model + perf estimation), uncached.
+    c.bench_function("compiler/compile_gemm_uncached", |b| {
+        b.iter_batched(
+            || Compiler::with_options(arch.clone(), CompilerOptions::new()),
+            |compiler| compiler.compile(black_box(&gemm)).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_synthesis
+}
+criterion_main!(benches);

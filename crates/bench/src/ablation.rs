@@ -1,0 +1,99 @@
+//! Fig. 14: ablation of the MoE kernel — reproducing Triton's dataflow or
+//! Triton's shared-memory layout inside Hexcute.
+
+use hexcute_arch::GpuArch;
+use hexcute_baselines::{triton_latency_us, triton_moe_program};
+use hexcute_core::{Compiler, CompilerOptions};
+use hexcute_kernels::moe::{mixed_type_moe, MoeConfig, MoeDataflow, MoeShape};
+use hexcute_synthesis::SynthesisOptions;
+
+use crate::{compile_hexcute, geomean, Report};
+
+/// The ablation latencies for one token count, in µs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AblationPoint {
+    /// Number of input tokens.
+    pub tokens: usize,
+    /// Full Hexcute (efficient dataflow + synthesized layouts).
+    pub hexcute_us: f64,
+    /// Hexcute forced to use Triton's dataflow (Fig. 4(a)).
+    pub triton_dataflow_us: f64,
+    /// Hexcute forced to use Triton's shared-memory layout (row-major, no
+    /// swizzle, no ldmatrix).
+    pub triton_layout_us: f64,
+    /// Triton itself.
+    pub triton_us: f64,
+}
+
+/// Evaluates the ablation across token counts on the H100.
+pub fn evaluate_ablation(tokens: &[usize]) -> Vec<AblationPoint> {
+    let arch = GpuArch::h100();
+    let config = MoeConfig::default();
+    tokens
+        .iter()
+        .map(|&t| {
+            let shape = MoeShape::deepseek_r1(t);
+            let efficient = mixed_type_moe(shape, config, MoeDataflow::Efficient).expect("efficient MoE");
+            let triton_flow = mixed_type_moe(shape, config, MoeDataflow::TritonStyle).expect("triton-flow MoE");
+
+            let hexcute_us = compile_hexcute(&efficient, &arch).latency_us();
+            // Ablation 1: Hexcute's layouts, Triton's dataflow.
+            let triton_dataflow_us = compile_hexcute(&triton_flow, &arch).latency_us();
+            // Ablation 2: Hexcute's dataflow, Triton's shared-memory layout.
+            let layout_compiler = Compiler::with_options(
+                arch.clone(),
+                CompilerOptions { synthesis: SynthesisOptions::triton_smem_layout(), use_cost_model: true },
+            );
+            let triton_layout_us = layout_compiler.compile(&efficient).expect("layout ablation").latency_us();
+            let triton_us = triton_latency_us(&triton_moe_program(shape, config).expect("triton MoE"), &arch)
+                .expect("triton compile")
+                .latency_us;
+            AblationPoint { tokens: t, hexcute_us, triton_dataflow_us, triton_layout_us, triton_us }
+        })
+        .collect()
+}
+
+/// Regenerates Fig. 14.
+pub fn fig14(quick: bool) -> Report {
+    let tokens = if quick { vec![16, 256] } else { vec![1, 16, 64, 256, 1024] };
+    let points = evaluate_ablation(&tokens);
+    let mut report = Report::new(
+        "Fig. 14: MoE ablation (H100)",
+        &["tokens", "Hexcute (us)", "+Triton dataflow (us)", "+Triton smem layout (us)", "Triton (us)"],
+    );
+    for p in &points {
+        report.push_row(vec![
+            p.tokens.to_string(),
+            format!("{:.1}", p.hexcute_us),
+            format!("{:.1}", p.triton_dataflow_us),
+            format!("{:.1}", p.triton_layout_us),
+            format!("{:.1}", p.triton_us),
+        ]);
+    }
+    let dataflow_deg = geomean(&points.iter().map(|p| p.triton_dataflow_us / p.hexcute_us).collect::<Vec<_>>());
+    let layout_deg = geomean(&points.iter().map(|p| p.triton_layout_us / p.hexcute_us).collect::<Vec<_>>());
+    report.push_note(format!(
+        "Measured degradations — Triton dataflow: {:.1}%, Triton smem layout: {:.1}%.",
+        (dataflow_deg - 1.0) * 100.0,
+        (layout_deg - 1.0) * 100.0
+    ));
+    report.push_note("Paper reports average degradations of 28.5% (dataflow) and 37.5% (layout).");
+    report.push_note("Even with Triton's dataflow, Hexcute stays ahead of Triton thanks to layout synthesis.");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_ablations_degrade_and_stay_ahead_of_triton() {
+        let points = evaluate_ablation(&[64]);
+        let p = &points[0];
+        assert!(p.triton_dataflow_us >= p.hexcute_us);
+        assert!(p.triton_layout_us >= p.hexcute_us);
+        // Reproducing Triton's dataflow alone still beats Triton itself
+        // (the paper's key ablation observation).
+        assert!(p.triton_dataflow_us < p.triton_us);
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerates every table and figure of the paper's evaluation in one run.
+//! Pass `--full` for the full shape/token sweeps (slower).
+fn main() {
+    let quick = !std::env::args().any(|a| a == "--full");
+    println!("{}", hexcute_bench::table2::table2(quick));
+    println!("{}", hexcute_bench::tables34::table3());
+    println!("{}", hexcute_bench::tables34::table4());
+    println!("{}", hexcute_bench::moe_bench::fig11(quick));
+    println!("{}", hexcute_bench::cost_model::fig12(quick));
+    println!("{}", hexcute_bench::end_to_end::fig13(quick));
+    println!("{}", hexcute_bench::ablation::fig14(quick));
+    println!("{}", hexcute_bench::scan_bench::fig21(quick));
+    for report in hexcute_bench::per_shape::all_figures(quick) {
+        println!("{report}");
+    }
+    println!("{}", hexcute_bench::compile_time::compile_time_report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the Section VII-C compile-time statistics.
+fn main() {
+    println!("{}", hexcute_bench::compile_time::compile_time_report());
+}

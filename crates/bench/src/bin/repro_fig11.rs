@@ -1,0 +1,5 @@
+//! Regenerates Fig. 11 (mixed-type MoE latency sweep). Pass `--full` for the full token sweep.
+fn main() {
+    let quick = !std::env::args().any(|a| a == "--full");
+    println!("{}", hexcute_bench::moe_bench::fig11(quick));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 12 (cost-model accuracy). Pass `--full` for all 16 shapes.
+fn main() {
+    let quick = !std::env::args().any(|a| a == "--full");
+    println!("{}", hexcute_bench::cost_model::fig12(quick));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 13 (end-to-end vLLM latency). Pass `--full` for more batch sizes.
+fn main() {
+    let quick = !std::env::args().any(|a| a == "--full");
+    println!("{}", hexcute_bench::end_to_end::fig13(quick));
+}

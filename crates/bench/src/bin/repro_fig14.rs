@@ -1,0 +1,5 @@
+//! Regenerates Fig. 14 (MoE ablation). Pass `--full` for the full token sweep.
+fn main() {
+    let quick = !std::env::args().any(|a| a == "--full");
+    println!("{}", hexcute_bench::ablation::fig14(quick));
+}

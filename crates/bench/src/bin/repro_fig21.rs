@@ -1,0 +1,5 @@
+//! Regenerates Fig. 21 (Mamba selective scan). Pass `--full` for all 20 shapes.
+fn main() {
+    let quick = !std::env::args().any(|a| a == "--full");
+    println!("{}", hexcute_bench::scan_bench::fig21(quick));
+}

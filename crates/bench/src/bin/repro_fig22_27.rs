@@ -1,0 +1,19 @@
+//! Regenerates Figs. 22-27 (per-shape kernel performance).
+//! Usage: `repro_fig22_27 [--fig N] [--full]`.
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = !args.iter().any(|a| a == "--full");
+    let figure = args
+        .iter()
+        .position(|a| a == "--fig")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<u32>().ok());
+    match figure {
+        Some(f) => println!("{}", hexcute_bench::per_shape::per_shape_figure(f, quick)),
+        None => {
+            for report in hexcute_bench::per_shape::all_figures(quick) {
+                println!("{report}");
+            }
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table II of the paper. Pass `--full` for the full shape sweep.
+fn main() {
+    let quick = !std::env::args().any(|a| a == "--full");
+    println!("{}", hexcute_bench::table2::table2(quick));
+}

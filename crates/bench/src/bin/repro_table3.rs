@@ -1,0 +1,4 @@
+//! Regenerates Table III (MoE bytes per instruction).
+fn main() {
+    println!("{}", hexcute_bench::tables34::table3());
+}

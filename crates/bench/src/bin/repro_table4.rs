@@ -1,0 +1,4 @@
+//! Regenerates Table IV (Mamba scan bytes per instruction).
+fn main() {
+    println!("{}", hexcute_bench::tables34::table4());
+}

@@ -1,0 +1,107 @@
+//! Fig. 12: accuracy of the analytical cost model — for every GEMM shape,
+//! how close the cost-model-selected candidate is to the true (simulated)
+//! optimum, and Section VII-C compile-time statistics.
+
+use hexcute_arch::GpuArch;
+use hexcute_core::Compiler;
+use hexcute_kernels::gemm::{fp16_gemm, GemmConfig, GemmShape};
+
+use crate::{geomean, Report};
+
+/// The accuracy data point for one GEMM shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyPoint {
+    /// The GEMM shape.
+    pub shape: GemmShape,
+    /// Number of candidates the search explored.
+    pub candidates: usize,
+    /// Simulated latency of the cost-model-selected candidate (µs).
+    pub selected_us: f64,
+    /// Simulated latency of the best candidate (µs).
+    pub best_us: f64,
+    /// `selected / best` (1.0 = the cost model found the optimum).
+    pub ratio: f64,
+}
+
+/// The 16 GEMM shapes of the accuracy study (fewer when `quick`).
+pub fn accuracy_shapes(quick: bool) -> Vec<GemmShape> {
+    let mut shapes = Vec::new();
+    for &m in &[1024usize, 2048, 4096, 8192] {
+        for &k in &[1024usize, 2048, 4096, 8192] {
+            shapes.push(GemmShape::new(m, 4096, k));
+        }
+    }
+    if quick {
+        shapes.truncate(4);
+    }
+    shapes
+}
+
+/// Evaluates cost-model accuracy across GEMM shapes on the A100.
+pub fn evaluate_accuracy(shapes: &[GemmShape]) -> Vec<AccuracyPoint> {
+    let arch = GpuArch::a100();
+    shapes
+        .iter()
+        .map(|&shape| {
+            let program = fp16_gemm(shape, GemmConfig::default()).expect("gemm program");
+            let compiler = Compiler::new(arch.clone());
+            let ranked = compiler.compile_candidates(&program).expect("candidates");
+            let candidates = ranked.len();
+            let selected = ranked
+                .iter()
+                .min_by(|a, b| a.1.total_cycles.total_cmp(&b.1.total_cycles))
+                .expect("at least one candidate");
+            let best = ranked
+                .iter()
+                .min_by(|a, b| a.2.latency_us.total_cmp(&b.2.latency_us))
+                .expect("at least one candidate");
+            let selected_us = selected.2.latency_us;
+            let best_us = best.2.latency_us;
+            AccuracyPoint { shape, candidates, selected_us, best_us, ratio: selected_us / best_us }
+        })
+        .collect()
+}
+
+/// Regenerates Fig. 12.
+pub fn fig12(quick: bool) -> Report {
+    let points = evaluate_accuracy(&accuracy_shapes(quick));
+    let mut report = Report::new(
+        "Fig. 12: analytical cost model accuracy (selected vs true-optimal candidate)",
+        &["shape (MxNxK)", "candidates", "selected (us)", "best (us)", "ratio"],
+    );
+    for p in &points {
+        report.push_row(vec![
+            format!("{}x{}x{}", p.shape.m, p.shape.n, p.shape.k),
+            p.candidates.to_string(),
+            format!("{:.2}", p.selected_us),
+            format!("{:.2}", p.best_us),
+            format!("{:.3}", p.ratio),
+        ]);
+    }
+    let worst = points.iter().map(|p| p.ratio).fold(0.0f64, f64::max);
+    let mean = geomean(&points.iter().map(|p| p.ratio).collect::<Vec<_>>());
+    report.push_note(format!("Measured: geomean ratio {mean:.3}, worst {worst:.3}."));
+    report.push_note("Paper: the cost model selects candidates within 1.01x of the true optimum.");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_model_selection_is_near_optimal() {
+        let points = evaluate_accuracy(&accuracy_shapes(true));
+        for p in &points {
+            assert!(p.candidates > 1, "search should explore several candidates");
+            assert!(p.ratio >= 1.0);
+            assert!(p.ratio < 1.15, "shape {:?}: ratio {:.3} too far from optimal", p.shape, p.ratio);
+        }
+    }
+
+    #[test]
+    fn sixteen_shapes_by_default() {
+        assert_eq!(accuracy_shapes(false).len(), 16);
+        assert_eq!(accuracy_shapes(true).len(), 4);
+    }
+}

@@ -1,0 +1,56 @@
+//! # hexcute-bench
+//!
+//! The reproduction harness: one function per table and figure of the
+//! Hexcute paper's evaluation (Section VII), each returning a formatted
+//! [`Report`] with the same rows/series the paper presents. The `repro_*`
+//! binaries in `src/bin/` print them; `EXPERIMENTS.md` records the measured
+//! numbers next to the paper's.
+
+#![warn(missing_docs)]
+
+pub mod report;
+
+pub mod ablation;
+pub mod compile_time;
+pub mod cost_model;
+pub mod end_to_end;
+pub mod moe_bench;
+pub mod per_shape;
+pub mod scan_bench;
+pub mod table2;
+pub mod tables34;
+
+pub use report::Report;
+
+use hexcute_arch::GpuArch;
+use hexcute_core::{CompiledKernel, Compiler};
+use hexcute_ir::Program;
+
+/// Compiles a program with the default Hexcute pipeline and returns the
+/// compiled kernel (panicking on failure, which is acceptable for a harness).
+pub fn compile_hexcute(program: &Program, arch: &GpuArch) -> CompiledKernel {
+    Compiler::new(arch.clone())
+        .compile(program)
+        .unwrap_or_else(|e| panic!("failed to compile {}: {e}", program.name))
+}
+
+/// Geometric mean of a slice of positive numbers.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-9);
+    }
+}

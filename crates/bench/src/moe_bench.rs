@@ -1,0 +1,108 @@
+//! Fig. 11: latency of the mixed-type MoE layer (256 experts) across token
+//! counts for Marlin-old, Triton, Marlin-new and Hexcute.
+
+use hexcute_arch::GpuArch;
+use hexcute_baselines::{marlin_new_moe_latency_us, marlin_old_moe_latency_us, triton_latency_us, triton_moe_program};
+use hexcute_kernels::moe::{mixed_type_moe, MoeConfig, MoeDataflow, MoeShape};
+
+use crate::{compile_hexcute, geomean, Report};
+
+/// The latency of every implementation for one token count, in µs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MoePoint {
+    /// Number of input tokens.
+    pub tokens: usize,
+    /// Marlin-old (vLLM v0.8.2): one launch per expert.
+    pub marlin_old_us: f64,
+    /// Triton-generated fused MoE.
+    pub triton_us: f64,
+    /// Marlin-new (vLLM v0.9.2): fused grouped GEMM.
+    pub marlin_new_us: f64,
+    /// Hexcute.
+    pub hexcute_us: f64,
+}
+
+/// The default token sweep (a subset of the paper's sweep when `quick`).
+pub fn token_sweep(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![1, 16, 64, 256]
+    } else {
+        vec![1, 4, 16, 64, 128, 256, 512, 1024, 2048]
+    }
+}
+
+/// Evaluates the MoE layer across token counts on the H100.
+pub fn evaluate_moe(tokens: &[usize]) -> Vec<MoePoint> {
+    let arch = GpuArch::h100();
+    let config = MoeConfig::default();
+    tokens
+        .iter()
+        .map(|&t| {
+            let shape = MoeShape::deepseek_r1(t);
+            let hexcute_program =
+                mixed_type_moe(shape, config, MoeDataflow::Efficient).expect("hexcute MoE kernel");
+            let hexcute_us = compile_hexcute(&hexcute_program, &arch).latency_us();
+            let triton_program = triton_moe_program(shape, config).expect("triton MoE kernel");
+            let triton_us = triton_latency_us(&triton_program, &arch)
+                .map(|r| r.latency_us)
+                .unwrap_or(f64::INFINITY);
+            MoePoint {
+                tokens: t,
+                marlin_old_us: marlin_old_moe_latency_us(&shape, &arch),
+                triton_us,
+                marlin_new_us: marlin_new_moe_latency_us(&shape, &arch),
+                hexcute_us,
+            }
+        })
+        .collect()
+}
+
+/// Regenerates Fig. 11.
+pub fn fig11(quick: bool) -> Report {
+    let points = evaluate_moe(&token_sweep(quick));
+    let mut report = Report::new(
+        "Fig. 11: mixed-type MoE latency (256 experts, H100)",
+        &["tokens", "Marlin-old (us)", "Triton (us)", "Marlin-new (us)", "Hexcute (us)", "Hexcute vs Triton"],
+    );
+    for p in &points {
+        report.push_row(vec![
+            p.tokens.to_string(),
+            format!("{:.1}", p.marlin_old_us),
+            format!("{:.1}", p.triton_us),
+            format!("{:.1}", p.marlin_new_us),
+            format!("{:.1}", p.hexcute_us),
+            format!("{:.2}x", p.triton_us / p.hexcute_us),
+        ]);
+    }
+    let vs_triton = geomean(&points.iter().map(|p| p.triton_us / p.hexcute_us).collect::<Vec<_>>());
+    let vs_old = geomean(&points.iter().map(|p| p.marlin_old_us / p.hexcute_us).collect::<Vec<_>>());
+    let vs_new = geomean(&points.iter().map(|p| p.marlin_new_us / p.hexcute_us).collect::<Vec<_>>());
+    report.push_note(format!(
+        "Measured geometric means — vs Triton: {vs_triton:.2}x, vs Marlin-old: {vs_old:.2}x, vs Marlin-new: {vs_new:.2}x"
+    ));
+    report.push_note("Paper reports 6.46x over Triton, 28.42x over Marlin-old and ~0.96x of Marlin-new.");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hexcute_beats_triton_and_marlin_old_everywhere() {
+        let points = evaluate_moe(&[16, 256]);
+        for p in &points {
+            assert!(p.hexcute_us < p.triton_us, "tokens={}: Hexcute should beat Triton", p.tokens);
+            assert!(p.hexcute_us < p.marlin_old_us, "tokens={}: Hexcute should beat Marlin-old", p.tokens);
+            // Hexcute is in the same ballpark as the fused Marlin-new kernel.
+            let ratio = p.hexcute_us / p.marlin_new_us;
+            assert!(ratio < 4.0, "tokens={}: Hexcute should be near Marlin-new, got {ratio:.2}x", p.tokens);
+        }
+    }
+
+    #[test]
+    fn fig11_report_has_requested_rows() {
+        let report = fig11(true);
+        assert_eq!(report.rows.len(), token_sweep(true).len());
+    }
+}

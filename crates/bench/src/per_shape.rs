@@ -1,0 +1,84 @@
+//! Figs. 22–27: per-shape latency of Triton, the CUDA library and Hexcute
+//! for each of the six Table II operator families.
+
+use crate::table2::{evaluate_family, OperatorFamily};
+use crate::{geomean, Report};
+
+/// The figure numbers of the per-shape plots and their operator families.
+pub fn figure_families() -> Vec<(u32, OperatorFamily)> {
+    vec![
+        (22, OperatorFamily::Fp16GemmA100),
+        (23, OperatorFamily::MhaForwardA100),
+        (24, OperatorFamily::MhaDecodingA100),
+        (25, OperatorFamily::WarpSpecializedGemmH100),
+        (26, OperatorFamily::Fp8GemmH100),
+        (27, OperatorFamily::MhaForwardH100),
+    ]
+}
+
+/// Regenerates one of Figs. 22–27.
+///
+/// # Panics
+///
+/// Panics if `figure` is not in `22..=27`.
+pub fn per_shape_figure(figure: u32, quick: bool) -> Report {
+    let (_, family) = figure_families()
+        .into_iter()
+        .find(|(f, _)| *f == figure)
+        .unwrap_or_else(|| panic!("figure {figure} is not one of Figs. 22-27"));
+    let results = evaluate_family(family, quick);
+    let mut report = Report::new(
+        format!("Fig. {figure}: {} per-shape latency", family.name()),
+        &["shape", "Triton (us)", family.baseline_library().name(), "Hexcute (us)", "Hexcute vs baseline", "Hexcute vs Triton"],
+    );
+    for (shape, r) in &results {
+        report.push_row(vec![
+            shape.label(),
+            format!("{:.1}", r.triton_us),
+            format!("{:.1}", r.library_us),
+            format!("{:.1}", r.hexcute_us),
+            format!("{:.2}x", r.library_us / r.hexcute_us),
+            format!("{:.2}x", r.triton_us / r.hexcute_us),
+        ]);
+    }
+    let vs_lib = geomean(&results.iter().map(|(_, r)| r.library_us / r.hexcute_us).collect::<Vec<_>>());
+    let vs_triton = geomean(&results.iter().map(|(_, r)| r.triton_us / r.hexcute_us).collect::<Vec<_>>());
+    report.push_note(format!(
+        "Measured geometric means — vs {}: {vs_lib:.2}x, vs Triton: {vs_triton:.2}x.",
+        family.baseline_library().name()
+    ));
+    report.push_note("Paper geometric means (Figs. 22-27): 1.00x/1.33x, 1.05x/1.13x, 1.02x/2.06x, 1.25x/1.94x, 1.17x/2.36x, 1.27x/2.25x.");
+    report
+}
+
+/// Regenerates all six per-shape figures.
+pub fn all_figures(quick: bool) -> Vec<Report> {
+    figure_families().into_iter().map(|(f, _)| per_shape_figure(f, quick)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_six_figures_are_mapped() {
+        let figures: Vec<u32> = figure_families().iter().map(|(f, _)| *f).collect();
+        assert_eq!(figures, vec![22, 23, 24, 25, 26, 27]);
+    }
+
+    #[test]
+    fn fig24_decoding_beats_triton_clearly() {
+        let report = per_shape_figure(24, true);
+        assert!(!report.rows.is_empty());
+        for row in &report.rows {
+            let vs_triton: f64 = row[5].trim_end_matches('x').parse().unwrap();
+            assert!(vs_triton >= 1.0, "decoding should not lose to Triton: {}", row[0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not one of Figs")]
+    fn rejects_unknown_figures() {
+        per_shape_figure(99, true);
+    }
+}

@@ -1,0 +1,96 @@
+//! Simple aligned-table reports for the reproduction harness.
+
+use std::fmt;
+
+/// A formatted report: a title, a header row, data rows and free-form notes.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Report title (e.g. "Table II").
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Notes printed below the table (paper-reported reference values,
+    /// caveats, geometric means).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report with the given title and header.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Report {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        self.rows.push(row);
+    }
+
+    /// Appends a note.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Looks up a cell by row and column index.
+    pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
+        self.rows.get(row).and_then(|r| r.get(col)).map(String::as_str)
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "\n=== {} ===", self.title)?;
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(cell.len());
+                } else {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let print_row = |f: &mut fmt::Formatter<'_>, row: &[String]| -> fmt::Result {
+            for (i, cell) in row.iter().enumerate() {
+                let w = widths.get(i).copied().unwrap_or(cell.len());
+                write!(f, "{cell:<w$}  ")?;
+            }
+            writeln!(f)
+        };
+        print_row(f, &self.header)?;
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  * {note}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_formats_as_aligned_table() {
+        let mut r = Report::new("Table X", &["name", "value"]);
+        r.push_row(vec!["alpha".to_string(), "1.00".to_string()]);
+        r.push_row(vec!["a-much-longer-name".to_string(), "2".to_string()]);
+        r.push_note("paper reports 1.05x");
+        let s = r.to_string();
+        assert!(s.contains("=== Table X ==="));
+        assert!(s.contains("a-much-longer-name"));
+        assert!(s.contains("* paper reports"));
+        assert_eq!(r.cell(0, 1), Some("1.00"));
+        assert_eq!(r.cell(5, 0), None);
+    }
+}

@@ -1,0 +1,92 @@
+//! Fig. 21: Mamba selective-scan latency across shapes, Hexcute vs the
+//! hand-written Mamba library.
+
+use hexcute_arch::{DType, GpuArch};
+use hexcute_baselines::{library_latency_us, Library, Workload};
+use hexcute_kernels::mamba::{selective_scan, ScanConfig, ScanShape};
+
+use crate::{compile_hexcute, geomean, Report};
+
+/// The latencies for one scan shape, in µs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScanPoint {
+    /// The shape.
+    pub shape: ScanShape,
+    /// The Mamba library (cub::BlockLoad scalar loads).
+    pub library_us: f64,
+    /// Hexcute.
+    pub hexcute_us: f64,
+}
+
+/// The scan shapes evaluated (20 in the paper; fewer when `quick`).
+pub fn scan_shapes(quick: bool) -> Vec<ScanShape> {
+    let mut shapes = Vec::new();
+    for &batch in &[1usize, 2, 4, 8] {
+        for &seq in &[1024usize, 2048, 4096, 8192, 16384] {
+            shapes.push(ScanShape::new(batch, 4096, 16, seq));
+        }
+    }
+    if quick {
+        shapes.truncate(4);
+    }
+    shapes
+}
+
+/// Evaluates the scan across shapes on the H100.
+pub fn evaluate_scan(shapes: &[ScanShape]) -> Vec<ScanPoint> {
+    let arch = GpuArch::h100();
+    shapes
+        .iter()
+        .map(|&shape| {
+            let program = selective_scan(shape, ScanConfig::default()).expect("scan kernel");
+            let hexcute_us = compile_hexcute(&program, &arch).latency_us();
+            let library_us = library_latency_us(
+                Library::MambaLibrary,
+                &Workload::new(shape.flops(), shape.bytes(), DType::F16),
+                &arch,
+            );
+            ScanPoint { shape, library_us, hexcute_us }
+        })
+        .collect()
+}
+
+/// Regenerates Fig. 21.
+pub fn fig21(quick: bool) -> Report {
+    let points = evaluate_scan(&scan_shapes(quick));
+    let mut report = Report::new(
+        "Fig. 21: Mamba selective scan latency (H100)",
+        &["shape (batch,dim,state,seq)", "Mamba library (us)", "Hexcute (us)", "speedup"],
+    );
+    for p in &points {
+        report.push_row(vec![
+            format!("({}, {}, {}, {})", p.shape.batch, p.shape.dim, p.shape.state, p.shape.seq_len),
+            format!("{:.1}", p.library_us),
+            format!("{:.1}", p.hexcute_us),
+            format!("{:.2}x", p.library_us / p.hexcute_us),
+        ]);
+    }
+    let avg = geomean(&points.iter().map(|p| p.library_us / p.hexcute_us).collect::<Vec<_>>());
+    report.push_note(format!("Measured geometric-mean speedup: {avg:.2}x."));
+    report.push_note("Paper reports an average speedup of 4.17x over the Mamba library across 20 shapes.");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hexcute_scan_beats_the_library_on_every_shape() {
+        let points = evaluate_scan(&scan_shapes(true));
+        for p in &points {
+            let speedup = p.library_us / p.hexcute_us;
+            assert!(speedup > 1.5, "shape {:?}: speedup {speedup:.2} too small", p.shape);
+            assert!(speedup < 10.0, "shape {:?}: speedup {speedup:.2} implausibly large", p.shape);
+        }
+    }
+
+    #[test]
+    fn twenty_shapes_by_default() {
+        assert_eq!(scan_shapes(false).len(), 20);
+    }
+}

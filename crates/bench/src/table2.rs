@@ -1,0 +1,275 @@
+//! Table II: programmability (lines of code) and performance of Hexcute vs
+//! the CUDA libraries and Triton across six operator families.
+
+use hexcute_arch::{DType, GpuArch};
+use hexcute_baselines::{library_latency_us, triton_latency_us, Library, Workload};
+use hexcute_ir::Program;
+use hexcute_kernels::attention::{mha_decoding, mha_forward, AttentionConfig, AttentionShape};
+use hexcute_kernels::gemm::{fp16_gemm, fp8_blockwise_gemm, warp_specialized_gemm, GemmConfig, GemmShape};
+
+use crate::{compile_hexcute, geomean, Report};
+
+/// One operator family of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OperatorFamily {
+    /// FP16 GEMM on the A100 (baseline: cuBLAS).
+    Fp16GemmA100,
+    /// Fused multi-head attention forward on the A100 (baseline: FlashAttention-2).
+    MhaForwardA100,
+    /// Fused multi-head attention decoding on the A100 (baseline: FlashInfer).
+    MhaDecodingA100,
+    /// Blockwise-scaled FP8 GEMM on the H100 (baseline: CUTLASS).
+    Fp8GemmH100,
+    /// Warp-specialized FP16 GEMM on the H100 (baseline: cuBLAS).
+    WarpSpecializedGemmH100,
+    /// Fused multi-head attention forward on the H100 (baseline: FlashAttention-3).
+    MhaForwardH100,
+}
+
+impl OperatorFamily {
+    /// All six families, in Table II order.
+    pub const ALL: [OperatorFamily; 6] = [
+        OperatorFamily::Fp16GemmA100,
+        OperatorFamily::MhaForwardA100,
+        OperatorFamily::MhaDecodingA100,
+        OperatorFamily::Fp8GemmH100,
+        OperatorFamily::WarpSpecializedGemmH100,
+        OperatorFamily::MhaForwardH100,
+    ];
+
+    /// Display name matching the paper's row labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OperatorFamily::Fp16GemmA100 => "FP16 GEMM (A100)",
+            OperatorFamily::MhaForwardA100 => "Fused MHA Forward (A100)",
+            OperatorFamily::MhaDecodingA100 => "Fused MHA Decoding (A100)",
+            OperatorFamily::Fp8GemmH100 => "Blockwise Scaled FP8 GEMM (H100)",
+            OperatorFamily::WarpSpecializedGemmH100 => "Warp Specialized FP16 GEMM (H100)",
+            OperatorFamily::MhaForwardH100 => "Fused MHA Forward (H100)",
+        }
+    }
+
+    /// The target architecture.
+    pub fn arch(&self) -> GpuArch {
+        match self {
+            OperatorFamily::Fp16GemmA100
+            | OperatorFamily::MhaForwardA100
+            | OperatorFamily::MhaDecodingA100 => GpuArch::a100(),
+            _ => GpuArch::h100(),
+        }
+    }
+
+    /// The expert-tuned CUDA baseline the family is normalized against.
+    pub fn baseline_library(&self) -> Library {
+        match self {
+            OperatorFamily::Fp16GemmA100 | OperatorFamily::WarpSpecializedGemmH100 => Library::CuBlas,
+            OperatorFamily::MhaForwardA100 => Library::FlashAttention2,
+            OperatorFamily::MhaDecodingA100 => Library::FlashInfer,
+            OperatorFamily::Fp8GemmH100 => Library::CutlassFp8,
+            OperatorFamily::MhaForwardH100 => Library::FlashAttention3,
+        }
+    }
+
+    /// Lines of code reported by the paper for (CUDA, Triton, Hexcute).
+    pub fn lines_of_code(&self) -> (usize, usize, usize) {
+        match self {
+            OperatorFamily::Fp16GemmA100 => (703, 71, 98),
+            OperatorFamily::MhaForwardA100 => (577, 114, 172),
+            OperatorFamily::MhaDecodingA100 => (322, 224, 253),
+            OperatorFamily::Fp8GemmH100 => (900, 87, 180),
+            OperatorFamily::WarpSpecializedGemmH100 => (1024, 71, 169),
+            OperatorFamily::MhaForwardH100 => (1684, 114, 212),
+        }
+    }
+
+    /// The shapes evaluated for this family (a subset of the paper's sweep
+    /// when `quick` is set).
+    pub fn shapes(&self, quick: bool) -> Vec<FamilyShape> {
+        let gemm: Vec<FamilyShape> = [
+            (2048, 2048, 2048),
+            (4096, 4096, 4096),
+            (8192, 4096, 4096),
+            (4096, 8192, 8192),
+            (8192, 8192, 8192),
+            (4096, 4096, 16384),
+        ]
+        .iter()
+        .map(|&(m, n, k)| FamilyShape::Gemm(GemmShape::new(m, n, k)))
+        .collect();
+        let forward: Vec<FamilyShape> = [(1, 32, 1024, 128), (1, 32, 2048, 128), (4, 32, 4096, 128), (8, 16, 8192, 64)]
+            .iter()
+            .map(|&(b, h, s, d)| FamilyShape::Attention(AttentionShape::forward(b, h, s, d)))
+            .collect();
+        let decode: Vec<FamilyShape> = [(16, 32, 2048, 128), (32, 32, 4096, 128), (64, 32, 8192, 128), (128, 16, 16384, 64)]
+            .iter()
+            .map(|&(b, h, s, d)| FamilyShape::Attention(AttentionShape::decoding(b, h, s, d)))
+            .collect();
+        let mut shapes = match self {
+            OperatorFamily::Fp16GemmA100
+            | OperatorFamily::WarpSpecializedGemmH100
+            | OperatorFamily::Fp8GemmH100 => gemm,
+            OperatorFamily::MhaForwardA100 | OperatorFamily::MhaForwardH100 => forward,
+            OperatorFamily::MhaDecodingA100 => decode,
+        };
+        if quick {
+            shapes.truncate(3);
+        }
+        shapes
+    }
+
+    /// Builds the Hexcute program for one shape of this family.
+    pub fn program(&self, shape: &FamilyShape) -> Program {
+        match (self, shape) {
+            (OperatorFamily::Fp16GemmA100, FamilyShape::Gemm(s)) => {
+                fp16_gemm(*s, GemmConfig::default()).expect("fp16 gemm")
+            }
+            (OperatorFamily::WarpSpecializedGemmH100, FamilyShape::Gemm(s)) => {
+                warp_specialized_gemm(*s, GemmConfig::warp_specialized_hopper()).expect("ws gemm")
+            }
+            (OperatorFamily::Fp8GemmH100, FamilyShape::Gemm(s)) => {
+                fp8_blockwise_gemm(*s, GemmConfig::default()).expect("fp8 gemm")
+            }
+            (OperatorFamily::MhaForwardA100 | OperatorFamily::MhaForwardH100, FamilyShape::Attention(s)) => {
+                mha_forward(*s, AttentionConfig::default()).expect("mha forward")
+            }
+            (OperatorFamily::MhaDecodingA100, FamilyShape::Attention(s)) => {
+                mha_decoding(*s, AttentionConfig::default()).expect("mha decoding")
+            }
+            _ => unreachable!("shape kind does not match the operator family"),
+        }
+    }
+
+    /// The roofline workload of one shape (for the library baseline).
+    pub fn workload(&self, shape: &FamilyShape) -> Workload {
+        match shape {
+            FamilyShape::Gemm(s) => {
+                let bits = if matches!(self, OperatorFamily::Fp8GemmH100) { 8 } else { 16 };
+                let dtype = if bits == 8 { DType::F8E4M3 } else { DType::F16 };
+                Workload::new(s.flops(), s.bytes(bits, bits, 16), dtype)
+            }
+            FamilyShape::Attention(s) => Workload::new(s.flops(), s.bytes(), DType::F16),
+        }
+    }
+}
+
+/// A problem shape of one of the Table II families.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FamilyShape {
+    /// A GEMM problem.
+    Gemm(GemmShape),
+    /// An attention problem.
+    Attention(AttentionShape),
+}
+
+impl FamilyShape {
+    /// A short label for figure rows.
+    pub fn label(&self) -> String {
+        match self {
+            FamilyShape::Gemm(s) => format!("{}x{}x{}", s.m, s.n, s.k),
+            FamilyShape::Attention(s) => {
+                format!("b{} h{} q{} kv{} d{}", s.batch, s.heads, s.q_len, s.kv_len, s.head_dim)
+            }
+        }
+    }
+}
+
+/// The three backends' latencies for one shape of one family, in µs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShapeResult {
+    /// Expert-tuned CUDA library baseline.
+    pub library_us: f64,
+    /// Triton-style compilation.
+    pub triton_us: f64,
+    /// Hexcute.
+    pub hexcute_us: f64,
+}
+
+/// Evaluates one family over its shapes.
+pub fn evaluate_family(family: OperatorFamily, quick: bool) -> Vec<(FamilyShape, ShapeResult)> {
+    let arch = family.arch();
+    family
+        .shapes(quick)
+        .into_iter()
+        .map(|shape| {
+            let program = family.program(&shape);
+            let hexcute = compile_hexcute(&program, &arch).latency_us();
+            let triton = triton_latency_us(&program, &arch)
+                .map(|r| r.latency_us)
+                .unwrap_or(f64::INFINITY);
+            let library = library_latency_us(family.baseline_library(), &family.workload(&shape), &arch);
+            (shape, ShapeResult { library_us: library, triton_us: triton, hexcute_us: hexcute })
+        })
+        .collect()
+}
+
+/// Regenerates Table II.
+pub fn table2(quick: bool) -> Report {
+    let mut report = Report::new(
+        "Table II: programmability and performance (normalized against the CUDA baseline)",
+        &["Operator", "LoC CUDA", "LoC Triton", "LoC Hexcute", "Triton perf", "Hexcute perf", "Baseline"],
+    );
+    for family in OperatorFamily::ALL {
+        let results = evaluate_family(family, quick);
+        let triton_norm: Vec<f64> = results.iter().map(|(_, r)| r.library_us / r.triton_us).collect();
+        let hexcute_norm: Vec<f64> = results.iter().map(|(_, r)| r.library_us / r.hexcute_us).collect();
+        let (loc_cuda, loc_triton, loc_hexcute) = family.lines_of_code();
+        report.push_row(vec![
+            family.name().to_string(),
+            loc_cuda.to_string(),
+            loc_triton.to_string(),
+            loc_hexcute.to_string(),
+            format!("{:.2}x", geomean(&triton_norm)),
+            format!("{:.2}x", geomean(&hexcute_norm)),
+            family.baseline_library().name().to_string(),
+        ]);
+    }
+    report.push_note("Lines of code are the paper's reported values (CUTLASS/Triton/Hexcute sources).");
+    report.push_note(
+        "Paper-reported normalized performance — Triton: 0.75/0.93/0.50/0.50/0.64/0.56, Hexcute: 1.00/1.05/1.02/1.17/1.25/1.27.",
+    );
+    report.push_note("Latencies come from the performance simulator; see EXPERIMENTS.md for the modelling caveats.");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_metadata_is_complete() {
+        for family in OperatorFamily::ALL {
+            assert!(!family.name().is_empty());
+            let (cuda, triton, hexcute) = family.lines_of_code();
+            assert!(cuda > hexcute, "{}: Hexcute should be shorter than CUDA", family.name());
+            assert!(triton <= hexcute, "{}: Triton should be shortest", family.name());
+            assert!(!family.shapes(true).is_empty());
+        }
+    }
+
+    #[test]
+    fn fp16_gemm_family_matches_libraries_and_beats_triton() {
+        let results = evaluate_family(OperatorFamily::Fp16GemmA100, true);
+        for (shape, r) in &results {
+            assert!(
+                r.hexcute_us <= r.triton_us,
+                "{}: Hexcute {} should not be slower than Triton {}",
+                shape.label(),
+                r.hexcute_us,
+                r.triton_us
+            );
+            let vs_library = r.library_us / r.hexcute_us;
+            assert!(
+                (0.5..2.5).contains(&vs_library),
+                "{}: Hexcute should be within 2.5x of cuBLAS, got {vs_library:.2}",
+                shape.label()
+            );
+        }
+    }
+
+    #[test]
+    fn table2_has_one_row_per_family() {
+        let report = table2(true);
+        assert_eq!(report.rows.len(), 6);
+        assert!(report.to_string().contains("FP16 GEMM"));
+    }
+}

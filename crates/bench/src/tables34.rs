@@ -1,0 +1,107 @@
+//! Table III and Table IV: bytes per instruction selected by Hexcute vs the
+//! baselines for the mixed-type MoE kernel and the Mamba selective scan.
+
+use hexcute_arch::GpuArch;
+use hexcute_baselines::{triton_latency_us, triton_moe_program};
+use hexcute_kernels::mamba::{selective_scan, ScanConfig, ScanShape};
+use hexcute_kernels::moe::{mixed_type_moe, MoeConfig, MoeDataflow, MoeShape};
+use hexcute_ir::OpKind;
+
+use crate::{compile_hexcute, Report};
+
+/// Per-tensor instruction widths of the Hexcute candidate for a program.
+fn hexcute_copy_widths(program_name: &str, arch: &GpuArch, program: hexcute_ir::Program) -> Vec<(String, String, usize)> {
+    let kernel = compile_hexcute(&program, arch);
+    let mut rows = Vec::new();
+    for op in kernel.program.ops() {
+        if let OpKind::Copy { src, dst } = op.kind {
+            if let Some(choice) = kernel.candidate.copy_choices.get(&op.id) {
+                let s = kernel.program.tensor(src);
+                let d = kernel.program.tensor(dst);
+                let direction = format!("{}→{}", s.space, d.space);
+                let bytes = s.dtype.bytes_for(choice.elements_per_thread);
+                rows.push((format!("{} ({})", s.name, direction), choice.atom.name.clone(), bytes));
+            }
+        }
+    }
+    let _ = program_name;
+    rows
+}
+
+/// Regenerates Table III (MoE kernel instruction widths, Hexcute vs Triton).
+pub fn table3() -> Report {
+    let arch = GpuArch::h100();
+    let shape = MoeShape::deepseek_r1(64);
+    let config = MoeConfig::default();
+    let mut report = Report::new(
+        "Table III: bytes per thread per instruction for the mixed-type MoE kernel",
+        &["tensor (direction)", "Hexcute instruction", "Hexcute B/thread"],
+    );
+    let hexcute_rows = hexcute_copy_widths(
+        "moe",
+        &arch,
+        mixed_type_moe(shape, config, MoeDataflow::Efficient).expect("hexcute MoE"),
+    );
+    for (tensor, instr, bytes) in &hexcute_rows {
+        report.push_row(vec![tensor.clone(), instr.clone(), bytes.to_string()]);
+    }
+    let triton = triton_latency_us(&triton_moe_program(shape, config).expect("triton MoE"), &arch)
+        .expect("triton compilation");
+    let triton_max = triton.copy_bytes.iter().map(|(_, b)| *b).max().unwrap_or(0);
+    let hexcute_max = hexcute_rows.iter().map(|(_, _, b)| *b).max().unwrap_or(0);
+    report.push_note(format!(
+        "Triton-style compilation peaks at {triton_max} B/thread (scalar fallback for the quantized weight path); Hexcute peaks at {hexcute_max} B/thread."
+    ));
+    report.push_note("Paper (Table III): Hexcute uses 16 B G2S / 8 B S2R for every tensor; Triton falls to 1-8 B.");
+    report
+}
+
+/// Regenerates Table IV (Mamba scan instruction widths, Hexcute vs the Mamba
+/// library).
+pub fn table4() -> Report {
+    let arch = GpuArch::h100();
+    let shape = ScanShape::new(1, 4096, 16, 4096);
+    let mut report = Report::new(
+        "Table IV: bytes per thread per instruction for the Mamba selective scan",
+        &["tensor (direction)", "Hexcute instruction", "Hexcute B/thread", "Mamba library B/thread"],
+    );
+    // The Mamba library relies on cub::BlockLoad, which degrades to scalar
+    // (2-4 byte) loads for these tensors (paper, Table IV).
+    let library_width = |tensor: &str| if tensor.starts_with("a ") { 4 } else { 2 };
+    let rows = hexcute_copy_widths("scan", &arch, selective_scan(shape, ScanConfig::default()).expect("scan"));
+    for (tensor, instr, bytes) in &rows {
+        report.push_row(vec![
+            tensor.clone(),
+            instr.clone(),
+            bytes.to_string(),
+            library_width(tensor).to_string(),
+        ]);
+    }
+    report.push_note("Paper (Table IV): Hexcute selects 8-16 B instructions; the Mamba library uses 2-4 B loads.");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_shows_hexcute_at_least_as_wide_as_triton() {
+        let report = table3();
+        assert!(!report.rows.is_empty());
+        // The weight tensor is staged with 16-byte copies.
+        let w_row = report.rows.iter().find(|r| r[0].starts_with("w ")).expect("weight row");
+        assert_eq!(w_row[2], "16");
+    }
+
+    #[test]
+    fn table4_scan_loads_are_wider_than_the_library() {
+        let report = table4();
+        assert!(report.rows.len() >= 6);
+        for row in &report.rows {
+            let hexcute: usize = row[2].parse().unwrap();
+            let library: usize = row[3].parse().unwrap();
+            assert!(hexcute >= library, "{}: {hexcute} < {library}", row[0]);
+        }
+    }
+}

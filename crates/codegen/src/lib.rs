@@ -1,0 +1,21 @@
+//! # hexcute-codegen
+//!
+//! Lowering of tile-level programs with synthesized layouts into a
+//! per-thread-block kernel representation, plus emission of readable
+//! CUDA-like source text.
+//!
+//! In the paper, Hexcute lowers its tile-level primitives into Hidet IR and
+//! from there to CUDA C. In this reproduction the lowering target is a
+//! portable [`LoweredKernel`]: an explicit instruction stream (with
+//! synchronization barriers and shared-memory allocations) that the
+//! functional and performance simulators in `hexcute-sim` execute, and that
+//! [`emit_cuda_like`] renders as pseudo-CUDA for inspection.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod emit;
+mod lower;
+
+pub use emit::emit_cuda_like;
+pub use lower::{lower, LoweredKernel, LoweredOp, SimtKind, SmemAlloc};

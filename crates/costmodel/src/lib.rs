@@ -1,0 +1,22 @@
+//! # hexcute-costmodel
+//!
+//! The analytical cost model of Section VI of the Hexcute paper.
+//!
+//! A candidate program is modelled as a sequence of tile-level operations
+//! `O₁, O₂, …, Oₙ`. The model tracks both the *issue* cycles of every
+//! operation (how long the issuing warps are busy) and its *completion*
+//! cycles (when its results are available), charges read-after-write stalls
+//! when an operation consumes data that is still in flight, and accounts for
+//! the overlap provided by software pipelining and warp specialization in the
+//! kernel's main loop.
+//!
+//! The per-instruction issue and completion cycles come from the instruction
+//! catalog in `hexcute-arch`, which plays the role of the microbenchmark
+//! table the paper cites.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod model;
+
+pub use model::{CostBreakdown, CostModel, OpCost};

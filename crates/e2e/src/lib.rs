@@ -1,0 +1,14 @@
+//! # hexcute-e2e
+//!
+//! A vLLM-style end-to-end serving model: the decode-step latency of a large
+//! language model is the sum of its per-layer kernel latencies, and swapping
+//! the Triton/CUTLASS-backed operators for Hexcute-backed ones changes only
+//! those kernel latencies. This reproduces the aggregation behind Fig. 13 of
+//! the paper (DeepSeek-R1-AWQ, Jamba-mini-1.7 and Qwen-3-32B on H100 GPUs).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod serving;
+
+pub use serving::{decode_latency_ms, DecodeReport, KernelBackend, ModelConfig, ModelKind};

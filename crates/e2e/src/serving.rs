@@ -1,0 +1,290 @@
+//! Model configurations and the decode-step latency model.
+
+use hexcute_arch::{DType, GpuArch};
+use hexcute_baselines::{
+    library_latency_us, marlin_new_moe_latency_us, triton_latency_us, triton_moe_program, Library,
+    Workload,
+};
+use hexcute_core::Compiler;
+use hexcute_kernels::attention::AttentionShape;
+use hexcute_kernels::gemm::{fp8_blockwise_gemm, GemmConfig, GemmShape};
+use hexcute_kernels::mamba::{selective_scan, ScanConfig, ScanShape};
+use hexcute_kernels::moe::{mixed_type_moe, MoeConfig, MoeDataflow, MoeShape};
+
+/// Which kernels back the model's operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelBackend {
+    /// The original vLLM implementation (Triton for MoE and scan, CUTLASS
+    /// for FP8 GEMM).
+    Baseline,
+    /// Hexcute-generated kernels integrated into vLLM.
+    Hexcute,
+    /// The hand-written Marlin-new MoE kernels (upper baseline for MoE).
+    MarlinNew,
+}
+
+impl KernelBackend {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelBackend::Baseline => "vLLM (Triton/CUTLASS)",
+            KernelBackend::Hexcute => "vLLM + Hexcute",
+            KernelBackend::MarlinNew => "vLLM + Marlin-new",
+        }
+    }
+}
+
+/// The architectural family of a model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// A mixture-of-experts transformer with AWQ (INT4) weights.
+    MoeAwq,
+    /// A hybrid Mamba/attention/MoE model.
+    Hybrid,
+    /// A dense transformer served with blockwise FP8 GEMMs.
+    DenseFp8,
+}
+
+/// A (simplified) model configuration for decode-latency estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelConfig {
+    /// Model name.
+    pub name: String,
+    /// Architectural family.
+    pub kind: ModelKind,
+    /// Number of transformer (or Mamba) layers.
+    pub layers: usize,
+    /// Hidden size.
+    pub hidden: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Head dimension.
+    pub head_dim: usize,
+    /// MoE expert count (0 for dense models).
+    pub experts: usize,
+    /// MoE intermediate size (or dense FFN intermediate size).
+    pub intermediate: usize,
+    /// Fraction of layers that are Mamba (hybrid models only).
+    pub mamba_fraction: f64,
+    /// Mamba state dimension.
+    pub mamba_state: usize,
+    /// Tensor-parallel GPU count.
+    pub tensor_parallel: usize,
+}
+
+impl ModelConfig {
+    /// DeepSeek-R1 with AWQ INT4 MoE weights (the Fig. 13 configuration).
+    pub fn deepseek_r1_awq() -> Self {
+        ModelConfig {
+            name: "DeepSeek-R1-AWQ".to_string(),
+            kind: ModelKind::MoeAwq,
+            layers: 61,
+            hidden: 7168,
+            heads: 128,
+            head_dim: 128,
+            experts: 256,
+            intermediate: 2048,
+            mamba_fraction: 0.0,
+            mamba_state: 0,
+            tensor_parallel: 8,
+        }
+    }
+
+    /// Jamba-mini-1.7: a hybrid Mamba/attention/MoE model.
+    pub fn jamba_mini() -> Self {
+        ModelConfig {
+            name: "Jamba-mini-1.7".to_string(),
+            kind: ModelKind::Hybrid,
+            layers: 32,
+            hidden: 4096,
+            heads: 32,
+            head_dim: 128,
+            experts: 16,
+            intermediate: 8192,
+            mamba_fraction: 0.75,
+            mamba_state: 16,
+            tensor_parallel: 2,
+        }
+    }
+
+    /// Qwen-3-32B served with blockwise-scaled FP8 GEMMs.
+    pub fn qwen3_32b() -> Self {
+        ModelConfig {
+            name: "Qwen-3-32B".to_string(),
+            kind: ModelKind::DenseFp8,
+            layers: 64,
+            hidden: 5120,
+            heads: 64,
+            head_dim: 128,
+            experts: 0,
+            intermediate: 25600,
+            mamba_fraction: 0.0,
+            mamba_state: 0,
+            tensor_parallel: 2,
+        }
+    }
+}
+
+/// The per-component breakdown of one decode step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeReport {
+    /// Model name.
+    pub model: String,
+    /// Backend used.
+    pub backend: KernelBackend,
+    /// Attention time per decode step (ms).
+    pub attention_ms: f64,
+    /// MoE / FFN time per decode step (ms).
+    pub ffn_ms: f64,
+    /// Mamba scan time per decode step (ms).
+    pub mamba_ms: f64,
+    /// Total decode-step latency (ms).
+    pub total_ms: f64,
+}
+
+/// Estimates the latency of one decode step (one output token) for the given
+/// model, backend, batch size and sequence length.
+pub fn decode_latency_ms(
+    model: &ModelConfig,
+    backend: KernelBackend,
+    batch: usize,
+    seq_len: usize,
+    arch: &GpuArch,
+) -> DecodeReport {
+    let tp = model.tensor_parallel.max(1);
+    let heads_per_gpu = (model.heads / tp).max(1);
+    let compiler = Compiler::new(arch.clone());
+
+    // ----- Attention (identical for every backend in the paper's setup). --
+    let attn_shape = AttentionShape::decoding(batch, heads_per_gpu, seq_len.max(64), model.head_dim);
+    let attn_layers = (model.layers as f64 * (1.0 - model.mamba_fraction)).round().max(1.0);
+    let attention_us = library_latency_us(
+        Library::FlashInfer,
+        &Workload::new(attn_shape.flops(), attn_shape.bytes(), DType::F16),
+        arch,
+    );
+    let attention_ms = attention_us * attn_layers / 1000.0;
+
+    // ----- FFN / MoE -------------------------------------------------------
+    let ffn_us = match model.kind {
+        ModelKind::MoeAwq | ModelKind::Hybrid if model.experts > 0 => {
+            let shape = MoeShape {
+                tokens: batch,
+                hidden: model.hidden,
+                intermediate: (model.intermediate / tp).max(256),
+                experts: model.experts,
+                top_k: 8.min(model.experts),
+            };
+            let config = MoeConfig::default();
+            match backend {
+                KernelBackend::Hexcute => {
+                    let program = mixed_type_moe(shape, config, MoeDataflow::Efficient)
+                        .expect("MoE kernel construction");
+                    compiler.compile(&program).expect("MoE compilation").latency_us()
+                }
+                KernelBackend::Baseline => {
+                    let program = triton_moe_program(shape, config).expect("Triton MoE construction");
+                    triton_latency_us(&program, arch).expect("Triton MoE compilation").latency_us
+                }
+                KernelBackend::MarlinNew => marlin_new_moe_latency_us(&shape, arch),
+            }
+        }
+        _ => {
+            // Dense FFN: two blockwise FP8 GEMMs per layer.
+            let shape = GemmShape::new(batch.max(16), (model.intermediate / tp).max(256), model.hidden);
+            match backend {
+                KernelBackend::Hexcute | KernelBackend::MarlinNew => {
+                    let program = fp8_blockwise_gemm(shape, GemmConfig::default())
+                        .expect("FP8 GEMM construction");
+                    2.0 * compiler.compile(&program).expect("FP8 GEMM compilation").latency_us()
+                }
+                KernelBackend::Baseline => {
+                    2.0 * library_latency_us(
+                        Library::CutlassFp8,
+                        &Workload::new(shape.flops(), shape.bytes(8, 8, 16), DType::F8E4M3),
+                        arch,
+                    )
+                }
+            }
+        }
+    };
+    let moe_layers = match model.kind {
+        ModelKind::Hybrid => model.layers as f64 * 0.5,
+        _ => model.layers as f64,
+    };
+    let ffn_ms = ffn_us * moe_layers / 1000.0;
+
+    // ----- Mamba scan (hybrid models only) ---------------------------------
+    let mamba_layers = (model.layers as f64 * model.mamba_fraction).round();
+    let mamba_ms = if mamba_layers > 0.0 {
+        let shape = ScanShape::new(batch, model.hidden / tp, model.mamba_state, seq_len.max(64));
+        let us = match backend {
+            KernelBackend::Hexcute | KernelBackend::MarlinNew => {
+                let program = selective_scan(shape, ScanConfig::default()).expect("scan construction");
+                compiler.compile(&program).expect("scan compilation").latency_us()
+            }
+            KernelBackend::Baseline => library_latency_us(
+                Library::MambaLibrary,
+                &Workload::new(shape.flops(), shape.bytes(), DType::F16),
+                arch,
+            ),
+        };
+        us * mamba_layers / 1000.0
+    } else {
+        0.0
+    };
+
+    let total_ms = attention_ms + ffn_ms + mamba_ms;
+    DecodeReport { model: model.name.clone(), backend, attention_ms, ffn_ms, mamba_ms, total_ms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hexcute_speeds_up_deepseek_moe_decoding() {
+        let arch = GpuArch::h100();
+        let model = ModelConfig::deepseek_r1_awq();
+        let baseline = decode_latency_ms(&model, KernelBackend::Baseline, 8, 2048, &arch);
+        let hexcute = decode_latency_ms(&model, KernelBackend::Hexcute, 8, 2048, &arch);
+        let speedup = baseline.total_ms / hexcute.total_ms;
+        assert!(speedup > 1.3, "expected an end-to-end speedup, got {speedup:.2}x");
+        // The win comes from the MoE layers, not from attention.
+        assert!(baseline.ffn_ms > hexcute.ffn_ms);
+        assert!((baseline.attention_ms - hexcute.attention_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hexcute_speeds_up_the_mamba_model() {
+        let arch = GpuArch::h100();
+        let model = ModelConfig::jamba_mini();
+        let baseline = decode_latency_ms(&model, KernelBackend::Baseline, 16, 4096, &arch);
+        let hexcute = decode_latency_ms(&model, KernelBackend::Hexcute, 16, 4096, &arch);
+        assert!(baseline.mamba_ms > hexcute.mamba_ms * 1.5);
+        assert!(baseline.total_ms > hexcute.total_ms);
+    }
+
+    #[test]
+    fn dense_fp8_model_gains_are_modest() {
+        let arch = GpuArch::h100();
+        let model = ModelConfig::qwen3_32b();
+        let baseline = decode_latency_ms(&model, KernelBackend::Baseline, 32, 2048, &arch);
+        let hexcute = decode_latency_ms(&model, KernelBackend::Hexcute, 32, 2048, &arch);
+        let speedup = baseline.total_ms / hexcute.total_ms;
+        assert!(speedup > 0.85 && speedup < 1.6, "speedup {speedup:.2}x out of the expected range");
+    }
+
+    #[test]
+    fn model_configs_are_distinct() {
+        let configs = [
+            ModelConfig::deepseek_r1_awq(),
+            ModelConfig::jamba_mini(),
+            ModelConfig::qwen3_32b(),
+        ];
+        assert_eq!(configs.iter().map(|c| c.name.clone()).collect::<std::collections::HashSet<_>>().len(), 3);
+        assert_eq!(configs[0].kind, ModelKind::MoeAwq);
+        assert_eq!(configs[1].kind, ModelKind::Hybrid);
+        assert_eq!(configs[2].kind, ModelKind::DenseFp8);
+    }
+}

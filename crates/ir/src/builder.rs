@@ -1,0 +1,374 @@
+//! The kernel builder: Hexcute's embedded DSL for constructing tile-level
+//! programs (the Rust analogue of the Python-embedded DSL of Fig. 6(b) /
+//! Fig. 15 of the paper).
+
+use hexcute_arch::{DType, MemSpace};
+use hexcute_layout::Layout;
+
+use crate::error::Result;
+use crate::op::{ElementwiseOp, Op, OpId, OpKind, ReduceOp};
+use crate::program::{Program, ScheduleAnnotations};
+use crate::tensor::{TensorDecl, TensorId};
+
+/// Builds a [`Program`] with the tile-level primitives of Table I.
+///
+/// # Examples
+///
+/// A miniature GEMM kernel (compare Fig. 15 of the paper):
+///
+/// ```
+/// use hexcute_arch::DType;
+/// use hexcute_ir::KernelBuilder;
+/// use hexcute_layout::Layout;
+///
+/// let mut kb = KernelBuilder::new("tiny_gemm", 128);
+/// let ga = kb.global_view("a", DType::F16, Layout::row_major(&[64, 64]), &[64, 64]);
+/// let gb = kb.global_view("b", DType::F16, Layout::row_major(&[64, 64]), &[64, 64]);
+/// let gc = kb.global_view("c", DType::F16, Layout::row_major(&[64, 64]), &[64, 64]);
+/// let ra = kb.register_tensor("ra", DType::F16, &[64, 64]);
+/// let rb = kb.register_tensor("rb", DType::F16, &[64, 64]);
+/// let rc = kb.register_tensor("rc", DType::F32, &[64, 64]);
+/// kb.fill(rc, 0.0);
+/// kb.copy(ga, ra);
+/// kb.copy(gb, rb);
+/// kb.gemm(rc, ra, rb);
+/// let rc16 = kb.cast(rc, DType::F16);
+/// kb.copy(rc16, gc);
+/// let program = kb.build()?;
+/// assert!(program.has_gemm());
+/// # Ok::<(), hexcute_ir::IrError>(())
+/// ```
+#[derive(Debug)]
+pub struct KernelBuilder {
+    name: String,
+    threads_per_block: usize,
+    grid_blocks: usize,
+    main_loop_trip_count: usize,
+    in_loop: bool,
+    schedule: ScheduleAnnotations,
+    tensors: Vec<TensorDecl>,
+    ops: Vec<Op>,
+}
+
+impl KernelBuilder {
+    /// Creates a builder for a kernel executed by `threads_per_block`
+    /// threads per thread block.
+    pub fn new(name: impl Into<String>, threads_per_block: usize) -> Self {
+        KernelBuilder {
+            name: name.into(),
+            threads_per_block,
+            grid_blocks: 1,
+            main_loop_trip_count: 1,
+            in_loop: false,
+            schedule: ScheduleAnnotations::default(),
+            tensors: Vec::new(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Sets the number of thread blocks launched for the modelled problem.
+    pub fn set_grid_blocks(&mut self, blocks: usize) -> &mut Self {
+        self.grid_blocks = blocks.max(1);
+        self
+    }
+
+    /// Sets the software-pipelining depth of the main loop.
+    pub fn set_pipeline_stages(&mut self, stages: usize) -> &mut Self {
+        self.schedule.pipeline_stages = stages.max(1);
+        self
+    }
+
+    /// Enables producer/consumer warp specialization.
+    pub fn set_warp_specialized(&mut self, enabled: bool) -> &mut Self {
+        self.schedule.warp_specialized = enabled;
+        self
+    }
+
+    /// Controls whether all `gemm` operations are annotated with a single
+    /// consistent thread arrangement (default: true).
+    pub fn set_consistent_gemm_arrangement(&mut self, enabled: bool) -> &mut Self {
+        self.schedule.consistent_gemm_arrangement = enabled;
+        self
+    }
+
+    fn add_tensor(
+        &mut self,
+        name: impl Into<String>,
+        dtype: DType,
+        space: MemSpace,
+        shape: &[usize],
+        layout: Option<Layout>,
+    ) -> TensorId {
+        let id = TensorId(self.tensors.len());
+        self.tensors.push(TensorDecl {
+            id,
+            name: name.into(),
+            dtype,
+            space,
+            shape: shape.to_vec(),
+            global_layout: layout,
+        });
+        id
+    }
+
+    /// `global_view(buffer, layout)`: views a global-memory buffer as a
+    /// tensor with a user-specified layout.
+    pub fn global_view(
+        &mut self,
+        name: impl Into<String>,
+        dtype: DType,
+        layout: Layout,
+        shape: &[usize],
+    ) -> TensorId {
+        self.add_tensor(name, dtype, MemSpace::Global, shape, Some(layout))
+    }
+
+    /// `register_tensor(dtype, shape)`: a tile distributed across the thread
+    /// block's register files; its thread-value layout is synthesized.
+    pub fn register_tensor(&mut self, name: impl Into<String>, dtype: DType, shape: &[usize]) -> TensorId {
+        self.add_tensor(name, dtype, MemSpace::Register, shape, None)
+    }
+
+    /// `shared_tensor(dtype, shape)`: a tile in shared memory; its memory
+    /// layout (and swizzle) is synthesized.
+    pub fn shared_tensor(&mut self, name: impl Into<String>, dtype: DType, shape: &[usize]) -> TensorId {
+        self.add_tensor(name, dtype, MemSpace::Shared, shape, None)
+    }
+
+    fn add_op(&mut self, kind: OpKind) -> OpId {
+        let id = OpId(self.ops.len());
+        self.ops.push(Op { id, kind, in_main_loop: self.in_loop });
+        id
+    }
+
+    /// Marks the start of the kernel's main loop (e.g. over K tiles); the
+    /// operations added until [`KernelBuilder::end_loop`] execute
+    /// `trip_count` times.
+    pub fn begin_loop(&mut self, trip_count: usize) -> &mut Self {
+        self.in_loop = true;
+        self.main_loop_trip_count = trip_count.max(1);
+        self
+    }
+
+    /// Marks the end of the kernel's main loop.
+    pub fn end_loop(&mut self) -> &mut Self {
+        self.in_loop = false;
+        self
+    }
+
+    /// `copy(src, dst)`.
+    pub fn copy(&mut self, src: TensorId, dst: TensorId) -> OpId {
+        self.add_op(OpKind::Copy { src, dst })
+    }
+
+    /// `gemm(c, a, b)`: `c += a · bᵀ`.
+    pub fn gemm(&mut self, c: TensorId, a: TensorId, b: TensorId) -> OpId {
+        self.add_op(OpKind::Gemm { c, a, b })
+    }
+
+    /// `cast(src, dtype)`: creates the destination tensor and the cast
+    /// operation, returning the new tensor.
+    pub fn cast(&mut self, src: TensorId, dtype: DType) -> TensorId {
+        let src_decl = self.tensors[src.0].clone();
+        let dst = self.add_tensor(
+            format!("{}_{}", src_decl.name, dtype),
+            dtype,
+            MemSpace::Register,
+            &src_decl.shape,
+            None,
+        );
+        self.add_op(OpKind::Cast { src, dst });
+        dst
+    }
+
+    /// `rearrange(src)`: redistributes a register tensor across threads via
+    /// shared memory, returning the redistributed tensor.
+    pub fn rearrange(&mut self, src: TensorId) -> TensorId {
+        let src_decl = self.tensors[src.0].clone();
+        let dst = self.add_tensor(
+            format!("{}_rearranged", src_decl.name),
+            src_decl.dtype,
+            MemSpace::Register,
+            &src_decl.shape,
+            None,
+        );
+        self.add_op(OpKind::Rearrange { src, dst });
+        dst
+    }
+
+    /// `elementwise(op, inputs...)`: creates the output tensor (same shape
+    /// and dtype as the first input) and the operation.
+    pub fn elementwise(&mut self, op: ElementwiseOp, inputs: &[TensorId]) -> TensorId {
+        let first = self.tensors[inputs[0].0].clone();
+        let output = self.add_tensor(
+            format!("{}_{:?}", first.name, op).to_lowercase(),
+            first.dtype,
+            MemSpace::Register,
+            &first.shape,
+            None,
+        );
+        self.add_op(OpKind::Elementwise { inputs: inputs.to_vec(), output, op });
+        output
+    }
+
+    /// Like [`KernelBuilder::elementwise`] but writes into an existing
+    /// destination tensor.
+    pub fn elementwise_into(&mut self, op: ElementwiseOp, inputs: &[TensorId], output: TensorId) -> OpId {
+        self.add_op(OpKind::Elementwise { inputs: inputs.to_vec(), output, op })
+    }
+
+    /// `reduce(src, dim, op)`: creates the reduced output tensor (dimension
+    /// `dim` collapsed to 1) and the operation.
+    pub fn reduce(&mut self, src: TensorId, dim: usize, op: ReduceOp) -> TensorId {
+        let src_decl = self.tensors[src.0].clone();
+        let mut shape = src_decl.shape.clone();
+        if dim < shape.len() {
+            shape[dim] = 1;
+        }
+        let dst = self.add_tensor(
+            format!("{}_reduce{}", src_decl.name, dim),
+            src_decl.dtype,
+            MemSpace::Register,
+            &shape,
+            None,
+        );
+        self.add_op(OpKind::Reduce { src, dst, dim, op });
+        dst
+    }
+
+    /// `fill(dst, value)`: initializes a register tensor with a constant.
+    pub fn fill(&mut self, dst: TensorId, value: f64) -> OpId {
+        self.add_op(OpKind::Fill { dst, value })
+    }
+
+    /// Finalizes and verifies the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first verification failure (see [`Program::verify`]).
+    pub fn build(self) -> Result<Program> {
+        let program = Program::from_parts(
+            self.name,
+            self.threads_per_block,
+            self.grid_blocks,
+            self.main_loop_trip_count,
+            self.schedule,
+            self.tensors,
+            self.ops,
+        );
+        program.verify()?;
+        Ok(program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::IrError;
+
+    #[test]
+    fn builds_the_fig15_gemm_skeleton() {
+        // A down-scaled version of the kernel of Fig. 15.
+        let (bm, bn, bk, k) = (64, 64, 32, 256);
+        let mut kb = KernelBuilder::new("fig15_gemm", 128);
+        kb.set_grid_blocks(16).set_pipeline_stages(2);
+        let ga = kb.global_view("a", DType::F16, Layout::from_flat(&[bm, bk, k / bk], &[k, 1, bk]), &[bm, bk, k / bk]);
+        let gb = kb.global_view("b", DType::F16, Layout::from_flat(&[bn, bk, k / bk], &[k, 1, bk]), &[bn, bk, k / bk]);
+        let gc = kb.global_view("c", DType::F16, Layout::row_major(&[bm, bn]), &[bm, bn]);
+        let ra = kb.register_tensor("ra", DType::F16, &[bm, bk]);
+        let rb = kb.register_tensor("rb", DType::F16, &[bn, bk]);
+        let rc = kb.register_tensor("rc", DType::F32, &[bm, bn]);
+        kb.fill(rc, 0.0);
+        kb.begin_loop(k / bk);
+        kb.copy(ga, ra);
+        kb.copy(gb, rb);
+        kb.gemm(rc, ra, rb);
+        kb.end_loop();
+        let rc16 = kb.cast(rc, DType::F16);
+        let sc = kb.shared_tensor("sc", DType::F16, &[bm, bn]);
+        kb.copy(rc16, sc);
+        let rd = kb.register_tensor("rd", DType::F16, &[bm, bn]);
+        kb.copy(sc, rd);
+        kb.copy(rd, gc);
+        let p = kb.build().unwrap();
+
+        assert_eq!(p.main_loop_trip_count, 8);
+        assert_eq!(p.grid_blocks, 16);
+        assert_eq!(p.schedule.pipeline_stages, 2);
+        let loop_ops: Vec<_> = p.ops().iter().filter(|o| o.in_main_loop).collect();
+        assert_eq!(loop_ops.len(), 3);
+        // Components: (fill, copies into ra/rb, gemm, cast, store to sc) are
+        // linked through registers; (sc→rd, rd→gc) is a separate component.
+        assert_eq!(p.register_connected_components().len(), 2);
+    }
+
+    #[test]
+    fn cast_and_reduce_create_tensors() {
+        let mut kb = KernelBuilder::new("k", 32);
+        let x = kb.register_tensor("x", DType::F32, &[16, 64]);
+        let y = kb.cast(x, DType::F16);
+        let z = kb.reduce(x, 1, ReduceOp::Sum);
+        let p = kb.build().unwrap();
+        assert_eq!(p.tensor(y).dtype, DType::F16);
+        assert_eq!(p.tensor(y).shape, vec![16, 64]);
+        assert_eq!(p.tensor(z).shape, vec![16, 1]);
+    }
+
+    #[test]
+    fn elementwise_builder_matches_arity() {
+        let mut kb = KernelBuilder::new("k", 32);
+        let a = kb.register_tensor("a", DType::F32, &[8, 8]);
+        let b = kb.register_tensor("b", DType::F32, &[8, 8]);
+        let c = kb.elementwise(ElementwiseOp::Add, &[a, b]);
+        let _d = kb.elementwise(ElementwiseOp::Exp, &[c]);
+        assert!(kb.build().is_ok());
+
+        let mut bad = KernelBuilder::new("k", 32);
+        let a = bad.register_tensor("a", DType::F32, &[8, 8]);
+        bad.elementwise(ElementwiseOp::Add, &[a]);
+        assert!(matches!(bad.build(), Err(IrError::InvalidOperands { .. })));
+    }
+
+    #[test]
+    fn rejects_global_tensor_in_gemm() {
+        let mut kb = KernelBuilder::new("k", 32);
+        let a = kb.global_view("a", DType::F16, Layout::row_major(&[16, 16]), &[16, 16]);
+        let b = kb.register_tensor("b", DType::F16, &[8, 16]);
+        let c = kb.register_tensor("c", DType::F32, &[16, 8]);
+        kb.gemm(c, a, b);
+        assert!(matches!(kb.build(), Err(IrError::InvalidOperands { .. })));
+    }
+
+    #[test]
+    fn rejects_mismatched_gemm_shapes() {
+        let mut kb = KernelBuilder::new("k", 32);
+        let a = kb.register_tensor("a", DType::F16, &[16, 16]);
+        let b = kb.register_tensor("b", DType::F16, &[8, 32]);
+        let c = kb.register_tensor("c", DType::F32, &[16, 8]);
+        kb.gemm(c, a, b);
+        let err = kb.build().unwrap_err();
+        assert!(err.to_string().contains("K extents differ"));
+    }
+
+    #[test]
+    fn rejects_copy_dtype_conversion() {
+        let mut kb = KernelBuilder::new("k", 32);
+        let a = kb.register_tensor("a", DType::F16, &[16, 16]);
+        let b = kb.register_tensor("b", DType::F32, &[16, 16]);
+        kb.copy(a, b);
+        assert!(kb.build().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_thread_counts() {
+        let kb = KernelBuilder::new("k", 48);
+        assert!(matches!(kb.build(), Err(IrError::InvalidProgram(_))));
+    }
+
+    #[test]
+    fn rejects_zero_sized_tensors() {
+        let mut kb = KernelBuilder::new("k", 32);
+        kb.register_tensor("empty", DType::F16, &[0, 4]);
+        assert!(matches!(kb.build(), Err(IrError::InvalidTensor { .. })));
+    }
+}

@@ -1,0 +1,43 @@
+//! Error type for IR construction and verification.
+
+use std::fmt;
+
+/// Errors produced while building or verifying a tile-level program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrError {
+    /// An operation references a tensor that does not exist in the program.
+    UnknownTensor(String),
+    /// The operands of an operation are inconsistent (shape, dtype or memory
+    /// space mismatch).
+    InvalidOperands {
+        /// Operation mnemonic.
+        op: String,
+        /// Explanation of the inconsistency.
+        reason: String,
+    },
+    /// A tensor declaration is malformed.
+    InvalidTensor {
+        /// Tensor name.
+        tensor: String,
+        /// Explanation.
+        reason: String,
+    },
+    /// The program structure is malformed (e.g. unterminated loop).
+    InvalidProgram(String),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::UnknownTensor(name) => write!(f, "unknown tensor {name}"),
+            IrError::InvalidOperands { op, reason } => write!(f, "invalid operands for {op}: {reason}"),
+            IrError::InvalidTensor { tensor, reason } => write!(f, "invalid tensor {tensor}: {reason}"),
+            IrError::InvalidProgram(reason) => write!(f, "invalid program: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, IrError>;

@@ -1,0 +1,46 @@
+//! # hexcute-ir
+//!
+//! The Hexcute tile-level intermediate representation: statically shaped
+//! tensor tiles placed explicitly in global, shared or register memory, and
+//! the tile-level operations of Table I of the paper (`copy`, `gemm`, `cast`,
+//! `rearrange`, `elementwise`, `reduce`).
+//!
+//! Programs are constructed through the [`KernelBuilder`] DSL — the Rust
+//! analogue of Hexcute's Python-embedded DSL — and verified structurally
+//! before layout synthesis.
+//!
+//! ```
+//! use hexcute_arch::DType;
+//! use hexcute_ir::KernelBuilder;
+//! use hexcute_layout::Layout;
+//!
+//! let mut kb = KernelBuilder::new("copy_kernel", 128);
+//! let src = kb.global_view("src", DType::F16, Layout::row_major(&[64, 64]), &[64, 64]);
+//! let dst = kb.global_view("dst", DType::F16, Layout::row_major(&[64, 64]), &[64, 64]);
+//! let tile = kb.register_tensor("tile", DType::F16, &[64, 64]);
+//! kb.copy(src, tile);
+//! kb.copy(tile, dst);
+//! let program = kb.build()?;
+//! assert_eq!(program.ops().len(), 2);
+//! # Ok::<(), hexcute_ir::IrError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod builder;
+mod error;
+mod op;
+mod program;
+mod tensor;
+
+pub use builder::KernelBuilder;
+pub use error::{IrError, Result};
+pub use op::{ElementwiseOp, Op, OpId, OpKind, ReduceOp};
+pub use program::{Program, ScheduleAnnotations};
+pub use tensor::{TensorDecl, TensorId};
+
+// Re-export the types that appear throughout the IR's public API so that
+// downstream crates can depend on `hexcute-ir` alone for most tasks.
+pub use hexcute_arch::{DType, MemSpace};
+pub use hexcute_layout::Layout;

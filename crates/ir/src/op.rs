@@ -1,0 +1,277 @@
+//! Tile-level operations (Table I of the paper).
+
+use std::fmt;
+
+use crate::tensor::TensorId;
+
+/// An opaque identifier for an operation within a [`crate::Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub(crate) usize);
+
+impl OpId {
+    /// The raw index of the operation within its program.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// Scalar elementwise operators supported by `elementwise`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ElementwiseOp {
+    /// `out = a + b`
+    Add,
+    /// `out = a - b`
+    Sub,
+    /// `out = a * b`
+    Mul,
+    /// `out = a / b`
+    Div,
+    /// `out = max(a, b)`
+    Max,
+    /// `out = min(a, b)`
+    Min,
+    /// `out = exp(a)`
+    Exp,
+    /// `out = a + constant`
+    AddScalar(f64),
+    /// `out = a * constant`
+    MulScalar(f64),
+    /// `out = max(a, 0)`
+    Relu,
+    /// `out = a * sigmoid(a)` (SiLU, used by MoE gates and Mamba)
+    Silu,
+    /// `out = sigmoid(a)`
+    Sigmoid,
+    /// Fused multiply-add over three inputs: `out = a * b + c`
+    Fma,
+    /// Identity (used to materialize a copy within registers).
+    Identity,
+}
+
+impl ElementwiseOp {
+    /// Number of input tensors the operator consumes.
+    pub fn arity(&self) -> usize {
+        match self {
+            ElementwiseOp::Add
+            | ElementwiseOp::Sub
+            | ElementwiseOp::Mul
+            | ElementwiseOp::Div
+            | ElementwiseOp::Max
+            | ElementwiseOp::Min => 2,
+            ElementwiseOp::Fma => 3,
+            _ => 1,
+        }
+    }
+}
+
+/// Reduction operators supported by `reduce`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    /// Sum reduction.
+    Sum,
+    /// Maximum reduction.
+    Max,
+    /// Minimum reduction.
+    Min,
+}
+
+/// The kind of a tile-level operation, mirroring Table I of the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpKind {
+    /// `copy(src, dst)`: move a tile between memory spaces.
+    Copy {
+        /// Source tensor.
+        src: TensorId,
+        /// Destination tensor.
+        dst: TensorId,
+    },
+    /// `gemm(c, a, b)`: `c += a · bᵀ`, with `a` of shape `(M, K)`, `b` of
+    /// shape `(N, K)` and `c` of shape `(M, N)`.
+    Gemm {
+        /// Accumulator tensor (read-modify-write).
+        c: TensorId,
+        /// Left operand.
+        a: TensorId,
+        /// Right operand (stored `N × K`).
+        b: TensorId,
+    },
+    /// `cast(src, dst)`: element type conversion.
+    Cast {
+        /// Source tensor.
+        src: TensorId,
+        /// Destination tensor (may have a different dtype).
+        dst: TensorId,
+    },
+    /// `rearrange(src, dst)`: redistribute a register tensor across threads
+    /// (through shared memory); inserted by the compiler to resolve layout
+    /// conflicts or requested explicitly.
+    Rearrange {
+        /// Source register tensor.
+        src: TensorId,
+        /// Destination register tensor.
+        dst: TensorId,
+    },
+    /// `elementwise(inputs..) -> output`.
+    Elementwise {
+        /// Input tensors (1, 2 or 3 depending on the operator).
+        inputs: Vec<TensorId>,
+        /// Output tensor.
+        output: TensorId,
+        /// The scalar operator applied element by element.
+        op: ElementwiseOp,
+    },
+    /// `reduce(src, dim) -> dst` with the given reduction operator.
+    Reduce {
+        /// Input tensor.
+        src: TensorId,
+        /// Output tensor (the reduced dimension collapsed to 1).
+        dst: TensorId,
+        /// The dimension being reduced.
+        dim: usize,
+        /// The reduction operator.
+        op: ReduceOp,
+    },
+    /// `fill(dst, value)`: initialize a register tensor with a constant
+    /// (e.g. zeroing an accumulator).
+    Fill {
+        /// Destination tensor.
+        dst: TensorId,
+        /// The fill value.
+        value: f64,
+    },
+}
+
+/// A tile-level operation together with scheduling metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Op {
+    /// Identifier within the program.
+    pub id: OpId,
+    /// The operation itself.
+    pub kind: OpKind,
+    /// Whether the operation sits inside the program's main loop.
+    pub in_main_loop: bool,
+}
+
+impl Op {
+    /// Tensors read by the operation.
+    pub fn inputs(&self) -> Vec<TensorId> {
+        match &self.kind {
+            OpKind::Copy { src, .. } => vec![*src],
+            OpKind::Gemm { c, a, b } => vec![*a, *b, *c],
+            OpKind::Cast { src, .. } => vec![*src],
+            OpKind::Rearrange { src, .. } => vec![*src],
+            OpKind::Elementwise { inputs, .. } => inputs.clone(),
+            OpKind::Reduce { src, .. } => vec![*src],
+            OpKind::Fill { .. } => vec![],
+        }
+    }
+
+    /// Tensors written by the operation.
+    pub fn outputs(&self) -> Vec<TensorId> {
+        match &self.kind {
+            OpKind::Copy { dst, .. } => vec![*dst],
+            OpKind::Gemm { c, .. } => vec![*c],
+            OpKind::Cast { dst, .. } => vec![*dst],
+            OpKind::Rearrange { dst, .. } => vec![*dst],
+            OpKind::Elementwise { output, .. } => vec![*output],
+            OpKind::Reduce { dst, .. } => vec![*dst],
+            OpKind::Fill { dst, .. } => vec![*dst],
+        }
+    }
+
+    /// All tensors touched by the operation.
+    pub fn operands(&self) -> Vec<TensorId> {
+        let mut all = self.inputs();
+        for out in self.outputs() {
+            if !all.contains(&out) {
+                all.push(out);
+            }
+        }
+        all
+    }
+
+    /// A short mnemonic for the operation kind.
+    pub fn mnemonic(&self) -> &'static str {
+        match self.kind {
+            OpKind::Copy { .. } => "copy",
+            OpKind::Gemm { .. } => "gemm",
+            OpKind::Cast { .. } => "cast",
+            OpKind::Rearrange { .. } => "rearrange",
+            OpKind::Elementwise { .. } => "elementwise",
+            OpKind::Reduce { .. } => "reduce",
+            OpKind::Fill { .. } => "fill",
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}(", self.id, self.mnemonic())?;
+        let operands = self.operands();
+        for (i, t) in operands.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")?;
+        if self.in_main_loop {
+            write!(f, " [loop]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elementwise_arity() {
+        assert_eq!(ElementwiseOp::Add.arity(), 2);
+        assert_eq!(ElementwiseOp::Exp.arity(), 1);
+        assert_eq!(ElementwiseOp::Fma.arity(), 3);
+        assert_eq!(ElementwiseOp::MulScalar(2.0).arity(), 1);
+    }
+
+    #[test]
+    fn gemm_reads_its_accumulator() {
+        let op = Op {
+            id: OpId(0),
+            kind: OpKind::Gemm { c: TensorId(2), a: TensorId(0), b: TensorId(1) },
+            in_main_loop: true,
+        };
+        assert_eq!(op.inputs(), vec![TensorId(0), TensorId(1), TensorId(2)]);
+        assert_eq!(op.outputs(), vec![TensorId(2)]);
+        assert_eq!(op.operands().len(), 3);
+        assert_eq!(op.mnemonic(), "gemm");
+        assert!(op.to_string().contains("[loop]"));
+    }
+
+    #[test]
+    fn fill_has_no_inputs() {
+        let op = Op {
+            id: OpId(1),
+            kind: OpKind::Fill { dst: TensorId(3), value: 0.0 },
+            in_main_loop: false,
+        };
+        assert!(op.inputs().is_empty());
+        assert_eq!(op.outputs(), vec![TensorId(3)]);
+    }
+
+    #[test]
+    fn copy_display() {
+        let op = Op {
+            id: OpId(7),
+            kind: OpKind::Copy { src: TensorId(1), dst: TensorId(2) },
+            in_main_loop: false,
+        };
+        assert_eq!(op.to_string(), "op7: copy(%t1, %t2)");
+    }
+}

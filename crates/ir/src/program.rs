@@ -1,0 +1,534 @@
+//! The tile-level program: a DAG of operations over declared tensors, plus
+//! launch configuration and the explicit scheduling knobs (pipelining, warp
+//! specialization) that Hexcute exposes to the programmer.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use hexcute_arch::{DType, MemSpace};
+
+use crate::error::{IrError, Result};
+use crate::op::{Op, OpId, OpKind};
+use crate::tensor::{TensorDecl, TensorId};
+
+/// Explicit scheduling annotations: the optimizations Hexcute lets kernel
+/// authors control directly (Section III, "Explicit Tile-level Programming
+/// Model").
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleAnnotations {
+    /// Software-pipelining depth of the main loop (1 = no pipelining).
+    pub pipeline_stages: usize,
+    /// Whether the kernel uses producer/consumer warp specialization.
+    pub warp_specialized: bool,
+    /// Whether the programmer annotated a single consistent thread
+    /// arrangement for all `gemm` operations (avoids `rearrange` insertion,
+    /// Section IV-B "Conflict Handling").
+    pub consistent_gemm_arrangement: bool,
+}
+
+impl Default for ScheduleAnnotations {
+    fn default() -> Self {
+        ScheduleAnnotations {
+            pipeline_stages: 1,
+            warp_specialized: false,
+            consistent_gemm_arrangement: true,
+        }
+    }
+}
+
+/// A complete tile-level kernel program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Kernel name.
+    pub name: String,
+    /// Threads per thread block.
+    pub threads_per_block: usize,
+    /// Number of thread blocks launched for the problem instance being
+    /// modelled.
+    pub grid_blocks: usize,
+    /// Trip count of the main loop (1 when the kernel has no loop).
+    pub main_loop_trip_count: usize,
+    /// Scheduling annotations.
+    pub schedule: ScheduleAnnotations,
+    tensors: Vec<TensorDecl>,
+    ops: Vec<Op>,
+}
+
+impl Program {
+    pub(crate) fn from_parts(
+        name: String,
+        threads_per_block: usize,
+        grid_blocks: usize,
+        main_loop_trip_count: usize,
+        schedule: ScheduleAnnotations,
+        tensors: Vec<TensorDecl>,
+        ops: Vec<Op>,
+    ) -> Self {
+        Program {
+            name,
+            threads_per_block,
+            grid_blocks,
+            main_loop_trip_count,
+            schedule,
+            tensors,
+            ops,
+        }
+    }
+
+    /// Number of warps per thread block.
+    pub fn num_warps(&self) -> usize {
+        self.threads_per_block / 32
+    }
+
+    /// All tensor declarations.
+    pub fn tensors(&self) -> &[TensorDecl] {
+        &self.tensors
+    }
+
+    /// All operations in program order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Looks up a tensor declaration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this program.
+    pub fn tensor(&self, id: TensorId) -> &TensorDecl {
+        &self.tensors[id.0]
+    }
+
+    /// Looks up an operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this program.
+    pub fn op(&self, id: OpId) -> &Op {
+        &self.ops[id.0]
+    }
+
+    /// Finds a tensor by name.
+    pub fn tensor_by_name(&self, name: &str) -> Option<&TensorDecl> {
+        self.tensors.iter().find(|t| t.name == name)
+    }
+
+    /// Operations that write the given tensor.
+    pub fn producers_of(&self, tensor: TensorId) -> Vec<OpId> {
+        self.ops
+            .iter()
+            .filter(|op| op.outputs().contains(&tensor))
+            .map(|op| op.id)
+            .collect()
+    }
+
+    /// Operations that read the given tensor.
+    pub fn consumers_of(&self, tensor: TensorId) -> Vec<OpId> {
+        self.ops
+            .iter()
+            .filter(|op| op.inputs().contains(&tensor))
+            .map(|op| op.id)
+            .collect()
+    }
+
+    /// All register-space tensors.
+    pub fn register_tensors(&self) -> Vec<TensorId> {
+        self.tensors
+            .iter()
+            .filter(|t| t.space == MemSpace::Register)
+            .map(|t| t.id)
+            .collect()
+    }
+
+    /// All shared-memory tensors.
+    pub fn shared_tensors(&self) -> Vec<TensorId> {
+        self.tensors
+            .iter()
+            .filter(|t| t.space == MemSpace::Shared)
+            .map(|t| t.id)
+            .collect()
+    }
+
+    /// Total shared memory required by the program in bytes.
+    pub fn shared_memory_bytes(&self) -> usize {
+        self.tensors
+            .iter()
+            .filter(|t| t.space == MemSpace::Shared)
+            .map(|t| t.num_bytes())
+            .sum()
+    }
+
+    /// Whether the program contains at least one `gemm`.
+    pub fn has_gemm(&self) -> bool {
+        self.ops.iter().any(|op| matches!(op.kind, OpKind::Gemm { .. }))
+    }
+
+    /// Partitions the operations into connected components separated by
+    /// shared-memory and global-memory tensors (Algorithm 1, line 1): two
+    /// operations belong to the same component when they are connected
+    /// through a *register* tensor.
+    pub fn register_connected_components(&self) -> Vec<Vec<OpId>> {
+        let n = self.ops.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        // Union ops that share a register tensor.
+        let mut by_tensor: HashMap<TensorId, Vec<usize>> = HashMap::new();
+        for (i, op) in self.ops.iter().enumerate() {
+            for t in op.operands() {
+                if self.tensor(t).space == MemSpace::Register {
+                    by_tensor.entry(t).or_default().push(i);
+                }
+            }
+        }
+        for indices in by_tensor.values() {
+            for w in indices.windows(2) {
+                let a = find(&mut parent, w[0]);
+                let b = find(&mut parent, w[1]);
+                if a != b {
+                    parent[a] = b;
+                }
+            }
+        }
+        let mut groups: HashMap<usize, Vec<OpId>> = HashMap::new();
+        for i in 0..n {
+            let root = find(&mut parent, i);
+            groups.entry(root).or_default().push(OpId(i));
+        }
+        let mut components: Vec<Vec<OpId>> = groups.into_values().collect();
+        for c in &mut components {
+            c.sort();
+        }
+        components.sort_by_key(|c| c[0]);
+        components
+    }
+
+    /// Structural verification of the program (shapes, dtypes, memory spaces
+    /// and operand arities). Called by [`crate::KernelBuilder::build`].
+    pub fn verify(&self) -> Result<()> {
+        for t in &self.tensors {
+            if t.shape.is_empty() || t.shape.iter().any(|&s| s == 0) {
+                return Err(IrError::InvalidTensor {
+                    tensor: t.name.clone(),
+                    reason: "tensor shapes must be non-empty and positive".to_string(),
+                });
+            }
+            match t.space {
+                MemSpace::Global => {
+                    if t.global_layout.is_none() {
+                        return Err(IrError::InvalidTensor {
+                            tensor: t.name.clone(),
+                            reason: "global views must specify a layout".to_string(),
+                        });
+                    }
+                }
+                _ => {
+                    if t.global_layout.is_some() {
+                        return Err(IrError::InvalidTensor {
+                            tensor: t.name.clone(),
+                            reason: "only global views carry a user-specified layout".to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        if self.threads_per_block == 0 || self.threads_per_block % 32 != 0 {
+            return Err(IrError::InvalidProgram(format!(
+                "threads per block must be a positive multiple of 32, got {}",
+                self.threads_per_block
+            )));
+        }
+        for op in &self.ops {
+            for t in op.operands() {
+                if t.0 >= self.tensors.len() {
+                    return Err(IrError::UnknownTensor(t.to_string()));
+                }
+            }
+            self.verify_op(op)?;
+        }
+        Ok(())
+    }
+
+    fn verify_op(&self, op: &Op) -> Result<()> {
+        let invalid = |reason: String| {
+            Err(IrError::InvalidOperands { op: op.mnemonic().to_string(), reason })
+        };
+        match &op.kind {
+            OpKind::Copy { src, dst } => {
+                let s = self.tensor(*src);
+                let d = self.tensor(*dst);
+                if s.dtype != d.dtype {
+                    return invalid(format!(
+                        "copy does not convert dtypes ({} vs {}); use cast",
+                        s.dtype, d.dtype
+                    ));
+                }
+                if s.tile_elements_2d() != d.tile_elements_2d() {
+                    return invalid(format!(
+                        "copy tiles have different sizes ({:?} vs {:?})",
+                        s.shape, d.shape
+                    ));
+                }
+                if s.space == MemSpace::Global && d.space == MemSpace::Global {
+                    return invalid("copy between two global views is not a tile operation".to_string());
+                }
+                Ok(())
+            }
+            OpKind::Gemm { c, a, b } => {
+                let (ta, tb, tc) = (self.tensor(*a), self.tensor(*b), self.tensor(*c));
+                if tc.space != MemSpace::Register {
+                    return invalid("gemm accumulator must live in registers".to_string());
+                }
+                if ta.space == MemSpace::Global || tb.space == MemSpace::Global {
+                    return invalid("gemm operands must be staged in shared memory or registers".to_string());
+                }
+                if ta.dtype != tb.dtype {
+                    return invalid(format!("gemm operand dtypes differ ({} vs {})", ta.dtype, tb.dtype));
+                }
+                let (m, k) = (ta.shape[0], ta.shape[1]);
+                let (n, k2) = (tb.shape[0], tb.shape[1]);
+                if k != k2 {
+                    return invalid(format!("gemm K extents differ ({k} vs {k2})"));
+                }
+                if tc.shape[0] != m || tc.shape[1] != n {
+                    return invalid(format!(
+                        "gemm accumulator shape {:?} does not match ({m}, {n})",
+                        tc.shape
+                    ));
+                }
+                if !tc.dtype.is_float() && tc.dtype != DType::I32 {
+                    return invalid("gemm accumulator must be a float type or int32".to_string());
+                }
+                Ok(())
+            }
+            OpKind::Cast { src, dst } => {
+                let s = self.tensor(*src);
+                let d = self.tensor(*dst);
+                if s.space != MemSpace::Register || d.space != MemSpace::Register {
+                    return invalid("cast operates on register tensors".to_string());
+                }
+                if s.shape != d.shape {
+                    return invalid("cast preserves the tile shape".to_string());
+                }
+                Ok(())
+            }
+            OpKind::Rearrange { src, dst } => {
+                let s = self.tensor(*src);
+                let d = self.tensor(*dst);
+                if s.space != MemSpace::Register || d.space != MemSpace::Register {
+                    return invalid("rearrange operates on register tensors".to_string());
+                }
+                if s.shape != d.shape || s.dtype != d.dtype {
+                    return invalid("rearrange preserves shape and dtype".to_string());
+                }
+                Ok(())
+            }
+            OpKind::Elementwise { inputs, output, op: eop } => {
+                if inputs.len() != eop.arity() {
+                    return invalid(format!(
+                        "{:?} expects {} inputs, got {}",
+                        eop,
+                        eop.arity(),
+                        inputs.len()
+                    ));
+                }
+                let out = self.tensor(*output);
+                if out.space != MemSpace::Register {
+                    return invalid("elementwise outputs live in registers".to_string());
+                }
+                for &i in inputs {
+                    let t = self.tensor(i);
+                    if t.space != MemSpace::Register {
+                        return invalid("elementwise inputs live in registers".to_string());
+                    }
+                    // Inputs must match the output shape dimension by
+                    // dimension, or broadcast (extent 1) along a dimension.
+                    let compatible = t
+                        .tile_shape_2d()
+                        .iter()
+                        .zip(out.tile_shape_2d().iter())
+                        .all(|(&ts, &os)| ts == os || ts == 1)
+                        && t.rank() <= out.rank() + 1;
+                    if !compatible {
+                        return invalid(format!(
+                            "elementwise shapes are incompatible ({:?} vs {:?})",
+                            t.shape, out.shape
+                        ));
+                    }
+                }
+                Ok(())
+            }
+            OpKind::Reduce { src, dst, dim, .. } => {
+                let s = self.tensor(*src);
+                let d = self.tensor(*dst);
+                if *dim >= s.rank() {
+                    return invalid(format!("reduce dimension {dim} out of range for {:?}", s.shape));
+                }
+                let mut expect = s.shape.clone();
+                expect[*dim] = 1;
+                if d.shape != expect {
+                    return invalid(format!(
+                        "reduce output shape {:?} should be {:?}",
+                        d.shape, expect
+                    ));
+                }
+                Ok(())
+            }
+            OpKind::Fill { dst, .. } => {
+                let d = self.tensor(*dst);
+                if d.space != MemSpace::Register {
+                    return invalid("fill targets register tensors".to_string());
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Total floating-point operations performed by one thread block per
+    /// kernel execution (gemm contributions only), used for roofline
+    /// comparisons.
+    pub fn block_flops(&self) -> usize {
+        let mut flops = 0usize;
+        for op in &self.ops {
+            if let OpKind::Gemm { a, b, .. } = op.kind {
+                let ta = self.tensor(a);
+                let tb = self.tensor(b);
+                let m = ta.shape[0];
+                let k = ta.shape[1];
+                let n = tb.shape[0];
+                let reps = if op.in_main_loop { self.main_loop_trip_count } else { 1 };
+                flops += 2 * m * n * k * reps;
+            }
+        }
+        flops
+    }
+
+    /// Bytes moved between global memory and the chip by one thread block.
+    pub fn block_global_bytes(&self) -> usize {
+        let mut bytes = 0usize;
+        for op in &self.ops {
+            if let OpKind::Copy { src, dst } = op.kind {
+                let s = self.tensor(src);
+                let d = self.tensor(dst);
+                let reps = if op.in_main_loop { self.main_loop_trip_count } else { 1 };
+                if s.space == MemSpace::Global {
+                    bytes += s.dtype.bytes_for(d.tile_elements_2d()) * reps;
+                } else if d.space == MemSpace::Global {
+                    bytes += d.dtype.bytes_for(s.tile_elements_2d()) * reps;
+                }
+            }
+        }
+        bytes
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "kernel {} (threads={}, blocks={}, loop={}x, stages={}, warp_specialized={})",
+            self.name,
+            self.threads_per_block,
+            self.grid_blocks,
+            self.main_loop_trip_count,
+            self.schedule.pipeline_stages,
+            self.schedule.warp_specialized
+        )?;
+        for t in &self.tensors {
+            writeln!(f, "  {t}")?;
+        }
+        for op in &self.ops {
+            writeln!(f, "  {op}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use hexcute_layout::Layout;
+
+    fn simple_gemm() -> Program {
+        let mut kb = KernelBuilder::new("gemm", 128);
+        let ga = kb.global_view("a", DType::F16, Layout::row_major(&[64, 32]), &[64, 32]);
+        let gb = kb.global_view("b", DType::F16, Layout::row_major(&[64, 32]), &[64, 32]);
+        let gc = kb.global_view("c", DType::F16, Layout::row_major(&[64, 64]), &[64, 64]);
+        let ra = kb.register_tensor("ra", DType::F16, &[64, 32]);
+        let rb = kb.register_tensor("rb", DType::F16, &[64, 32]);
+        let rc = kb.register_tensor("rc", DType::F32, &[64, 64]);
+        kb.fill(rc, 0.0);
+        kb.copy(ga, ra);
+        kb.copy(gb, rb);
+        kb.gemm(rc, ra, rb);
+        let rc16 = kb.cast(rc, DType::F16);
+        kb.copy(rc16, gc);
+        kb.build().unwrap()
+    }
+
+    #[test]
+    fn def_use_chains() {
+        let p = simple_gemm();
+        let rc = p.tensor_by_name("rc").unwrap().id;
+        let producers = p.producers_of(rc);
+        assert_eq!(producers.len(), 2); // fill + gemm
+        let consumers = p.consumers_of(rc);
+        assert_eq!(consumers.len(), 2); // gemm reads it, cast reads it
+        assert!(p.has_gemm());
+        assert_eq!(p.num_warps(), 4);
+    }
+
+    #[test]
+    fn register_components_split_at_memory_boundaries() {
+        let mut kb = KernelBuilder::new("two_components", 128);
+        let g = kb.global_view("g", DType::F16, Layout::row_major(&[32, 32]), &[32, 32]);
+        let s = kb.shared_tensor("s", DType::F16, &[32, 32]);
+        let r1 = kb.register_tensor("r1", DType::F16, &[32, 32]);
+        let r2 = kb.register_tensor("r2", DType::F16, &[32, 32]);
+        kb.copy(g, r1);
+        kb.copy(r1, s);
+        kb.copy(s, r2);
+        let r3 = kb.cast(r2, DType::F32);
+        let _ = r3;
+        let p = kb.build().unwrap();
+        let components = p.register_connected_components();
+        // Component 1: g→r1, r1→s. Component 2: s→r2, cast.
+        assert_eq!(components.len(), 2);
+        assert_eq!(components[0].len(), 2);
+        assert_eq!(components[1].len(), 2);
+    }
+
+    #[test]
+    fn flops_and_bytes_accounting() {
+        let p = simple_gemm();
+        assert_eq!(p.block_flops(), 2 * 64 * 64 * 32);
+        // Loads a (64x32) + b (64x32) + stores c (64x64), all fp16.
+        assert_eq!(p.block_global_bytes(), (64 * 32 + 64 * 32 + 64 * 64) * 2);
+    }
+
+    #[test]
+    fn shared_memory_accounting() {
+        let mut kb = KernelBuilder::new("smem", 128);
+        let _sa = kb.shared_tensor("sa", DType::F16, &[128, 64]);
+        let _sb = kb.shared_tensor("sb", DType::I4, &[128, 64]);
+        let p = kb.build().unwrap();
+        assert_eq!(p.shared_memory_bytes(), 128 * 64 * 2 + 128 * 64 / 2);
+        assert_eq!(p.shared_tensors().len(), 2);
+        assert!(p.register_tensors().is_empty());
+    }
+
+    #[test]
+    fn display_lists_ops() {
+        let p = simple_gemm();
+        let s = p.to_string();
+        assert!(s.contains("kernel gemm"));
+        assert!(s.contains("gemm("));
+        assert!(s.contains("copy("));
+    }
+}

@@ -1,0 +1,127 @@
+//! Tensor declarations of the tile-level IR.
+
+use std::fmt;
+
+use hexcute_arch::{DType, MemSpace};
+use hexcute_layout::Layout;
+
+/// An opaque identifier for a tensor within a [`crate::Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TensorId(pub(crate) usize);
+
+impl TensorId {
+    /// The raw index of the tensor within its program.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for TensorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%t{}", self.0)
+    }
+}
+
+/// A tensor declaration: a statically shaped tile living in global, shared or
+/// register memory.
+///
+/// * Global tensors are *views* of kernel-argument buffers with a
+///   user-specified layout (`global_view` in Table I of the paper).
+/// * Shared and register tensors declare only a data type and a shape; their
+///   layouts are synthesized by the compiler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorDecl {
+    /// Identifier within the program.
+    pub id: TensorId,
+    /// Human-readable name used in diagnostics and generated code.
+    pub name: String,
+    /// Element type.
+    pub dtype: DType,
+    /// Memory space.
+    pub space: MemSpace,
+    /// Logical tile shape. For global views this is the shape of the view
+    /// (which may include an iteration dimension, e.g. `(BM, BK, k/BK)`).
+    pub shape: Vec<usize>,
+    /// The user-specified memory layout for global views; `None` for shared
+    /// and register tensors whose layouts are synthesized.
+    pub global_layout: Option<Layout>,
+}
+
+impl TensorDecl {
+    /// Number of elements in the logical tile.
+    pub fn num_elements(&self) -> usize {
+        self.shape.iter().product()
+    }
+
+    /// Number of bytes occupied by the tile (packed for sub-byte types).
+    pub fn num_bytes(&self) -> usize {
+        self.dtype.bytes_for(self.num_elements())
+    }
+
+    /// The rank of the tile.
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// The shape of the tile restricted to its first two dimensions, used by
+    /// operations that treat trailing dimensions as loop iterations.
+    pub fn tile_shape_2d(&self) -> Vec<usize> {
+        self.shape.iter().copied().take(2).collect()
+    }
+
+    /// Number of elements in one 2-D tile (excluding iteration dimensions).
+    pub fn tile_elements_2d(&self) -> usize {
+        self.tile_shape_2d().iter().product()
+    }
+}
+
+impl fmt::Display for TensorDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}<{}, {:?}> ({})", self.id, self.name, self.dtype, self.shape, self.space)?;
+        if let Some(layout) = &self.global_layout {
+            write!(f, " layout {layout}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decl(dtype: DType, space: MemSpace, shape: &[usize]) -> TensorDecl {
+        TensorDecl {
+            id: TensorId(0),
+            name: "t".to_string(),
+            dtype,
+            space,
+            shape: shape.to_vec(),
+            global_layout: None,
+        }
+    }
+
+    #[test]
+    fn element_and_byte_counts() {
+        let t = decl(DType::F16, MemSpace::Register, &[64, 64]);
+        assert_eq!(t.num_elements(), 4096);
+        assert_eq!(t.num_bytes(), 8192);
+        let q = decl(DType::I4, MemSpace::Shared, &[64, 64]);
+        assert_eq!(q.num_bytes(), 2048);
+    }
+
+    #[test]
+    fn tile_shape_excludes_iteration_dims() {
+        let t = decl(DType::F16, MemSpace::Global, &[128, 64, 16]);
+        assert_eq!(t.tile_shape_2d(), vec![128, 64]);
+        assert_eq!(t.tile_elements_2d(), 8192);
+        assert_eq!(t.rank(), 3);
+    }
+
+    #[test]
+    fn display_includes_space_and_dtype() {
+        let t = decl(DType::BF16, MemSpace::Shared, &[32, 32]);
+        let s = t.to_string();
+        assert!(s.contains("bfloat16"));
+        assert!(s.contains("shared"));
+    }
+}

@@ -1,0 +1,243 @@
+//! GEMM kernels: plain FP16, warp-specialized FP16 (Hopper) and
+//! blockwise-scaled FP8 (Hopper) — the operator families of Table II rows
+//! 1, 4 and 5 of the paper.
+
+use hexcute_arch::DType;
+use hexcute_ir::{ElementwiseOp, IrError, KernelBuilder, Layout, Program};
+
+/// The problem shape of a GEMM `C[m,n] = A[m,k] · B[k,n]ᵀ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmShape {
+    /// Rows of the output.
+    pub m: usize,
+    /// Columns of the output.
+    pub n: usize,
+    /// The contraction extent.
+    pub k: usize,
+}
+
+impl GemmShape {
+    /// Creates a shape.
+    pub fn new(m: usize, n: usize, k: usize) -> Self {
+        GemmShape { m, n, k }
+    }
+
+    /// Floating point operations of the full problem.
+    pub fn flops(&self) -> f64 {
+        2.0 * self.m as f64 * self.n as f64 * self.k as f64
+    }
+
+    /// Bytes moved from/to global memory assuming each operand is read once.
+    pub fn bytes(&self, a_bits: usize, b_bits: usize, c_bits: usize) -> f64 {
+        (self.m * self.k * a_bits + self.n * self.k * b_bits + self.m * self.n * c_bits) as f64 / 8.0
+    }
+}
+
+/// Tiling configuration of a GEMM kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmConfig {
+    /// Block tile M extent.
+    pub block_m: usize,
+    /// Block tile N extent.
+    pub block_n: usize,
+    /// Block tile K extent.
+    pub block_k: usize,
+    /// Threads per block.
+    pub threads: usize,
+    /// Software pipeline depth.
+    pub stages: usize,
+    /// Whether to use producer/consumer warp specialization (Hopper).
+    pub warp_specialized: bool,
+}
+
+impl Default for GemmConfig {
+    fn default() -> Self {
+        GemmConfig { block_m: 128, block_n: 128, block_k: 32, threads: 128, stages: 3, warp_specialized: false }
+    }
+}
+
+impl GemmConfig {
+    /// A Hopper warp-specialized configuration (wgmma + TMA + producer
+    /// warps), matching the "Warp Specialized FP16 GEMM" row of Table II.
+    pub fn warp_specialized_hopper() -> Self {
+        GemmConfig { block_m: 128, block_n: 128, block_k: 64, threads: 256, stages: 4, warp_specialized: true }
+    }
+
+    /// Number of thread blocks needed for the problem.
+    pub fn grid_blocks(&self, shape: &GemmShape) -> usize {
+        shape.m.div_ceil(self.block_m) * shape.n.div_ceil(self.block_n)
+    }
+}
+
+/// Builds the FP16 GEMM kernel of Fig. 15: global → shared staging with
+/// `cp.async`, `ldmatrix` loads into Tensor-Core fragments, an FP32
+/// accumulator, and an epilogue that redistributes the accumulator through
+/// shared memory so the final stores are coalesced.
+///
+/// # Errors
+///
+/// Returns an error when the block tile does not divide the problem.
+pub fn fp16_gemm(shape: GemmShape, config: GemmConfig) -> Result<Program, IrError> {
+    gemm_kernel(shape, config, DType::F16, "fp16_gemm")
+}
+
+/// Builds the Hopper warp-specialized FP16 GEMM: operands are staged in
+/// shared memory and consumed directly by warp-group MMA, with producer
+/// warps issuing TMA/`cp.async` copies.
+///
+/// # Errors
+///
+/// Returns an error when the block tile does not divide the problem.
+pub fn warp_specialized_gemm(shape: GemmShape, mut config: GemmConfig) -> Result<Program, IrError> {
+    config.warp_specialized = true;
+    let name = "warp_specialized_fp16_gemm";
+    let (bm, bn, bk) = (config.block_m, config.block_n, config.block_k);
+    let k_tiles = (shape.k / bk).max(1);
+    let mut kb = KernelBuilder::new(name, config.threads);
+    kb.set_grid_blocks(config.grid_blocks(&shape));
+    kb.set_pipeline_stages(config.stages);
+    kb.set_warp_specialized(true);
+    let ga = kb.global_view("a", DType::F16, Layout::from_flat(&[bm, bk, k_tiles], &[shape.k, 1, bk]), &[bm, bk, k_tiles]);
+    let gb = kb.global_view("b", DType::F16, Layout::from_flat(&[bn, bk, k_tiles], &[shape.k, 1, bk]), &[bn, bk, k_tiles]);
+    let gc = kb.global_view("c", DType::F16, Layout::row_major(&[bm, bn]), &[bm, bn]);
+    let sa = kb.shared_tensor("sa", DType::F16, &[bm, bk]);
+    let sb = kb.shared_tensor("sb", DType::F16, &[bn, bk]);
+    let rc = kb.register_tensor("rc", DType::F32, &[bm, bn]);
+    kb.fill(rc, 0.0);
+    kb.begin_loop(k_tiles);
+    kb.copy(ga, sa);
+    kb.copy(gb, sb);
+    // Warp-group MMA consumes the shared-memory operands directly.
+    kb.gemm(rc, sa, sb);
+    kb.end_loop();
+    let rc16 = kb.cast(rc, DType::F16);
+    let sc = kb.shared_tensor("sc", DType::F16, &[bm, bn]);
+    kb.copy(rc16, sc);
+    let rd = kb.register_tensor("rd", DType::F16, &[bm, bn]);
+    kb.copy(sc, rd);
+    kb.copy(rd, gc);
+    kb.build()
+}
+
+/// Builds the blockwise-scaled FP8 GEMM (Table II, "Blockwise Scaled FP8
+/// GEMM"): FP8 operands, FP32 accumulation, and a per-K-block scaling factor
+/// applied to the accumulator each iteration.
+///
+/// # Errors
+///
+/// Returns an error when the block tile does not divide the problem.
+pub fn fp8_blockwise_gemm(shape: GemmShape, config: GemmConfig) -> Result<Program, IrError> {
+    let (bm, bn, bk) = (config.block_m, config.block_n, config.block_k.max(64));
+    let k_tiles = (shape.k / bk).max(1);
+    let mut kb = KernelBuilder::new("fp8_blockwise_gemm", config.threads);
+    kb.set_grid_blocks(config.grid_blocks(&shape));
+    kb.set_pipeline_stages(config.stages);
+    kb.set_warp_specialized(config.warp_specialized);
+    let ga = kb.global_view("a", DType::F8E4M3, Layout::from_flat(&[bm, bk, k_tiles], &[shape.k, 1, bk]), &[bm, bk, k_tiles]);
+    let gb = kb.global_view("b", DType::F8E4M3, Layout::from_flat(&[bn, bk, k_tiles], &[shape.k, 1, bk]), &[bn, bk, k_tiles]);
+    let gscale = kb.global_view("scale", DType::F32, Layout::from_flat(&[bm, 1, k_tiles], &[k_tiles, 1, 1]), &[bm, 1, k_tiles]);
+    let gc = kb.global_view("c", DType::BF16, Layout::row_major(&[bm, bn]), &[bm, bn]);
+    let sa = kb.shared_tensor("sa", DType::F8E4M3, &[bm, bk]);
+    let sb = kb.shared_tensor("sb", DType::F8E4M3, &[bn, bk]);
+    let ra = kb.register_tensor("ra", DType::F8E4M3, &[bm, bk]);
+    let rb = kb.register_tensor("rb", DType::F8E4M3, &[bn, bk]);
+    let acc = kb.register_tensor("acc", DType::F32, &[bm, bn]);
+    let partial = kb.register_tensor("partial", DType::F32, &[bm, bn]);
+    let rscale = kb.register_tensor("rscale", DType::F32, &[bm, 1]);
+    kb.fill(acc, 0.0);
+    kb.begin_loop(k_tiles);
+    kb.copy(ga, sa);
+    kb.copy(gb, sb);
+    kb.copy(sa, ra);
+    kb.copy(sb, rb);
+    kb.fill(partial, 0.0);
+    kb.gemm(partial, ra, rb);
+    kb.copy(gscale, rscale);
+    // acc += partial * scale (broadcast along N).
+    let scaled = kb.elementwise(ElementwiseOp::Mul, &[partial, rscale]);
+    kb.elementwise_into(ElementwiseOp::Add, &[acc, scaled], acc);
+    kb.end_loop();
+    let out = kb.cast(acc, DType::BF16);
+    kb.copy(out, gc);
+    kb.build()
+}
+
+fn gemm_kernel(shape: GemmShape, config: GemmConfig, dtype: DType, name: &str) -> Result<Program, IrError> {
+    let (bm, bn, bk) = (config.block_m, config.block_n, config.block_k);
+    let k_tiles = (shape.k / bk).max(1);
+    let mut kb = KernelBuilder::new(name, config.threads);
+    kb.set_grid_blocks(config.grid_blocks(&shape));
+    kb.set_pipeline_stages(config.stages);
+    kb.set_warp_specialized(config.warp_specialized);
+    let ga = kb.global_view("a", dtype, Layout::from_flat(&[bm, bk, k_tiles], &[shape.k, 1, bk]), &[bm, bk, k_tiles]);
+    let gb = kb.global_view("b", dtype, Layout::from_flat(&[bn, bk, k_tiles], &[shape.k, 1, bk]), &[bn, bk, k_tiles]);
+    let gc = kb.global_view("c", dtype, Layout::row_major(&[bm, bn]), &[bm, bn]);
+    let sa = kb.shared_tensor("sa", dtype, &[bm, bk]);
+    let sb = kb.shared_tensor("sb", dtype, &[bn, bk]);
+    let ra = kb.register_tensor("ra", dtype, &[bm, bk]);
+    let rb = kb.register_tensor("rb", dtype, &[bn, bk]);
+    let rc = kb.register_tensor("rc", DType::F32, &[bm, bn]);
+    kb.fill(rc, 0.0);
+    kb.begin_loop(k_tiles);
+    kb.copy(ga, sa);
+    kb.copy(gb, sb);
+    kb.copy(sa, ra);
+    kb.copy(sb, rb);
+    kb.gemm(rc, ra, rb);
+    kb.end_loop();
+    let rc16 = kb.cast(rc, dtype);
+    let sc = kb.shared_tensor("sc", dtype, &[bm, bn]);
+    kb.copy(rc16, sc);
+    let rd = kb.register_tensor("rd", dtype, &[bm, bn]);
+    kb.copy(sc, rd);
+    kb.copy(rd, gc);
+    kb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hexcute_arch::GpuArch;
+    use hexcute_core::Compiler;
+
+    #[test]
+    fn fp16_gemm_compiles_and_uses_tensor_cores() {
+        let program = fp16_gemm(GemmShape::new(4096, 4096, 4096), GemmConfig::default()).unwrap();
+        assert_eq!(program.grid_blocks, 32 * 32);
+        let compiler = Compiler::new(GpuArch::a100());
+        let kernel = compiler.compile(&program).unwrap();
+        assert!(!kernel.candidate.mma_choices.is_empty());
+        let source = kernel.cuda_source();
+        assert!(source.contains("cp.async"));
+        assert!(source.contains("ldmatrix"));
+        assert!(source.contains("mma.sync"));
+    }
+
+    #[test]
+    fn warp_specialized_gemm_uses_wgmma_on_h100() {
+        let program =
+            warp_specialized_gemm(GemmShape::new(4096, 4096, 4096), GemmConfig::warp_specialized_hopper()).unwrap();
+        assert!(program.schedule.warp_specialized);
+        let kernel = Compiler::new(GpuArch::h100()).compile(&program).unwrap();
+        let mma = kernel.candidate.mma_choices.values().next().unwrap();
+        assert!(mma.atom.name.starts_with("wgmma"), "{}", mma.atom.name);
+        assert_eq!(mma.atom.threads, 128);
+    }
+
+    #[test]
+    fn fp8_gemm_targets_the_fp8_tensor_core_path() {
+        let program = fp8_blockwise_gemm(GemmShape::new(2048, 2048, 2048), GemmConfig::default()).unwrap();
+        let kernel = Compiler::new(GpuArch::h100()).compile(&program).unwrap();
+        let mma = kernel.candidate.mma_choices.values().next().unwrap();
+        assert!(mma.atom.name.contains("e4m3"), "{}", mma.atom.name);
+        // FP8 GEMM is unavailable on Ampere.
+        assert!(Compiler::new(GpuArch::a100()).compile(&program).is_err());
+    }
+
+    #[test]
+    fn gemm_shape_accounting() {
+        let s = GemmShape::new(1024, 512, 256);
+        assert_eq!(s.flops(), 2.0 * 1024.0 * 512.0 * 256.0);
+        assert_eq!(s.bytes(16, 16, 16), ((1024 * 256 + 512 * 256 + 1024 * 512) * 2) as f64);
+    }
+}

@@ -1,0 +1,30 @@
+//! # hexcute-kernels
+//!
+//! Deep-learning kernels written against the Hexcute tile-level DSL — the
+//! operator families evaluated in Section VII of the paper:
+//!
+//! * [`gemm`] — FP16 GEMM (Fig. 15), Hopper warp-specialized FP16 GEMM and
+//!   blockwise-scaled FP8 GEMM (Table II);
+//! * [`attention`] — fused multi-head attention forward and decoding kernels
+//!   (Table II);
+//! * [`moe`] — the mixed-type FP16×INT4 mixture-of-experts kernel with both
+//!   the efficient (Marlin-style) and the Triton-style dataflows (Fig. 4,
+//!   Fig. 11, Fig. 14);
+//! * [`mamba`] — the selective-scan kernel (Fig. 21, Table IV).
+//!
+//! Every kernel is a plain [`hexcute_ir::Program`] builder: the layouts and
+//! instructions are left for the compiler to synthesize, exactly as in the
+//! paper's programming model.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod attention;
+pub mod gemm;
+pub mod mamba;
+pub mod moe;
+
+pub use attention::{mha_decoding, mha_forward, AttentionConfig, AttentionShape};
+pub use gemm::{fp16_gemm, fp8_blockwise_gemm, warp_specialized_gemm, GemmConfig, GemmShape};
+pub use mamba::{selective_scan, ScanConfig, ScanShape};
+pub use moe::{mixed_type_moe, MoeConfig, MoeDataflow, MoeShape};

@@ -1,0 +1,259 @@
+//! The mixed-type (FP16 × INT4) mixture-of-experts GEMM kernel of
+//! Section VII-B, with both the efficient Marlin-style dataflow (Fig. 4(b))
+//! used by Hexcute and the Triton-style dataflow (Fig. 4(a)) used for the
+//! ablation of Fig. 14.
+
+use hexcute_arch::DType;
+use hexcute_ir::{ElementwiseOp, IrError, KernelBuilder, Layout, Program};
+
+/// The shape of a mixture-of-experts layer with weight-only quantization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MoeShape {
+    /// Number of input tokens in the batch.
+    pub tokens: usize,
+    /// Model hidden size (the GEMM K extent).
+    pub hidden: usize,
+    /// Expert intermediate size (the GEMM N extent).
+    pub intermediate: usize,
+    /// Total number of experts.
+    pub experts: usize,
+    /// Experts activated per token.
+    pub top_k: usize,
+}
+
+impl MoeShape {
+    /// The DeepSeek-R1-AWQ MoE layer evaluated in Fig. 11 (256 experts).
+    pub fn deepseek_r1(tokens: usize) -> Self {
+        MoeShape { tokens, hidden: 7168, intermediate: 2048, experts: 256, top_k: 8 }
+    }
+
+    /// Token–expert pairs that must be processed.
+    pub fn routed_rows(&self) -> usize {
+        self.tokens * self.top_k
+    }
+
+    /// Number of distinct experts that receive at least one token (assuming
+    /// uniform routing).
+    pub fn active_experts(&self) -> usize {
+        self.routed_rows().min(self.experts)
+    }
+
+    /// Floating point operations of the layer (up- and gate-projections).
+    pub fn flops(&self) -> f64 {
+        2.0 * self.routed_rows() as f64 * self.hidden as f64 * self.intermediate as f64
+    }
+
+    /// Bytes of INT4 weights (plus FP16 scales) that must be streamed for the
+    /// active experts.
+    pub fn weight_bytes(&self) -> f64 {
+        let per_expert = self.hidden as f64 * self.intermediate as f64 * 0.5
+            + (self.hidden as f64 / 128.0) * self.intermediate as f64 * 2.0;
+        per_expert * self.active_experts() as f64
+    }
+
+    /// Bytes of FP16 activations read and written.
+    pub fn activation_bytes(&self) -> f64 {
+        (self.routed_rows() * self.hidden + self.routed_rows() * self.intermediate) as f64 * 2.0
+    }
+}
+
+/// Tiling configuration for the MoE kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MoeConfig {
+    /// Token-tile extent (M).
+    pub block_m: usize,
+    /// Intermediate-tile extent (N).
+    pub block_n: usize,
+    /// Hidden-tile extent (K).
+    pub block_k: usize,
+    /// Threads per block.
+    pub threads: usize,
+    /// Software pipeline depth.
+    pub stages: usize,
+}
+
+impl Default for MoeConfig {
+    fn default() -> Self {
+        MoeConfig { block_m: 16, block_n: 128, block_k: 64, threads: 128, stages: 3 }
+    }
+}
+
+impl MoeConfig {
+    /// Thread blocks launched for the layer.
+    pub fn grid_blocks(&self, shape: &MoeShape) -> usize {
+        shape.routed_rows().div_ceil(self.block_m) * shape.intermediate.div_ceil(self.block_n)
+    }
+}
+
+/// Which dataflow the weight tensor follows (Fig. 4 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MoeDataflow {
+    /// The efficient Marlin-style dataflow: global → shared (`cp.async`) →
+    /// registers (`ldmatrix`) → cast, with no extra round trips.
+    Efficient,
+    /// Triton's dataflow: global → registers → shared → registers → cast,
+    /// with the excessive copies highlighted in Fig. 4(a).
+    TritonStyle,
+}
+
+/// Builds the mixed-type MoE GEMM kernel `y[m, n] = x[m, k] · dequant(w[n, k])ᵀ`.
+///
+/// # Errors
+///
+/// Returns an error when the configuration does not divide the problem.
+pub fn mixed_type_moe(shape: MoeShape, config: MoeConfig, dataflow: MoeDataflow) -> Result<Program, IrError> {
+    let (bm, bn, bk) = (config.block_m, config.block_n, config.block_k);
+    let k_tiles = (shape.hidden / bk).max(1);
+    let name = match dataflow {
+        MoeDataflow::Efficient => "mixed_type_moe_fp16_int4",
+        MoeDataflow::TritonStyle => "mixed_type_moe_fp16_int4_triton_dataflow",
+    };
+    let mut kb = KernelBuilder::new(name, config.threads);
+    kb.set_grid_blocks(config.grid_blocks(&shape));
+    kb.set_pipeline_stages(config.stages);
+
+    // Activations (FP16), weights (packed INT4), per-group scales and zero points.
+    let gx = kb.global_view("x", DType::F16, Layout::from_flat(&[bm, bk, k_tiles], &[shape.hidden, 1, bk]), &[bm, bk, k_tiles]);
+    let gw = kb.global_view("w", DType::I4, Layout::from_flat(&[bn, bk, k_tiles], &[shape.hidden, 1, bk]), &[bn, bk, k_tiles]);
+    let gscale = kb.global_view(
+        "scale",
+        DType::F16,
+        Layout::from_flat(&[bn, 1, k_tiles], &[k_tiles, 1, 1]),
+        &[bn, 1, k_tiles],
+    );
+    let gzp = kb.global_view(
+        "zp",
+        DType::F16,
+        Layout::from_flat(&[bn, 1, k_tiles], &[k_tiles, 1, 1]),
+        &[bn, 1, k_tiles],
+    );
+    let gy = kb.global_view("y", DType::F16, Layout::row_major(&[bm, bn]), &[bm, bn]);
+
+    let sx = kb.shared_tensor("sx", DType::F16, &[bm, bk]);
+    let rx = kb.register_tensor("rx", DType::F16, &[bm, bk]);
+    let acc = kb.register_tensor("acc", DType::F32, &[bm, bn]);
+    let rscale = kb.register_tensor("rscale", DType::F16, &[bn, 1]);
+    let rzp = kb.register_tensor("rzp", DType::F16, &[bn, 1]);
+    kb.fill(acc, 0.0);
+
+    kb.begin_loop(k_tiles);
+    // Activation path: global → shared → registers.
+    kb.copy(gx, sx);
+    kb.copy(sx, rx);
+
+    // Weight path.
+    let rw_q = match dataflow {
+        MoeDataflow::Efficient => {
+            // Fig. 4(b): stage the INT4 weights in shared memory with
+            // cp.async and load them with ldmatrix.
+            let sw = kb.shared_tensor("sw", DType::I4, &[bn, bk]);
+            kb.copy(gw, sw);
+            let rw_q = kb.register_tensor("rw_q", DType::I4, &[bn, bk]);
+            kb.copy(sw, rw_q);
+            rw_q
+        }
+        MoeDataflow::TritonStyle => {
+            // Fig. 4(a): the weights are first pulled into registers, spilled
+            // to shared memory, and read back before the conversion.
+            let rw_tmp = kb.register_tensor("rw_tmp", DType::I4, &[bn, bk]);
+            kb.copy(gw, rw_tmp);
+            let sw = kb.shared_tensor("sw", DType::I4, &[bn, bk]);
+            kb.copy(rw_tmp, sw);
+            let rw_q = kb.register_tensor("rw_q", DType::I4, &[bn, bk]);
+            kb.copy(sw, rw_q);
+            rw_q
+        }
+    };
+
+    // Dequantization: w_fp16 = (w_q - zp) * scale, entirely within registers
+    // (no inter-thread data exchange thanks to the synthesized layouts).
+    let rw_f = kb.cast(rw_q, DType::F16);
+    kb.copy(gscale, rscale);
+    kb.copy(gzp, rzp);
+    let shifted = kb.elementwise(ElementwiseOp::Sub, &[rw_f, rzp]);
+    let dequant = kb.elementwise(ElementwiseOp::Mul, &[shifted, rscale]);
+
+    kb.gemm(acc, rx, dequant);
+    kb.end_loop();
+
+    // Epilogue: cast and store through shared memory for coalesced writes.
+    let out16 = kb.cast(acc, DType::F16);
+    let sy = kb.shared_tensor("sy", DType::F16, &[bm, bn]);
+    kb.copy(out16, sy);
+    let ry = kb.register_tensor("ry", DType::F16, &[bm, bn]);
+    kb.copy(sy, ry);
+    kb.copy(ry, gy);
+    kb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hexcute_arch::{CopyKind, GpuArch, MemSpace};
+    use hexcute_core::Compiler;
+    use hexcute_ir::OpKind;
+
+    #[test]
+    fn shape_accounting() {
+        let s = MoeShape::deepseek_r1(64);
+        assert_eq!(s.routed_rows(), 512);
+        assert_eq!(s.active_experts(), 256);
+        let tiny = MoeShape::deepseek_r1(1);
+        assert_eq!(tiny.active_experts(), 8);
+        assert!(s.weight_bytes() > tiny.weight_bytes());
+        assert!(s.flops() > 0.0);
+    }
+
+    #[test]
+    fn efficient_dataflow_has_fewer_copies_than_triton_style() {
+        let shape = MoeShape::deepseek_r1(64);
+        let efficient = mixed_type_moe(shape, MoeConfig::default(), MoeDataflow::Efficient).unwrap();
+        let triton = mixed_type_moe(shape, MoeConfig::default(), MoeDataflow::TritonStyle).unwrap();
+        let count = |p: &Program| p.ops().iter().filter(|o| matches!(o.kind, OpKind::Copy { .. })).count();
+        assert_eq!(count(&triton), count(&efficient) + 1);
+    }
+
+    #[test]
+    fn hexcute_selects_wide_instructions_for_the_weight_path() {
+        let shape = MoeShape::deepseek_r1(64);
+        let program = mixed_type_moe(shape, MoeConfig::default(), MoeDataflow::Efficient).unwrap();
+        let compiler = Compiler::new(GpuArch::h100());
+        let kernel = compiler.compile(&program).unwrap();
+
+        // The INT4 weight tensor is staged with 16-byte cp.async and read
+        // back with a Tensor-Core-friendly shared→register instruction.
+        let w_g2s = kernel
+            .program
+            .ops()
+            .iter()
+            .find_map(|op| match op.kind {
+                OpKind::Copy { src, dst }
+                    if kernel.program.tensor(src).name == "w"
+                        && kernel.program.tensor(dst).space == MemSpace::Shared =>
+                {
+                    kernel.candidate.copy_choices.get(&op.id)
+                }
+                _ => None,
+            })
+            .expect("weight global->shared copy");
+        assert_eq!(w_g2s.atom.kind, CopyKind::CpAsync);
+        assert_eq!(w_g2s.atom.bytes_per_thread, 16);
+
+        // The dequantized weights feed the Tensor Core directly: no
+        // rearranges are needed anywhere in the kernel.
+        assert!(kernel.candidate.rearranges.is_empty());
+        assert!(!kernel.candidate.mma_choices.is_empty());
+    }
+
+    #[test]
+    fn triton_dataflow_moves_more_bytes_per_tile() {
+        let shape = MoeShape::deepseek_r1(64);
+        let config = MoeConfig::default();
+        let efficient = mixed_type_moe(shape, config, MoeDataflow::Efficient).unwrap();
+        let triton = mixed_type_moe(shape, config, MoeDataflow::TritonStyle).unwrap();
+        // Same global traffic, but the Triton-style dataflow adds an extra
+        // register→shared round trip for the weight tile.
+        assert_eq!(efficient.block_global_bytes(), triton.block_global_bytes());
+        assert!(triton.ops().len() > efficient.ops().len());
+    }
+}

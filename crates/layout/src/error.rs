@@ -1,0 +1,86 @@
+//! Error type for layout-algebra operations.
+
+use std::fmt;
+
+/// Errors produced by layout construction and algebraic operations.
+///
+/// Layouts are functions; most algebraic operations (composition, inversion,
+/// complement, division) are only defined when divisibility or admissibility
+/// side conditions hold. Violations surface as values of this type rather
+/// than panics so that the synthesis engine can backtrack to another
+/// instruction choice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// The shape and stride tuples of a layout do not have the same profile.
+    ProfileMismatch {
+        /// Rendered shape tuple.
+        shape: String,
+        /// Rendered stride tuple.
+        stride: String,
+    },
+    /// A composition `A ∘ B` failed because a mode of `B` does not divide
+    /// evenly through the modes of `A`.
+    NotDivisible {
+        /// Human readable context (which operation failed).
+        context: String,
+        /// The offending dividend.
+        lhs: usize,
+        /// The offending divisor.
+        rhs: usize,
+    },
+    /// An inverse was requested for a layout that is not a bijection onto a
+    /// contiguous integer interval.
+    NotInvertible {
+        /// Rendered layout.
+        layout: String,
+        /// Reason the inversion failed.
+        reason: String,
+    },
+    /// A complement was requested with a target size that the layout does not
+    /// embed into.
+    InvalidComplement {
+        /// Rendered layout.
+        layout: String,
+        /// Target cosize.
+        target: usize,
+        /// Reason the complement failed.
+        reason: String,
+    },
+    /// A coordinate or index was outside the domain of the layout.
+    OutOfDomain {
+        /// The offending index.
+        index: usize,
+        /// The size of the domain.
+        size: usize,
+    },
+    /// Generic structural error (e.g. rank mismatch in concatenation).
+    Structural(String),
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::ProfileMismatch { shape, stride } => {
+                write!(f, "shape {shape} and stride {stride} have different profiles")
+            }
+            LayoutError::NotDivisible { context, lhs, rhs } => {
+                write!(f, "{context}: {lhs} is not divisible by {rhs}")
+            }
+            LayoutError::NotInvertible { layout, reason } => {
+                write!(f, "layout {layout} is not invertible: {reason}")
+            }
+            LayoutError::InvalidComplement { layout, target, reason } => {
+                write!(f, "complement of {layout} with respect to {target} is invalid: {reason}")
+            }
+            LayoutError::OutOfDomain { index, size } => {
+                write!(f, "index {index} is outside the layout domain of size {size}")
+            }
+            LayoutError::Structural(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, LayoutError>;

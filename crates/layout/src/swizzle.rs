@@ -1,0 +1,238 @@
+//! XOR swizzle functors and swizzled layouts, used to eliminate shared-memory
+//! bank conflicts (Section V of the paper).
+
+use std::fmt;
+
+use crate::layout::Layout;
+
+/// The generic CuTe swizzle functor `Swizzle<B, M, S>`.
+///
+/// A swizzle permutes integer offsets by XOR-ing a group of `bits` bits taken
+/// `shift` positions above the target group onto the target group, leaving
+/// the lowest `base` bits untouched:
+///
+/// ```text
+/// apply(x) = x ^ ((x >> shift) & (((1 << bits) - 1) << base))
+/// ```
+///
+/// Because the source bits are strictly above the modified bits (for
+/// `shift > 0`), applying the swizzle twice restores the input: the swizzle
+/// is an involution and therefore a bijection.
+///
+/// # Examples
+///
+/// ```
+/// use hexcute_layout::Swizzle;
+///
+/// let s = Swizzle::new(3, 3, 3);
+/// let x = 0b101_010_111;
+/// assert_eq!(s.apply(s.apply(x)), x);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Swizzle {
+    /// Number of bits in the swizzle mask (`B`).
+    bits: u32,
+    /// Number of least-significant bits left untouched (`M`).
+    base: u32,
+    /// Distance between the source and target bit groups (`S`).
+    shift: u32,
+}
+
+impl Swizzle {
+    /// Creates a swizzle functor `Swizzle<bits, base, shift>`.
+    pub fn new(bits: u32, base: u32, shift: u32) -> Self {
+        Swizzle { bits, base, shift }
+    }
+
+    /// The identity swizzle (no permutation).
+    pub fn identity() -> Self {
+        Swizzle { bits: 0, base: 0, shift: 0 }
+    }
+
+    /// Returns `true` if this swizzle performs no permutation.
+    pub fn is_identity(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Number of bits in the swizzle mask.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of untouched least-significant bits.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Distance between the source and target bit groups.
+    pub fn shift(&self) -> u32 {
+        self.shift
+    }
+
+    /// Applies the swizzle to an offset.
+    pub fn apply(&self, offset: usize) -> usize {
+        if self.bits == 0 {
+            return offset;
+        }
+        let mask = ((1usize << self.bits) - 1) << self.base;
+        offset ^ ((offset >> self.shift) & mask)
+    }
+
+    /// The standard candidate swizzles enumerated by the shared-memory layout
+    /// pass, ordered from the strongest (128-byte) to the identity.
+    pub fn candidates() -> Vec<Swizzle> {
+        vec![
+            Swizzle::new(3, 3, 3),
+            Swizzle::new(2, 3, 3),
+            Swizzle::new(1, 3, 3),
+            Swizzle::new(2, 4, 3),
+            Swizzle::new(3, 2, 3),
+            Swizzle::identity(),
+        ]
+    }
+}
+
+impl fmt::Display for Swizzle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Swizzle<{},{},{}>", self.bits, self.base, self.shift)
+    }
+}
+
+/// A shared-memory layout `M = S ∘ m`: a base layout `m` mapping coordinates
+/// to addresses followed by a swizzle `S` permuting the addresses to avoid
+/// bank conflicts.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SwizzledLayout {
+    swizzle: Swizzle,
+    layout: Layout,
+}
+
+impl SwizzledLayout {
+    /// Creates a swizzled layout from a swizzle and a base layout.
+    pub fn new(swizzle: Swizzle, layout: Layout) -> Self {
+        SwizzledLayout { swizzle, layout }
+    }
+
+    /// A swizzled layout with the identity swizzle.
+    pub fn unswizzled(layout: Layout) -> Self {
+        SwizzledLayout { swizzle: Swizzle::identity(), layout }
+    }
+
+    /// The swizzle component.
+    pub fn swizzle(&self) -> &Swizzle {
+        &self.swizzle
+    }
+
+    /// The base layout component.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The domain size of the base layout.
+    pub fn size(&self) -> usize {
+        self.layout.size()
+    }
+
+    /// Evaluates `S(m(index))`.
+    pub fn map(&self, index: usize) -> usize {
+        self.swizzle.apply(self.layout.map(index))
+    }
+
+    /// Evaluates `S(m(coords))` on a flat hierarchical coordinate.
+    pub fn map_coords(&self, coords: &[usize]) -> usize {
+        self.swizzle.apply(self.layout.map_coords(coords))
+    }
+
+    /// Returns `true` when the function remains injective over the domain.
+    pub fn is_injective(&self) -> bool {
+        let mut seen = std::collections::HashSet::with_capacity(self.size());
+        (0..self.size()).all(|i| seen.insert(self.map(i)))
+    }
+}
+
+impl fmt::Display for SwizzledLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.swizzle.is_identity() {
+            write!(f, "{}", self.layout)
+        } else {
+            write!(f, "{} ∘ {}", self.swizzle, self.layout)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_swizzle_is_noop() {
+        let s = Swizzle::identity();
+        for x in 0..256 {
+            assert_eq!(s.apply(x), x);
+        }
+    }
+
+    #[test]
+    fn swizzle_is_an_involution() {
+        for s in Swizzle::candidates() {
+            for x in 0..2048usize {
+                assert_eq!(s.apply(s.apply(x)), x, "{s} not involutive at {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn swizzle_is_a_bijection_on_aligned_blocks() {
+        let s = Swizzle::new(3, 3, 3);
+        let n = 1usize << 10;
+        let mut seen = vec![false; n];
+        for x in 0..n {
+            let y = s.apply(x);
+            assert!(y < n);
+            assert!(!seen[y]);
+            seen[y] = true;
+        }
+    }
+
+    #[test]
+    fn swizzle_preserves_low_bits() {
+        let s = Swizzle::new(3, 3, 3);
+        for x in 0..1024usize {
+            assert_eq!(s.apply(x) & 0b111, x & 0b111);
+        }
+    }
+
+    #[test]
+    fn classic_128b_swizzle_breaks_column_pattern() {
+        // Without a swizzle, a column access of a 64-wide row-major fp16 tile
+        // hits the same bank group every row; the swizzle spreads it.
+        let s = Swizzle::new(3, 3, 3);
+        let row_major = Layout::row_major(&[8, 64]);
+        let swizzled = SwizzledLayout::new(s, row_major.clone());
+        let plain_addresses: Vec<usize> = (0..8).map(|r| row_major.map_coords(&[r, 0]) / 8).collect();
+        let swizzled_addresses: Vec<usize> =
+            (0..8).map(|r| swizzled.map_coords(&[r, 0]) / 8).collect();
+        // Plain: every row maps to 128-bit chunk index ≡ 0 (mod 8) → same bank group.
+        assert!(plain_addresses.iter().all(|&a| a % 8 == 0));
+        // Swizzled: the chunk indices hit 8 distinct groups.
+        let distinct: std::collections::HashSet<usize> =
+            swizzled_addresses.iter().map(|&a| a % 8).collect();
+        assert_eq!(distinct.len(), 8);
+    }
+
+    #[test]
+    fn swizzled_layout_injective() {
+        let base = Layout::row_major(&[16, 64]);
+        for s in Swizzle::candidates() {
+            let sl = SwizzledLayout::new(s, base.clone());
+            assert!(sl.is_injective(), "{sl} lost injectivity");
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Swizzle::new(3, 3, 3).to_string(), "Swizzle<3,3,3>");
+        let sl = SwizzledLayout::unswizzled(Layout::from_mode(8, 1));
+        assert_eq!(sl.to_string(), "8:1");
+    }
+}

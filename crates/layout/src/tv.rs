@@ -1,0 +1,444 @@
+//! Thread-value (TV) layouts: the distribution of a register tensor across
+//! the threads of a thread block (Section II-A of the paper).
+//!
+//! A TV layout is a layout with two top-level modes — a *thread* mode and a
+//! *value* mode — mapping a `(thread, value)` pair to a column-major linear
+//! index within a logical tile.
+
+use std::fmt;
+
+use crate::error::{LayoutError, Result};
+use crate::layout::Layout;
+
+/// A thread-value layout over a logical tile.
+///
+/// # Examples
+///
+/// The register tensor of Fig. 1(b)/Fig. 2(b) of the paper: a 4×8 tile
+/// distributed across 8 threads, 4 values per thread.
+///
+/// ```
+/// use hexcute_layout::{Layout, TvLayout};
+///
+/// let f = TvLayout::new(
+///     Layout::from_flat(&[2, 4], &[8, 1]),
+///     Layout::from_flat(&[2, 2], &[4, 16]),
+///     vec![4, 8],
+/// ).unwrap();
+/// // (tid, vid) = (2, 3) maps to coordinates (1, 5) in the 4x8 tile.
+/// assert_eq!(f.tile_coords(2, 3), vec![1, 5]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TvLayout {
+    thread: Layout,
+    value: Layout,
+    tile_shape: Vec<usize>,
+}
+
+/// A repetition mode used when expanding an instruction atom over a larger
+/// operation tile (see [`TvLayout::expand`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepeatMode {
+    /// Number of repetitions contributed by this mode.
+    pub size: usize,
+    /// The tile dimension the repetitions advance along, or `None` for a
+    /// broadcast mode (the repeated copies alias the same data, stride 0).
+    pub dim: Option<usize>,
+}
+
+impl RepeatMode {
+    /// A repetition advancing along tile dimension `dim`.
+    pub fn along(size: usize, dim: usize) -> Self {
+        RepeatMode { size, dim: Some(dim) }
+    }
+
+    /// A broadcast repetition: the extra threads/values alias the same data.
+    pub fn broadcast(size: usize) -> Self {
+        RepeatMode { size, dim: None }
+    }
+}
+
+impl TvLayout {
+    /// Creates a TV layout from thread and value layouts over a tile of the
+    /// given shape (column-major linearization).
+    ///
+    /// # Errors
+    ///
+    /// Returns a structural error when the layout addresses indices outside
+    /// the tile.
+    pub fn new(thread: Layout, value: Layout, tile_shape: Vec<usize>) -> Result<Self> {
+        let tile_size: usize = tile_shape.iter().product();
+        let full = Layout::make_pair(&thread, &value);
+        if full.size() > 0 && full.cosize() > tile_size {
+            return Err(LayoutError::Structural(format!(
+                "thread-value layout {full} addresses {} elements but the tile only has {}",
+                full.cosize(),
+                tile_size
+            )));
+        }
+        Ok(TvLayout { thread, value, tile_shape })
+    }
+
+    /// The canonical fully-distributed TV layout: `threads` consecutive
+    /// threads each own `values` consecutive elements of a flat tile, with
+    /// thread blocks repeating until the tile is covered.
+    ///
+    /// This is the layout produced by coalescing a contiguous copy.
+    pub fn contiguous(threads: usize, values: usize, tile_shape: Vec<usize>) -> Result<Self> {
+        let tile_size: usize = tile_shape.iter().product();
+        let per_round = threads * values;
+        if per_round == 0 || tile_size % per_round != 0 {
+            return Err(LayoutError::Structural(format!(
+                "tile of {tile_size} elements cannot be covered by {threads} threads × {values} values"
+            )));
+        }
+        let rounds = tile_size / per_round;
+        let thread = Layout::from_mode(threads, values);
+        let value = if rounds == 1 {
+            Layout::from_mode(values, 1)
+        } else {
+            Layout::from_flat(&[values, rounds], &[1, per_round])
+        };
+        TvLayout::new(thread, value, tile_shape)
+    }
+
+    /// The thread-mode layout.
+    pub fn thread(&self) -> &Layout {
+        &self.thread
+    }
+
+    /// The value-mode layout.
+    pub fn value(&self) -> &Layout {
+        &self.value
+    }
+
+    /// The logical tile shape.
+    pub fn tile_shape(&self) -> &[usize] {
+        &self.tile_shape
+    }
+
+    /// The total number of elements in the tile.
+    pub fn tile_size(&self) -> usize {
+        self.tile_shape.iter().product()
+    }
+
+    /// The number of threads participating in the layout.
+    pub fn num_threads(&self) -> usize {
+        self.thread.size()
+    }
+
+    /// The number of values owned by each thread.
+    pub fn values_per_thread(&self) -> usize {
+        self.value.size()
+    }
+
+    /// The combined `(thread, value)` layout.
+    pub fn as_layout(&self) -> Layout {
+        Layout::make_pair(&self.thread, &self.value)
+    }
+
+    /// Maps a `(thread, value)` pair to the column-major linear index within
+    /// the tile.
+    pub fn map(&self, thread: usize, value: usize) -> usize {
+        self.thread.map(thread) + self.value.map(value)
+    }
+
+    /// Maps a `(thread, value)` pair to coordinates within the tile.
+    pub fn tile_coords(&self, thread: usize, value: usize) -> Vec<usize> {
+        let mut index = self.map(thread, value);
+        let mut coords = Vec::with_capacity(self.tile_shape.len());
+        for (i, &extent) in self.tile_shape.iter().enumerate() {
+            if i + 1 == self.tile_shape.len() {
+                coords.push(index);
+            } else {
+                coords.push(index % extent);
+                index /= extent;
+            }
+        }
+        coords
+    }
+
+    /// The inverse mapping (tile linear index → thread-value linear index),
+    /// defined when the TV layout is a compact bijection onto the tile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::NotInvertible`] when threads alias tile
+    /// elements (broadcast layouts) or the tile is not fully covered.
+    pub fn inverse(&self) -> Result<Layout> {
+        let full = self.as_layout();
+        if full.size() != self.tile_size() {
+            return Err(LayoutError::NotInvertible {
+                layout: full.to_string(),
+                reason: format!(
+                    "thread-value domain {} does not match tile size {}",
+                    full.size(),
+                    self.tile_size()
+                ),
+            });
+        }
+        full.right_inverse()
+    }
+
+    /// Returns `true` when every tile element is owned by exactly one
+    /// `(thread, value)` pair.
+    pub fn is_exclusive(&self) -> bool {
+        let full = self.as_layout();
+        full.size() == self.tile_size() && full.is_compact_bijection()
+    }
+
+    /// Returns all `(thread, value)` pairs owning the given tile linear
+    /// index. Broadcast layouts return more than one pair.
+    pub fn owners_of(&self, tile_index: usize) -> Vec<(usize, usize)> {
+        let mut owners = Vec::new();
+        for t in 0..self.num_threads() {
+            for v in 0..self.values_per_thread() {
+                if self.map(t, v) == tile_index {
+                    owners.push((t, v));
+                }
+            }
+        }
+        owners
+    }
+
+    /// Expands an instruction atom over a larger operation tile.
+    ///
+    /// `thread_tiles` appends extra thread modes (e.g. the warp grid) and
+    /// `value_tiles` appends extra value modes (e.g. the per-thread iteration
+    /// over instruction invocations). Modes are laid out innermost-first
+    /// along each tile dimension: first the atom, then thread tiles in order,
+    /// then value tiles in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the atom cannot be embedded in the enlarged
+    /// tile (should not happen for well-formed repetitions).
+    pub fn expand(
+        &self,
+        thread_tiles: &[RepeatMode],
+        value_tiles: &[RepeatMode],
+    ) -> Result<TvLayout> {
+        let ndim = self.tile_shape.len();
+        let mut final_shape = self.tile_shape.clone();
+        for rm in thread_tiles.iter().chain(value_tiles.iter()) {
+            if let Some(d) = rm.dim {
+                if d >= ndim {
+                    return Err(LayoutError::Structural(format!(
+                        "repeat dimension {d} out of range for a rank-{ndim} tile"
+                    )));
+                }
+                final_shape[d] *= rm.size;
+            }
+        }
+        // Column-major strides of the final tile.
+        let mut final_strides = vec![1usize; ndim];
+        for d in 1..ndim {
+            final_strides[d] = final_strides[d - 1] * final_shape[d - 1];
+        }
+        // Embed the atom into the final tile: a layout that re-linearizes
+        // atom-tile indices as final-tile indices.
+        let embed = Layout::from_flat(&self.tile_shape, &final_strides);
+        let atom_thread = embed.compose(&self.thread)?;
+        let atom_value = embed.compose(&self.value)?;
+
+        let mut extent = self.tile_shape.clone();
+        let mut make_modes = |tiles: &[RepeatMode]| -> Vec<(usize, usize)> {
+            tiles
+                .iter()
+                .map(|rm| match rm.dim {
+                    Some(d) => {
+                        let stride = extent[d] * final_strides[d];
+                        extent[d] *= rm.size;
+                        (rm.size, stride)
+                    }
+                    None => (rm.size, 0),
+                })
+                .collect()
+        };
+        let thread_modes = make_modes(thread_tiles);
+        let value_modes = make_modes(value_tiles);
+
+        let thread = if thread_modes.is_empty() {
+            atom_thread
+        } else {
+            Layout::concat(&[atom_thread, Layout::from_modes(&thread_modes)])
+        };
+        let value = if value_modes.is_empty() {
+            atom_value
+        } else {
+            Layout::concat(&[atom_value, Layout::from_modes(&value_modes)])
+        };
+        TvLayout::new(thread, value, final_shape)
+    }
+}
+
+impl fmt::Display for TvLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({},{}):({},{}) over {:?}",
+            self.thread.shape(),
+            self.value.shape(),
+            self.thread.stride(),
+            self.value.stride(),
+            self.tile_shape
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ituple;
+
+    fn paper_fig1b() -> TvLayout {
+        TvLayout::new(
+            Layout::from_flat(&[2, 4], &[8, 1]),
+            Layout::from_flat(&[2, 2], &[4, 16]),
+            vec![4, 8],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_fig1b_mapping() {
+        let f = paper_fig1b();
+        assert_eq!(f.num_threads(), 8);
+        assert_eq!(f.values_per_thread(), 4);
+        assert_eq!(f.map(2, 3), 21);
+        assert_eq!(f.tile_coords(2, 3), vec![1, 5]);
+        assert_eq!(f.tile_coords(0, 0), vec![0, 0]);
+        assert!(f.is_exclusive());
+    }
+
+    #[test]
+    fn rejects_out_of_tile_layouts() {
+        let err = TvLayout::new(
+            Layout::from_mode(8, 8),
+            Layout::from_mode(4, 1),
+            vec![4, 8],
+        )
+        .unwrap_err();
+        assert!(matches!(err, LayoutError::Structural(_)));
+    }
+
+    #[test]
+    fn ldmatrix_layouts_from_fig7() {
+        // p: 32 threads each providing one 8-element row pointer.
+        let p = TvLayout::new(
+            Layout::from_mode(32, 1),
+            Layout::from_mode(8, 32),
+            vec![8, 32],
+        )
+        .unwrap();
+        // q: the register distribution after the load.
+        let q = TvLayout::new(
+            Layout::new(ituple![4, 8], ituple![64, 1]).unwrap(),
+            Layout::new(ituple![2, 4], ituple![32, 8]).unwrap(),
+            vec![8, 32],
+        )
+        .unwrap();
+        assert!(p.is_exclusive());
+        assert!(q.is_exclusive());
+        let q_inv = q.inverse().unwrap();
+        let expected =
+            Layout::new(ituple![(8, 4), (2, 4)], ituple![(4, 64), (32, 1)]).unwrap();
+        assert!(q_inv.equivalent(&expected));
+    }
+
+    #[test]
+    fn contiguous_layout_covers_tile() {
+        let tv = TvLayout::contiguous(32, 8, vec![64, 64]).unwrap();
+        assert_eq!(tv.num_threads(), 32);
+        assert_eq!(tv.values_per_thread(), 8 * 16);
+        assert!(tv.is_exclusive());
+        // Thread 1's first element starts right after thread 0's 8 elements.
+        assert_eq!(tv.map(1, 0), 8);
+        // Second round starts after 32 * 8 elements.
+        assert_eq!(tv.map(0, 8), 256);
+    }
+
+    #[test]
+    fn contiguous_rejects_uncoverable_tiles() {
+        assert!(TvLayout::contiguous(32, 8, vec![100]).is_err());
+    }
+
+    #[test]
+    fn owners_of_broadcast_layout() {
+        // Two "warps" both hold the whole 4-element tile.
+        let tv = TvLayout::new(
+            Layout::from_flat(&[4, 2], &[1, 0]),
+            Layout::from_mode(1, 0),
+            vec![4],
+        )
+        .unwrap();
+        assert!(!tv.is_exclusive());
+        let owners = tv.owners_of(2);
+        assert_eq!(owners, vec![(2, 0), (6, 0)]);
+    }
+
+    #[test]
+    fn expand_mma_atom_over_block_tile() {
+        // The m16n8k16 mma C-operand atom: 32 threads, 4 values over a 16x8 tile.
+        let atom = TvLayout::new(
+            Layout::new(ituple![4, 8], ituple![32, 1]).unwrap(),
+            Layout::new(ituple![2, 2], ituple![16, 8]).unwrap(),
+            vec![16, 8],
+        )
+        .unwrap();
+        assert!(atom.is_exclusive());
+        // Expand to a 64x64 block tile: 2x2 warps, 2x4 value repetitions.
+        let full = atom
+            .expand(
+                &[RepeatMode::along(2, 0), RepeatMode::along(2, 1)],
+                &[RepeatMode::along(2, 0), RepeatMode::along(4, 1)],
+            )
+            .unwrap();
+        assert_eq!(full.tile_shape(), &[64, 64]);
+        assert_eq!(full.num_threads(), 128);
+        assert_eq!(full.values_per_thread(), 32);
+        assert!(full.is_exclusive());
+        // Thread 0 of warp 0 still owns element (0, 0).
+        assert_eq!(full.tile_coords(0, 0), vec![0, 0]);
+        // The first thread of warp (1, 0) (thread 32) owns element (16, 0).
+        assert_eq!(full.tile_coords(32, 0), vec![16, 0]);
+        // The first thread of warp (0, 1) (thread 64) owns element (0, 8).
+        assert_eq!(full.tile_coords(64, 0), vec![0, 8]);
+    }
+
+    #[test]
+    fn expand_with_broadcast_threads() {
+        // An A-operand style layout: warps along N do not advance over A.
+        let atom = TvLayout::new(
+            Layout::new(ituple![4, 8], ituple![32, 1]).unwrap(),
+            Layout::new(ituple![2, 2], ituple![16, 8]).unwrap(),
+            vec![16, 8],
+        )
+        .unwrap();
+        let full = atom
+            .expand(
+                &[RepeatMode::along(2, 0), RepeatMode::broadcast(2)],
+                &[RepeatMode::along(2, 1)],
+            )
+            .unwrap();
+        assert_eq!(full.tile_shape(), &[32, 16]);
+        assert_eq!(full.num_threads(), 128);
+        assert!(!full.is_exclusive());
+        // Threads 64.. replicate the data of threads 0..64.
+        assert_eq!(full.map(0, 0), full.map(64, 0));
+        assert_eq!(full.map(35, 2), full.map(99, 2));
+    }
+
+    #[test]
+    fn expand_rejects_bad_dims() {
+        let atom = paper_fig1b();
+        assert!(atom.expand(&[RepeatMode::along(2, 5)], &[]).is_err());
+    }
+
+    #[test]
+    fn display_mentions_tile() {
+        let f = paper_fig1b();
+        let s = f.to_string();
+        assert!(s.contains("[4, 8]"));
+    }
+}

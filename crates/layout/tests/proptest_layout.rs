@@ -1,0 +1,188 @@
+//! Property-based tests for the layout algebra.
+//!
+//! These check the algebraic laws the Hexcute synthesis engine relies on:
+//! coalescing preserves the function, composition agrees with pointwise
+//! function composition, inverses really invert, complements tile the target
+//! interval, and swizzles are bijections.
+
+use hexcute_layout::{Layout, Swizzle, SwizzledLayout, TvLayout};
+use proptest::prelude::*;
+
+/// Strategy producing small flat layouts whose modes have power-of-two-ish
+/// shapes and strides built as products of previous extents (guaranteeing a
+/// compact bijection when `compact` is true).
+fn compact_layout(max_modes: usize) -> impl Strategy<Value = Layout> {
+    proptest::collection::vec(1usize..=4, 1..=max_modes).prop_flat_map(|log_shapes| {
+        let shapes: Vec<usize> = log_shapes.iter().map(|&l| 1usize << l).collect();
+        let n = shapes.len();
+        // Choose a permutation of the modes to order their strides.
+        proptest::collection::vec(0usize..1000, n).prop_map(move |keys| {
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by_key(|&i| keys[i]);
+            let mut strides = vec![0usize; n];
+            let mut acc = 1usize;
+            for &i in &order {
+                strides[i] = acc;
+                acc *= shapes[i];
+            }
+            Layout::from_flat(&shapes, &strides)
+        })
+    })
+}
+
+/// Strategy producing arbitrary (possibly non-injective) small layouts.
+fn any_layout(max_modes: usize) -> impl Strategy<Value = Layout> {
+    proptest::collection::vec((1usize..=6, 0usize..=12), 1..=max_modes)
+        .prop_map(|modes| Layout::from_modes(&modes))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn coalesce_preserves_the_function(layout in any_layout(4)) {
+        let coalesced = layout.coalesce();
+        prop_assert!(layout.equivalent(&coalesced), "{layout} != {coalesced}");
+    }
+
+    #[test]
+    fn flatten_preserves_the_function(layout in any_layout(4)) {
+        prop_assert!(layout.equivalent(&layout.flatten()));
+    }
+
+    #[test]
+    fn compact_layouts_are_bijections(layout in compact_layout(4)) {
+        prop_assert!(layout.is_compact_bijection());
+    }
+
+    #[test]
+    fn right_inverse_inverts(layout in compact_layout(4)) {
+        let inv = layout.right_inverse().unwrap();
+        for j in 0..layout.size() {
+            prop_assert_eq!(layout.map(inv.map(j)), j);
+        }
+        // The inverse of a compact bijection is itself a compact bijection.
+        prop_assert!(inv.is_compact_bijection());
+    }
+
+    #[test]
+    fn left_inverse_inverts_strided_layouts(
+        layout in compact_layout(3),
+        scale in 1usize..=4,
+    ) {
+        let strided = layout.scale_strides(scale);
+        let linv = strided.left_inverse().unwrap();
+        for i in 0..strided.size() {
+            prop_assert_eq!(linv.map(strided.map(i)), i);
+        }
+    }
+
+    #[test]
+    fn composition_matches_pointwise(
+        a in compact_layout(4),
+        b in compact_layout(3),
+        scale_log in 0usize..=2,
+    ) {
+        // Composition follows CuTe's admissibility conditions: the rhs must be
+        // an injective, non-overlapping layout (a tiler). Restrict b so its
+        // cosize stays inside a's domain, which keeps the comparison away
+        // from the last-mode-extension region.
+        let b = b.scale_strides(1 << scale_log);
+        if b.cosize() <= a.size() {
+            if let Ok(r) = a.compose(&b) {
+                for i in 0..b.size() {
+                    prop_assert_eq!(r.map(i), a.map(b.map(i)), "at index {}", i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn composition_with_identity_is_identity(a in compact_layout(4)) {
+        let id = Layout::identity(a.size());
+        let r = a.compose(&id).unwrap();
+        prop_assert!(r.equivalent(&a));
+        let l = Layout::identity(a.cosize()).compose(&a).unwrap();
+        prop_assert!(l.equivalent(&a));
+    }
+
+    #[test]
+    fn complement_tiles_the_interval(layout in compact_layout(3), extra in 1usize..=3) {
+        let strided = layout.scale_strides(2);
+        let target = strided.cosize().next_power_of_two() * (1 << extra);
+        if let Ok(c) = strided.complement(target) {
+            let full = Layout::make_pair(&strided, &c);
+            prop_assert_eq!(full.size(), target);
+            prop_assert!(full.is_compact_bijection());
+        }
+    }
+
+    #[test]
+    fn logical_divide_partitions_the_domain(
+        inner_log in 1usize..=3,
+        outer_log in 1usize..=3,
+    ) {
+        let total = 1usize << (inner_log + outer_log + 2);
+        let a = Layout::identity(total);
+        let tiler = Layout::from_mode(1 << inner_log, 1 << outer_log);
+        let (intra, inter) = a.zipped_divide(&tiler).unwrap();
+        let mut seen: Vec<usize> = Vec::with_capacity(total);
+        for t in 0..inter.size() {
+            for e in 0..intra.size() {
+                seen.push(intra.map(e) + inter.map(t));
+            }
+        }
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..total).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn swizzles_are_bijections(bits in 0u32..=3, base in 0u32..=4, block in 0usize..8) {
+        let s = Swizzle::new(bits, base, 3);
+        let n = 1usize << 10;
+        let offset = block * n;
+        let mut seen = std::collections::HashSet::with_capacity(n);
+        for x in offset..offset + n {
+            prop_assert!(seen.insert(s.apply(x)));
+            prop_assert_eq!(s.apply(s.apply(x)), x);
+        }
+    }
+
+    #[test]
+    fn swizzled_layouts_stay_injective(layout in compact_layout(4)) {
+        for s in Swizzle::candidates() {
+            let sl = SwizzledLayout::new(s, layout.clone());
+            prop_assert!(sl.is_injective());
+        }
+    }
+
+    #[test]
+    fn contiguous_tv_layouts_are_exclusive(
+        threads_log in 3usize..=7,
+        values_log in 0usize..=3,
+        rounds_log in 0usize..=2,
+    ) {
+        let threads = 1 << threads_log;
+        let values = 1 << values_log;
+        let total = threads * values * (1 << rounds_log);
+        let tv = TvLayout::contiguous(threads, values, vec![total]).unwrap();
+        prop_assert!(tv.is_exclusive());
+        // Consecutive threads own consecutive vectors.
+        prop_assert_eq!(tv.map(1, 0), values);
+    }
+
+    #[test]
+    fn tv_inverse_round_trips(threads_log in 3usize..=6, values_log in 0usize..=3) {
+        let threads = 1usize << threads_log;
+        let values = 1usize << values_log;
+        let tv = TvLayout::contiguous(threads, values, vec![threads * values]).unwrap();
+        let inv = tv.inverse().unwrap();
+        for t in 0..threads {
+            for v in 0..values {
+                let tile_idx = tv.map(t, v);
+                // The inverse maps the tile index back to the (t, v) linear index.
+                prop_assert_eq!(inv.map(tile_idx), t + threads * v);
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Error type for the simulators.
+
+use std::fmt;
+
+/// Errors produced by the functional or performance simulators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A register tensor has no synthesized thread-value layout.
+    MissingLayout(String),
+    /// An input buffer is smaller than the global view requires.
+    ShortBuffer {
+        /// Tensor name.
+        tensor: String,
+        /// Required number of elements.
+        required: usize,
+        /// Provided number of elements.
+        provided: usize,
+    },
+    /// The program uses a feature the simulator does not model.
+    Unsupported(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MissingLayout(name) => write!(f, "tensor {name} has no synthesized layout"),
+            SimError::ShortBuffer { tensor, required, provided } => write!(
+                f,
+                "buffer for {tensor} has {provided} elements but the view requires {required}"
+            ),
+            SimError::Unsupported(what) => write!(f, "unsupported by the simulator: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, SimError>;

@@ -1,0 +1,285 @@
+//! The thread-value layout constraints of Fig. 19 of the paper, implemented
+//! both algebraically (for solving) and numerically (for verification).
+//!
+//! * `copy(a, b)` implemented by instruction `I` with operand layouts `p`
+//!   (source side) and `q` (destination side) requires `f ∘ p⁻¹ = g ∘ q⁻¹`.
+//! * `gemm(a, b, c)` implemented by a Tensor Core atom requires the three
+//!   dimension-wise consistency equations of Theorem 1.
+//! * `elementwise` requires identical layouts; `reduce` requires the output
+//!   layout to equal the input layout with the reduced dimension collapsed.
+
+use hexcute_arch::MmaAtom;
+use hexcute_layout::{Layout, LayoutError, TvLayout};
+
+/// Solves the copy constraint for the unknown source-side layout:
+/// `f = g ∘ q⁻¹ ∘ p` (the rewriting of Fig. 19(a) used in Algorithm 1,
+/// line 22).
+///
+/// # Errors
+///
+/// Propagates layout-algebra errors (non-invertible `q`, indivisible
+/// composition).
+pub fn solve_copy_peer(g: &TvLayout, q: &TvLayout, p: &TvLayout) -> Result<TvLayout, LayoutError> {
+    let q_inv = q.inverse()?;
+    let g_of_qinv = g.as_layout().compose(&q_inv)?;
+    let thread = g_of_qinv.compose(&p.thread().clone())?;
+    let value = g_of_qinv.compose(&p.value().clone())?;
+    TvLayout::new(thread, value, g.tile_shape().to_vec())
+}
+
+/// Numerically verifies the copy constraint `f ∘ p⁻¹ = g ∘ q⁻¹` over the
+/// instruction tile.
+pub fn copy_constraint_holds(f: &TvLayout, p: &TvLayout, g: &TvLayout, q: &TvLayout) -> bool {
+    let p_inv = match p.inverse() {
+        Ok(inv) => inv,
+        Err(_) => return false,
+    };
+    let q_inv = match q.inverse() {
+        Ok(inv) => inv,
+        Err(_) => return false,
+    };
+    let tile = p.tile_size();
+    if tile != q.tile_size() {
+        return false;
+    }
+    for x in 0..tile {
+        let via_p = tv_apply(f, p.num_threads(), p_inv.map(x));
+        let via_q = tv_apply(g, q.num_threads(), q_inv.map(x));
+        if via_p != via_q {
+            return false;
+        }
+    }
+    true
+}
+
+/// Applies an operation-level TV layout to a thread-value *linear* index that
+/// was produced with `threads` threads (column-major `(t, v)` packing).
+fn tv_apply(layout: &TvLayout, threads: usize, tv_index: usize) -> usize {
+    let t = tv_index % threads;
+    let v = tv_index / threads;
+    layout.map(t, v)
+}
+
+/// Numerically verifies the three `gemm` consistency equations of Theorem 1
+/// for operation-level layouts `fa`, `fb`, `fc` and the instruction atom.
+///
+/// The check enumerates the atom's coordinates; because the synthesis engine
+/// embeds the atom as the innermost modes of the expanded layouts, the atom's
+/// `(thread, value)` indices address the first instruction invocation of the
+/// operation directly.
+pub fn gemm_constraint_holds(fa: &TvLayout, fb: &TvLayout, fc: &TvLayout, atom: &MmaAtom) -> bool {
+    let (pa_inv, pb_inv, pc_inv) = match (atom.a.inverse(), atom.b.inverse(), atom.c.inverse()) {
+        (Ok(a), Ok(b), Ok(c)) => (a, b, c),
+        _ => return false,
+    };
+    let threads = atom.threads;
+
+    // M dimension: embed m_i as (m_i, 0) in both the C tile and the A tile.
+    for m_i in 0..atom.m {
+        let c_idx = m_i; // column-major (m, n) with n = 0
+        let a_idx = m_i; // column-major (m, k) with k = 0
+        let m_via_c = fc_coord(fc, threads, pc_inv.map(c_idx))[0];
+        let m_via_a = fc_coord(fa, threads, pa_inv.map(a_idx))[0];
+        if m_via_c != m_via_a {
+            return false;
+        }
+    }
+    // N dimension: embed n_i as (0, n_i) in C and (n_i, 0) in B.
+    for n_i in 0..atom.n {
+        let c_idx = n_i * atom.m;
+        let b_idx = n_i;
+        let n_via_c = fc_coord(fc, threads, pc_inv.map(c_idx))[1];
+        let n_via_b = fc_coord(fb, threads, pb_inv.map(b_idx))[0];
+        if n_via_c != n_via_b {
+            return false;
+        }
+    }
+    // K dimension: embed k_i as (0, k_i) in both A and B.
+    for k_i in 0..atom.k {
+        let a_idx = k_i * atom.m;
+        let b_idx = k_i * atom.n;
+        let k_via_a = fc_coord(fa, threads, pa_inv.map(a_idx))[1];
+        let k_via_b = fc_coord(fb, threads, pb_inv.map(b_idx))[1];
+        if k_via_a != k_via_b {
+            return false;
+        }
+    }
+    true
+}
+
+fn fc_coord(layout: &TvLayout, threads: usize, tv_index: usize) -> Vec<usize> {
+    let t = tv_index % threads;
+    let v = tv_index / threads;
+    layout.tile_coords(t, v)
+}
+
+/// Returns `true` when two layouts distribute a tile identically (the
+/// `elementwise` constraint of Fig. 19(c)).
+pub fn same_distribution(a: &TvLayout, b: &TvLayout) -> bool {
+    a.num_threads() == b.num_threads()
+        && a.values_per_thread() == b.values_per_thread()
+        && a.as_layout().equivalent(&b.as_layout())
+}
+
+/// Collapses the given tile dimension of a thread-value layout, producing the
+/// output layout of a `reduce` operation (Fig. 19(d)): every element that
+/// differed only in the reduced coordinate now maps to the same position.
+///
+/// # Errors
+///
+/// Propagates composition errors (should not occur for synthesized layouts).
+pub fn collapse_dim(tv: &TvLayout, dim: usize) -> Result<TvLayout, LayoutError> {
+    let src_shape = tv.tile_shape();
+    let mut dst_shape = src_shape.to_vec();
+    if dim < dst_shape.len() {
+        dst_shape[dim] = 1;
+    }
+    // Column-major strides of the destination tile, with the reduced
+    // dimension projected out (stride 0).
+    let mut strides = Vec::with_capacity(src_shape.len());
+    let mut acc = 1usize;
+    for (d, &extent) in dst_shape.iter().enumerate() {
+        if d == dim {
+            strides.push(0);
+        } else {
+            strides.push(acc);
+        }
+        acc *= extent.max(1);
+    }
+    let projection = Layout::from_flat(src_shape, &strides);
+    let thread = projection.compose(tv.thread())?;
+    let value = projection.compose(tv.value())?;
+    TvLayout::new(thread, value, dst_shape)
+}
+
+/// Computes the length of the longest run of values held by a single thread
+/// that is contiguous along tile dimension `dim` — the quantity that bounds
+/// the usable vector width of a copy instruction.
+pub fn contiguous_run_along(tv: &TvLayout, dim: usize) -> usize {
+    let tile = tv.tile_shape();
+    if tv.values_per_thread() == 0 {
+        return 1;
+    }
+    // The stride (in the tile's column-major linearization) of one step along
+    // `dim`.
+    let mut step = 1usize;
+    for &extent in tile.iter().take(dim) {
+        step *= extent;
+    }
+    let values = tv.values_per_thread();
+    let mut best = 1usize;
+    let mut run = 1usize;
+    for v in 1..values {
+        let prev = tv.map(0, v - 1);
+        let cur = tv.map(0, v);
+        if cur == prev + step {
+            run += 1;
+            best = best.max(run);
+        } else {
+            run = 1;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hexcute_arch::{ldmatrix_layouts, mma_m16n8k16, DType};
+    use hexcute_layout::RepeatMode;
+
+    #[test]
+    fn solve_copy_peer_round_trips_on_ldmatrix() {
+        // Given the register-side layout g = q (the ldmatrix destination
+        // fragment), the source-side layout solved from the constraint must
+        // equal p (the row-pointer coverage), and vice versa.
+        let (p, q) = ldmatrix_layouts(4);
+        let f = solve_copy_peer(&q, &q, &p).unwrap();
+        assert!(same_distribution(&f, &p));
+        assert!(copy_constraint_holds(&f, &p, &q, &q));
+    }
+
+    #[test]
+    fn copy_constraint_detects_mismatch() {
+        let (p, q) = ldmatrix_layouts(4);
+        // Claiming the register side is also distributed like the row
+        // coverage violates the constraint.
+        assert!(!copy_constraint_holds(&p, &p, &p, &q));
+        assert!(copy_constraint_holds(&p, &p, &q, &q));
+    }
+
+    #[test]
+    fn identity_instruction_keeps_distributions_equal() {
+        // A plain vector copy has p == q, so the constraint degenerates to
+        // f == g.
+        let atom = TvLayout::contiguous(32, 8, vec![256]).unwrap();
+        assert!(copy_constraint_holds(&atom, &atom, &atom, &atom));
+    }
+
+    #[test]
+    fn gemm_constraints_hold_for_the_atom_itself() {
+        let atom = mma_m16n8k16(DType::F16, DType::F32);
+        assert!(gemm_constraint_holds(&atom.a, &atom.b, &atom.c, &atom));
+    }
+
+    #[test]
+    fn gemm_constraints_hold_for_expanded_tiles() {
+        let atom = mma_m16n8k16(DType::F16, DType::F32);
+        // 2x2 warps over a 64x32 C tile, K tile of 32.
+        let fc = atom
+            .c
+            .expand(
+                &[RepeatMode::along(2, 0), RepeatMode::along(2, 1)],
+                &[RepeatMode::along(2, 0), RepeatMode::along(2, 1)],
+            )
+            .unwrap();
+        let fa = atom
+            .a
+            .expand(
+                &[RepeatMode::along(2, 0), RepeatMode::broadcast(2)],
+                &[RepeatMode::along(2, 0), RepeatMode::along(2, 1)],
+            )
+            .unwrap();
+        let fb = atom
+            .b
+            .expand(
+                &[RepeatMode::broadcast(2), RepeatMode::along(2, 0)],
+                &[RepeatMode::along(2, 0), RepeatMode::along(2, 1)],
+            )
+            .unwrap();
+        assert!(gemm_constraint_holds(&fa, &fb, &fc, &atom));
+    }
+
+    #[test]
+    fn gemm_constraints_reject_inconsistent_layouts() {
+        let atom = mma_m16n8k16(DType::F16, DType::F32);
+        // Swapping the A and B layouts breaks the M/N correspondences.
+        assert!(!gemm_constraint_holds(&atom.b, &atom.a, &atom.c, &atom));
+    }
+
+    #[test]
+    fn collapse_dim_projects_the_reduced_axis() {
+        let atom = mma_m16n8k16(DType::F16, DType::F32);
+        let collapsed = collapse_dim(&atom.c, 1).unwrap();
+        assert_eq!(collapsed.tile_shape(), &[16, 1]);
+        // Every value of thread 0 now maps to rows 0 or 8 with column 0.
+        for v in 0..collapsed.values_per_thread() {
+            let coords = collapsed.tile_coords(0, v);
+            assert_eq!(coords[1], 0);
+            assert!(coords[0] == 0 || coords[0] == 8);
+        }
+        // Threads that differed only in the N coordinate now alias.
+        assert_eq!(collapsed.map(0, 0), collapsed.map(1, 0));
+    }
+
+    #[test]
+    fn contiguous_runs() {
+        // 8 contiguous elements per thread along a flat tile.
+        let flat = TvLayout::contiguous(32, 8, vec![256]).unwrap();
+        assert_eq!(contiguous_run_along(&flat, 0), 8);
+        // The mma C fragment holds pairs contiguous along N (dim 1).
+        let atom = mma_m16n8k16(DType::F16, DType::F32);
+        assert_eq!(contiguous_run_along(&atom.c, 1), 2);
+        assert_eq!(contiguous_run_along(&atom.c, 0), 1);
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for layout synthesis.
+
+use std::fmt;
+
+use hexcute_layout::LayoutError;
+
+/// Errors produced by thread-value and shared-memory layout synthesis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthesisError {
+    /// No Tensor Core instruction matches the operand data types on the
+    /// target architecture.
+    NoMmaInstruction {
+        /// Description of the requested operand types.
+        requested: String,
+    },
+    /// The thread-block tile cannot be partitioned across the available
+    /// warps with the chosen instruction.
+    NoWarpTiling {
+        /// The C tile shape.
+        tile: (usize, usize),
+        /// The instruction tile shape.
+        instruction: (usize, usize),
+        /// Warps (or warp groups) available.
+        units: usize,
+    },
+    /// The K extent of the operand tile is not divisible by the instruction's
+    /// K extent.
+    BadKExtent {
+        /// The tile's K extent.
+        tile_k: usize,
+        /// The instruction's K extent.
+        instruction_k: usize,
+    },
+    /// A layout-algebra operation failed while solving constraints.
+    Layout(LayoutError),
+    /// The shared-memory layout constraints could not be unified.
+    SmemUnsatisfiable {
+        /// The tensor whose constraints conflict.
+        tensor: String,
+        /// Explanation.
+        reason: String,
+    },
+    /// No valid candidate program exists (should not happen: the scalar
+    /// fallback is always valid).
+    NoCandidates,
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::NoMmaInstruction { requested } => {
+                write!(f, "no Tensor Core instruction available for {requested}")
+            }
+            SynthesisError::NoWarpTiling { tile, instruction, units } => write!(
+                f,
+                "cannot tile a {}x{} accumulator with {}x{} instructions across {units} warps",
+                tile.0, tile.1, instruction.0, instruction.1
+            ),
+            SynthesisError::BadKExtent { tile_k, instruction_k } => write!(
+                f,
+                "tile K extent {tile_k} is not a multiple of the instruction K extent {instruction_k}"
+            ),
+            SynthesisError::Layout(e) => write!(f, "layout algebra error: {e}"),
+            SynthesisError::SmemUnsatisfiable { tensor, reason } => {
+                write!(f, "shared-memory layout constraints for {tensor} are unsatisfiable: {reason}")
+            }
+            SynthesisError::NoCandidates => write!(f, "the search produced no valid candidate programs"),
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
+impl From<LayoutError> for SynthesisError {
+    fn from(e: LayoutError) -> Self {
+        SynthesisError::Layout(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, SynthesisError>;

@@ -1,0 +1,43 @@
+//! # hexcute-synthesis
+//!
+//! Constraint-based layout synthesis — the core contribution of the Hexcute
+//! paper (Sections IV and V).
+//!
+//! The [`Synthesizer`] takes a tile-level [`hexcute_ir::Program`] and a
+//! target [`hexcute_arch::GpuArch`] and produces [`Candidate`] programs in
+//! which
+//!
+//! * every register tensor has a synthesized **thread-value layout**, solved
+//!   from the constraints that tie tile-level operations to the collective
+//!   instructions implementing them (`f ∘ p⁻¹ = g ∘ q⁻¹` for copies, the
+//!   Theorem-1 equations for `gemm`, equality for `elementwise`, and a
+//!   dimension collapse for `reduce`);
+//! * every `copy` and `gemm` has a selected collective instruction
+//!   (`mma`/`wgmma`, `ldmatrix`, `cp.async`, vectorized `ld/st`, TMA, or the
+//!   scalar fallback), with alternatives enumerated as a search tree;
+//! * every shared-memory tensor has a synthesized base layout (obtained by
+//!   unifying the alignment-aware layout constraints of all copies touching
+//!   it) composed with a swizzle selected to eliminate bank conflicts.
+//!
+//! The candidates are ranked by the analytical cost model in
+//! `hexcute-costmodel`; the driver in `hexcute-core` ties the two together.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod choice;
+mod constraints;
+mod engine;
+mod error;
+mod options;
+mod smem;
+
+pub use choice::{Candidate, CopyChoice, MmaChoice, RearrangeFix};
+pub use constraints::{
+    collapse_dim, contiguous_run_along, copy_constraint_holds, gemm_constraint_holds,
+    same_distribution, solve_copy_peer,
+};
+pub use engine::Synthesizer;
+pub use error::{Result, SynthesisError};
+pub use options::SynthesisOptions;
+pub use smem::{bank_conflict_degree, synthesize_smem_layouts, ConstraintMode, LayoutConstraint};

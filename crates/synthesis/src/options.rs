@@ -1,0 +1,90 @@
+//! Synthesis options: which instruction families the search may use and the
+//! ablation switches used in Section VII-E of the paper.
+
+/// Options controlling the layout-synthesis search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisOptions {
+    /// Allow `ldmatrix` for shared→register copies.
+    pub allow_ldmatrix: bool,
+    /// Allow `cp.async` for global→shared copies.
+    pub allow_cp_async: bool,
+    /// Allow TMA bulk copies on architectures that support it.
+    pub allow_tma: bool,
+    /// Allow warp-group MMA (`wgmma`) on architectures that support it.
+    pub allow_wgmma: bool,
+    /// Upper bound on the number of candidate programs returned by the
+    /// search tree expansion.
+    pub max_candidates: usize,
+    /// Ablation: force every copy to use scalar (1-byte-per-thread
+    /// element-wise) instructions, mimicking the fallback path.
+    pub force_scalar_copies: bool,
+    /// Ablation: force shared-memory tensors to a plain row-major layout
+    /// without alignment-aware synthesis (the "Triton layout" ablation of
+    /// Fig. 14).
+    pub force_row_major_smem: bool,
+    /// Ablation: disable swizzle selection (keeps whatever bank conflicts the
+    /// base layout has).
+    pub disable_swizzles: bool,
+    /// Allow non-power-of-two warp tilings of the C tile (the paper notes 28
+    /// of 40 GEMM shapes pick non-power-of-two tiles on H100).
+    pub allow_non_power_of_two_tiles: bool,
+}
+
+impl Default for SynthesisOptions {
+    fn default() -> Self {
+        SynthesisOptions {
+            allow_ldmatrix: true,
+            allow_cp_async: true,
+            allow_tma: true,
+            allow_wgmma: true,
+            max_candidates: 128,
+            force_scalar_copies: false,
+            force_row_major_smem: false,
+            disable_swizzles: false,
+            allow_non_power_of_two_tiles: true,
+        }
+    }
+}
+
+impl SynthesisOptions {
+    /// The default option set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Options mimicking the scalar-fallback ablation.
+    pub fn scalar_fallback() -> Self {
+        SynthesisOptions { force_scalar_copies: true, ..Self::default() }
+    }
+
+    /// Options mimicking the "Triton shared-memory layout" ablation of
+    /// Fig. 14 (row-major shared memory, no swizzle search).
+    pub fn triton_smem_layout() -> Self {
+        SynthesisOptions {
+            force_row_major_smem: true,
+            disable_swizzles: true,
+            allow_ldmatrix: false,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_enable_everything() {
+        let o = SynthesisOptions::default();
+        assert!(o.allow_ldmatrix && o.allow_cp_async && o.allow_tma && o.allow_wgmma);
+        assert!(!o.force_scalar_copies);
+        assert!(o.max_candidates >= 16);
+    }
+
+    #[test]
+    fn ablation_presets() {
+        assert!(SynthesisOptions::scalar_fallback().force_scalar_copies);
+        let t = SynthesisOptions::triton_smem_layout();
+        assert!(t.force_row_major_smem && t.disable_swizzles && !t.allow_ldmatrix);
+    }
+}

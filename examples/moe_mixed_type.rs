@@ -1,0 +1,56 @@
+//! The mixed-type (FP16 × INT4) mixture-of-experts kernel: the workload where
+//! Hexcute's layout synthesis matters most (Section VII-B, Fig. 11).
+//!
+//! Compiles the Hexcute kernel (Marlin-style dataflow), the same kernel with
+//! Triton's dataflow, and the Triton-style compilation, and compares them
+//! against the Marlin baselines.
+//!
+//! ```bash
+//! cargo run --example moe_mixed_type
+//! ```
+
+use hexcute::arch::GpuArch;
+use hexcute::baselines::{
+    marlin_new_moe_latency_us, marlin_old_moe_latency_us, triton_latency_us, triton_moe_program,
+};
+use hexcute::core::Compiler;
+use hexcute::kernels::moe::{mixed_type_moe, MoeConfig, MoeDataflow, MoeShape};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arch = GpuArch::h100();
+    let compiler = Compiler::new(arch.clone());
+    let config = MoeConfig::default();
+
+    println!("mixed-type MoE, 256 experts (DeepSeek-R1-AWQ layer), H100\n");
+    println!("{:>8}  {:>12} {:>12} {:>12} {:>12}", "tokens", "Marlin-old", "Triton", "Marlin-new", "Hexcute");
+    for tokens in [1usize, 16, 64, 256, 1024] {
+        let shape = MoeShape::deepseek_r1(tokens);
+        let hexcute = compiler
+            .compile(&mixed_type_moe(shape, config, MoeDataflow::Efficient)?)?
+            .latency_us();
+        let triton = triton_latency_us(&triton_moe_program(shape, config)?, &arch)?.latency_us;
+        println!(
+            "{:>8}  {:>10.1}us {:>10.1}us {:>10.1}us {:>10.1}us",
+            tokens,
+            marlin_old_moe_latency_us(&shape, &arch),
+            triton,
+            marlin_new_moe_latency_us(&shape, &arch),
+            hexcute
+        );
+    }
+
+    // Show the dataflow difference for one configuration.
+    let shape = MoeShape::deepseek_r1(64);
+    let efficient = compiler.compile(&mixed_type_moe(shape, config, MoeDataflow::Efficient)?)?;
+    let triton_flow = compiler.compile(&mixed_type_moe(shape, config, MoeDataflow::TritonStyle)?)?;
+    println!("\nFig. 4 dataflow comparison at 64 tokens:");
+    println!("  efficient (Marlin-style) dataflow: {:.1} us", efficient.latency_us());
+    println!("  Triton-style dataflow:             {:.1} us", triton_flow.latency_us());
+    println!("\ninstruction selection for the weight path (efficient dataflow):");
+    for (op, instr, bytes) in efficient.candidate.instruction_summary(&efficient.program) {
+        if bytes > 0 {
+            println!("  {op}: {instr} ({bytes} B/thread)");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,101 @@
+//! Integration tests asserting the qualitative claims of the paper's
+//! evaluation hold in this reproduction (directions and rough magnitudes;
+//! the exact factors are recorded in EXPERIMENTS.md).
+
+use hexcute::arch::GpuArch;
+use hexcute::baselines::{marlin_new_moe_latency_us, marlin_old_moe_latency_us, triton_latency_us, triton_moe_program};
+use hexcute::core::Compiler;
+use hexcute::e2e::{decode_latency_ms, KernelBackend, ModelConfig};
+use hexcute::kernels::moe::{mixed_type_moe, MoeConfig, MoeDataflow, MoeShape};
+
+/// Section VII-B / Fig. 11: Hexcute beats Triton by a large factor on the
+/// mixed-type MoE, beats Marlin-old by an even larger one, and is in the same
+/// ballpark as Marlin-new.
+#[test]
+fn moe_speedup_ordering_matches_fig11() {
+    let arch = GpuArch::h100();
+    let config = MoeConfig::default();
+    let compiler = Compiler::new(arch.clone());
+    let mut vs_triton = Vec::new();
+    let mut vs_marlin_old = Vec::new();
+    let mut vs_marlin_new = Vec::new();
+    for tokens in [16usize, 128, 1024] {
+        let shape = MoeShape::deepseek_r1(tokens);
+        let hexcute = compiler
+            .compile(&mixed_type_moe(shape, config, MoeDataflow::Efficient).unwrap())
+            .unwrap()
+            .latency_us();
+        let triton = triton_latency_us(&triton_moe_program(shape, config).unwrap(), &arch)
+            .unwrap()
+            .latency_us;
+        vs_triton.push(triton / hexcute);
+        vs_marlin_old.push(marlin_old_moe_latency_us(&shape, &arch) / hexcute);
+        vs_marlin_new.push(marlin_new_moe_latency_us(&shape, &arch) / hexcute);
+    }
+    let geo = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
+    let triton_speedup = geo(&vs_triton);
+    let marlin_old_speedup = geo(&vs_marlin_old);
+    let marlin_new_ratio = geo(&vs_marlin_new);
+    // Paper: 6.46x over Triton, 28.42x over Marlin-old, ~0.96x of Marlin-new.
+    assert!(triton_speedup > 2.0, "Hexcute vs Triton only {triton_speedup:.2}x");
+    assert!(marlin_old_speedup > triton_speedup, "Marlin-old should be the slowest baseline");
+    // The simulator credits Hexcute's L2 reuse while the Marlin-new model is
+    // a DRAM roofline, so this ratio lands above the paper's 0.96x; it must
+    // still stay within the same order of magnitude (see EXPERIMENTS.md).
+    assert!(
+        marlin_new_ratio > 0.4 && marlin_new_ratio < 4.0,
+        "Hexcute should be within the Marlin-new ballpark, got {marlin_new_ratio:.2}"
+    );
+}
+
+/// Section VII-A / Table II: across the standard operator families Hexcute is
+/// at least as fast as the Triton-style compilation.
+#[test]
+fn hexcute_never_loses_to_triton_on_table2_families() {
+    use hexcute_bench::table2::{evaluate_family, OperatorFamily};
+    for family in [
+        OperatorFamily::Fp16GemmA100,
+        OperatorFamily::MhaDecodingA100,
+        OperatorFamily::WarpSpecializedGemmH100,
+    ] {
+        for (shape, r) in evaluate_family(family, true) {
+            assert!(
+                r.hexcute_us <= r.triton_us * 1.02,
+                "{}: Hexcute ({:.1} us) slower than Triton ({:.1} us) on {}",
+                family.name(),
+                r.hexcute_us,
+                r.triton_us,
+                shape.label()
+            );
+        }
+    }
+}
+
+/// Section VII-C / Fig. 12: the analytical cost model picks candidates close
+/// to the simulated optimum.
+#[test]
+fn cost_model_selection_quality_is_high() {
+    use hexcute_bench::cost_model::{accuracy_shapes, evaluate_accuracy};
+    let points = evaluate_accuracy(&accuracy_shapes(true));
+    for p in &points {
+        assert!(p.ratio <= 1.15, "{:?}: cost model ratio {:.3}", p.shape, p.ratio);
+    }
+}
+
+/// Section VII-D / Fig. 13: end-to-end, the MoE-heavy model benefits the
+/// most, the dense FP8 model the least.
+#[test]
+fn end_to_end_speedups_follow_the_paper_ordering() {
+    let arch = GpuArch::h100();
+    let speedup = |model: ModelConfig| {
+        let baseline = decode_latency_ms(&model, KernelBackend::Baseline, 8, 2048, &arch).total_ms;
+        let hexcute = decode_latency_ms(&model, KernelBackend::Hexcute, 8, 2048, &arch).total_ms;
+        baseline / hexcute
+    };
+    let deepseek = speedup(ModelConfig::deepseek_r1_awq());
+    let jamba = speedup(ModelConfig::jamba_mini());
+    let qwen = speedup(ModelConfig::qwen3_32b());
+    assert!(deepseek > 1.2, "DeepSeek-R1-AWQ speedup {deepseek:.2}");
+    assert!(jamba > 1.0, "Jamba speedup {jamba:.2}");
+    assert!(qwen < deepseek, "the dense model should gain the least (qwen {qwen:.2} vs deepseek {deepseek:.2})");
+}

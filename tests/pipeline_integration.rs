@@ -1,0 +1,153 @@
+//! Cross-crate integration tests: the full pipeline (DSL → synthesis → cost
+//! model → lowering → simulation) for every kernel family on both target
+//! architectures.
+
+use std::collections::HashMap;
+
+use hexcute::arch::{DType, GpuArch};
+use hexcute::core::Compiler;
+use hexcute::ir::KernelBuilder;
+use hexcute::kernels::attention::{mha_decoding, mha_forward, AttentionConfig, AttentionShape};
+use hexcute::kernels::gemm::{fp16_gemm, fp8_blockwise_gemm, warp_specialized_gemm, GemmConfig, GemmShape};
+use hexcute::kernels::mamba::{selective_scan, ScanConfig, ScanShape};
+use hexcute::kernels::moe::{mixed_type_moe, MoeConfig, MoeDataflow, MoeShape};
+use hexcute::layout::Layout;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+#[test]
+fn every_kernel_family_compiles_on_its_target_architecture() {
+    let a100 = GpuArch::a100();
+    let h100 = GpuArch::h100();
+    let cases: Vec<(&str, hexcute::ir::Program, &GpuArch)> = vec![
+        (
+            "fp16 gemm",
+            fp16_gemm(GemmShape::new(4096, 4096, 4096), GemmConfig::default()).unwrap(),
+            &a100,
+        ),
+        (
+            "warp-specialized gemm",
+            warp_specialized_gemm(GemmShape::new(4096, 4096, 4096), GemmConfig::warp_specialized_hopper()).unwrap(),
+            &h100,
+        ),
+        (
+            "fp8 blockwise gemm",
+            fp8_blockwise_gemm(GemmShape::new(2048, 2048, 2048), GemmConfig::default()).unwrap(),
+            &h100,
+        ),
+        (
+            "mha forward",
+            mha_forward(AttentionShape::forward(1, 32, 2048, 128), AttentionConfig::default()).unwrap(),
+            &a100,
+        ),
+        (
+            "mha decoding",
+            mha_decoding(AttentionShape::decoding(16, 32, 4096, 128), AttentionConfig::default()).unwrap(),
+            &a100,
+        ),
+        (
+            "mixed-type moe",
+            mixed_type_moe(MoeShape::deepseek_r1(64), MoeConfig::default(), MoeDataflow::Efficient).unwrap(),
+            &h100,
+        ),
+        (
+            "mamba scan",
+            selective_scan(ScanShape::new(1, 4096, 16, 4096), ScanConfig::default()).unwrap(),
+            &h100,
+        ),
+    ];
+    for (name, program, arch) in cases {
+        let kernel = Compiler::new(arch.clone())
+            .compile(&program)
+            .unwrap_or_else(|e| panic!("{name}: compilation failed: {e}"));
+        assert!(kernel.latency_us() > 0.0, "{name}: zero latency");
+        assert!(kernel.stats.candidates_explored >= 1, "{name}: no candidates");
+        assert!(
+            kernel.stats.selection_quality < 1.25,
+            "{name}: cost model selected a candidate {:.2}x worse than the best",
+            kernel.stats.selection_quality
+        );
+        let source = kernel.cuda_source();
+        assert!(source.contains("__global__"), "{name}: missing kernel signature");
+        // Every register tensor received a synthesized thread-value layout.
+        for decl in kernel.program.tensors() {
+            if decl.space == hexcute::arch::MemSpace::Register {
+                assert!(
+                    kernel.candidate.tv_layouts.contains_key(&decl.id),
+                    "{name}: register tensor {} has no synthesized layout",
+                    decl.name
+                );
+            }
+        }
+        // Every shared tensor received a memory layout.
+        for id in kernel.program.shared_tensors() {
+            assert!(kernel.candidate.smem_layouts.contains_key(&id), "{name}: missing smem layout");
+        }
+    }
+}
+
+#[test]
+fn compiled_gemm_matches_reference_through_the_facade() {
+    let (m, n, k) = (128usize, 128usize, 64usize);
+    let mut kb = KernelBuilder::new("facade_gemm", 128);
+    let ga = kb.global_view("a", DType::F16, Layout::from_flat(&[m, k], &[k, 1]), &[m, k]);
+    let gb = kb.global_view("b", DType::F16, Layout::from_flat(&[n, k], &[k, 1]), &[n, k]);
+    let gc = kb.global_view("c", DType::F32, Layout::from_flat(&[m, n], &[n, 1]), &[m, n]);
+    let sa = kb.shared_tensor("sa", DType::F16, &[m, k]);
+    let sb = kb.shared_tensor("sb", DType::F16, &[n, k]);
+    let ra = kb.register_tensor("ra", DType::F16, &[m, k]);
+    let rb = kb.register_tensor("rb", DType::F16, &[n, k]);
+    let rc = kb.register_tensor("rc", DType::F32, &[m, n]);
+    kb.fill(rc, 0.0);
+    kb.copy(ga, sa);
+    kb.copy(gb, sb);
+    kb.copy(sa, ra);
+    kb.copy(sb, rb);
+    kb.gemm(rc, ra, rb);
+    kb.copy(rc, gc);
+    let program = kb.build().unwrap();
+
+    for arch in [GpuArch::a100(), GpuArch::h100()] {
+        let kernel = Compiler::new(arch).compile(&program).unwrap();
+        let mut rng = StdRng::seed_from_u64(123);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f32> = (0..n * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut inputs = HashMap::new();
+        inputs.insert("a".to_string(), a.clone());
+        inputs.insert("b".to_string(), b.clone());
+        let outputs = kernel.simulate(&inputs).unwrap();
+        let c = &outputs["c"];
+        for mi in (0..m).step_by(31) {
+            for ni in (0..n).step_by(17) {
+                let expect: f32 = (0..k).map(|ki| a[mi * k + ki] * b[ni * k + ki]).sum();
+                assert!(
+                    (c[mi * n + ni] - expect).abs() < 1e-3,
+                    "c[{mi},{ni}] = {} expected {expect}",
+                    c[mi * n + ni]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ablations_never_beat_the_full_compiler() {
+    use hexcute::core::{CompilerOptions, SynthesisOptions};
+    let arch = GpuArch::a100();
+    let program = fp16_gemm(GemmShape::new(4096, 4096, 4096), GemmConfig::default()).unwrap();
+    let full = Compiler::new(arch.clone()).compile(&program).unwrap();
+    for (name, options) in [
+        ("scalar copies", SynthesisOptions::scalar_fallback()),
+        ("triton smem layout", SynthesisOptions::triton_smem_layout()),
+    ] {
+        let ablated = Compiler::with_options(
+            arch.clone(),
+            CompilerOptions { synthesis: options, use_cost_model: true },
+        )
+        .compile(&program)
+        .unwrap();
+        assert!(
+            ablated.cost.total_cycles >= full.cost.total_cycles,
+            "{name}: ablation unexpectedly improved the block timeline"
+        );
+    }
+}
