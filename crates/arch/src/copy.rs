@@ -125,7 +125,11 @@ impl CopyAtom {
 
 impl fmt::Display for CopyAtom {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({} B/thread, {}→{})", self.name, self.bytes_per_thread, self.src, self.dst)
+        write!(
+            f,
+            "{} ({} B/thread, {}→{})",
+            self.name, self.bytes_per_thread, self.src, self.dst
+        )
     }
 }
 
@@ -199,7 +203,11 @@ fn vector_atom(
 ) -> CopyAtom {
     CopyAtom {
         name: name.to_string(),
-        kind: if bytes <= 1 { CopyKind::Scalar } else { CopyKind::Vector },
+        kind: if bytes <= 1 {
+            CopyKind::Scalar
+        } else {
+            CopyKind::Vector
+        },
         src,
         dst,
         bytes_per_thread: bytes,
@@ -351,7 +359,7 @@ pub fn copy_candidates(arch: &GpuArch, src: MemSpace, dst: MemSpace) -> Vec<Copy
         .into_iter()
         .filter(|a| a.src == src && a.dst == dst)
         .collect();
-    atoms.sort_by(|a, b| b.bytes_per_thread.cmp(&a.bytes_per_thread));
+    atoms.sort_by_key(|a| std::cmp::Reverse(a.bytes_per_thread));
     atoms
 }
 

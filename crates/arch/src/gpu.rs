@@ -197,7 +197,11 @@ impl GpuArch {
 
 impl fmt::Display for GpuArch {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} (sm_{}{})", self.name, self.compute_capability.0, self.compute_capability.1)
+        write!(
+            f,
+            "{} (sm_{}{})",
+            self.name, self.compute_capability.0, self.compute_capability.1
+        )
     }
 }
 
@@ -230,8 +234,14 @@ mod tests {
 
     #[test]
     fn lookup_by_name() {
-        assert_eq!(GpuArch::by_name("A100").unwrap().generation, GpuGeneration::Ampere);
-        assert_eq!(GpuArch::by_name("hopper").unwrap().generation, GpuGeneration::Hopper);
+        assert_eq!(
+            GpuArch::by_name("A100").unwrap().generation,
+            GpuGeneration::Ampere
+        );
+        assert_eq!(
+            GpuArch::by_name("hopper").unwrap().generation,
+            GpuGeneration::Hopper
+        );
         assert!(GpuArch::by_name("mi300").is_none());
     }
 

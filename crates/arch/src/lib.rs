@@ -34,6 +34,6 @@ pub use copy::{copy_candidates, copy_catalog, ldmatrix_layouts, CopyAtom, CopyKi
 pub use dtype::{DType, MemSpace, ParseDTypeError};
 pub use gpu::{GpuArch, GpuGeneration};
 pub use mma::{
-    fastest_mma, mma_candidates_sorted, mma_catalog, mma_m16n8k16, mma_m16n8k32, mma_m16n8k8, wgmma_m64,
-    MmaAtom,
+    fastest_mma, mma_candidates_sorted, mma_catalog, mma_m16n8k16, mma_m16n8k32, mma_m16n8k8,
+    wgmma_m64, MmaAtom,
 };

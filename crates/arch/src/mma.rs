@@ -71,7 +71,10 @@ impl MmaAtom {
     /// Whether the atom is available on the architecture and matches the
     /// requested operand types.
     pub fn matches(&self, arch: &GpuArch, a: DType, b: DType, acc: DType) -> bool {
-        arch.supports_cc(self.min_cc) && self.a_dtype == a && self.b_dtype == b && self.acc_dtype == acc
+        arch.supports_cc(self.min_cc)
+            && self.a_dtype == a
+            && self.b_dtype == b
+            && self.acc_dtype == acc
     }
 }
 
@@ -219,7 +222,10 @@ pub fn mma_m16n8k32(input: DType, acc: DType) -> MmaAtom {
 ///
 /// Panics if `n` is not a multiple of 8 or is larger than 256.
 pub fn wgmma_m64(n: usize, input: DType, acc: DType) -> MmaAtom {
-    assert!(n % 8 == 0 && n <= 256, "wgmma N extent must be a multiple of 8, at most 256");
+    assert!(
+        n.is_multiple_of(8) && n <= 256,
+        "wgmma N extent must be a multiple of 8, at most 256"
+    );
     let k = if input.bits() == 8 { 32 } else { 16 };
     let base = if input.bits() == 8 {
         mma_m16n8k32(input, acc)
@@ -240,7 +246,12 @@ pub fn wgmma_m64(n: usize, input: DType, acc: DType) -> MmaAtom {
         .expand(&[RepeatMode::broadcast(4)], &[RepeatMode::along(n / 8, 0)])
         .expect("wgmma B expansion is well-formed");
     MmaAtom {
-        name: format!("wgmma.mma_async.sync.aligned.m64n{n}k{k}.{}.{}.{}", short(acc), short(input), short(input)),
+        name: format!(
+            "wgmma.mma_async.sync.aligned.m64n{n}k{k}.{}.{}.{}",
+            short(acc),
+            short(input),
+            short(input)
+        ),
         m: 64,
         n,
         k,
@@ -357,9 +368,21 @@ mod tests {
             mma_m16n8k8(DType::F16, DType::F32),
             mma_m16n8k32(DType::I8, DType::I32),
         ] {
-            assert!(atom.a.is_exclusive(), "{}: A fragment not exclusive", atom.name);
-            assert!(atom.b.is_exclusive(), "{}: B fragment not exclusive", atom.name);
-            assert!(atom.c.is_exclusive(), "{}: C fragment not exclusive", atom.name);
+            assert!(
+                atom.a.is_exclusive(),
+                "{}: A fragment not exclusive",
+                atom.name
+            );
+            assert!(
+                atom.b.is_exclusive(),
+                "{}: B fragment not exclusive",
+                atom.name
+            );
+            assert!(
+                atom.c.is_exclusive(),
+                "{}: C fragment not exclusive",
+                atom.name
+            );
             assert_eq!(atom.a.tile_size(), atom.m * atom.k);
             assert_eq!(atom.b.tile_size(), atom.n * atom.k);
             assert_eq!(atom.c.tile_size(), atom.m * atom.n);

@@ -26,7 +26,12 @@ pub struct Workload {
 impl Workload {
     /// A single-launch workload.
     pub fn new(flops: f64, bytes: f64, dtype: DType) -> Self {
-        Workload { flops, bytes, dtype, launches: 1 }
+        Workload {
+            flops,
+            bytes,
+            dtype,
+            launches: 1,
+        }
     }
 }
 
@@ -92,7 +97,11 @@ impl Library {
 /// Latency of a library baseline on a roofline-characterized workload.
 pub fn library_latency_us(library: Library, workload: &Workload, arch: &GpuArch) -> f64 {
     let ideal = arch.roofline_latency_us(0.0, workload.flops, workload.dtype);
-    let compute_us = if workload.flops > 0.0 { ideal / library.compute_efficiency() } else { 0.0 };
+    let compute_us = if workload.flops > 0.0 {
+        ideal / library.compute_efficiency()
+    } else {
+        0.0
+    };
     let mem_us = workload.bytes / (arch.dram_bandwidth_gbs * library.bandwidth_efficiency()) * 1e-3;
     workload.launches as f64 * arch.kernel_launch_overhead_us + compute_us.max(mem_us)
 }
@@ -104,7 +113,11 @@ mod tests {
     #[test]
     fn compute_bound_latency_tracks_the_tensor_core_peak() {
         let arch = GpuArch::a100();
-        let w = Workload::new(2.0 * 4096f64.powi(3), 3.0 * 4096.0 * 4096.0 * 2.0, DType::F16);
+        let w = Workload::new(
+            2.0 * 4096f64.powi(3),
+            3.0 * 4096.0 * 4096.0 * 2.0,
+            DType::F16,
+        );
         let cublas = library_latency_us(Library::CuBlas, &w, &arch);
         let ideal = arch.roofline_latency_us(0.0, w.flops, DType::F16);
         assert!(cublas > ideal);

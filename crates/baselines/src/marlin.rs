@@ -47,10 +47,13 @@ pub fn marlin_old_moe_latency_us(shape: &MoeShape, arch: &GpuArch) -> f64 {
     let per_expert_rows = shape.routed_rows().div_ceil(experts).max(1);
     let per_expert_bytes = shape.weight_bytes() / experts as f64
         + (per_expert_rows * (shape.hidden + shape.intermediate)) as f64 * 2.0;
-    let per_expert_flops = 2.0 * per_expert_rows as f64 * shape.hidden as f64 * shape.intermediate as f64;
-    let mem_us = per_expert_bytes / (arch.dram_bandwidth_gbs * MARLIN_OLD_BANDWIDTH_EFFICIENCY) * 1e-3;
+    let per_expert_flops =
+        2.0 * per_expert_rows as f64 * shape.hidden as f64 * shape.intermediate as f64;
+    let mem_us =
+        per_expert_bytes / (arch.dram_bandwidth_gbs * MARLIN_OLD_BANDWIDTH_EFFICIENCY) * 1e-3;
     let compute_us = arch.roofline_latency_us(0.0, per_expert_flops, DType::F16);
-    experts as f64 * (arch.kernel_launch_overhead_us + MARLIN_OLD_DISPATCH_US + mem_us.max(compute_us))
+    experts as f64
+        * (arch.kernel_launch_overhead_us + MARLIN_OLD_DISPATCH_US + mem_us.max(compute_us))
 }
 
 #[cfg(test)]
@@ -63,9 +66,14 @@ mod tests {
         let shape = MoeShape::deepseek_r1(32);
         let old = marlin_old_moe_latency_us(&shape, &arch);
         let new = marlin_new_moe_latency_us(&shape, &arch);
-        assert!(old / new > 5.0, "expected a large gap, got {:.2}", old / new);
+        assert!(
+            old / new > 5.0,
+            "expected a large gap, got {:.2}",
+            old / new
+        );
         // The launch overhead alone accounts for most of Marlin-old's time.
-        let launches_us = shape.experts as f64 * (arch.kernel_launch_overhead_us + MARLIN_OLD_DISPATCH_US);
+        let launches_us =
+            shape.experts as f64 * (arch.kernel_launch_overhead_us + MARLIN_OLD_DISPATCH_US);
         assert!(launches_us / old > 0.5);
     }
 
@@ -74,7 +82,8 @@ mod tests {
         let arch = GpuArch::h100();
         let shape = MoeShape::deepseek_r1(16);
         let latency = marlin_new_moe_latency_us(&shape, &arch);
-        let ideal = (shape.weight_bytes() + shape.activation_bytes()) / arch.dram_bandwidth_gbs * 1e-3;
+        let ideal =
+            (shape.weight_bytes() + shape.activation_bytes()) / arch.dram_bandwidth_gbs * 1e-3;
         assert!(latency > ideal);
         assert!(latency < ideal * 1.5);
     }

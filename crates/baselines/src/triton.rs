@@ -75,7 +75,10 @@ pub fn triton_latency_us(program: &Program, arch: &GpuArch) -> Result<TritonRepo
     }
     let compiler = Compiler::with_options(
         arch.clone(),
-        CompilerOptions { synthesis: options, use_cost_model: true },
+        CompilerOptions {
+            synthesis: options,
+            use_cost_model: true,
+        },
     );
     let kernel = compiler.compile(&program)?;
     let report = &kernel.perf;
@@ -89,7 +92,10 @@ pub fn triton_latency_us(program: &Program, arch: &GpuArch) -> Result<TritonRepo
         .filter(|(_, _, bytes)| *bytes > 0)
         .map(|(_, name, bytes)| (name, bytes))
         .collect();
-    Ok(TritonReport { latency_us, copy_bytes })
+    Ok(TritonReport {
+        latency_us,
+        copy_bytes,
+    })
 }
 
 /// The mixed-type MoE program as Triton's heuristics generate it: the
@@ -124,7 +130,9 @@ mod tests {
         let shape = MoeShape::deepseek_r1(64);
         let config = MoeConfig::default();
         let hexcute_program = mixed_type_moe(shape, config, MoeDataflow::Efficient).unwrap();
-        let hexcute = Compiler::new(arch.clone()).compile(&hexcute_program).unwrap();
+        let hexcute = Compiler::new(arch.clone())
+            .compile(&hexcute_program)
+            .unwrap();
         let triton_program = triton_moe_program(shape, config).unwrap();
         let triton = triton_latency_us(&triton_program, &arch).unwrap();
         let speedup = triton.latency_us / hexcute.latency_us();
@@ -140,7 +148,9 @@ mod tests {
         let shape = MoeShape::deepseek_r1(64);
         let config = MoeConfig::default();
         let hexcute_program = mixed_type_moe(shape, config, MoeDataflow::Efficient).unwrap();
-        let hexcute = Compiler::new(arch.clone()).compile(&hexcute_program).unwrap();
+        let hexcute = Compiler::new(arch.clone())
+            .compile(&hexcute_program)
+            .unwrap();
         let hexcute_max_bytes = hexcute
             .candidate
             .instruction_summary(&hexcute.program)

@@ -1,4 +1,8 @@
 //! Criterion benchmarks of the functional and performance simulators.
+//!
+//! The functional simulator is measured through both the table-driven fast
+//! path (`…/fast`, the default) and the element-by-element reference path
+//! (`…/reference`); the two produce bit-identical buffers.
 
 use std::collections::HashMap;
 
@@ -7,15 +11,30 @@ use hexcute_arch::{DType, GpuArch};
 use hexcute_core::Compiler;
 use hexcute_ir::KernelBuilder;
 use hexcute_kernels::gemm::{fp16_gemm, GemmConfig, GemmShape};
-use hexcute_layout::Layout;
+use hexcute_layout::{set_fast_path, Layout};
 use hexcute_sim::{estimate_kernel, FunctionalSim};
 
 fn small_gemm_program() -> hexcute_ir::Program {
     let (m, n, k) = (64usize, 64usize, 64usize);
     let mut kb = KernelBuilder::new("bench_gemm", 128);
-    let ga = kb.global_view("a", DType::F16, Layout::from_flat(&[m, k], &[k, 1]), &[m, k]);
-    let gb = kb.global_view("b", DType::F16, Layout::from_flat(&[n, k], &[k, 1]), &[n, k]);
-    let gc = kb.global_view("c", DType::F32, Layout::from_flat(&[m, n], &[n, 1]), &[m, n]);
+    let ga = kb.global_view(
+        "a",
+        DType::F16,
+        Layout::from_flat(&[m, k], &[k, 1]),
+        &[m, k],
+    );
+    let gb = kb.global_view(
+        "b",
+        DType::F16,
+        Layout::from_flat(&[n, k], &[k, 1]),
+        &[n, k],
+    );
+    let gc = kb.global_view(
+        "c",
+        DType::F32,
+        Layout::from_flat(&[m, n], &[n, 1]),
+        &[m, n],
+    );
     let sa = kb.shared_tensor("sa", DType::F16, &[m, k]);
     let sb = kb.shared_tensor("sb", DType::F16, &[n, k]);
     let ra = kb.register_tensor("ra", DType::F16, &[m, k]);
@@ -36,18 +55,28 @@ fn bench_simulation(c: &mut Criterion) {
     let program = small_gemm_program();
     let compiled = Compiler::new(arch.clone()).compile(&program).unwrap();
 
-    c.bench_function("sim/functional_gemm_64x64x64", |b| {
-        let mut inputs = HashMap::new();
-        inputs.insert("a".to_string(), vec![0.5f32; 64 * 64]);
-        inputs.insert("b".to_string(), vec![0.25f32; 64 * 64]);
-        let sim = FunctionalSim::new(&compiled.program, &compiled.candidate);
-        b.iter(|| sim.run(black_box(&inputs)).unwrap())
-    });
+    for (suffix, fast) in [("reference", false), ("fast", true)] {
+        set_fast_path(fast);
+        c.bench_function(&format!("sim/functional_gemm_64x64x64/{suffix}"), |b| {
+            let mut inputs = HashMap::new();
+            inputs.insert("a".to_string(), vec![0.5f32; 64 * 64]);
+            inputs.insert("b".to_string(), vec![0.25f32; 64 * 64]);
+            let sim = FunctionalSim::new(&compiled.program, &compiled.candidate);
+            b.iter(|| sim.run(black_box(&inputs)).unwrap())
+        });
+    }
+    set_fast_path(true);
 
     let big = fp16_gemm(GemmShape::new(8192, 8192, 8192), GemmConfig::default()).unwrap();
     let big_compiled = Compiler::new(arch.clone()).compile(&big).unwrap();
     c.bench_function("sim/perf_estimate_gemm_8192", |b| {
-        b.iter(|| estimate_kernel(black_box(&big_compiled.program), &big_compiled.candidate, &arch))
+        b.iter(|| {
+            estimate_kernel(
+                black_box(&big_compiled.program),
+                &big_compiled.candidate,
+                &arch,
+            )
+        })
     });
 }
 

@@ -33,8 +33,10 @@ pub fn evaluate_ablation(tokens: &[usize]) -> Vec<AblationPoint> {
         .iter()
         .map(|&t| {
             let shape = MoeShape::deepseek_r1(t);
-            let efficient = mixed_type_moe(shape, config, MoeDataflow::Efficient).expect("efficient MoE");
-            let triton_flow = mixed_type_moe(shape, config, MoeDataflow::TritonStyle).expect("triton-flow MoE");
+            let efficient =
+                mixed_type_moe(shape, config, MoeDataflow::Efficient).expect("efficient MoE");
+            let triton_flow =
+                mixed_type_moe(shape, config, MoeDataflow::TritonStyle).expect("triton-flow MoE");
 
             let hexcute_us = compile_hexcute(&efficient, &arch).latency_us();
             // Ablation 1: Hexcute's layouts, Triton's dataflow.
@@ -42,24 +44,49 @@ pub fn evaluate_ablation(tokens: &[usize]) -> Vec<AblationPoint> {
             // Ablation 2: Hexcute's dataflow, Triton's shared-memory layout.
             let layout_compiler = Compiler::with_options(
                 arch.clone(),
-                CompilerOptions { synthesis: SynthesisOptions::triton_smem_layout(), use_cost_model: true },
+                CompilerOptions {
+                    synthesis: SynthesisOptions::triton_smem_layout(),
+                    use_cost_model: true,
+                },
             );
-            let triton_layout_us = layout_compiler.compile(&efficient).expect("layout ablation").latency_us();
-            let triton_us = triton_latency_us(&triton_moe_program(shape, config).expect("triton MoE"), &arch)
-                .expect("triton compile")
-                .latency_us;
-            AblationPoint { tokens: t, hexcute_us, triton_dataflow_us, triton_layout_us, triton_us }
+            let triton_layout_us = layout_compiler
+                .compile(&efficient)
+                .expect("layout ablation")
+                .latency_us();
+            let triton_us = triton_latency_us(
+                &triton_moe_program(shape, config).expect("triton MoE"),
+                &arch,
+            )
+            .expect("triton compile")
+            .latency_us;
+            AblationPoint {
+                tokens: t,
+                hexcute_us,
+                triton_dataflow_us,
+                triton_layout_us,
+                triton_us,
+            }
         })
         .collect()
 }
 
 /// Regenerates Fig. 14.
 pub fn fig14(quick: bool) -> Report {
-    let tokens = if quick { vec![16, 256] } else { vec![1, 16, 64, 256, 1024] };
+    let tokens = if quick {
+        vec![16, 256]
+    } else {
+        vec![1, 16, 64, 256, 1024]
+    };
     let points = evaluate_ablation(&tokens);
     let mut report = Report::new(
         "Fig. 14: MoE ablation (H100)",
-        &["tokens", "Hexcute (us)", "+Triton dataflow (us)", "+Triton smem layout (us)", "Triton (us)"],
+        &[
+            "tokens",
+            "Hexcute (us)",
+            "+Triton dataflow (us)",
+            "+Triton smem layout (us)",
+            "Triton (us)",
+        ],
     );
     for p in &points {
         report.push_row(vec![
@@ -70,15 +97,27 @@ pub fn fig14(quick: bool) -> Report {
             format!("{:.1}", p.triton_us),
         ]);
     }
-    let dataflow_deg = geomean(&points.iter().map(|p| p.triton_dataflow_us / p.hexcute_us).collect::<Vec<_>>());
-    let layout_deg = geomean(&points.iter().map(|p| p.triton_layout_us / p.hexcute_us).collect::<Vec<_>>());
+    let dataflow_deg = geomean(
+        &points
+            .iter()
+            .map(|p| p.triton_dataflow_us / p.hexcute_us)
+            .collect::<Vec<_>>(),
+    );
+    let layout_deg = geomean(
+        &points
+            .iter()
+            .map(|p| p.triton_layout_us / p.hexcute_us)
+            .collect::<Vec<_>>(),
+    );
     report.push_note(format!(
         "Measured degradations — Triton dataflow: {:.1}%, Triton smem layout: {:.1}%.",
         (dataflow_deg - 1.0) * 100.0,
         (layout_deg - 1.0) * 100.0
     ));
     report.push_note("Paper reports average degradations of 28.5% (dataflow) and 37.5% (layout).");
-    report.push_note("Even with Triton's dataflow, Hexcute stays ahead of Triton thanks to layout synthesis.");
+    report.push_note(
+        "Even with Triton's dataflow, Hexcute stays ahead of Triton thanks to layout synthesis.",
+    );
     report
 }
 

@@ -1,0 +1,21 @@
+//! Measures the flat-layout fast path against the recursive reference path
+//! (layout algebra, functional simulation, candidate synthesis) and writes
+//! the machine-readable comparison consumed by CI and committed as
+//! `BENCH_pr1.json`.
+//!
+//! Usage: `cargo run --release --bin repro_fastpath [-- output.json]`
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr1.json".to_string());
+    let entries = hexcute_bench::fastpath::run_all();
+    print!("{}", hexcute_bench::fastpath::as_report(&entries));
+    match hexcute_bench::fastpath::write_json(&out_path, &entries) {
+        Ok(()) => println!("\nwrote {out_path}"),
+        Err(e) => {
+            eprintln!("failed to write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -57,7 +57,13 @@ pub fn evaluate_accuracy(shapes: &[GemmShape]) -> Vec<AccuracyPoint> {
                 .expect("at least one candidate");
             let selected_us = selected.2.latency_us;
             let best_us = best.2.latency_us;
-            AccuracyPoint { shape, candidates, selected_us, best_us, ratio: selected_us / best_us }
+            AccuracyPoint {
+                shape,
+                candidates,
+                selected_us,
+                best_us,
+                ratio: selected_us / best_us,
+            }
         })
         .collect()
 }
@@ -67,7 +73,13 @@ pub fn fig12(quick: bool) -> Report {
     let points = evaluate_accuracy(&accuracy_shapes(quick));
     let mut report = Report::new(
         "Fig. 12: analytical cost model accuracy (selected vs true-optimal candidate)",
-        &["shape (MxNxK)", "candidates", "selected (us)", "best (us)", "ratio"],
+        &[
+            "shape (MxNxK)",
+            "candidates",
+            "selected (us)",
+            "best (us)",
+            "ratio",
+        ],
     );
     for p in &points {
         report.push_row(vec![
@@ -80,7 +92,9 @@ pub fn fig12(quick: bool) -> Report {
     }
     let worst = points.iter().map(|p| p.ratio).fold(0.0f64, f64::max);
     let mean = geomean(&points.iter().map(|p| p.ratio).collect::<Vec<_>>());
-    report.push_note(format!("Measured: geomean ratio {mean:.3}, worst {worst:.3}."));
+    report.push_note(format!(
+        "Measured: geomean ratio {mean:.3}, worst {worst:.3}."
+    ));
     report.push_note("Paper: the cost model selects candidates within 1.01x of the true optimum.");
     report
 }
@@ -95,7 +109,12 @@ mod tests {
         for p in &points {
             assert!(p.candidates > 1, "search should explore several candidates");
             assert!(p.ratio >= 1.0);
-            assert!(p.ratio < 1.15, "shape {:?}: ratio {:.3} too far from optimal", p.shape, p.ratio);
+            assert!(
+                p.ratio < 1.15,
+                "shape {:?}: ratio {:.3} too far from optimal",
+                p.shape,
+                p.ratio
+            );
         }
     }
 

@@ -26,7 +26,11 @@ pub fn evaluate_end_to_end(batches: &[usize]) -> Vec<E2ePoint> {
     let arch = GpuArch::h100();
     let output_tokens = 100.0;
     let mut points = Vec::new();
-    for model in [ModelConfig::deepseek_r1_awq(), ModelConfig::jamba_mini(), ModelConfig::qwen3_32b()] {
+    for model in [
+        ModelConfig::deepseek_r1_awq(),
+        ModelConfig::jamba_mini(),
+        ModelConfig::qwen3_32b(),
+    ] {
         for &batch in batches {
             let seq = 2048;
             let baseline = decode_latency_ms(&model, KernelBackend::Baseline, batch, seq, &arch);
@@ -51,7 +55,13 @@ pub fn fig13(quick: bool) -> Report {
     let points = evaluate_end_to_end(&batches);
     let mut report = Report::new(
         "Fig. 13: end-to-end latency for 100 output tokens (vLLM on H100)",
-        &["model", "batch", "vLLM baseline (ms)", "vLLM + Hexcute (ms)", "speedup"],
+        &[
+            "model",
+            "batch",
+            "vLLM baseline (ms)",
+            "vLLM + Hexcute (ms)",
+            "speedup",
+        ],
     );
     for p in &points {
         report.push_row(vec![
@@ -73,7 +83,13 @@ mod tests {
     #[test]
     fn speedup_ordering_matches_the_paper() {
         let points = evaluate_end_to_end(&[8]);
-        let by_model = |name: &str| points.iter().find(|p| p.model.contains(name)).unwrap().speedup;
+        let by_model = |name: &str| {
+            points
+                .iter()
+                .find(|p| p.model.contains(name))
+                .unwrap()
+                .speedup
+        };
         let deepseek = by_model("DeepSeek");
         let jamba = by_model("Jamba");
         let qwen = by_model("Qwen");

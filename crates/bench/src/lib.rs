@@ -14,6 +14,7 @@ pub mod ablation;
 pub mod compile_time;
 pub mod cost_model;
 pub mod end_to_end;
+pub mod fastpath;
 pub mod moe_bench;
 pub mod per_shape;
 pub mod scan_bench;

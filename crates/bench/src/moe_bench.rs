@@ -2,7 +2,9 @@
 //! counts for Marlin-old, Triton, Marlin-new and Hexcute.
 
 use hexcute_arch::GpuArch;
-use hexcute_baselines::{marlin_new_moe_latency_us, marlin_old_moe_latency_us, triton_latency_us, triton_moe_program};
+use hexcute_baselines::{
+    marlin_new_moe_latency_us, marlin_old_moe_latency_us, triton_latency_us, triton_moe_program,
+};
 use hexcute_kernels::moe::{mixed_type_moe, MoeConfig, MoeDataflow, MoeShape};
 
 use crate::{compile_hexcute, geomean, Report};
@@ -62,7 +64,14 @@ pub fn fig11(quick: bool) -> Report {
     let points = evaluate_moe(&token_sweep(quick));
     let mut report = Report::new(
         "Fig. 11: mixed-type MoE latency (256 experts, H100)",
-        &["tokens", "Marlin-old (us)", "Triton (us)", "Marlin-new (us)", "Hexcute (us)", "Hexcute vs Triton"],
+        &[
+            "tokens",
+            "Marlin-old (us)",
+            "Triton (us)",
+            "Marlin-new (us)",
+            "Hexcute (us)",
+            "Hexcute vs Triton",
+        ],
     );
     for p in &points {
         report.push_row(vec![
@@ -74,13 +83,30 @@ pub fn fig11(quick: bool) -> Report {
             format!("{:.2}x", p.triton_us / p.hexcute_us),
         ]);
     }
-    let vs_triton = geomean(&points.iter().map(|p| p.triton_us / p.hexcute_us).collect::<Vec<_>>());
-    let vs_old = geomean(&points.iter().map(|p| p.marlin_old_us / p.hexcute_us).collect::<Vec<_>>());
-    let vs_new = geomean(&points.iter().map(|p| p.marlin_new_us / p.hexcute_us).collect::<Vec<_>>());
+    let vs_triton = geomean(
+        &points
+            .iter()
+            .map(|p| p.triton_us / p.hexcute_us)
+            .collect::<Vec<_>>(),
+    );
+    let vs_old = geomean(
+        &points
+            .iter()
+            .map(|p| p.marlin_old_us / p.hexcute_us)
+            .collect::<Vec<_>>(),
+    );
+    let vs_new = geomean(
+        &points
+            .iter()
+            .map(|p| p.marlin_new_us / p.hexcute_us)
+            .collect::<Vec<_>>(),
+    );
     report.push_note(format!(
         "Measured geometric means — vs Triton: {vs_triton:.2}x, vs Marlin-old: {vs_old:.2}x, vs Marlin-new: {vs_new:.2}x"
     ));
-    report.push_note("Paper reports 6.46x over Triton, 28.42x over Marlin-old and ~0.96x of Marlin-new.");
+    report.push_note(
+        "Paper reports 6.46x over Triton, 28.42x over Marlin-old and ~0.96x of Marlin-new.",
+    );
     report
 }
 
@@ -92,11 +118,23 @@ mod tests {
     fn hexcute_beats_triton_and_marlin_old_everywhere() {
         let points = evaluate_moe(&[16, 256]);
         for p in &points {
-            assert!(p.hexcute_us < p.triton_us, "tokens={}: Hexcute should beat Triton", p.tokens);
-            assert!(p.hexcute_us < p.marlin_old_us, "tokens={}: Hexcute should beat Marlin-old", p.tokens);
+            assert!(
+                p.hexcute_us < p.triton_us,
+                "tokens={}: Hexcute should beat Triton",
+                p.tokens
+            );
+            assert!(
+                p.hexcute_us < p.marlin_old_us,
+                "tokens={}: Hexcute should beat Marlin-old",
+                p.tokens
+            );
             // Hexcute is in the same ballpark as the fused Marlin-new kernel.
             let ratio = p.hexcute_us / p.marlin_new_us;
-            assert!(ratio < 4.0, "tokens={}: Hexcute should be near Marlin-new, got {ratio:.2}x", p.tokens);
+            assert!(
+                ratio < 4.0,
+                "tokens={}: Hexcute should be near Marlin-new, got {ratio:.2}x",
+                p.tokens
+            );
         }
     }
 

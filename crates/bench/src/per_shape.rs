@@ -29,7 +29,14 @@ pub fn per_shape_figure(figure: u32, quick: bool) -> Report {
     let results = evaluate_family(family, quick);
     let mut report = Report::new(
         format!("Fig. {figure}: {} per-shape latency", family.name()),
-        &["shape", "Triton (us)", family.baseline_library().name(), "Hexcute (us)", "Hexcute vs baseline", "Hexcute vs Triton"],
+        &[
+            "shape",
+            "Triton (us)",
+            family.baseline_library().name(),
+            "Hexcute (us)",
+            "Hexcute vs baseline",
+            "Hexcute vs Triton",
+        ],
     );
     for (shape, r) in &results {
         report.push_row(vec![
@@ -41,8 +48,18 @@ pub fn per_shape_figure(figure: u32, quick: bool) -> Report {
             format!("{:.2}x", r.triton_us / r.hexcute_us),
         ]);
     }
-    let vs_lib = geomean(&results.iter().map(|(_, r)| r.library_us / r.hexcute_us).collect::<Vec<_>>());
-    let vs_triton = geomean(&results.iter().map(|(_, r)| r.triton_us / r.hexcute_us).collect::<Vec<_>>());
+    let vs_lib = geomean(
+        &results
+            .iter()
+            .map(|(_, r)| r.library_us / r.hexcute_us)
+            .collect::<Vec<_>>(),
+    );
+    let vs_triton = geomean(
+        &results
+            .iter()
+            .map(|(_, r)| r.triton_us / r.hexcute_us)
+            .collect::<Vec<_>>(),
+    );
     report.push_note(format!(
         "Measured geometric means — vs {}: {vs_lib:.2}x, vs Triton: {vs_triton:.2}x.",
         family.baseline_library().name()
@@ -53,7 +70,10 @@ pub fn per_shape_figure(figure: u32, quick: bool) -> Report {
 
 /// Regenerates all six per-shape figures.
 pub fn all_figures(quick: bool) -> Vec<Report> {
-    figure_families().into_iter().map(|(f, _)| per_shape_figure(f, quick)).collect()
+    figure_families()
+        .into_iter()
+        .map(|(f, _)| per_shape_figure(f, quick))
+        .collect()
 }
 
 #[cfg(test)]
@@ -72,7 +92,11 @@ mod tests {
         assert!(!report.rows.is_empty());
         for row in &report.rows {
             let vs_triton: f64 = row[5].trim_end_matches('x').parse().unwrap();
-            assert!(vs_triton >= 1.0, "decoding should not lose to Triton: {}", row[0]);
+            assert!(
+                vs_triton >= 1.0,
+                "decoding should not lose to Triton: {}",
+                row[0]
+            );
         }
     }
 

@@ -45,7 +45,11 @@ pub fn evaluate_scan(shapes: &[ScanShape]) -> Vec<ScanPoint> {
                 &Workload::new(shape.flops(), shape.bytes(), DType::F16),
                 &arch,
             );
-            ScanPoint { shape, library_us, hexcute_us }
+            ScanPoint {
+                shape,
+                library_us,
+                hexcute_us,
+            }
         })
         .collect()
 }
@@ -55,19 +59,34 @@ pub fn fig21(quick: bool) -> Report {
     let points = evaluate_scan(&scan_shapes(quick));
     let mut report = Report::new(
         "Fig. 21: Mamba selective scan latency (H100)",
-        &["shape (batch,dim,state,seq)", "Mamba library (us)", "Hexcute (us)", "speedup"],
+        &[
+            "shape (batch,dim,state,seq)",
+            "Mamba library (us)",
+            "Hexcute (us)",
+            "speedup",
+        ],
     );
     for p in &points {
         report.push_row(vec![
-            format!("({}, {}, {}, {})", p.shape.batch, p.shape.dim, p.shape.state, p.shape.seq_len),
+            format!(
+                "({}, {}, {}, {})",
+                p.shape.batch, p.shape.dim, p.shape.state, p.shape.seq_len
+            ),
             format!("{:.1}", p.library_us),
             format!("{:.1}", p.hexcute_us),
             format!("{:.2}x", p.library_us / p.hexcute_us),
         ]);
     }
-    let avg = geomean(&points.iter().map(|p| p.library_us / p.hexcute_us).collect::<Vec<_>>());
+    let avg = geomean(
+        &points
+            .iter()
+            .map(|p| p.library_us / p.hexcute_us)
+            .collect::<Vec<_>>(),
+    );
     report.push_note(format!("Measured geometric-mean speedup: {avg:.2}x."));
-    report.push_note("Paper reports an average speedup of 4.17x over the Mamba library across 20 shapes.");
+    report.push_note(
+        "Paper reports an average speedup of 4.17x over the Mamba library across 20 shapes.",
+    );
     report
 }
 
@@ -80,8 +99,16 @@ mod tests {
         let points = evaluate_scan(&scan_shapes(true));
         for p in &points {
             let speedup = p.library_us / p.hexcute_us;
-            assert!(speedup > 1.5, "shape {:?}: speedup {speedup:.2} too small", p.shape);
-            assert!(speedup < 10.0, "shape {:?}: speedup {speedup:.2} implausibly large", p.shape);
+            assert!(
+                speedup > 1.5,
+                "shape {:?}: speedup {speedup:.2} too small",
+                p.shape
+            );
+            assert!(
+                speedup < 10.0,
+                "shape {:?}: speedup {speedup:.2} implausibly large",
+                p.shape
+            );
         }
     }
 

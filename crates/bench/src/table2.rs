@@ -5,7 +5,9 @@ use hexcute_arch::{DType, GpuArch};
 use hexcute_baselines::{library_latency_us, triton_latency_us, Library, Workload};
 use hexcute_ir::Program;
 use hexcute_kernels::attention::{mha_decoding, mha_forward, AttentionConfig, AttentionShape};
-use hexcute_kernels::gemm::{fp16_gemm, fp8_blockwise_gemm, warp_specialized_gemm, GemmConfig, GemmShape};
+use hexcute_kernels::gemm::{
+    fp16_gemm, fp8_blockwise_gemm, warp_specialized_gemm, GemmConfig, GemmShape,
+};
 
 use crate::{compile_hexcute, geomean, Report};
 
@@ -62,7 +64,9 @@ impl OperatorFamily {
     /// The expert-tuned CUDA baseline the family is normalized against.
     pub fn baseline_library(&self) -> Library {
         match self {
-            OperatorFamily::Fp16GemmA100 | OperatorFamily::WarpSpecializedGemmH100 => Library::CuBlas,
+            OperatorFamily::Fp16GemmA100 | OperatorFamily::WarpSpecializedGemmH100 => {
+                Library::CuBlas
+            }
             OperatorFamily::MhaForwardA100 => Library::FlashAttention2,
             OperatorFamily::MhaDecodingA100 => Library::FlashInfer,
             OperatorFamily::Fp8GemmH100 => Library::CutlassFp8,
@@ -96,14 +100,24 @@ impl OperatorFamily {
         .iter()
         .map(|&(m, n, k)| FamilyShape::Gemm(GemmShape::new(m, n, k)))
         .collect();
-        let forward: Vec<FamilyShape> = [(1, 32, 1024, 128), (1, 32, 2048, 128), (4, 32, 4096, 128), (8, 16, 8192, 64)]
-            .iter()
-            .map(|&(b, h, s, d)| FamilyShape::Attention(AttentionShape::forward(b, h, s, d)))
-            .collect();
-        let decode: Vec<FamilyShape> = [(16, 32, 2048, 128), (32, 32, 4096, 128), (64, 32, 8192, 128), (128, 16, 16384, 64)]
-            .iter()
-            .map(|&(b, h, s, d)| FamilyShape::Attention(AttentionShape::decoding(b, h, s, d)))
-            .collect();
+        let forward: Vec<FamilyShape> = [
+            (1, 32, 1024, 128),
+            (1, 32, 2048, 128),
+            (4, 32, 4096, 128),
+            (8, 16, 8192, 64),
+        ]
+        .iter()
+        .map(|&(b, h, s, d)| FamilyShape::Attention(AttentionShape::forward(b, h, s, d)))
+        .collect();
+        let decode: Vec<FamilyShape> = [
+            (16, 32, 2048, 128),
+            (32, 32, 4096, 128),
+            (64, 32, 8192, 128),
+            (128, 16, 16384, 64),
+        ]
+        .iter()
+        .map(|&(b, h, s, d)| FamilyShape::Attention(AttentionShape::decoding(b, h, s, d)))
+        .collect();
         let mut shapes = match self {
             OperatorFamily::Fp16GemmA100
             | OperatorFamily::WarpSpecializedGemmH100
@@ -129,9 +143,10 @@ impl OperatorFamily {
             (OperatorFamily::Fp8GemmH100, FamilyShape::Gemm(s)) => {
                 fp8_blockwise_gemm(*s, GemmConfig::default()).expect("fp8 gemm")
             }
-            (OperatorFamily::MhaForwardA100 | OperatorFamily::MhaForwardH100, FamilyShape::Attention(s)) => {
-                mha_forward(*s, AttentionConfig::default()).expect("mha forward")
-            }
+            (
+                OperatorFamily::MhaForwardA100 | OperatorFamily::MhaForwardH100,
+                FamilyShape::Attention(s),
+            ) => mha_forward(*s, AttentionConfig::default()).expect("mha forward"),
             (OperatorFamily::MhaDecodingA100, FamilyShape::Attention(s)) => {
                 mha_decoding(*s, AttentionConfig::default()).expect("mha decoding")
             }
@@ -143,7 +158,11 @@ impl OperatorFamily {
     pub fn workload(&self, shape: &FamilyShape) -> Workload {
         match shape {
             FamilyShape::Gemm(s) => {
-                let bits = if matches!(self, OperatorFamily::Fp8GemmH100) { 8 } else { 16 };
+                let bits = if matches!(self, OperatorFamily::Fp8GemmH100) {
+                    8
+                } else {
+                    16
+                };
                 let dtype = if bits == 8 { DType::F8E4M3 } else { DType::F16 };
                 Workload::new(s.flops(), s.bytes(bits, bits, 16), dtype)
             }
@@ -167,7 +186,10 @@ impl FamilyShape {
         match self {
             FamilyShape::Gemm(s) => format!("{}x{}x{}", s.m, s.n, s.k),
             FamilyShape::Attention(s) => {
-                format!("b{} h{} q{} kv{} d{}", s.batch, s.heads, s.q_len, s.kv_len, s.head_dim)
+                format!(
+                    "b{} h{} q{} kv{} d{}",
+                    s.batch, s.heads, s.q_len, s.kv_len, s.head_dim
+                )
             }
         }
     }
@@ -196,8 +218,16 @@ pub fn evaluate_family(family: OperatorFamily, quick: bool) -> Vec<(FamilyShape,
             let triton = triton_latency_us(&program, &arch)
                 .map(|r| r.latency_us)
                 .unwrap_or(f64::INFINITY);
-            let library = library_latency_us(family.baseline_library(), &family.workload(&shape), &arch);
-            (shape, ShapeResult { library_us: library, triton_us: triton, hexcute_us: hexcute })
+            let library =
+                library_latency_us(family.baseline_library(), &family.workload(&shape), &arch);
+            (
+                shape,
+                ShapeResult {
+                    library_us: library,
+                    triton_us: triton,
+                    hexcute_us: hexcute,
+                },
+            )
         })
         .collect()
 }
@@ -206,12 +236,26 @@ pub fn evaluate_family(family: OperatorFamily, quick: bool) -> Vec<(FamilyShape,
 pub fn table2(quick: bool) -> Report {
     let mut report = Report::new(
         "Table II: programmability and performance (normalized against the CUDA baseline)",
-        &["Operator", "LoC CUDA", "LoC Triton", "LoC Hexcute", "Triton perf", "Hexcute perf", "Baseline"],
+        &[
+            "Operator",
+            "LoC CUDA",
+            "LoC Triton",
+            "LoC Hexcute",
+            "Triton perf",
+            "Hexcute perf",
+            "Baseline",
+        ],
     );
     for family in OperatorFamily::ALL {
         let results = evaluate_family(family, quick);
-        let triton_norm: Vec<f64> = results.iter().map(|(_, r)| r.library_us / r.triton_us).collect();
-        let hexcute_norm: Vec<f64> = results.iter().map(|(_, r)| r.library_us / r.hexcute_us).collect();
+        let triton_norm: Vec<f64> = results
+            .iter()
+            .map(|(_, r)| r.library_us / r.triton_us)
+            .collect();
+        let hexcute_norm: Vec<f64> = results
+            .iter()
+            .map(|(_, r)| r.library_us / r.hexcute_us)
+            .collect();
         let (loc_cuda, loc_triton, loc_hexcute) = family.lines_of_code();
         report.push_row(vec![
             family.name().to_string(),
@@ -223,7 +267,9 @@ pub fn table2(quick: bool) -> Report {
             family.baseline_library().name().to_string(),
         ]);
     }
-    report.push_note("Lines of code are the paper's reported values (CUTLASS/Triton/Hexcute sources).");
+    report.push_note(
+        "Lines of code are the paper's reported values (CUTLASS/Triton/Hexcute sources).",
+    );
     report.push_note(
         "Paper-reported normalized performance — Triton: 0.75/0.93/0.50/0.50/0.64/0.56, Hexcute: 1.00/1.05/1.02/1.17/1.25/1.27.",
     );
@@ -240,8 +286,16 @@ mod tests {
         for family in OperatorFamily::ALL {
             assert!(!family.name().is_empty());
             let (cuda, triton, hexcute) = family.lines_of_code();
-            assert!(cuda > hexcute, "{}: Hexcute should be shorter than CUDA", family.name());
-            assert!(triton <= hexcute, "{}: Triton should be shortest", family.name());
+            assert!(
+                cuda > hexcute,
+                "{}: Hexcute should be shorter than CUDA",
+                family.name()
+            );
+            assert!(
+                triton <= hexcute,
+                "{}: Triton should be shortest",
+                family.name()
+            );
             assert!(!family.shapes(true).is_empty());
         }
     }

@@ -3,14 +3,18 @@
 
 use hexcute_arch::GpuArch;
 use hexcute_baselines::{triton_latency_us, triton_moe_program};
+use hexcute_ir::OpKind;
 use hexcute_kernels::mamba::{selective_scan, ScanConfig, ScanShape};
 use hexcute_kernels::moe::{mixed_type_moe, MoeConfig, MoeDataflow, MoeShape};
-use hexcute_ir::OpKind;
 
 use crate::{compile_hexcute, Report};
 
 /// Per-tensor instruction widths of the Hexcute candidate for a program.
-fn hexcute_copy_widths(program_name: &str, arch: &GpuArch, program: hexcute_ir::Program) -> Vec<(String, String, usize)> {
+fn hexcute_copy_widths(
+    program_name: &str,
+    arch: &GpuArch,
+    program: hexcute_ir::Program,
+) -> Vec<(String, String, usize)> {
     let kernel = compile_hexcute(&program, arch);
     let mut rows = Vec::new();
     for op in kernel.program.ops() {
@@ -20,7 +24,11 @@ fn hexcute_copy_widths(program_name: &str, arch: &GpuArch, program: hexcute_ir::
                 let d = kernel.program.tensor(dst);
                 let direction = format!("{}→{}", s.space, d.space);
                 let bytes = s.dtype.bytes_for(choice.elements_per_thread);
-                rows.push((format!("{} ({})", s.name, direction), choice.atom.name.clone(), bytes));
+                rows.push((
+                    format!("{} ({})", s.name, direction),
+                    choice.atom.name.clone(),
+                    bytes,
+                ));
             }
         }
     }
@@ -35,7 +43,11 @@ pub fn table3() -> Report {
     let config = MoeConfig::default();
     let mut report = Report::new(
         "Table III: bytes per thread per instruction for the mixed-type MoE kernel",
-        &["tensor (direction)", "Hexcute instruction", "Hexcute B/thread"],
+        &[
+            "tensor (direction)",
+            "Hexcute instruction",
+            "Hexcute B/thread",
+        ],
     );
     let hexcute_rows = hexcute_copy_widths(
         "moe",
@@ -45,8 +57,11 @@ pub fn table3() -> Report {
     for (tensor, instr, bytes) in &hexcute_rows {
         report.push_row(vec![tensor.clone(), instr.clone(), bytes.to_string()]);
     }
-    let triton = triton_latency_us(&triton_moe_program(shape, config).expect("triton MoE"), &arch)
-        .expect("triton compilation");
+    let triton = triton_latency_us(
+        &triton_moe_program(shape, config).expect("triton MoE"),
+        &arch,
+    )
+    .expect("triton compilation");
     let triton_max = triton.copy_bytes.iter().map(|(_, b)| *b).max().unwrap_or(0);
     let hexcute_max = hexcute_rows.iter().map(|(_, _, b)| *b).max().unwrap_or(0);
     report.push_note(format!(
@@ -63,12 +78,21 @@ pub fn table4() -> Report {
     let shape = ScanShape::new(1, 4096, 16, 4096);
     let mut report = Report::new(
         "Table IV: bytes per thread per instruction for the Mamba selective scan",
-        &["tensor (direction)", "Hexcute instruction", "Hexcute B/thread", "Mamba library B/thread"],
+        &[
+            "tensor (direction)",
+            "Hexcute instruction",
+            "Hexcute B/thread",
+            "Mamba library B/thread",
+        ],
     );
     // The Mamba library relies on cub::BlockLoad, which degrades to scalar
     // (2-4 byte) loads for these tensors (paper, Table IV).
     let library_width = |tensor: &str| if tensor.starts_with("a ") { 4 } else { 2 };
-    let rows = hexcute_copy_widths("scan", &arch, selective_scan(shape, ScanConfig::default()).expect("scan"));
+    let rows = hexcute_copy_widths(
+        "scan",
+        &arch,
+        selective_scan(shape, ScanConfig::default()).expect("scan"),
+    );
     for (tensor, instr, bytes) in &rows {
         report.push_row(vec![
             tensor.clone(),
@@ -90,7 +114,11 @@ mod tests {
         let report = table3();
         assert!(!report.rows.is_empty());
         // The weight tensor is staged with 16-byte copies.
-        let w_row = report.rows.iter().find(|r| r[0].starts_with("w ")).expect("weight row");
+        let w_row = report
+            .rows
+            .iter()
+            .find(|r| r[0].starts_with("w "))
+            .expect("weight row");
         assert_eq!(w_row[2], "16");
     }
 

@@ -128,7 +128,10 @@ impl LoweredKernel {
 
     /// Number of barriers in the instruction stream.
     pub fn sync_count(&self) -> usize {
-        self.body.iter().filter(|op| matches!(op, LoweredOp::Sync)).count()
+        self.body
+            .iter()
+            .filter(|op| matches!(op, LoweredOp::Sync))
+            .count()
     }
 }
 
@@ -147,9 +150,18 @@ pub fn lower(program: &Program, candidate: &Candidate) -> LoweredKernel {
             .smem_layouts
             .get(&tensor)
             .cloned()
-            .unwrap_or_else(|| SwizzledLayout::unswizzled(hexcute_layout::Layout::row_major(&decl.tile_shape_2d())));
-        let size_bytes = decl.dtype.bytes_for(layout.layout().cosize().next_power_of_two());
-        smem_allocs.push(SmemAlloc { tensor, offset_bytes: offset, size_bytes, layout });
+            .unwrap_or_else(|| {
+                SwizzledLayout::unswizzled(hexcute_layout::Layout::row_major(&decl.tile_shape_2d()))
+            });
+        let size_bytes = decl
+            .dtype
+            .bytes_for(layout.layout().cosize().next_power_of_two());
+        smem_allocs.push(SmemAlloc {
+            tensor,
+            offset_bytes: offset,
+            size_bytes,
+            layout,
+        });
         // 128-byte align each buffer.
         offset += size_bytes.div_ceil(128) * 128;
     }
@@ -214,7 +226,9 @@ pub fn lower(program: &Program, candidate: &Candidate) -> LoweredKernel {
                     op: op.id,
                     src: *src,
                     dst: *dst,
-                    instruction: choice.map(|c| c.atom.name.clone()).unwrap_or_else(|| "ld/st".to_string()),
+                    instruction: choice
+                        .map(|c| c.atom.name.clone())
+                        .unwrap_or_else(|| "ld/st".to_string()),
                     invocations: choice.map(|c| c.invocations).unwrap_or(1),
                     bytes_per_thread: choice
                         .map(|c| dtype.bytes_for(c.elements_per_thread))
@@ -229,18 +243,40 @@ pub fn lower(program: &Program, candidate: &Candidate) -> LoweredKernel {
                     a: *a,
                     b: *b,
                     c: *c,
-                    instruction: choice.map(|m| m.atom.name.clone()).unwrap_or_else(|| "mma".to_string()),
+                    instruction: choice
+                        .map(|m| m.atom.name.clone())
+                        .unwrap_or_else(|| "mma".to_string()),
                     invocations: choice.map(|m| m.invocations).unwrap_or(1),
                     in_loop: op.in_main_loop,
                 });
             }
-            OpKind::Cast { src, dst } => body.push(simt(program, candidate, op.id, SimtKind::Cast, vec![*src], *dst, op.in_main_loop)),
+            OpKind::Cast { src, dst } => body.push(simt(
+                program,
+                candidate,
+                op.id,
+                SimtKind::Cast,
+                vec![*src],
+                *dst,
+                op.in_main_loop,
+            )),
             OpKind::Rearrange { src, dst } => {
                 body.push(LoweredOp::Sync);
-                body.push(simt(program, candidate, op.id, SimtKind::Rearrange, vec![*src], *dst, op.in_main_loop));
+                body.push(simt(
+                    program,
+                    candidate,
+                    op.id,
+                    SimtKind::Rearrange,
+                    vec![*src],
+                    *dst,
+                    op.in_main_loop,
+                ));
                 body.push(LoweredOp::Sync);
             }
-            OpKind::Elementwise { inputs, output, op: eop } => body.push(simt(
+            OpKind::Elementwise {
+                inputs,
+                output,
+                op: eop,
+            } => body.push(simt(
                 program,
                 candidate,
                 op.id,
@@ -249,18 +285,32 @@ pub fn lower(program: &Program, candidate: &Candidate) -> LoweredKernel {
                 *output,
                 op.in_main_loop,
             )),
-            OpKind::Reduce { src, dst, dim, op: rop } => body.push(simt(
+            OpKind::Reduce {
+                src,
+                dst,
+                dim,
+                op: rop,
+            } => body.push(simt(
                 program,
                 candidate,
                 op.id,
-                SimtKind::Reduce { dim: *dim, op: *rop },
+                SimtKind::Reduce {
+                    dim: *dim,
+                    op: *rop,
+                },
                 vec![*src],
                 *dst,
                 op.in_main_loop,
             )),
-            OpKind::Fill { dst, value } => {
-                body.push(simt(program, candidate, op.id, SimtKind::Fill(*value), vec![], *dst, op.in_main_loop))
-            }
+            OpKind::Fill { dst, value } => body.push(simt(
+                program,
+                candidate,
+                op.id,
+                SimtKind::Fill(*value),
+                vec![],
+                *dst,
+                op.in_main_loop,
+            )),
         }
     }
 
@@ -288,9 +338,19 @@ fn simt(
     in_loop: bool,
 ) -> LoweredOp {
     let width = candidate.simt_widths.get(&op).copied().unwrap_or_else(|| {
-        program.tensor(output).tile_elements_2d().div_ceil(program.threads_per_block)
+        program
+            .tensor(output)
+            .tile_elements_2d()
+            .div_ceil(program.threads_per_block)
     });
-    LoweredOp::Simt { op, kind, inputs, output, width, in_loop }
+    LoweredOp::Simt {
+        op,
+        kind,
+        inputs,
+        output,
+        width,
+        in_loop,
+    }
 }
 
 #[cfg(test)]
@@ -299,13 +359,23 @@ mod tests {
     use hexcute_arch::{DType, GpuArch};
     use hexcute_ir::KernelBuilder;
     use hexcute_layout::Layout;
-    use hexcute_synthesis::{Synthesizer, SynthesisOptions};
+    use hexcute_synthesis::{SynthesisOptions, Synthesizer};
 
     fn smem_gemm() -> (Program, Candidate) {
         let (bm, bn, bk) = (64, 64, 32);
         let mut kb = KernelBuilder::new("lower_gemm", 128);
-        let ga = kb.global_view("a", DType::F16, Layout::from_flat(&[bm, bk], &[bk, 1]), &[bm, bk]);
-        let gb = kb.global_view("b", DType::F16, Layout::from_flat(&[bn, bk], &[bk, 1]), &[bn, bk]);
+        let ga = kb.global_view(
+            "a",
+            DType::F16,
+            Layout::from_flat(&[bm, bk], &[bk, 1]),
+            &[bm, bk],
+        );
+        let gb = kb.global_view(
+            "b",
+            DType::F16,
+            Layout::from_flat(&[bn, bk], &[bk, 1]),
+            &[bn, bk],
+        );
         let gc = kb.global_view("c", DType::F16, Layout::row_major(&[bm, bn]), &[bm, bn]);
         let sa = kb.shared_tensor("sa", DType::F16, &[bm, bk]);
         let sb = kb.shared_tensor("sb", DType::F16, &[bn, bk]);
@@ -341,11 +411,19 @@ mod tests {
         assert!(kernel.sync_count() >= 1);
         // The instruction stream contains the gemm and all copies.
         assert_eq!(
-            kernel.body.iter().filter(|o| matches!(o, LoweredOp::Mma { .. })).count(),
+            kernel
+                .body
+                .iter()
+                .filter(|o| matches!(o, LoweredOp::Mma { .. }))
+                .count(),
             1
         );
         assert_eq!(
-            kernel.body.iter().filter(|o| matches!(o, LoweredOp::Copy { .. })).count(),
+            kernel
+                .body
+                .iter()
+                .filter(|o| matches!(o, LoweredOp::Copy { .. }))
+                .count(),
             5
         );
         assert!(kernel.registers_per_thread > 0);

@@ -11,7 +11,7 @@ use hexcute_codegen::{emit_cuda_like, lower, LoweredKernel};
 use hexcute_costmodel::{CostBreakdown, CostModel};
 use hexcute_ir::Program;
 use hexcute_sim::{estimate_kernel, FunctionalSim, PerfReport, SimError};
-use hexcute_synthesis::{Candidate, Synthesizer, SynthesisError, SynthesisOptions};
+use hexcute_synthesis::{Candidate, SynthesisError, SynthesisOptions, Synthesizer};
 
 /// Options controlling compilation.
 #[derive(Debug, Clone, Default)]
@@ -27,7 +27,10 @@ pub struct CompilerOptions {
 impl CompilerOptions {
     /// Default options: full instruction set, cost-model-guided selection.
     pub fn new() -> Self {
-        CompilerOptions { synthesis: SynthesisOptions::default(), use_cost_model: true }
+        CompilerOptions {
+            synthesis: SynthesisOptions::default(),
+            use_cost_model: true,
+        }
     }
 }
 
@@ -125,12 +128,20 @@ impl Compiler {
     /// Creates a compiler targeting the given architecture with default
     /// options.
     pub fn new(arch: GpuArch) -> Self {
-        Compiler { arch, options: CompilerOptions::new(), cache: Mutex::new(HashMap::new()) }
+        Compiler {
+            arch,
+            options: CompilerOptions::new(),
+            cache: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Creates a compiler with explicit options.
     pub fn with_options(arch: GpuArch, options: CompilerOptions) -> Self {
-        Compiler { arch, options, cache: Mutex::new(HashMap::new()) }
+        Compiler {
+            arch,
+            options,
+            cache: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The target architecture.
@@ -184,9 +195,16 @@ impl Compiler {
         };
         let selected_latency = ranked[selected_by_cost_model].2.latency_us;
         let best_latency = ranked[best_by_simulation].2.latency_us;
-        let selection_quality = if best_latency > 0.0 { selected_latency / best_latency } else { 1.0 };
+        let selection_quality = if best_latency > 0.0 {
+            selected_latency / best_latency
+        } else {
+            1.0
+        };
 
-        let (candidate, cost, perf) = ranked.into_iter().nth(selected_by_cost_model).expect("selected index is valid");
+        let (candidate, cost, perf) = ranked
+            .into_iter()
+            .nth(selected_by_cost_model)
+            .expect("selected index is valid");
         let lowered = lower(program, &candidate);
         let stats = CompileStats {
             candidates_explored,
@@ -195,13 +213,25 @@ impl Compiler {
             selection_quality,
             compile_time_ms: start.elapsed().as_secs_f64() * 1e3,
         };
-        let compiled = CompiledKernel { program: program.clone(), candidate, lowered, cost, perf, stats };
+        let compiled = CompiledKernel {
+            program: program.clone(),
+            candidate,
+            lowered,
+            cost,
+            perf,
+            stats,
+        };
         self.cache.lock().insert(key, compiled.clone());
         Ok(compiled)
     }
 
     /// Synthesizes every candidate for the program and evaluates each with
     /// both the analytical cost model and the performance simulator.
+    ///
+    /// When the fast path is enabled (see [`hexcute_layout::fastpath`]) the
+    /// candidates are scored in parallel across CPU cores, sharing one
+    /// memoizing cost model; order (and therefore candidate selection) is
+    /// identical to the serial reference.
     ///
     /// # Errors
     ///
@@ -213,14 +243,16 @@ impl Compiler {
         let synthesizer = Synthesizer::new(program, &self.arch, self.options.synthesis.clone());
         let candidates = synthesizer.synthesize()?;
         let model = CostModel::new(&self.arch);
-        Ok(candidates
-            .into_iter()
-            .map(|candidate| {
-                let cost = model.estimate(program, &candidate);
-                let perf = estimate_kernel(program, &candidate, &self.arch);
-                (candidate, cost, perf)
-            })
-            .collect())
+        let score = |candidate: Candidate| {
+            let cost = model.estimate(program, &candidate);
+            let perf = estimate_kernel(program, &candidate, &self.arch);
+            (candidate, cost, perf)
+        };
+        if hexcute_layout::fast_path_enabled() {
+            Ok(hexcute_parallel::par_map(candidates, score))
+        } else {
+            Ok(candidates.into_iter().map(score).collect())
+        }
     }
 }
 
@@ -235,9 +267,24 @@ mod tests {
     fn gemm_program() -> Program {
         let (m, n, k) = (64, 64, 64);
         let mut kb = KernelBuilder::new("core_gemm", 128);
-        let ga = kb.global_view("a", DType::F16, Layout::from_flat(&[m, k], &[k, 1]), &[m, k]);
-        let gb = kb.global_view("b", DType::F16, Layout::from_flat(&[n, k], &[k, 1]), &[n, k]);
-        let gc = kb.global_view("c", DType::F32, Layout::from_flat(&[m, n], &[n, 1]), &[m, n]);
+        let ga = kb.global_view(
+            "a",
+            DType::F16,
+            Layout::from_flat(&[m, k], &[k, 1]),
+            &[m, k],
+        );
+        let gb = kb.global_view(
+            "b",
+            DType::F16,
+            Layout::from_flat(&[n, k], &[k, 1]),
+            &[n, k],
+        );
+        let gc = kb.global_view(
+            "c",
+            DType::F32,
+            Layout::from_flat(&[m, n], &[n, 1]),
+            &[m, n],
+        );
         let sa = kb.shared_tensor("sa", DType::F16, &[m, k]);
         let sb = kb.shared_tensor("sb", DType::F16, &[n, k]);
         let ra = kb.register_tensor("ra", DType::F16, &[m, k]);
@@ -261,7 +308,11 @@ mod tests {
         assert!(kernel.stats.selection_quality >= 1.0);
         // The cost model's choice should be close to the true optimum
         // (Fig. 12 reports within 1.01x; allow a little slack here).
-        assert!(kernel.stats.selection_quality < 1.10, "quality {}", kernel.stats.selection_quality);
+        assert!(
+            kernel.stats.selection_quality < 1.10,
+            "quality {}",
+            kernel.stats.selection_quality
+        );
         assert!(kernel.latency_us() > 0.0);
         assert!(kernel.cuda_source().contains("__global__"));
         assert!(kernel.lowered.smem_bytes > 0);
@@ -294,7 +345,10 @@ mod tests {
         let first = compiler.compile(&program).unwrap();
         let second = compiler.compile(&program).unwrap();
         assert_eq!(first.candidate, second.candidate);
-        assert_eq!(first.stats.candidates_explored, second.stats.candidates_explored);
+        assert_eq!(
+            first.stats.candidates_explored,
+            second.stats.candidates_explored
+        );
     }
 
     #[test]
@@ -303,7 +357,10 @@ mod tests {
         let guided = Compiler::new(GpuArch::a100()).compile(&program).unwrap();
         let exhaustive = Compiler::with_options(
             GpuArch::a100(),
-            CompilerOptions { use_cost_model: false, ..CompilerOptions::new() },
+            CompilerOptions {
+                use_cost_model: false,
+                ..CompilerOptions::new()
+            },
         )
         .compile(&program)
         .unwrap();

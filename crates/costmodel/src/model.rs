@@ -1,9 +1,19 @@
 //! The analytical latency model.
+//!
+//! When the flat fast path is enabled (see [`hexcute_layout::fastpath`]),
+//! per-operation issue/completion estimates are memoized across candidates:
+//! the search tree varies one instruction choice at a time, so most
+//! operations of sibling candidates share identical choices and their costs
+//! are computed once. The cache key is a fingerprint of exactly the choice
+//! fields the estimate reads, so memoized results are bit-identical to
+//! recomputed ones.
 
 use std::collections::HashMap;
+use std::sync::RwLock;
 
 use hexcute_arch::GpuArch;
 use hexcute_ir::{Op, OpId, OpKind, Program, TensorId};
+use hexcute_layout::fastpath;
 use hexcute_synthesis::Candidate;
 
 /// Per-operation cost attribution.
@@ -46,20 +56,34 @@ impl CostBreakdown {
 
 /// The analytical cost model: estimates the latency of a candidate program
 /// without compiling or running it.
-#[derive(Debug, Clone, Copy)]
+///
+/// The model is `Sync`: one instance can score many candidates from several
+/// threads, sharing its per-operation memoization cache.
+#[derive(Debug)]
 pub struct CostModel<'a> {
     arch: &'a GpuArch,
+    /// Read-mostly after warm-up: lookups take the shared lock so parallel
+    /// candidate scoring does not serialize on the cache.
+    op_cache: RwLock<HashMap<(OpId, u64), (f64, f64)>>,
 }
 
 impl<'a> CostModel<'a> {
     /// Creates a cost model for the given architecture.
     pub fn new(arch: &'a GpuArch) -> Self {
-        CostModel { arch }
+        CostModel {
+            arch,
+            op_cache: RwLock::new(HashMap::new()),
+        }
     }
 
     /// Estimates the per-block latency of a candidate program.
     pub fn estimate(&self, program: &Program, candidate: &Candidate) -> CostBreakdown {
-        let prologue: Vec<&Op> = program.ops().iter().filter(|o| !o.in_main_loop).take_while(|o| !o.in_main_loop).collect();
+        let prologue: Vec<&Op> = program
+            .ops()
+            .iter()
+            .filter(|o| !o.in_main_loop)
+            .take_while(|o| !o.in_main_loop)
+            .collect();
         // Split the static ops into prologue (before the loop), loop body and
         // epilogue (after the loop) by program order.
         let first_loop = program.ops().iter().position(|o| o.in_main_loop);
@@ -67,7 +91,10 @@ impl<'a> CostModel<'a> {
         let (pre, body, post): (Vec<&Op>, Vec<&Op>, Vec<&Op>) = match (first_loop, last_loop) {
             (Some(first), Some(last)) => (
                 program.ops()[..first].iter().collect(),
-                program.ops()[first..=last].iter().filter(|o| o.in_main_loop).collect(),
+                program.ops()[first..=last]
+                    .iter()
+                    .filter(|o| o.in_main_loop)
+                    .collect(),
                 program.ops()[last + 1..].iter().collect(),
             ),
             _ => (prologue, Vec::new(), Vec::new()),
@@ -105,12 +132,19 @@ impl<'a> CostModel<'a> {
         };
         let trip = program.main_loop_trip_count.max(1) as f64;
         // Pipeline fill cost: the first iteration still waits for its data.
-        let fill = if overlapped && !body.is_empty() { body_max_completion } else { 0.0 };
+        let fill = if overlapped && !body.is_empty() {
+            body_max_completion
+        } else {
+            0.0
+        };
 
         let rearrange_cycles = self.rearrange_cycles(candidate);
 
-        let total_cycles =
-            prologue_cycles + fill + trip * loop_iteration_cycles + epilogue_cycles + rearrange_cycles;
+        let total_cycles = prologue_cycles
+            + fill
+            + trip * loop_iteration_cycles
+            + epilogue_cycles
+            + rearrange_cycles;
 
         CostBreakdown {
             total_cycles,
@@ -151,7 +185,12 @@ impl<'a> CostModel<'a> {
                 ready.insert(out, clock + completion);
             }
             last_completion = last_completion.max(clock + completion);
-            per_op.push(OpCost { op: op.id, issue_cycles: issue, stall_cycles: stall, completion_cycles: completion });
+            per_op.push(OpCost {
+                op: op.id,
+                issue_cycles: issue,
+                stall_cycles: stall,
+                completion_cycles: completion,
+            });
         }
         if wait_for_all {
             clock = clock.max(last_completion);
@@ -162,7 +201,12 @@ impl<'a> CostModel<'a> {
     /// Splits the loop body into memory-pipe issue cycles, compute-pipe issue
     /// cycles, and the largest completion latency (used for the pipelining
     /// overlap model).
-    fn body_split(&self, program: &Program, candidate: &Candidate, body: &[&Op]) -> (f64, f64, f64) {
+    fn body_split(
+        &self,
+        program: &Program,
+        candidate: &Candidate,
+        body: &[&Op],
+    ) -> (f64, f64, f64) {
         let mut mem = 0.0f64;
         let mut compute = 0.0f64;
         let mut max_completion = 0.0f64;
@@ -180,7 +224,25 @@ impl<'a> CostModel<'a> {
 
     /// Issue and completion cycles of one tile-level operation under the
     /// candidate's instruction choices.
+    ///
+    /// Results are memoized per `(operation, choice fingerprint)` when the
+    /// fast path is enabled, so candidates sharing a choice for an operation
+    /// pay for its estimate once.
     pub fn op_cycles(&self, program: &Program, candidate: &Candidate, op: &Op) -> (f64, f64) {
+        if !fastpath::enabled() {
+            return self.op_cycles_uncached(program, candidate, op);
+        }
+        let key = (op.id, choice_fingerprint(candidate, op));
+        if let Some(&hit) = self.op_cache.read().unwrap().get(&key) {
+            return hit;
+        }
+        let result = self.op_cycles_uncached(program, candidate, op);
+        self.op_cache.write().unwrap().insert(key, result);
+        result
+    }
+
+    /// The uncached estimate behind [`CostModel::op_cycles`].
+    fn op_cycles_uncached(&self, program: &Program, candidate: &Candidate, op: &Op) -> (f64, f64) {
         match &op.kind {
             OpKind::Copy { src, dst } => {
                 if let Some(choice) = candidate.copy_choices.get(&op.id) {
@@ -188,7 +250,10 @@ impl<'a> CostModel<'a> {
                     let completion = choice.atom.completion_cycles(self.arch);
                     (issue, completion)
                 } else {
-                    let elems = program.tensor(*src).tile_elements_2d().max(program.tensor(*dst).tile_elements_2d());
+                    let elems = program
+                        .tensor(*src)
+                        .tile_elements_2d()
+                        .max(program.tensor(*dst).tile_elements_2d());
                     let per_thread = elems.div_ceil(program.threads_per_block).max(1);
                     let src_space = program.tensor(*src).space;
                     let dst_space = program.tensor(*dst).space;
@@ -214,7 +279,10 @@ impl<'a> CostModel<'a> {
             OpKind::Rearrange { src, .. } => {
                 // Round trip through shared memory: a store and a load per element.
                 let decl = program.tensor(*src);
-                let per_thread = decl.tile_elements_2d().div_ceil(program.threads_per_block).max(1);
+                let per_thread = decl
+                    .tile_elements_2d()
+                    .div_ceil(program.threads_per_block)
+                    .max(1);
                 (4.0 * per_thread as f64, 2.0 * self.arch.smem_latency_cycles)
             }
             OpKind::Cast { .. } | OpKind::Elementwise { .. } | OpKind::Fill { .. } => {
@@ -231,6 +299,11 @@ impl<'a> CostModel<'a> {
         }
     }
 
+    /// Clears the per-operation memoization cache.
+    pub fn clear_cache(&self) {
+        self.op_cache.write().unwrap().clear();
+    }
+
     fn rearrange_cycles(&self, candidate: &Candidate) -> f64 {
         // Each inserted rearrange is a shared-memory round trip of the tensor.
         candidate
@@ -240,10 +313,58 @@ impl<'a> CostModel<'a> {
                 let bytes = r.bytes as f64;
                 // 128 bytes per cycle per SM through shared memory, twice
                 // (store + load), plus two barrier latencies.
-                2.0 * bytes / self.arch.smem_bytes_per_cycle_per_sm + 2.0 * self.arch.smem_latency_cycles
+                2.0 * bytes / self.arch.smem_bytes_per_cycle_per_sm
+                    + 2.0 * self.arch.smem_latency_cycles
             })
             .sum()
     }
+}
+
+/// A fingerprint of every candidate-dependent input `op_cycles` reads for
+/// `op`, used as the memoization key. Candidate-independent inputs (tensor
+/// shapes, thread counts, the architecture) are fixed per model instance and
+/// per operation, so they do not need to participate.
+fn choice_fingerprint(candidate: &Candidate, op: &Op) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut hash = FNV_OFFSET;
+    let mut mix = |v: u64| {
+        hash ^= v;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    };
+    match &op.kind {
+        OpKind::Copy { .. } => {
+            if let Some(choice) = candidate.copy_choices.get(&op.id) {
+                mix(1);
+                mix(choice.invocations as u64);
+                mix(choice.elements_per_thread as u64);
+                for b in choice.atom.name.bytes() {
+                    mix(u64::from(b));
+                }
+            } else {
+                mix(2);
+            }
+        }
+        OpKind::Gemm { .. } => {
+            if let Some(choice) = candidate.mma_choices.get(&op.id) {
+                mix(3);
+                mix(choice.invocations as u64);
+                mix(choice.atom.issue_cycles.to_bits());
+                mix(choice.atom.completion_cycles.to_bits());
+            } else {
+                mix(4);
+            }
+        }
+        OpKind::Rearrange { .. } => mix(5),
+        OpKind::Cast { .. }
+        | OpKind::Elementwise { .. }
+        | OpKind::Fill { .. }
+        | OpKind::Reduce { .. } => {
+            mix(6);
+            mix(candidate.simt_widths.get(&op.id).copied().unwrap_or(1) as u64);
+        }
+    }
+    hash
 }
 
 #[cfg(test)]
@@ -252,14 +373,24 @@ mod tests {
     use hexcute_arch::DType;
     use hexcute_ir::KernelBuilder;
     use hexcute_layout::Layout;
-    use hexcute_synthesis::{Synthesizer, SynthesisOptions};
+    use hexcute_synthesis::{SynthesisOptions, Synthesizer};
 
     fn pipelined_gemm(stages: usize) -> Program {
         let (bm, bn, bk, k) = (128, 128, 32, 1024);
         let mut kb = KernelBuilder::new("gemm", 128);
         kb.set_pipeline_stages(stages);
-        let ga = kb.global_view("a", DType::F16, Layout::from_flat(&[bm, bk, k / bk], &[k, 1, bk]), &[bm, bk, k / bk]);
-        let gb = kb.global_view("b", DType::F16, Layout::from_flat(&[bn, bk, k / bk], &[k, 1, bk]), &[bn, bk, k / bk]);
+        let ga = kb.global_view(
+            "a",
+            DType::F16,
+            Layout::from_flat(&[bm, bk, k / bk], &[k, 1, bk]),
+            &[bm, bk, k / bk],
+        );
+        let gb = kb.global_view(
+            "b",
+            DType::F16,
+            Layout::from_flat(&[bn, bk, k / bk], &[k, 1, bk]),
+            &[bn, bk, k / bk],
+        );
         let gc = kb.global_view("c", DType::F16, Layout::row_major(&[bm, bn]), &[bm, bn]);
         let sa = kb.shared_tensor("sa", DType::F16, &[bm, bk]);
         let sb = kb.shared_tensor("sb", DType::F16, &[bn, bk]);
@@ -313,7 +444,10 @@ mod tests {
         let scalar = model
             .estimate(&program, candidates.last().unwrap())
             .total_cycles;
-        assert!(preferred < scalar, "preferred {preferred} !< scalar fallback {scalar}");
+        assert!(
+            preferred < scalar,
+            "preferred {preferred} !< scalar fallback {scalar}"
+        );
     }
 
     #[test]
@@ -322,9 +456,10 @@ mod tests {
         let program = pipelined_gemm(2);
         let model = CostModel::new(&arch);
         let vectorized = model.estimate(&program, &best_candidate(&program, &arch));
-        let scalar_candidate = Synthesizer::new(&program, &arch, SynthesisOptions::scalar_fallback())
-            .synthesize_preferred()
-            .unwrap();
+        let scalar_candidate =
+            Synthesizer::new(&program, &arch, SynthesisOptions::scalar_fallback())
+                .synthesize_preferred()
+                .unwrap();
         let scalar = model.estimate(&program, &scalar_candidate);
         // The kernel is Tensor-Core bound, so the gap is bounded, but the
         // scalar data movement must still cost strictly more.

@@ -156,8 +156,11 @@ pub fn decode_latency_ms(
     let compiler = Compiler::new(arch.clone());
 
     // ----- Attention (identical for every backend in the paper's setup). --
-    let attn_shape = AttentionShape::decoding(batch, heads_per_gpu, seq_len.max(64), model.head_dim);
-    let attn_layers = (model.layers as f64 * (1.0 - model.mamba_fraction)).round().max(1.0);
+    let attn_shape =
+        AttentionShape::decoding(batch, heads_per_gpu, seq_len.max(64), model.head_dim);
+    let attn_layers = (model.layers as f64 * (1.0 - model.mamba_fraction))
+        .round()
+        .max(1.0);
     let attention_us = library_latency_us(
         Library::FlashInfer,
         &Workload::new(attn_shape.flops(), attn_shape.bytes(), DType::F16),
@@ -180,23 +183,36 @@ pub fn decode_latency_ms(
                 KernelBackend::Hexcute => {
                     let program = mixed_type_moe(shape, config, MoeDataflow::Efficient)
                         .expect("MoE kernel construction");
-                    compiler.compile(&program).expect("MoE compilation").latency_us()
+                    compiler
+                        .compile(&program)
+                        .expect("MoE compilation")
+                        .latency_us()
                 }
                 KernelBackend::Baseline => {
-                    let program = triton_moe_program(shape, config).expect("Triton MoE construction");
-                    triton_latency_us(&program, arch).expect("Triton MoE compilation").latency_us
+                    let program =
+                        triton_moe_program(shape, config).expect("Triton MoE construction");
+                    triton_latency_us(&program, arch)
+                        .expect("Triton MoE compilation")
+                        .latency_us
                 }
                 KernelBackend::MarlinNew => marlin_new_moe_latency_us(&shape, arch),
             }
         }
         _ => {
             // Dense FFN: two blockwise FP8 GEMMs per layer.
-            let shape = GemmShape::new(batch.max(16), (model.intermediate / tp).max(256), model.hidden);
+            let shape = GemmShape::new(
+                batch.max(16),
+                (model.intermediate / tp).max(256),
+                model.hidden,
+            );
             match backend {
                 KernelBackend::Hexcute | KernelBackend::MarlinNew => {
                     let program = fp8_blockwise_gemm(shape, GemmConfig::default())
                         .expect("FP8 GEMM construction");
-                    2.0 * compiler.compile(&program).expect("FP8 GEMM compilation").latency_us()
+                    2.0 * compiler
+                        .compile(&program)
+                        .expect("FP8 GEMM compilation")
+                        .latency_us()
                 }
                 KernelBackend::Baseline => {
                     2.0 * library_latency_us(
@@ -220,8 +236,12 @@ pub fn decode_latency_ms(
         let shape = ScanShape::new(batch, model.hidden / tp, model.mamba_state, seq_len.max(64));
         let us = match backend {
             KernelBackend::Hexcute | KernelBackend::MarlinNew => {
-                let program = selective_scan(shape, ScanConfig::default()).expect("scan construction");
-                compiler.compile(&program).expect("scan compilation").latency_us()
+                let program =
+                    selective_scan(shape, ScanConfig::default()).expect("scan construction");
+                compiler
+                    .compile(&program)
+                    .expect("scan compilation")
+                    .latency_us()
             }
             KernelBackend::Baseline => library_latency_us(
                 Library::MambaLibrary,
@@ -235,7 +255,14 @@ pub fn decode_latency_ms(
     };
 
     let total_ms = attention_ms + ffn_ms + mamba_ms;
-    DecodeReport { model: model.name.clone(), backend, attention_ms, ffn_ms, mamba_ms, total_ms }
+    DecodeReport {
+        model: model.name.clone(),
+        backend,
+        attention_ms,
+        ffn_ms,
+        mamba_ms,
+        total_ms,
+    }
 }
 
 #[cfg(test)]
@@ -249,7 +276,10 @@ mod tests {
         let baseline = decode_latency_ms(&model, KernelBackend::Baseline, 8, 2048, &arch);
         let hexcute = decode_latency_ms(&model, KernelBackend::Hexcute, 8, 2048, &arch);
         let speedup = baseline.total_ms / hexcute.total_ms;
-        assert!(speedup > 1.3, "expected an end-to-end speedup, got {speedup:.2}x");
+        assert!(
+            speedup > 1.3,
+            "expected an end-to-end speedup, got {speedup:.2}x"
+        );
         // The win comes from the MoE layers, not from attention.
         assert!(baseline.ffn_ms > hexcute.ffn_ms);
         assert!((baseline.attention_ms - hexcute.attention_ms).abs() < 1e-9);
@@ -272,7 +302,10 @@ mod tests {
         let baseline = decode_latency_ms(&model, KernelBackend::Baseline, 32, 2048, &arch);
         let hexcute = decode_latency_ms(&model, KernelBackend::Hexcute, 32, 2048, &arch);
         let speedup = baseline.total_ms / hexcute.total_ms;
-        assert!(speedup > 0.85 && speedup < 1.6, "speedup {speedup:.2}x out of the expected range");
+        assert!(
+            speedup > 0.85 && speedup < 1.6,
+            "speedup {speedup:.2}x out of the expected range"
+        );
     }
 
     #[test]
@@ -282,7 +315,14 @@ mod tests {
             ModelConfig::jamba_mini(),
             ModelConfig::qwen3_32b(),
         ];
-        assert_eq!(configs.iter().map(|c| c.name.clone()).collect::<std::collections::HashSet<_>>().len(), 3);
+        assert_eq!(
+            configs
+                .iter()
+                .map(|c| c.name.clone())
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+            3
+        );
         assert_eq!(configs[0].kind, ModelKind::MoeAwq);
         assert_eq!(configs[1].kind, ModelKind::Hybrid);
         assert_eq!(configs[2].kind, ModelKind::DenseFp8);

@@ -125,19 +125,33 @@ impl KernelBuilder {
 
     /// `register_tensor(dtype, shape)`: a tile distributed across the thread
     /// block's register files; its thread-value layout is synthesized.
-    pub fn register_tensor(&mut self, name: impl Into<String>, dtype: DType, shape: &[usize]) -> TensorId {
+    pub fn register_tensor(
+        &mut self,
+        name: impl Into<String>,
+        dtype: DType,
+        shape: &[usize],
+    ) -> TensorId {
         self.add_tensor(name, dtype, MemSpace::Register, shape, None)
     }
 
     /// `shared_tensor(dtype, shape)`: a tile in shared memory; its memory
     /// layout (and swizzle) is synthesized.
-    pub fn shared_tensor(&mut self, name: impl Into<String>, dtype: DType, shape: &[usize]) -> TensorId {
+    pub fn shared_tensor(
+        &mut self,
+        name: impl Into<String>,
+        dtype: DType,
+        shape: &[usize],
+    ) -> TensorId {
         self.add_tensor(name, dtype, MemSpace::Shared, shape, None)
     }
 
     fn add_op(&mut self, kind: OpKind) -> OpId {
         let id = OpId(self.ops.len());
-        self.ops.push(Op { id, kind, in_main_loop: self.in_loop });
+        self.ops.push(Op {
+            id,
+            kind,
+            in_main_loop: self.in_loop,
+        });
         id
     }
 
@@ -207,14 +221,27 @@ impl KernelBuilder {
             &first.shape,
             None,
         );
-        self.add_op(OpKind::Elementwise { inputs: inputs.to_vec(), output, op });
+        self.add_op(OpKind::Elementwise {
+            inputs: inputs.to_vec(),
+            output,
+            op,
+        });
         output
     }
 
     /// Like [`KernelBuilder::elementwise`] but writes into an existing
     /// destination tensor.
-    pub fn elementwise_into(&mut self, op: ElementwiseOp, inputs: &[TensorId], output: TensorId) -> OpId {
-        self.add_op(OpKind::Elementwise { inputs: inputs.to_vec(), output, op })
+    pub fn elementwise_into(
+        &mut self,
+        op: ElementwiseOp,
+        inputs: &[TensorId],
+        output: TensorId,
+    ) -> OpId {
+        self.add_op(OpKind::Elementwise {
+            inputs: inputs.to_vec(),
+            output,
+            op,
+        })
     }
 
     /// `reduce(src, dim, op)`: creates the reduced output tensor (dimension
@@ -272,8 +299,18 @@ mod tests {
         let (bm, bn, bk, k) = (64, 64, 32, 256);
         let mut kb = KernelBuilder::new("fig15_gemm", 128);
         kb.set_grid_blocks(16).set_pipeline_stages(2);
-        let ga = kb.global_view("a", DType::F16, Layout::from_flat(&[bm, bk, k / bk], &[k, 1, bk]), &[bm, bk, k / bk]);
-        let gb = kb.global_view("b", DType::F16, Layout::from_flat(&[bn, bk, k / bk], &[k, 1, bk]), &[bn, bk, k / bk]);
+        let ga = kb.global_view(
+            "a",
+            DType::F16,
+            Layout::from_flat(&[bm, bk, k / bk], &[k, 1, bk]),
+            &[bm, bk, k / bk],
+        );
+        let gb = kb.global_view(
+            "b",
+            DType::F16,
+            Layout::from_flat(&[bn, bk, k / bk], &[k, 1, bk]),
+            &[bn, bk, k / bk],
+        );
         let gc = kb.global_view("c", DType::F16, Layout::row_major(&[bm, bn]), &[bm, bn]);
         let ra = kb.register_tensor("ra", DType::F16, &[bm, bk]);
         let rb = kb.register_tensor("rb", DType::F16, &[bn, bk]);

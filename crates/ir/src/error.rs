@@ -30,8 +30,12 @@ impl fmt::Display for IrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IrError::UnknownTensor(name) => write!(f, "unknown tensor {name}"),
-            IrError::InvalidOperands { op, reason } => write!(f, "invalid operands for {op}: {reason}"),
-            IrError::InvalidTensor { tensor, reason } => write!(f, "invalid tensor {tensor}: {reason}"),
+            IrError::InvalidOperands { op, reason } => {
+                write!(f, "invalid operands for {op}: {reason}")
+            }
+            IrError::InvalidTensor { tensor, reason } => {
+                write!(f, "invalid tensor {tensor}: {reason}")
+            }
             IrError::InvalidProgram(reason) => write!(f, "invalid program: {reason}"),
         }
     }

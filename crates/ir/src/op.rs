@@ -244,7 +244,11 @@ mod tests {
     fn gemm_reads_its_accumulator() {
         let op = Op {
             id: OpId(0),
-            kind: OpKind::Gemm { c: TensorId(2), a: TensorId(0), b: TensorId(1) },
+            kind: OpKind::Gemm {
+                c: TensorId(2),
+                a: TensorId(0),
+                b: TensorId(1),
+            },
             in_main_loop: true,
         };
         assert_eq!(op.inputs(), vec![TensorId(0), TensorId(1), TensorId(2)]);
@@ -258,7 +262,10 @@ mod tests {
     fn fill_has_no_inputs() {
         let op = Op {
             id: OpId(1),
-            kind: OpKind::Fill { dst: TensorId(3), value: 0.0 },
+            kind: OpKind::Fill {
+                dst: TensorId(3),
+                value: 0.0,
+            },
             in_main_loop: false,
         };
         assert!(op.inputs().is_empty());
@@ -269,7 +276,10 @@ mod tests {
     fn copy_display() {
         let op = Op {
             id: OpId(7),
-            kind: OpKind::Copy { src: TensorId(1), dst: TensorId(2) },
+            kind: OpKind::Copy {
+                src: TensorId(1),
+                dst: TensorId(2),
+            },
             in_main_loop: false,
         };
         assert_eq!(op.to_string(), "op7: copy(%t1, %t2)");

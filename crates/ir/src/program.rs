@@ -160,7 +160,9 @@ impl Program {
 
     /// Whether the program contains at least one `gemm`.
     pub fn has_gemm(&self) -> bool {
-        self.ops.iter().any(|op| matches!(op.kind, OpKind::Gemm { .. }))
+        self.ops
+            .iter()
+            .any(|op| matches!(op.kind, OpKind::Gemm { .. }))
     }
 
     /// Partitions the operations into connected components separated by
@@ -212,7 +214,7 @@ impl Program {
     /// and operand arities). Called by [`crate::KernelBuilder::build`].
     pub fn verify(&self) -> Result<()> {
         for t in &self.tensors {
-            if t.shape.is_empty() || t.shape.iter().any(|&s| s == 0) {
+            if t.shape.is_empty() || t.shape.contains(&0) {
                 return Err(IrError::InvalidTensor {
                     tensor: t.name.clone(),
                     reason: "tensor shapes must be non-empty and positive".to_string(),
@@ -237,7 +239,7 @@ impl Program {
                 }
             }
         }
-        if self.threads_per_block == 0 || self.threads_per_block % 32 != 0 {
+        if self.threads_per_block == 0 || !self.threads_per_block.is_multiple_of(32) {
             return Err(IrError::InvalidProgram(format!(
                 "threads per block must be a positive multiple of 32, got {}",
                 self.threads_per_block
@@ -256,7 +258,10 @@ impl Program {
 
     fn verify_op(&self, op: &Op) -> Result<()> {
         let invalid = |reason: String| {
-            Err(IrError::InvalidOperands { op: op.mnemonic().to_string(), reason })
+            Err(IrError::InvalidOperands {
+                op: op.mnemonic().to_string(),
+                reason,
+            })
         };
         match &op.kind {
             OpKind::Copy { src, dst } => {
@@ -275,7 +280,9 @@ impl Program {
                     ));
                 }
                 if s.space == MemSpace::Global && d.space == MemSpace::Global {
-                    return invalid("copy between two global views is not a tile operation".to_string());
+                    return invalid(
+                        "copy between two global views is not a tile operation".to_string(),
+                    );
                 }
                 Ok(())
             }
@@ -285,10 +292,15 @@ impl Program {
                     return invalid("gemm accumulator must live in registers".to_string());
                 }
                 if ta.space == MemSpace::Global || tb.space == MemSpace::Global {
-                    return invalid("gemm operands must be staged in shared memory or registers".to_string());
+                    return invalid(
+                        "gemm operands must be staged in shared memory or registers".to_string(),
+                    );
                 }
                 if ta.dtype != tb.dtype {
-                    return invalid(format!("gemm operand dtypes differ ({} vs {})", ta.dtype, tb.dtype));
+                    return invalid(format!(
+                        "gemm operand dtypes differ ({} vs {})",
+                        ta.dtype, tb.dtype
+                    ));
                 }
                 let (m, k) = (ta.shape[0], ta.shape[1]);
                 let (n, k2) = (tb.shape[0], tb.shape[1]);
@@ -328,7 +340,11 @@ impl Program {
                 }
                 Ok(())
             }
-            OpKind::Elementwise { inputs, output, op: eop } => {
+            OpKind::Elementwise {
+                inputs,
+                output,
+                op: eop,
+            } => {
                 if inputs.len() != eop.arity() {
                     return invalid(format!(
                         "{:?} expects {} inputs, got {}",
@@ -367,7 +383,10 @@ impl Program {
                 let s = self.tensor(*src);
                 let d = self.tensor(*dst);
                 if *dim >= s.rank() {
-                    return invalid(format!("reduce dimension {dim} out of range for {:?}", s.shape));
+                    return invalid(format!(
+                        "reduce dimension {dim} out of range for {:?}",
+                        s.shape
+                    ));
                 }
                 let mut expect = s.shape.clone();
                 expect[*dim] = 1;
@@ -401,7 +420,11 @@ impl Program {
                 let m = ta.shape[0];
                 let k = ta.shape[1];
                 let n = tb.shape[0];
-                let reps = if op.in_main_loop { self.main_loop_trip_count } else { 1 };
+                let reps = if op.in_main_loop {
+                    self.main_loop_trip_count
+                } else {
+                    1
+                };
                 flops += 2 * m * n * k * reps;
             }
         }
@@ -415,7 +438,11 @@ impl Program {
             if let OpKind::Copy { src, dst } = op.kind {
                 let s = self.tensor(src);
                 let d = self.tensor(dst);
-                let reps = if op.in_main_loop { self.main_loop_trip_count } else { 1 };
+                let reps = if op.in_main_loop {
+                    self.main_loop_trip_count
+                } else {
+                    1
+                };
                 if s.space == MemSpace::Global {
                     bytes += s.dtype.bytes_for(d.tile_elements_2d()) * reps;
                 } else if d.space == MemSpace::Global {

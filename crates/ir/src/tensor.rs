@@ -77,7 +77,11 @@ impl TensorDecl {
 
 impl fmt::Display for TensorDecl {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} = {}<{}, {:?}> ({})", self.id, self.name, self.dtype, self.shape, self.space)?;
+        write!(
+            f,
+            "{} = {}<{}, {:?}> ({})",
+            self.id, self.name, self.dtype, self.shape, self.space
+        )?;
         if let Some(layout) = &self.global_layout {
             write!(f, " layout {layout}")?;
         }

@@ -22,17 +22,33 @@ pub struct AttentionShape {
 impl AttentionShape {
     /// A forward (prefill) attention shape.
     pub fn forward(batch: usize, heads: usize, seq: usize, head_dim: usize) -> Self {
-        AttentionShape { batch, heads, q_len: seq, kv_len: seq, head_dim }
+        AttentionShape {
+            batch,
+            heads,
+            q_len: seq,
+            kv_len: seq,
+            head_dim,
+        }
     }
 
     /// A decoding attention shape (one query token against a KV cache).
     pub fn decoding(batch: usize, heads: usize, kv_len: usize, head_dim: usize) -> Self {
-        AttentionShape { batch, heads, q_len: 1, kv_len, head_dim }
+        AttentionShape {
+            batch,
+            heads,
+            q_len: 1,
+            kv_len,
+            head_dim,
+        }
     }
 
     /// Floating point operations (two GEMMs per head).
     pub fn flops(&self) -> f64 {
-        4.0 * self.batch as f64 * self.heads as f64 * self.q_len as f64 * self.kv_len as f64 * self.head_dim as f64
+        4.0 * self.batch as f64
+            * self.heads as f64
+            * self.q_len as f64
+            * self.kv_len as f64
+            * self.head_dim as f64
     }
 
     /// Bytes of Q, K, V read and O written (FP16).
@@ -59,7 +75,12 @@ pub struct AttentionConfig {
 
 impl Default for AttentionConfig {
     fn default() -> Self {
-        AttentionConfig { block_q: 64, block_kv: 64, threads: 128, stages: 2 }
+        AttentionConfig {
+            block_q: 64,
+            block_kv: 64,
+            threads: 128,
+            stages: 2,
+        }
     }
 }
 
@@ -78,9 +99,24 @@ pub fn mha_forward(shape: AttentionShape, config: AttentionConfig) -> Result<Pro
     kb.set_pipeline_stages(config.stages);
     kb.set_consistent_gemm_arrangement(true);
 
-    let gq = kb.global_view("q", DType::F16, Layout::from_flat(&[bq, d], &[d, 1]), &[bq, d]);
-    let gk = kb.global_view("k", DType::F16, Layout::from_flat(&[bkv, d, kv_tiles], &[d, 1, bkv * d]), &[bkv, d, kv_tiles]);
-    let gv = kb.global_view("v", DType::F16, Layout::from_flat(&[bkv, d, kv_tiles], &[d, 1, bkv * d]), &[bkv, d, kv_tiles]);
+    let gq = kb.global_view(
+        "q",
+        DType::F16,
+        Layout::from_flat(&[bq, d], &[d, 1]),
+        &[bq, d],
+    );
+    let gk = kb.global_view(
+        "k",
+        DType::F16,
+        Layout::from_flat(&[bkv, d, kv_tiles], &[d, 1, bkv * d]),
+        &[bkv, d, kv_tiles],
+    );
+    let gv = kb.global_view(
+        "v",
+        DType::F16,
+        Layout::from_flat(&[bkv, d, kv_tiles], &[d, 1, bkv * d]),
+        &[bkv, d, kv_tiles],
+    );
     let go = kb.global_view("o", DType::F16, Layout::row_major(&[bq, d]), &[bq, d]);
 
     // Q is loaded once and stays in registers.
@@ -150,9 +186,24 @@ pub fn mha_decoding(shape: AttentionShape, config: AttentionConfig) -> Result<Pr
     kb.set_grid_blocks(shape.batch * shape.heads);
     kb.set_pipeline_stages(config.stages);
 
-    let gq = kb.global_view("q", DType::F16, Layout::from_flat(&[bq, d], &[d, 1]), &[bq, d]);
-    let gk = kb.global_view("k", DType::F16, Layout::from_flat(&[bkv, d, kv_tiles], &[d, 1, bkv * d]), &[bkv, d, kv_tiles]);
-    let gv = kb.global_view("v", DType::F16, Layout::from_flat(&[bkv, d, kv_tiles], &[d, 1, bkv * d]), &[bkv, d, kv_tiles]);
+    let gq = kb.global_view(
+        "q",
+        DType::F16,
+        Layout::from_flat(&[bq, d], &[d, 1]),
+        &[bq, d],
+    );
+    let gk = kb.global_view(
+        "k",
+        DType::F16,
+        Layout::from_flat(&[bkv, d, kv_tiles], &[d, 1, bkv * d]),
+        &[bkv, d, kv_tiles],
+    );
+    let gv = kb.global_view(
+        "v",
+        DType::F16,
+        Layout::from_flat(&[bkv, d, kv_tiles], &[d, 1, bkv * d]),
+        &[bkv, d, kv_tiles],
+    );
     let go = kb.global_view("o", DType::F16, Layout::row_major(&[bq, d]), &[bq, d]);
 
     let rq = kb.register_tensor("rq", DType::F16, &[bq, d]);

@@ -29,7 +29,8 @@ impl GemmShape {
 
     /// Bytes moved from/to global memory assuming each operand is read once.
     pub fn bytes(&self, a_bits: usize, b_bits: usize, c_bits: usize) -> f64 {
-        (self.m * self.k * a_bits + self.n * self.k * b_bits + self.m * self.n * c_bits) as f64 / 8.0
+        (self.m * self.k * a_bits + self.n * self.k * b_bits + self.m * self.n * c_bits) as f64
+            / 8.0
     }
 }
 
@@ -52,7 +53,14 @@ pub struct GemmConfig {
 
 impl Default for GemmConfig {
     fn default() -> Self {
-        GemmConfig { block_m: 128, block_n: 128, block_k: 32, threads: 128, stages: 3, warp_specialized: false }
+        GemmConfig {
+            block_m: 128,
+            block_n: 128,
+            block_k: 32,
+            threads: 128,
+            stages: 3,
+            warp_specialized: false,
+        }
     }
 }
 
@@ -60,7 +68,14 @@ impl GemmConfig {
     /// A Hopper warp-specialized configuration (wgmma + TMA + producer
     /// warps), matching the "Warp Specialized FP16 GEMM" row of Table II.
     pub fn warp_specialized_hopper() -> Self {
-        GemmConfig { block_m: 128, block_n: 128, block_k: 64, threads: 256, stages: 4, warp_specialized: true }
+        GemmConfig {
+            block_m: 128,
+            block_n: 128,
+            block_k: 64,
+            threads: 256,
+            stages: 4,
+            warp_specialized: true,
+        }
     }
 
     /// Number of thread blocks needed for the problem.
@@ -97,8 +112,18 @@ pub fn warp_specialized_gemm(shape: GemmShape, mut config: GemmConfig) -> Result
     kb.set_grid_blocks(config.grid_blocks(&shape));
     kb.set_pipeline_stages(config.stages);
     kb.set_warp_specialized(true);
-    let ga = kb.global_view("a", DType::F16, Layout::from_flat(&[bm, bk, k_tiles], &[shape.k, 1, bk]), &[bm, bk, k_tiles]);
-    let gb = kb.global_view("b", DType::F16, Layout::from_flat(&[bn, bk, k_tiles], &[shape.k, 1, bk]), &[bn, bk, k_tiles]);
+    let ga = kb.global_view(
+        "a",
+        DType::F16,
+        Layout::from_flat(&[bm, bk, k_tiles], &[shape.k, 1, bk]),
+        &[bm, bk, k_tiles],
+    );
+    let gb = kb.global_view(
+        "b",
+        DType::F16,
+        Layout::from_flat(&[bn, bk, k_tiles], &[shape.k, 1, bk]),
+        &[bn, bk, k_tiles],
+    );
     let gc = kb.global_view("c", DType::F16, Layout::row_major(&[bm, bn]), &[bm, bn]);
     let sa = kb.shared_tensor("sa", DType::F16, &[bm, bk]);
     let sb = kb.shared_tensor("sb", DType::F16, &[bn, bk]);
@@ -133,9 +158,24 @@ pub fn fp8_blockwise_gemm(shape: GemmShape, config: GemmConfig) -> Result<Progra
     kb.set_grid_blocks(config.grid_blocks(&shape));
     kb.set_pipeline_stages(config.stages);
     kb.set_warp_specialized(config.warp_specialized);
-    let ga = kb.global_view("a", DType::F8E4M3, Layout::from_flat(&[bm, bk, k_tiles], &[shape.k, 1, bk]), &[bm, bk, k_tiles]);
-    let gb = kb.global_view("b", DType::F8E4M3, Layout::from_flat(&[bn, bk, k_tiles], &[shape.k, 1, bk]), &[bn, bk, k_tiles]);
-    let gscale = kb.global_view("scale", DType::F32, Layout::from_flat(&[bm, 1, k_tiles], &[k_tiles, 1, 1]), &[bm, 1, k_tiles]);
+    let ga = kb.global_view(
+        "a",
+        DType::F8E4M3,
+        Layout::from_flat(&[bm, bk, k_tiles], &[shape.k, 1, bk]),
+        &[bm, bk, k_tiles],
+    );
+    let gb = kb.global_view(
+        "b",
+        DType::F8E4M3,
+        Layout::from_flat(&[bn, bk, k_tiles], &[shape.k, 1, bk]),
+        &[bn, bk, k_tiles],
+    );
+    let gscale = kb.global_view(
+        "scale",
+        DType::F32,
+        Layout::from_flat(&[bm, 1, k_tiles], &[k_tiles, 1, 1]),
+        &[bm, 1, k_tiles],
+    );
     let gc = kb.global_view("c", DType::BF16, Layout::row_major(&[bm, bn]), &[bm, bn]);
     let sa = kb.shared_tensor("sa", DType::F8E4M3, &[bm, bk]);
     let sb = kb.shared_tensor("sb", DType::F8E4M3, &[bn, bk]);
@@ -162,15 +202,30 @@ pub fn fp8_blockwise_gemm(shape: GemmShape, config: GemmConfig) -> Result<Progra
     kb.build()
 }
 
-fn gemm_kernel(shape: GemmShape, config: GemmConfig, dtype: DType, name: &str) -> Result<Program, IrError> {
+fn gemm_kernel(
+    shape: GemmShape,
+    config: GemmConfig,
+    dtype: DType,
+    name: &str,
+) -> Result<Program, IrError> {
     let (bm, bn, bk) = (config.block_m, config.block_n, config.block_k);
     let k_tiles = (shape.k / bk).max(1);
     let mut kb = KernelBuilder::new(name, config.threads);
     kb.set_grid_blocks(config.grid_blocks(&shape));
     kb.set_pipeline_stages(config.stages);
     kb.set_warp_specialized(config.warp_specialized);
-    let ga = kb.global_view("a", dtype, Layout::from_flat(&[bm, bk, k_tiles], &[shape.k, 1, bk]), &[bm, bk, k_tiles]);
-    let gb = kb.global_view("b", dtype, Layout::from_flat(&[bn, bk, k_tiles], &[shape.k, 1, bk]), &[bn, bk, k_tiles]);
+    let ga = kb.global_view(
+        "a",
+        dtype,
+        Layout::from_flat(&[bm, bk, k_tiles], &[shape.k, 1, bk]),
+        &[bm, bk, k_tiles],
+    );
+    let gb = kb.global_view(
+        "b",
+        dtype,
+        Layout::from_flat(&[bn, bk, k_tiles], &[shape.k, 1, bk]),
+        &[bn, bk, k_tiles],
+    );
     let gc = kb.global_view("c", dtype, Layout::row_major(&[bm, bn]), &[bm, bn]);
     let sa = kb.shared_tensor("sa", dtype, &[bm, bk]);
     let sb = kb.shared_tensor("sb", dtype, &[bn, bk]);
@@ -215,8 +270,11 @@ mod tests {
 
     #[test]
     fn warp_specialized_gemm_uses_wgmma_on_h100() {
-        let program =
-            warp_specialized_gemm(GemmShape::new(4096, 4096, 4096), GemmConfig::warp_specialized_hopper()).unwrap();
+        let program = warp_specialized_gemm(
+            GemmShape::new(4096, 4096, 4096),
+            GemmConfig::warp_specialized_hopper(),
+        )
+        .unwrap();
         assert!(program.schedule.warp_specialized);
         let kernel = Compiler::new(GpuArch::h100()).compile(&program).unwrap();
         let mma = kernel.candidate.mma_choices.values().next().unwrap();
@@ -226,7 +284,8 @@ mod tests {
 
     #[test]
     fn fp8_gemm_targets_the_fp8_tensor_core_path() {
-        let program = fp8_blockwise_gemm(GemmShape::new(2048, 2048, 2048), GemmConfig::default()).unwrap();
+        let program =
+            fp8_blockwise_gemm(GemmShape::new(2048, 2048, 2048), GemmConfig::default()).unwrap();
         let kernel = Compiler::new(GpuArch::h100()).compile(&program).unwrap();
         let mma = kernel.candidate.mma_choices.values().next().unwrap();
         assert!(mma.atom.name.contains("e4m3"), "{}", mma.atom.name);
@@ -238,6 +297,9 @@ mod tests {
     fn gemm_shape_accounting() {
         let s = GemmShape::new(1024, 512, 256);
         assert_eq!(s.flops(), 2.0 * 1024.0 * 512.0 * 256.0);
-        assert_eq!(s.bytes(16, 16, 16), ((1024 * 256 + 512 * 256 + 1024 * 512) * 2) as f64);
+        assert_eq!(
+            s.bytes(16, 16, 16),
+            ((1024 * 256 + 512 * 256 + 1024 * 512) * 2) as f64
+        );
     }
 }

@@ -22,7 +22,12 @@ pub struct ScanShape {
 impl ScanShape {
     /// Creates a shape.
     pub fn new(batch: usize, dim: usize, state: usize, seq_len: usize) -> Self {
-        ScanShape { batch, dim, state, seq_len }
+        ScanShape {
+            batch,
+            dim,
+            state,
+            seq_len,
+        }
     }
 
     /// Bytes streamed through global memory: `u`, `Δ`, `B`, `C`, `Z` and the
@@ -30,7 +35,8 @@ impl ScanShape {
     pub fn bytes(&self) -> f64 {
         let per_token = self.batch * self.dim * self.seq_len;
         let state_streams = 2 * self.batch * self.state * self.seq_len;
-        (4 * per_token + state_streams + per_token) as f64 * 2.0 + (self.dim * self.state) as f64 * 4.0
+        (4 * per_token + state_streams + per_token) as f64 * 2.0
+            + (self.dim * self.state) as f64 * 4.0
     }
 
     /// Elementwise floating point operations (roughly 10 per element-state
@@ -55,7 +61,12 @@ pub struct ScanConfig {
 
 impl Default for ScanConfig {
     fn default() -> Self {
-        ScanConfig { block_dim: 64, block_seq: 64, threads: 128, stages: 2 }
+        ScanConfig {
+            block_dim: 64,
+            block_seq: 64,
+            threads: 128,
+            stages: 2,
+        }
     }
 }
 
@@ -80,7 +91,12 @@ pub fn selective_scan(shape: ScanShape, config: ScanConfig) -> Result<Program, I
     let gz = kb.global_view("z", DType::F16, view(), &[bd, bl, seq_tiles]);
     let gb = kb.global_view("b", DType::F16, view(), &[bd, bl, seq_tiles]);
     let gc = kb.global_view("c", DType::F16, view(), &[bd, bl, seq_tiles]);
-    let ga = kb.global_view("a", DType::F32, Layout::from_flat(&[bd, shape.state], &[shape.state, 1]), &[bd, shape.state]);
+    let ga = kb.global_view(
+        "a",
+        DType::F32,
+        Layout::from_flat(&[bd, shape.state], &[shape.state, 1]),
+        &[bd, shape.state],
+    );
     let gy = kb.global_view("y", DType::F16, view(), &[bd, bl, seq_tiles]);
 
     // A is loaded once and kept in registers.
@@ -91,7 +107,13 @@ pub fn selective_scan(shape: ScanShape, config: ScanConfig) -> Result<Program, I
     kb.begin_loop(seq_tiles);
     // Stream the five sequence tensors through shared memory.
     let mut regs = Vec::new();
-    for (name, global) in [("u", gu), ("delta", gdelta), ("z", gz), ("b", gb), ("c", gc)] {
+    for (name, global) in [
+        ("u", gu),
+        ("delta", gdelta),
+        ("z", gz),
+        ("b", gb),
+        ("c", gc),
+    ] {
         let smem = kb.shared_tensor(format!("s_{name}"), DType::F16, &[bd, bl]);
         let reg = kb.register_tensor(format!("r_{name}"), DType::F16, &[bd, bl]);
         kb.copy(global, smem);
@@ -146,7 +168,9 @@ mod tests {
             if let OpKind::Copy { src, dst } = op.kind {
                 let s = kernel.program.tensor(src);
                 let d = kernel.program.tensor(dst);
-                if s.space == hexcute_arch::MemSpace::Global && d.space == hexcute_arch::MemSpace::Shared {
+                if s.space == hexcute_arch::MemSpace::Global
+                    && d.space == hexcute_arch::MemSpace::Shared
+                {
                     let choice = &kernel.candidate.copy_choices[&op.id];
                     assert_eq!(
                         s.dtype.bytes_for(choice.elements_per_thread),

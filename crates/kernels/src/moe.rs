@@ -24,7 +24,13 @@ pub struct MoeShape {
 impl MoeShape {
     /// The DeepSeek-R1-AWQ MoE layer evaluated in Fig. 11 (256 experts).
     pub fn deepseek_r1(tokens: usize) -> Self {
-        MoeShape { tokens, hidden: 7168, intermediate: 2048, experts: 256, top_k: 8 }
+        MoeShape {
+            tokens,
+            hidden: 7168,
+            intermediate: 2048,
+            experts: 256,
+            top_k: 8,
+        }
     }
 
     /// Token–expert pairs that must be processed.
@@ -74,7 +80,13 @@ pub struct MoeConfig {
 
 impl Default for MoeConfig {
     fn default() -> Self {
-        MoeConfig { block_m: 16, block_n: 128, block_k: 64, threads: 128, stages: 3 }
+        MoeConfig {
+            block_m: 16,
+            block_n: 128,
+            block_k: 64,
+            threads: 128,
+            stages: 3,
+        }
     }
 }
 
@@ -101,7 +113,11 @@ pub enum MoeDataflow {
 /// # Errors
 ///
 /// Returns an error when the configuration does not divide the problem.
-pub fn mixed_type_moe(shape: MoeShape, config: MoeConfig, dataflow: MoeDataflow) -> Result<Program, IrError> {
+pub fn mixed_type_moe(
+    shape: MoeShape,
+    config: MoeConfig,
+    dataflow: MoeDataflow,
+) -> Result<Program, IrError> {
     let (bm, bn, bk) = (config.block_m, config.block_n, config.block_k);
     let k_tiles = (shape.hidden / bk).max(1);
     let name = match dataflow {
@@ -113,8 +129,18 @@ pub fn mixed_type_moe(shape: MoeShape, config: MoeConfig, dataflow: MoeDataflow)
     kb.set_pipeline_stages(config.stages);
 
     // Activations (FP16), weights (packed INT4), per-group scales and zero points.
-    let gx = kb.global_view("x", DType::F16, Layout::from_flat(&[bm, bk, k_tiles], &[shape.hidden, 1, bk]), &[bm, bk, k_tiles]);
-    let gw = kb.global_view("w", DType::I4, Layout::from_flat(&[bn, bk, k_tiles], &[shape.hidden, 1, bk]), &[bn, bk, k_tiles]);
+    let gx = kb.global_view(
+        "x",
+        DType::F16,
+        Layout::from_flat(&[bm, bk, k_tiles], &[shape.hidden, 1, bk]),
+        &[bm, bk, k_tiles],
+    );
+    let gw = kb.global_view(
+        "w",
+        DType::I4,
+        Layout::from_flat(&[bn, bk, k_tiles], &[shape.hidden, 1, bk]),
+        &[bn, bk, k_tiles],
+    );
     let gscale = kb.global_view(
         "scale",
         DType::F16,
@@ -207,9 +233,15 @@ mod tests {
     #[test]
     fn efficient_dataflow_has_fewer_copies_than_triton_style() {
         let shape = MoeShape::deepseek_r1(64);
-        let efficient = mixed_type_moe(shape, MoeConfig::default(), MoeDataflow::Efficient).unwrap();
+        let efficient =
+            mixed_type_moe(shape, MoeConfig::default(), MoeDataflow::Efficient).unwrap();
         let triton = mixed_type_moe(shape, MoeConfig::default(), MoeDataflow::TritonStyle).unwrap();
-        let count = |p: &Program| p.ops().iter().filter(|o| matches!(o.kind, OpKind::Copy { .. })).count();
+        let count = |p: &Program| {
+            p.ops()
+                .iter()
+                .filter(|o| matches!(o.kind, OpKind::Copy { .. }))
+                .count()
+        };
         assert_eq!(count(&triton), count(&efficient) + 1);
     }
 

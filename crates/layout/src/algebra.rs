@@ -4,8 +4,23 @@
 //! Layouts form a monoid under composition; these operations are the
 //! foundation on which Hexcute's layout-synthesis constraints are built
 //! (Section III and IV of the paper).
+//!
+//! Every operation exists in two bit-for-bit-equivalent forms:
+//!
+//! * the **fast path** (the default): operands are flattened once into the
+//!   [`FlatLayout`] representation, computed on plain mode arrays, and the
+//!   result is memoized in the per-thread cache of [`crate::fastpath`], so
+//!   the repeated algebra performed by the synthesis DFS is a hash lookup;
+//! * the **reference path** (`*_reference` methods, also used process-wide
+//!   when the fast path is disabled): the original recursive implementation
+//!   walking the hierarchical [`IntTuple`] trees.
+//!
+//! The randomized cross-check tests in `tests/flat_vs_reference.rs` enforce
+//! the equivalence of the two paths, errors included.
 
 use crate::error::{LayoutError, Result};
+use crate::fastpath::{self, UnaryOp};
+use crate::flat::FlatLayout;
 use crate::int_tuple::IntTuple;
 use crate::layout::Layout;
 
@@ -38,7 +53,16 @@ impl Layout {
     /// }
     /// ```
     pub fn compose(&self, rhs: &Layout) -> Result<Layout> {
-        let a = self.coalesce();
+        if !fastpath::enabled() {
+            return self.compose_reference(rhs);
+        }
+        fastpath::memo_compose(self, rhs, || self.compose_flat(rhs))
+    }
+
+    /// The recursive reference implementation of [`Layout::compose`],
+    /// bypassing the flat fast path and the memoization cache.
+    pub fn compose_reference(&self, rhs: &Layout) -> Result<Layout> {
+        let a = self.coalesce_reference();
         let a_modes = a.flat_modes();
         let rhs_shape = rhs.shape().flatten();
         let rhs_stride = rhs.stride().flatten();
@@ -46,6 +70,20 @@ impl Layout {
         let mut per_leaf: Vec<Vec<(usize, usize)>> = Vec::with_capacity(rhs_shape.len());
         for (&s, &d) in rhs_shape.iter().zip(rhs_stride.iter()) {
             per_leaf.push(compose_single_mode(&a_modes, s, d)?);
+        }
+        Ok(regroup(rhs.shape(), &per_leaf))
+    }
+
+    /// Flat-path composition: one flatten pass per operand, no intermediate
+    /// hierarchical layouts.
+    fn compose_flat(&self, rhs: &Layout) -> Result<Layout> {
+        let a = FlatLayout::from_layout(self).coalesced();
+        let a_modes = a.modes();
+        let b = FlatLayout::from_layout(rhs);
+
+        let mut per_leaf: Vec<Vec<(usize, usize)>> = Vec::with_capacity(b.len());
+        for &(s, d) in b.modes() {
+            per_leaf.push(compose_single_mode(a_modes, s, d)?);
         }
         Ok(regroup(rhs.shape(), &per_leaf))
     }
@@ -70,7 +108,17 @@ impl Layout {
     /// assert!(full.is_compact_bijection());
     /// ```
     pub fn complement(&self, cosize_target: usize) -> Result<Layout> {
-        let coalesced = self.coalesce();
+        if !fastpath::enabled() {
+            return self.complement_reference(cosize_target);
+        }
+        fastpath::memo_complement(self, cosize_target, || {
+            self.complement_flat(Some(cosize_target))
+        })
+    }
+
+    /// The recursive reference implementation of [`Layout::complement`].
+    pub fn complement_reference(&self, cosize_target: usize) -> Result<Layout> {
+        let coalesced = self.coalesce_reference();
         let mut modes: Vec<(usize, usize)> = coalesced
             .flat_modes()
             .into_iter()
@@ -100,11 +148,13 @@ impl Layout {
             }
             current = s * d;
         }
-        if cosize_target % current != 0 {
+        if !cosize_target.is_multiple_of(current) {
             return Err(LayoutError::InvalidComplement {
                 layout: self.to_string(),
                 target: cosize_target,
-                reason: format!("target {cosize_target} is not a multiple of the covered extent {current}"),
+                reason: format!(
+                    "target {cosize_target} is not a multiple of the covered extent {current}"
+                ),
             });
         }
         if cosize_target / current > 1 {
@@ -113,7 +163,64 @@ impl Layout {
         if result.is_empty() {
             return Ok(Layout::from_mode(1, 0));
         }
-        Ok(Layout::from_modes(&result).coalesce())
+        Ok(Layout::from_modes(&result).coalesce_reference())
+    }
+
+    /// Flat-path complement core shared by [`Layout::complement`]
+    /// (`target = Some(..)`) and [`Layout::interior_complement`]
+    /// (`target = None`, interior gaps only).
+    fn complement_flat(&self, target: Option<usize>) -> Result<Layout> {
+        let coalesced = FlatLayout::from_layout(self).coalesced();
+        let mut modes: Vec<(usize, usize)> = coalesced
+            .modes()
+            .iter()
+            .copied()
+            .filter(|&(s, _)| s != 1)
+            .collect();
+        let report_target = target.unwrap_or(0);
+        if modes.iter().any(|&(_, d)| d == 0) {
+            return Err(LayoutError::InvalidComplement {
+                layout: self.to_string(),
+                target: report_target,
+                reason: "layout has a broadcast (stride-0) mode".to_string(),
+            });
+        }
+        modes.sort_by_key(|&(s, d)| (d, s));
+
+        let mut result = FlatLayout::new();
+        let mut current = 1usize;
+        for (s, d) in modes {
+            if d % current != 0 || d < current {
+                return Err(LayoutError::InvalidComplement {
+                    layout: self.to_string(),
+                    target: report_target,
+                    reason: format!("stride {d} does not align with the filled prefix {current}"),
+                });
+            }
+            if d / current > 1 {
+                result.push(d / current, current);
+            }
+            current = s * d;
+        }
+        if let Some(cosize_target) = target {
+            if cosize_target % current != 0 {
+                return Err(LayoutError::InvalidComplement {
+                    layout: self.to_string(),
+                    target: cosize_target,
+                    reason: format!(
+                        "target {cosize_target} is not a multiple of the covered extent {current}"
+                    ),
+                });
+            }
+            if cosize_target / current > 1 {
+                result.push(cosize_target / current, current);
+            }
+        }
+        if result.is_empty() {
+            return Ok(Layout::from_mode(1, 0));
+        }
+        // Matches `Layout::from_modes(&result).coalesce()` of the reference.
+        Ok(result.coalesced().to_layout())
     }
 
     /// The right inverse of a layout that is a bijection onto `[0, size)`:
@@ -138,46 +245,33 @@ impl Layout {
     /// assert!(q_inv.equivalent(&expected));
     /// ```
     pub fn right_inverse(&self) -> Result<Layout> {
-        let coalesced = self.coalesce();
+        if !fastpath::enabled() {
+            return self.right_inverse_reference();
+        }
+        fastpath::memo_unary(UnaryOp::RightInverse, self, || self.right_inverse_flat())
+    }
+
+    /// The recursive reference implementation of [`Layout::right_inverse`].
+    pub fn right_inverse_reference(&self) -> Result<Layout> {
+        let coalesced = self.coalesce_reference();
         let modes: Vec<(usize, usize)> = coalesced
             .flat_modes()
             .into_iter()
             .filter(|&(s, _)| s != 1)
             .collect();
-        if modes.iter().any(|&(_, d)| d == 0) {
-            return Err(LayoutError::NotInvertible {
-                layout: self.to_string(),
-                reason: "layout has a broadcast (stride-0) mode".to_string(),
-            });
-        }
-        // Input-space strides: prefix products of the shapes in domain order.
-        let mut in_strides = Vec::with_capacity(modes.len());
-        let mut acc = 1usize;
-        for &(s, _) in &modes {
-            in_strides.push(acc);
-            acc *= s;
-        }
-        let mut order: Vec<usize> = (0..modes.len()).collect();
-        order.sort_by_key(|&k| modes[k].1);
-        let mut expect = 1usize;
-        for &k in &order {
-            let (s, d) = modes[k];
-            if d != expect {
-                return Err(LayoutError::NotInvertible {
-                    layout: self.to_string(),
-                    reason: format!(
-                        "image is not the contiguous interval [0, size): expected stride {expect}, found {d}"
-                    ),
-                });
-            }
-            expect = d * s;
-        }
-        let inv_modes: Vec<(usize, usize)> =
-            order.iter().map(|&k| (modes[k].0, in_strides[k])).collect();
-        if inv_modes.is_empty() {
-            return Ok(Layout::from_mode(1, 0));
-        }
-        Ok(Layout::from_modes(&inv_modes).coalesce())
+        right_inverse_core(self, &modes, true)
+    }
+
+    /// Flat-path right inverse.
+    fn right_inverse_flat(&self) -> Result<Layout> {
+        let coalesced = FlatLayout::from_layout(self).coalesced();
+        let modes: Vec<(usize, usize)> = coalesced
+            .modes()
+            .iter()
+            .copied()
+            .filter(|&(s, _)| s != 1)
+            .collect();
+        right_inverse_core(self, &modes, false)
     }
 
     /// The left inverse of an injective layout: the layout `L` with
@@ -188,12 +282,27 @@ impl Layout {
     /// Returns an error when the layout is not injective or its image cannot
     /// be completed to a contiguous interval.
     pub fn left_inverse(&self) -> Result<Layout> {
-        if self.is_compact_bijection() {
-            return self.right_inverse();
+        if !fastpath::enabled() {
+            return self.left_inverse_reference();
         }
-        let gaps = self.interior_complement()?;
+        fastpath::memo_unary(UnaryOp::LeftInverse, self, || {
+            if self.is_compact_bijection() {
+                return self.right_inverse_flat();
+            }
+            let gaps = self.complement_flat(None)?;
+            let full = Layout::make_pair(self, &gaps);
+            full.right_inverse_flat()
+        })
+    }
+
+    /// The recursive reference implementation of [`Layout::left_inverse`].
+    pub fn left_inverse_reference(&self) -> Result<Layout> {
+        if self.is_compact_bijection() {
+            return self.right_inverse_reference();
+        }
+        let gaps = self.interior_complement_reference()?;
         let full = Layout::make_pair(self, &gaps);
-        let inv = full.right_inverse()?;
+        let inv = full.right_inverse_reference()?;
         Ok(inv)
     }
 
@@ -205,7 +314,16 @@ impl Layout {
     ///
     /// Returns an error when the layout has overlapping or broadcast modes.
     pub fn interior_complement(&self) -> Result<Layout> {
-        let coalesced = self.coalesce();
+        if !fastpath::enabled() {
+            return self.interior_complement_reference();
+        }
+        self.complement_flat(None)
+    }
+
+    /// The recursive reference implementation of
+    /// [`Layout::interior_complement`].
+    pub fn interior_complement_reference(&self) -> Result<Layout> {
+        let coalesced = self.coalesce_reference();
         let mut modes: Vec<(usize, usize)> = coalesced
             .flat_modes()
             .into_iter()
@@ -237,7 +355,7 @@ impl Layout {
         if result.is_empty() {
             return Ok(Layout::from_mode(1, 0));
         }
-        Ok(Layout::from_modes(&result).coalesce())
+        Ok(Layout::from_modes(&result).coalesce_reference())
     }
 
     /// Logical division: splits `self` by the tiler `rhs` into
@@ -249,9 +367,22 @@ impl Layout {
     ///
     /// Propagates composition and complement errors.
     pub fn logical_divide(&self, rhs: &Layout) -> Result<Layout> {
-        let complement = rhs.complement(self.size())?;
+        if !fastpath::enabled() {
+            return self.logical_divide_reference(rhs);
+        }
+        fastpath::memo_binary(fastpath::BinaryOp::LogicalDivide, self, rhs, || {
+            let complement = rhs.complement(self.size())?;
+            let tiler = Layout::make_pair(rhs, &complement);
+            self.compose(&tiler)
+        })
+    }
+
+    /// The reference-path counterpart of [`Layout::logical_divide`], built
+    /// from the reference complement and composition.
+    pub fn logical_divide_reference(&self, rhs: &Layout) -> Result<Layout> {
+        let complement = rhs.complement_reference(self.size())?;
         let tiler = Layout::make_pair(rhs, &complement);
-        self.compose(&tiler)
+        self.compose_reference(&tiler)
     }
 
     /// Zipped division: like [`Layout::logical_divide`] but guarantees the
@@ -273,10 +404,75 @@ impl Layout {
     ///
     /// Propagates composition and complement errors.
     pub fn logical_product(&self, rhs: &Layout) -> Result<Layout> {
-        let complement = self.complement(self.size().max(self.cosize()) * rhs.cosize())?;
-        let repeat = complement.compose(rhs)?;
+        if !fastpath::enabled() {
+            return self.logical_product_reference(rhs);
+        }
+        fastpath::memo_binary(fastpath::BinaryOp::LogicalProduct, self, rhs, || {
+            let complement = self.complement(self.size().max(self.cosize()) * rhs.cosize())?;
+            let repeat = complement.compose(rhs)?;
+            Ok(Layout::make_pair(self, &repeat))
+        })
+    }
+
+    /// The reference-path counterpart of [`Layout::logical_product`].
+    pub fn logical_product_reference(&self, rhs: &Layout) -> Result<Layout> {
+        let complement =
+            self.complement_reference(self.size().max(self.cosize()) * rhs.cosize())?;
+        let repeat = complement.compose_reference(rhs)?;
         Ok(Layout::make_pair(self, &repeat))
     }
+}
+
+/// The shared tail of the right inverse: validates that the coalesced,
+/// filtered `modes` cover `[0, size)` contiguously and builds the inverse.
+///
+/// `use_reference` keeps the final coalesce on the same path as the caller,
+/// so the reference entry point never routes through the flat fast path it
+/// is cross-checked against.
+fn right_inverse_core(
+    original: &Layout,
+    modes: &[(usize, usize)],
+    use_reference: bool,
+) -> Result<Layout> {
+    if modes.iter().any(|&(_, d)| d == 0) {
+        return Err(LayoutError::NotInvertible {
+            layout: original.to_string(),
+            reason: "layout has a broadcast (stride-0) mode".to_string(),
+        });
+    }
+    // Input-space strides: prefix products of the shapes in domain order.
+    let mut in_strides = Vec::with_capacity(modes.len());
+    let mut acc = 1usize;
+    for &(s, _) in modes {
+        in_strides.push(acc);
+        acc *= s;
+    }
+    let mut order: Vec<usize> = (0..modes.len()).collect();
+    order.sort_by_key(|&k| modes[k].1);
+    let mut expect = 1usize;
+    for &k in &order {
+        let (s, d) = modes[k];
+        if d != expect {
+            return Err(LayoutError::NotInvertible {
+                layout: original.to_string(),
+                reason: format!(
+                    "image is not the contiguous interval [0, size): expected stride {expect}, found {d}"
+                ),
+            });
+        }
+        expect = d * s;
+    }
+    let inv_modes: Vec<(usize, usize)> =
+        order.iter().map(|&k| (modes[k].0, in_strides[k])).collect();
+    if inv_modes.is_empty() {
+        return Ok(Layout::from_mode(1, 0));
+    }
+    let built = Layout::from_modes(&inv_modes);
+    Ok(if use_reference {
+        built.coalesce_reference()
+    } else {
+        built.coalesce()
+    })
 }
 
 /// Composes the flattened, coalesced modes of `A` with a single mode `s:d`.
@@ -300,7 +496,7 @@ fn compose_single_mode(a: &[(usize, usize)], s: usize, d: usize) -> Result<Vec<(
     // last mode of A is never consumed here because it extends indefinitely.
     while i + 1 < a.len() && rest_d > 1 {
         let (a_shape, _) = a[i];
-        if rest_d % a_shape == 0 {
+        if rest_d.is_multiple_of(a_shape) {
             rest_d /= a_shape;
             i += 1;
         } else if a_shape % rest_d == 0 {
@@ -331,7 +527,7 @@ fn compose_single_mode(a: &[(usize, usize)], s: usize, d: usize) -> Result<Vec<(
                 result.push((rest_s, stride));
                 rest_s = 1;
             } else {
-                if rest_s % available != 0 {
+                if !rest_s.is_multiple_of(available) {
                     return Err(LayoutError::NotDivisible {
                         context: "layout composition (mode rollover)".to_string(),
                         lhs: rest_s,
@@ -362,7 +558,11 @@ fn compose_single_mode(a: &[(usize, usize)], s: usize, d: usize) -> Result<Vec<(
 /// Rebuilds a hierarchical layout matching `profile`, substituting each leaf
 /// with the (possibly multi-mode) composition result computed for it.
 fn regroup(profile: &IntTuple, per_leaf: &[Vec<(usize, usize)>]) -> Layout {
-    fn build(profile: &IntTuple, per_leaf: &[Vec<(usize, usize)>], pos: &mut usize) -> (IntTuple, IntTuple) {
+    fn build(
+        profile: &IntTuple,
+        per_leaf: &[Vec<(usize, usize)>],
+        pos: &mut usize,
+    ) -> (IntTuple, IntTuple) {
         match profile {
             IntTuple::Int(_) => {
                 let modes = &per_leaf[*pos];
@@ -443,17 +643,16 @@ mod tests {
         let a = Layout::from_flat(&[3, 5], &[5, 1]);
         let b = Layout::from_mode(2, 2);
         // Stride 2 does not divide through the 3-element mode.
-        assert!(matches!(a.compose(&b), Err(LayoutError::NotDivisible { .. })));
+        assert!(matches!(
+            a.compose(&b),
+            Err(LayoutError::NotDivisible { .. })
+        ));
     }
 
     #[test]
     fn paper_appendix_c_composition() {
         // g restricted to 32 threads (Appendix C).
-        let g = Layout::new(
-            ituple![(4, 8), (2, 2, 2)],
-            ituple![(32, 1), (16, 8, 256)],
-        )
-        .unwrap();
+        let g = Layout::new(ituple![(4, 8), (2, 2, 2)], ituple![(32, 1), (16, 8, 256)]).unwrap();
         // q is the ldmatrix register layout of Fig. 7(b).
         let q = Layout::new(ituple![(4, 8), (2, 4)], ituple![(64, 1), (32, 8)]).unwrap();
         let q_inv = q.right_inverse().unwrap();
@@ -464,11 +663,8 @@ mod tests {
         // Compose with the hierarchical (thread, value) grouping so that the
         // result keeps separate thread and value modes.
         let composite = g.compose(&expected_q_inv).unwrap();
-        let expected = Layout::new(
-            ituple![(8, 2, 2), (2, 4)],
-            ituple![(1, 8, 256), (16, 32)],
-        )
-        .unwrap();
+        let expected =
+            Layout::new(ituple![(8, 2, 2), (2, 4)], ituple![(1, 8, 256), (16, 32)]).unwrap();
         assert!(composite.equivalent(&expected));
 
         // Appendix C: g∘q⁻¹ maps (17, 5) to linear index 337 = (1, 21) in 16x32.
@@ -597,5 +793,43 @@ mod tests {
         let ab_c = a.compose(&b).unwrap().compose(&c).unwrap();
         let a_bc = a.compose(&b.compose(&c).unwrap()).unwrap();
         assert!(ab_c.equivalent(&a_bc));
+    }
+
+    #[test]
+    fn fast_and_reference_paths_agree_on_the_paper_examples() {
+        crate::fastpath::set_enabled(true);
+        let g = Layout::new(ituple![(4, 8), (2, 2, 2)], ituple![(32, 1), (16, 8, 256)]).unwrap();
+        let q = Layout::new(ituple![(4, 8), (2, 4)], ituple![(64, 1), (32, 8)]).unwrap();
+        assert_eq!(
+            g.compose(&q.right_inverse().unwrap()).unwrap(),
+            g.compose_reference(&q.right_inverse_reference().unwrap())
+                .unwrap()
+        );
+        let a = Layout::from_flat(&[4, 2], &[1, 16]);
+        assert_eq!(
+            a.complement(64).unwrap(),
+            a.complement_reference(64).unwrap()
+        );
+        assert_eq!(
+            a.interior_complement().unwrap(),
+            a.interior_complement_reference().unwrap()
+        );
+        let strided = Layout::from_mode(4, 2);
+        assert_eq!(
+            strided.left_inverse().unwrap(),
+            strided.left_inverse_reference().unwrap()
+        );
+        let id = Layout::identity(24);
+        let tiler = Layout::from_mode(3, 8);
+        assert_eq!(
+            id.logical_divide(&tiler).unwrap(),
+            id.logical_divide_reference(&tiler).unwrap()
+        );
+        let tile = Layout::from_mode(4, 1);
+        let rep = Layout::from_mode(3, 1);
+        assert_eq!(
+            tile.logical_product(&rep).unwrap(),
+            tile.logical_product_reference(&rep).unwrap()
+        );
     }
 }

@@ -61,7 +61,10 @@ impl fmt::Display for LayoutError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LayoutError::ProfileMismatch { shape, stride } => {
-                write!(f, "shape {shape} and stride {stride} have different profiles")
+                write!(
+                    f,
+                    "shape {shape} and stride {stride} have different profiles"
+                )
             }
             LayoutError::NotDivisible { context, lhs, rhs } => {
                 write!(f, "{context}: {lhs} is not divisible by {rhs}")
@@ -69,11 +72,21 @@ impl fmt::Display for LayoutError {
             LayoutError::NotInvertible { layout, reason } => {
                 write!(f, "layout {layout} is not invertible: {reason}")
             }
-            LayoutError::InvalidComplement { layout, target, reason } => {
-                write!(f, "complement of {layout} with respect to {target} is invalid: {reason}")
+            LayoutError::InvalidComplement {
+                layout,
+                target,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "complement of {layout} with respect to {target} is invalid: {reason}"
+                )
             }
             LayoutError::OutOfDomain { index, size } => {
-                write!(f, "index {index} is outside the layout domain of size {size}")
+                write!(
+                    f,
+                    "index {index} is outside the layout domain of size {size}"
+                )
             }
             LayoutError::Structural(msg) => write!(f, "{msg}"),
         }

@@ -1,0 +1,267 @@
+//! The canonical flattened layout representation backing the fast path of
+//! the layout algebra.
+//!
+//! A [`FlatLayout`] stores the leaf `(shape, stride)` modes of a layout as a
+//! pair of parallel arrays held inline (no heap allocation) for the ranks
+//! that occur in practice, spilling to a `Vec` only beyond
+//! [`FlatLayout::INLINE_CAP`] modes. All algebraic operations in
+//! [`crate::Layout`] flatten their operands through this type instead of
+//! walking the recursive [`crate::IntTuple`] trees with per-node `Vec`
+//! allocations; the results are regrouped onto the hierarchical profile only
+//! at the end, so the fast path is bit-for-bit equivalent to the recursive
+//! reference implementation (a property enforced by the randomized
+//! cross-check tests in `tests/flat_vs_reference.rs`).
+
+use crate::int_tuple::IntTuple;
+use crate::layout::Layout;
+
+/// A flattened layout: parallel shape/stride mode arrays stored inline for
+/// typical ranks.
+#[derive(Debug, Clone)]
+pub struct FlatLayout {
+    len: usize,
+    inline: [(usize, usize); FlatLayout::INLINE_CAP],
+    spill: Vec<(usize, usize)>,
+}
+
+impl FlatLayout {
+    /// Number of modes stored inline before spilling to the heap. Sized
+    /// for the expanded thread-value pair layouts the synthesis engine
+    /// produces, which routinely exceed eight leaf modes.
+    pub const INLINE_CAP: usize = 16;
+
+    /// Creates an empty flat layout.
+    pub fn new() -> Self {
+        FlatLayout {
+            len: 0,
+            inline: [(0, 0); Self::INLINE_CAP],
+            spill: Vec::new(),
+        }
+    }
+
+    /// Flattens a hierarchical layout in one lock-step traversal of its shape
+    /// and stride trees (no intermediate allocations for rank ≤
+    /// [`FlatLayout::INLINE_CAP`]).
+    pub fn from_layout(layout: &Layout) -> Self {
+        fn walk(shape: &IntTuple, stride: &IntTuple, out: &mut FlatLayout) {
+            match (shape, stride) {
+                (IntTuple::Int(s), IntTuple::Int(d)) => out.push(*s, *d),
+                (IntTuple::Tuple(ss), IntTuple::Tuple(ds)) => {
+                    for (s, d) in ss.iter().zip(ds.iter()) {
+                        walk(s, d, out);
+                    }
+                }
+                // Layout construction guarantees congruent profiles.
+                _ => unreachable!("layout shape and stride are congruent"),
+            }
+        }
+        let mut out = FlatLayout::new();
+        walk(layout.shape(), layout.stride(), &mut out);
+        out
+    }
+
+    /// Builds a flat layout from a mode slice.
+    pub fn from_modes(modes: &[(usize, usize)]) -> Self {
+        let mut out = FlatLayout::new();
+        for &(s, d) in modes {
+            out.push(s, d);
+        }
+        out
+    }
+
+    /// Appends a `(shape, stride)` mode.
+    pub fn push(&mut self, shape: usize, stride: usize) {
+        if !self.spill.is_empty() {
+            self.spill.push((shape, stride));
+        } else if self.len < Self::INLINE_CAP {
+            self.inline[self.len] = (shape, stride);
+        } else {
+            self.spill.reserve(self.len + 1);
+            self.spill.extend_from_slice(&self.inline);
+            self.spill.push((shape, stride));
+        }
+        self.len += 1;
+    }
+
+    /// The modes as a slice.
+    pub fn modes(&self) -> &[(usize, usize)] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+
+    fn last_mut(&mut self) -> Option<&mut (usize, usize)> {
+        if self.len == 0 {
+            None
+        } else if self.spill.is_empty() {
+            Some(&mut self.inline[self.len - 1])
+        } else {
+            self.spill.last_mut()
+        }
+    }
+
+    /// The number of modes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when there are no modes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The domain size: the product of the mode shapes.
+    pub fn size(&self) -> usize {
+        self.modes().iter().map(|&(s, _)| s).product()
+    }
+
+    /// Evaluates the layout at a column-major linear index, extending the
+    /// last mode beyond its extent exactly like [`Layout::map`].
+    pub fn map(&self, index: usize) -> usize {
+        let modes = self.modes();
+        let mut rest = index;
+        let mut acc = 0usize;
+        for (i, &(s, d)) in modes.iter().enumerate() {
+            if i + 1 == modes.len() {
+                acc += rest * d;
+            } else {
+                let s = s.max(1);
+                acc += (rest % s) * d;
+                rest /= s;
+            }
+        }
+        acc
+    }
+
+    /// The canonical coalesced form: drops size-1 modes and merges adjacent
+    /// mergeable modes, pushing a single `1:0` mode when nothing remains.
+    ///
+    /// The mode list produced here is exactly the mode list of
+    /// [`Layout::coalesce`] on the hierarchical representation.
+    pub fn coalesced(&self) -> FlatLayout {
+        let mut out = FlatLayout::new();
+        for &(s, d) in self.modes() {
+            if s == 1 {
+                continue;
+            }
+            if let Some(last) = out.last_mut() {
+                if d == last.0 * last.1 && last.1 != 0 {
+                    last.0 *= s;
+                    continue;
+                }
+                if last.1 == 0 && d == 0 {
+                    last.0 *= s;
+                    continue;
+                }
+            }
+            out.push(s, d);
+        }
+        if out.is_empty() {
+            out.push(1, 0);
+        }
+        out
+    }
+
+    /// Rebuilds the equivalent hierarchical [`Layout`], using a leaf layout
+    /// for a single mode (matching [`Layout::from_mode`]) and a flat rank-n
+    /// tuple otherwise (matching [`Layout::from_modes`]).
+    pub fn to_layout(&self) -> Layout {
+        let modes = self.modes();
+        match modes.len() {
+            0 => Layout::from_mode(1, 0),
+            1 => Layout::from_mode(modes[0].0, modes[0].1),
+            _ => Layout::from_modes(modes),
+        }
+    }
+}
+
+impl Default for FlatLayout {
+    fn default() -> Self {
+        FlatLayout::new()
+    }
+}
+
+impl PartialEq for FlatLayout {
+    fn eq(&self, other: &Self) -> bool {
+        self.modes() == other.modes()
+    }
+}
+
+impl Eq for FlatLayout {}
+
+impl std::hash::Hash for FlatLayout {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.modes().hash(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ituple;
+
+    #[test]
+    fn from_layout_matches_flat_modes() {
+        let l = Layout::new(ituple![(2, 2), 8], ituple![(1, 16), 2]).unwrap();
+        assert_eq!(
+            FlatLayout::from_layout(&l).modes(),
+            l.flat_modes().as_slice()
+        );
+    }
+
+    #[test]
+    fn spills_past_inline_capacity() {
+        let modes: Vec<(usize, usize)> = (0..12).map(|i| (2, 1 << i)).collect();
+        let flat = FlatLayout::from_modes(&modes);
+        assert_eq!(flat.len(), 12);
+        assert_eq!(flat.modes(), modes.as_slice());
+        let mut grown = FlatLayout::new();
+        for &(s, d) in &modes {
+            grown.push(s, d);
+        }
+        assert_eq!(grown, flat);
+    }
+
+    #[test]
+    fn coalesced_matches_hierarchical_coalesce() {
+        let cases = vec![
+            Layout::from_flat(&[2, 4, 8], &[1, 2, 8]),
+            Layout::from_flat(&[2, 1, 4], &[1, 77, 2]),
+            Layout::from_flat(&[1, 1], &[5, 9]),
+            Layout::from_flat(&[4, 2], &[0, 0]),
+            Layout::new(ituple![(2, 2), 8, 1], ituple![(1, 2), 4, 99]).unwrap(),
+        ];
+        for l in cases {
+            assert_eq!(
+                FlatLayout::from_layout(&l).coalesced().modes(),
+                l.coalesce().flat_modes().as_slice(),
+                "mismatch for {l}"
+            );
+        }
+    }
+
+    #[test]
+    fn map_matches_layout_map() {
+        let l = Layout::new(ituple![(2, 4), (2, 2)], ituple![(8, 1), (4, 16)]).unwrap();
+        let flat = FlatLayout::from_layout(&l);
+        for i in 0..l.size() + 8 {
+            assert_eq!(flat.map(i), l.map(i), "at {i}");
+        }
+        assert_eq!(flat.size(), l.size());
+    }
+
+    #[test]
+    fn to_layout_round_trips_mode_structure() {
+        assert_eq!(
+            FlatLayout::from_modes(&[(8, 1)]).to_layout(),
+            Layout::from_mode(8, 1)
+        );
+        assert_eq!(
+            FlatLayout::from_modes(&[(2, 1), (4, 2)]).to_layout(),
+            Layout::from_flat(&[2, 4], &[1, 2])
+        );
+        assert_eq!(FlatLayout::new().to_layout(), Layout::from_mode(1, 0));
+    }
+}

@@ -4,6 +4,8 @@
 use std::fmt;
 
 use crate::error::{LayoutError, Result};
+use crate::fastpath;
+use crate::flat::FlatLayout;
 use crate::int_tuple::IntTuple;
 
 /// A CuTe-style layout: a pair of congruent shape and stride tuples that
@@ -52,7 +54,10 @@ impl Layout {
 
     /// Creates a rank-1 layout `shape:stride`.
     pub fn from_mode(shape: usize, stride: usize) -> Self {
-        Layout { shape: IntTuple::Int(shape), stride: IntTuple::Int(stride) }
+        Layout {
+            shape: IntTuple::Int(shape),
+            stride: IntTuple::Int(stride),
+        }
     }
 
     /// Creates a flat (non-hierarchical) layout from parallel shape and
@@ -193,7 +198,66 @@ impl Layout {
     /// Evaluates the layout at a column-major linear index.
     ///
     /// Indices beyond `size()` extend along the last mode, matching CuTe.
+    ///
+    /// The evaluation traverses the shape and stride trees in lock step
+    /// without allocating; [`Layout::map_reference`] is the original
+    /// allocation-per-call implementation kept for cross-checking.
     pub fn map(&self, index: usize) -> usize {
+        if !fastpath::enabled() {
+            return self.map_reference(index);
+        }
+        // Single allocation-free traversal. This intentionally does NOT go
+        // through `FlatLayout::from_layout(self).map(index)`: `map` is the
+        // hottest call in synthesis (cosize/bijectivity/equivalence checks)
+        // and materializing the mode array measurably slows it down. The
+        // digit-decomposition semantics must match `FlatLayout::map`.
+        fn walk(
+            shape: &IntTuple,
+            stride: &IntTuple,
+            rest: &mut usize,
+            remaining: &mut usize,
+            acc: &mut usize,
+        ) {
+            match (shape, stride) {
+                (IntTuple::Int(s), IntTuple::Int(d)) => {
+                    *remaining -= 1;
+                    let c = if *remaining == 0 {
+                        *rest
+                    } else {
+                        let s = (*s).max(1);
+                        let c = *rest % s;
+                        *rest /= s;
+                        c
+                    };
+                    *acc += c * d;
+                }
+                (IntTuple::Tuple(ss), IntTuple::Tuple(ds)) => {
+                    for (s, d) in ss.iter().zip(ds.iter()) {
+                        walk(s, d, rest, remaining, acc);
+                    }
+                }
+                _ => unreachable!("layout shape and stride are congruent"),
+            }
+        }
+        let mut remaining = self.shape.leaf_count();
+        if remaining == 0 {
+            return 0;
+        }
+        let mut rest = index;
+        let mut acc = 0usize;
+        walk(
+            &self.shape,
+            &self.stride,
+            &mut rest,
+            &mut remaining,
+            &mut acc,
+        );
+        acc
+    }
+
+    /// The original recursive implementation of [`Layout::map`], kept as the
+    /// reference for the flat fast path.
+    pub fn map_reference(&self, index: usize) -> usize {
         let coords = self.shape.index_to_coords(index);
         let strides = self.stride.flatten();
         coords.iter().zip(strides.iter()).map(|(c, d)| c * d).sum()
@@ -206,6 +270,40 @@ impl Layout {
     ///
     /// Panics if the coordinate rank does not match the leaf count.
     pub fn map_coords(&self, coords: &[usize]) -> usize {
+        if !fastpath::enabled() {
+            return self.map_coords_reference(coords);
+        }
+        fn walk(stride: &IntTuple, coords: &[usize], pos: &mut usize, acc: &mut usize) {
+            match stride {
+                IntTuple::Int(d) => {
+                    *acc += coords[*pos] * d;
+                    *pos += 1;
+                }
+                IntTuple::Tuple(ds) => {
+                    for d in ds {
+                        walk(d, coords, pos, acc);
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            coords.len(),
+            self.stride.leaf_count(),
+            "coordinate rank mismatch"
+        );
+        let mut pos = 0usize;
+        let mut acc = 0usize;
+        walk(&self.stride, coords, &mut pos, &mut acc);
+        acc
+    }
+
+    /// The original implementation of [`Layout::map_coords`], kept as the
+    /// reference for the flat fast path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate rank does not match the leaf count.
+    pub fn map_coords_reference(&self, coords: &[usize]) -> usize {
         let strides = self.stride.flatten();
         assert_eq!(coords.len(), strides.len(), "coordinate rank mismatch");
         coords.iter().zip(strides.iter()).map(|(c, d)| c * d).sum()
@@ -269,6 +367,20 @@ impl Layout {
     /// assert!(l.equivalent(&c));
     /// ```
     pub fn coalesce(&self) -> Layout {
+        if !fastpath::enabled() {
+            return self.coalesce_reference();
+        }
+        let flat = FlatLayout::from_layout(self).coalesced();
+        let modes = flat.modes();
+        if modes.len() == 1 {
+            return Layout::from_mode(modes[0].0, modes[0].1);
+        }
+        Layout::from_modes(modes)
+    }
+
+    /// The original recursive implementation of [`Layout::coalesce`], kept as
+    /// the reference for the flat fast path.
+    pub fn coalesce_reference(&self) -> Layout {
         let mut out: Vec<(usize, usize)> = Vec::new();
         for (s, d) in self.flat_modes() {
             if s == 1 {
@@ -314,7 +426,10 @@ impl Layout {
             .shape
             .unflatten(strides)
             .expect("stride count must match leaf count");
-        Layout { shape: self.shape.clone(), stride }
+        Layout {
+            shape: self.shape.clone(),
+            stride,
+        }
     }
 
     /// Returns a layout with the same function but whose codomain indices

@@ -37,12 +37,19 @@
 
 mod algebra;
 mod error;
+pub mod fastpath;
+mod flat;
 mod int_tuple;
 mod layout;
 mod swizzle;
 mod tv;
 
 pub use error::{LayoutError, Result};
+pub use fastpath::{
+    cache_stats, clear_cache, enabled as fast_path_enabled, set_enabled as set_fast_path,
+    CacheStats,
+};
+pub use flat::FlatLayout;
 pub use int_tuple::IntTuple;
 pub use layout::Layout;
 pub use swizzle::{Swizzle, SwizzledLayout};

@@ -46,7 +46,11 @@ impl Swizzle {
 
     /// The identity swizzle (no permutation).
     pub fn identity() -> Self {
-        Swizzle { bits: 0, base: 0, shift: 0 }
+        Swizzle {
+            bits: 0,
+            base: 0,
+            shift: 0,
+        }
     }
 
     /// Returns `true` if this swizzle performs no permutation.
@@ -115,7 +119,10 @@ impl SwizzledLayout {
 
     /// A swizzled layout with the identity swizzle.
     pub fn unswizzled(layout: Layout) -> Self {
-        SwizzledLayout { swizzle: Swizzle::identity(), layout }
+        SwizzledLayout {
+            swizzle: Swizzle::identity(),
+            layout,
+        }
     }
 
     /// The swizzle component.
@@ -209,7 +216,8 @@ mod tests {
         let s = Swizzle::new(3, 3, 3);
         let row_major = Layout::row_major(&[8, 64]);
         let swizzled = SwizzledLayout::new(s, row_major.clone());
-        let plain_addresses: Vec<usize> = (0..8).map(|r| row_major.map_coords(&[r, 0]) / 8).collect();
+        let plain_addresses: Vec<usize> =
+            (0..8).map(|r| row_major.map_coords(&[r, 0]) / 8).collect();
         let swizzled_addresses: Vec<usize> =
             (0..8).map(|r| swizzled.map_coords(&[r, 0]) / 8).collect();
         // Plain: every row maps to 128-bit chunk index ≡ 0 (mod 8) → same bank group.

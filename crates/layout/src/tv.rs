@@ -49,7 +49,10 @@ pub struct RepeatMode {
 impl RepeatMode {
     /// A repetition advancing along tile dimension `dim`.
     pub fn along(size: usize, dim: usize) -> Self {
-        RepeatMode { size, dim: Some(dim) }
+        RepeatMode {
+            size,
+            dim: Some(dim),
+        }
     }
 
     /// A broadcast repetition: the extra threads/values alias the same data.
@@ -68,15 +71,25 @@ impl TvLayout {
     /// the tile.
     pub fn new(thread: Layout, value: Layout, tile_shape: Vec<usize>) -> Result<Self> {
         let tile_size: usize = tile_shape.iter().product();
-        let full = Layout::make_pair(&thread, &value);
-        if full.size() > 0 && full.cosize() > tile_size {
-            return Err(LayoutError::Structural(format!(
-                "thread-value layout {full} addresses {} elements but the tile only has {}",
-                full.cosize(),
-                tile_size
-            )));
+        let size = thread.size() * value.size();
+        // cosize of the combined (thread, value) layout, computed without
+        // cloning the trees into a pair: index size-1 decomposes to the
+        // maximal digit in every mode of both components.
+        if size > 0 {
+            let cosize = thread.map(thread.size() - 1) + value.map(value.size() - 1) + 1;
+            if cosize > tile_size {
+                let full = Layout::make_pair(&thread, &value);
+                debug_assert_eq!(cosize, full.cosize());
+                return Err(LayoutError::Structural(format!(
+                    "thread-value layout {full} addresses {cosize} elements but the tile only has {tile_size}"
+                )));
+            }
         }
-        Ok(TvLayout { thread, value, tile_shape })
+        Ok(TvLayout {
+            thread,
+            value,
+            tile_shape,
+        })
     }
 
     /// The canonical fully-distributed TV layout: `threads` consecutive
@@ -87,7 +100,7 @@ impl TvLayout {
     pub fn contiguous(threads: usize, values: usize, tile_shape: Vec<usize>) -> Result<Self> {
         let tile_size: usize = tile_shape.iter().product();
         let per_round = threads * values;
-        if per_round == 0 || tile_size % per_round != 0 {
+        if per_round == 0 || !tile_size.is_multiple_of(per_round) {
             return Err(LayoutError::Structural(format!(
                 "tile of {tile_size} elements cannot be covered by {threads} threads × {values} values"
             )));
@@ -313,12 +326,8 @@ mod tests {
 
     #[test]
     fn rejects_out_of_tile_layouts() {
-        let err = TvLayout::new(
-            Layout::from_mode(8, 8),
-            Layout::from_mode(4, 1),
-            vec![4, 8],
-        )
-        .unwrap_err();
+        let err = TvLayout::new(Layout::from_mode(8, 8), Layout::from_mode(4, 1), vec![4, 8])
+            .unwrap_err();
         assert!(matches!(err, LayoutError::Structural(_)));
     }
 
@@ -341,8 +350,7 @@ mod tests {
         assert!(p.is_exclusive());
         assert!(q.is_exclusive());
         let q_inv = q.inverse().unwrap();
-        let expected =
-            Layout::new(ituple![(8, 4), (2, 4)], ituple![(4, 64), (32, 1)]).unwrap();
+        let expected = Layout::new(ituple![(8, 4), (2, 4)], ituple![(4, 64), (32, 1)]).unwrap();
         assert!(q_inv.equivalent(&expected));
     }
 

@@ -172,6 +172,43 @@ proptest! {
     }
 
     #[test]
+    fn compose_right_inverse_is_identity(layout in compact_layout(4)) {
+        // compose(A, right_inverse(A)) is the identity on [0, size).
+        let inv = layout.right_inverse().unwrap();
+        let r = layout.compose(&inv).unwrap();
+        prop_assert_eq!(r.size(), layout.size());
+        for j in 0..layout.size() {
+            prop_assert_eq!(r.map(j), j, "identity violated at {}", j);
+        }
+    }
+
+    #[test]
+    fn right_inverse_then_left_inverse_round_trips(layout in compact_layout(4)) {
+        // The left inverse of the right inverse maps back: L(R(j)) has
+        // left_inverse(R) = A on compact bijections.
+        let inv = layout.right_inverse().unwrap();
+        let back = inv.right_inverse().unwrap();
+        prop_assert!(back.equivalent(&layout), "{} !~ {}", back, layout);
+    }
+
+    #[test]
+    fn complement_is_disjoint_and_sized(layout in compact_layout(3), extra in 1usize..=3) {
+        // complement(A, target): the images of A and its complement meet only
+        // at 0, sizes multiply to the target, and the pair covers [0, target).
+        let strided = layout.scale_strides(2);
+        let target = strided.cosize().next_power_of_two() * (1 << extra);
+        if let Ok(c) = strided.complement(target) {
+            prop_assert_eq!(strided.size() * c.size(), target);
+            let a_img: std::collections::HashSet<usize> = strided.image().into_iter().collect();
+            for j in 1..c.size() {
+                prop_assert!(!a_img.contains(&c.map(j)), "complement output {} collides", c.map(j));
+            }
+            let pair = Layout::make_pair(&strided, &c);
+            prop_assert_eq!(pair.cosize(), target);
+        }
+    }
+
+    #[test]
     fn tv_inverse_round_trips(threads_log in 3usize..=6, values_log in 0usize..=3) {
         let threads = 1usize << threads_log;
         let values = 1usize << values_log;

@@ -24,7 +24,11 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::MissingLayout(name) => write!(f, "tensor {name} has no synthesized layout"),
-            SimError::ShortBuffer { tensor, required, provided } => write!(
+            SimError::ShortBuffer {
+                tensor,
+                required,
+                provided,
+            } => write!(
                 f,
                 "buffer for {tensor} has {provided} elements but the view requires {required}"
             ),

@@ -7,12 +7,24 @@
 //! that layout synthesis is "correct by construction" is checked here by
 //! compiling kernels and comparing their simulated output against reference
 //! implementations.
+//!
+//! ## Table-driven fast path
+//!
+//! Evaluating the layout index function per element is expensive: every
+//! `tile_coords` / `address` call walks hierarchical tuples and allocates.
+//! When the flat fast path is enabled (see [`hexcute_layout::fastpath`]),
+//! the simulator instead precomputes per-operation **index tables** once —
+//! for each `(thread, value)` pair the source and destination addresses,
+//! with the main-loop iteration folded in as a single additive offset — and
+//! the inner loops become straight array indexing. The reference
+//! element-by-element path is kept and used when the fast path is disabled;
+//! both paths produce bit-identical buffers.
 
 use std::collections::HashMap;
 
 use hexcute_arch::{DType, MemSpace};
-use hexcute_ir::{ElementwiseOp, Op, OpKind, Program, ReduceOp, TensorId};
-use hexcute_layout::{Layout, SwizzledLayout};
+use hexcute_ir::{ElementwiseOp, Op, OpId, OpKind, Program, ReduceOp, TensorId};
+use hexcute_layout::{fastpath, Layout, Swizzle, SwizzledLayout, TvLayout};
 use hexcute_synthesis::Candidate;
 
 use crate::error::{Result, SimError};
@@ -34,7 +46,11 @@ struct RegisterFile {
 
 impl RegisterFile {
     fn new(threads: usize, values_per_thread: usize) -> Self {
-        RegisterFile { threads, values_per_thread, data: vec![0.0; threads * values_per_thread] }
+        RegisterFile {
+            threads,
+            values_per_thread,
+            data: vec![0.0; threads * values_per_thread],
+        }
     }
 
     fn get(&self, t: usize, v: usize) -> f32 {
@@ -71,6 +87,117 @@ fn truncate_mantissa(x: f32, dropped_bits: u32) -> f32 {
     f32::from_bits(bits.wrapping_add(round) & mask)
 }
 
+// ---------------------------------------------------------------------------
+// Precomputed index tables (the fast path).
+// ---------------------------------------------------------------------------
+
+/// The per-iteration part of an address: the leaf extents and strides of the
+/// memory-layout dimensions beyond the tile coordinates. Those dimensions all
+/// carry the loop iteration as their coordinate, so their contribution is one
+/// offset shared by every element of the tile.
+#[derive(Debug, Clone)]
+struct IterPart {
+    dims: Vec<(Vec<usize>, Vec<usize>)>,
+}
+
+impl IterPart {
+    fn offset(&self, iteration: usize) -> usize {
+        let mut acc = 0usize;
+        for (extents, strides) in &self.dims {
+            acc += dim_contribution(extents, strides, iteration);
+        }
+        acc
+    }
+}
+
+/// Splits a per-dimension coordinate over that dimension's leaves and dots it
+/// with the leaf strides, exactly like the reference `address` computation.
+fn dim_contribution(extents: &[usize], strides: &[usize], coord: usize) -> usize {
+    let mut rest = coord;
+    let mut acc = 0usize;
+    for (i, (&extent, &stride)) in extents.iter().zip(strides.iter()).enumerate() {
+        if i + 1 == extents.len() {
+            acc += rest * stride;
+        } else {
+            acc += (rest % extent) * stride;
+            rest /= extent;
+        }
+    }
+    acc
+}
+
+/// One side (source or destination) of a precomputed copy table.
+#[derive(Debug)]
+enum SideTable {
+    /// Register side: addressed directly by `(thread, value)`.
+    Register,
+    /// Global side: `address = base[i] + iter.offset(iteration)`.
+    Global { base: Vec<usize>, iter: IterPart },
+    /// Shared side: `address = swizzle(base[i] + iter.offset(iteration))`.
+    Shared {
+        base: Vec<usize>,
+        swizzle: Swizzle,
+        iter: IterPart,
+    },
+}
+
+/// The precomputed address tables of one copy operation.
+#[derive(Debug)]
+struct CopyTable {
+    threads: usize,
+    values: usize,
+    src: SideTable,
+    dst: SideTable,
+}
+
+/// The `(thread, value) → tile linear index` table of one register tensor.
+#[derive(Debug)]
+struct TvTable {
+    threads: usize,
+    values: usize,
+    index: Vec<usize>,
+}
+
+/// All tables of one simulation run, built lazily per operation/tensor and
+/// reused across loop iterations.
+#[derive(Debug, Default)]
+struct SimTables {
+    copy: HashMap<OpId, CopyTable>,
+    tv: HashMap<TensorId, TvTable>,
+    shared_gather: HashMap<TensorId, Vec<usize>>,
+    scratch: Vec<f32>,
+}
+
+fn base_and_iter(layout: &Layout, coords_list: &[Vec<usize>]) -> (Vec<usize>, IterPart) {
+    let rank = layout.rank();
+    let coords_len = coords_list.first().map(Vec::len).unwrap_or(0);
+    let used = rank.min(coords_len);
+    let dims: Vec<(Vec<usize>, Vec<usize>)> = (0..rank)
+        .map(|d| {
+            (
+                layout.shape().mode(d).flatten(),
+                layout.stride().mode(d).flatten(),
+            )
+        })
+        .collect();
+    let base = coords_list
+        .iter()
+        .map(|coords| {
+            let mut acc = 0usize;
+            for (d, (extents, strides)) in dims.iter().enumerate().take(used) {
+                acc += dim_contribution(extents, strides, coords[d]);
+            }
+            acc
+        })
+        .collect();
+    (
+        base,
+        IterPart {
+            dims: dims[used..].to_vec(),
+        },
+    )
+}
+
 impl<'a> FunctionalSim<'a> {
     /// Creates a simulator for the program and candidate.
     pub fn new(program: &'a Program, candidate: &'a Candidate) -> Self {
@@ -94,7 +221,10 @@ impl<'a> FunctionalSim<'a> {
             if decl.space != MemSpace::Global {
                 continue;
             }
-            let layout = decl.global_layout.as_ref().expect("global views carry layouts");
+            let layout = decl
+                .global_layout
+                .as_ref()
+                .expect("global views carry layouts");
             let required = layout.cosize();
             let buffer = match inputs.get(&decl.name) {
                 Some(data) => {
@@ -131,8 +261,15 @@ impl<'a> FunctionalSim<'a> {
                 .tv_layouts
                 .get(&decl.id)
                 .ok_or_else(|| SimError::MissingLayout(decl.name.clone()))?;
-            regs.insert(decl.id, RegisterFile::new(tv.num_threads().max(threads), tv.values_per_thread()));
+            regs.insert(
+                decl.id,
+                RegisterFile::new(tv.num_threads().max(threads), tv.values_per_thread()),
+            );
         }
+
+        // Precomputed index tables, built lazily and shared across the loop
+        // iterations of this run.
+        let mut tables = SimTables::default();
 
         // Execution order: pre-loop ops, the loop, post-loop ops.
         let first_loop = self.program.ops().iter().position(|o| o.in_main_loop);
@@ -141,22 +278,29 @@ impl<'a> FunctionalSim<'a> {
         match (first_loop, last_loop) {
             (Some(first), Some(last)) => {
                 for op in &ops[..first] {
-                    self.execute(op, 0, &mut global, &mut shared, &mut regs)?;
+                    self.execute(op, 0, &mut global, &mut shared, &mut regs, &mut tables)?;
                 }
                 for iteration in 0..self.program.main_loop_trip_count {
                     for op in &ops[first..=last] {
                         if op.in_main_loop {
-                            self.execute(op, iteration, &mut global, &mut shared, &mut regs)?;
+                            self.execute(
+                                op,
+                                iteration,
+                                &mut global,
+                                &mut shared,
+                                &mut regs,
+                                &mut tables,
+                            )?;
                         }
                     }
                 }
                 for op in &ops[last + 1..] {
-                    self.execute(op, 0, &mut global, &mut shared, &mut regs)?;
+                    self.execute(op, 0, &mut global, &mut shared, &mut regs, &mut tables)?;
                 }
             }
             _ => {
                 for op in ops {
-                    self.execute(op, 0, &mut global, &mut shared, &mut regs)?;
+                    self.execute(op, 0, &mut global, &mut shared, &mut regs, &mut tables)?;
                 }
             }
         }
@@ -164,18 +308,28 @@ impl<'a> FunctionalSim<'a> {
         let mut outputs = HashMap::new();
         for decl in self.program.tensors() {
             if decl.space == MemSpace::Global {
-                outputs.insert(decl.name.clone(), global.remove(&decl.id).unwrap_or_default());
+                outputs.insert(
+                    decl.name.clone(),
+                    global.remove(&decl.id).unwrap_or_default(),
+                );
             }
         }
         Ok(outputs)
     }
 
     fn smem_layout(&self, id: TensorId) -> SwizzledLayout {
-        self.candidate.smem_layouts.get(&id).cloned().unwrap_or_else(|| {
-            SwizzledLayout::unswizzled(Layout::row_major(&self.program.tensor(id).tile_shape_2d()))
-        })
+        self.candidate
+            .smem_layouts
+            .get(&id)
+            .cloned()
+            .unwrap_or_else(|| {
+                SwizzledLayout::unswizzled(Layout::row_major(
+                    &self.program.tensor(id).tile_shape_2d(),
+                ))
+            })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn execute(
         &self,
         op: &Op,
@@ -183,10 +337,13 @@ impl<'a> FunctionalSim<'a> {
         global: &mut HashMap<TensorId, Vec<f32>>,
         shared: &mut HashMap<TensorId, Vec<f32>>,
         regs: &mut HashMap<TensorId, RegisterFile>,
+        tables: &mut SimTables,
     ) -> Result<()> {
         match &op.kind {
-            OpKind::Copy { src, dst } => self.execute_copy(op, *src, *dst, iteration, global, shared, regs),
-            OpKind::Gemm { c, a, b } => self.execute_gemm(*c, *a, *b, shared, regs),
+            OpKind::Copy { src, dst } => {
+                self.execute_copy(op, *src, *dst, iteration, global, shared, regs, tables)
+            }
+            OpKind::Gemm { c, a, b } => self.execute_gemm(*c, *a, *b, shared, regs, tables),
             OpKind::Cast { src, dst } => {
                 let dtype = self.program.tensor(*dst).dtype;
                 let src_file = regs.get(src).cloned().ok_or_else(|| self.missing(*src))?;
@@ -198,9 +355,18 @@ impl<'a> FunctionalSim<'a> {
                 }
                 Ok(())
             }
-            OpKind::Rearrange { src, dst } => self.redistribute(*src, *dst, regs),
-            OpKind::Elementwise { inputs, output, op: eop } => self.execute_elementwise(inputs, *output, *eop, regs),
-            OpKind::Reduce { src, dst, dim, op: rop } => self.execute_reduce(*src, *dst, *dim, *rop, regs),
+            OpKind::Rearrange { src, dst } => self.redistribute(*src, *dst, regs, tables),
+            OpKind::Elementwise {
+                inputs,
+                output,
+                op: eop,
+            } => self.execute_elementwise(inputs, *output, *eop, regs),
+            OpKind::Reduce {
+                src,
+                dst,
+                dim,
+                op: rop,
+            } => self.execute_reduce(*src, *dst, *dim, *rop, regs, tables),
             OpKind::Fill { dst, value } => {
                 let file = regs.get_mut(dst).ok_or_else(|| self.missing(*dst))?;
                 file.data.iter_mut().for_each(|x| *x = *value as f32);
@@ -241,8 +407,180 @@ impl<'a> FunctionalSim<'a> {
         layout.map_coords(&leaf_coords)
     }
 
+    /// The thread-value layout a copy walks: destination-register copies
+    /// follow the destination's layout so that every register value is
+    /// written; all other copies follow the coverage layout recorded for the
+    /// operation.
+    fn copy_walk(&self, op: &Op, src: TensorId, dst: TensorId) -> Result<TvLayout> {
+        let (s_decl, d_decl) = (self.program.tensor(src), self.program.tensor(dst));
+        let coverage = self
+            .candidate
+            .copy_choices
+            .get(&op.id)
+            .map(|c| c.coverage.clone())
+            .or_else(|| self.candidate.tv_layouts.get(&dst).cloned())
+            .or_else(|| self.candidate.tv_layouts.get(&src).cloned())
+            .ok_or_else(|| self.missing(dst))?;
+        if d_decl.space == MemSpace::Register {
+            self.candidate
+                .tv_layouts
+                .get(&dst)
+                .cloned()
+                .ok_or_else(|| self.missing(dst))
+        } else if s_decl.space == MemSpace::Register {
+            self.candidate
+                .tv_layouts
+                .get(&src)
+                .cloned()
+                .ok_or_else(|| self.missing(src))
+        } else {
+            Ok(coverage)
+        }
+    }
+
+    fn build_copy_table(&self, src: TensorId, dst: TensorId, walk: &TvLayout) -> CopyTable {
+        let threads = walk.num_threads();
+        let values = walk.values_per_thread();
+        let mut coords_list = Vec::with_capacity(threads * values);
+        for t in 0..threads {
+            for v in 0..values {
+                coords_list.push(walk.tile_coords(t, v));
+            }
+        }
+        let side = |id: TensorId| -> SideTable {
+            let decl = self.program.tensor(id);
+            match decl.space {
+                MemSpace::Register => SideTable::Register,
+                MemSpace::Global => {
+                    let layout = decl
+                        .global_layout
+                        .as_ref()
+                        .expect("global views carry layouts");
+                    let (base, iter) = base_and_iter(layout, &coords_list);
+                    SideTable::Global { base, iter }
+                }
+                MemSpace::Shared => {
+                    let swizzled = self.smem_layout(id);
+                    let (base, iter) = base_and_iter(swizzled.layout(), &coords_list);
+                    SideTable::Shared {
+                        base,
+                        swizzle: *swizzled.swizzle(),
+                        iter,
+                    }
+                }
+            }
+        };
+        CopyTable {
+            threads,
+            values,
+            src: side(src),
+            dst: side(dst),
+        }
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn execute_copy(
+        &self,
+        op: &Op,
+        src: TensorId,
+        dst: TensorId,
+        iteration: usize,
+        global: &mut HashMap<TensorId, Vec<f32>>,
+        shared: &mut HashMap<TensorId, Vec<f32>>,
+        regs: &mut HashMap<TensorId, RegisterFile>,
+        tables: &mut SimTables,
+    ) -> Result<()> {
+        if !fastpath::enabled() {
+            return self.execute_copy_reference(op, src, dst, iteration, global, shared, regs);
+        }
+        if let std::collections::hash_map::Entry::Vacant(e) = tables.copy.entry(op.id) {
+            let walk = self.copy_walk(op, src, dst)?;
+            let table = self.build_copy_table(src, dst, &walk);
+            e.insert(table);
+        }
+        let table = tables.copy.get(&op.id).expect("just inserted");
+        let n = table.threads * table.values;
+
+        // Pass 1: read every source element into the scratch buffer. Source
+        // and destination tensors are always distinct, so snapshotting reads
+        // matches the reference's interleaved read/write order.
+        let mut scratch = std::mem::take(&mut tables.scratch);
+        scratch.clear();
+        scratch.reserve(n);
+        match &table.src {
+            SideTable::Register => {
+                let file = regs.get(&src).ok_or_else(|| self.missing(src))?;
+                for t in 0..table.threads {
+                    for v in 0..table.values {
+                        scratch.push(file.get(t, v));
+                    }
+                }
+            }
+            SideTable::Global { base, iter } => {
+                let off = iter.offset(iteration);
+                let buf = &global[&src];
+                for &b in base {
+                    scratch.push(buf.get(b + off).copied().unwrap_or(0.0));
+                }
+            }
+            SideTable::Shared {
+                base,
+                swizzle,
+                iter,
+            } => {
+                let off = iter.offset(iteration);
+                let buf = &shared[&src];
+                for &b in base {
+                    scratch.push(buf[swizzle.apply(b + off)]);
+                }
+            }
+        }
+
+        // Pass 2: write every element to the destination.
+        match &table.dst {
+            SideTable::Register => {
+                if let Some(file) = regs.get_mut(&dst) {
+                    for t in 0..table.threads {
+                        for v in 0..table.values {
+                            file.set(t, v, scratch[t * table.values + v]);
+                        }
+                    }
+                }
+            }
+            SideTable::Global { base, iter } => {
+                let off = iter.offset(iteration);
+                if let Some(buf) = global.get_mut(&dst) {
+                    for (i, &b) in base.iter().enumerate() {
+                        if let Some(slot) = buf.get_mut(b + off) {
+                            *slot = scratch[i];
+                        }
+                    }
+                }
+            }
+            SideTable::Shared {
+                base,
+                swizzle,
+                iter,
+            } => {
+                let off = iter.offset(iteration);
+                if let Some(buf) = shared.get_mut(&dst) {
+                    for (i, &b) in base.iter().enumerate() {
+                        let addr = swizzle.apply(b + off);
+                        if let Some(slot) = buf.get_mut(addr) {
+                            *slot = scratch[i];
+                        }
+                    }
+                }
+            }
+        }
+        tables.scratch = scratch;
+        Ok(())
+    }
+
+    /// The reference element-by-element copy, evaluating the layout index
+    /// function per element.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_copy_reference(
         &self,
         op: &Op,
         src: TensorId,
@@ -254,14 +592,6 @@ impl<'a> FunctionalSim<'a> {
     ) -> Result<()> {
         let s_decl = self.program.tensor(src);
         let d_decl = self.program.tensor(dst);
-        let coverage = self
-            .candidate
-            .copy_choices
-            .get(&op.id)
-            .map(|c| c.coverage.clone())
-            .or_else(|| self.candidate.tv_layouts.get(&dst).cloned())
-            .or_else(|| self.candidate.tv_layouts.get(&src).cloned())
-            .ok_or_else(|| self.missing(dst))?;
 
         let read = |coords: &[usize],
                     global: &HashMap<TensorId, Vec<f32>>,
@@ -285,17 +615,7 @@ impl<'a> FunctionalSim<'a> {
             }
         };
 
-        // Destination-register copies follow the destination's thread-value
-        // layout so that every register value is written; all other copies
-        // follow the coverage layout recorded for the operation.
-        let walk = if d_decl.space == MemSpace::Register {
-            self.candidate.tv_layouts.get(&dst).cloned().ok_or_else(|| self.missing(dst))?
-        } else if s_decl.space == MemSpace::Register {
-            self.candidate.tv_layouts.get(&src).cloned().ok_or_else(|| self.missing(src))?
-        } else {
-            coverage
-        };
-
+        let walk = self.copy_walk(op, src, dst)?;
         for t in 0..walk.num_threads() {
             for v in 0..walk.values_per_thread() {
                 let coords = walk.tile_coords(t, v);
@@ -310,7 +630,11 @@ impl<'a> FunctionalSim<'a> {
                     }
                     MemSpace::Shared => {
                         let layout = self.smem_layout(dst);
-                        let addr = layout.swizzle().apply(self.address(layout.layout(), &coords, iteration));
+                        let addr = layout.swizzle().apply(self.address(
+                            layout.layout(),
+                            &coords,
+                            iteration,
+                        ));
                         if let Some(slot) = shared.get_mut(&dst).and_then(|b| b.get_mut(addr)) {
                             *slot = value;
                         }
@@ -326,41 +650,109 @@ impl<'a> FunctionalSim<'a> {
         Ok(())
     }
 
+    fn tv_table<'t>(&self, id: TensorId, tables: &'t mut SimTables) -> Result<&'t TvTable> {
+        if let std::collections::hash_map::Entry::Vacant(e) = tables.tv.entry(id) {
+            let tv = self
+                .candidate
+                .tv_layouts
+                .get(&id)
+                .ok_or_else(|| self.missing(id))?;
+            let threads = tv.num_threads();
+            let values = tv.values_per_thread();
+            let mut index = Vec::with_capacity(threads * values);
+            for t in 0..threads {
+                for v in 0..values {
+                    index.push(tv.map(t, v));
+                }
+            }
+            e.insert(TvTable {
+                threads,
+                values,
+                index,
+            });
+        }
+        Ok(tables.tv.get(&id).expect("just inserted"))
+    }
+
     /// Gathers the full logical tile of a tensor (register or shared).
     fn gather_tile(
         &self,
         id: TensorId,
         shared: &HashMap<TensorId, Vec<f32>>,
         regs: &HashMap<TensorId, RegisterFile>,
+        tables: &mut SimTables,
     ) -> Result<(Vec<usize>, Vec<f32>)> {
         let decl = self.program.tensor(id);
         let tile = decl.tile_shape_2d();
         let total: usize = tile.iter().product();
         let mut full = vec![0.0f32; total];
+        let fast = fastpath::enabled();
         match decl.space {
             MemSpace::Register => {
-                let tv = self.candidate.tv_layouts.get(&id).ok_or_else(|| self.missing(id))?;
-                let file = regs.get(&id).ok_or_else(|| self.missing(id))?;
-                for t in 0..tv.num_threads() {
-                    for v in 0..tv.values_per_thread() {
-                        let idx = tv.map(t, v);
-                        if idx < total {
-                            full[idx] = file.get(t, v);
+                if fast {
+                    let file = regs.get(&id).ok_or_else(|| self.missing(id))?;
+                    let table = self.tv_table(id, tables)?;
+                    for t in 0..table.threads {
+                        for v in 0..table.values {
+                            let i = t * table.values + v;
+                            let idx = table.index[i];
+                            if idx < total {
+                                full[idx] = file.get(t, v);
+                            }
+                        }
+                    }
+                } else {
+                    let tv = self
+                        .candidate
+                        .tv_layouts
+                        .get(&id)
+                        .ok_or_else(|| self.missing(id))?;
+                    let file = regs.get(&id).ok_or_else(|| self.missing(id))?;
+                    for t in 0..tv.num_threads() {
+                        for v in 0..tv.values_per_thread() {
+                            let idx = tv.map(t, v);
+                            if idx < total {
+                                full[idx] = file.get(t, v);
+                            }
                         }
                     }
                 }
             }
             MemSpace::Shared => {
-                let layout = self.smem_layout(id);
                 let buffer = shared.get(&id).ok_or_else(|| self.missing(id))?;
-                for idx in 0..total {
-                    let coords = vec![idx % tile[0], idx / tile[0]];
-                    let addr = layout.swizzle().apply(self.address(layout.layout(), &coords, 0));
-                    full[idx] = buffer.get(addr).copied().unwrap_or(0.0);
+                if fast {
+                    tables.shared_gather.entry(id).or_insert_with(|| {
+                        let layout = self.smem_layout(id);
+                        let addrs: Vec<usize> = (0..total)
+                            .map(|idx| {
+                                let coords = [idx % tile[0], idx / tile[0]];
+                                layout
+                                    .swizzle()
+                                    .apply(self.address(layout.layout(), &coords, 0))
+                            })
+                            .collect();
+                        addrs
+                    });
+                    let addrs = &tables.shared_gather[&id];
+                    for (idx, &addr) in addrs.iter().enumerate() {
+                        full[idx] = buffer.get(addr).copied().unwrap_or(0.0);
+                    }
+                } else {
+                    let layout = self.smem_layout(id);
+                    for (idx, slot) in full.iter_mut().enumerate() {
+                        let coords = vec![idx % tile[0], idx / tile[0]];
+                        let addr =
+                            layout
+                                .swizzle()
+                                .apply(self.address(layout.layout(), &coords, 0));
+                        *slot = buffer.get(addr).copied().unwrap_or(0.0);
+                    }
                 }
             }
             MemSpace::Global => {
-                return Err(SimError::Unsupported("gathering a global view as a compute operand".to_string()))
+                return Err(SimError::Unsupported(
+                    "gathering a global view as a compute operand".to_string(),
+                ))
             }
         }
         Ok((tile, full))
@@ -371,10 +763,28 @@ impl<'a> FunctionalSim<'a> {
         id: TensorId,
         full: &[f32],
         regs: &mut HashMap<TensorId, RegisterFile>,
+        tables: &mut SimTables,
     ) -> Result<()> {
         let decl = self.program.tensor(id);
         let total: usize = decl.tile_shape_2d().iter().product();
-        let tv = self.candidate.tv_layouts.get(&id).ok_or_else(|| self.missing(id))?;
+        if fastpath::enabled() {
+            let table = self.tv_table(id, tables)?;
+            let file = regs.get_mut(&id).ok_or_else(|| self.missing(id))?;
+            for t in 0..table.threads {
+                for v in 0..table.values {
+                    let idx = table.index[t * table.values + v];
+                    if idx < total {
+                        file.set(t, v, full[idx]);
+                    }
+                }
+            }
+            return Ok(());
+        }
+        let tv = self
+            .candidate
+            .tv_layouts
+            .get(&id)
+            .ok_or_else(|| self.missing(id))?;
         let file = regs.get_mut(&id).ok_or_else(|| self.missing(id))?;
         for t in 0..tv.num_threads() {
             for v in 0..tv.values_per_thread() {
@@ -394,10 +804,11 @@ impl<'a> FunctionalSim<'a> {
         b: TensorId,
         shared: &mut HashMap<TensorId, Vec<f32>>,
         regs: &mut HashMap<TensorId, RegisterFile>,
+        tables: &mut SimTables,
     ) -> Result<()> {
-        let (a_tile, a_full) = self.gather_tile(a, shared, regs)?;
-        let (b_tile, b_full) = self.gather_tile(b, shared, regs)?;
-        let (c_tile, mut c_full) = self.gather_tile(c, shared, regs)?;
+        let (a_tile, a_full) = self.gather_tile(a, shared, regs, tables)?;
+        let (b_tile, b_full) = self.gather_tile(b, shared, regs, tables)?;
+        let (c_tile, mut c_full) = self.gather_tile(c, shared, regs, tables)?;
         let (m, k) = (a_tile[0], a_tile[1]);
         let n = b_tile[0];
         debug_assert_eq!(c_tile, vec![m, n]);
@@ -411,7 +822,7 @@ impl<'a> FunctionalSim<'a> {
                 c_full[mi + m * ni] += acc as f32;
             }
         }
-        self.scatter_tile(c, &c_full, regs)
+        self.scatter_tile(c, &c_full, regs, tables)
     }
 
     fn redistribute(
@@ -419,10 +830,11 @@ impl<'a> FunctionalSim<'a> {
         src: TensorId,
         dst: TensorId,
         regs: &mut HashMap<TensorId, RegisterFile>,
+        tables: &mut SimTables,
     ) -> Result<()> {
         let shared_dummy = HashMap::new();
-        let (_, full) = self.gather_tile(src, &shared_dummy, regs)?;
-        self.scatter_tile(dst, &full, regs)
+        let (_, full) = self.gather_tile(src, &shared_dummy, regs, tables)?;
+        self.scatter_tile(dst, &full, regs, tables)
     }
 
     fn execute_elementwise(
@@ -467,6 +879,7 @@ impl<'a> FunctionalSim<'a> {
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn execute_reduce(
         &self,
         src: TensorId,
@@ -474,9 +887,10 @@ impl<'a> FunctionalSim<'a> {
         dim: usize,
         op: ReduceOp,
         regs: &mut HashMap<TensorId, RegisterFile>,
+        tables: &mut SimTables,
     ) -> Result<()> {
         let shared_dummy = HashMap::new();
-        let (tile, full) = self.gather_tile(src, &shared_dummy, regs)?;
+        let (tile, full) = self.gather_tile(src, &shared_dummy, regs, tables)?;
         let (rows, cols) = (tile[0], tile.get(1).copied().unwrap_or(1));
         let mut reduced_tile = tile.clone();
         reduced_tile[dim] = 1;
@@ -507,7 +921,7 @@ impl<'a> FunctionalSim<'a> {
             // reduced tile is (rows, 1): index = r.
             dst_full[..total].copy_from_slice(&out[..total]);
         }
-        self.scatter_tile(dst, &dst_full, regs)
+        self.scatter_tile(dst, &dst_full, regs, tables)
     }
 }
 
@@ -516,7 +930,7 @@ mod tests {
     use super::*;
     use hexcute_arch::GpuArch;
     use hexcute_ir::KernelBuilder;
-    use hexcute_synthesis::{Synthesizer, SynthesisOptions};
+    use hexcute_synthesis::{SynthesisOptions, Synthesizer};
     use rand::{rngs::StdRng, Rng, SeedableRng};
 
     fn random_vec(rng: &mut StdRng, n: usize) -> Vec<f32> {
@@ -553,7 +967,9 @@ mod tests {
         let data = random_vec(&mut rng, 64 * 64);
         let mut inputs = HashMap::new();
         inputs.insert("src".to_string(), data.clone());
-        let outputs = FunctionalSim::new(&program, &candidate).run(&inputs).unwrap();
+        let outputs = FunctionalSim::new(&program, &candidate)
+            .run(&inputs)
+            .unwrap();
         assert_eq!(outputs["dst"], data);
     }
 
@@ -561,9 +977,24 @@ mod tests {
     fn gemm_kernel_matches_reference_matmul() {
         let (m, n, k) = (64, 64, 64);
         let mut kb = KernelBuilder::new("gemm_check", 128);
-        let ga = kb.global_view("a", DType::F16, Layout::from_flat(&[m, k], &[k, 1]), &[m, k]);
-        let gb = kb.global_view("b", DType::F16, Layout::from_flat(&[n, k], &[k, 1]), &[n, k]);
-        let gc = kb.global_view("c", DType::F32, Layout::from_flat(&[m, n], &[n, 1]), &[m, n]);
+        let ga = kb.global_view(
+            "a",
+            DType::F16,
+            Layout::from_flat(&[m, k], &[k, 1]),
+            &[m, k],
+        );
+        let gb = kb.global_view(
+            "b",
+            DType::F16,
+            Layout::from_flat(&[n, k], &[k, 1]),
+            &[n, k],
+        );
+        let gc = kb.global_view(
+            "c",
+            DType::F32,
+            Layout::from_flat(&[m, n], &[n, 1]),
+            &[m, n],
+        );
         let sa = kb.shared_tensor("sa", DType::F16, &[m, k]);
         let sb = kb.shared_tensor("sb", DType::F16, &[n, k]);
         let ra = kb.register_tensor("ra", DType::F16, &[m, k]);
@@ -589,7 +1020,9 @@ mod tests {
         let mut inputs = HashMap::new();
         inputs.insert("a".to_string(), a.clone());
         inputs.insert("b".to_string(), b.clone());
-        let outputs = FunctionalSim::new(&program, &candidate).run(&inputs).unwrap();
+        let outputs = FunctionalSim::new(&program, &candidate)
+            .run(&inputs)
+            .unwrap();
         let c = &outputs["c"];
         for mi in 0..m {
             for ni in 0..n {
@@ -607,10 +1040,80 @@ mod tests {
     }
 
     #[test]
+    fn table_driven_and_reference_paths_produce_identical_buffers() {
+        let (m, n, k) = (64, 64, 32);
+        let mut kb = KernelBuilder::new("fast_vs_ref", 128);
+        let ga = kb.global_view(
+            "a",
+            DType::F16,
+            Layout::from_flat(&[m, k], &[k, 1]),
+            &[m, k],
+        );
+        let gb = kb.global_view(
+            "b",
+            DType::F16,
+            Layout::from_flat(&[n, k], &[k, 1]),
+            &[n, k],
+        );
+        let gc = kb.global_view(
+            "c",
+            DType::F32,
+            Layout::from_flat(&[m, n], &[n, 1]),
+            &[m, n],
+        );
+        let sa = kb.shared_tensor("sa", DType::F16, &[m, k]);
+        let sb = kb.shared_tensor("sb", DType::F16, &[n, k]);
+        let ra = kb.register_tensor("ra", DType::F16, &[m, k]);
+        let rb = kb.register_tensor("rb", DType::F16, &[n, k]);
+        let rc = kb.register_tensor("rc", DType::F32, &[m, n]);
+        kb.fill(rc, 0.0);
+        kb.copy(ga, sa);
+        kb.copy(gb, sb);
+        kb.copy(sa, ra);
+        kb.copy(sb, rb);
+        kb.gemm(rc, ra, rb);
+        kb.copy(rc, gc);
+        let program = kb.build().unwrap();
+        let arch = GpuArch::a100();
+        let candidate = Synthesizer::new(&program, &arch, SynthesisOptions::default())
+            .synthesize_preferred()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut inputs = HashMap::new();
+        inputs.insert("a".to_string(), random_vec(&mut rng, m * k));
+        inputs.insert("b".to_string(), random_vec(&mut rng, n * k));
+
+        let sim = FunctionalSim::new(&program, &candidate);
+        let was_enabled = fastpath::enabled();
+        fastpath::set_enabled(true);
+        let fast = sim.run(&inputs).unwrap();
+        fastpath::set_enabled(false);
+        let reference = sim.run(&inputs).unwrap();
+        fastpath::set_enabled(was_enabled);
+        // Bit-for-bit identical, not just approximately equal.
+        assert_eq!(fast.len(), reference.len());
+        for (name, buf) in &fast {
+            let ref_bits: Vec<u32> = reference[name].iter().map(|x| x.to_bits()).collect();
+            let fast_bits: Vec<u32> = buf.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(fast_bits, ref_bits, "buffer {name} diverged");
+        }
+    }
+
+    #[test]
     fn reduce_and_elementwise_semantics() {
         let mut kb = KernelBuilder::new("softmax_row", 128);
-        let gx = kb.global_view("x", DType::F32, Layout::from_flat(&[32, 64], &[64, 1]), &[32, 64]);
-        let gy = kb.global_view("y", DType::F32, Layout::from_flat(&[32, 1], &[1, 1]), &[32, 1]);
+        let gx = kb.global_view(
+            "x",
+            DType::F32,
+            Layout::from_flat(&[32, 64], &[64, 1]),
+            &[32, 64],
+        );
+        let gy = kb.global_view(
+            "y",
+            DType::F32,
+            Layout::from_flat(&[32, 1], &[1, 1]),
+            &[32, 1],
+        );
         let rx = kb.register_tensor("rx", DType::F32, &[32, 64]);
         kb.copy(gx, rx);
         let ex = kb.elementwise(ElementwiseOp::Exp, &[rx]);
@@ -625,11 +1128,16 @@ mod tests {
         let x = random_vec(&mut rng, 32 * 64);
         let mut inputs = HashMap::new();
         inputs.insert("x".to_string(), x.clone());
-        let outputs = FunctionalSim::new(&program, &candidate).run(&inputs).unwrap();
+        let outputs = FunctionalSim::new(&program, &candidate)
+            .run(&inputs)
+            .unwrap();
         for row in 0..32 {
             let expect: f32 = (0..64).map(|c| x[row * 64 + c].exp()).sum();
             let got = outputs["y"][row];
-            assert!((got - expect).abs() / expect.abs() < 1e-4, "row {row}: {got} vs {expect}");
+            assert!(
+                (got - expect).abs() / expect.abs() < 1e-4,
+                "row {row}: {got} vs {expect}"
+            );
         }
     }
 

@@ -135,7 +135,9 @@ pub fn global_memory_efficiency(program: &Program, candidate: &Candidate) -> f64
     let mut weighted = 0.0f64;
     let mut total = 0.0f64;
     for op in program.ops() {
-        let OpKind::Copy { src, dst } = op.kind else { continue };
+        let OpKind::Copy { src, dst } = op.kind else {
+            continue;
+        };
         let (s, d) = (program.tensor(src), program.tensor(dst));
         let global = if s.space == MemSpace::Global {
             Some(s)
@@ -145,15 +147,23 @@ pub fn global_memory_efficiency(program: &Program, candidate: &Candidate) -> f64
             None
         };
         let Some(global_decl) = global else { continue };
-        let Some(choice) = candidate.copy_choices.get(&op.id) else { continue };
-        let reps = if op.in_main_loop { program.main_loop_trip_count } else { 1 };
-        let bytes = global_decl.dtype.bytes_for(
-            s.tile_elements_2d().min(d.tile_elements_2d()),
-        ) as f64
+        let Some(choice) = candidate.copy_choices.get(&op.id) else {
+            continue;
+        };
+        let reps = if op.in_main_loop {
+            program.main_loop_trip_count
+        } else {
+            1
+        };
+        let bytes = global_decl
+            .dtype
+            .bytes_for(s.tile_elements_2d().min(d.tile_elements_2d())) as f64
             * reps as f64;
-        let warp_bytes = (choice.atom.bytes_per_thread.min(
-            global_decl.dtype.bytes_for(choice.elements_per_thread),
-        ) * choice.atom.threads.min(32)) as f64;
+        let warp_bytes = (choice
+            .atom
+            .bytes_per_thread
+            .min(global_decl.dtype.bytes_for(choice.elements_per_thread))
+            * choice.atom.threads.min(32)) as f64;
         let efficiency = (warp_bytes / 128.0).clamp(0.25, 1.0);
         weighted += bytes * efficiency;
         total += bytes;
@@ -170,8 +180,12 @@ pub fn global_memory_efficiency(program: &Program, candidate: &Candidate) -> f64
 pub fn bank_conflict_penalty(program: &Program, candidate: &Candidate, arch: &GpuArch) -> f64 {
     let mut penalty = 0.0f64;
     for op in program.ops() {
-        let OpKind::Copy { src, dst } = op.kind else { continue };
-        let Some(choice) = candidate.copy_choices.get(&op.id) else { continue };
+        let OpKind::Copy { src, dst } = op.kind else {
+            continue;
+        };
+        let Some(choice) = candidate.copy_choices.get(&op.id) else {
+            continue;
+        };
         if matches!(choice.atom.kind, hexcute_arch::CopyKind::LdMatrix { .. }) {
             // ldmatrix reads whole 16-byte rows; the swizzle selected during
             // shared-memory synthesis already spreads those rows across the
@@ -187,13 +201,19 @@ pub fn bank_conflict_penalty(program: &Program, candidate: &Candidate, arch: &Gp
             None
         };
         let Some(tensor) = smem_tensor else { continue };
-        let Some(layout) = candidate.smem_layouts.get(&tensor) else { continue };
+        let Some(layout) = candidate.smem_layouts.get(&tensor) else {
+            continue;
+        };
         let decl = program.tensor(tensor);
         let accesses: Vec<usize> = (0..32.min(choice.coverage.num_threads()))
             .map(|t| choice.coverage.map(t, 0))
             .collect();
         let degree = bank_conflict_degree(layout, &accesses, decl.dtype.bits(), arch);
-        let reps = if op.in_main_loop { program.main_loop_trip_count } else { 1 };
+        let reps = if op.in_main_loop {
+            program.main_loop_trip_count
+        } else {
+            1
+        };
         // Each degree of conflict serializes an extra shared-memory pass.
         penalty += degree as f64 * 2.0 * choice.invocations as f64 * reps as f64;
     }
@@ -206,14 +226,24 @@ mod tests {
     use hexcute_arch::DType;
     use hexcute_ir::KernelBuilder;
     use hexcute_layout::Layout;
-    use hexcute_synthesis::{Synthesizer, SynthesisOptions};
+    use hexcute_synthesis::{SynthesisOptions, Synthesizer};
 
     fn gemm_program(blocks: usize, stages: usize) -> Program {
         let (bm, bn, bk, k) = (128, 128, 32, 2048);
         let mut kb = KernelBuilder::new("perf_gemm", 128);
         kb.set_grid_blocks(blocks).set_pipeline_stages(stages);
-        let ga = kb.global_view("a", DType::F16, Layout::from_flat(&[bm, bk, k / bk], &[k, 1, bk]), &[bm, bk, k / bk]);
-        let gb = kb.global_view("b", DType::F16, Layout::from_flat(&[bn, bk, k / bk], &[k, 1, bk]), &[bn, bk, k / bk]);
+        let ga = kb.global_view(
+            "a",
+            DType::F16,
+            Layout::from_flat(&[bm, bk, k / bk], &[k, 1, bk]),
+            &[bm, bk, k / bk],
+        );
+        let gb = kb.global_view(
+            "b",
+            DType::F16,
+            Layout::from_flat(&[bn, bk, k / bk], &[k, 1, bk]),
+            &[bn, bk, k / bk],
+        );
         let gc = kb.global_view("c", DType::F16, Layout::row_major(&[bm, bn]), &[bm, bn]);
         let sa = kb.shared_tensor("sa", DType::F16, &[bm, bk]);
         let sb = kb.shared_tensor("sb", DType::F16, &[bn, bk]);
@@ -234,7 +264,9 @@ mod tests {
     }
 
     fn candidate_for(program: &Program, arch: &GpuArch, options: SynthesisOptions) -> Candidate {
-        Synthesizer::new(program, arch, options).synthesize_preferred().unwrap()
+        Synthesizer::new(program, arch, options)
+            .synthesize_preferred()
+            .unwrap()
     }
 
     #[test]
@@ -242,8 +274,16 @@ mod tests {
         let arch = GpuArch::a100();
         let small = gemm_program(8, 2);
         let large = gemm_program(512, 2);
-        let small_report = estimate_kernel(&small, &candidate_for(&small, &arch, SynthesisOptions::default()), &arch);
-        let large_report = estimate_kernel(&large, &candidate_for(&large, &arch, SynthesisOptions::default()), &arch);
+        let small_report = estimate_kernel(
+            &small,
+            &candidate_for(&small, &arch, SynthesisOptions::default()),
+            &arch,
+        );
+        let large_report = estimate_kernel(
+            &large,
+            &candidate_for(&large, &arch, SynthesisOptions::default()),
+            &arch,
+        );
         assert!(large_report.latency_us > small_report.latency_us);
         assert!(large_report.waves >= small_report.waves);
     }
@@ -252,7 +292,11 @@ mod tests {
     fn scalar_copies_hurt_device_latency() {
         let arch = GpuArch::a100();
         let program = gemm_program(216, 2);
-        let good = estimate_kernel(&program, &candidate_for(&program, &arch, SynthesisOptions::default()), &arch);
+        let good = estimate_kernel(
+            &program,
+            &candidate_for(&program, &arch, SynthesisOptions::default()),
+            &arch,
+        );
         let bad = estimate_kernel(
             &program,
             &candidate_for(&program, &arch, SynthesisOptions::scalar_fallback()),

@@ -111,7 +111,9 @@ impl Candidate {
 
     /// Whether any copy fell back to scalar instructions.
     pub fn uses_scalar_fallback(&self) -> bool {
-        self.copy_choices.values().any(|c| c.elements_per_thread <= 1)
+        self.copy_choices
+            .values()
+            .any(|c| c.elements_per_thread <= 1)
     }
 }
 

@@ -4,8 +4,8 @@
 use std::collections::BTreeMap;
 
 use hexcute_arch::{
-    copy_candidates, ldmatrix_layouts, mma_candidates_sorted, mma_m16n8k16, CopyAtom, CopyKind, DType,
-    GpuArch, MemSpace,
+    copy_candidates, ldmatrix_layouts, mma_candidates_sorted, mma_m16n8k16, CopyAtom, CopyKind,
+    DType, GpuArch, MemSpace,
 };
 use hexcute_ir::{Op, OpId, OpKind, Program, TensorId};
 use hexcute_layout::{Layout, RepeatMode, TvLayout};
@@ -48,7 +48,11 @@ struct CopyPlan {
 impl<'a> Synthesizer<'a> {
     /// Creates a synthesizer for the program on the given architecture.
     pub fn new(program: &'a Program, arch: &'a GpuArch, options: SynthesisOptions) -> Self {
-        Synthesizer { program, arch, options }
+        Synthesizer {
+            program,
+            arch,
+            options,
+        }
     }
 
     /// The program being synthesized.
@@ -71,29 +75,56 @@ impl<'a> Synthesizer<'a> {
     pub fn synthesize(&self) -> Result<Vec<Candidate>> {
         let base = self.solve_tv()?;
         let plans = self.build_copy_plans(&base)?;
-        let mut candidates = self.enumerate_candidates(&base, &plans);
+        let candidates = self.enumerate_candidates(&base, &plans);
         // Shared-memory synthesis; drop candidates whose constraints cannot
-        // be satisfied even after falling back.
-        let mut finished = Vec::new();
-        for mut candidate in candidates.drain(..) {
+        // be satisfied even after falling back. When the fast path is on the
+        // candidates are synthesized in parallel (order preserved); the
+        // serial loop below it is the reference.
+        let finish = |mut candidate: Candidate| -> Option<Candidate> {
             match synthesize_smem_layouts(self.program, self.arch, &self.options, &mut candidate) {
-                Ok(()) => finished.push(candidate),
+                Ok(()) => Some(candidate),
                 Err(_) => {
                     // Degrade every shared-memory copy to its scalar
                     // alternative and retry once (Section V: "the compiler
                     // falls back to scalar instructions").
                     let mut fallback = candidate.clone();
                     degrade_to_scalar(&plans, &mut fallback);
-                    if synthesize_smem_layouts(self.program, self.arch, &self.options, &mut fallback).is_ok() {
-                        fallback.notes.push("fell back to scalar copies for shared memory".to_string());
-                        finished.push(fallback);
+                    if synthesize_smem_layouts(
+                        self.program,
+                        self.arch,
+                        &self.options,
+                        &mut fallback,
+                    )
+                    .is_ok()
+                    {
+                        fallback
+                            .notes
+                            .push("fell back to scalar copies for shared memory".to_string());
+                        Some(fallback)
+                    } else {
+                        None
                     }
                 }
             }
-            if finished.len() >= self.options.max_candidates {
-                break;
+        };
+        let finished: Vec<Candidate> = if hexcute_layout::fast_path_enabled() {
+            hexcute_parallel::par_map(candidates, finish)
+                .into_iter()
+                .flatten()
+                .take(self.options.max_candidates.max(1))
+                .collect()
+        } else {
+            let mut finished = Vec::new();
+            for candidate in candidates {
+                if let Some(done) = finish(candidate) {
+                    finished.push(done);
+                }
+                if finished.len() >= self.options.max_candidates {
+                    break;
+                }
             }
-        }
+            finished
+        };
         if finished.is_empty() {
             return Err(SynthesisError::NoCandidates);
         }
@@ -147,8 +178,14 @@ impl<'a> Synthesizer<'a> {
     /// Algorithm 1, lines 6-12: anchor a `gemm`, pick the fastest Tensor Core
     /// instruction, tile C with it, and solve the A and B layouts.
     fn anchor_gemm(&self, op: &Op, base: &mut TvBase) -> Result<()> {
-        let OpKind::Gemm { c, a, b } = op.kind else { unreachable!("anchor_gemm on non-gemm") };
-        let (ta, tb, tc) = (self.program.tensor(a), self.program.tensor(b), self.program.tensor(c));
+        let OpKind::Gemm { c, a, b } = op.kind else {
+            unreachable!("anchor_gemm on non-gemm")
+        };
+        let (ta, tb, tc) = (
+            self.program.tensor(a),
+            self.program.tensor(b),
+            self.program.tensor(c),
+        );
         let operands_in_smem = ta.space == MemSpace::Shared && tb.space == MemSpace::Shared;
         let allow_wgmma = self.options.allow_wgmma && self.arch.has_wgmma && operands_in_smem;
         let atoms = mma_candidates_sorted(self.arch, ta.dtype, tb.dtype, tc.dtype, allow_wgmma);
@@ -175,7 +212,10 @@ impl<'a> Synthesizer<'a> {
         let Some((atom, (unit_m, unit_n))) = selected else {
             let fastest = &atoms[0];
             if bk % fastest.k != 0 {
-                return Err(SynthesisError::BadKExtent { tile_k: bk, instruction_k: fastest.k });
+                return Err(SynthesisError::BadKExtent {
+                    tile_k: bk,
+                    instruction_k: fastest.k,
+                });
             }
             return Err(SynthesisError::NoWarpTiling {
                 tile: (bm, bn),
@@ -199,7 +239,9 @@ impl<'a> Synthesizer<'a> {
         )?;
 
         if atom.a.is_exclusive() && atom.b.is_exclusive() && atom.c.is_exclusive() {
-            debug_assert!(crate::constraints::gemm_constraint_holds(&fa, &fb, &fc, &atom));
+            debug_assert!(crate::constraints::gemm_constraint_holds(
+                &fa, &fb, &fc, &atom
+            ));
         }
 
         if tc.space == MemSpace::Register {
@@ -213,7 +255,12 @@ impl<'a> Synthesizer<'a> {
         }
         base.mma.insert(
             op.id,
-            MmaChoice { atom, unit_m, unit_n, invocations: rep_m * rep_n * rep_k },
+            MmaChoice {
+                atom,
+                unit_m,
+                unit_n,
+                invocations: rep_m * rep_n * rep_k,
+            },
         );
         Ok(())
     }
@@ -225,7 +272,9 @@ impl<'a> Synthesizer<'a> {
             .copied()
             .filter(|op| matches!(op.kind, OpKind::Copy { .. }))
             .max_by_key(|op| {
-                let OpKind::Copy { src, dst } = op.kind else { return 0 };
+                let OpKind::Copy { src, dst } = op.kind else {
+                    return 0;
+                };
                 let s = self.program.tensor(src);
                 let d = self.program.tensor(dst);
                 s.num_bytes().max(d.num_bytes())
@@ -233,7 +282,9 @@ impl<'a> Synthesizer<'a> {
     }
 
     fn anchor_copy(&self, op: &Op, base: &mut TvBase) -> Result<()> {
-        let OpKind::Copy { src, dst } = op.kind else { unreachable!("anchor_copy on non-copy") };
+        let OpKind::Copy { src, dst } = op.kind else {
+            unreachable!("anchor_copy on non-copy")
+        };
         let (s, d) = (self.program.tensor(src), self.program.tensor(dst));
         let register_side = if d.space == MemSpace::Register {
             Some(dst)
@@ -242,7 +293,9 @@ impl<'a> Synthesizer<'a> {
         } else {
             None
         };
-        let Some(reg) = register_side else { return Ok(()) };
+        let Some(reg) = register_side else {
+            return Ok(());
+        };
         if base.tv.contains_key(&reg) {
             return Ok(());
         }
@@ -267,12 +320,12 @@ impl<'a> Synthesizer<'a> {
             (Some(layout), MemSpace::Global) => {
                 // Find the tile dimension whose top-level mode has stride 1.
                 let rank = layout.rank().min(tile.len());
-                for d in 0..rank {
+                for (d, &extent) in tile.iter().enumerate().take(rank) {
                     let mode = layout.mode(d);
                     let modes = mode.coalesce().flat_modes();
                     if let Some(&(_, stride)) = modes.first() {
                         if stride == 1 {
-                            return (d, tile[d]);
+                            return (d, extent);
                         }
                     }
                 }
@@ -311,7 +364,9 @@ impl<'a> Synthesizer<'a> {
                         changed |= self.propagate_elementwise(inputs, *output, base)?;
                     }
                     OpKind::Reduce { src, dst, dim, .. } => {
-                        if let (Some(f), false) = (base.tv.get(src).cloned(), base.tv.contains_key(dst)) {
+                        if let (Some(f), false) =
+                            (base.tv.get(src).cloned(), base.tv.contains_key(dst))
+                        {
                             let collapsed = collapse_dim(&f, *dim)?;
                             self.assign(*dst, collapsed, base);
                             changed = true;
@@ -341,7 +396,10 @@ impl<'a> Synthesizer<'a> {
                 // Both ends already constrained: if the distributions differ,
                 // a register-layout conversion is required (Fig. 9 scenario).
                 if !same_distribution(&la, &lb)
-                    && !base.rearranges.iter().any(|r| r.tensor == b || r.tensor == a)
+                    && !base
+                        .rearranges
+                        .iter()
+                        .any(|r| r.tensor == b || r.tensor == a)
                 {
                     let decl = self.program.tensor(b);
                     base.rearranges.push(RearrangeFix {
@@ -381,7 +439,9 @@ impl<'a> Synthesizer<'a> {
                 }
             }
         }
-        let Some(layout) = known else { return Ok(false) };
+        let Some(layout) = known else {
+            return Ok(false);
+        };
         let mut changed = false;
         if !base.tv.contains_key(&output) {
             self.assign(output, layout.clone(), base);
@@ -418,14 +478,19 @@ impl<'a> Synthesizer<'a> {
     /// global layout is fixed by the user, so coalescing against it is the
     /// binding constraint, while shared-memory layouts adapt afterwards.
     fn assign_remaining(&self, ops: &[&Op], base: &mut TvBase) -> Result<()> {
-        let mut passes: [Vec<(hexcute_ir::TensorId, hexcute_ir::TensorId)>; 2] = [Vec::new(), Vec::new()];
+        let mut passes: [Vec<(hexcute_ir::TensorId, hexcute_ir::TensorId)>; 2] =
+            [Vec::new(), Vec::new()];
         for op in ops {
             if let OpKind::Copy { src, dst } = op.kind {
                 for tensor in [src, dst] {
                     let decl = self.program.tensor(tensor);
                     if decl.space == MemSpace::Register {
                         let other = if tensor == src { dst } else { src };
-                        let pass = if self.program.tensor(other).space == MemSpace::Global { 0 } else { 1 };
+                        let pass = if self.program.tensor(other).space == MemSpace::Global {
+                            0
+                        } else {
+                            1
+                        };
                         passes[pass].push((tensor, other));
                     }
                 }
@@ -491,7 +556,9 @@ impl<'a> Synthesizer<'a> {
     fn build_copy_plans(&self, base: &TvBase) -> Result<Vec<CopyPlan>> {
         let mut plans = Vec::new();
         for op in self.program.ops() {
-            let OpKind::Copy { src, dst } = op.kind else { continue };
+            let OpKind::Copy { src, dst } = op.kind else {
+                continue;
+            };
             let (s, d) = (self.program.tensor(src), self.program.tensor(dst));
             if s.space == MemSpace::Register && d.space == MemSpace::Register {
                 // Register-to-register moves need no memory instruction; the
@@ -500,7 +567,11 @@ impl<'a> Synthesizer<'a> {
             }
             let dtype = s.dtype;
             let _ = &dtype;
-            let tile = if s.space == MemSpace::Register { s.tile_shape_2d() } else { d.tile_shape_2d() };
+            let tile = if s.space == MemSpace::Register {
+                s.tile_shape_2d()
+            } else {
+                d.tile_shape_2d()
+            };
             let tile_elems: usize = tile.iter().product();
 
             // The register side (if any) bounds the usable vector width.
@@ -511,7 +582,11 @@ impl<'a> Synthesizer<'a> {
             } else {
                 None
             };
-            let mem_side = if s.space != MemSpace::Register { src } else { dst };
+            let mem_side = if s.space != MemSpace::Register {
+                src
+            } else {
+                dst
+            };
             let (mem_dim, mem_run) = self.memory_contiguity(mem_side, &tile);
             let (vector_dim, reg_run) = match reg_layout {
                 Some(f) => {
@@ -528,11 +603,12 @@ impl<'a> Synthesizer<'a> {
                 }
                 None => (mem_dim, usize::MAX),
             };
-            let max_elems = reg_run.min(if self.program.tensor(mem_side).space == MemSpace::Global {
-                mem_run
-            } else {
-                usize::MAX
-            });
+            let max_elems =
+                reg_run.min(if self.program.tensor(mem_side).space == MemSpace::Global {
+                    mem_run
+                } else {
+                    usize::MAX
+                });
 
             let mut alternatives: Vec<(CopyAtom, usize)> = Vec::new();
             for atom in copy_candidates(self.arch, s.space, d.space) {
@@ -560,7 +636,8 @@ impl<'a> Synthesizer<'a> {
                     }
                     _ => {
                         let elems = atom.elements_per_thread(dtype).max(1);
-                        if elems <= max_elems && tile[vector_dim] % elems.min(tile[vector_dim]) == 0 {
+                        if elems <= max_elems && tile[vector_dim] % elems.min(tile[vector_dim]) == 0
+                        {
                             alternatives.push((atom, elems));
                         }
                     }
@@ -568,7 +645,10 @@ impl<'a> Synthesizer<'a> {
             }
             // Deduplicate by element width, keep the first (preferred) atom
             // for each width; always keep a scalar fallback.
-            alternatives.sort_by(|x, y| y.1.cmp(&x.1).then_with(|| copy_kind_rank(&x.0).cmp(&copy_kind_rank(&y.0))));
+            alternatives.sort_by(|x, y| {
+                y.1.cmp(&x.1)
+                    .then_with(|| copy_kind_rank(&x.0).cmp(&copy_kind_rank(&y.0)))
+            });
             alternatives.dedup_by_key(|alt| alt.1);
             if alternatives.is_empty() {
                 // Guaranteed fallback: one element per thread per instruction.
@@ -586,19 +666,31 @@ impl<'a> Synthesizer<'a> {
             let coverage = match reg_layout {
                 Some(f) => f.clone(),
                 None => {
-                    let vec = alternatives.first().map(|a| a.1).unwrap_or(1).min(tile[vector_dim].max(1));
+                    let vec = alternatives
+                        .first()
+                        .map(|a| a.1)
+                        .unwrap_or(1)
+                        .min(tile[vector_dim].max(1));
                     coalesced_tv(&tile, vector_dim, self.program.threads_per_block, vec)?
                 }
             };
 
-            plans.push(CopyPlan { op: op.id, tile_elems, vector_dim, alternatives, coverage });
+            plans.push(CopyPlan {
+                op: op.id,
+                tile_elems,
+                vector_dim,
+                alternatives,
+                coverage,
+            });
         }
         Ok(plans)
     }
 
     fn atom_allowed(&self, atom: &CopyAtom) -> bool {
         match atom.kind {
-            CopyKind::LdMatrix { .. } => self.options.allow_ldmatrix && !self.options.force_scalar_copies,
+            CopyKind::LdMatrix { .. } => {
+                self.options.allow_ldmatrix && !self.options.force_scalar_copies
+            }
             CopyKind::CpAsync => self.options.allow_cp_async,
             CopyKind::Tma => self.options.allow_tma && !self.options.force_scalar_copies,
             _ => true,
@@ -618,7 +710,10 @@ impl<'a> Synthesizer<'a> {
         }
         // All-scalar fallback (the guaranteed-valid leaf of Section V).
         if plans.iter().any(|p| p.alternatives.len() > 1) {
-            let scalar: Vec<usize> = plans.iter().map(|p| p.alternatives.len().saturating_sub(1)).collect();
+            let scalar: Vec<usize> = plans
+                .iter()
+                .map(|p| p.alternatives.len().saturating_sub(1))
+                .collect();
             selections.push(scalar);
         }
         selections.truncate(self.options.max_candidates.max(1));
@@ -629,7 +724,12 @@ impl<'a> Synthesizer<'a> {
             .collect()
     }
 
-    fn materialize_candidate(&self, base: &TvBase, plans: &[CopyPlan], selection: &[usize]) -> Candidate {
+    fn materialize_candidate(
+        &self,
+        base: &TvBase,
+        plans: &[CopyPlan],
+        selection: &[usize],
+    ) -> Candidate {
         let mut candidate = Candidate {
             tv_layouts: base.tv.clone(),
             mma_choices: base.mma.clone(),
@@ -638,7 +738,8 @@ impl<'a> Synthesizer<'a> {
             ..Candidate::default()
         };
         for (plan, &choice_idx) in plans.iter().zip(selection.iter()) {
-            let (atom, elems) = plan.alternatives[choice_idx.min(plan.alternatives.len() - 1)].clone();
+            let (atom, elems) =
+                plan.alternatives[choice_idx.min(plan.alternatives.len() - 1)].clone();
             let threads = self.program.threads_per_block;
             let per_round = if atom.kind == CopyKind::Tma {
                 plan.tile_elems
@@ -708,14 +809,20 @@ fn degrade_to_scalar(plans: &[CopyPlan], candidate: &mut Candidate) {
 /// Chooses how many warp units tile the (M, N) accumulator: `unit_m * unit_n`
 /// must equal `units`, and the instruction tile must divide each extent.
 /// Among valid factorizations the most balanced one is preferred.
-fn choose_unit_grid(bm: usize, bn: usize, im: usize, i_n: usize, units: usize) -> Option<(usize, usize)> {
+fn choose_unit_grid(
+    bm: usize,
+    bn: usize,
+    im: usize,
+    i_n: usize,
+    units: usize,
+) -> Option<(usize, usize)> {
     let mut best: Option<(usize, usize)> = None;
     for unit_m in 1..=units {
-        if units % unit_m != 0 {
+        if !units.is_multiple_of(unit_m) {
             continue;
         }
         let unit_n = units / unit_m;
-        if bm % (im * unit_m) != 0 || bn % (i_n * unit_n) != 0 {
+        if !bm.is_multiple_of(im * unit_m) || !bn.is_multiple_of(i_n * unit_n) {
             continue;
         }
         let balance = |um: usize, un: usize| {
@@ -766,7 +873,11 @@ fn coalesced_tv(tile: &[usize], vector_dim: usize, threads: usize, vec: usize) -
 
     let per_round = (threads * vec).min(total);
     let rounds = total.div_ceil(per_round);
-    let active_threads = if threads * vec > total { total / vec } else { threads };
+    let active_threads = if threads * vec > total {
+        total / vec
+    } else {
+        threads
+    };
 
     let thread_idx = Layout::from_flat(&[active_threads], &[vec]);
     let value_idx = if rounds > 1 {
@@ -808,17 +919,15 @@ fn ldmatrix_match(f: &TvLayout, matrices: usize) -> Option<usize> {
         if f.tile_shape().len() < frag.tile_shape().len() {
             continue;
         }
-        if f
-            .tile_shape()
+        if f.tile_shape()
             .iter()
             .zip(frag.tile_shape().iter())
             .any(|(&ft, &qt)| ft < qt || ft % qt != 0)
         {
             continue;
         }
-        let matches = (0..32.min(f.num_threads())).all(|t| {
-            (0..values).all(|v| f.tile_coords(t, v) == frag.tile_coords(t, v))
-        });
+        let matches = (0..32.min(f.num_threads()))
+            .all(|t| (0..values).all(|v| f.tile_coords(t, v) == frag.tile_coords(t, v)));
         if matches {
             return Some(values);
         }
@@ -835,9 +944,24 @@ mod tests {
     fn register_gemm_program() -> Program {
         let (bm, bn, bk) = (64, 64, 32);
         let mut kb = KernelBuilder::new("reg_gemm", 128);
-        let ga = kb.global_view("a", DType::F16, Layout::from_flat(&[bm, bk], &[bk, 1]), &[bm, bk]);
-        let gb = kb.global_view("b", DType::F16, Layout::from_flat(&[bn, bk], &[bk, 1]), &[bn, bk]);
-        let gc = kb.global_view("c", DType::F16, Layout::from_flat(&[bm, bn], &[bn, 1]), &[bm, bn]);
+        let ga = kb.global_view(
+            "a",
+            DType::F16,
+            Layout::from_flat(&[bm, bk], &[bk, 1]),
+            &[bm, bk],
+        );
+        let gb = kb.global_view(
+            "b",
+            DType::F16,
+            Layout::from_flat(&[bn, bk], &[bk, 1]),
+            &[bn, bk],
+        );
+        let gc = kb.global_view(
+            "c",
+            DType::F16,
+            Layout::from_flat(&[bm, bn], &[bn, 1]),
+            &[bm, bn],
+        );
         let sa = kb.shared_tensor("sa", DType::F16, &[bm, bk]);
         let sb = kb.shared_tensor("sb", DType::F16, &[bn, bk]);
         let ra = kb.register_tensor("ra", DType::F16, &[bm, bk]);
@@ -938,7 +1062,10 @@ mod tests {
             .values()
             .filter(|c| matches!(c.atom.kind, CopyKind::LdMatrix { .. }))
             .count();
-        assert!(ldmatrix_copies >= 1, "expected at least one ldmatrix copy, got candidate:\n{best}");
+        assert!(
+            ldmatrix_copies >= 1,
+            "expected at least one ldmatrix copy, got candidate:\n{best}"
+        );
 
         // Global→shared copies use 16-byte cp.async.
         let g2s: Vec<_> = best
@@ -974,9 +1101,19 @@ mod tests {
         // A pure data-movement kernel (like the Mamba scan loads): the anchor
         // is the largest copy and everything is coalesced and vectorized.
         let mut kb = KernelBuilder::new("streams", 128);
-        let gu = kb.global_view("u", DType::F16, Layout::from_flat(&[128, 64], &[64, 1]), &[128, 64]);
+        let gu = kb.global_view(
+            "u",
+            DType::F16,
+            Layout::from_flat(&[128, 64], &[64, 1]),
+            &[128, 64],
+        );
         let ru = kb.register_tensor("ru", DType::F16, &[128, 64]);
-        let out = kb.global_view("out", DType::F16, Layout::from_flat(&[128, 64], &[64, 1]), &[128, 64]);
+        let out = kb.global_view(
+            "out",
+            DType::F16,
+            Layout::from_flat(&[128, 64], &[64, 1]),
+            &[128, 64],
+        );
         kb.copy(gu, ru);
         let doubled = kb.elementwise(hexcute_ir::ElementwiseOp::MulScalar(2.0), &[ru]);
         kb.copy(doubled, out);
@@ -991,7 +1128,10 @@ mod tests {
         // The elementwise op inherits the same distribution.
         let ru_id = program.tensor_by_name("ru").unwrap().id;
         let doubled_layout = best.tv_layouts.get(&doubled).unwrap();
-        assert!(same_distribution(doubled_layout, best.tv_layouts.get(&ru_id).unwrap()));
+        assert!(same_distribution(
+            doubled_layout,
+            best.tv_layouts.get(&ru_id).unwrap()
+        ));
     }
 
     #[test]

@@ -54,7 +54,10 @@ impl SynthesisOptions {
 
     /// Options mimicking the scalar-fallback ablation.
     pub fn scalar_fallback() -> Self {
-        SynthesisOptions { force_scalar_copies: true, ..Self::default() }
+        SynthesisOptions {
+            force_scalar_copies: true,
+            ..Self::default()
+        }
     }
 
     /// Options mimicking the "Triton shared-memory layout" ablation of

@@ -28,11 +28,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         kernel.latency_us(),
         shape.flops() / (kernel.latency_us() * 1e-6) / 1e12
     );
-    println!("shared memory: {} B, ~{} registers/thread", kernel.lowered.smem_bytes, kernel.lowered.registers_per_thread);
+    println!(
+        "shared memory: {} B, ~{} registers/thread",
+        kernel.lowered.smem_bytes, kernel.lowered.registers_per_thread
+    );
 
     // ... and a single-block problem for a numerical check.
     let small = GemmShape::new(64, 64, 64);
-    let small_program = fp16_gemm(small, GemmConfig { block_m: 64, block_n: 64, block_k: 32, ..GemmConfig::default() })?;
+    let small_program = fp16_gemm(
+        small,
+        GemmConfig {
+            block_m: 64,
+            block_n: 64,
+            block_k: 32,
+            ..GemmConfig::default()
+        },
+    )?;
     let small_kernel = compiler.compile(&small_program)?;
     let mut rng = StdRng::seed_from_u64(0);
     let a: Vec<f32> = (0..64 * 64).map(|_| rng.gen_range(-1.0..1.0)).collect();

@@ -12,7 +12,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Fig. 2(a): the row-major-interleaved shared-memory layout m.
     let m = Layout::new(ituple![(2, 2), 8], ituple![(1, 16), 2])?;
     println!("m = {m}");
-    println!("m((0,1),4) = {}   (the paper's coordinate (2,4) -> address 24)", m.map_coords(&[0, 1, 4]));
+    println!(
+        "m((0,1),4) = {}   (the paper's coordinate (2,4) -> address 24)",
+        m.map_coords(&[0, 1, 4])
+    );
 
     // Fig. 2(b)/(c): the thread-value layout f and f(2,3).
     let f = TvLayout::new(
@@ -20,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Layout::from_flat(&[2, 2], &[4, 16]),
         vec![4, 8],
     )?;
-    println!("f(tid=2, vid=3) = {:?}   (the paper's (1, 5))", f.tile_coords(2, 3));
+    println!(
+        "f(tid=2, vid=3) = {:?}   (the paper's (1, 5))",
+        f.tile_coords(2, 3)
+    );
 
     // Fig. 7 / Appendix C: the ldmatrix layouts and g ∘ q⁻¹.
     let q = Layout::new(ituple![(4, 8), (2, 4)], ituple![(64, 1), (32, 8)])?;
@@ -32,7 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let composite = g.compose(&expected_q_inv)?;
     println!("g ∘ q^-1 = {composite}");
     let out = composite.mode(0).map(17) + composite.mode(1).map(5);
-    println!("(g ∘ q^-1)(17, 5) = {out} = ({}, {})   (the paper's (1, 21))", out % 16, out / 16);
+    println!(
+        "(g ∘ q^-1)(17, 5) = {out} = ({}, {})   (the paper's (1, 21))",
+        out % 16,
+        out / 16
+    );
 
     // Expanding an mma atom over a block tile (the constructive side of the
     // gemm constraints).
@@ -45,13 +55,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &[RepeatMode::along(2, 0), RepeatMode::along(2, 1)],
         &[RepeatMode::along(2, 0), RepeatMode::along(4, 1)],
     )?;
-    println!("m16n8 accumulator expanded over a 64x64 tile: {} threads x {} values", full.num_threads(), full.values_per_thread());
+    println!(
+        "m16n8 accumulator expanded over a 64x64 tile: {} threads x {} values",
+        full.num_threads(),
+        full.values_per_thread()
+    );
 
     // Swizzled shared-memory layouts eliminate bank conflicts.
     let base = Layout::row_major(&[8, 64]);
     let swizzled = SwizzledLayout::new(Swizzle::new(3, 3, 3), base.clone());
-    let plain_banks: Vec<usize> = (0..8).map(|r| (base.map_coords(&[r, 0]) * 2 / 4) % 32).collect();
-    let swizzled_banks: Vec<usize> = (0..8).map(|r| (swizzled.map_coords(&[r, 0]) * 2 / 4) % 32).collect();
+    let plain_banks: Vec<usize> = (0..8)
+        .map(|r| (base.map_coords(&[r, 0]) * 2 / 4) % 32)
+        .collect();
+    let swizzled_banks: Vec<usize> = (0..8)
+        .map(|r| (swizzled.map_coords(&[r, 0]) * 2 / 4) % 32)
+        .collect();
     println!("column access banks, row-major: {plain_banks:?}");
     println!("column access banks, swizzled:  {swizzled_banks:?}");
     Ok(())

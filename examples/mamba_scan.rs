@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let compiler = Compiler::new(arch.clone());
 
     println!("Mamba selective scan (H100), vs the hand-written Mamba library:\n");
-    println!("{:>28}  {:>12} {:>12} {:>8}", "shape (b, dim, state, seq)", "library", "Hexcute", "speedup");
+    println!(
+        "{:>28}  {:>12} {:>12} {:>8}",
+        "shape (b, dim, state, seq)", "library", "Hexcute", "speedup"
+    );
     for (batch, seq) in [(1usize, 2048usize), (1, 8192), (4, 4096), (8, 8192)] {
         let shape = ScanShape::new(batch, 4096, 16, seq);
         let kernel = compiler.compile(&selective_scan(shape, ScanConfig::default())?)?;

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = MoeConfig::default();
 
     println!("mixed-type MoE, 256 experts (DeepSeek-R1-AWQ layer), H100\n");
-    println!("{:>8}  {:>12} {:>12} {:>12} {:>12}", "tokens", "Marlin-old", "Triton", "Marlin-new", "Hexcute");
+    println!(
+        "{:>8}  {:>12} {:>12} {:>12} {:>12}",
+        "tokens", "Marlin-old", "Triton", "Marlin-new", "Hexcute"
+    );
     for tokens in [1usize, 16, 64, 256, 1024] {
         let shape = MoeShape::deepseek_r1(tokens);
         let hexcute = compiler
@@ -42,10 +45,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Show the dataflow difference for one configuration.
     let shape = MoeShape::deepseek_r1(64);
     let efficient = compiler.compile(&mixed_type_moe(shape, config, MoeDataflow::Efficient)?)?;
-    let triton_flow = compiler.compile(&mixed_type_moe(shape, config, MoeDataflow::TritonStyle)?)?;
+    let triton_flow =
+        compiler.compile(&mixed_type_moe(shape, config, MoeDataflow::TritonStyle)?)?;
     println!("\nFig. 4 dataflow comparison at 64 tokens:");
-    println!("  efficient (Marlin-style) dataflow: {:.1} us", efficient.latency_us());
-    println!("  Triton-style dataflow:             {:.1} us", triton_flow.latency_us());
+    println!(
+        "  efficient (Marlin-style) dataflow: {:.1} us",
+        efficient.latency_us()
+    );
+    println!(
+        "  Triton-style dataflow:             {:.1} us",
+        triton_flow.latency_us()
+    );
     println!("\ninstruction selection for the weight path (efficient dataflow):");
     for (op, instr, bytes) in efficient.candidate.instruction_summary(&efficient.program) {
         if bytes > 0 {

@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut buffers = HashMap::new();
     buffers.insert("x".to_string(), input.clone());
     let outputs = kernel.simulate(&buffers)?;
-    assert!(outputs["y"].iter().zip(input.iter()).all(|(o, i)| (o - 2.0 * i).abs() < 1e-6));
+    assert!(outputs["y"]
+        .iter()
+        .zip(input.iter())
+        .all(|(o, i)| (o - 2.0 * i).abs() < 1e-6));
     println!("functional simulation: OK (y == 2 * x)");
     Ok(())
 }

@@ -3,7 +3,9 @@
 //! the exact factors are recorded in EXPERIMENTS.md).
 
 use hexcute::arch::GpuArch;
-use hexcute::baselines::{marlin_new_moe_latency_us, marlin_old_moe_latency_us, triton_latency_us, triton_moe_program};
+use hexcute::baselines::{
+    marlin_new_moe_latency_us, marlin_old_moe_latency_us, triton_latency_us, triton_moe_program,
+};
 use hexcute::core::Compiler;
 use hexcute::e2e::{decode_latency_ms, KernelBackend, ModelConfig};
 use hexcute::kernels::moe::{mixed_type_moe, MoeConfig, MoeDataflow, MoeShape};
@@ -37,8 +39,14 @@ fn moe_speedup_ordering_matches_fig11() {
     let marlin_old_speedup = geo(&vs_marlin_old);
     let marlin_new_ratio = geo(&vs_marlin_new);
     // Paper: 6.46x over Triton, 28.42x over Marlin-old, ~0.96x of Marlin-new.
-    assert!(triton_speedup > 2.0, "Hexcute vs Triton only {triton_speedup:.2}x");
-    assert!(marlin_old_speedup > triton_speedup, "Marlin-old should be the slowest baseline");
+    assert!(
+        triton_speedup > 2.0,
+        "Hexcute vs Triton only {triton_speedup:.2}x"
+    );
+    assert!(
+        marlin_old_speedup > triton_speedup,
+        "Marlin-old should be the slowest baseline"
+    );
     // The simulator credits Hexcute's L2 reuse while the Marlin-new model is
     // a DRAM roofline, so this ratio lands above the paper's 0.96x; it must
     // still stay within the same order of magnitude (see EXPERIMENTS.md).
@@ -78,7 +86,12 @@ fn cost_model_selection_quality_is_high() {
     use hexcute_bench::cost_model::{accuracy_shapes, evaluate_accuracy};
     let points = evaluate_accuracy(&accuracy_shapes(true));
     for p in &points {
-        assert!(p.ratio <= 1.15, "{:?}: cost model ratio {:.3}", p.shape, p.ratio);
+        assert!(
+            p.ratio <= 1.15,
+            "{:?}: cost model ratio {:.3}",
+            p.shape,
+            p.ratio
+        );
     }
 }
 
@@ -97,5 +110,8 @@ fn end_to_end_speedups_follow_the_paper_ordering() {
     let qwen = speedup(ModelConfig::qwen3_32b());
     assert!(deepseek > 1.2, "DeepSeek-R1-AWQ speedup {deepseek:.2}");
     assert!(jamba > 1.0, "Jamba speedup {jamba:.2}");
-    assert!(qwen < deepseek, "the dense model should gain the least (qwen {qwen:.2} vs deepseek {deepseek:.2})");
+    assert!(
+        qwen < deepseek,
+        "the dense model should gain the least (qwen {qwen:.2} vs deepseek {deepseek:.2})"
+    );
 }

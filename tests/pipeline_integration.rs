@@ -8,7 +8,9 @@ use hexcute::arch::{DType, GpuArch};
 use hexcute::core::Compiler;
 use hexcute::ir::KernelBuilder;
 use hexcute::kernels::attention::{mha_decoding, mha_forward, AttentionConfig, AttentionShape};
-use hexcute::kernels::gemm::{fp16_gemm, fp8_blockwise_gemm, warp_specialized_gemm, GemmConfig, GemmShape};
+use hexcute::kernels::gemm::{
+    fp16_gemm, fp8_blockwise_gemm, warp_specialized_gemm, GemmConfig, GemmShape,
+};
 use hexcute::kernels::mamba::{selective_scan, ScanConfig, ScanShape};
 use hexcute::kernels::moe::{mixed_type_moe, MoeConfig, MoeDataflow, MoeShape};
 use hexcute::layout::Layout;
@@ -26,7 +28,11 @@ fn every_kernel_family_compiles_on_its_target_architecture() {
         ),
         (
             "warp-specialized gemm",
-            warp_specialized_gemm(GemmShape::new(4096, 4096, 4096), GemmConfig::warp_specialized_hopper()).unwrap(),
+            warp_specialized_gemm(
+                GemmShape::new(4096, 4096, 4096),
+                GemmConfig::warp_specialized_hopper(),
+            )
+            .unwrap(),
             &h100,
         ),
         (
@@ -36,17 +42,30 @@ fn every_kernel_family_compiles_on_its_target_architecture() {
         ),
         (
             "mha forward",
-            mha_forward(AttentionShape::forward(1, 32, 2048, 128), AttentionConfig::default()).unwrap(),
+            mha_forward(
+                AttentionShape::forward(1, 32, 2048, 128),
+                AttentionConfig::default(),
+            )
+            .unwrap(),
             &a100,
         ),
         (
             "mha decoding",
-            mha_decoding(AttentionShape::decoding(16, 32, 4096, 128), AttentionConfig::default()).unwrap(),
+            mha_decoding(
+                AttentionShape::decoding(16, 32, 4096, 128),
+                AttentionConfig::default(),
+            )
+            .unwrap(),
             &a100,
         ),
         (
             "mixed-type moe",
-            mixed_type_moe(MoeShape::deepseek_r1(64), MoeConfig::default(), MoeDataflow::Efficient).unwrap(),
+            mixed_type_moe(
+                MoeShape::deepseek_r1(64),
+                MoeConfig::default(),
+                MoeDataflow::Efficient,
+            )
+            .unwrap(),
             &h100,
         ),
         (
@@ -60,14 +79,20 @@ fn every_kernel_family_compiles_on_its_target_architecture() {
             .compile(&program)
             .unwrap_or_else(|e| panic!("{name}: compilation failed: {e}"));
         assert!(kernel.latency_us() > 0.0, "{name}: zero latency");
-        assert!(kernel.stats.candidates_explored >= 1, "{name}: no candidates");
+        assert!(
+            kernel.stats.candidates_explored >= 1,
+            "{name}: no candidates"
+        );
         assert!(
             kernel.stats.selection_quality < 1.25,
             "{name}: cost model selected a candidate {:.2}x worse than the best",
             kernel.stats.selection_quality
         );
         let source = kernel.cuda_source();
-        assert!(source.contains("__global__"), "{name}: missing kernel signature");
+        assert!(
+            source.contains("__global__"),
+            "{name}: missing kernel signature"
+        );
         // Every register tensor received a synthesized thread-value layout.
         for decl in kernel.program.tensors() {
             if decl.space == hexcute::arch::MemSpace::Register {
@@ -80,7 +105,10 @@ fn every_kernel_family_compiles_on_its_target_architecture() {
         }
         // Every shared tensor received a memory layout.
         for id in kernel.program.shared_tensors() {
-            assert!(kernel.candidate.smem_layouts.contains_key(&id), "{name}: missing smem layout");
+            assert!(
+                kernel.candidate.smem_layouts.contains_key(&id),
+                "{name}: missing smem layout"
+            );
         }
     }
 }
@@ -89,9 +117,24 @@ fn every_kernel_family_compiles_on_its_target_architecture() {
 fn compiled_gemm_matches_reference_through_the_facade() {
     let (m, n, k) = (128usize, 128usize, 64usize);
     let mut kb = KernelBuilder::new("facade_gemm", 128);
-    let ga = kb.global_view("a", DType::F16, Layout::from_flat(&[m, k], &[k, 1]), &[m, k]);
-    let gb = kb.global_view("b", DType::F16, Layout::from_flat(&[n, k], &[k, 1]), &[n, k]);
-    let gc = kb.global_view("c", DType::F32, Layout::from_flat(&[m, n], &[n, 1]), &[m, n]);
+    let ga = kb.global_view(
+        "a",
+        DType::F16,
+        Layout::from_flat(&[m, k], &[k, 1]),
+        &[m, k],
+    );
+    let gb = kb.global_view(
+        "b",
+        DType::F16,
+        Layout::from_flat(&[n, k], &[k, 1]),
+        &[n, k],
+    );
+    let gc = kb.global_view(
+        "c",
+        DType::F32,
+        Layout::from_flat(&[m, n], &[n, 1]),
+        &[m, n],
+    );
     let sa = kb.shared_tensor("sa", DType::F16, &[m, k]);
     let sb = kb.shared_tensor("sb", DType::F16, &[n, k]);
     let ra = kb.register_tensor("ra", DType::F16, &[m, k]);
@@ -141,7 +184,10 @@ fn ablations_never_beat_the_full_compiler() {
     ] {
         let ablated = Compiler::with_options(
             arch.clone(),
-            CompilerOptions { synthesis: options, use_cost_model: true },
+            CompilerOptions {
+                synthesis: options,
+                use_cost_model: true,
+            },
         )
         .compile(&program)
         .unwrap();

@@ -1,0 +1,280 @@
+//! Minimal offline drop-in subset of the `criterion` benchmark harness.
+//!
+//! The build environment has no network access, so the criterion API surface
+//! used by this workspace's benches (`Criterion`, `Bencher::iter`,
+//! `iter_batched`, `black_box`, the `criterion_group!`/`criterion_main!`
+//! macros) is reimplemented here with a simple median-of-samples timer.
+//!
+//! Besides printing human-readable results, every measurement is appended as
+//! one JSON line to the file named by the `CRITERION_STUB_JSON` environment
+//! variable (when set), so CI and the `repro_fastpath` harness can collect
+//! machine-readable results without the real criterion's output directory.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// computations.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Batch sizing hints for [`Bencher::iter_batched`]; the stub treats every
+/// variant the same (one setup per measured invocation batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// One benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark id (function name).
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Total iterations measured.
+    pub iterations: u64,
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement duration (split across the samples).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark function.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+            iterations: 0,
+        };
+        f(&mut bencher);
+        let mut samples = bencher.samples_ns;
+        samples.sort_by(f64::total_cmp);
+        let median_ns = if samples.is_empty() {
+            0.0
+        } else {
+            samples[samples.len() / 2]
+        };
+        println!("{name:<50} time: [{}]", format_ns(median_ns));
+        let m = Measurement {
+            name: name.to_string(),
+            median_ns,
+            iterations: bencher.iterations,
+        };
+        append_json(&m);
+        self.results.push(m);
+        self
+    }
+
+    /// All measurements recorded so far.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+fn append_json(m: &Measurement) {
+    let Ok(path) = std::env::var("CRITERION_STUB_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{{\"name\":\"{}\",\"median_ns\":{},\"iterations\":{}}}",
+        m.name.replace('"', "'"),
+        m.median_ns,
+        m.iterations
+    );
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = writeln!(file, "{line}");
+    }
+}
+
+/// Per-benchmark timing helper handed to the closure of
+/// [`Criterion::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Measures a routine.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: also estimates the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let budget = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.samples_ns
+                .push(elapsed * 1e9 / iters_per_sample as f64);
+            self.iterations += iters_per_sample;
+        }
+    }
+
+    /// Measures a routine with a fresh input per invocation; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut f: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Warm-up with a handful of invocations.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            let input = setup();
+            black_box(f(input));
+            warm_iters += 1;
+            if warm_iters >= 100_000 {
+                break;
+            }
+        }
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(f(input));
+            let elapsed = start.elapsed().as_secs_f64();
+            self.samples_ns.push(elapsed * 1e9);
+            self.iterations += 1;
+        }
+    }
+}
+
+/// Declares a benchmark group, mirroring criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Declares the benchmark entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_cheap_closure() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        assert_eq!(c.measurements().len(), 1);
+        assert!(c.measurements()[0].median_ns > 0.0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 16],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(c.measurements()[0].iterations, 3);
+    }
+}

@@ -1,0 +1,152 @@
+//! Minimal offline drop-in subset of the `rand` crate.
+//!
+//! The build environment for this workspace has no network access, so the
+//! handful of `rand` APIs the test suite uses (`StdRng`, `SeedableRng`,
+//! `Rng::gen_range`) are reimplemented here on top of the SplitMix64 /
+//! xoshiro256** generators. The statistical quality is more than sufficient
+//! for generating test inputs; this is **not** a cryptographic generator and
+//! makes no attempt to be sequence-compatible with the real `rand` crate.
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a range by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one sample from the range using the given generator.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Convenience sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from the given range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+macro_rules! impl_float_range {
+    ($ty:ty) => {
+        impl SampleRange<$ty> for std::ops::Range<$ty> {
+            fn sample(self, rng: &mut dyn RngCore) -> $ty {
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let (lo, hi) = (self.start as f64, self.end as f64);
+                (lo + unit * (hi - lo)) as $ty
+            }
+        }
+    };
+}
+impl_float_range!(f32);
+impl_float_range!(f64);
+
+macro_rules! impl_int_range {
+    ($ty:ty) => {
+        impl SampleRange<$ty> for std::ops::Range<$ty> {
+            fn sample(self, rng: &mut dyn RngCore) -> $ty {
+                assert!(self.start < self.end, "gen_range on an empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = ((rng.next_u64() as u128) % span) as i128;
+                (self.start as i128 + draw) as $ty
+            }
+        }
+        impl SampleRange<$ty> for std::ops::RangeInclusive<$ty> {
+            fn sample(self, rng: &mut dyn RngCore) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on an empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + draw) as $ty
+            }
+        }
+    };
+}
+impl_int_range!(usize);
+impl_int_range!(u64);
+impl_int_range!(u32);
+impl_int_range!(i64);
+impl_int_range!(i32);
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A xoshiro256** generator, seeded through SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                state: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [mut s0, mut s1, mut s2, mut s3] = self.state;
+            let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s1 << 17;
+            s2 ^= s0;
+            s3 ^= s1;
+            s1 ^= s2;
+            s0 ^= s3;
+            s2 ^= t;
+            s3 = s3.rotate_left(45);
+            self.state = [s0, s1, s2, s3];
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f32 = a.gen_range(-1.0..1.0);
+            let y: f32 = b.gen_range(-1.0..1.0);
+            assert_eq!(x, y);
+            assert!((-1.0..1.0).contains(&x));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.gen_range(0usize..1000), c.gen_range(0usize..1000));
+    }
+
+    #[test]
+    fn integer_ranges_cover_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..=3)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
