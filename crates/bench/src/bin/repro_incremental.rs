@@ -1,0 +1,25 @@
+//! Measures the incremental prefix-shared candidate evaluation against the
+//! PR 1 fast path (full re-evaluation per candidate, flat-layout fast path
+//! enabled on both sides) and writes the machine-readable comparison
+//! committed as `BENCH_pr2.json`.
+//!
+//! Usage: `cargo run --release --bin repro_incremental [-- output.json]`
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr2.json".to_string());
+    let entries = hexcute_bench::fastpath::synthesis_incremental_entries();
+    print!("{}", hexcute_bench::fastpath::as_report(&entries));
+    match hexcute_bench::fastpath::write_json_named(
+        &out_path,
+        "incremental prefix-shared candidate evaluation",
+        &entries,
+    ) {
+        Ok(()) => println!("\nwrote {out_path}"),
+        Err(e) => {
+            eprintln!("failed to write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -13,10 +13,12 @@ use std::time::Instant;
 
 use hexcute_arch::{DType, GpuArch};
 use hexcute_core::{Compiler, CompilerOptions};
-use hexcute_ir::KernelBuilder;
+use hexcute_ir::{KernelBuilder, Program};
+use hexcute_kernels::attention::{mha_forward, AttentionConfig, AttentionShape};
 use hexcute_kernels::gemm::{fp16_gemm, GemmConfig, GemmShape};
+use hexcute_kernels::moe::{mixed_type_moe, MoeConfig, MoeDataflow, MoeShape};
 use hexcute_layout::{ituple, set_fast_path, Layout, RepeatMode, TvLayout};
-use hexcute_sim::FunctionalSim;
+use hexcute_sim::{FunctionalSim, SimTableCache};
 use hexcute_synthesis::{SynthesisOptions, Synthesizer};
 
 use crate::report::Report;
@@ -241,6 +243,108 @@ pub fn synthesis_entries() -> Vec<FastPathEntry> {
     ]
 }
 
+/// Measures `f(false)` (incremental evaluation off — the PR 1 fast-path
+/// behaviour, re-evaluating every candidate from scratch) against `f(true)`
+/// (the shared-prefix incremental search). The flat-layout fast path stays
+/// *enabled* for both sides: the baseline here is PR 1, not the recursive
+/// reference.
+fn incremental_before_after<F: FnMut(bool)>(name: &str, mut f: F) -> FastPathEntry {
+    set_fast_path(true);
+    let reference_ns = measure_ns(|| f(false), 5, 20.0);
+    let fast_ns = measure_ns(|| f(true), 5, 20.0);
+    FastPathEntry {
+        group: "synthesis_incremental".to_string(),
+        name: name.to_string(),
+        reference_ns,
+        fast_ns,
+    }
+}
+
+/// The incremental prefix-shared search group (PR 2): end-to-end candidate
+/// synthesis and cost-ranked compilation of the paper's kernel families,
+/// with the incremental evaluation toggled via
+/// [`SynthesisOptions::incremental`]. Feeds `BENCH_pr2.json`.
+pub fn synthesis_incremental_entries() -> Vec<FastPathEntry> {
+    let arch = GpuArch::a100();
+    let gemm = fp16_gemm(GemmShape::new(4096, 4096, 4096), GemmConfig::default()).unwrap();
+    let attention = mha_forward(
+        AttentionShape::forward(8, 32, 2048, 128),
+        AttentionConfig::default(),
+    )
+    .unwrap();
+    let moe = mixed_type_moe(
+        MoeShape::deepseek_r1(128),
+        MoeConfig::default(),
+        MoeDataflow::Efficient,
+    )
+    .unwrap();
+
+    let options_with = |incremental: bool| SynthesisOptions {
+        incremental,
+        ..SynthesisOptions::default()
+    };
+    let synthesize_entry = |name: &str, program: &Program| {
+        incremental_before_after(name, |incremental| {
+            std::hint::black_box(
+                Synthesizer::new(program, &arch, options_with(incremental))
+                    .synthesize()
+                    .unwrap(),
+            );
+        })
+    };
+    let compile_entry = |name: &str, program: &Program| {
+        incremental_before_after(name, |incremental| {
+            let compiler = Compiler::with_options(
+                arch.clone(),
+                CompilerOptions {
+                    synthesis: options_with(incremental),
+                    use_cost_model: true,
+                },
+            );
+            std::hint::black_box(compiler.compile(program).unwrap());
+        })
+    };
+
+    let mut entries = vec![
+        synthesize_entry("gemm_synthesize_all_candidates", &gemm),
+        synthesize_entry("attention_synthesize_all_candidates", &attention),
+        synthesize_entry("moe_synthesize_all_candidates", &moe),
+        compile_entry("gemm_compile_uncached", &gemm),
+        compile_entry("attention_compile_uncached", &attention),
+        compile_entry("moe_compile_uncached", &moe),
+    ];
+
+    // Functional simulation of every sibling candidate of one small GEMM:
+    // the reference rebuilds each candidate's index tables; the incremental
+    // side shares one fingerprint-keyed table cache across siblings.
+    let sim_program = small_gemm_program();
+    let sim_candidates = Synthesizer::new(&sim_program, &arch, SynthesisOptions::default())
+        .synthesize()
+        .unwrap();
+    let mut sim_inputs = HashMap::new();
+    sim_inputs.insert("a".to_string(), vec![0.5f32; 64 * 64]);
+    sim_inputs.insert("b".to_string(), vec![0.25f32; 64 * 64]);
+    entries.push(incremental_before_after(
+        "functional_simulate_siblings",
+        |incremental| {
+            // A fresh cache per sweep: tables are shared across the sibling
+            // candidates of one sweep, not across repeated measurements.
+            let mut shared_cache = SimTableCache::new();
+            for candidate in &sim_candidates {
+                let sim = FunctionalSim::new(&sim_program, candidate);
+                if incremental {
+                    std::hint::black_box(
+                        sim.run_with_cache(&sim_inputs, &mut shared_cache).unwrap(),
+                    );
+                } else {
+                    std::hint::black_box(sim.run(&sim_inputs).unwrap());
+                }
+            }
+        },
+    ));
+    entries
+}
+
 /// Runs every group (leaving the fast path enabled afterwards).
 pub fn run_all() -> Vec<FastPathEntry> {
     let mut entries = layout_algebra_entries();
@@ -305,7 +409,12 @@ fn format_ns(ns: f64) -> String {
 
 /// Serializes the entries (plus per-group geomeans) as a JSON document.
 pub fn to_json(entries: &[FastPathEntry]) -> String {
-    let mut out = String::from("{\n  \"benchmark\": \"flat-layout fast path\",\n  \"groups\": {\n");
+    to_json_named("flat-layout fast path", entries)
+}
+
+/// [`to_json`] with an explicit top-level benchmark name.
+pub fn to_json_named(benchmark: &str, entries: &[FastPathEntry]) -> String {
+    let mut out = format!("{{\n  \"benchmark\": \"{benchmark}\",\n  \"groups\": {{\n");
     let groups = group_speedups(entries);
     for (gi, (group, speedup)) in groups.iter().enumerate() {
         out.push_str(&format!(
@@ -338,6 +447,19 @@ pub fn to_json(entries: &[FastPathEntry]) -> String {
 /// Propagates filesystem errors.
 pub fn write_json(path: &str, entries: &[FastPathEntry]) -> std::io::Result<()> {
     std::fs::write(path, to_json(entries))
+}
+
+/// Writes [`to_json_named`] to `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_json_named(
+    path: &str,
+    benchmark: &str,
+    entries: &[FastPathEntry],
+) -> std::io::Result<()> {
+    std::fs::write(path, to_json_named(benchmark, entries))
 }
 
 #[cfg(test)]

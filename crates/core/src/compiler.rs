@@ -10,7 +10,7 @@ use hexcute_arch::GpuArch;
 use hexcute_codegen::{emit_cuda_like, lower, LoweredKernel};
 use hexcute_costmodel::{CostBreakdown, CostModel};
 use hexcute_ir::Program;
-use hexcute_sim::{estimate_kernel, FunctionalSim, PerfReport, SimError};
+use hexcute_sim::{estimate_kernel, FunctionalSim, PerfEvaluator, PerfReport, SimError};
 use hexcute_synthesis::{Candidate, SynthesisError, SynthesisOptions, Synthesizer};
 
 /// Options controlling compilation.
@@ -231,7 +231,13 @@ impl Compiler {
     /// When the fast path is enabled (see [`hexcute_layout::fastpath`]) the
     /// candidates are scored in parallel across CPU cores, sharing one
     /// memoizing cost model; order (and therefore candidate selection) is
-    /// identical to the serial reference.
+    /// identical to the serial reference. With the incremental search on
+    /// (the default, see [`hexcute_synthesis::prefix`]), the performance
+    /// simulator additionally reuses the shared cost model's instruction
+    /// timeline and memoizes per-operation bank-conflict charges across
+    /// sibling candidates — bit-identical to the re-evaluating reference,
+    /// which stays available behind `HEXCUTE_DISABLE_INCREMENTAL=1` /
+    /// `SynthesisOptions::incremental = false`.
     ///
     /// # Errors
     ///
@@ -243,16 +249,33 @@ impl Compiler {
         let synthesizer = Synthesizer::new(program, &self.arch, self.options.synthesis.clone());
         let candidates = synthesizer.synthesize()?;
         let model = CostModel::new(&self.arch);
-        let score = |candidate: Candidate| {
-            let cost = model.estimate(program, &candidate);
-            let perf = estimate_kernel(program, &candidate, &self.arch);
-            (candidate, cost, perf)
-        };
-        if hexcute_layout::fast_path_enabled() {
-            Ok(hexcute_parallel::par_map(candidates, score))
+        if self.options.synthesis.incremental && hexcute_synthesis::incremental_enabled() {
+            let evaluator = PerfEvaluator::new(&self.arch);
+            Ok(score_all(candidates, |candidate| {
+                let cost = model.estimate(program, &candidate);
+                let perf = evaluator.evaluate(program, &candidate, &cost);
+                (candidate, cost, perf)
+            }))
         } else {
-            Ok(candidates.into_iter().map(score).collect())
+            Ok(score_all(candidates, |candidate| {
+                let cost = model.estimate(program, &candidate);
+                let perf = estimate_kernel(program, &candidate, &self.arch);
+                (candidate, cost, perf)
+            }))
         }
+    }
+}
+
+/// Scores every candidate, in parallel when the fast path is on (order
+/// preserved) and serially otherwise.
+fn score_all<F>(candidates: Vec<Candidate>, score: F) -> Vec<(Candidate, CostBreakdown, PerfReport)>
+where
+    F: Fn(Candidate) -> (Candidate, CostBreakdown, PerfReport) + Sync,
+{
+    if hexcute_layout::fast_path_enabled() {
+        hexcute_parallel::par_map(candidates, score)
+    } else {
+        candidates.into_iter().map(score).collect()
     }
 }
 

@@ -1,0 +1,102 @@
+//! Randomized equivalence sweep (satellite of the incremental-search PR):
+//! across GEMM, attention and mixed-type MoE kernels from `hexcute-kernels`,
+//! the incremental prefix-shared search must produce the *identical* ordered
+//! candidate list — and identical cost-model and performance-simulator
+//! scores, bit for bit — as the full re-evaluation path.
+
+use hexcute_core::{Compiler, CompilerOptions};
+use hexcute_ir::Program;
+use hexcute_kernels::attention::{mha_forward, AttentionConfig, AttentionShape};
+use hexcute_kernels::gemm::{fp16_gemm, GemmConfig, GemmShape};
+use hexcute_kernels::moe::{mixed_type_moe, MoeConfig, MoeDataflow, MoeShape};
+use hexcute_synthesis::SynthesisOptions;
+use proptest::prelude::*;
+
+fn compile_both_ways(program: &Program) {
+    for arch in [hexcute_arch::GpuArch::a100(), hexcute_arch::GpuArch::h100()] {
+        let with_incremental = |incremental: bool| {
+            let options = CompilerOptions {
+                synthesis: SynthesisOptions {
+                    incremental,
+                    ..SynthesisOptions::default()
+                },
+                use_cost_model: true,
+            };
+            Compiler::with_options(arch.clone(), options)
+                .compile_candidates(program)
+                .unwrap()
+        };
+        let reference = with_incremental(false);
+        let incremental = with_incremental(true);
+        assert_eq!(
+            reference.len(),
+            incremental.len(),
+            "candidate counts diverged for {} on {}",
+            program.name,
+            arch.name
+        );
+        for (i, ((rc, rcost, rperf), (ic, icost, iperf))) in
+            reference.iter().zip(incremental.iter()).enumerate()
+        {
+            assert_eq!(rc, ic, "candidate {i} of {} diverged", program.name);
+            assert_eq!(
+                rcost.total_cycles.to_bits(),
+                icost.total_cycles.to_bits(),
+                "cost of candidate {i} of {} diverged",
+                program.name
+            );
+            assert_eq!(rcost, icost);
+            assert_eq!(
+                rperf.latency_us.to_bits(),
+                iperf.latency_us.to_bits(),
+                "latency of candidate {i} of {} diverged",
+                program.name
+            );
+            assert_eq!(rperf, iperf);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn gemm_rankings_are_bit_identical(
+        m_tiles in 1usize..=2,
+        n_tiles in 1usize..=2,
+        k in 1usize..=2,
+        stages in 1usize..=3,
+    ) {
+        let config = GemmConfig { stages, ..GemmConfig::default() };
+        let shape = GemmShape::new(
+            m_tiles * config.block_m,
+            n_tiles * config.block_n,
+            k * config.block_k * 2,
+        );
+        let program = fp16_gemm(shape, config).unwrap();
+        compile_both_ways(&program);
+    }
+
+    #[test]
+    fn attention_rankings_are_bit_identical(
+        heads in 1usize..=8,
+        seq_tiles in 1usize..=3,
+        head_dim in (0usize..=1).prop_map(|i| [64usize, 128][i]),
+    ) {
+        let config = AttentionConfig::default();
+        let shape = AttentionShape::forward(1, heads, seq_tiles * config.block_kv, head_dim);
+        let program = mha_forward(shape, config).unwrap();
+        compile_both_ways(&program);
+    }
+
+    #[test]
+    fn moe_rankings_are_bit_identical(
+        tokens in (0usize..=2).prop_map(|i| [2usize, 4, 16][i]),
+        efficient in (0usize..=1).prop_map(|i| i == 1),
+    ) {
+        let dataflow = if efficient { MoeDataflow::Efficient } else { MoeDataflow::TritonStyle };
+        let program =
+            mixed_type_moe(MoeShape::deepseek_r1(tokens), MoeConfig::default(), dataflow).unwrap();
+        compile_both_ways(&program);
+    }
+}

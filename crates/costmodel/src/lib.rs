@@ -19,4 +19,7 @@
 
 mod model;
 
-pub use model::{CostBreakdown, CostModel, OpCost};
+pub use model::{
+    candidate_fingerprint, op_choice_fingerprint, program_fingerprint, CostBreakdown, CostModel,
+    OpCost,
+};

@@ -7,8 +7,18 @@
 //! are computed once. The cache key is a fingerprint of exactly the choice
 //! fields the estimate reads, so memoized results are bit-identical to
 //! recomputed ones.
+//!
+//! With the incremental prefix-shared search (see
+//! [`hexcute_synthesis::prefix`]) the accumulation over a candidate is
+//! additionally memoized whole: estimates accrue per shared prefix through
+//! the per-operation cache, and a repeat estimate of a candidate whose full
+//! choice fingerprint was seen before is a single lookup. Both layers are
+//! disabled together with their respective switches, restoring the
+//! recompute-everything reference behaviour.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::RwLock;
 
 use hexcute_arch::GpuArch;
@@ -65,6 +75,15 @@ pub struct CostModel<'a> {
     /// Read-mostly after warm-up: lookups take the shared lock so parallel
     /// candidate scoring does not serialize on the cache.
     op_cache: RwLock<HashMap<(OpId, u64), (f64, f64)>>,
+    /// Whole-candidate estimates keyed by [`candidate_fingerprint`]: repeat
+    /// scorings of a candidate (e.g. the cost model feeding the performance
+    /// simulator) are a single lookup when the incremental search is on.
+    candidate_cache: RwLock<HashMap<u64, CostBreakdown>>,
+    /// [`program_fingerprint`] of the program the caches currently describe.
+    /// The per-operation cache is keyed by `OpId`, which is only unique
+    /// within one program, so estimating a different program clears both
+    /// caches (see [`CostModel::retag`]).
+    program_tag: RwLock<Option<u64>>,
 }
 
 impl<'a> CostModel<'a> {
@@ -73,11 +92,52 @@ impl<'a> CostModel<'a> {
         CostModel {
             arch,
             op_cache: RwLock::new(HashMap::new()),
+            candidate_cache: RwLock::new(HashMap::new()),
+            program_tag: RwLock::new(None),
+        }
+    }
+
+    /// Clears the memoization caches when `program` differs from the one
+    /// they were built for, making *sequential* reuse of one model across
+    /// programs safe (`OpId`s are only unique within a program). Estimating
+    /// different programs concurrently on one model is not supported.
+    fn retag(&self, program: &Program) {
+        let tag = program_fingerprint(program);
+        if *self.program_tag.read().unwrap() == Some(tag) {
+            return;
+        }
+        let mut current = self.program_tag.write().unwrap();
+        if *current != Some(tag) {
+            *current = Some(tag);
+            self.op_cache.write().unwrap().clear();
+            self.candidate_cache.write().unwrap().clear();
         }
     }
 
     /// Estimates the per-block latency of a candidate program.
+    ///
+    /// When both the fast path and the incremental search are enabled, the
+    /// whole estimate is memoized per candidate fingerprint; the memoized
+    /// value is bit-identical to a recomputation.
     pub fn estimate(&self, program: &Program, candidate: &Candidate) -> CostBreakdown {
+        self.retag(program);
+        if fastpath::enabled() && hexcute_synthesis::incremental_enabled() {
+            let key = candidate_fingerprint(program, candidate);
+            if let Some(hit) = self.candidate_cache.read().unwrap().get(&key) {
+                return hit.clone();
+            }
+            let result = self.estimate_uncached(program, candidate);
+            self.candidate_cache
+                .write()
+                .unwrap()
+                .insert(key, result.clone());
+            return result;
+        }
+        self.estimate_uncached(program, candidate)
+    }
+
+    /// The uncached estimate behind [`CostModel::estimate`].
+    fn estimate_uncached(&self, program: &Program, candidate: &Candidate) -> CostBreakdown {
         let prologue: Vec<&Op> = program
             .ops()
             .iter()
@@ -179,7 +239,7 @@ impl<'a> CostModel<'a> {
             let stall = (input_ready - clock).max(0.0);
             clock += stall;
 
-            let (issue, completion) = self.op_cycles(program, candidate, op);
+            let (issue, completion) = self.op_cycles_memo(program, candidate, op);
             clock += issue;
             for out in op.outputs() {
                 ready.insert(out, clock + completion);
@@ -211,7 +271,7 @@ impl<'a> CostModel<'a> {
         let mut compute = 0.0f64;
         let mut max_completion = 0.0f64;
         for op in body {
-            let (issue, completion) = self.op_cycles(program, candidate, op);
+            let (issue, completion) = self.op_cycles_memo(program, candidate, op);
             max_completion = max_completion.max(completion);
             if matches!(op.kind, OpKind::Copy { .. } | OpKind::Rearrange { .. }) {
                 mem += issue;
@@ -227,12 +287,21 @@ impl<'a> CostModel<'a> {
     ///
     /// Results are memoized per `(operation, choice fingerprint)` when the
     /// fast path is enabled, so candidates sharing a choice for an operation
-    /// pay for its estimate once.
+    /// pay for its estimate once. The cache is invalidated when `program`
+    /// differs from the one the model last saw (operation ids are only
+    /// unique within a program).
     pub fn op_cycles(&self, program: &Program, candidate: &Candidate, op: &Op) -> (f64, f64) {
+        self.retag(program);
+        self.op_cycles_memo(program, candidate, op)
+    }
+
+    /// [`CostModel::op_cycles`] without the per-call retag — used by the
+    /// estimate loops, which retag once per candidate.
+    fn op_cycles_memo(&self, program: &Program, candidate: &Candidate, op: &Op) -> (f64, f64) {
         if !fastpath::enabled() {
             return self.op_cycles_uncached(program, candidate, op);
         }
-        let key = (op.id, choice_fingerprint(candidate, op));
+        let key = (op.id, op_choice_fingerprint(candidate, op));
         if let Some(&hit) = self.op_cache.read().unwrap().get(&key) {
             return hit;
         }
@@ -299,9 +368,10 @@ impl<'a> CostModel<'a> {
         }
     }
 
-    /// Clears the per-operation memoization cache.
+    /// Clears the per-operation and per-candidate memoization caches.
     pub fn clear_cache(&self) {
         self.op_cache.write().unwrap().clear();
+        self.candidate_cache.write().unwrap().clear();
     }
 
     fn rearrange_cycles(&self, candidate: &Candidate) -> f64 {
@@ -320,11 +390,55 @@ impl<'a> CostModel<'a> {
     }
 }
 
+/// A fingerprint of everything candidate-independent the cost model reads
+/// from a program: its identity, schedule, and every tensor declaration.
+/// Two same-named programs differing only in shapes or dtypes fingerprint
+/// differently. Used to invalidate per-operation caches when a shared model
+/// or evaluator sees a different program.
+pub fn program_fingerprint(program: &Program) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    program.name.hash(&mut hasher);
+    program.threads_per_block.hash(&mut hasher);
+    program.main_loop_trip_count.hash(&mut hasher);
+    program.schedule.pipeline_stages.hash(&mut hasher);
+    program.schedule.warp_specialized.hash(&mut hasher);
+    for decl in program.tensors() {
+        decl.id.hash(&mut hasher);
+        decl.dtype.hash(&mut hasher);
+        decl.space.hash(&mut hasher);
+        decl.shape.hash(&mut hasher);
+        decl.global_layout.hash(&mut hasher);
+    }
+    for op in program.ops() {
+        op.id.hash(&mut hasher);
+        op.in_main_loop.hash(&mut hasher);
+    }
+    hasher.finish()
+}
+
+/// A fingerprint of the whole candidate as `estimate` reads it — the
+/// [`program_fingerprint`] plus every per-operation choice fingerprint and
+/// the rearrange set — used to memoize whole-candidate estimates.
+pub fn candidate_fingerprint(program: &Program, candidate: &Candidate) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    program_fingerprint(program).hash(&mut hasher);
+    for op in program.ops() {
+        op.id.hash(&mut hasher);
+        op_choice_fingerprint(candidate, op).hash(&mut hasher);
+    }
+    for rearrange in &candidate.rearranges {
+        rearrange.bytes.hash(&mut hasher);
+    }
+    hasher.finish()
+}
+
 /// A fingerprint of every candidate-dependent input `op_cycles` reads for
 /// `op`, used as the memoization key. Candidate-independent inputs (tensor
 /// shapes, thread counts, the architecture) are fixed per model instance and
-/// per operation, so they do not need to participate.
-fn choice_fingerprint(candidate: &Candidate, op: &Op) -> u64 {
+/// per operation, so they do not need to participate. Public so the
+/// performance simulator can key its own per-operation caches on the same
+/// fingerprint.
+pub fn op_choice_fingerprint(candidate: &Candidate, op: &Op) -> u64 {
     const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
     let mut hash = FNV_OFFSET;
@@ -475,6 +589,28 @@ mod tests {
         assert_eq!(cost.per_op.len(), program.ops().len());
         assert!(cost.per_op.iter().all(|c| c.issue_cycles > 0.0));
         assert!(cost.micros(&arch) > 0.0);
+    }
+
+    #[test]
+    fn candidate_cache_returns_bit_identical_estimates() {
+        let arch = GpuArch::a100();
+        let program = pipelined_gemm(2);
+        let candidate = best_candidate(&program, &arch);
+        let model = CostModel::new(&arch);
+        let first = model.estimate(&program, &candidate);
+        let cached = model.estimate(&program, &candidate);
+        let fresh = CostModel::new(&arch).estimate(&program, &candidate);
+        assert_eq!(first.total_cycles.to_bits(), cached.total_cycles.to_bits());
+        assert_eq!(first, cached);
+        assert_eq!(first, fresh);
+        // Distinct candidates have distinct fingerprints.
+        let scalar = Synthesizer::new(&program, &arch, SynthesisOptions::scalar_fallback())
+            .synthesize_preferred()
+            .unwrap();
+        assert_ne!(
+            candidate_fingerprint(&program, &candidate),
+            candidate_fingerprint(&program, &scalar)
+        );
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! compiler driver fan candidate enumeration, shared-memory synthesis and
 //! cost scoring out across CPU cores with [`par_map`]; the environment
 //! variable `HEXCUTE_THREADS` caps the worker count (`1` forces the serial
-//! path, useful for profiling and for before/after benchmarking).
+//! path, useful for profiling and for before/after benchmarking, and `0`
+//! means "auto": use the machine's available parallelism).
 //!
 //! The API is a deliberately tiny subset of what `rayon` would provide: an
 //! order-preserving map over an owned `Vec`. Work is distributed by atomic
@@ -13,27 +14,88 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::cell::UnsafeCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, Once};
 
-/// The number of worker threads [`par_map`] uses: `HEXCUTE_THREADS` when set,
-/// otherwise the machine's available parallelism.
-pub fn worker_count() -> usize {
-    if let Ok(v) = std::env::var("HEXCUTE_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
-        }
+/// How the `HEXCUTE_THREADS` environment variable parsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadsSpec {
+    /// The variable is not set: use the machine's available parallelism.
+    Unset,
+    /// Explicit `0`: use the machine's available parallelism.
+    Auto,
+    /// An explicit positive worker count.
+    Count(usize),
+    /// The variable is set but not a decimal integer (e.g. `"0x4"`, `""`):
+    /// ignored with a one-time warning.
+    Invalid,
+}
+
+/// Parses the value of `HEXCUTE_THREADS`. `None` means the variable is not
+/// set; `"0"` explicitly requests auto detection; surrounding whitespace is
+/// tolerated; anything that is not a decimal integer is [`ThreadsSpec::Invalid`].
+pub fn parse_threads(value: Option<&str>) -> ThreadsSpec {
+    match value {
+        None => ThreadsSpec::Unset,
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(0) => ThreadsSpec::Auto,
+            Ok(n) => ThreadsSpec::Count(n),
+            Err(_) => ThreadsSpec::Invalid,
+        },
     }
+}
+
+fn machine_parallelism() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
 }
 
+/// The number of worker threads [`par_map`] uses: `HEXCUTE_THREADS` when set
+/// to a positive count, otherwise the machine's available parallelism (`0`
+/// explicitly requests the latter). A set-but-unparsable value falls back to
+/// machine parallelism too, with a warning printed once per process.
+pub fn worker_count() -> usize {
+    let value = std::env::var("HEXCUTE_THREADS").ok();
+    match parse_threads(value.as_deref()) {
+        ThreadsSpec::Count(n) => n,
+        ThreadsSpec::Invalid => {
+            static WARN: Once = Once::new();
+            WARN.call_once(|| {
+                eprintln!(
+                    "hexcute-parallel: HEXCUTE_THREADS={:?} is not a number of workers \
+                     (use a decimal integer; 0 means auto); falling back to machine parallelism",
+                    value.unwrap_or_default()
+                );
+            });
+            machine_parallelism()
+        }
+        ThreadsSpec::Unset | ThreadsSpec::Auto => machine_parallelism(),
+    }
+}
+
+/// A `Vec` of once-written cells shared across the scoped workers. Safety
+/// rests on the index cursor: every index is claimed by exactly one worker,
+/// so no cell is ever accessed from two threads.
+struct Slots<T> {
+    cells: Vec<UnsafeCell<Option<T>>>,
+}
+
+unsafe impl<T: Send> Sync for Slots<T> {}
+
 /// Maps `f` over `items` in parallel, preserving order.
 ///
 /// Falls back to a plain serial map when there is a single worker or at most
-/// one item. `f` may be called from multiple threads concurrently; panics in
-/// `f` are propagated to the caller.
+/// one item. `f` may be called from multiple threads concurrently.
+///
+/// # Panics
+///
+/// A panic inside `f` is caught, the remaining items are abandoned (sibling
+/// workers stop at their next claim), and the *original* panic payload is
+/// re-thrown on the calling thread once every worker has stopped — callers
+/// see the message of the first closure panic, not a secondary error.
 pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -41,41 +103,87 @@ where
     F: Fn(T) -> R + Sync,
 {
     let workers = worker_count().min(items.len().max(1));
+    par_map_with_workers(items, f, workers)
+}
+
+/// [`par_map`] with an explicit worker count, bypassing `HEXCUTE_THREADS`.
+/// Used by tests (the environment cannot be mutated safely there) and by
+/// callers that already partitioned their budget.
+pub fn par_map_with_workers<T, R, F>(items: Vec<T>, f: F, workers: usize) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
     if workers <= 1 || items.len() <= 1 {
         return items.into_iter().map(f).collect();
     }
 
     let n = items.len();
-    // Hand items out by index so results can be reassembled in order.
-    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let workers = workers.min(n);
+    // Hand items out by index so results can be reassembled in order. The
+    // cells are lock-free on purpose: a `Mutex` per slot would be poisoned by
+    // a panicking closure, killing sibling workers with a `PoisonError` that
+    // buries the original panic.
+    let items = Slots {
+        cells: items
+            .into_iter()
+            .map(|t| UnsafeCell::new(Some(t)))
+            .collect(),
+    };
+    let results: Slots<R> = Slots {
+        cells: (0..n).map(|_| UnsafeCell::new(None)).collect(),
+    };
     let cursor = AtomicUsize::new(0);
+    let panicked = AtomicBool::new(false);
+    let payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
 
+    // Capture the `Sync` wrappers, not their inner `Vec` fields (precise
+    // closure capture would otherwise grab the non-`Sync` field path).
+    let items_ref = &items;
+    let results_ref = &results;
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                if panicked.load(Ordering::Relaxed) {
+                    break;
+                }
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
-                let item = slots[i]
-                    .lock()
-                    .unwrap()
-                    .take()
+                // SAFETY: the cursor hands each index to exactly one worker,
+                // so this cell is not accessed by any other thread.
+                let item = unsafe { (*items_ref.cells[i].get()).take() }
                     .expect("each index is claimed once");
-                let out = f(item);
-                *results[i].lock().unwrap() = Some(out);
+                // `AssertUnwindSafe` is sound here: on panic the whole map is
+                // abandoned and only the stored payload escapes.
+                match panic::catch_unwind(AssertUnwindSafe(|| f(item))) {
+                    Ok(out) => {
+                        // SAFETY: as above — this worker owns index `i`.
+                        unsafe { *results_ref.cells[i].get() = Some(out) };
+                    }
+                    Err(e) => {
+                        let mut slot = payload.lock().unwrap_or_else(|p| p.into_inner());
+                        if slot.is_none() {
+                            *slot = Some(e);
+                        }
+                        panicked.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
             });
         }
     });
 
+    let first_panic = payload.into_inner().unwrap_or_else(|p| p.into_inner());
+    if let Some(e) = first_panic {
+        panic::resume_unwind(e);
+    }
     results
+        .cells
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .unwrap()
-                .expect("worker filled every slot")
-        })
+        .map(|cell| cell.into_inner().expect("worker filled every slot"))
         .collect()
 }
 
@@ -86,6 +194,12 @@ mod tests {
     #[test]
     fn preserves_order_and_values() {
         let out = par_map((0..1000).collect::<Vec<_>>(), |x| x * 2);
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn preserves_order_with_explicit_workers() {
+        let out = par_map_with_workers((0..1000).collect::<Vec<_>>(), |x| x * 2, 4);
         assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
     }
 
@@ -112,5 +226,84 @@ mod tests {
         // Can't set env vars safely in parallel tests; just sanity-check the
         // default path returns at least one worker.
         assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    fn parse_threads_edge_cases() {
+        assert_eq!(parse_threads(None), ThreadsSpec::Unset);
+        assert_eq!(parse_threads(Some("4")), ThreadsSpec::Count(4));
+        assert_eq!(parse_threads(Some(" 8 ")), ThreadsSpec::Count(8));
+        assert_eq!(parse_threads(Some("1")), ThreadsSpec::Count(1));
+        // `0` documents "auto": use the machine's parallelism (it used to be
+        // silently clamped to one worker).
+        assert_eq!(parse_threads(Some("0")), ThreadsSpec::Auto);
+        // Unparsable values are rejected (and warned about once at runtime)
+        // instead of silently falling back.
+        assert_eq!(parse_threads(Some("0x4")), ThreadsSpec::Invalid);
+        assert_eq!(parse_threads(Some("")), ThreadsSpec::Invalid);
+        assert_eq!(parse_threads(Some("  ")), ThreadsSpec::Invalid);
+        assert_eq!(parse_threads(Some("-2")), ThreadsSpec::Invalid);
+        assert_eq!(parse_threads(Some("two")), ThreadsSpec::Invalid);
+        assert_eq!(parse_threads(Some("4.0")), ThreadsSpec::Invalid);
+    }
+
+    #[test]
+    fn panicking_closure_surfaces_its_own_message() {
+        let result = panic::catch_unwind(|| {
+            par_map_with_workers(
+                (0..64).collect::<Vec<usize>>(),
+                |x| {
+                    if x == 13 {
+                        panic!("boom at item {x}");
+                    }
+                    x
+                },
+                4,
+            )
+        });
+        let payload = result.expect_err("the map must propagate the panic");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload is a string");
+        assert!(
+            message.contains("boom at item 13"),
+            "original panic message was buried: {message:?}"
+        );
+    }
+
+    #[test]
+    fn serial_path_panics_propagate_too() {
+        let result = panic::catch_unwind(|| {
+            par_map_with_workers(vec![1usize], |_| -> usize { panic!("serial boom") }, 1)
+        });
+        let payload = result.expect_err("serial path must propagate the panic");
+        assert!(payload
+            .downcast_ref::<&str>()
+            .is_some_and(|s| s.contains("serial boom")));
+    }
+
+    #[test]
+    fn results_before_a_panic_are_not_observable_but_map_aborts_quickly() {
+        // After a panic the cursor stops being advanced by the panicking
+        // worker; siblings drain at most their in-flight item. This test just
+        // checks the call returns (no deadlock) and panics.
+        let hits = AtomicUsize::new(0);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            par_map_with_workers(
+                (0..1024).collect::<Vec<usize>>(),
+                |x| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    if x == 0 {
+                        panic!("early abort");
+                    }
+                    x
+                },
+                4,
+            )
+        }));
+        assert!(result.is_err());
+        assert!(hits.load(Ordering::Relaxed) >= 1);
     }
 }

@@ -20,7 +20,9 @@
 //! element-by-element path is kept and used when the fast path is disabled;
 //! both paths produce bit-identical buffers.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 use hexcute_arch::{DType, MemSpace};
 use hexcute_ir::{ElementwiseOp, Op, OpId, OpKind, Program, ReduceOp, TensorId};
@@ -158,13 +160,48 @@ struct TvTable {
     index: Vec<usize>,
 }
 
-/// All tables of one simulation run, built lazily per operation/tensor and
-/// reused across loop iterations.
+/// Precomputed index tables keyed by content fingerprints, so one cache can
+/// be shared across *sibling candidates* of the same program: the search
+/// tree varies one instruction choice at a time, and an operation whose
+/// choice (and touched layouts) is unchanged between candidates reuses its
+/// tables instead of rebuilding them — the functional-simulation analogue of
+/// the prefix-shared search (`hexcute_synthesis::prefix`).
+///
+/// [`FunctionalSim::run`] uses a private cache per run; pass a long-lived
+/// cache to [`FunctionalSim::run_with_cache`] to share tables across runs
+/// and candidates. Results are bit-identical either way.
 #[derive(Debug, Default)]
-struct SimTables {
-    copy: HashMap<OpId, CopyTable>,
-    tv: HashMap<TensorId, TvTable>,
-    shared_gather: HashMap<TensorId, Vec<usize>>,
+pub struct SimTableCache {
+    copy: HashMap<(OpId, u64), CopyTable>,
+    tv: HashMap<(TensorId, u64), TvTable>,
+    shared_gather: HashMap<(TensorId, u64), Vec<usize>>,
+}
+
+impl SimTableCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached tables (copy + thread-value + gather).
+    pub fn len(&self) -> usize {
+        self.copy.len() + self.tv.len() + self.shared_gather.len()
+    }
+
+    /// Whether the cache holds no tables.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Per-run state: the fingerprints resolved once per operation/tensor for
+/// this candidate (so inner loops don't re-hash layouts per iteration) and
+/// the reusable scratch buffer.
+#[derive(Debug, Default)]
+struct RunState {
+    copy_fp: HashMap<OpId, u64>,
+    tv_fp: HashMap<TensorId, u64>,
+    gather_fp: HashMap<TensorId, u64>,
     scratch: Vec<f32>,
 }
 
@@ -213,6 +250,24 @@ impl<'a> FunctionalSim<'a> {
     /// Returns an error when a register tensor lacks a synthesized layout or
     /// an input buffer is too small.
     pub fn run(&self, inputs: &HashMap<String, Vec<f32>>) -> Result<HashMap<String, Vec<f32>>> {
+        let mut cache = SimTableCache::new();
+        self.run_with_cache(inputs, &mut cache)
+    }
+
+    /// Like [`FunctionalSim::run`], but reusing `cache` across calls — and
+    /// across *sibling candidates* of the same program: tables are keyed by
+    /// content fingerprints of the instruction choice and the layouts it
+    /// touches, so a candidate re-simulates only the operations its differing
+    /// choice suffix changed. Results are bit-identical to [`FunctionalSim::run`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FunctionalSim::run`].
+    pub fn run_with_cache(
+        &self,
+        inputs: &HashMap<String, Vec<f32>>,
+        cache: &mut SimTableCache,
+    ) -> Result<HashMap<String, Vec<f32>>> {
         let threads = self.program.threads_per_block;
 
         // Global buffers.
@@ -267,9 +322,9 @@ impl<'a> FunctionalSim<'a> {
             );
         }
 
-        // Precomputed index tables, built lazily and shared across the loop
-        // iterations of this run.
-        let mut tables = SimTables::default();
+        // Per-run fingerprint resolutions and scratch; the index tables
+        // themselves live in `cache` and may outlive this run.
+        let mut state = RunState::default();
 
         // Execution order: pre-loop ops, the loop, post-loop ops.
         let first_loop = self.program.ops().iter().position(|o| o.in_main_loop);
@@ -278,7 +333,15 @@ impl<'a> FunctionalSim<'a> {
         match (first_loop, last_loop) {
             (Some(first), Some(last)) => {
                 for op in &ops[..first] {
-                    self.execute(op, 0, &mut global, &mut shared, &mut regs, &mut tables)?;
+                    self.execute(
+                        op,
+                        0,
+                        &mut global,
+                        &mut shared,
+                        &mut regs,
+                        cache,
+                        &mut state,
+                    )?;
                 }
                 for iteration in 0..self.program.main_loop_trip_count {
                     for op in &ops[first..=last] {
@@ -289,18 +352,35 @@ impl<'a> FunctionalSim<'a> {
                                 &mut global,
                                 &mut shared,
                                 &mut regs,
-                                &mut tables,
+                                cache,
+                                &mut state,
                             )?;
                         }
                     }
                 }
                 for op in &ops[last + 1..] {
-                    self.execute(op, 0, &mut global, &mut shared, &mut regs, &mut tables)?;
+                    self.execute(
+                        op,
+                        0,
+                        &mut global,
+                        &mut shared,
+                        &mut regs,
+                        cache,
+                        &mut state,
+                    )?;
                 }
             }
             _ => {
                 for op in ops {
-                    self.execute(op, 0, &mut global, &mut shared, &mut regs, &mut tables)?;
+                    self.execute(
+                        op,
+                        0,
+                        &mut global,
+                        &mut shared,
+                        &mut regs,
+                        cache,
+                        &mut state,
+                    )?;
                 }
             }
         }
@@ -337,13 +417,14 @@ impl<'a> FunctionalSim<'a> {
         global: &mut HashMap<TensorId, Vec<f32>>,
         shared: &mut HashMap<TensorId, Vec<f32>>,
         regs: &mut HashMap<TensorId, RegisterFile>,
-        tables: &mut SimTables,
+        cache: &mut SimTableCache,
+        state: &mut RunState,
     ) -> Result<()> {
         match &op.kind {
-            OpKind::Copy { src, dst } => {
-                self.execute_copy(op, *src, *dst, iteration, global, shared, regs, tables)
-            }
-            OpKind::Gemm { c, a, b } => self.execute_gemm(*c, *a, *b, shared, regs, tables),
+            OpKind::Copy { src, dst } => self.execute_copy(
+                op, *src, *dst, iteration, global, shared, regs, cache, state,
+            ),
+            OpKind::Gemm { c, a, b } => self.execute_gemm(*c, *a, *b, shared, regs, cache, state),
             OpKind::Cast { src, dst } => {
                 let dtype = self.program.tensor(*dst).dtype;
                 let src_file = regs.get(src).cloned().ok_or_else(|| self.missing(*src))?;
@@ -355,7 +436,7 @@ impl<'a> FunctionalSim<'a> {
                 }
                 Ok(())
             }
-            OpKind::Rearrange { src, dst } => self.redistribute(*src, *dst, regs, tables),
+            OpKind::Rearrange { src, dst } => self.redistribute(*src, *dst, regs, cache, state),
             OpKind::Elementwise {
                 inputs,
                 output,
@@ -366,7 +447,7 @@ impl<'a> FunctionalSim<'a> {
                 dst,
                 dim,
                 op: rop,
-            } => self.execute_reduce(*src, *dst, *dim, *rop, regs, tables),
+            } => self.execute_reduce(*src, *dst, *dim, *rop, regs, cache, state),
             OpKind::Fill { dst, value } => {
                 let file = regs.get_mut(dst).ok_or_else(|| self.missing(*dst))?;
                 file.data.iter_mut().for_each(|x| *x = *value as f32);
@@ -438,6 +519,41 @@ impl<'a> FunctionalSim<'a> {
         }
     }
 
+    /// Mixes the layout-relevant parts of a swizzled layout into `hasher`.
+    fn hash_swizzled(layout: &SwizzledLayout, hasher: &mut DefaultHasher) {
+        layout.layout().hash(hasher);
+        let swizzle = layout.swizzle();
+        swizzle.bits().hash(hasher);
+        swizzle.base().hash(hasher);
+        swizzle.shift().hash(hasher);
+    }
+
+    /// Content fingerprint of a copy's index tables: the walked thread-value
+    /// layout and the memory layouts of both sides — exactly the inputs
+    /// `build_copy_table` reads. Returns the walk alongside the hash so a
+    /// cache miss can build the table without re-deriving it.
+    fn copy_fingerprint(&self, op: &Op, src: TensorId, dst: TensorId) -> Result<(u64, TvLayout)> {
+        let walk = self.copy_walk(op, src, dst)?;
+        let mut hasher = DefaultHasher::new();
+        self.program.name.hash(&mut hasher);
+        walk.hash(&mut hasher);
+        for id in [src, dst] {
+            let decl = self.program.tensor(id);
+            std::mem::discriminant(&decl.space).hash(&mut hasher);
+            match decl.space {
+                MemSpace::Global => {
+                    decl.global_layout
+                        .as_ref()
+                        .expect("global views carry layouts")
+                        .hash(&mut hasher);
+                }
+                MemSpace::Shared => Self::hash_swizzled(&self.smem_layout(id), &mut hasher),
+                MemSpace::Register => {}
+            }
+        }
+        Ok((hasher.finish(), walk))
+    }
+
     fn build_copy_table(&self, src: TensorId, dst: TensorId, walk: &TvLayout) -> CopyTable {
         let threads = walk.num_threads();
         let values = walk.values_per_thread();
@@ -488,23 +604,36 @@ impl<'a> FunctionalSim<'a> {
         global: &mut HashMap<TensorId, Vec<f32>>,
         shared: &mut HashMap<TensorId, Vec<f32>>,
         regs: &mut HashMap<TensorId, RegisterFile>,
-        tables: &mut SimTables,
+        cache: &mut SimTableCache,
+        state: &mut RunState,
     ) -> Result<()> {
         if !fastpath::enabled() {
             return self.execute_copy_reference(op, src, dst, iteration, global, shared, regs);
         }
-        if let std::collections::hash_map::Entry::Vacant(e) = tables.copy.entry(op.id) {
-            let walk = self.copy_walk(op, src, dst)?;
-            let table = self.build_copy_table(src, dst, &walk);
-            e.insert(table);
-        }
-        let table = tables.copy.get(&op.id).expect("just inserted");
+        let key = match state.copy_fp.get(&op.id) {
+            // A fingerprint already resolved this run implies the table was
+            // inserted when it was resolved.
+            Some(&fp) => (op.id, fp),
+            None => {
+                let (fp, walk) = self.copy_fingerprint(op, src, dst)?;
+                state.copy_fp.insert(op.id, fp);
+                let key = (op.id, fp);
+                if let std::collections::hash_map::Entry::Vacant(e) = cache.copy.entry(key) {
+                    e.insert(self.build_copy_table(src, dst, &walk));
+                }
+                key
+            }
+        };
+        let table = cache
+            .copy
+            .get(&key)
+            .expect("resolved fingerprints have tables");
         let n = table.threads * table.values;
 
         // Pass 1: read every source element into the scratch buffer. Source
         // and destination tensors are always distinct, so snapshotting reads
         // matches the reference's interleaved read/write order.
-        let mut scratch = std::mem::take(&mut tables.scratch);
+        let mut scratch = std::mem::take(&mut state.scratch);
         scratch.clear();
         scratch.reserve(n);
         match &table.src {
@@ -573,7 +702,7 @@ impl<'a> FunctionalSim<'a> {
                 }
             }
         }
-        tables.scratch = scratch;
+        state.scratch = scratch;
         Ok(())
     }
 
@@ -650,13 +779,30 @@ impl<'a> FunctionalSim<'a> {
         Ok(())
     }
 
-    fn tv_table<'t>(&self, id: TensorId, tables: &'t mut SimTables) -> Result<&'t TvTable> {
-        if let std::collections::hash_map::Entry::Vacant(e) = tables.tv.entry(id) {
-            let tv = self
-                .candidate
-                .tv_layouts
-                .get(&id)
-                .ok_or_else(|| self.missing(id))?;
+    fn tv_table<'t>(
+        &self,
+        id: TensorId,
+        cache: &'t mut SimTableCache,
+        state: &mut RunState,
+    ) -> Result<&'t TvTable> {
+        let tv = self
+            .candidate
+            .tv_layouts
+            .get(&id)
+            .ok_or_else(|| self.missing(id))?;
+        let fp = match state.tv_fp.get(&id) {
+            Some(&fp) => fp,
+            None => {
+                let mut hasher = DefaultHasher::new();
+                self.program.name.hash(&mut hasher);
+                tv.hash(&mut hasher);
+                let fp = hasher.finish();
+                state.tv_fp.insert(id, fp);
+                fp
+            }
+        };
+        let key = (id, fp);
+        if let std::collections::hash_map::Entry::Vacant(e) = cache.tv.entry(key) {
             let threads = tv.num_threads();
             let values = tv.values_per_thread();
             let mut index = Vec::with_capacity(threads * values);
@@ -671,7 +817,7 @@ impl<'a> FunctionalSim<'a> {
                 index,
             });
         }
-        Ok(tables.tv.get(&id).expect("just inserted"))
+        Ok(cache.tv.get(&key).expect("just inserted"))
     }
 
     /// Gathers the full logical tile of a tensor (register or shared).
@@ -680,7 +826,8 @@ impl<'a> FunctionalSim<'a> {
         id: TensorId,
         shared: &HashMap<TensorId, Vec<f32>>,
         regs: &HashMap<TensorId, RegisterFile>,
-        tables: &mut SimTables,
+        cache: &mut SimTableCache,
+        state: &mut RunState,
     ) -> Result<(Vec<usize>, Vec<f32>)> {
         let decl = self.program.tensor(id);
         let tile = decl.tile_shape_2d();
@@ -691,7 +838,7 @@ impl<'a> FunctionalSim<'a> {
             MemSpace::Register => {
                 if fast {
                     let file = regs.get(&id).ok_or_else(|| self.missing(id))?;
-                    let table = self.tv_table(id, tables)?;
+                    let table = self.tv_table(id, cache, state)?;
                     for t in 0..table.threads {
                         for v in 0..table.values {
                             let i = t * table.values + v;
@@ -721,7 +868,19 @@ impl<'a> FunctionalSim<'a> {
             MemSpace::Shared => {
                 let buffer = shared.get(&id).ok_or_else(|| self.missing(id))?;
                 if fast {
-                    tables.shared_gather.entry(id).or_insert_with(|| {
+                    let fp = match state.gather_fp.get(&id) {
+                        Some(&fp) => fp,
+                        None => {
+                            let mut hasher = DefaultHasher::new();
+                            self.program.name.hash(&mut hasher);
+                            Self::hash_swizzled(&self.smem_layout(id), &mut hasher);
+                            let fp = hasher.finish();
+                            state.gather_fp.insert(id, fp);
+                            fp
+                        }
+                    };
+                    let key = (id, fp);
+                    cache.shared_gather.entry(key).or_insert_with(|| {
                         let layout = self.smem_layout(id);
                         let addrs: Vec<usize> = (0..total)
                             .map(|idx| {
@@ -733,7 +892,7 @@ impl<'a> FunctionalSim<'a> {
                             .collect();
                         addrs
                     });
-                    let addrs = &tables.shared_gather[&id];
+                    let addrs = &cache.shared_gather[&key];
                     for (idx, &addr) in addrs.iter().enumerate() {
                         full[idx] = buffer.get(addr).copied().unwrap_or(0.0);
                     }
@@ -763,12 +922,13 @@ impl<'a> FunctionalSim<'a> {
         id: TensorId,
         full: &[f32],
         regs: &mut HashMap<TensorId, RegisterFile>,
-        tables: &mut SimTables,
+        cache: &mut SimTableCache,
+        state: &mut RunState,
     ) -> Result<()> {
         let decl = self.program.tensor(id);
         let total: usize = decl.tile_shape_2d().iter().product();
         if fastpath::enabled() {
-            let table = self.tv_table(id, tables)?;
+            let table = self.tv_table(id, cache, state)?;
             let file = regs.get_mut(&id).ok_or_else(|| self.missing(id))?;
             for t in 0..table.threads {
                 for v in 0..table.values {
@@ -797,6 +957,7 @@ impl<'a> FunctionalSim<'a> {
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn execute_gemm(
         &self,
         c: TensorId,
@@ -804,11 +965,12 @@ impl<'a> FunctionalSim<'a> {
         b: TensorId,
         shared: &mut HashMap<TensorId, Vec<f32>>,
         regs: &mut HashMap<TensorId, RegisterFile>,
-        tables: &mut SimTables,
+        cache: &mut SimTableCache,
+        state: &mut RunState,
     ) -> Result<()> {
-        let (a_tile, a_full) = self.gather_tile(a, shared, regs, tables)?;
-        let (b_tile, b_full) = self.gather_tile(b, shared, regs, tables)?;
-        let (c_tile, mut c_full) = self.gather_tile(c, shared, regs, tables)?;
+        let (a_tile, a_full) = self.gather_tile(a, shared, regs, cache, state)?;
+        let (b_tile, b_full) = self.gather_tile(b, shared, regs, cache, state)?;
+        let (c_tile, mut c_full) = self.gather_tile(c, shared, regs, cache, state)?;
         let (m, k) = (a_tile[0], a_tile[1]);
         let n = b_tile[0];
         debug_assert_eq!(c_tile, vec![m, n]);
@@ -822,7 +984,7 @@ impl<'a> FunctionalSim<'a> {
                 c_full[mi + m * ni] += acc as f32;
             }
         }
-        self.scatter_tile(c, &c_full, regs, tables)
+        self.scatter_tile(c, &c_full, regs, cache, state)
     }
 
     fn redistribute(
@@ -830,11 +992,12 @@ impl<'a> FunctionalSim<'a> {
         src: TensorId,
         dst: TensorId,
         regs: &mut HashMap<TensorId, RegisterFile>,
-        tables: &mut SimTables,
+        cache: &mut SimTableCache,
+        state: &mut RunState,
     ) -> Result<()> {
         let shared_dummy = HashMap::new();
-        let (_, full) = self.gather_tile(src, &shared_dummy, regs, tables)?;
-        self.scatter_tile(dst, &full, regs, tables)
+        let (_, full) = self.gather_tile(src, &shared_dummy, regs, cache, state)?;
+        self.scatter_tile(dst, &full, regs, cache, state)
     }
 
     fn execute_elementwise(
@@ -887,10 +1050,11 @@ impl<'a> FunctionalSim<'a> {
         dim: usize,
         op: ReduceOp,
         regs: &mut HashMap<TensorId, RegisterFile>,
-        tables: &mut SimTables,
+        cache: &mut SimTableCache,
+        state: &mut RunState,
     ) -> Result<()> {
         let shared_dummy = HashMap::new();
-        let (tile, full) = self.gather_tile(src, &shared_dummy, regs, tables)?;
+        let (tile, full) = self.gather_tile(src, &shared_dummy, regs, cache, state)?;
         let (rows, cols) = (tile[0], tile.get(1).copied().unwrap_or(1));
         let mut reduced_tile = tile.clone();
         reduced_tile[dim] = 1;
@@ -921,7 +1085,7 @@ impl<'a> FunctionalSim<'a> {
             // reduced tile is (rows, 1): index = r.
             dst_full[..total].copy_from_slice(&out[..total]);
         }
-        self.scatter_tile(dst, &dst_full, regs, tables)
+        self.scatter_tile(dst, &dst_full, regs, cache, state)
     }
 }
 
@@ -1097,6 +1261,81 @@ mod tests {
             let fast_bits: Vec<u32> = buf.iter().map(|x| x.to_bits()).collect();
             assert_eq!(fast_bits, ref_bits, "buffer {name} diverged");
         }
+    }
+
+    #[test]
+    fn shared_table_cache_is_bit_identical_across_sibling_candidates() {
+        let (m, n, k) = (64, 64, 32);
+        let mut kb = KernelBuilder::new("siblings", 128);
+        let ga = kb.global_view(
+            "a",
+            DType::F16,
+            Layout::from_flat(&[m, k], &[k, 1]),
+            &[m, k],
+        );
+        let gb = kb.global_view(
+            "b",
+            DType::F16,
+            Layout::from_flat(&[n, k], &[k, 1]),
+            &[n, k],
+        );
+        let gc = kb.global_view(
+            "c",
+            DType::F32,
+            Layout::from_flat(&[m, n], &[n, 1]),
+            &[m, n],
+        );
+        let sa = kb.shared_tensor("sa", DType::F16, &[m, k]);
+        let sb = kb.shared_tensor("sb", DType::F16, &[n, k]);
+        let ra = kb.register_tensor("ra", DType::F16, &[m, k]);
+        let rb = kb.register_tensor("rb", DType::F16, &[n, k]);
+        let rc = kb.register_tensor("rc", DType::F32, &[m, n]);
+        kb.fill(rc, 0.0);
+        kb.copy(ga, sa);
+        kb.copy(gb, sb);
+        kb.copy(sa, ra);
+        kb.copy(sb, rb);
+        kb.gemm(rc, ra, rb);
+        kb.copy(rc, gc);
+        let program = kb.build().unwrap();
+        let arch = GpuArch::a100();
+        let candidates = Synthesizer::new(&program, &arch, SynthesisOptions::default())
+            .synthesize()
+            .unwrap();
+        assert!(candidates.len() > 1);
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut inputs = HashMap::new();
+        inputs.insert("a".to_string(), random_vec(&mut rng, m * k));
+        inputs.insert("b".to_string(), random_vec(&mut rng, n * k));
+
+        // One long-lived cache serves every sibling candidate; outputs must
+        // equal the per-run-cache outputs bit for bit. Siblings sharing all
+        // choices for an op reuse its tables, so the cache grows by less
+        // than a full table set per candidate. Tables only exist on the fast
+        // path, so force it on for the sharing measurement.
+        let was_enabled = fastpath::enabled();
+        fastpath::set_enabled(true);
+        let mut cache = SimTableCache::new();
+        let mut sizes = Vec::new();
+        for candidate in &candidates {
+            let sim = FunctionalSim::new(&program, candidate);
+            let fresh = sim.run(&inputs).unwrap();
+            let cached = sim.run_with_cache(&inputs, &mut cache).unwrap();
+            for (name, buf) in &fresh {
+                let fresh_bits: Vec<u32> = buf.iter().map(|x| x.to_bits()).collect();
+                let cached_bits: Vec<u32> = cached[name].iter().map(|x| x.to_bits()).collect();
+                assert_eq!(fresh_bits, cached_bits, "buffer {name} diverged");
+            }
+            sizes.push(cache.len());
+        }
+        fastpath::set_enabled(was_enabled);
+        let first = sizes[0];
+        let last = *sizes.last().unwrap();
+        assert!(first > 0, "the fast path built no tables at all: {sizes:?}");
+        assert!(
+            last < first * candidates.len(),
+            "no table sharing across siblings: {sizes:?}"
+        );
     }
 
     #[test]

@@ -23,7 +23,8 @@ mod functional;
 mod perf;
 
 pub use error::{Result, SimError};
-pub use functional::{quantize, FunctionalSim};
+pub use functional::{quantize, FunctionalSim, SimTableCache};
 pub use perf::{
-    bank_conflict_penalty, estimate_kernel, estimate_sequence, global_memory_efficiency, PerfReport,
+    bank_conflict_penalty, estimate_kernel, estimate_sequence, global_memory_efficiency,
+    PerfEvaluator, PerfReport,
 };

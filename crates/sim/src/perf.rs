@@ -7,10 +7,16 @@
 //! occupancy and wave quantization across SMs, the DRAM and Tensor Core
 //! rooflines of the whole device, and kernel-launch overhead.
 
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::RwLock;
+
 use hexcute_arch::{GpuArch, MemSpace};
-use hexcute_costmodel::CostModel;
-use hexcute_ir::{OpKind, Program};
-use hexcute_synthesis::{bank_conflict_degree, Candidate};
+use hexcute_costmodel::{op_choice_fingerprint, program_fingerprint, CostBreakdown, CostModel};
+use hexcute_ir::{Op, OpId, OpKind, Program, TensorId};
+use hexcute_layout::SwizzledLayout;
+use hexcute_synthesis::{bank_conflict_degree, Candidate, CopyChoice};
 
 /// The estimated execution profile of one kernel launch.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,9 +53,177 @@ impl PerfReport {
 
 /// Estimates the device-level latency of one launch of the program with the
 /// given synthesized candidate.
+///
+/// This is the one-shot entry point: it re-derives the instruction timeline
+/// with a fresh cost model and recomputes every bank-conflict penalty. When
+/// scoring many sibling candidates, use a shared [`PerfEvaluator`] (and a
+/// shared [`CostModel`]) instead — the results are bit-identical.
 pub fn estimate_kernel(program: &Program, candidate: &Candidate, arch: &GpuArch) -> PerfReport {
     let cost = CostModel::new(arch).estimate(program, candidate);
     let bank_conflict_cycles = bank_conflict_penalty(program, candidate, arch);
+    finish_report(program, candidate, arch, &cost, bank_conflict_cycles)
+}
+
+/// An incremental performance evaluator for scoring many candidates of one
+/// program: per-operation bank-conflict penalties are memoized across
+/// candidates, keyed by the operation's choice fingerprint plus the layout of
+/// the shared buffer it touches — sibling candidates re-pay only the
+/// operations their differing choice suffix changed. Safe to share across
+/// threads (the caches are behind read-write locks).
+#[derive(Debug)]
+pub struct PerfEvaluator<'a> {
+    arch: &'a GpuArch,
+    bank_cache: RwLock<HashMap<(OpId, u64), f64>>,
+    /// Fingerprint of the program the cache currently describes: operation
+    /// ids are only unique within one program, so evaluating a different
+    /// program clears the cache (sequential cross-program reuse is safe;
+    /// concurrent evaluation of *different* programs is not supported).
+    program_tag: RwLock<Option<u64>>,
+}
+
+impl<'a> PerfEvaluator<'a> {
+    /// Creates an evaluator for the architecture with empty caches.
+    pub fn new(arch: &'a GpuArch) -> Self {
+        PerfEvaluator {
+            arch,
+            bank_cache: RwLock::new(HashMap::new()),
+            program_tag: RwLock::new(None),
+        }
+    }
+
+    /// Clears the per-operation cache when `program` differs from the one it
+    /// was built for.
+    fn retag(&self, program: &Program) {
+        let tag = program_fingerprint(program);
+        if *self.program_tag.read().unwrap() == Some(tag) {
+            return;
+        }
+        let mut current = self.program_tag.write().unwrap();
+        if *current != Some(tag) {
+            *current = Some(tag);
+            self.bank_cache.write().unwrap().clear();
+        }
+    }
+
+    /// Derives the device-level performance report from an already-computed
+    /// cost breakdown (avoiding the duplicate instruction-timeline estimate
+    /// `estimate_kernel` performs). Bit-identical to [`estimate_kernel`] when
+    /// `cost` came from [`CostModel::estimate`] on the same inputs.
+    pub fn evaluate(
+        &self,
+        program: &Program,
+        candidate: &Candidate,
+        cost: &CostBreakdown,
+    ) -> PerfReport {
+        self.retag(program);
+        let bank_conflict_cycles = self.bank_conflict_penalty(program, candidate);
+        finish_report(program, candidate, self.arch, cost, bank_conflict_cycles)
+    }
+
+    /// [`bank_conflict_penalty`] with per-operation memoization.
+    fn bank_conflict_penalty(&self, program: &Program, candidate: &Candidate) -> f64 {
+        let mut penalty = 0.0f64;
+        for op in program.ops() {
+            let Some((choice, tensor, layout)) = bank_conflict_context(program, candidate, op)
+            else {
+                continue;
+            };
+            let key = (op.id, bank_fingerprint(candidate, op, choice, layout));
+            if let Some(&hit) = self.bank_cache.read().unwrap().get(&key) {
+                penalty += hit;
+                continue;
+            }
+            let computed = bank_conflict_penalty_op(program, op, choice, tensor, layout, self.arch);
+            self.bank_cache.write().unwrap().insert(key, computed);
+            penalty += computed;
+        }
+        penalty
+    }
+}
+
+/// Fingerprint of everything candidate-dependent the per-operation conflict
+/// charge reads: the instruction choice plus the synthesized layout (base
+/// modes and swizzle) of the shared buffer. The per-thread coverage is
+/// plan-constant per operation, so the operation identity covers it.
+fn bank_fingerprint(
+    candidate: &Candidate,
+    op: &Op,
+    choice: &CopyChoice,
+    layout: &SwizzledLayout,
+) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    op_choice_fingerprint(candidate, op).hash(&mut hasher);
+    choice.vector_dim.hash(&mut hasher);
+    layout.layout().hash(&mut hasher);
+    let swizzle = layout.swizzle();
+    swizzle.bits().hash(&mut hasher);
+    swizzle.base().hash(&mut hasher);
+    swizzle.shift().hash(&mut hasher);
+    hasher.finish()
+}
+
+/// The copy choice, shared tensor and synthesized layout of an operation
+/// that participates in the bank-conflict charge (`None` for every other
+/// operation).
+fn bank_conflict_context<'c>(
+    program: &Program,
+    candidate: &'c Candidate,
+    op: &Op,
+) -> Option<(&'c CopyChoice, TensorId, &'c SwizzledLayout)> {
+    let OpKind::Copy { src, dst } = op.kind else {
+        return None;
+    };
+    let choice = candidate.copy_choices.get(&op.id)?;
+    if matches!(choice.atom.kind, hexcute_arch::CopyKind::LdMatrix { .. }) {
+        // ldmatrix reads whole 16-byte rows; the swizzle selected during
+        // shared-memory synthesis already spreads those rows across the
+        // banks, and its per-thread *fragment* coverage is not the access
+        // pattern, so it is excluded from the conflict charge.
+        return None;
+    }
+    let tensor = if program.tensor(src).space == MemSpace::Shared {
+        src
+    } else if program.tensor(dst).space == MemSpace::Shared {
+        dst
+    } else {
+        return None;
+    };
+    let layout = candidate.smem_layouts.get(&tensor)?;
+    Some((choice, tensor, layout))
+}
+
+/// The conflict charge of one applicable copy operation.
+fn bank_conflict_penalty_op(
+    program: &Program,
+    op: &Op,
+    choice: &CopyChoice,
+    tensor: TensorId,
+    layout: &SwizzledLayout,
+    arch: &GpuArch,
+) -> f64 {
+    let decl = program.tensor(tensor);
+    let accesses: Vec<usize> = (0..32.min(choice.coverage.num_threads()))
+        .map(|t| choice.coverage.map(t, 0))
+        .collect();
+    let degree = bank_conflict_degree(layout, &accesses, decl.dtype.bits(), arch);
+    let reps = if op.in_main_loop {
+        program.main_loop_trip_count
+    } else {
+        1
+    };
+    // Each degree of conflict serializes an extra shared-memory pass.
+    degree as f64 * 2.0 * choice.invocations as f64 * reps as f64
+}
+
+/// Derives the device-level report from the per-block cost breakdown and the
+/// bank-conflict charge (occupancy, rooflines, launch overhead).
+fn finish_report(
+    program: &Program,
+    candidate: &Candidate,
+    arch: &GpuArch,
+    cost: &CostBreakdown,
+    bank_conflict_cycles: f64,
+) -> PerfReport {
     let block_cycles = cost.total_cycles + bank_conflict_cycles;
     let block_us = arch.cycles_to_ns(block_cycles) / 1000.0;
 
@@ -176,46 +350,16 @@ pub fn global_memory_efficiency(program: &Program, candidate: &Candidate) -> f64
 }
 
 /// Extra per-block cycles caused by shared-memory bank conflicts under the
-/// candidate's shared-memory layouts and access patterns.
+/// candidate's shared-memory layouts and access patterns. The uncached
+/// reference; [`PerfEvaluator`] memoizes the same per-operation charges
+/// across sibling candidates.
 pub fn bank_conflict_penalty(program: &Program, candidate: &Candidate, arch: &GpuArch) -> f64 {
     let mut penalty = 0.0f64;
     for op in program.ops() {
-        let OpKind::Copy { src, dst } = op.kind else {
+        let Some((choice, tensor, layout)) = bank_conflict_context(program, candidate, op) else {
             continue;
         };
-        let Some(choice) = candidate.copy_choices.get(&op.id) else {
-            continue;
-        };
-        if matches!(choice.atom.kind, hexcute_arch::CopyKind::LdMatrix { .. }) {
-            // ldmatrix reads whole 16-byte rows; the swizzle selected during
-            // shared-memory synthesis already spreads those rows across the
-            // banks, and its per-thread *fragment* coverage is not the access
-            // pattern, so it is excluded from the conflict charge.
-            continue;
-        }
-        let smem_tensor = if program.tensor(src).space == MemSpace::Shared {
-            Some(src)
-        } else if program.tensor(dst).space == MemSpace::Shared {
-            Some(dst)
-        } else {
-            None
-        };
-        let Some(tensor) = smem_tensor else { continue };
-        let Some(layout) = candidate.smem_layouts.get(&tensor) else {
-            continue;
-        };
-        let decl = program.tensor(tensor);
-        let accesses: Vec<usize> = (0..32.min(choice.coverage.num_threads()))
-            .map(|t| choice.coverage.map(t, 0))
-            .collect();
-        let degree = bank_conflict_degree(layout, &accesses, decl.dtype.bits(), arch);
-        let reps = if op.in_main_loop {
-            program.main_loop_trip_count
-        } else {
-            1
-        };
-        // Each degree of conflict serializes an extra shared-memory pass.
-        penalty += degree as f64 * 2.0 * choice.invocations as f64 * reps as f64;
+        penalty += bank_conflict_penalty_op(program, op, choice, tensor, layout, arch);
     }
     penalty
 }
@@ -340,6 +484,30 @@ mod tests {
         let candidate = candidate_for(&program, &arch, SynthesisOptions::default());
         let report = estimate_kernel(&program, &candidate, &arch);
         assert!(report.launch_overhead_us / report.latency_us > 0.5);
+    }
+
+    #[test]
+    fn shared_evaluator_matches_estimate_kernel_across_siblings() {
+        let arch = GpuArch::a100();
+        let program = gemm_program(216, 2);
+        let candidates = Synthesizer::new(&program, &arch, SynthesisOptions::default())
+            .synthesize()
+            .unwrap();
+        assert!(candidates.len() > 1);
+        let model = CostModel::new(&arch);
+        let evaluator = PerfEvaluator::new(&arch);
+        for candidate in &candidates {
+            let reference = estimate_kernel(&program, candidate, &arch);
+            let cost = model.estimate(&program, candidate);
+            let incremental = evaluator.evaluate(&program, candidate, &cost);
+            // Bit-identical, not approximately equal: the cached per-op
+            // penalties and the shared cost model must not perturb anything.
+            assert_eq!(
+                reference.latency_us.to_bits(),
+                incremental.latency_us.to_bits()
+            );
+            assert_eq!(reference, incremental);
+        }
     }
 
     #[test]

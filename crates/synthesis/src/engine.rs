@@ -25,24 +25,25 @@ pub struct Synthesizer<'a> {
     options: SynthesisOptions,
 }
 
-/// The result of thread-value synthesis before instruction enumeration.
+/// The result of thread-value synthesis before instruction enumeration. The
+/// whole search shares one `TvBase`: it is the root of the prefix tree.
 #[derive(Debug, Clone)]
-struct TvBase {
-    tv: BTreeMap<TensorId, TvLayout>,
-    mma: BTreeMap<OpId, MmaChoice>,
-    rearranges: Vec<RearrangeFix>,
-    notes: Vec<String>,
+pub(crate) struct TvBase {
+    pub(crate) tv: BTreeMap<TensorId, TvLayout>,
+    pub(crate) mma: BTreeMap<OpId, MmaChoice>,
+    pub(crate) rearranges: Vec<RearrangeFix>,
+    pub(crate) notes: Vec<String>,
 }
 
 /// The instruction alternatives available for one copy operation.
 #[derive(Debug, Clone)]
-struct CopyPlan {
-    op: OpId,
-    tile_elems: usize,
-    vector_dim: usize,
+pub(crate) struct CopyPlan {
+    pub(crate) op: OpId,
+    pub(crate) tile_elems: usize,
+    pub(crate) vector_dim: usize,
     /// Valid alternatives, widest first: (atom, elements per thread).
-    alternatives: Vec<(CopyAtom, usize)>,
-    coverage: TvLayout,
+    pub(crate) alternatives: Vec<(CopyAtom, usize)>,
+    pub(crate) coverage: TvLayout,
 }
 
 impl<'a> Synthesizer<'a> {
@@ -60,6 +61,16 @@ impl<'a> Synthesizer<'a> {
         self.program
     }
 
+    /// The target architecture.
+    pub(crate) fn arch(&self) -> &GpuArch {
+        self.arch
+    }
+
+    /// The active search options.
+    pub(crate) fn options(&self) -> &SynthesisOptions {
+        &self.options
+    }
+
     /// Runs the full synthesis: thread-value layouts, instruction selection
     /// (expanding the search tree into candidates) and shared-memory layout
     /// synthesis for every candidate.
@@ -67,6 +78,16 @@ impl<'a> Synthesizer<'a> {
     /// The first returned candidate is the preferred one (widest
     /// instructions); the remainder are the alternatives explored by the
     /// search tree, ending with the all-scalar fallback.
+    /// `max_candidates` bounds the number of *finished* candidates: the
+    /// enumeration itself is never truncated, so a workload whose first
+    /// selections are all shared-memory-infeasible still reaches the feasible
+    /// ones further down the tree.
+    ///
+    /// By default the candidates are evaluated incrementally along shared
+    /// choice prefixes (see [`crate::prefix`]); the full per-candidate
+    /// re-evaluation stays available via
+    /// [`SynthesisOptions::incremental`]` = false` or
+    /// `HEXCUTE_DISABLE_INCREMENTAL=1` and produces bit-identical results.
     ///
     /// # Errors
     ///
@@ -75,11 +96,32 @@ impl<'a> Synthesizer<'a> {
     pub fn synthesize(&self) -> Result<Vec<Candidate>> {
         let base = self.solve_tv()?;
         let plans = self.build_copy_plans(&base)?;
-        let candidates = self.enumerate_candidates(&base, &plans);
+        let selections = self.enumerate_selections(&plans);
+        let max = self.options.max_candidates.max(1);
+        let finished: Vec<Candidate> = if self.options.incremental && crate::incremental_enabled() {
+            self.evaluate_incremental(&base, &plans, &selections, max)
+        } else {
+            self.evaluate_reference(&base, &plans, &selections, max)
+        };
+        if finished.is_empty() {
+            return Err(SynthesisError::NoCandidates);
+        }
+        Ok(finished)
+    }
+
+    /// The reference evaluation: every candidate is materialized and its
+    /// shared-memory layouts are synthesized from scratch. When the fast
+    /// path is on the candidates are finished in parallel (order preserved);
+    /// the serial loop is the pre-fast-path behaviour.
+    pub(crate) fn evaluate_reference(
+        &self,
+        base: &TvBase,
+        plans: &[CopyPlan],
+        selections: &[Vec<usize>],
+        max: usize,
+    ) -> Vec<Candidate> {
         // Shared-memory synthesis; drop candidates whose constraints cannot
-        // be satisfied even after falling back. When the fast path is on the
-        // candidates are synthesized in parallel (order preserved); the
-        // serial loop below it is the reference.
+        // be satisfied even after falling back.
         let finish = |mut candidate: Candidate| -> Option<Candidate> {
             match synthesize_smem_layouts(self.program, self.arch, &self.options, &mut candidate) {
                 Ok(()) => Some(candidate),
@@ -88,7 +130,7 @@ impl<'a> Synthesizer<'a> {
                     // alternative and retry once (Section V: "the compiler
                     // falls back to scalar instructions").
                     let mut fallback = candidate.clone();
-                    degrade_to_scalar(&plans, &mut fallback);
+                    degrade_to_scalar(plans, &mut fallback);
                     if synthesize_smem_layouts(
                         self.program,
                         self.arch,
@@ -107,28 +149,33 @@ impl<'a> Synthesizer<'a> {
                 }
             }
         };
-        let finished: Vec<Candidate> = if hexcute_layout::fast_path_enabled() {
+        if hexcute_layout::fast_path_enabled() {
+            // The parallel branch finishes every selection and applies the
+            // cap afterwards (workers cannot know how many earlier
+            // selections will survive feasibility filtering); with the
+            // default `max_candidates` (larger than any enumeration) no
+            // discarded work occurs.
+            let candidates: Vec<Candidate> = selections
+                .iter()
+                .map(|sel| self.materialize_candidate(base, plans, sel))
+                .collect();
             hexcute_parallel::par_map(candidates, finish)
                 .into_iter()
                 .flatten()
-                .take(self.options.max_candidates.max(1))
+                .take(max)
                 .collect()
         } else {
             let mut finished = Vec::new();
-            for candidate in candidates {
-                if let Some(done) = finish(candidate) {
-                    finished.push(done);
-                }
-                if finished.len() >= self.options.max_candidates {
+            for sel in selections {
+                if finished.len() >= max {
                     break;
+                }
+                if let Some(done) = finish(self.materialize_candidate(base, plans, sel)) {
+                    finished.push(done);
                 }
             }
             finished
-        };
-        if finished.is_empty() {
-            return Err(SynthesisError::NoCandidates);
         }
-        Ok(finished)
     }
 
     /// Convenience wrapper returning only the preferred candidate.
@@ -144,7 +191,7 @@ impl<'a> Synthesizer<'a> {
     // Thread-value layout synthesis (Algorithm 1).
     // ------------------------------------------------------------------
 
-    fn solve_tv(&self) -> Result<TvBase> {
+    pub(crate) fn solve_tv(&self) -> Result<TvBase> {
         let mut base = TvBase {
             tv: BTreeMap::new(),
             mma: BTreeMap::new(),
@@ -553,7 +600,7 @@ impl<'a> Synthesizer<'a> {
     // Instruction selection / search tree expansion.
     // ------------------------------------------------------------------
 
-    fn build_copy_plans(&self, base: &TvBase) -> Result<Vec<CopyPlan>> {
+    pub(crate) fn build_copy_plans(&self, base: &TvBase) -> Result<Vec<CopyPlan>> {
         let mut plans = Vec::new();
         for op in self.program.ops() {
             let OpKind::Copy { src, dst } = op.kind else {
@@ -697,7 +744,17 @@ impl<'a> Synthesizer<'a> {
         }
     }
 
-    fn enumerate_candidates(&self, base: &TvBase, plans: &[CopyPlan]) -> Vec<Candidate> {
+    /// Expands the search tree into selection vectors (one alternative index
+    /// per copy plan): the preferred candidate first, then the one-at-a-time
+    /// deviations in plan order, then the all-scalar fallback.
+    ///
+    /// `max_candidates` is deliberately *not* applied here: shared-memory
+    /// feasibility filtering happens after finishing, so truncating the
+    /// enumeration would return an empty set for workloads whose first
+    /// `max_candidates` selections are all infeasible even though feasible
+    /// candidates exist past the cutoff. The cap is applied to finished
+    /// candidates only (see [`Synthesizer::synthesize`]).
+    pub(crate) fn enumerate_selections(&self, plans: &[CopyPlan]) -> Vec<Vec<usize>> {
         let preferred: Vec<usize> = vec![0; plans.len()];
         let mut selections = vec![preferred.clone()];
         // One-at-a-time alternatives (the branches of the DFS tree).
@@ -716,15 +773,10 @@ impl<'a> Synthesizer<'a> {
                 .collect();
             selections.push(scalar);
         }
-        selections.truncate(self.options.max_candidates.max(1));
-
         selections
-            .into_iter()
-            .map(|sel| self.materialize_candidate(base, plans, &sel))
-            .collect()
     }
 
-    fn materialize_candidate(
+    pub(crate) fn materialize_candidate(
         &self,
         base: &TvBase,
         plans: &[CopyPlan],
@@ -794,7 +846,7 @@ fn copy_kind_rank(atom: &CopyAtom) -> usize {
     }
 }
 
-fn degrade_to_scalar(plans: &[CopyPlan], candidate: &mut Candidate) {
+pub(crate) fn degrade_to_scalar(plans: &[CopyPlan], candidate: &mut Candidate) {
     for plan in plans {
         if let Some(choice) = candidate.copy_choices.get_mut(&plan.op) {
             if let Some((atom, _)) = plan.alternatives.last() {
@@ -1132,6 +1184,137 @@ mod tests {
             doubled_layout,
             best.tv_layouts.get(&ru_id).unwrap()
         ));
+    }
+
+    /// A pure copy chain `g → s → r → g` whose plans the tests below replace
+    /// with fabricated alternatives.
+    fn copy_chain_program() -> Program {
+        let mut kb = KernelBuilder::new("chain", 128);
+        let ga = kb.global_view(
+            "ga",
+            DType::F16,
+            Layout::from_flat(&[64, 64], &[64, 1]),
+            &[64, 64],
+        );
+        let gc = kb.global_view(
+            "gc",
+            DType::F16,
+            Layout::from_flat(&[64, 64], &[64, 1]),
+            &[64, 64],
+        );
+        let sa = kb.shared_tensor("sa", DType::F16, &[64, 64]);
+        let ra = kb.register_tensor("ra", DType::F16, &[64, 64]);
+        kb.copy(ga, sa);
+        kb.copy(sa, ra);
+        kb.copy(ra, gc);
+        kb.build().unwrap()
+    }
+
+    fn atom_of_kind(
+        arch: &GpuArch,
+        src: MemSpace,
+        dst: MemSpace,
+        want: fn(&CopyKind) -> bool,
+    ) -> CopyAtom {
+        copy_candidates(arch, src, dst)
+            .into_iter()
+            .find(|a| want(&a.kind))
+            .expect("catalog carries the requested atom kind")
+    }
+
+    /// Regression test for the `max_candidates` truncation bug: the
+    /// enumeration used to be cut to `max_candidates` *before* shared-memory
+    /// feasibility filtering, so a workload whose first selections are all
+    /// infeasible (even after the scalar fallback) returned an empty set
+    /// although feasible candidates existed past the cutoff. The cap now
+    /// applies to finished candidates only.
+    #[test]
+    fn max_candidates_counts_finished_candidates_only() {
+        let program = copy_chain_program();
+        let arch = GpuArch::h100();
+        let options = SynthesisOptions {
+            max_candidates: 1,
+            ..SynthesisOptions::default()
+        };
+        let synth = Synthesizer::new(&program, &arch, options);
+        let base = synth.solve_tv().unwrap();
+        let mut plans = synth.build_copy_plans(&base).unwrap();
+        assert_eq!(plans.len(), 3);
+
+        // Fabricate an infeasible-heavy prefix: the g→s copy prefers TMA
+        // (demands 128-byte contiguity along dim 0 of `sa`, surviving the
+        // scalar degrade) while the s→r copy only offers ldmatrix (demands
+        // 8-element contiguity along dim 1). The preferred selection and the
+        // all-scalar fallback both conflict; only the deviation picking the
+        // 1-element vector for the g→s copy is feasible.
+        let tma = atom_of_kind(&arch, MemSpace::Global, MemSpace::Shared, |k| {
+            matches!(k, CopyKind::Tma)
+        });
+        let narrow = atom_of_kind(&arch, MemSpace::Global, MemSpace::Shared, |k| {
+            matches!(k, CopyKind::CpAsync)
+        });
+        let ldmatrix = atom_of_kind(&arch, MemSpace::Shared, MemSpace::Register, |k| {
+            matches!(k, CopyKind::LdMatrix { .. })
+        });
+        plans[0].vector_dim = 0;
+        plans[0].alternatives = vec![(tma.clone(), 64), (narrow, 1), (tma, 64)];
+        plans[1].vector_dim = 1;
+        plans[1].alternatives = vec![(ldmatrix, 8)];
+
+        let selections = synth.enumerate_selections(&plans);
+        // The enumeration itself is never truncated by `max_candidates`.
+        assert!(
+            selections.len() >= 4,
+            "expected the full enumeration, got {selections:?}"
+        );
+        assert_eq!(selections[0], vec![0, 0, 0], "preferred first");
+
+        let reference = synth.evaluate_reference(&base, &plans, &selections, 1);
+        assert_eq!(
+            reference.len(),
+            1,
+            "the feasible deviation past the infeasible prefix must be found"
+        );
+        let choice = &reference[0].copy_choices[&plans[0].op];
+        assert_eq!(
+            (choice.atom.kind, choice.elements_per_thread),
+            (CopyKind::CpAsync, 1),
+            "the surviving candidate is the one-element deviation"
+        );
+
+        // The incremental path agrees bit for bit, including on fallbacks.
+        let incremental = synth.evaluate_incremental(&base, &plans, &selections, 1);
+        assert_eq!(reference, incremental);
+
+        // Unbounded, both paths agree on the full feasible set too.
+        let all_ref = synth.evaluate_reference(&base, &plans, &selections, usize::MAX);
+        let all_inc = synth.evaluate_incremental(&base, &plans, &selections, usize::MAX);
+        assert_eq!(all_ref, all_inc);
+        assert_eq!(all_ref.len(), 1, "every other selection is infeasible");
+    }
+
+    #[test]
+    fn incremental_and_reference_paths_agree_on_gemm() {
+        let program = register_gemm_program();
+        let arch = GpuArch::a100();
+        let synth = Synthesizer::new(&program, &arch, SynthesisOptions::default());
+        let base = synth.solve_tv().unwrap();
+        let plans = synth.build_copy_plans(&base).unwrap();
+        let selections = synth.enumerate_selections(&plans);
+        let reference = synth.evaluate_reference(&base, &plans, &selections, usize::MAX);
+        let (incremental, stats) =
+            synth.evaluate_incremental_with_stats(&base, &plans, &selections, usize::MAX);
+        assert_eq!(reference, incremental);
+        // The sharing must actually kick in: siblings re-finish only the
+        // tensors their differing suffix touches.
+        assert!(
+            stats.tensor_layout_hits > 0,
+            "no prefix sharing happened: {stats:?}"
+        );
+        assert!(
+            stats.tensor_layouts_computed < selections.len() * program.shared_tensors().len(),
+            "every tensor was re-finished per candidate: {stats:?}"
+        );
     }
 
     #[test]

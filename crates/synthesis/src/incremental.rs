@@ -1,0 +1,53 @@
+//! Process-wide switch for the incremental prefix-shared candidate
+//! evaluation (see [`crate::prefix`]).
+//!
+//! Mirrors `hexcute_layout::fastpath`: the switch is initialized from the
+//! `HEXCUTE_DISABLE_INCREMENTAL` environment variable and can be flipped at
+//! runtime so before/after benchmarks and cross-check tests exercise both
+//! the incremental search and the full per-candidate re-evaluation in one
+//! process. The per-search override lives in
+//! [`crate::SynthesisOptions::incremental`]; the search is incremental only
+//! when *both* are on.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// 0 = uninitialized, 1 = enabled, 2 = disabled.
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+/// Returns `true` when the incremental prefix-shared candidate evaluation is
+/// globally enabled (the default; `HEXCUTE_DISABLE_INCREMENTAL=1` disables
+/// it at startup).
+pub fn incremental_enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let disabled = std::env::var("HEXCUTE_DISABLE_INCREMENTAL")
+                .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+                .unwrap_or(false);
+            STATE.store(if disabled { 2 } else { 1 }, Ordering::Relaxed);
+            !disabled
+        }
+    }
+}
+
+/// Globally enables or disables the incremental evaluation (all threads,
+/// process-wide).
+pub fn set_incremental(on: bool) {
+    STATE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switch_round_trips() {
+        let initial = incremental_enabled();
+        set_incremental(false);
+        assert!(!incremental_enabled());
+        set_incremental(true);
+        assert!(incremental_enabled());
+        set_incremental(initial);
+    }
+}

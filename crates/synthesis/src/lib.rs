@@ -21,6 +21,13 @@
 //!
 //! The candidates are ranked by the analytical cost model in
 //! `hexcute-costmodel`; the driver in `hexcute-core` ties the two together.
+//!
+//! Candidates are evaluated *incrementally* along shared choice prefixes by
+//! default (see [`prefix`]): constraint unification and per-tensor
+//! shared-memory finishing are memoized across sibling candidates. The full
+//! per-candidate re-evaluation stays available behind
+//! [`SynthesisOptions::incremental`]` = false` /
+//! `HEXCUTE_DISABLE_INCREMENTAL=1` and is cross-checked bit-for-bit.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -29,7 +36,9 @@ mod choice;
 mod constraints;
 mod engine;
 mod error;
+mod incremental;
 mod options;
+pub mod prefix;
 mod smem;
 
 pub use choice::{Candidate, CopyChoice, MmaChoice, RearrangeFix};
@@ -39,5 +48,6 @@ pub use constraints::{
 };
 pub use engine::Synthesizer;
 pub use error::{Result, SynthesisError};
+pub use incremental::{incremental_enabled, set_incremental};
 pub use options::SynthesisOptions;
 pub use smem::{bank_conflict_degree, synthesize_smem_layouts, ConstraintMode, LayoutConstraint};

@@ -28,6 +28,13 @@ pub struct SynthesisOptions {
     /// Allow non-power-of-two warp tilings of the C tile (the paper notes 28
     /// of 40 GEMM shapes pick non-power-of-two tiles on H100).
     pub allow_non_power_of_two_tiles: bool,
+    /// Evaluate candidates with the shared-prefix incremental search (memoized
+    /// constraint unification and shared-memory synthesis along shared choice
+    /// prefixes). When `false` — or when the process-wide switch is off, see
+    /// [`crate::set_incremental`] / `HEXCUTE_DISABLE_INCREMENTAL` — every
+    /// candidate is re-evaluated from scratch (the pre-PR-2 reference
+    /// behaviour). Both paths produce bit-identical candidate lists.
+    pub incremental: bool,
 }
 
 impl Default for SynthesisOptions {
@@ -42,6 +49,7 @@ impl Default for SynthesisOptions {
             force_row_major_smem: false,
             disable_swizzles: false,
             allow_non_power_of_two_tiles: true,
+            incremental: true,
         }
     }
 }
@@ -81,6 +89,7 @@ mod tests {
         let o = SynthesisOptions::default();
         assert!(o.allow_ldmatrix && o.allow_cp_async && o.allow_tma && o.allow_wgmma);
         assert!(!o.force_scalar_copies);
+        assert!(o.incremental);
         assert!(o.max_candidates >= 16);
     }
 

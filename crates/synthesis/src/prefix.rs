@@ -1,0 +1,314 @@
+//! Shared-prefix candidate evaluation (incremental search).
+//!
+//! The DFS search tree of Section IV-B varies one instruction choice at a
+//! time, so sibling candidates share a *prefix* of choices: the same MMA
+//! atom and the same copy plan for most edges. The reference path re-unifies
+//! shared-memory constraints and re-selects swizzles from scratch for every
+//! candidate; this module instead treats each selection as a path through a
+//! prefix tree of [`PrefixNode`]s, carrying per-shared-tensor constraint
+//! state down the path (each edge unifies only the constraint of the newly
+//! decided copy), and memoizes the expensive per-tensor finishing step
+//! (materialization + swizzle selection) keyed by the choices of exactly the
+//! copies touching the tensor — a sibling whose differing suffix does not
+//! touch a tensor reuses its finished layout outright. This is the same
+//! trick BDD packages use with apply-caches over shared subgraphs.
+//!
+//! The results are bit-identical to the reference path: the same constraints
+//! are unified in the same (program) order and the same finishing code runs
+//! on cache misses. The equivalence is cross-checked by
+//! `tests/incremental_vs_reference.rs` and the randomized kernel sweep in
+//! `hexcute-core`.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+
+use hexcute_arch::DType;
+use hexcute_ir::{OpKind, TensorId};
+use hexcute_layout::{Layout, SwizzledLayout};
+
+use crate::choice::{Candidate, CopyChoice};
+use crate::engine::{degrade_to_scalar, CopyPlan, Synthesizer, TvBase};
+use crate::smem::{copy_constraint, materialize_and_swizzle, unify_touching, LayoutConstraint};
+
+/// One node of the prefix tree: the per-shared-tensor constraint state after
+/// the first `depth` copy choices of the path. Children extend the state by
+/// unifying only the constraint of their newly decided copy.
+#[derive(Debug, Clone)]
+struct PrefixNode {
+    /// Unified constraint per shared tensor, or the first unification
+    /// conflict encountered along the path (which sends every candidate
+    /// below this node to the scalar fallback). `None` means the node's
+    /// choice touches no shared tensor and the state of the nearest
+    /// ancestor with `Some` applies unchanged — edges for register/global
+    /// copies then cost nothing.
+    constraints: Option<BTreeMap<TensorId, Result<LayoutConstraint, String>>>,
+}
+
+/// Counters exposing how much work the prefix sharing saved. Used by tests
+/// to assert that sharing actually happens.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefixStats {
+    /// Tree edges expanded (per-copy constraint unifications performed).
+    pub nodes_expanded: usize,
+    /// Per-tensor finishing computations (materialize + swizzle selection).
+    pub tensor_layouts_computed: usize,
+    /// Per-tensor finishing results served from the prefix cache.
+    pub tensor_layout_hits: usize,
+}
+
+/// The state of one incremental search: the current path through the prefix
+/// tree plus the cross-path memo of finished per-tensor layouts.
+struct PrefixSearch<'s, 'a> {
+    synth: &'s Synthesizer<'a>,
+    plans: &'s [CopyPlan],
+    /// Shared tensors in `program.shared_tensors()` order (the order the
+    /// reference path processes them in).
+    shared: Vec<TensorId>,
+    /// Tile shape and dtype per shared tensor.
+    info: BTreeMap<TensorId, (Vec<usize>, DType)>,
+    /// Plan indices (in plan = program order) touching each shared tensor.
+    touch: BTreeMap<TensorId, Vec<usize>>,
+    /// Shared tensors touched by each plan.
+    plan_touch: Vec<Vec<TensorId>>,
+    /// `stack[d]` is the node after the first `d` choices of `path`.
+    stack: Vec<PrefixNode>,
+    path: Vec<usize>,
+    /// Finished per-tensor layouts keyed by the choices of the copies
+    /// touching the tensor.
+    finished: HashMap<(TensorId, u64), Result<SwizzledLayout, String>>,
+    stats: PrefixStats,
+}
+
+impl<'s, 'a> PrefixSearch<'s, 'a> {
+    fn new(synth: &'s Synthesizer<'a>, plans: &'s [CopyPlan]) -> Self {
+        let program = synth.program();
+        let shared = program.shared_tensors();
+        let mut info = BTreeMap::new();
+        let mut touch: BTreeMap<TensorId, Vec<usize>> = BTreeMap::new();
+        for &tensor in &shared {
+            let decl = program.tensor(tensor);
+            info.insert(tensor, (decl.tile_shape_2d(), decl.dtype));
+            touch.insert(tensor, Vec::new());
+        }
+        let mut plan_touch = vec![Vec::new(); plans.len()];
+        for (d, plan) in plans.iter().enumerate() {
+            let OpKind::Copy { src, dst } = program.op(plan.op).kind else {
+                continue;
+            };
+            for tensor in [src, dst] {
+                if info.contains_key(&tensor) && !plan_touch[d].contains(&tensor) {
+                    plan_touch[d].push(tensor);
+                    touch.get_mut(&tensor).expect("shared tensor").push(d);
+                }
+            }
+        }
+        let root = PrefixNode {
+            constraints: Some(
+                info.iter()
+                    .map(|(&t, (tile, _))| (t, Ok(LayoutConstraint::unconstrained(tile))))
+                    .collect(),
+            ),
+        };
+        PrefixSearch {
+            synth,
+            plans,
+            shared,
+            info,
+            touch,
+            plan_touch,
+            stack: vec![root],
+            path: Vec::new(),
+            finished: HashMap::new(),
+            stats: PrefixStats::default(),
+        }
+    }
+
+    /// Repositions the walk at the leaf for `sel`, reusing the nodes of the
+    /// longest prefix shared with the previous path and expanding only the
+    /// differing suffix.
+    fn walk_to(&mut self, sel: &[usize]) {
+        let common = self
+            .path
+            .iter()
+            .zip(sel.iter())
+            .take_while(|(a, b)| a == b)
+            .count();
+        self.path.truncate(common);
+        self.stack.truncate(common + 1);
+        for (depth, &alternative) in sel.iter().enumerate().skip(common) {
+            self.extend(depth, alternative);
+        }
+    }
+
+    /// The constraint state at the current end of the path: the nearest
+    /// node that actually carries state (see [`PrefixNode::constraints`]).
+    fn current_constraints(&self) -> &BTreeMap<TensorId, Result<LayoutConstraint, String>> {
+        self.stack
+            .iter()
+            .rev()
+            .find_map(|node| node.constraints.as_ref())
+            .expect("the root always carries state")
+    }
+
+    /// Pushes one choice: unifies the chosen copy's constraint into the
+    /// state of every shared tensor the copy touches. Choices touching no
+    /// shared tensor push a stateless node (the ancestor state applies).
+    fn extend(&mut self, depth: usize, alternative: usize) {
+        let plan = &self.plans[depth];
+        let constraints = if self.plan_touch[depth].is_empty() {
+            None
+        } else {
+            self.stats.nodes_expanded += 1;
+            let mut constraints = self.current_constraints().clone();
+            // Mirror the clamp `materialize_candidate` applies to the
+            // alternative index.
+            let (atom, elems) = &plan.alternatives[alternative.min(plan.alternatives.len() - 1)];
+            for tensor in &self.plan_touch[depth] {
+                let (tile, dtype) = &self.info[tensor];
+                let entry = constraints.get_mut(tensor).expect("tracked tensor");
+                if let Ok(current) = entry {
+                    let c = copy_constraint(atom, plan.vector_dim, *elems, tile, *dtype);
+                    *entry = current.unify(&c);
+                }
+            }
+            Some(constraints)
+        };
+        self.stack.push(PrefixNode { constraints });
+        self.path.push(alternative);
+    }
+
+    /// Finishes the candidate at the current leaf: attaches memoized
+    /// shared-memory layouts, falling back to all-scalar copies when the
+    /// constraints conflict (and dropping the candidate when even the
+    /// fallback is unsatisfiable) — exactly like the reference path.
+    fn finish_leaf(&mut self, base: &TvBase, sel: &[usize]) -> Option<Candidate> {
+        let mut candidate = self.synth.materialize_candidate(base, self.plans, sel);
+        let leaf = self.current_constraints().clone();
+        if self.attach_smem(&mut candidate, Some(&leaf)).is_ok() {
+            return Some(candidate);
+        }
+        // Degrade every shared-memory copy to its scalar alternative and
+        // retry once (Section V: "the compiler falls back to scalar
+        // instructions"). The degraded choice set is the same for every
+        // failing sibling, so its per-tensor layouts are computed once.
+        degrade_to_scalar(self.plans, &mut candidate);
+        if self.attach_smem(&mut candidate, None).is_ok() {
+            candidate
+                .notes
+                .push("fell back to scalar copies for shared memory".to_string());
+            return Some(candidate);
+        }
+        None
+    }
+
+    /// Attaches a synthesized layout for every shared tensor of the program
+    /// to `candidate`, reusing memoized results when the choices of the
+    /// copies touching a tensor were seen before. `leaf` carries the
+    /// prefix-unified constraints; `None` (the degraded fallback) re-unifies
+    /// from the candidate's actual choices on a memo miss.
+    fn attach_smem(
+        &mut self,
+        candidate: &mut Candidate,
+        leaf: Option<&BTreeMap<TensorId, Result<LayoutConstraint, String>>>,
+    ) -> Result<(), ()> {
+        let options = self.synth.options();
+        for i in 0..self.shared.len() {
+            let tensor = self.shared[i];
+            let (tile, dtype) = self.info[&tensor].clone();
+            if options.force_row_major_smem {
+                candidate
+                    .smem_layouts
+                    .insert(tensor, SwizzledLayout::unswizzled(Layout::row_major(&tile)));
+                continue;
+            }
+            let touching: Vec<&CopyChoice> = self.touch[&tensor]
+                .iter()
+                .map(|&pi| &candidate.copy_choices[&self.plans[pi].op])
+                .collect();
+            let key = (tensor, touching_fingerprint(&touching));
+            let result = match self.finished.get(&key) {
+                Some(hit) => {
+                    self.stats.tensor_layout_hits += 1;
+                    hit.clone()
+                }
+                None => {
+                    self.stats.tensor_layouts_computed += 1;
+                    let constraint = match leaf {
+                        Some(leaf) => leaf[&tensor].clone(),
+                        None => unify_touching(&tile, &touching, dtype),
+                    };
+                    let computed = constraint.and_then(|c| {
+                        materialize_and_swizzle(
+                            &c,
+                            &touching,
+                            &tile,
+                            dtype.bits(),
+                            self.synth.arch(),
+                            options,
+                        )
+                    });
+                    self.finished.insert(key, computed.clone());
+                    computed
+                }
+            };
+            match result {
+                Ok(layout) => {
+                    candidate.smem_layouts.insert(tensor, layout);
+                }
+                Err(_) => return Err(()),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fingerprint of the copy choices touching one shared tensor — exactly the
+/// inputs `copy_constraint` and the swizzle scoring read (the per-thread
+/// coverage is plan-constant, so the op identity covers it).
+fn touching_fingerprint(touching: &[&CopyChoice]) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    for choice in touching {
+        choice.atom.name.hash(&mut hasher);
+        choice.elements_per_thread.hash(&mut hasher);
+        choice.vector_dim.hash(&mut hasher);
+    }
+    hasher.finish()
+}
+
+impl<'a> Synthesizer<'a> {
+    /// Evaluates the selections through the shared-prefix search, returning
+    /// at most `max` finished candidates in enumeration order.
+    pub(crate) fn evaluate_incremental(
+        &self,
+        base: &TvBase,
+        plans: &[CopyPlan],
+        selections: &[Vec<usize>],
+        max: usize,
+    ) -> Vec<Candidate> {
+        self.evaluate_incremental_with_stats(base, plans, selections, max)
+            .0
+    }
+
+    /// [`Synthesizer::evaluate_incremental`] plus the sharing counters.
+    pub(crate) fn evaluate_incremental_with_stats(
+        &self,
+        base: &TvBase,
+        plans: &[CopyPlan],
+        selections: &[Vec<usize>],
+        max: usize,
+    ) -> (Vec<Candidate>, PrefixStats) {
+        let mut search = PrefixSearch::new(self, plans);
+        let mut finished = Vec::new();
+        for sel in selections {
+            if finished.len() >= max {
+                break;
+            }
+            search.walk_to(sel);
+            if let Some(candidate) = search.finish_leaf(base, sel) {
+                finished.push(candidate);
+            }
+        }
+        (finished, search.stats)
+    }
+}
