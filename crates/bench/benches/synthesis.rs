@@ -64,6 +64,22 @@ fn bench_synthesis(c: &mut Criterion) {
                 .unwrap()
         })
     });
+
+    // PR 3: the parallel subtree walk at explicit worker counts against the
+    // serial incremental walk (`w1` uses the serial path by construction).
+    for workers in [1usize, 2, 4] {
+        let options = SynthesisOptions {
+            parallel_workers: Some(workers),
+            ..SynthesisOptions::default()
+        };
+        c.bench_function(&format!("synthesis_parallel/gemm_walk/w{workers}"), |b| {
+            b.iter(|| {
+                Synthesizer::new(black_box(&gemm), &arch, options.clone())
+                    .synthesize()
+                    .unwrap()
+            })
+        });
+    }
 }
 
 criterion_group! {

@@ -329,13 +329,11 @@ pub fn synthesis_incremental_entries() -> Vec<FastPathEntry> {
         |incremental| {
             // A fresh cache per sweep: tables are shared across the sibling
             // candidates of one sweep, not across repeated measurements.
-            let mut shared_cache = SimTableCache::new();
+            let shared_cache = SimTableCache::new();
             for candidate in &sim_candidates {
                 let sim = FunctionalSim::new(&sim_program, candidate);
                 if incremental {
-                    std::hint::black_box(
-                        sim.run_with_cache(&sim_inputs, &mut shared_cache).unwrap(),
-                    );
+                    std::hint::black_box(sim.run_with_cache(&sim_inputs, &shared_cache).unwrap());
                 } else {
                     std::hint::black_box(sim.run(&sim_inputs).unwrap());
                 }
@@ -343,6 +341,156 @@ pub fn synthesis_incremental_entries() -> Vec<FastPathEntry> {
         },
     ));
     entries
+}
+
+/// The serial-incremental options: the PR 2 behaviour (incremental walk, one
+/// worker, no subtree split) — the baseline the parallel search is measured
+/// against.
+fn serial_incremental_options() -> SynthesisOptions {
+    SynthesisOptions {
+        incremental: true,
+        parallel_subtree_depth: Some(0),
+        parallel_workers: Some(1),
+        ..SynthesisOptions::default()
+    }
+}
+
+/// Options for the parallel subtree walk at an explicit worker count
+/// (auto-tuned split depth).
+fn parallel_options(workers: usize) -> SynthesisOptions {
+    SynthesisOptions {
+        incremental: true,
+        parallel_subtree_depth: None,
+        parallel_workers: Some(workers),
+        ..SynthesisOptions::default()
+    }
+}
+
+/// Worker counts for the scaling curve: 1, 2, 4 and the machine's
+/// `HEXCUTE_THREADS`/auto count when that adds a new point.
+pub fn scaling_worker_counts() -> Vec<usize> {
+    let mut counts = vec![1usize, 2, 4];
+    let n = hexcute_parallel::worker_count();
+    if !counts.contains(&n) {
+        counts.push(n);
+    }
+    counts.sort_unstable();
+    counts
+}
+
+/// The parallel prefix-tree search group (PR 3): end-to-end candidate
+/// synthesis and cost-ranked compilation of the paper's kernel families,
+/// comparing the PR 2 serial-incremental walk against the parallel subtree
+/// walk at 1/2/4/N workers. One group per worker count
+/// (`synthesis_parallel_w{N}`), so each group's geomean is one point of the
+/// scaling curve. Feeds `BENCH_pr3.json` via the `repro_parallel` binary.
+pub fn synthesis_parallel_entries() -> Vec<FastPathEntry> {
+    let arch = GpuArch::a100();
+    let gemm = fp16_gemm(GemmShape::new(4096, 4096, 4096), GemmConfig::default()).unwrap();
+    let attention = mha_forward(
+        AttentionShape::forward(8, 32, 2048, 128),
+        AttentionConfig::default(),
+    )
+    .unwrap();
+    let moe = mixed_type_moe(
+        MoeShape::deepseek_r1(128),
+        MoeConfig::default(),
+        MoeDataflow::Efficient,
+    )
+    .unwrap();
+    let kernels: [(&str, &Program); 3] =
+        [("gemm", &gemm), ("attention", &attention), ("moe", &moe)];
+    set_fast_path(true);
+
+    let synthesize_with = |program: &Program, options: SynthesisOptions| {
+        std::hint::black_box(
+            Synthesizer::new(program, &arch, options)
+                .synthesize()
+                .unwrap(),
+        );
+    };
+    let compile_with = |program: &Program, options: SynthesisOptions| {
+        let compiler = Compiler::with_options(
+            arch.clone(),
+            CompilerOptions {
+                synthesis: options,
+                use_cost_model: true,
+            },
+        );
+        std::hint::black_box(compiler.compile(program).unwrap());
+    };
+
+    let mut entries = Vec::new();
+    for (kernel, program) in kernels {
+        // The serial baseline is measured once per kernel and shared by
+        // every worker-count entry, so the curve has a common denominator.
+        let serial_synthesize_ns = measure_ns(
+            || synthesize_with(program, serial_incremental_options()),
+            5,
+            20.0,
+        );
+        let serial_compile_ns = measure_ns(
+            || compile_with(program, serial_incremental_options()),
+            5,
+            20.0,
+        );
+        for &workers in &scaling_worker_counts() {
+            let group = format!("synthesis_parallel_w{workers}");
+            entries.push(FastPathEntry {
+                group: group.clone(),
+                name: format!("{kernel}_synthesize_all_candidates"),
+                reference_ns: serial_synthesize_ns,
+                fast_ns: measure_ns(
+                    || synthesize_with(program, parallel_options(workers)),
+                    5,
+                    20.0,
+                ),
+            });
+            entries.push(FastPathEntry {
+                group,
+                name: format!("{kernel}_compile_uncached"),
+                reference_ns: serial_compile_ns,
+                fast_ns: measure_ns(|| compile_with(program, parallel_options(workers)), 5, 20.0),
+            });
+        }
+    }
+    entries
+}
+
+/// Exercises the bounded shared caches once (sibling candidates of a small
+/// GEMM scored and simulated twice through shared caches) and returns their
+/// hit/miss/eviction counters: the simulator table cache, the cost model's
+/// per-operation cache and its bounded whole-candidate cache. Printed by the
+/// `repro_*` binaries.
+pub fn shared_cache_stats() -> (
+    hexcute_parallel::cache::CacheStats,
+    hexcute_parallel::cache::CacheStats,
+    hexcute_parallel::cache::CacheStats,
+) {
+    let arch = GpuArch::a100();
+    set_fast_path(true);
+    let program = small_gemm_program();
+    let candidates = Synthesizer::new(&program, &arch, SynthesisOptions::default())
+        .synthesize()
+        .unwrap();
+    let mut inputs = HashMap::new();
+    inputs.insert("a".to_string(), vec![0.5f32; 64 * 64]);
+    inputs.insert("b".to_string(), vec![0.25f32; 64 * 64]);
+
+    let table_cache = SimTableCache::new();
+    let model = hexcute_costmodel::CostModel::new(&arch);
+    for _ in 0..2 {
+        for candidate in &candidates {
+            let sim = FunctionalSim::new(&program, candidate);
+            std::hint::black_box(sim.run_with_cache(&inputs, &table_cache).unwrap());
+            std::hint::black_box(model.estimate(&program, candidate));
+        }
+    }
+    (
+        table_cache.stats(),
+        model.op_cache_stats(),
+        model.candidate_cache_stats(),
+    )
 }
 
 /// Runs every group (leaving the fast path enabled afterwards).
@@ -412,9 +560,22 @@ pub fn to_json(entries: &[FastPathEntry]) -> String {
     to_json_named("flat-layout fast path", entries)
 }
 
-/// [`to_json`] with an explicit top-level benchmark name.
+/// [`to_json`] with an explicit top-level benchmark name. The document
+/// carries a `meta` object recording the worker configuration and host the
+/// numbers were measured on (`threads` is the effective
+/// `HEXCUTE_THREADS`/auto count).
 pub fn to_json_named(benchmark: &str, entries: &[FastPathEntry]) -> String {
-    let mut out = format!("{{\n  \"benchmark\": \"{benchmark}\",\n  \"groups\": {{\n");
+    let mut out = format!(
+        "{{\n  \"benchmark\": \"{benchmark}\",\n  \"meta\": {{\n    \
+         \"threads\": {},\n    \"host_parallelism\": {},\n    \"os\": \"{}\",\n    \
+         \"arch\": \"{}\"\n  }},\n  \"groups\": {{\n",
+        hexcute_parallel::worker_count(),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+    );
     let groups = group_speedups(entries);
     for (gi, (group, speedup)) in groups.iter().enumerate() {
         out.push_str(&format!(

@@ -249,31 +249,50 @@ impl Compiler {
         let synthesizer = Synthesizer::new(program, &self.arch, self.options.synthesis.clone());
         let candidates = synthesizer.synthesize()?;
         let model = CostModel::new(&self.arch);
+        let workers = self
+            .options
+            .synthesis
+            .parallel_workers
+            .unwrap_or_else(hexcute_parallel::worker_count);
         if self.options.synthesis.incremental && hexcute_synthesis::incremental_enabled() {
             let evaluator = PerfEvaluator::new(&self.arch);
-            Ok(score_all(candidates, |candidate| {
-                let cost = model.estimate(program, &candidate);
-                let perf = evaluator.evaluate(program, &candidate, &cost);
-                (candidate, cost, perf)
-            }))
+            Ok(score_all(
+                candidates,
+                |candidate| {
+                    let cost = model.estimate(program, &candidate);
+                    let perf = evaluator.evaluate(program, &candidate, &cost);
+                    (candidate, cost, perf)
+                },
+                workers,
+            ))
         } else {
-            Ok(score_all(candidates, |candidate| {
-                let cost = model.estimate(program, &candidate);
-                let perf = estimate_kernel(program, &candidate, &self.arch);
-                (candidate, cost, perf)
-            }))
+            Ok(score_all(
+                candidates,
+                |candidate| {
+                    let cost = model.estimate(program, &candidate);
+                    let perf = estimate_kernel(program, &candidate, &self.arch);
+                    (candidate, cost, perf)
+                },
+                workers,
+            ))
         }
     }
 }
 
-/// Scores every candidate, in parallel when the fast path is on (order
-/// preserved) and serially otherwise.
-fn score_all<F>(candidates: Vec<Candidate>, score: F) -> Vec<(Candidate, CostBreakdown, PerfReport)>
+/// Scores every candidate, in parallel on the persistent worker pool when
+/// the fast path is on (order preserved) and serially otherwise. `workers`
+/// follows [`hexcute_synthesis::SynthesisOptions::parallel_workers`], so an
+/// explicit override applies to scoring and to the subtree search alike.
+fn score_all<F>(
+    candidates: Vec<Candidate>,
+    score: F,
+    workers: usize,
+) -> Vec<(Candidate, CostBreakdown, PerfReport)>
 where
     F: Fn(Candidate) -> (Candidate, CostBreakdown, PerfReport) + Sync,
 {
     if hexcute_layout::fast_path_enabled() {
-        hexcute_parallel::par_map(candidates, score)
+        hexcute_parallel::par_map_with_workers(candidates, score, workers)
     } else {
         candidates.into_iter().map(score).collect()
     }

@@ -1,0 +1,146 @@
+//! Determinism of the parallel prefix-tree search (the PR 3 tentpole): for
+//! every worker count the parallel subtree walk — and the pooled parallel
+//! candidate scoring on top of it — must produce the *identical* ordered
+//! candidate list with bit-identical cost-model and performance-simulator
+//! scores as the serial incremental walk, across the paper's GEMM, attention
+//! and mixed-type MoE kernels.
+//!
+//! `SynthesisOptions::parallel_workers` stands in for `HEXCUTE_THREADS`
+//! here (mutating the environment of a threaded test process is unsafe);
+//! the CI `determinism-mt` leg additionally runs the whole suite under
+//! `HEXCUTE_THREADS=4` so the env-driven path gets real coverage too.
+
+use hexcute_core::{Compiler, CompilerOptions};
+use hexcute_costmodel::CostBreakdown;
+use hexcute_ir::Program;
+use hexcute_kernels::attention::{mha_forward, AttentionConfig, AttentionShape};
+use hexcute_kernels::gemm::{fp16_gemm, GemmConfig, GemmShape};
+use hexcute_kernels::moe::{mixed_type_moe, MoeConfig, MoeDataflow, MoeShape};
+use hexcute_sim::PerfReport;
+use hexcute_synthesis::{Candidate, SynthesisOptions};
+use proptest::prelude::*;
+
+const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn compile_with_workers(
+    program: &Program,
+    arch: &hexcute_arch::GpuArch,
+    workers: usize,
+    depth: Option<usize>,
+) -> Vec<(Candidate, CostBreakdown, PerfReport)> {
+    let options = CompilerOptions {
+        synthesis: SynthesisOptions {
+            parallel_workers: Some(workers),
+            parallel_subtree_depth: depth,
+            ..SynthesisOptions::default()
+        },
+        use_cost_model: true,
+    };
+    Compiler::with_options(arch.clone(), options)
+        .compile_candidates(program)
+        .unwrap()
+}
+
+/// Asserts that every worker count in the sweep reproduces the serial
+/// incremental walk bit for bit: candidates, cost cycles, simulated latency.
+fn assert_thread_count_invariant(program: &Program) {
+    for arch in [hexcute_arch::GpuArch::a100(), hexcute_arch::GpuArch::h100()] {
+        let serial = compile_with_workers(program, &arch, 1, Some(0));
+        for workers in WORKER_SWEEP {
+            let parallel = compile_with_workers(program, &arch, workers, None);
+            assert_eq!(
+                serial.len(),
+                parallel.len(),
+                "candidate counts diverged for {} on {} at {workers} workers",
+                program.name,
+                arch.name
+            );
+            for (i, ((sc, scost, sperf), (pc, pcost, pperf))) in
+                serial.iter().zip(parallel.iter()).enumerate()
+            {
+                assert_eq!(
+                    sc, pc,
+                    "candidate {i} of {} diverged at {workers} workers",
+                    program.name
+                );
+                assert_eq!(
+                    scost.total_cycles.to_bits(),
+                    pcost.total_cycles.to_bits(),
+                    "cost of candidate {i} of {} diverged at {workers} workers",
+                    program.name
+                );
+                assert_eq!(scost, pcost);
+                assert_eq!(
+                    sperf.latency_us.to_bits(),
+                    pperf.latency_us.to_bits(),
+                    "latency of candidate {i} of {} diverged at {workers} workers",
+                    program.name
+                );
+                assert_eq!(sperf, pperf);
+            }
+        }
+    }
+}
+
+#[test]
+fn gemm_is_thread_count_invariant() {
+    let program = fp16_gemm(GemmShape::new(512, 512, 256), GemmConfig::default()).unwrap();
+    assert_thread_count_invariant(&program);
+}
+
+#[test]
+fn attention_is_thread_count_invariant() {
+    let program = mha_forward(
+        AttentionShape::forward(2, 8, 512, 128),
+        AttentionConfig::default(),
+    )
+    .unwrap();
+    assert_thread_count_invariant(&program);
+}
+
+#[test]
+fn moe_is_thread_count_invariant() {
+    let program = mixed_type_moe(
+        MoeShape::deepseek_r1(16),
+        MoeConfig::default(),
+        MoeDataflow::Efficient,
+    )
+    .unwrap();
+    assert_thread_count_invariant(&program);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Randomized sweep: shapes, pipeline depths and subtree depths vary,
+    /// the thread-count invariant must hold throughout.
+    #[test]
+    fn random_kernels_are_thread_count_invariant(
+        m_tiles in 1usize..=2,
+        stages in 1usize..=3,
+        depth in (0usize..=3).prop_map(|d| match d {
+            0 => None,
+            1 => Some(1),
+            2 => Some(2),
+            _ => Some(usize::MAX),
+        }),
+        workers in (0usize..=2).prop_map(|i| WORKER_SWEEP[i + 1]),
+    ) {
+        let config = GemmConfig { stages, ..GemmConfig::default() };
+        let shape = GemmShape::new(
+            m_tiles * config.block_m,
+            config.block_n,
+            config.block_k * 2,
+        );
+        let program = fp16_gemm(shape, config).unwrap();
+        let arch = hexcute_arch::GpuArch::a100();
+        let serial = compile_with_workers(&program, &arch, 1, Some(0));
+        let parallel = compile_with_workers(&program, &arch, workers, depth);
+        prop_assert_eq!(serial.len(), parallel.len());
+        for ((sc, scost, sperf), (pc, pcost, pperf)) in serial.iter().zip(parallel.iter()) {
+            prop_assert_eq!(sc, pc);
+            prop_assert_eq!(scost.total_cycles.to_bits(), pcost.total_cycles.to_bits());
+            prop_assert_eq!(sperf.latency_us.to_bits(), pperf.latency_us.to_bits());
+        }
+    }
+}

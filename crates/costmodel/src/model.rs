@@ -24,7 +24,13 @@ use std::sync::RwLock;
 use hexcute_arch::GpuArch;
 use hexcute_ir::{Op, OpId, OpKind, Program, TensorId};
 use hexcute_layout::fastpath;
+use hexcute_parallel::cache::{CacheStats, ShardedMap};
 use hexcute_synthesis::Candidate;
+
+/// Bound on resident whole-candidate estimates: each entry carries a per-op
+/// cost vector, so the cache is capped (with simple shard eviction) instead
+/// of growing with every candidate a long-lived model ever sees.
+const CANDIDATE_CACHE_CAPACITY: usize = 8192;
 
 /// Per-operation cost attribution.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,13 +78,15 @@ impl CostBreakdown {
 #[derive(Debug)]
 pub struct CostModel<'a> {
     arch: &'a GpuArch,
-    /// Read-mostly after warm-up: lookups take the shared lock so parallel
-    /// candidate scoring does not serialize on the cache.
-    op_cache: RwLock<HashMap<(OpId, u64), (f64, f64)>>,
+    /// Read-mostly after warm-up: keys are spread over sharded read-write
+    /// locks so the parallel subtree search and candidate scoring do not
+    /// serialize on the cache.
+    op_cache: ShardedMap<(OpId, u64), (f64, f64)>,
     /// Whole-candidate estimates keyed by [`candidate_fingerprint`]: repeat
     /// scorings of a candidate (e.g. the cost model feeding the performance
     /// simulator) are a single lookup when the incremental search is on.
-    candidate_cache: RwLock<HashMap<u64, CostBreakdown>>,
+    /// Bounded by [`CANDIDATE_CACHE_CAPACITY`].
+    candidate_cache: ShardedMap<u64, CostBreakdown>,
     /// [`program_fingerprint`] of the program the caches currently describe.
     /// The per-operation cache is keyed by `OpId`, which is only unique
     /// within one program, so estimating a different program clears both
@@ -91,8 +99,8 @@ impl<'a> CostModel<'a> {
     pub fn new(arch: &'a GpuArch) -> Self {
         CostModel {
             arch,
-            op_cache: RwLock::new(HashMap::new()),
-            candidate_cache: RwLock::new(HashMap::new()),
+            op_cache: ShardedMap::new(),
+            candidate_cache: ShardedMap::bounded(CANDIDATE_CACHE_CAPACITY),
             program_tag: RwLock::new(None),
         }
     }
@@ -109,8 +117,8 @@ impl<'a> CostModel<'a> {
         let mut current = self.program_tag.write().unwrap();
         if *current != Some(tag) {
             *current = Some(tag);
-            self.op_cache.write().unwrap().clear();
-            self.candidate_cache.write().unwrap().clear();
+            self.op_cache.clear();
+            self.candidate_cache.clear();
         }
     }
 
@@ -123,15 +131,9 @@ impl<'a> CostModel<'a> {
         self.retag(program);
         if fastpath::enabled() && hexcute_synthesis::incremental_enabled() {
             let key = candidate_fingerprint(program, candidate);
-            if let Some(hit) = self.candidate_cache.read().unwrap().get(&key) {
-                return hit.clone();
-            }
-            let result = self.estimate_uncached(program, candidate);
-            self.candidate_cache
-                .write()
-                .unwrap()
-                .insert(key, result.clone());
-            return result;
+            return self
+                .candidate_cache
+                .get_or_insert_with(key, || self.estimate_uncached(program, candidate));
         }
         self.estimate_uncached(program, candidate)
     }
@@ -302,12 +304,8 @@ impl<'a> CostModel<'a> {
             return self.op_cycles_uncached(program, candidate, op);
         }
         let key = (op.id, op_choice_fingerprint(candidate, op));
-        if let Some(&hit) = self.op_cache.read().unwrap().get(&key) {
-            return hit;
-        }
-        let result = self.op_cycles_uncached(program, candidate, op);
-        self.op_cache.write().unwrap().insert(key, result);
-        result
+        self.op_cache
+            .get_or_insert_with(key, || self.op_cycles_uncached(program, candidate, op))
     }
 
     /// The uncached estimate behind [`CostModel::op_cycles`].
@@ -370,8 +368,19 @@ impl<'a> CostModel<'a> {
 
     /// Clears the per-operation and per-candidate memoization caches.
     pub fn clear_cache(&self) {
-        self.op_cache.write().unwrap().clear();
-        self.candidate_cache.write().unwrap().clear();
+        self.op_cache.clear();
+        self.candidate_cache.clear();
+    }
+
+    /// Hit/miss/eviction counters of the per-operation estimate cache.
+    pub fn op_cache_stats(&self) -> CacheStats {
+        self.op_cache.stats()
+    }
+
+    /// Hit/miss/eviction counters of the bounded whole-candidate estimate
+    /// cache.
+    pub fn candidate_cache_stats(&self) -> CacheStats {
+        self.candidate_cache.stats()
     }
 
     fn rearrange_cycles(&self, candidate: &Candidate) -> f64 {

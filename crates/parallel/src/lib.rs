@@ -1,23 +1,42 @@
 //! # hexcute-parallel
 //!
-//! A small scoped-thread parallel-map helper. The synthesis engine and the
-//! compiler driver fan candidate enumeration, shared-memory synthesis and
-//! cost scoring out across CPU cores with [`par_map`]; the environment
-//! variable `HEXCUTE_THREADS` caps the worker count (`1` forces the serial
-//! path, useful for profiling and for before/after benchmarking, and `0`
-//! means "auto": use the machine's available parallelism).
+//! A small parallel-map helper backed by a **persistent worker pool**. The
+//! synthesis engine and the compiler driver fan candidate enumeration,
+//! subtree search, shared-memory synthesis and cost scoring out across CPU
+//! cores with [`par_map`]; the environment variable `HEXCUTE_THREADS` caps
+//! the worker count (`1` forces the serial path, useful for profiling and
+//! for before/after benchmarking, and `0` means "auto": use the machine's
+//! available parallelism).
 //!
 //! The API is a deliberately tiny subset of what `rayon` would provide: an
-//! order-preserving map over an owned `Vec`. Work is distributed by atomic
-//! work-stealing over indices, so uneven per-item costs still balance.
+//! order-preserving map over an owned `Vec`. Work is distributed by an
+//! atomic index cursor, so uneven per-item costs still balance.
+//!
+//! ## The pool
+//!
+//! Earlier revisions spawned a fresh `std::thread::scope` per call; with the
+//! search tree now fanning out many small maps per compilation, the per-call
+//! spawn overhead dominated. Worker threads are instead spawned lazily on
+//! first use and parked on a condition variable between jobs; a job is a
+//! type-erased handle to state on the submitting thread's stack, and the
+//! submitting thread always participates in its own job, so a nested
+//! [`par_map`] issued from inside a pool worker always makes progress even
+//! when every other pool thread is busy.
+//!
+//! The [`cache`] module provides the sharded concurrent memo map the
+//! synthesis/cost/simulation caches use to stay safe (and mostly
+//! uncontended) when the parallel search shares them across workers.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cache;
+
 use std::cell::UnsafeCell;
+use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Mutex, Once};
+use std::sync::{Condvar, Mutex, Once, OnceLock};
 
 /// How the `HEXCUTE_THREADS` environment variable parsed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,16 +95,249 @@ pub fn worker_count() -> usize {
     }
 }
 
-/// A `Vec` of once-written cells shared across the scoped workers. Safety
-/// rests on the index cursor: every index is claimed by exactly one worker,
-/// so no cell is ever accessed from two threads.
+// ---------------------------------------------------------------------------
+// The persistent worker pool.
+// ---------------------------------------------------------------------------
+
+/// Hard cap on pool threads, far above any sensible `HEXCUTE_THREADS`; a
+/// runaway request degrades to queueing instead of spawning without bound.
+const MAX_POOL_THREADS: usize = 256;
+
+/// A type-erased pointer to one job's [`JobShared`] state plus the
+/// monomorphized entry point that drives it. The state lives on the
+/// submitting thread's stack; [`DoneGate`] guarantees the submitter outlives
+/// every helper that registered for the job.
+#[derive(Clone, Copy)]
+struct JobHandle {
+    state: *const (),
+    run: unsafe fn(*const ()),
+    gate: *const DoneGate,
+}
+
+// SAFETY: the pointers are only dereferenced by helpers registered through
+// the pool queue, and the submitting thread blocks on the gate until every
+// registered helper has deregistered before the pointees are dropped.
+unsafe impl Send for JobHandle {}
+
+/// Counts the helpers currently inside a job. The submitter waits here after
+/// retiring the job from the queue; a helper's *last* access to any job
+/// memory is the unlock inside [`DoneGate::leave`].
+struct DoneGate {
+    active: Mutex<usize>,
+    done: Condvar,
+}
+
+impl DoneGate {
+    fn new() -> Self {
+        DoneGate {
+            active: Mutex::new(0),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Called by a helper with the pool lock held (see [`PoolInner`]): the
+    /// registration is therefore ordered against [`Pool::retire`].
+    fn enter(&self) {
+        *self.active.lock().unwrap_or_else(|p| p.into_inner()) += 1;
+    }
+
+    fn leave(&self) {
+        let mut active = self.active.lock().unwrap_or_else(|p| p.into_inner());
+        *active -= 1;
+        self.done.notify_all();
+    }
+
+    /// Blocks until every registered helper has left.
+    fn wait_idle(&self) {
+        let mut active = self.active.lock().unwrap_or_else(|p| p.into_inner());
+        while *active > 0 {
+            active = self.done.wait(active).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+struct QueuedJob {
+    id: u64,
+    handle: JobHandle,
+    /// How many more helpers may still join this job.
+    tickets: usize,
+}
+
+struct PoolInner {
+    queue: VecDeque<QueuedJob>,
+    idle: usize,
+    spawned: usize,
+    next_id: u64,
+}
+
+struct Pool {
+    inner: Mutex<PoolInner>,
+    work: Condvar,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        inner: Mutex::new(PoolInner {
+            queue: VecDeque::new(),
+            idle: 0,
+            spawned: 0,
+            next_id: 0,
+        }),
+        work: Condvar::new(),
+    })
+}
+
+impl Pool {
+    /// Enqueues a job offering `tickets` helper slots, spawning workers as
+    /// needed (lazily, up to [`MAX_POOL_THREADS`], persistent thereafter).
+    /// Returns the job id used by [`Pool::retire`].
+    fn submit(&'static self, handle: JobHandle, tickets: usize) -> u64 {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        // Spawn helpers *before* enqueueing the stack-referencing job, and
+        // tolerate spawn failure (resource exhaustion): the submitter always
+        // participates in its own job, so fewer helpers only means less
+        // parallelism — never a stuck or dangling job. Panicking here with
+        // the job already queued would leak a handle to freed stack memory.
+        let deficit = tickets.saturating_sub(inner.idle);
+        let headroom = MAX_POOL_THREADS.saturating_sub(inner.spawned);
+        for _ in 0..deficit.min(headroom) {
+            match std::thread::Builder::new()
+                .name("hexcute-pool".to_string())
+                .spawn(move || self.worker_loop())
+            {
+                Ok(_) => inner.spawned += 1,
+                Err(_) => break,
+            }
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.queue.push_back(QueuedJob {
+            id,
+            handle,
+            tickets,
+        });
+        drop(inner);
+        self.work.notify_all();
+        id
+    }
+
+    /// Removes the job from the queue so no further helper can join. Helpers
+    /// register with the pool lock held, so after this returns the job's
+    /// [`DoneGate`] count is final-or-decreasing and `wait_idle` is safe.
+    fn retire(&self, id: u64) {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.queue.retain(|job| job.id != id);
+    }
+
+    fn worker_loop(&'static self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(pos) = inner.queue.iter().position(|job| job.tickets > 0) {
+                let handle = {
+                    let job = &mut inner.queue[pos];
+                    job.tickets -= 1;
+                    job.handle
+                };
+                // Register while still holding the pool lock: `retire`
+                // acquires the same lock, so a registration is never missed.
+                unsafe { (*handle.gate).enter() };
+                drop(inner);
+                // SAFETY: the gate registration above keeps the job state
+                // alive until `leave` below.
+                unsafe { (handle.run)(handle.state) };
+                unsafe { (*handle.gate).leave() };
+                inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+            } else {
+                inner.idle += 1;
+                inner = self.work.wait(inner).unwrap_or_else(|p| p.into_inner());
+                inner.idle -= 1;
+            }
+        }
+    }
+}
+
+/// Number of persistent pool threads spawned so far in this process. Grows
+/// on demand up to the largest helper count any job requested (capped) and
+/// never shrinks; exposed for tests and diagnostics.
+pub fn pool_thread_count() -> usize {
+    pool()
+        .inner
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .spawned
+}
+
+// ---------------------------------------------------------------------------
+// par_map on top of the pool.
+// ---------------------------------------------------------------------------
+
+/// A `Vec` of once-written cells shared across the workers. Safety rests on
+/// the index cursor: every index is claimed by exactly one worker, so no
+/// cell is ever accessed from two threads.
 struct Slots<T> {
     cells: Vec<UnsafeCell<Option<T>>>,
 }
 
 unsafe impl<T: Send> Sync for Slots<T> {}
 
-/// Maps `f` over `items` in parallel, preserving order.
+/// The shared state of one in-flight map: the item/result slots, the claim
+/// cursor and the first panic payload. Lives on the submitting thread's
+/// stack; helpers reach it through the type-erased [`JobHandle`].
+struct JobShared<'f, T, R, F> {
+    items: Slots<T>,
+    results: Slots<R>,
+    f: &'f F,
+    n: usize,
+    cursor: AtomicUsize,
+    panicked: AtomicBool,
+    payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// Claims indices off the cursor until the job is exhausted (or a sibling
+/// panicked), applying `f` and storing results in order. Runs on both the
+/// submitting thread and any pool helpers.
+unsafe fn run_job<T, R, F>(state: *const ())
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let job = &*(state as *const JobShared<'_, T, R, F>);
+    loop {
+        if job.panicked.load(Ordering::Relaxed) {
+            break;
+        }
+        let i = job.cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= job.n {
+            break;
+        }
+        // SAFETY: the cursor hands each index to exactly one worker, so this
+        // cell is not accessed by any other thread.
+        let item = (*job.items.cells[i].get())
+            .take()
+            .expect("each index is claimed once");
+        // `AssertUnwindSafe` is sound here: on panic the whole map is
+        // abandoned and only the stored payload escapes.
+        match panic::catch_unwind(AssertUnwindSafe(|| (job.f)(item))) {
+            Ok(out) => {
+                // SAFETY: as above — this worker owns index `i`.
+                *job.results.cells[i].get() = Some(out);
+            }
+            Err(e) => {
+                let mut slot = job.payload.lock().unwrap_or_else(|p| p.into_inner());
+                if slot.is_none() {
+                    *slot = Some(e);
+                }
+                job.panicked.store(true, Ordering::Relaxed);
+                break;
+            }
+        }
+    }
+}
+
+/// Maps `f` over `items` in parallel on the persistent worker pool,
+/// preserving order.
 ///
 /// Falls back to a plain serial map when there is a single worker or at most
 /// one item. `f` may be called from multiple threads concurrently.
@@ -107,8 +359,10 @@ where
 }
 
 /// [`par_map`] with an explicit worker count, bypassing `HEXCUTE_THREADS`.
-/// Used by tests (the environment cannot be mutated safely there) and by
-/// callers that already partitioned their budget.
+/// Used by tests and benchmarks (the environment cannot be mutated safely
+/// there) and by callers that already partitioned their budget. The calling
+/// thread always participates, so `workers` counts it plus up to
+/// `workers - 1` pool helpers.
 pub fn par_map_with_workers<T, R, F>(items: Vec<T>, f: F, workers: usize) -> Vec<R>
 where
     T: Send,
@@ -125,62 +379,40 @@ where
     // cells are lock-free on purpose: a `Mutex` per slot would be poisoned by
     // a panicking closure, killing sibling workers with a `PoisonError` that
     // buries the original panic.
-    let items = Slots {
-        cells: items
-            .into_iter()
-            .map(|t| UnsafeCell::new(Some(t)))
-            .collect(),
+    let job = JobShared {
+        items: Slots {
+            cells: items
+                .into_iter()
+                .map(|t| UnsafeCell::new(Some(t)))
+                .collect(),
+        },
+        results: Slots::<R> {
+            cells: (0..n).map(|_| UnsafeCell::new(None)).collect(),
+        },
+        f: &f,
+        n,
+        cursor: AtomicUsize::new(0),
+        panicked: AtomicBool::new(false),
+        payload: Mutex::new(None),
     };
-    let results: Slots<R> = Slots {
-        cells: (0..n).map(|_| UnsafeCell::new(None)).collect(),
+    let gate = DoneGate::new();
+    let handle = JobHandle {
+        state: (&job as *const JobShared<'_, T, R, F>).cast(),
+        run: run_job::<T, R, F>,
+        gate: &gate,
     };
-    let cursor = AtomicUsize::new(0);
-    let panicked = AtomicBool::new(false);
-    let payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let id = pool().submit(handle, workers - 1);
+    // The submitting thread participates in its own job: nested maps issued
+    // from inside a pool worker make progress even with zero free helpers.
+    unsafe { run_job::<T, R, F>(handle.state) };
+    pool().retire(id);
+    gate.wait_idle();
 
-    // Capture the `Sync` wrappers, not their inner `Vec` fields (precise
-    // closure capture would otherwise grab the non-`Sync` field path).
-    let items_ref = &items;
-    let results_ref = &results;
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                if panicked.load(Ordering::Relaxed) {
-                    break;
-                }
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                // SAFETY: the cursor hands each index to exactly one worker,
-                // so this cell is not accessed by any other thread.
-                let item = unsafe { (*items_ref.cells[i].get()).take() }
-                    .expect("each index is claimed once");
-                // `AssertUnwindSafe` is sound here: on panic the whole map is
-                // abandoned and only the stored payload escapes.
-                match panic::catch_unwind(AssertUnwindSafe(|| f(item))) {
-                    Ok(out) => {
-                        // SAFETY: as above — this worker owns index `i`.
-                        unsafe { *results_ref.cells[i].get() = Some(out) };
-                    }
-                    Err(e) => {
-                        let mut slot = payload.lock().unwrap_or_else(|p| p.into_inner());
-                        if slot.is_none() {
-                            *slot = Some(e);
-                        }
-                        panicked.store(true, Ordering::Relaxed);
-                        break;
-                    }
-                }
-            });
-        }
-    });
-
-    let first_panic = payload.into_inner().unwrap_or_else(|p| p.into_inner());
+    let first_panic = job.payload.into_inner().unwrap_or_else(|p| p.into_inner());
     if let Some(e) = first_panic {
         panic::resume_unwind(e);
     }
-    results
+    job.results
         .cells
         .into_iter()
         .map(|cell| cell.into_inner().expect("worker filled every slot"))
@@ -285,6 +517,21 @@ mod tests {
     }
 
     #[test]
+    fn pool_survives_a_panicking_job_and_keeps_working() {
+        // A panicking closure must not kill pool threads: the panic is caught
+        // inside the claim loop, so the same workers serve the next map.
+        let _ = panic::catch_unwind(|| {
+            par_map_with_workers(
+                (0..32).collect::<Vec<usize>>(),
+                |_| -> usize { panic!("x") },
+                4,
+            )
+        });
+        let out = par_map_with_workers((0..256).collect::<Vec<_>>(), |x| x + 1, 4);
+        assert_eq!(out, (1..=256).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn results_before_a_panic_are_not_observable_but_map_aborts_quickly() {
         // After a panic the cursor stops being advanced by the panicking
         // worker; siblings drain at most their in-flight item. This test just
@@ -305,5 +552,51 @@ mod tests {
         }));
         assert!(result.is_err());
         assert!(hits.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn pool_threads_are_reused_across_calls() {
+        // Warm the pool, then issue many more maps at the same width: the
+        // persistent pool must not spawn a thread per call. The counter is
+        // process-global and sibling tests run concurrently against the same
+        // pool, so the bound leaves room for their (small, width-bounded)
+        // spawns — what it must catch is per-call growth (32 calls would add
+        // ~96 threads if each spawned its own helpers).
+        let _ = par_map_with_workers((0..64).collect::<Vec<_>>(), |x| x, 4);
+        let after_warmup = pool_thread_count();
+        for _ in 0..32 {
+            let _ = par_map_with_workers((0..64).collect::<Vec<_>>(), |x| x + 1, 4);
+        }
+        let after_burst = pool_thread_count();
+        assert!(
+            after_burst <= after_warmup + 16,
+            "pool grew per call: {after_warmup} -> {after_burst}"
+        );
+        assert!(after_burst <= MAX_POOL_THREADS);
+    }
+
+    #[test]
+    fn nested_maps_make_progress() {
+        // A map issued from inside a pool worker must not deadlock even when
+        // the pool is saturated: the inner submitter participates itself.
+        let out = par_map_with_workers(
+            (0..8).collect::<Vec<usize>>(),
+            |x| {
+                par_map_with_workers((0..8).collect::<Vec<usize>>(), move |y| x * 8 + y, 4)
+                    .into_iter()
+                    .sum::<usize>()
+            },
+            4,
+        );
+        let expect: Vec<usize> = (0..8)
+            .map(|x| (0..8).map(|y| x * 8 + y).sum::<usize>())
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn uneven_workers_larger_than_items_are_clamped() {
+        let out = par_map_with_workers((0..3).collect::<Vec<_>>(), |x| x * x, 64);
+        assert_eq!(out, vec![0, 1, 4]);
     }
 }

@@ -23,10 +23,12 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use hexcute_arch::{DType, MemSpace};
 use hexcute_ir::{ElementwiseOp, Op, OpId, OpKind, Program, ReduceOp, TensorId};
 use hexcute_layout::{fastpath, Layout, Swizzle, SwizzledLayout, TvLayout};
+use hexcute_parallel::cache::{CacheStats, ShardedMap};
 use hexcute_synthesis::Candidate;
 
 use crate::error::{Result, SimError};
@@ -160,6 +162,12 @@ struct TvTable {
     index: Vec<usize>,
 }
 
+/// Default bound on resident tables per table kind: index tables are big
+/// (one `usize` per element side), so a long-lived shared cache is capped
+/// with simple shard eviction instead of growing with every candidate it
+/// ever simulated. Evicted tables are rebuilt on demand, bit-identically.
+const TABLE_CACHE_CAPACITY: usize = 1024;
+
 /// Precomputed index tables keyed by content fingerprints, so one cache can
 /// be shared across *sibling candidates* of the same program: the search
 /// tree varies one instruction choice at a time, and an operation whose
@@ -167,20 +175,43 @@ struct TvTable {
 /// tables instead of rebuilding them — the functional-simulation analogue of
 /// the prefix-shared search (`hexcute_synthesis::prefix`).
 ///
+/// The maps are sharded behind read-write locks, so one cache can also be
+/// shared across *threads* simulating sibling candidates concurrently; every
+/// table is a pure function of its fingerprint key, so concurrent use is
+/// bit-identical to private caches. Growth is bounded (see
+/// [`SimTableCache::with_capacity`]).
+///
 /// [`FunctionalSim::run`] uses a private cache per run; pass a long-lived
 /// cache to [`FunctionalSim::run_with_cache`] to share tables across runs
 /// and candidates. Results are bit-identical either way.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SimTableCache {
-    copy: HashMap<(OpId, u64), CopyTable>,
-    tv: HashMap<(TensorId, u64), TvTable>,
-    shared_gather: HashMap<(TensorId, u64), Vec<usize>>,
+    copy: ShardedMap<(OpId, u64), Arc<CopyTable>>,
+    tv: ShardedMap<(TensorId, u64), Arc<TvTable>>,
+    shared_gather: ShardedMap<(TensorId, u64), Arc<Vec<usize>>>,
+}
+
+impl Default for SimTableCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl SimTableCache {
-    /// An empty cache.
+    /// An empty cache with the default capacity bound.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(TABLE_CACHE_CAPACITY)
+    }
+
+    /// An empty cache holding at most roughly `capacity` tables of each kind
+    /// (copy / thread-value / gather); over-full shards are cleared and the
+    /// evicted tables rebuilt on demand.
+    pub fn with_capacity(capacity: usize) -> Self {
+        SimTableCache {
+            copy: ShardedMap::bounded(capacity),
+            tv: ShardedMap::bounded(capacity),
+            shared_gather: ShardedMap::bounded(capacity),
+        }
     }
 
     /// Number of cached tables (copy + thread-value + gather).
@@ -191,6 +222,14 @@ impl SimTableCache {
     /// Whether the cache holds no tables.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Combined hit/miss/eviction counters across the three table kinds.
+    pub fn stats(&self) -> CacheStats {
+        self.copy
+            .stats()
+            .merged(&self.tv.stats())
+            .merged(&self.shared_gather.stats())
     }
 }
 
@@ -250,8 +289,8 @@ impl<'a> FunctionalSim<'a> {
     /// Returns an error when a register tensor lacks a synthesized layout or
     /// an input buffer is too small.
     pub fn run(&self, inputs: &HashMap<String, Vec<f32>>) -> Result<HashMap<String, Vec<f32>>> {
-        let mut cache = SimTableCache::new();
-        self.run_with_cache(inputs, &mut cache)
+        let cache = SimTableCache::new();
+        self.run_with_cache(inputs, &cache)
     }
 
     /// Like [`FunctionalSim::run`], but reusing `cache` across calls — and
@@ -266,7 +305,7 @@ impl<'a> FunctionalSim<'a> {
     pub fn run_with_cache(
         &self,
         inputs: &HashMap<String, Vec<f32>>,
-        cache: &mut SimTableCache,
+        cache: &SimTableCache,
     ) -> Result<HashMap<String, Vec<f32>>> {
         let threads = self.program.threads_per_block;
 
@@ -417,7 +456,7 @@ impl<'a> FunctionalSim<'a> {
         global: &mut HashMap<TensorId, Vec<f32>>,
         shared: &mut HashMap<TensorId, Vec<f32>>,
         regs: &mut HashMap<TensorId, RegisterFile>,
-        cache: &mut SimTableCache,
+        cache: &SimTableCache,
         state: &mut RunState,
     ) -> Result<()> {
         match &op.kind {
@@ -604,30 +643,34 @@ impl<'a> FunctionalSim<'a> {
         global: &mut HashMap<TensorId, Vec<f32>>,
         shared: &mut HashMap<TensorId, Vec<f32>>,
         regs: &mut HashMap<TensorId, RegisterFile>,
-        cache: &mut SimTableCache,
+        cache: &SimTableCache,
         state: &mut RunState,
     ) -> Result<()> {
         if !fastpath::enabled() {
             return self.execute_copy_reference(op, src, dst, iteration, global, shared, regs);
         }
-        let key = match state.copy_fp.get(&op.id) {
-            // A fingerprint already resolved this run implies the table was
-            // inserted when it was resolved.
-            Some(&fp) => (op.id, fp),
+        let table = match state.copy_fp.get(&op.id) {
+            // A fingerprint already resolved this run: the table is usually
+            // still cached, but a bounded cache may have evicted it — rebuild
+            // (bit-identically) in that case.
+            Some(&fp) => match cache.copy.get(&(op.id, fp)) {
+                Some(table) => table,
+                None => {
+                    let walk = self.copy_walk(op, src, dst)?;
+                    let table = Arc::new(self.build_copy_table(src, dst, &walk));
+                    cache.copy.insert((op.id, fp), table.clone());
+                    table
+                }
+            },
             None => {
                 let (fp, walk) = self.copy_fingerprint(op, src, dst)?;
                 state.copy_fp.insert(op.id, fp);
-                let key = (op.id, fp);
-                if let std::collections::hash_map::Entry::Vacant(e) = cache.copy.entry(key) {
-                    e.insert(self.build_copy_table(src, dst, &walk));
-                }
-                key
+                cache.copy.get_or_insert_with((op.id, fp), || {
+                    Arc::new(self.build_copy_table(src, dst, &walk))
+                })
             }
         };
-        let table = cache
-            .copy
-            .get(&key)
-            .expect("resolved fingerprints have tables");
+        let table = &*table;
         let n = table.threads * table.values;
 
         // Pass 1: read every source element into the scratch buffer. Source
@@ -779,12 +822,12 @@ impl<'a> FunctionalSim<'a> {
         Ok(())
     }
 
-    fn tv_table<'t>(
+    fn tv_table(
         &self,
         id: TensorId,
-        cache: &'t mut SimTableCache,
+        cache: &SimTableCache,
         state: &mut RunState,
-    ) -> Result<&'t TvTable> {
+    ) -> Result<Arc<TvTable>> {
         let tv = self
             .candidate
             .tv_layouts
@@ -801,8 +844,7 @@ impl<'a> FunctionalSim<'a> {
                 fp
             }
         };
-        let key = (id, fp);
-        if let std::collections::hash_map::Entry::Vacant(e) = cache.tv.entry(key) {
+        Ok(cache.tv.get_or_insert_with((id, fp), || {
             let threads = tv.num_threads();
             let values = tv.values_per_thread();
             let mut index = Vec::with_capacity(threads * values);
@@ -811,13 +853,12 @@ impl<'a> FunctionalSim<'a> {
                     index.push(tv.map(t, v));
                 }
             }
-            e.insert(TvTable {
+            Arc::new(TvTable {
                 threads,
                 values,
                 index,
-            });
-        }
-        Ok(cache.tv.get(&key).expect("just inserted"))
+            })
+        }))
     }
 
     /// Gathers the full logical tile of a tensor (register or shared).
@@ -826,7 +867,7 @@ impl<'a> FunctionalSim<'a> {
         id: TensorId,
         shared: &HashMap<TensorId, Vec<f32>>,
         regs: &HashMap<TensorId, RegisterFile>,
-        cache: &mut SimTableCache,
+        cache: &SimTableCache,
         state: &mut RunState,
     ) -> Result<(Vec<usize>, Vec<f32>)> {
         let decl = self.program.tensor(id);
@@ -879,8 +920,7 @@ impl<'a> FunctionalSim<'a> {
                             fp
                         }
                     };
-                    let key = (id, fp);
-                    cache.shared_gather.entry(key).or_insert_with(|| {
+                    let addrs = cache.shared_gather.get_or_insert_with((id, fp), || {
                         let layout = self.smem_layout(id);
                         let addrs: Vec<usize> = (0..total)
                             .map(|idx| {
@@ -890,9 +930,8 @@ impl<'a> FunctionalSim<'a> {
                                     .apply(self.address(layout.layout(), &coords, 0))
                             })
                             .collect();
-                        addrs
+                        Arc::new(addrs)
                     });
-                    let addrs = &cache.shared_gather[&key];
                     for (idx, &addr) in addrs.iter().enumerate() {
                         full[idx] = buffer.get(addr).copied().unwrap_or(0.0);
                     }
@@ -922,7 +961,7 @@ impl<'a> FunctionalSim<'a> {
         id: TensorId,
         full: &[f32],
         regs: &mut HashMap<TensorId, RegisterFile>,
-        cache: &mut SimTableCache,
+        cache: &SimTableCache,
         state: &mut RunState,
     ) -> Result<()> {
         let decl = self.program.tensor(id);
@@ -965,7 +1004,7 @@ impl<'a> FunctionalSim<'a> {
         b: TensorId,
         shared: &mut HashMap<TensorId, Vec<f32>>,
         regs: &mut HashMap<TensorId, RegisterFile>,
-        cache: &mut SimTableCache,
+        cache: &SimTableCache,
         state: &mut RunState,
     ) -> Result<()> {
         let (a_tile, a_full) = self.gather_tile(a, shared, regs, cache, state)?;
@@ -992,7 +1031,7 @@ impl<'a> FunctionalSim<'a> {
         src: TensorId,
         dst: TensorId,
         regs: &mut HashMap<TensorId, RegisterFile>,
-        cache: &mut SimTableCache,
+        cache: &SimTableCache,
         state: &mut RunState,
     ) -> Result<()> {
         let shared_dummy = HashMap::new();
@@ -1050,7 +1089,7 @@ impl<'a> FunctionalSim<'a> {
         dim: usize,
         op: ReduceOp,
         regs: &mut HashMap<TensorId, RegisterFile>,
-        cache: &mut SimTableCache,
+        cache: &SimTableCache,
         state: &mut RunState,
     ) -> Result<()> {
         let shared_dummy = HashMap::new();
@@ -1315,12 +1354,12 @@ mod tests {
         // path, so force it on for the sharing measurement.
         let was_enabled = fastpath::enabled();
         fastpath::set_enabled(true);
-        let mut cache = SimTableCache::new();
+        let cache = SimTableCache::new();
         let mut sizes = Vec::new();
         for candidate in &candidates {
             let sim = FunctionalSim::new(&program, candidate);
             let fresh = sim.run(&inputs).unwrap();
-            let cached = sim.run_with_cache(&inputs, &mut cache).unwrap();
+            let cached = sim.run_with_cache(&inputs, &cache).unwrap();
             for (name, buf) in &fresh {
                 let fresh_bits: Vec<u32> = buf.iter().map(|x| x.to_bits()).collect();
                 let cached_bits: Vec<u32> = cached[name].iter().map(|x| x.to_bits()).collect();

@@ -8,7 +8,6 @@
 //! rooflines of the whole device, and kernel-launch overhead.
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::RwLock;
 
@@ -16,6 +15,7 @@ use hexcute_arch::{GpuArch, MemSpace};
 use hexcute_costmodel::{op_choice_fingerprint, program_fingerprint, CostBreakdown, CostModel};
 use hexcute_ir::{Op, OpId, OpKind, Program, TensorId};
 use hexcute_layout::SwizzledLayout;
+use hexcute_parallel::cache::{CacheStats, ShardedMap};
 use hexcute_synthesis::{bank_conflict_degree, Candidate, CopyChoice};
 
 /// The estimated execution profile of one kernel launch.
@@ -69,11 +69,12 @@ pub fn estimate_kernel(program: &Program, candidate: &Candidate, arch: &GpuArch)
 /// candidates, keyed by the operation's choice fingerprint plus the layout of
 /// the shared buffer it touches — sibling candidates re-pay only the
 /// operations their differing choice suffix changed. Safe to share across
-/// threads (the caches are behind read-write locks).
+/// threads (the cache is sharded over read-write locks, so the parallel
+/// search rarely contends on it).
 #[derive(Debug)]
 pub struct PerfEvaluator<'a> {
     arch: &'a GpuArch,
-    bank_cache: RwLock<HashMap<(OpId, u64), f64>>,
+    bank_cache: ShardedMap<(OpId, u64), f64>,
     /// Fingerprint of the program the cache currently describes: operation
     /// ids are only unique within one program, so evaluating a different
     /// program clears the cache (sequential cross-program reuse is safe;
@@ -86,9 +87,14 @@ impl<'a> PerfEvaluator<'a> {
     pub fn new(arch: &'a GpuArch) -> Self {
         PerfEvaluator {
             arch,
-            bank_cache: RwLock::new(HashMap::new()),
+            bank_cache: ShardedMap::new(),
             program_tag: RwLock::new(None),
         }
+    }
+
+    /// Hit/miss/eviction counters of the per-operation bank-conflict cache.
+    pub fn bank_cache_stats(&self) -> CacheStats {
+        self.bank_cache.stats()
     }
 
     /// Clears the per-operation cache when `program` differs from the one it
@@ -101,7 +107,7 @@ impl<'a> PerfEvaluator<'a> {
         let mut current = self.program_tag.write().unwrap();
         if *current != Some(tag) {
             *current = Some(tag);
-            self.bank_cache.write().unwrap().clear();
+            self.bank_cache.clear();
         }
     }
 
@@ -129,13 +135,9 @@ impl<'a> PerfEvaluator<'a> {
                 continue;
             };
             let key = (op.id, bank_fingerprint(candidate, op, choice, layout));
-            if let Some(&hit) = self.bank_cache.read().unwrap().get(&key) {
-                penalty += hit;
-                continue;
-            }
-            let computed = bank_conflict_penalty_op(program, op, choice, tensor, layout, self.arch);
-            self.bank_cache.write().unwrap().insert(key, computed);
-            penalty += computed;
+            penalty += self.bank_cache.get_or_insert_with(key, || {
+                bank_conflict_penalty_op(program, op, choice, tensor, layout, self.arch)
+            });
         }
         penalty
     }

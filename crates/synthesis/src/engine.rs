@@ -94,19 +94,38 @@ impl<'a> Synthesizer<'a> {
     /// Returns an error when the program cannot be mapped at all (e.g. no
     /// Tensor Core instruction for the operand types).
     pub fn synthesize(&self) -> Result<Vec<Candidate>> {
+        Ok(self.synthesize_with_stats()?.0)
+    }
+
+    /// [`Synthesizer::synthesize`] plus the prefix-sharing and parallel-walk
+    /// counters (see [`crate::prefix::PrefixStats`]); the stats are `None`
+    /// when the re-evaluating reference path ran instead of the incremental
+    /// search.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Synthesizer::synthesize`].
+    pub fn synthesize_with_stats(
+        &self,
+    ) -> Result<(Vec<Candidate>, Option<crate::prefix::PrefixStats>)> {
         let base = self.solve_tv()?;
         let plans = self.build_copy_plans(&base)?;
         let selections = self.enumerate_selections(&plans);
         let max = self.options.max_candidates.max(1);
-        let finished: Vec<Candidate> = if self.options.incremental && crate::incremental_enabled() {
-            self.evaluate_incremental(&base, &plans, &selections, max)
+        let (finished, stats) = if self.options.incremental && crate::incremental_enabled() {
+            let (finished, stats) =
+                self.evaluate_incremental_with_stats(&base, &plans, &selections, max);
+            (finished, Some(stats))
         } else {
-            self.evaluate_reference(&base, &plans, &selections, max)
+            (
+                self.evaluate_reference(&base, &plans, &selections, max),
+                None,
+            )
         };
         if finished.is_empty() {
             return Err(SynthesisError::NoCandidates);
         }
-        Ok(finished)
+        Ok((finished, stats))
     }
 
     /// The reference evaluation: every candidate is materialized and its
@@ -1283,12 +1302,16 @@ mod tests {
         );
 
         // The incremental path agrees bit for bit, including on fallbacks.
-        let incremental = synth.evaluate_incremental(&base, &plans, &selections, 1);
+        let incremental = synth
+            .evaluate_incremental_with_stats(&base, &plans, &selections, 1)
+            .0;
         assert_eq!(reference, incremental);
 
         // Unbounded, both paths agree on the full feasible set too.
         let all_ref = synth.evaluate_reference(&base, &plans, &selections, usize::MAX);
-        let all_inc = synth.evaluate_incremental(&base, &plans, &selections, usize::MAX);
+        let all_inc = synth
+            .evaluate_incremental_with_stats(&base, &plans, &selections, usize::MAX)
+            .0;
         assert_eq!(all_ref, all_inc);
         assert_eq!(all_ref.len(), 1, "every other selection is infeasible");
     }

@@ -35,6 +35,20 @@ pub struct SynthesisOptions {
     /// candidate is re-evaluated from scratch (the pre-PR-2 reference
     /// behaviour). Both paths produce bit-identical candidate lists.
     pub incremental: bool,
+    /// Depth at which the incremental search splits the choice tree into
+    /// independent subtrees evaluated in parallel on the persistent worker
+    /// pool (selections sharing their first `depth` choices form one
+    /// subtree). `None` (the default) auto-tunes the depth from the worker
+    /// count; `Some(0)` forces the serial walk — the cross-checked
+    /// reference, also reachable with `HEXCUTE_THREADS=1`. The parallel walk
+    /// is bit-for-bit identical to the serial one at any depth and worker
+    /// count.
+    pub parallel_subtree_depth: Option<usize>,
+    /// Worker count for the parallel subtree walk and candidate scoring.
+    /// `None` (the default) uses [`hexcute_parallel::worker_count`]
+    /// (i.e. `HEXCUTE_THREADS`); tests and benchmarks set an explicit count
+    /// because mutating the environment of a threaded process is unsafe.
+    pub parallel_workers: Option<usize>,
 }
 
 impl Default for SynthesisOptions {
@@ -50,6 +64,8 @@ impl Default for SynthesisOptions {
             disable_swizzles: false,
             allow_non_power_of_two_tiles: true,
             incremental: true,
+            parallel_subtree_depth: None,
+            parallel_workers: None,
         }
     }
 }
@@ -91,6 +107,8 @@ mod tests {
         assert!(!o.force_scalar_copies);
         assert!(o.incremental);
         assert!(o.max_candidates >= 16);
+        assert_eq!(o.parallel_subtree_depth, None, "default is auto-tuned");
+        assert_eq!(o.parallel_workers, None, "default follows HEXCUTE_THREADS");
     }
 
     #[test]

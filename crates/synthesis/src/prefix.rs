@@ -18,6 +18,21 @@
 //! on cache misses. The equivalence is cross-checked by
 //! `tests/incremental_vs_reference.rs` and the randomized kernel sweep in
 //! `hexcute-core`.
+//!
+//! ## The parallel subtree walk
+//!
+//! On many-core machines the walk itself is parallelized: the selections are
+//! split at a configurable depth (see
+//! [`crate::SynthesisOptions::parallel_subtree_depth`]) into independent
+//! subtrees — selections sharing their first `depth` choices form one
+//! subtree — and the subtrees are evaluated on the persistent worker pool of
+//! `hexcute-parallel`. The per-tensor finishing memo is a sharded concurrent
+//! map shared across all workers, and every cached value is a pure function
+//! of its key, so subtree results merged back in enumeration order are
+//! **bit-for-bit identical** to the serial walk (and to the re-evaluating
+//! reference) at any worker count. The preferred selection is finished
+//! first, serially, so the memo is warm before the fan-out and concurrent
+//! subtrees rarely recompute a layout redundantly.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
@@ -26,6 +41,7 @@ use std::hash::{Hash, Hasher};
 use hexcute_arch::DType;
 use hexcute_ir::{OpKind, TensorId};
 use hexcute_layout::{Layout, SwizzledLayout};
+use hexcute_parallel::cache::{CacheStats, ShardedMap};
 
 use crate::choice::{Candidate, CopyChoice};
 use crate::engine::{degrade_to_scalar, CopyPlan, Synthesizer, TvBase};
@@ -45,8 +61,9 @@ struct PrefixNode {
     constraints: Option<BTreeMap<TensorId, Result<LayoutConstraint, String>>>,
 }
 
-/// Counters exposing how much work the prefix sharing saved. Used by tests
-/// to assert that sharing actually happens.
+/// Counters exposing how much work the prefix sharing saved and how the
+/// parallel walk split it. Used by tests to assert that sharing actually
+/// happens and reported by the `repro_*` binaries.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PrefixStats {
     /// Tree edges expanded (per-copy constraint unifications performed).
@@ -55,7 +72,23 @@ pub struct PrefixStats {
     pub tensor_layouts_computed: usize,
     /// Per-tensor finishing results served from the prefix cache.
     pub tensor_layout_hits: usize,
+    /// Hit/miss/eviction counters of the shared finished-layout memo (the
+    /// map-level view of the two counters above; under the parallel walk the
+    /// map may see slightly more misses than `tensor_layouts_computed` when
+    /// concurrent subtrees race on one key).
+    pub finished_cache: CacheStats,
+    /// Independent subtrees the walk was split into (1 = serial walk).
+    pub subtrees: usize,
+    /// Worker threads the walk used (1 = serial walk).
+    pub workers: usize,
 }
+
+/// The shared per-tensor finishing memo: finished shared-memory layouts (or
+/// the unification/materialization error) keyed by the tensor and the
+/// fingerprint of the copy choices touching it. Values are pure functions of
+/// the key, which is what makes sharing it across subtree workers safe *and*
+/// deterministic.
+type FinishedMemo = ShardedMap<(TensorId, u64), Result<SwizzledLayout, String>>;
 
 /// The state of one incremental search: the current path through the prefix
 /// tree plus the cross-path memo of finished per-tensor layouts.
@@ -75,13 +108,14 @@ struct PrefixSearch<'s, 'a> {
     stack: Vec<PrefixNode>,
     path: Vec<usize>,
     /// Finished per-tensor layouts keyed by the choices of the copies
-    /// touching the tensor.
-    finished: HashMap<(TensorId, u64), Result<SwizzledLayout, String>>,
+    /// touching the tensor; shared across every subtree worker of one
+    /// search.
+    finished: &'s FinishedMemo,
     stats: PrefixStats,
 }
 
 impl<'s, 'a> PrefixSearch<'s, 'a> {
-    fn new(synth: &'s Synthesizer<'a>, plans: &'s [CopyPlan]) -> Self {
+    fn new(synth: &'s Synthesizer<'a>, plans: &'s [CopyPlan], finished: &'s FinishedMemo) -> Self {
         let program = synth.program();
         let shared = program.shared_tensors();
         let mut info = BTreeMap::new();
@@ -119,7 +153,7 @@ impl<'s, 'a> PrefixSearch<'s, 'a> {
             plan_touch,
             stack: vec![root],
             path: Vec::new(),
-            finished: HashMap::new(),
+            finished,
             stats: PrefixStats::default(),
         }
     }
@@ -230,7 +264,7 @@ impl<'s, 'a> PrefixSearch<'s, 'a> {
             let result = match self.finished.get(&key) {
                 Some(hit) => {
                     self.stats.tensor_layout_hits += 1;
-                    hit.clone()
+                    hit
                 }
                 None => {
                     self.stats.tensor_layouts_computed += 1;
@@ -248,6 +282,9 @@ impl<'s, 'a> PrefixSearch<'s, 'a> {
                             options,
                         )
                     });
+                    // Concurrent subtrees may race here; `computed` is a
+                    // pure function of `key`, so either insert wins with a
+                    // bit-identical value.
                     self.finished.insert(key, computed.clone());
                     computed
                 }
@@ -276,21 +313,63 @@ fn touching_fingerprint(touching: &[&CopyChoice]) -> u64 {
     hasher.finish()
 }
 
+/// The subtree depth the parallel walk uses: the explicit option when set,
+/// otherwise the smallest depth whose prefix split yields at least
+/// `4 * workers` subtrees (so the pool has slack to balance uneven subtree
+/// costs), falling back to the full selection length — every leaf its own
+/// subtree, relying on the shared memo for cross-leaf reuse. Deterministic,
+/// but the *output* never depends on it: any split merges back to the same
+/// candidate list.
+fn resolve_subtree_depth(
+    explicit: Option<usize>,
+    workers: usize,
+    selections: &[Vec<usize>],
+) -> usize {
+    if let Some(depth) = explicit {
+        return depth;
+    }
+    let max_len = selections.iter().map(Vec::len).max().unwrap_or(0);
+    let target = workers.saturating_mul(4);
+    for depth in 1..=max_len {
+        let distinct: std::collections::HashSet<&[usize]> = selections
+            .iter()
+            .map(|sel| &sel[..depth.min(sel.len())])
+            .collect();
+        if distinct.len() >= target {
+            return depth;
+        }
+    }
+    max_len
+}
+
+/// Groups selection indices by their depth-`depth` choice prefix, preserving
+/// the enumeration order of first occurrence (and of members within each
+/// group).
+fn subtree_groups(selections: &[Vec<usize>], depth: usize) -> Vec<Vec<usize>> {
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut index_of: HashMap<&[usize], usize> = HashMap::new();
+    for (i, sel) in selections.iter().enumerate() {
+        let key = &sel[..depth.min(sel.len())];
+        match index_of.get(key) {
+            Some(&g) => groups[g].push(i),
+            None => {
+                index_of.insert(key, groups.len());
+                groups.push(vec![i]);
+            }
+        }
+    }
+    groups
+}
+
 impl<'a> Synthesizer<'a> {
     /// Evaluates the selections through the shared-prefix search, returning
-    /// at most `max` finished candidates in enumeration order.
-    pub(crate) fn evaluate_incremental(
-        &self,
-        base: &TvBase,
-        plans: &[CopyPlan],
-        selections: &[Vec<usize>],
-        max: usize,
-    ) -> Vec<Candidate> {
-        self.evaluate_incremental_with_stats(base, plans, selections, max)
-            .0
-    }
-
-    /// [`Synthesizer::evaluate_incremental`] plus the sharing counters.
+    /// at most `max` finished candidates in enumeration order, plus the
+    /// sharing counters.
+    ///
+    /// Dispatches between the serial walk (the cross-checked reference:
+    /// one worker, `parallel_subtree_depth = 0`, or a trivial selection
+    /// list) and the parallel subtree walk. Both produce bit-identical
+    /// candidate lists; only the counters differ.
     pub(crate) fn evaluate_incremental_with_stats(
         &self,
         base: &TvBase,
@@ -298,7 +377,30 @@ impl<'a> Synthesizer<'a> {
         selections: &[Vec<usize>],
         max: usize,
     ) -> (Vec<Candidate>, PrefixStats) {
-        let mut search = PrefixSearch::new(self, plans);
+        let workers = self
+            .options()
+            .parallel_workers
+            .unwrap_or_else(hexcute_parallel::worker_count)
+            .max(1);
+        let depth =
+            resolve_subtree_depth(self.options().parallel_subtree_depth, workers, selections);
+        let finished_memo = FinishedMemo::new();
+        if workers <= 1 || depth == 0 || selections.len() <= 2 {
+            return self.walk_serial(base, plans, selections, max, &finished_memo);
+        }
+        self.walk_parallel(base, plans, selections, max, depth, workers, &finished_memo)
+    }
+
+    /// The serial incremental walk (the PR 2 behaviour).
+    fn walk_serial(
+        &self,
+        base: &TvBase,
+        plans: &[CopyPlan],
+        selections: &[Vec<usize>],
+        max: usize,
+        finished_memo: &FinishedMemo,
+    ) -> (Vec<Candidate>, PrefixStats) {
+        let mut search = PrefixSearch::new(self, plans, finished_memo);
         let mut finished = Vec::new();
         for sel in selections {
             if finished.len() >= max {
@@ -309,6 +411,83 @@ impl<'a> Synthesizer<'a> {
                 finished.push(candidate);
             }
         }
-        (finished, search.stats)
+        let mut stats = search.stats;
+        stats.subtrees = 1;
+        stats.workers = 1;
+        stats.finished_cache = finished_memo.stats();
+        (finished, stats)
+    }
+
+    /// The parallel subtree walk: the first (preferred) selection is
+    /// finished serially to warm the shared memo, the remaining selections
+    /// are split into depth-`depth` prefix subtrees evaluated on the worker
+    /// pool, and the per-selection results are merged back in enumeration
+    /// order before applying the `max` cap — so the output is bit-for-bit
+    /// the serial walk's at any worker count. (Like the parallel reference
+    /// path, every selection is finished even when `max` would have stopped
+    /// the serial walk early; with the default `max_candidates` no discarded
+    /// work occurs.)
+    #[allow(clippy::too_many_arguments)]
+    fn walk_parallel(
+        &self,
+        base: &TvBase,
+        plans: &[CopyPlan],
+        selections: &[Vec<usize>],
+        max: usize,
+        depth: usize,
+        workers: usize,
+        finished_memo: &FinishedMemo,
+    ) -> (Vec<Candidate>, PrefixStats) {
+        let mut slots: Vec<Option<Candidate>> = vec![None; selections.len()];
+        let mut stats = PrefixStats::default();
+
+        // Warm the memo with the preferred selection: it carries the common
+        // choices, so concurrent subtrees mostly hit instead of racing.
+        {
+            let mut search = PrefixSearch::new(self, plans, finished_memo);
+            search.walk_to(&selections[0]);
+            slots[0] = search.finish_leaf(base, &selections[0]);
+            stats = merge_stats(&stats, &search.stats);
+        }
+
+        let groups = subtree_groups(&selections[1..], depth);
+        let subtrees = groups.len() + 1;
+        let evaluated = hexcute_parallel::par_map_with_workers(
+            groups,
+            |group| {
+                let mut search = PrefixSearch::new(self, plans, finished_memo);
+                let mut out = Vec::with_capacity(group.len());
+                for idx in group {
+                    let sel = &selections[idx + 1];
+                    search.walk_to(sel);
+                    out.push((idx + 1, search.finish_leaf(base, sel)));
+                }
+                (out, search.stats)
+            },
+            workers,
+        );
+        for (group, group_stats) in evaluated {
+            stats = merge_stats(&stats, &group_stats);
+            for (idx, candidate) in group {
+                slots[idx] = candidate;
+            }
+        }
+        stats.subtrees = subtrees;
+        stats.workers = workers;
+        stats.finished_cache = finished_memo.stats();
+        let finished: Vec<Candidate> = slots.into_iter().flatten().take(max).collect();
+        (finished, stats)
+    }
+}
+
+/// Sums the per-walk counters (the cache snapshot is set once at the end).
+fn merge_stats(a: &PrefixStats, b: &PrefixStats) -> PrefixStats {
+    PrefixStats {
+        nodes_expanded: a.nodes_expanded + b.nodes_expanded,
+        tensor_layouts_computed: a.tensor_layouts_computed + b.tensor_layouts_computed,
+        tensor_layout_hits: a.tensor_layout_hits + b.tensor_layout_hits,
+        finished_cache: a.finished_cache,
+        subtrees: a.subtrees,
+        workers: a.workers,
     }
 }
