@@ -14,4 +14,5 @@ fn main() {
         println!("{report}");
     }
     println!("{}", hexcute_bench::compile_time::compile_time_report());
+    hexcute_bench::print_shared_cache_summary();
 }

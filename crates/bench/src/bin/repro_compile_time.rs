@@ -1,4 +1,5 @@
 //! Regenerates the Section VII-C compile-time statistics.
 fn main() {
     println!("{}", hexcute_bench::compile_time::compile_time_report());
+    hexcute_bench::print_shared_cache_summary();
 }

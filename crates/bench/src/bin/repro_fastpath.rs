@@ -11,6 +11,7 @@ fn main() {
         .unwrap_or_else(|| "BENCH_pr1.json".to_string());
     let entries = hexcute_bench::fastpath::run_all();
     print!("{}", hexcute_bench::fastpath::as_report(&entries));
+    hexcute_bench::print_shared_cache_summary();
     match hexcute_bench::fastpath::write_json(&out_path, &entries) {
         Ok(()) => println!("\nwrote {out_path}"),
         Err(e) => {

@@ -2,4 +2,5 @@
 fn main() {
     let quick = !std::env::args().any(|a| a == "--full");
     println!("{}", hexcute_bench::cost_model::fig12(quick));
+    hexcute_bench::print_shared_cache_summary();
 }

@@ -16,4 +16,5 @@ fn main() {
             }
         }
     }
+    hexcute_bench::print_shared_cache_summary();
 }

@@ -11,11 +11,7 @@ fn main() {
         .unwrap_or_else(|| "BENCH_pr2.json".to_string());
     let entries = hexcute_bench::fastpath::synthesis_incremental_entries();
     print!("{}", hexcute_bench::fastpath::as_report(&entries));
-    let (tables, op_costs, candidate_costs) = hexcute_bench::fastpath::shared_cache_stats();
-    println!("\nShared cache behaviour (sibling candidates, two passes):");
-    println!("  simulator index tables:   {tables}");
-    println!("  per-op cost estimates:    {op_costs}");
-    println!("  whole-candidate estimates: {candidate_costs}");
+    hexcute_bench::print_shared_cache_summary();
     match hexcute_bench::fastpath::write_json_named(
         &out_path,
         "incremental prefix-shared candidate evaluation",

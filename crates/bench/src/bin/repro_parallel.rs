@@ -81,6 +81,7 @@ fn main() {
     let entries = hexcute_bench::fastpath::synthesis_parallel_entries();
     print!("{}", hexcute_bench::fastpath::as_report(&entries));
     print_prefix_stats();
+    hexcute_bench::print_shared_cache_summary();
     match hexcute_bench::fastpath::write_json_named(
         &out_path,
         "parallel prefix-tree search over a persistent worker pool",

@@ -1,4 +1,5 @@
 //! Regenerates Table III (MoE bytes per instruction).
 fn main() {
     println!("{}", hexcute_bench::tables34::table3());
+    hexcute_bench::print_shared_cache_summary();
 }

@@ -1,4 +1,5 @@
 //! Regenerates Table IV (Mamba scan bytes per instruction).
 fn main() {
     println!("{}", hexcute_bench::tables34::table4());
+    hexcute_bench::print_shared_cache_summary();
 }

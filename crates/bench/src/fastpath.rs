@@ -493,6 +493,26 @@ pub fn shared_cache_stats() -> (
     )
 }
 
+/// Exercises a (memory-only) kernel-artifact cache once — a small GEMM
+/// compiled twice through [`hexcute_core::KernelCache`] — and returns its
+/// counters. Printed by the `repro_*` binaries alongside
+/// [`shared_cache_stats`].
+pub fn artifact_cache_stats() -> hexcute_core::KernelCacheStats {
+    let arch = GpuArch::a100();
+    set_fast_path(true);
+    let program = small_gemm_program();
+    let cache = hexcute_core::KernelCache::new(hexcute_core::KernelCacheConfig::default());
+    let compiler = Compiler::new(arch);
+    for _ in 0..2 {
+        std::hint::black_box(
+            compiler
+                .compile_with_cache(&program, &cache)
+                .expect("small GEMM compiles"),
+        );
+    }
+    cache.stats()
+}
+
 /// Runs every group (leaving the fast path enabled afterwards).
 pub fn run_all() -> Vec<FastPathEntry> {
     let mut entries = layout_algebra_entries();
@@ -601,16 +621,17 @@ pub fn to_json_named(benchmark: &str, entries: &[FastPathEntry]) -> String {
     out
 }
 
-/// Writes [`to_json`] to `path`.
+/// Writes [`to_json`] to `path`, creating the parent directory if missing.
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors.
 pub fn write_json(path: &str, entries: &[FastPathEntry]) -> std::io::Result<()> {
-    std::fs::write(path, to_json(entries))
+    crate::write_output(path, &to_json(entries))
 }
 
-/// Writes [`to_json_named`] to `path`.
+/// Writes [`to_json_named`] to `path`, creating the parent directory if
+/// missing.
 ///
 /// # Errors
 ///
@@ -620,7 +641,7 @@ pub fn write_json_named(
     benchmark: &str,
     entries: &[FastPathEntry],
 ) -> std::io::Result<()> {
-    std::fs::write(path, to_json_named(benchmark, entries))
+    crate::write_output(path, &to_json_named(benchmark, entries))
 }
 
 #[cfg(test)]

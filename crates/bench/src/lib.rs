@@ -18,6 +18,7 @@ pub mod fastpath;
 pub mod moe_bench;
 pub mod per_shape;
 pub mod scan_bench;
+pub mod serving_bench;
 pub mod table2;
 pub mod tables34;
 
@@ -33,6 +34,38 @@ pub fn compile_hexcute(program: &Program, arch: &GpuArch) -> CompiledKernel {
     Compiler::new(arch.clone())
         .compile(program)
         .unwrap_or_else(|e| panic!("failed to compile {}: {e}", program.name))
+}
+
+/// Writes `contents` to `path`, creating the parent directory first when it
+/// does not exist (so `repro_* -- out/nested/BENCH.json` works instead of
+/// failing with `No such file or directory`).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_output(path: &str, contents: &str) -> std::io::Result<()> {
+    let path = std::path::Path::new(path);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, contents)
+}
+
+/// Prints the hit/miss/eviction statistics of every shared cache the
+/// synthesis pipeline maintains — the simulator index tables, the cost
+/// model's per-operation and whole-candidate estimates, and the kernel
+/// artifact cache — each exercised on a small GEMM. Every `repro_*` binary
+/// calls this in its summary.
+pub fn print_shared_cache_summary() {
+    let (tables, op_costs, candidate_costs) = fastpath::shared_cache_stats();
+    let artifacts = fastpath::artifact_cache_stats();
+    println!("\nShared cache behaviour (synthetic small-GEMM exercise, two passes each):");
+    println!("  simulator index tables:    {tables}");
+    println!("  per-op cost estimates:     {op_costs}");
+    println!("  whole-candidate estimates: {candidate_costs}");
+    println!("  kernel artifacts:          {artifacts}");
 }
 
 /// Geometric mean of a slice of positive numbers.
@@ -53,5 +86,18 @@ mod tests {
         assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
         assert_eq!(geomean(&[]), 0.0);
         assert!((geomean(&[3.0]) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_output_creates_missing_directories() {
+        let dir = std::env::temp_dir().join(format!("hexcute-write-output-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("nested").join("BENCH_test.json");
+        write_output(path.to_str().unwrap(), "{}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{}\n");
+        // Bare filenames (no parent) keep working too.
+        write_output("BENCH_write_output_test.tmp", "x").unwrap();
+        std::fs::remove_file("BENCH_write_output_test.tmp").ok();
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -126,6 +126,68 @@ impl LoweredKernel {
         self.smem_allocs.iter().find(|a| a.tensor == tensor)
     }
 
+    /// Renders the per-block instruction stream as stable text, one line per
+    /// [`LoweredOp`], with tensors referred to by name. This is the
+    /// serialization the persistent kernel-artifact cache stores: the lines
+    /// are a pure function of the lowered kernel, so two bit-identical
+    /// compilations render identical lines.
+    pub fn instruction_lines(&self, program: &Program) -> Vec<String> {
+        let name = |t: TensorId| program.tensor(t).name.as_str();
+        self.body
+            .iter()
+            .map(|op| match op {
+                LoweredOp::Copy {
+                    src,
+                    dst,
+                    instruction,
+                    invocations,
+                    bytes_per_thread,
+                    in_loop,
+                    ..
+                } => format!(
+                    "copy {} -> {} via {instruction} x{invocations} \
+                     ({bytes_per_thread} B/thread){}",
+                    name(*src),
+                    name(*dst),
+                    if *in_loop { " [loop]" } else { "" },
+                ),
+                LoweredOp::Mma {
+                    a,
+                    b,
+                    c,
+                    instruction,
+                    invocations,
+                    in_loop,
+                    ..
+                } => format!(
+                    "mma {} += {} * {} via {instruction} x{invocations}{}",
+                    name(*c),
+                    name(*a),
+                    name(*b),
+                    if *in_loop { " [loop]" } else { "" },
+                ),
+                LoweredOp::Simt {
+                    kind,
+                    inputs,
+                    output,
+                    width,
+                    in_loop,
+                    ..
+                } => format!(
+                    "simt {kind:?} [{}] -> {} width {width}{}",
+                    inputs
+                        .iter()
+                        .map(|t| name(*t))
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    name(*output),
+                    if *in_loop { " [loop]" } else { "" },
+                ),
+                LoweredOp::Sync => "sync".to_string(),
+            })
+            .collect()
+    }
+
     /// Number of barriers in the instruction stream.
     pub fn sync_count(&self) -> usize {
         self.body

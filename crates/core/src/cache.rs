@@ -1,0 +1,1024 @@
+//! A persistent, disk-backed kernel-artifact cache.
+//!
+//! Synthesizing a kernel is the expensive step of serving it: PRs 1–3 made a
+//! *single* synthesis fast and parallel, but a vLLM-style deployment compiles
+//! the same few dozen kernels on every process start. This module caches the
+//! *result* of a compilation — the winning candidate's layouts, the lowered
+//! program, the emitted pseudo-CUDA and the cost/perf breakdowns — keyed by a
+//! **stable fingerprint** of everything that determines it:
+//!
+//! ```text
+//! fingerprint = stable_hash(program structure, target GpuArch, CompilerOptions)
+//! ```
+//!
+//! Toggles that are cross-checked to be bit-identical (the fast path, the
+//! incremental search, worker counts) deliberately do *not* participate, so
+//! one artifact serves every execution configuration.
+//!
+//! Artifacts are stored as versioned JSON files (`<fingerprint>.json`) under
+//! a cache directory, with an in-memory [`ShardedMap`] front so repeat
+//! lookups in one process never touch the filesystem. The cache is
+//! defensive: corrupt files, artifacts written by a different
+//! [`ARTIFACT_VERSION`], fingerprint mismatches and TTL-expired entries are
+//! rejected (and deleted) so the caller re-synthesizes; every outcome is
+//! counted in [`KernelCacheStats`].
+//!
+//! ```
+//! use hexcute_arch::{DType, GpuArch};
+//! use hexcute_core::{Compiler, KernelCache, KernelCacheConfig, ArtifactSource};
+//! use hexcute_ir::KernelBuilder;
+//! use hexcute_layout::Layout;
+//!
+//! let mut kb = KernelBuilder::new("cached_scale", 128);
+//! let x = kb.global_view("x", DType::F32, Layout::row_major(&[64, 64]), &[64, 64]);
+//! let y = kb.global_view("y", DType::F32, Layout::row_major(&[64, 64]), &[64, 64]);
+//! let r = kb.register_tensor("r", DType::F32, &[64, 64]);
+//! kb.copy(x, r);
+//! kb.copy(r, y);
+//! let program = kb.build()?;
+//!
+//! // A memory-only cache (no `dir`): the second compile is a cache hit and
+//! // returns a bit-identical artifact.
+//! let cache = KernelCache::new(KernelCacheConfig::default());
+//! let compiler = Compiler::new(GpuArch::a100());
+//! let (cold, source) = compiler.compile_with_cache(&program, &cache)?;
+//! assert_eq!(source, ArtifactSource::Synthesized);
+//! let (warm, source) = compiler.compile_with_cache(&program, &cache)?;
+//! assert_eq!(source, ArtifactSource::Memory);
+//! assert_eq!(*cold, *warm);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant, SystemTime};
+
+use hexcute_arch::GpuArch;
+use hexcute_ir::Program;
+use hexcute_parallel::cache::{CacheStats, ShardedMap};
+
+use crate::compiler::{CompiledKernel, CompilerOptions};
+use crate::json::{JsonError, JsonValue};
+
+/// Version tag written into every artifact file. Bump it whenever the
+/// artifact schema *or* the semantics of any serialized field change: files
+/// carrying a different version are rejected on read and re-synthesized.
+pub const ARTIFACT_VERSION: usize = 1;
+
+// ---------------------------------------------------------------------------
+// Stable fingerprints.
+// ---------------------------------------------------------------------------
+
+/// A [`Hasher`] with a fixed algorithm (FNV-1a over the byte stream), so
+/// fingerprints are stable across processes and Rust versions — unlike
+/// `DefaultHasher`, whose algorithm is unspecified. Multi-byte integer
+/// writes follow the platform's native byte order, so fingerprints are
+/// per-machine (which is all a local disk cache needs); [`ARTIFACT_VERSION`]
+/// plus the fingerprint-match check on read guard everything else.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl StableHasher {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        StableHasher {
+            state: Self::FNV_OFFSET,
+        }
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher for StableHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(Self::FNV_PRIME);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// The stable cache key for compiling `program` for `arch` under `options`.
+///
+/// The hash covers the full program structure (name, schedule, every tensor
+/// declaration, every operation), the complete architecture model (so A100
+/// and H100 artifacts never collide) and every result-affecting compiler
+/// option (see [`SynthesisOptions::hash_stable`]). Execution-strategy
+/// toggles that are cross-checked bit-for-bit — the fast path, the
+/// incremental search, worker counts — are excluded on purpose.
+///
+/// [`SynthesisOptions::hash_stable`]: hexcute_synthesis::SynthesisOptions::hash_stable
+pub fn artifact_fingerprint(program: &Program, arch: &GpuArch, options: &CompilerOptions) -> u64 {
+    let mut h = StableHasher::new();
+    // Program structure.
+    program.name.hash(&mut h);
+    program.threads_per_block.hash(&mut h);
+    program.main_loop_trip_count.hash(&mut h);
+    program.schedule.pipeline_stages.hash(&mut h);
+    program.schedule.warp_specialized.hash(&mut h);
+    for decl in program.tensors() {
+        decl.id.hash(&mut h);
+        decl.name.hash(&mut h);
+        decl.dtype.hash(&mut h);
+        decl.space.hash(&mut h);
+        decl.shape.hash(&mut h);
+        decl.global_layout.hash(&mut h);
+    }
+    for op in program.ops() {
+        op.id.hash(&mut h);
+        // `OpKind`'s debug rendering spells out the operation and its
+        // operands deterministically; hashing it keeps this function
+        // independent of per-variant field churn.
+        format!("{:?}", op.kind).hash(&mut h);
+        op.in_main_loop.hash(&mut h);
+    }
+    // Target architecture: the debug rendering covers every modelled
+    // parameter (clocks, bandwidths, instruction catalog), so two arches
+    // that would compile differently fingerprint differently.
+    format!("{:?}", arch).hash(&mut h);
+    // Compiler options.
+    options.use_cost_model.hash(&mut h);
+    options.synthesis.hash_stable(&mut h);
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// The artifact.
+// ---------------------------------------------------------------------------
+
+/// The synthesized shared-memory layout of one tensor, rendered stably.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmemLayoutRecord {
+    /// Tensor name.
+    pub tensor: String,
+    /// Byte offset within dynamic shared memory.
+    pub offset_bytes: usize,
+    /// Allocation size in bytes.
+    pub size_bytes: usize,
+    /// The synthesized (possibly swizzled) layout, rendered via `Display`.
+    pub layout: String,
+}
+
+/// The synthesized thread-value layout of one register tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TvLayoutRecord {
+    /// Tensor name.
+    pub tensor: String,
+    /// The thread-value layout, rendered via `Display`.
+    pub layout: String,
+}
+
+/// One operation's slice of the cost breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpCostRecord {
+    /// Cycles the issuing warps are occupied.
+    pub issue_cycles: f64,
+    /// Cycles stalled waiting for in-flight producers.
+    pub stall_cycles: f64,
+    /// Cycles until the result is available after issuing.
+    pub completion_cycles: f64,
+}
+
+/// The analytical cost breakdown of the winning candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostRecord {
+    /// Estimated cycles for one thread block.
+    pub total_cycles: f64,
+    /// Prologue cycles.
+    pub prologue_cycles: f64,
+    /// Cycles of one (pipelined) main-loop iteration.
+    pub loop_iteration_cycles: f64,
+    /// Epilogue cycles.
+    pub epilogue_cycles: f64,
+    /// Cycles charged to register-layout conversions.
+    pub rearrange_cycles: f64,
+    /// Per-operation attribution, in program order.
+    pub per_op: Vec<OpCostRecord>,
+}
+
+/// The simulated device-level performance of the winning candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfRecord {
+    /// End-to-end latency in microseconds.
+    pub latency_us: f64,
+    /// Cycles for one thread block including bank-conflict penalties.
+    pub block_cycles: f64,
+    /// DRAM-bound latency component.
+    pub dram_us: f64,
+    /// Tensor-Core-bound latency component.
+    pub compute_us: f64,
+    /// SM-execution latency component.
+    pub sm_us: f64,
+    /// Waves of thread blocks across the device.
+    pub waves: usize,
+    /// Extra cycles per block from shared-memory bank conflicts.
+    pub bank_conflict_cycles: f64,
+    /// Kernel launch overhead in microseconds.
+    pub launch_overhead_us: f64,
+}
+
+/// A cached compilation result: everything downstream consumers (the
+/// serving layer, code emission, reporting) need, without re-running
+/// synthesis. Every field is a deterministic function of the fingerprint
+/// inputs, so a cache hit is bit-identical to a fresh synthesis — enforced
+/// by `crates/core/tests/artifact_cache.rs` across all four kernel families.
+///
+/// Wall-clock compile time is deliberately *not* part of the artifact: it
+/// differs run to run and would break the bit-identical contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelArtifact {
+    /// Schema version ([`ARTIFACT_VERSION`] at write time).
+    pub version: usize,
+    /// The cache key this artifact was stored under.
+    pub fingerprint: u64,
+    /// Kernel (program) name.
+    pub kernel: String,
+    /// Target architecture name.
+    pub arch: String,
+    /// Threads per block.
+    pub threads_per_block: usize,
+    /// Blocks launched for the modelled problem.
+    pub grid_blocks: usize,
+    /// Main-loop trip count.
+    pub main_loop_trip_count: usize,
+    /// Software pipeline depth.
+    pub pipeline_stages: usize,
+    /// Whether the kernel is warp specialized.
+    pub warp_specialized: bool,
+    /// Total dynamic shared memory in bytes.
+    pub smem_bytes: usize,
+    /// Estimated 32-bit registers per thread.
+    pub registers_per_thread: usize,
+    /// Winning candidate's thread-value layouts (register tensors).
+    pub tv_layouts: Vec<TvLayoutRecord>,
+    /// Winning candidate's synthesized shared-memory layouts.
+    pub smem_layouts: Vec<SmemLayoutRecord>,
+    /// The lowered per-block instruction stream, one line per instruction.
+    pub lowered: Vec<String>,
+    /// The emitted pseudo-CUDA source.
+    pub cuda: String,
+    /// Analytical cost breakdown of the winner.
+    pub cost: CostRecord,
+    /// Simulated performance of the winner.
+    pub perf: PerfRecord,
+    /// Number of candidates the search explored.
+    pub candidates_explored: usize,
+    /// Simulated latency of the winner over the true optimum (1.0 = the
+    /// cost model picked the best candidate).
+    pub selection_quality: f64,
+}
+
+/// Why an artifact file could not be used.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArtifactError {
+    /// The file is not valid JSON (truncated, garbage, partial write).
+    Json(JsonError),
+    /// The JSON parses but does not match the artifact schema.
+    Schema(String),
+    /// The artifact was written by a different [`ARTIFACT_VERSION`].
+    Version {
+        /// The version found in the file.
+        found: usize,
+    },
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Json(e) => write!(f, "corrupt artifact: {e}"),
+            ArtifactError::Schema(msg) => write!(f, "artifact schema mismatch: {msg}"),
+            ArtifactError::Version { found } => write!(
+                f,
+                "artifact version {found} != supported version {ARTIFACT_VERSION}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<JsonError> for ArtifactError {
+    fn from(e: JsonError) -> Self {
+        ArtifactError::Json(e)
+    }
+}
+
+fn schema_err(msg: impl Into<String>) -> ArtifactError {
+    ArtifactError::Schema(msg.into())
+}
+
+fn get_f64(v: &JsonValue, key: &str) -> Result<f64, ArtifactError> {
+    v.get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| schema_err(format!("missing or non-numeric `{key}`")))
+}
+
+fn get_usize(v: &JsonValue, key: &str) -> Result<usize, ArtifactError> {
+    v.get(key)
+        .and_then(JsonValue::as_usize)
+        .ok_or_else(|| schema_err(format!("missing or non-integral `{key}`")))
+}
+
+fn get_str(v: &JsonValue, key: &str) -> Result<String, ArtifactError> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| schema_err(format!("missing or non-string `{key}`")))
+}
+
+fn get_bool(v: &JsonValue, key: &str) -> Result<bool, ArtifactError> {
+    v.get(key)
+        .and_then(JsonValue::as_bool)
+        .ok_or_else(|| schema_err(format!("missing or non-boolean `{key}`")))
+}
+
+fn get_arr<'a>(v: &'a JsonValue, key: &str) -> Result<&'a [JsonValue], ArtifactError> {
+    v.get(key)
+        .and_then(JsonValue::as_arr)
+        .ok_or_else(|| schema_err(format!("missing or non-array `{key}`")))
+}
+
+fn obj(members: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Obj(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+impl KernelArtifact {
+    /// Builds the artifact for a finished compilation. `fingerprint` must be
+    /// the [`artifact_fingerprint`] of the inputs that produced `compiled`.
+    pub fn from_compiled(fingerprint: u64, compiled: &CompiledKernel, arch: &GpuArch) -> Self {
+        let program = &compiled.program;
+        KernelArtifact {
+            version: ARTIFACT_VERSION,
+            fingerprint,
+            kernel: program.name.clone(),
+            arch: arch.name.clone(),
+            threads_per_block: compiled.lowered.threads_per_block,
+            grid_blocks: compiled.lowered.grid_blocks,
+            main_loop_trip_count: compiled.lowered.main_loop_trip_count,
+            pipeline_stages: compiled.lowered.pipeline_stages,
+            warp_specialized: compiled.lowered.warp_specialized,
+            smem_bytes: compiled.lowered.smem_bytes,
+            registers_per_thread: compiled.lowered.registers_per_thread,
+            tv_layouts: compiled
+                .candidate
+                .tv_layouts
+                .iter()
+                .map(|(id, tv)| TvLayoutRecord {
+                    tensor: program.tensor(*id).name.clone(),
+                    layout: tv.to_string(),
+                })
+                .collect(),
+            smem_layouts: compiled
+                .lowered
+                .smem_allocs
+                .iter()
+                .map(|a| SmemLayoutRecord {
+                    tensor: program.tensor(a.tensor).name.clone(),
+                    offset_bytes: a.offset_bytes,
+                    size_bytes: a.size_bytes,
+                    layout: a.layout.to_string(),
+                })
+                .collect(),
+            lowered: compiled.lowered.instruction_lines(program),
+            cuda: compiled.cuda_source(),
+            cost: CostRecord {
+                total_cycles: compiled.cost.total_cycles,
+                prologue_cycles: compiled.cost.prologue_cycles,
+                loop_iteration_cycles: compiled.cost.loop_iteration_cycles,
+                epilogue_cycles: compiled.cost.epilogue_cycles,
+                rearrange_cycles: compiled.cost.rearrange_cycles,
+                per_op: compiled
+                    .cost
+                    .per_op
+                    .iter()
+                    .map(|c| OpCostRecord {
+                        issue_cycles: c.issue_cycles,
+                        stall_cycles: c.stall_cycles,
+                        completion_cycles: c.completion_cycles,
+                    })
+                    .collect(),
+            },
+            perf: PerfRecord {
+                latency_us: compiled.perf.latency_us,
+                block_cycles: compiled.perf.block_cycles,
+                dram_us: compiled.perf.dram_us,
+                compute_us: compiled.perf.compute_us,
+                sm_us: compiled.perf.sm_us,
+                waves: compiled.perf.waves,
+                bank_conflict_cycles: compiled.perf.bank_conflict_cycles,
+                launch_overhead_us: compiled.perf.launch_overhead_us,
+            },
+            candidates_explored: compiled.stats.candidates_explored,
+            selection_quality: compiled.stats.selection_quality,
+        }
+    }
+
+    /// The estimated kernel latency in microseconds.
+    pub fn latency_us(&self) -> f64 {
+        self.perf.latency_us
+    }
+
+    /// Serializes the artifact as versioned JSON (the on-disk format).
+    pub fn to_json(&self) -> String {
+        let num = JsonValue::Num;
+        let layouts = self
+            .smem_layouts
+            .iter()
+            .map(|l| {
+                obj(vec![
+                    ("tensor", JsonValue::Str(l.tensor.clone())),
+                    ("offset_bytes", num(l.offset_bytes as f64)),
+                    ("size_bytes", num(l.size_bytes as f64)),
+                    ("layout", JsonValue::Str(l.layout.clone())),
+                ])
+            })
+            .collect();
+        let tv = self
+            .tv_layouts
+            .iter()
+            .map(|l| {
+                obj(vec![
+                    ("tensor", JsonValue::Str(l.tensor.clone())),
+                    ("layout", JsonValue::Str(l.layout.clone())),
+                ])
+            })
+            .collect();
+        let per_op = self
+            .cost
+            .per_op
+            .iter()
+            .map(|c| {
+                obj(vec![
+                    ("issue_cycles", num(c.issue_cycles)),
+                    ("stall_cycles", num(c.stall_cycles)),
+                    ("completion_cycles", num(c.completion_cycles)),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("version", num(self.version as f64)),
+            (
+                "fingerprint",
+                JsonValue::Str(format!("{:016x}", self.fingerprint)),
+            ),
+            ("kernel", JsonValue::Str(self.kernel.clone())),
+            ("arch", JsonValue::Str(self.arch.clone())),
+            ("threads_per_block", num(self.threads_per_block as f64)),
+            ("grid_blocks", num(self.grid_blocks as f64)),
+            (
+                "main_loop_trip_count",
+                num(self.main_loop_trip_count as f64),
+            ),
+            ("pipeline_stages", num(self.pipeline_stages as f64)),
+            ("warp_specialized", JsonValue::Bool(self.warp_specialized)),
+            ("smem_bytes", num(self.smem_bytes as f64)),
+            (
+                "registers_per_thread",
+                num(self.registers_per_thread as f64),
+            ),
+            ("tv_layouts", JsonValue::Arr(tv)),
+            ("smem_layouts", JsonValue::Arr(layouts)),
+            (
+                "lowered",
+                JsonValue::Arr(
+                    self.lowered
+                        .iter()
+                        .map(|l| JsonValue::Str(l.clone()))
+                        .collect(),
+                ),
+            ),
+            ("cuda", JsonValue::Str(self.cuda.clone())),
+            (
+                "cost",
+                obj(vec![
+                    ("total_cycles", num(self.cost.total_cycles)),
+                    ("prologue_cycles", num(self.cost.prologue_cycles)),
+                    (
+                        "loop_iteration_cycles",
+                        num(self.cost.loop_iteration_cycles),
+                    ),
+                    ("epilogue_cycles", num(self.cost.epilogue_cycles)),
+                    ("rearrange_cycles", num(self.cost.rearrange_cycles)),
+                    ("per_op", JsonValue::Arr(per_op)),
+                ]),
+            ),
+            (
+                "perf",
+                obj(vec![
+                    ("latency_us", num(self.perf.latency_us)),
+                    ("block_cycles", num(self.perf.block_cycles)),
+                    ("dram_us", num(self.perf.dram_us)),
+                    ("compute_us", num(self.perf.compute_us)),
+                    ("sm_us", num(self.perf.sm_us)),
+                    ("waves", num(self.perf.waves as f64)),
+                    ("bank_conflict_cycles", num(self.perf.bank_conflict_cycles)),
+                    ("launch_overhead_us", num(self.perf.launch_overhead_us)),
+                ]),
+            ),
+            ("candidates_explored", num(self.candidates_explored as f64)),
+            ("selection_quality", num(self.selection_quality)),
+        ])
+        .write()
+    }
+
+    /// Parses an artifact file.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Json`] for malformed JSON, [`ArtifactError::Version`]
+    /// when the file was written by a different schema version, and
+    /// [`ArtifactError::Schema`] when fields are missing or mistyped.
+    pub fn from_json(text: &str) -> Result<Self, ArtifactError> {
+        let v = JsonValue::parse(text)?;
+        let version = get_usize(&v, "version")?;
+        if version != ARTIFACT_VERSION {
+            return Err(ArtifactError::Version { found: version });
+        }
+        let fingerprint = u64::from_str_radix(&get_str(&v, "fingerprint")?, 16)
+            .map_err(|_| schema_err("`fingerprint` is not a hex u64"))?;
+        let tv_layouts = get_arr(&v, "tv_layouts")?
+            .iter()
+            .map(|l| {
+                Ok(TvLayoutRecord {
+                    tensor: get_str(l, "tensor")?,
+                    layout: get_str(l, "layout")?,
+                })
+            })
+            .collect::<Result<_, ArtifactError>>()?;
+        let smem_layouts = get_arr(&v, "smem_layouts")?
+            .iter()
+            .map(|l| {
+                Ok(SmemLayoutRecord {
+                    tensor: get_str(l, "tensor")?,
+                    offset_bytes: get_usize(l, "offset_bytes")?,
+                    size_bytes: get_usize(l, "size_bytes")?,
+                    layout: get_str(l, "layout")?,
+                })
+            })
+            .collect::<Result<_, ArtifactError>>()?;
+        let lowered = get_arr(&v, "lowered")?
+            .iter()
+            .map(|l| {
+                l.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| schema_err("non-string `lowered` entry"))
+            })
+            .collect::<Result<_, ArtifactError>>()?;
+        let cost_v = v.get("cost").ok_or_else(|| schema_err("missing `cost`"))?;
+        let per_op = get_arr(cost_v, "per_op")?
+            .iter()
+            .map(|c| {
+                Ok(OpCostRecord {
+                    issue_cycles: get_f64(c, "issue_cycles")?,
+                    stall_cycles: get_f64(c, "stall_cycles")?,
+                    completion_cycles: get_f64(c, "completion_cycles")?,
+                })
+            })
+            .collect::<Result<_, ArtifactError>>()?;
+        let perf_v = v.get("perf").ok_or_else(|| schema_err("missing `perf`"))?;
+        Ok(KernelArtifact {
+            version,
+            fingerprint,
+            kernel: get_str(&v, "kernel")?,
+            arch: get_str(&v, "arch")?,
+            threads_per_block: get_usize(&v, "threads_per_block")?,
+            grid_blocks: get_usize(&v, "grid_blocks")?,
+            main_loop_trip_count: get_usize(&v, "main_loop_trip_count")?,
+            pipeline_stages: get_usize(&v, "pipeline_stages")?,
+            warp_specialized: get_bool(&v, "warp_specialized")?,
+            smem_bytes: get_usize(&v, "smem_bytes")?,
+            registers_per_thread: get_usize(&v, "registers_per_thread")?,
+            tv_layouts,
+            smem_layouts,
+            lowered,
+            cuda: get_str(&v, "cuda")?,
+            cost: CostRecord {
+                total_cycles: get_f64(cost_v, "total_cycles")?,
+                prologue_cycles: get_f64(cost_v, "prologue_cycles")?,
+                loop_iteration_cycles: get_f64(cost_v, "loop_iteration_cycles")?,
+                epilogue_cycles: get_f64(cost_v, "epilogue_cycles")?,
+                rearrange_cycles: get_f64(cost_v, "rearrange_cycles")?,
+                per_op,
+            },
+            perf: PerfRecord {
+                latency_us: get_f64(perf_v, "latency_us")?,
+                block_cycles: get_f64(perf_v, "block_cycles")?,
+                dram_us: get_f64(perf_v, "dram_us")?,
+                compute_us: get_f64(perf_v, "compute_us")?,
+                sm_us: get_f64(perf_v, "sm_us")?,
+                waves: get_usize(perf_v, "waves")?,
+                bank_conflict_cycles: get_f64(perf_v, "bank_conflict_cycles")?,
+                launch_overhead_us: get_f64(perf_v, "launch_overhead_us")?,
+            },
+            candidates_explored: get_usize(&v, "candidates_explored")?,
+            selection_quality: get_f64(&v, "selection_quality")?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The cache.
+// ---------------------------------------------------------------------------
+
+/// Where a served artifact came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactSource {
+    /// Served from the in-memory front.
+    Memory,
+    /// Loaded (and validated) from the disk store.
+    Disk,
+    /// Freshly synthesized (a cache miss).
+    Synthesized,
+}
+
+impl fmt::Display for ArtifactSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ArtifactSource::Memory => "memory",
+            ArtifactSource::Disk => "disk",
+            ArtifactSource::Synthesized => "synthesized",
+        })
+    }
+}
+
+/// Configuration of a [`KernelCache`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelCacheConfig {
+    /// Directory for the persistent store. `None` (the default) keeps the
+    /// cache memory-only.
+    pub dir: Option<PathBuf>,
+    /// Approximate bound on resident in-memory artifacts (shard-wise
+    /// eviction, see [`ShardedMap::bounded`]).
+    pub memory_capacity: usize,
+    /// Maximum artifact files kept on disk; the oldest (by modification
+    /// time) are pruned after each store.
+    pub disk_capacity: usize,
+    /// Entries older than this — by insertion time for the memory front, by
+    /// file modification time on disk — are treated as stale (disk files are
+    /// deleted) and re-synthesized. `None` disables expiry.
+    pub ttl: Option<Duration>,
+}
+
+impl Default for KernelCacheConfig {
+    fn default() -> Self {
+        KernelCacheConfig {
+            dir: None,
+            memory_capacity: 256,
+            disk_capacity: 1024,
+            ttl: None,
+        }
+    }
+}
+
+impl KernelCacheConfig {
+    /// Reads the configuration from the environment:
+    ///
+    /// | Variable | Meaning | Default |
+    /// |---|---|---|
+    /// | `HEXCUTE_CACHE_DIR` | persistent store directory | unset → memory-only |
+    /// | `HEXCUTE_CACHE_CAPACITY` | in-memory artifact bound | 256 |
+    /// | `HEXCUTE_CACHE_DISK_CAPACITY` | max artifact files on disk | 1024 |
+    /// | `HEXCUTE_CACHE_TTL_SECS` | artifact time-to-live in seconds (`0` = everything is immediately stale) | unset → no expiry |
+    ///
+    /// Unparsable numeric values fall back to the defaults.
+    pub fn from_env() -> Self {
+        let defaults = Self::default();
+        let parse = |name: &str, default: usize| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .unwrap_or(default)
+        };
+        KernelCacheConfig {
+            dir: std::env::var("HEXCUTE_CACHE_DIR").ok().map(PathBuf::from),
+            memory_capacity: parse("HEXCUTE_CACHE_CAPACITY", defaults.memory_capacity),
+            disk_capacity: parse("HEXCUTE_CACHE_DISK_CAPACITY", defaults.disk_capacity),
+            ttl: std::env::var("HEXCUTE_CACHE_TTL_SECS")
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .map(Duration::from_secs),
+        }
+    }
+}
+
+/// Counters describing a [`KernelCache`]'s behaviour. Snapshot via
+/// [`KernelCache::stats`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KernelCacheStats {
+    /// Hit/miss/eviction counters of the in-memory front.
+    pub memory: CacheStats,
+    /// Artifacts served from the disk store.
+    pub disk_hits: u64,
+    /// Lookups that found no usable artifact file.
+    pub disk_misses: u64,
+    /// Files rejected as corrupt (unparsable JSON, schema or fingerprint
+    /// mismatch) and deleted.
+    pub corrupt: u64,
+    /// Files rejected for carrying a different [`ARTIFACT_VERSION`] and
+    /// deleted.
+    pub stale_version: u64,
+    /// Files expired by the TTL and deleted.
+    pub expired: u64,
+    /// Artifacts written to disk.
+    pub stores: u64,
+    /// Files pruned by the disk-capacity bound.
+    pub file_evictions: u64,
+    /// Artifact files currently on disk (0 for memory-only caches).
+    pub disk_entries: usize,
+}
+
+impl fmt::Display for KernelCacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "memory: {}; disk: {} hits / {} misses, {} stored, {} resident, \
+             {} corrupt, {} stale-version, {} expired, {} pruned",
+            self.memory,
+            self.disk_hits,
+            self.disk_misses,
+            self.stores,
+            self.disk_entries,
+            self.corrupt,
+            self.stale_version,
+            self.expired,
+            self.file_evictions
+        )
+    }
+}
+
+/// A persistent, disk-backed kernel-artifact cache with an in-memory
+/// [`ShardedMap`] front.
+///
+/// Lookups go memory → disk → miss; a disk hit is promoted into memory.
+/// Artifacts are written atomically (temp file + rename), so a concurrent
+/// reader never observes a partial file, and every defect a reader *can*
+/// observe (corruption, version drift, expiry) is rejected, deleted and
+/// counted instead of surfacing as an error — the caller just re-synthesizes.
+/// See the [module docs](self) for a usage example.
+#[derive(Debug)]
+pub struct KernelCache {
+    config: KernelCacheConfig,
+    /// Each resident artifact carries its insertion instant so the TTL
+    /// applies to the memory front too, not just the disk files.
+    memory: ShardedMap<u64, (Arc<KernelArtifact>, Instant)>,
+    disk_hits: AtomicU64,
+    disk_misses: AtomicU64,
+    corrupt: AtomicU64,
+    stale_version: AtomicU64,
+    expired: AtomicU64,
+    stores: AtomicU64,
+    file_evictions: AtomicU64,
+}
+
+impl KernelCache {
+    /// Creates a cache with the given configuration. The cache directory is
+    /// created lazily on first store.
+    pub fn new(config: KernelCacheConfig) -> Self {
+        let memory = ShardedMap::bounded(config.memory_capacity.max(1));
+        KernelCache {
+            config,
+            memory,
+            disk_hits: AtomicU64::new(0),
+            disk_misses: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            stale_version: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            file_evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache configured from the `HEXCUTE_CACHE_*` environment variables
+    /// (see [`KernelCacheConfig::from_env`]).
+    pub fn from_env() -> Self {
+        Self::new(KernelCacheConfig::from_env())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &KernelCacheConfig {
+        &self.config
+    }
+
+    /// The on-disk path an artifact with this fingerprint is stored at
+    /// (`None` for memory-only caches).
+    pub fn artifact_path(&self, fingerprint: u64) -> Option<PathBuf> {
+        self.config
+            .dir
+            .as_ref()
+            .map(|d| d.join(format!("{fingerprint:016x}.json")))
+    }
+
+    /// Looks up an artifact: the in-memory front first, then the disk store.
+    /// A disk hit is promoted into memory; a defective file (corrupt, wrong
+    /// version, wrong fingerprint, expired) is deleted and counted, and the
+    /// lookup reports a miss so the caller re-synthesizes. The TTL applies
+    /// to both tiers: an expired memory entry falls through (and is
+    /// overwritten by the re-synthesis), an expired file is deleted.
+    pub fn get(&self, fingerprint: u64) -> Option<(Arc<KernelArtifact>, ArtifactSource)> {
+        if let Some((hit, inserted)) = self.memory.get(&fingerprint) {
+            match self.config.ttl {
+                Some(ttl) if inserted.elapsed() >= ttl => {
+                    self.expired.fetch_add(1, Ordering::Relaxed);
+                    // Fall through to disk (typically expired too) and on to
+                    // re-synthesis; the insert overwrites this entry.
+                }
+                _ => return Some((hit, ArtifactSource::Memory)),
+            }
+        }
+        let path = self.artifact_path(fingerprint)?;
+        match self.load(&path, fingerprint) {
+            Some(artifact) => {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                let artifact = Arc::new(artifact);
+                self.memory
+                    .insert(fingerprint, (artifact.clone(), Instant::now()));
+                Some((artifact, ArtifactSource::Disk))
+            }
+            None => {
+                self.disk_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn load(&self, path: &Path, fingerprint: u64) -> Option<KernelArtifact> {
+        let metadata = std::fs::metadata(path).ok()?;
+        if let (Some(ttl), Ok(modified)) = (self.config.ttl, metadata.modified()) {
+            let age = SystemTime::now()
+                .duration_since(modified)
+                .unwrap_or(Duration::ZERO);
+            if age >= ttl {
+                self.expired.fetch_add(1, Ordering::Relaxed);
+                let _ = std::fs::remove_file(path);
+                return None;
+            }
+        }
+        let text = std::fs::read_to_string(path).ok()?;
+        match KernelArtifact::from_json(&text) {
+            Ok(artifact) if artifact.fingerprint == fingerprint => Some(artifact),
+            Ok(_) => {
+                // A file whose content disagrees with its name: treat as
+                // corruption (e.g. a hand-copied or bit-flipped file).
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                let _ = std::fs::remove_file(path);
+                None
+            }
+            Err(ArtifactError::Version { .. }) => {
+                self.stale_version.fetch_add(1, Ordering::Relaxed);
+                let _ = std::fs::remove_file(path);
+                None
+            }
+            Err(_) => {
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                let _ = std::fs::remove_file(path);
+                None
+            }
+        }
+    }
+
+    /// Inserts an artifact into the memory front and (when a directory is
+    /// configured) the disk store. Disk writes are atomic — temp file then
+    /// rename — and filesystem failures degrade to a memory-only insert
+    /// rather than an error: the cache is an accelerator, not a dependency.
+    pub fn insert(&self, artifact: Arc<KernelArtifact>) {
+        let fingerprint = artifact.fingerprint;
+        self.memory
+            .insert(fingerprint, (artifact.clone(), Instant::now()));
+        let Some(path) = self.artifact_path(fingerprint) else {
+            return;
+        };
+        let dir = path.parent().expect("artifact path has a parent");
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let tmp = dir.join(format!("{fingerprint:016x}.tmp-{}", std::process::id()));
+        if std::fs::write(&tmp, artifact.to_json()).is_ok() && std::fs::rename(&tmp, &path).is_ok()
+        {
+            self.stores.fetch_add(1, Ordering::Relaxed);
+            self.prune(dir);
+        } else {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    /// Enforces the disk-capacity bound by deleting the oldest artifact
+    /// files (by modification time), and sweeps up temp files orphaned by
+    /// crashed writers (a live write is younger than a minute — it is a
+    /// single write + rename — so old stragglers are safe to delete).
+    fn prune(&self, dir: &Path) {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        let mut files: Vec<(SystemTime, PathBuf)> = Vec::new();
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let Ok(modified) = entry.metadata().and_then(|m| m.modified()) else {
+                continue;
+            };
+            if path.extension().is_some_and(|x| x == "json") {
+                files.push((modified, path));
+            } else if path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.contains(".tmp-"))
+                && SystemTime::now()
+                    .duration_since(modified)
+                    .is_ok_and(|age| age >= Duration::from_secs(60))
+            {
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+        if files.len() <= self.config.disk_capacity {
+            return;
+        }
+        files.sort_by_key(|(modified, _)| *modified);
+        let excess = files.len() - self.config.disk_capacity;
+        for (_, path) in files.into_iter().take(excess) {
+            if std::fs::remove_file(path).is_ok() {
+                self.file_evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Number of artifact files currently on disk (0 for memory-only).
+    pub fn disk_entries(&self) -> usize {
+        let Some(dir) = self.config.dir.as_ref() else {
+            return 0;
+        };
+        std::fs::read_dir(dir)
+            .map(|entries| {
+                entries
+                    .flatten()
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// A snapshot of every counter plus the current disk occupancy.
+    pub fn stats(&self) -> KernelCacheStats {
+        KernelCacheStats {
+            memory: self.memory.stats(),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_misses: self.disk_misses.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+            stale_version: self.stale_version.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            file_evictions: self.file_evictions.load(Ordering::Relaxed),
+            disk_entries: self.disk_entries(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_hasher_is_deterministic_and_sensitive() {
+        let mut a = StableHasher::new();
+        "hello".hash(&mut a);
+        42usize.hash(&mut a);
+        let mut b = StableHasher::new();
+        "hello".hash(&mut b);
+        42usize.hash(&mut b);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = StableHasher::new();
+        "hellp".hash(&mut c);
+        42usize.hash(&mut c);
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn config_defaults_are_memory_only() {
+        let config = KernelCacheConfig::default();
+        assert!(config.dir.is_none());
+        assert!(config.ttl.is_none());
+        let cache = KernelCache::new(config);
+        assert!(cache.get(123).is_none());
+        assert_eq!(cache.artifact_path(123), None);
+        assert_eq!(cache.stats().disk_entries, 0);
+    }
+}

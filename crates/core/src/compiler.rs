@@ -2,9 +2,12 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
+
+use crate::cache::{ArtifactSource, KernelArtifact, KernelCache};
 
 use hexcute_arch::GpuArch;
 use hexcute_codegen::{emit_cuda_like, lower, LoweredKernel};
@@ -223,6 +226,55 @@ impl Compiler {
         };
         self.cache.lock().insert(key, compiled.clone());
         Ok(compiled)
+    }
+
+    /// The stable cache key for compiling `program` on this compiler (see
+    /// [`crate::cache::artifact_fingerprint`]): a fingerprint of the program
+    /// structure, the target architecture and every result-affecting option.
+    pub fn artifact_fingerprint(&self, program: &Program) -> u64 {
+        crate::cache::artifact_fingerprint(program, &self.arch, &self.options)
+    }
+
+    /// Compiles a program and packages the result as a cacheable
+    /// [`KernelArtifact`] (the winning candidate's layouts, the lowered
+    /// instruction stream, the emitted pseudo-CUDA and the cost/perf
+    /// breakdowns). The artifact is a deterministic function of the
+    /// fingerprint inputs: compiling the same program twice yields equal
+    /// artifacts bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] when layout synthesis fails.
+    pub fn compile_artifact(&self, program: &Program) -> Result<KernelArtifact, CompileError> {
+        let fingerprint = self.artifact_fingerprint(program);
+        let compiled = self.compile(program)?;
+        Ok(KernelArtifact::from_compiled(
+            fingerprint,
+            &compiled,
+            &self.arch,
+        ))
+    }
+
+    /// Compiles through a [`KernelCache`]: a cached artifact (memory or
+    /// disk) is returned without synthesizing; a miss synthesizes, stores
+    /// the artifact, and reports [`ArtifactSource::Synthesized`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] when a miss's synthesis fails; cache
+    /// defects (corrupt or stale files) never error — they re-synthesize.
+    pub fn compile_with_cache(
+        &self,
+        program: &Program,
+        cache: &KernelCache,
+    ) -> Result<(Arc<KernelArtifact>, ArtifactSource), CompileError> {
+        let fingerprint = self.artifact_fingerprint(program);
+        if let Some((artifact, source)) = cache.get(fingerprint) {
+            return Ok((artifact, source));
+        }
+        let artifact = Arc::new(self.compile_artifact(program)?);
+        cache.insert(artifact.clone());
+        Ok((artifact, ArtifactSource::Synthesized))
     }
 
     /// Synthesizes every candidate for the program and evaluates each with

@@ -1,0 +1,478 @@
+//! A minimal JSON reader/writer for the kernel-artifact cache.
+//!
+//! The build is fully offline (no `serde`), so the persistent cache brings
+//! its own JSON: a small value tree ([`JsonValue`]), a strict recursive
+//! descent parser ([`JsonValue::parse`]) and a deterministic pretty-printer
+//! ([`JsonValue::write`]). Two properties matter for the cache:
+//!
+//! * **Bit-exact float round-trips.** Numbers are written with Rust's
+//!   shortest-round-trip `Display` for `f64`, so `parse(write(v)) == v`
+//!   bit-for-bit for every finite value — a cache hit reproduces the exact
+//!   cost and latency numbers of the synthesis that produced it.
+//! * **Deterministic output.** Objects store their members in a `BTreeMap`,
+//!   so the same artifact always serializes to the same bytes.
+//!
+//! ```
+//! use hexcute_core::json::JsonValue;
+//!
+//! let v = JsonValue::parse(r#"{"latency_us": 1.25, "name": "gemm"}"#)?;
+//! assert_eq!(v.get("latency_us").and_then(JsonValue::as_f64), Some(1.25));
+//! let round = JsonValue::parse(&v.write())?;
+//! assert_eq!(round, v);
+//! # Ok::<(), hexcute_core::json::JsonError>(())
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always carried as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object; members are kept sorted so output is deterministic.
+    Obj(BTreeMap<String, JsonValue>),
+}
+
+/// A parse error: byte offset into the input plus a message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    /// Byte offset at which parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl JsonValue {
+    /// Parses a JSON document. Trailing non-whitespace is an error, so a
+    /// truncated or garbage-appended artifact file is rejected rather than
+    /// silently half-read.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] describing the first malformed byte.
+    pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+
+    /// Serializes the value as pretty-printed JSON (2-space indent, members
+    /// in sorted order, floats in shortest-round-trip form).
+    pub fn write(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_into(&self, out: &mut String, indent: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(n) => write_number(out, *n),
+            JsonValue::Str(s) => write_string(out, s),
+            JsonValue::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write_into(out, indent + 1);
+                    if i + 1 != items.len() {
+                        out.push(',');
+                    }
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            JsonValue::Obj(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_string(out, key);
+                    out.push_str(": ");
+                    value.write_into(out, indent + 1);
+                    if i + 1 != members.len() {
+                        out.push(',');
+                    }
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    /// The value as a float, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a `usize`, if it is a non-negative integral number.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Looks up an object member.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.get(key),
+            _ => None,
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Writes `n` so that parsing the text recovers the exact bits: Rust's
+/// `Display` for `f64` is the shortest decimal form that round-trips.
+/// Non-finite values are not valid JSON and are written as `null` (the
+/// artifact structs never contain them; a `null` where a number is expected
+/// is then rejected on read).
+fn write_number(out: &mut String, n: f64) {
+    if n.is_finite() {
+        out.push_str(&format!("{n}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{text}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(format!("unexpected byte {:?}", other as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut members = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(members));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = Vec::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return String::from_utf8(out).map_err(|_| self.err("invalid UTF-8 in string"));
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("dangling escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push(b'"'),
+                        b'\\' => out.push(b'\\'),
+                        b'/' => out.push(b'/'),
+                        b'n' => out.push(b'\n'),
+                        b't' => out.push(b'\t'),
+                        b'r' => out.push(b'\r'),
+                        b'b' => out.push(0x08),
+                        b'f' => out.push(0x0c),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("invalid \\u escape (surrogate)"))?;
+                            let mut buf = [0u8; 4];
+                            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                        }
+                        other => {
+                            return Err(self.err(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                Some(b) if b < 0x20 => return Err(self.err("unescaped control character")),
+                Some(b) => {
+                    out.push(b);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("non-ASCII \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("non-hex \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ASCII by construction");
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| self.err(format!("malformed number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_structures() {
+        let text = r#"{"a": [1, 2.5, -3e2], "b": {"nested": true, "s": "hi\nthere"}, "n": null}"#;
+        let v = JsonValue::parse(text).unwrap();
+        let round = JsonValue::parse(&v.write()).unwrap();
+        assert_eq!(v, round);
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[1].as_f64(), Some(2.5));
+        assert_eq!(
+            v.get("b").unwrap().get("s").unwrap().as_str(),
+            Some("hi\nthere")
+        );
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for bits in [
+            0x3ff0_0000_0000_0001u64, // 1.0 + ulp
+            0x3fb9_9999_9999_999au64, // 0.1
+            0x7fef_ffff_ffff_ffffu64, // f64::MAX
+            0x0000_0000_0000_0001u64, // smallest subnormal
+            0xbff8_0000_0000_0000u64, // -1.5
+        ] {
+            let v = f64::from_bits(bits);
+            let text = JsonValue::Num(v).write();
+            let parsed = JsonValue::parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(parsed.to_bits(), bits, "{v} did not round-trip");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\": }",
+            "{\"a\": 1} trailing",
+            "\"unterminated",
+            "nul",
+            "{\"a\" 1}",
+            "[1 2]",
+            "\u{1}",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn unicode_and_escapes() {
+        let v = JsonValue::parse(r#""swizzle ∘ layout \"q\"""#).unwrap();
+        assert_eq!(v.as_str(), Some("swizzle ∘ layout \"q\""));
+        // Multibyte characters survive writing too.
+        let s = JsonValue::Str("a∘b".to_string());
+        assert_eq!(JsonValue::parse(&s.write()).unwrap(), s);
+    }
+
+    #[test]
+    fn usize_accessor_rejects_fractions_and_negatives() {
+        assert_eq!(JsonValue::Num(3.0).as_usize(), Some(3));
+        assert_eq!(JsonValue::Num(3.5).as_usize(), None);
+        assert_eq!(JsonValue::Num(-1.0).as_usize(), None);
+        assert_eq!(JsonValue::Str("3".into()).as_usize(), None);
+    }
+}

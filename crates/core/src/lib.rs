@@ -30,12 +30,25 @@
 //! assert!(kernel.stats.candidates_explored >= 1);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! Compilation results can be persisted across processes through the
+//! [`cache`] module: [`Compiler::compile_with_cache`] answers repeat
+//! requests from a versioned JSON-on-disk [`KernelCache`] keyed by a stable
+//! fingerprint of (program, architecture, options), bit-identically to a
+//! fresh synthesis. The serving layer (`hexcute-e2e`) builds its batched
+//! `CompileService` on top of it.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cache;
 mod compiler;
+pub mod json;
 
+pub use cache::{
+    artifact_fingerprint, ArtifactError, ArtifactSource, KernelArtifact, KernelCache,
+    KernelCacheConfig, KernelCacheStats, StableHasher, ARTIFACT_VERSION,
+};
 pub use compiler::{CompileError, CompileStats, CompiledKernel, Compiler, CompilerOptions};
 
 pub use hexcute_costmodel::CostBreakdown;

@@ -1,0 +1,265 @@
+//! Robustness and bit-identity tests for the persistent kernel-artifact
+//! cache (PR 4): a cache hit — memory or disk — must return artifacts
+//! bit-identical to a fresh synthesis across all four kernel families, and
+//! every defective file (corrupt, stale version, expired) must be rejected
+//! and transparently re-synthesized.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use hexcute_arch::GpuArch;
+use hexcute_core::{
+    ArtifactSource, Compiler, KernelArtifact, KernelCache, KernelCacheConfig, ARTIFACT_VERSION,
+};
+use hexcute_ir::Program;
+use hexcute_kernels::attention::{mha_forward, AttentionConfig, AttentionShape};
+use hexcute_kernels::gemm::{fp16_gemm, GemmConfig, GemmShape};
+use hexcute_kernels::mamba::{selective_scan, ScanConfig, ScanShape};
+use hexcute_kernels::moe::{mixed_type_moe, MoeConfig, MoeDataflow, MoeShape};
+
+fn unique_temp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "hexcute-artifact-cache-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn disk_config(dir: &std::path::Path) -> KernelCacheConfig {
+    KernelCacheConfig {
+        dir: Some(dir.to_path_buf()),
+        ..KernelCacheConfig::default()
+    }
+}
+
+/// One program per kernel family of the paper's evaluation.
+fn kernel_families() -> Vec<(&'static str, Program)> {
+    vec![
+        (
+            "gemm",
+            fp16_gemm(GemmShape::new(512, 512, 256), GemmConfig::default()).unwrap(),
+        ),
+        (
+            "attention",
+            mha_forward(
+                AttentionShape::forward(2, 8, 512, 128),
+                AttentionConfig::default(),
+            )
+            .unwrap(),
+        ),
+        (
+            "moe",
+            mixed_type_moe(
+                MoeShape::deepseek_r1(16),
+                MoeConfig::default(),
+                MoeDataflow::Efficient,
+            )
+            .unwrap(),
+        ),
+        (
+            "mamba",
+            selective_scan(ScanShape::new(4, 512, 16, 256), ScanConfig::default()).unwrap(),
+        ),
+    ]
+}
+
+#[test]
+fn cache_hits_are_bit_identical_to_fresh_synthesis_across_families() {
+    let dir = unique_temp_dir("bitident");
+    let cache = KernelCache::new(disk_config(&dir));
+    for (family, program) in kernel_families() {
+        let arch = GpuArch::h100();
+        // A reference artifact from a compiler that never touches the cache.
+        let reference = Compiler::new(arch.clone())
+            .compile_artifact(&program)
+            .unwrap_or_else(|e| panic!("{family}: reference compilation failed: {e}"));
+
+        // Cold: synthesized and stored.
+        let (cold, source) = Compiler::new(arch.clone())
+            .compile_with_cache(&program, &cache)
+            .unwrap();
+        assert_eq!(source, ArtifactSource::Synthesized, "{family}");
+        assert_eq!(*cold, reference, "{family}: cold artifact differs");
+
+        // Memory hit: bit-identical.
+        let (mem, source) = Compiler::new(arch.clone())
+            .compile_with_cache(&program, &cache)
+            .unwrap();
+        assert_eq!(source, ArtifactSource::Memory, "{family}");
+        assert_eq!(*mem, reference, "{family}: memory hit differs");
+
+        // Disk hit through a fresh cache over the same directory (fresh
+        // memory front): the JSON round-trip must also be bit-identical —
+        // including every f64 in the cost/perf breakdowns.
+        let fresh = KernelCache::new(disk_config(&dir));
+        let (disk, source) = Compiler::new(arch)
+            .compile_with_cache(&program, &fresh)
+            .unwrap();
+        assert_eq!(source, ArtifactSource::Disk, "{family}");
+        assert_eq!(*disk, reference, "{family}: disk hit differs");
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.stores, 4);
+    assert_eq!(stats.corrupt + stats.stale_version + stats.expired, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_artifact_files_are_rejected_and_resynthesized() {
+    let dir = unique_temp_dir("corrupt");
+    let cache = KernelCache::new(disk_config(&dir));
+    let program = fp16_gemm(GemmShape::new(256, 256, 128), GemmConfig::default()).unwrap();
+    let compiler = Compiler::new(GpuArch::a100());
+    let (original, _) = compiler.compile_with_cache(&program, &cache).unwrap();
+
+    let path = cache
+        .artifact_path(original.fingerprint)
+        .expect("disk-backed cache has a path");
+    for garbage in [
+        "not json at all",
+        "{\"version\": ",                       // truncated
+        "{\"version\": 1, \"fingerprint\": 3}", // wrong types / missing fields
+        "",
+    ] {
+        std::fs::write(&path, garbage).unwrap();
+        // A fresh cache (empty memory front) must reject the file, delete
+        // it, and let the compiler re-synthesize.
+        let fresh = KernelCache::new(disk_config(&dir));
+        let (artifact, source) = compiler.compile_with_cache(&program, &fresh).unwrap();
+        assert_eq!(source, ArtifactSource::Synthesized);
+        assert_eq!(*artifact, *original, "re-synthesis must be bit-identical");
+        assert!(fresh.stats().corrupt >= 1, "corruption must be counted");
+        // The store after re-synthesis replaced the file with a valid one.
+        let healed = KernelCache::new(disk_config(&dir));
+        let (_, source) = compiler.compile_with_cache(&program, &healed).unwrap();
+        assert_eq!(source, ArtifactSource::Disk, "cache must self-heal");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn version_mismatch_is_rejected_and_resynthesized() {
+    let dir = unique_temp_dir("version");
+    let cache = KernelCache::new(disk_config(&dir));
+    let program = fp16_gemm(GemmShape::new(256, 256, 128), GemmConfig::default()).unwrap();
+    let compiler = Compiler::new(GpuArch::a100());
+    let (original, _) = compiler.compile_with_cache(&program, &cache).unwrap();
+
+    // Rewrite the stored artifact as if a future (or ancient) schema wrote
+    // it: same JSON, different version number.
+    let path = cache.artifact_path(original.fingerprint).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let needle = format!("\"version\": {ARTIFACT_VERSION}");
+    assert!(text.contains(&needle), "artifact must carry its version");
+    std::fs::write(&path, text.replace(&needle, "\"version\": 999")).unwrap();
+
+    let fresh = KernelCache::new(disk_config(&dir));
+    let (artifact, source) = compiler.compile_with_cache(&program, &fresh).unwrap();
+    assert_eq!(source, ArtifactSource::Synthesized);
+    assert_eq!(*artifact, *original);
+    let stats = fresh.stats();
+    assert_eq!(stats.stale_version, 1, "{stats}");
+    assert_eq!(stats.corrupt, 0, "{stats}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ttl_expiry_forces_resynthesis() {
+    let dir = unique_temp_dir("ttl");
+    let config = KernelCacheConfig {
+        dir: Some(dir.clone()),
+        ttl: Some(Duration::ZERO), // everything is immediately stale
+        ..KernelCacheConfig::default()
+    };
+    let program = fp16_gemm(GemmShape::new(256, 256, 128), GemmConfig::default()).unwrap();
+    let compiler = Compiler::new(GpuArch::a100());
+    let (original, _) = compiler
+        .compile_with_cache(&program, &KernelCache::new(config.clone()))
+        .unwrap();
+
+    let expiring = KernelCache::new(config);
+    let (artifact, source) = compiler.compile_with_cache(&program, &expiring).unwrap();
+    assert_eq!(source, ArtifactSource::Synthesized);
+    assert_eq!(*artifact, *original);
+    assert_eq!(expiring.stats().expired, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn disk_capacity_prunes_oldest_artifacts() {
+    let dir = unique_temp_dir("capacity");
+    let cache = KernelCache::new(KernelCacheConfig {
+        dir: Some(dir.clone()),
+        disk_capacity: 2,
+        ..KernelCacheConfig::default()
+    });
+    // Three distinct fingerprints: three K extents (K changes the main-loop
+    // trip count, so the tile-level programs differ; M only changes the
+    // grid and would fingerprint identically).
+    let compiler = Compiler::new(GpuArch::a100());
+    for k in [128usize, 256, 512] {
+        let program = fp16_gemm(GemmShape::new(256, 256, k), GemmConfig::default()).unwrap();
+        compiler.compile_with_cache(&program, &cache).unwrap();
+    }
+    let stats = cache.stats();
+    assert!(stats.disk_entries <= 2, "{stats}");
+    assert!(stats.file_evictions >= 1, "{stats}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn artifact_json_round_trips_exactly() {
+    let program = mha_forward(
+        AttentionShape::decoding(2, 4, 256, 64),
+        AttentionConfig::default(),
+    )
+    .unwrap();
+    let artifact = Compiler::new(GpuArch::h100())
+        .compile_artifact(&program)
+        .unwrap();
+    let round = KernelArtifact::from_json(&artifact.to_json()).unwrap();
+    assert_eq!(round, artifact);
+    // The artifact carries the pieces the issue requires: layouts, the
+    // lowered program, the emitted pseudo-CUDA and the cost breakdown.
+    assert!(!round.smem_layouts.is_empty() || !round.tv_layouts.is_empty());
+    assert!(!round.lowered.is_empty());
+    assert!(round.cuda.contains("__global__"));
+    assert!(round.cost.total_cycles > 0.0);
+    assert!(round.perf.latency_us > 0.0);
+}
+
+#[test]
+fn fingerprints_separate_programs_arches_and_options() {
+    use hexcute_core::{artifact_fingerprint, CompilerOptions, SynthesisOptions};
+    let gemm = fp16_gemm(GemmShape::new(256, 256, 128), GemmConfig::default()).unwrap();
+    let other = fp16_gemm(GemmShape::new(256, 256, 256), GemmConfig::default()).unwrap();
+    let defaults = CompilerOptions::new();
+    let a100 = GpuArch::a100();
+    let h100 = GpuArch::h100();
+
+    let base = artifact_fingerprint(&gemm, &a100, &defaults);
+    // Stable across calls.
+    assert_eq!(base, artifact_fingerprint(&gemm, &a100, &defaults));
+    // Sensitive to the program, the architecture and the options…
+    assert_ne!(base, artifact_fingerprint(&other, &a100, &defaults));
+    assert_ne!(base, artifact_fingerprint(&gemm, &h100, &defaults));
+    let scalar = CompilerOptions {
+        synthesis: SynthesisOptions::scalar_fallback(),
+        ..CompilerOptions::new()
+    };
+    assert_ne!(base, artifact_fingerprint(&gemm, &a100, &scalar));
+    // …but deliberately *not* to execution-strategy toggles, which are
+    // cross-checked bit-for-bit: one artifact serves every thread count.
+    let parallel = CompilerOptions {
+        synthesis: SynthesisOptions {
+            parallel_workers: Some(7),
+            parallel_subtree_depth: Some(2),
+            incremental: false,
+            ..SynthesisOptions::default()
+        },
+        ..CompilerOptions::new()
+    };
+    assert_eq!(base, artifact_fingerprint(&gemm, &a100, &parallel));
+}

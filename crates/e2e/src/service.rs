@@ -1,0 +1,516 @@
+//! A batched compile service over the persistent kernel-artifact cache.
+//!
+//! The serving loop (see [`crate::decode_latency_ms_with`]) issues the *same* few dozen
+//! kernel compilations over and over — per decode step, per process start,
+//! per replica. [`CompileService`] turns the PR 1–3 fast search into a
+//! servable subsystem:
+//!
+//! * **Cache first.** Every request is keyed by the stable artifact
+//!   fingerprint and answered from the [`KernelCache`] (memory, then disk)
+//!   when possible.
+//! * **Coalescing.** Concurrent requests for the *same* fingerprint join a
+//!   single in-flight synthesis instead of each running the search: the
+//!   first requester synthesizes, the rest block on its completion and
+//!   share the resulting artifact.
+//! * **Batching.** [`CompileService::compile_batch`] fans *distinct*
+//!   requests out across the PR 3 persistent worker pool; duplicates within
+//!   a batch deduplicate through the coalescing path.
+//!
+//! ```
+//! use hexcute_arch::{DType, GpuArch};
+//! use hexcute_e2e::{CompileService, ServedFrom};
+//! use hexcute_ir::KernelBuilder;
+//! use hexcute_layout::Layout;
+//!
+//! let mut kb = KernelBuilder::new("served_copy", 128);
+//! let x = kb.global_view("x", DType::F32, Layout::row_major(&[64, 64]), &[64, 64]);
+//! let y = kb.global_view("y", DType::F32, Layout::row_major(&[64, 64]), &[64, 64]);
+//! let r = kb.register_tensor("r", DType::F32, &[64, 64]);
+//! kb.copy(x, r);
+//! kb.copy(r, y);
+//! let program = kb.build()?;
+//!
+//! let service = CompileService::new(GpuArch::a100());
+//! let cold = service.compile(&program)?;
+//! assert_eq!(cold.served_from, ServedFrom::Synthesized);
+//! let warm = service.compile(&program)?;
+//! assert_eq!(warm.served_from, ServedFrom::Memory);
+//! assert_eq!(*cold.artifact, *warm.artifact);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use hexcute_arch::GpuArch;
+use hexcute_core::{
+    ArtifactSource, CompileError, Compiler, CompilerOptions, KernelArtifact, KernelCache,
+    KernelCacheConfig, KernelCacheStats,
+};
+use hexcute_ir::Program;
+
+/// How a [`CompileResponse`] was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedFrom {
+    /// The artifact cache's in-memory front.
+    Memory,
+    /// The artifact cache's disk store.
+    Disk,
+    /// This request ran the synthesis itself.
+    Synthesized,
+    /// This request joined another request's in-flight synthesis.
+    Coalesced,
+}
+
+impl fmt::Display for ServedFrom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ServedFrom::Memory => "memory",
+            ServedFrom::Disk => "disk",
+            ServedFrom::Synthesized => "synthesized",
+            ServedFrom::Coalesced => "coalesced",
+        })
+    }
+}
+
+impl From<ArtifactSource> for ServedFrom {
+    fn from(source: ArtifactSource) -> Self {
+        match source {
+            ArtifactSource::Memory => ServedFrom::Memory,
+            ArtifactSource::Disk => ServedFrom::Disk,
+            ArtifactSource::Synthesized => ServedFrom::Synthesized,
+        }
+    }
+}
+
+/// One served compilation: the (shared) artifact plus how it was obtained.
+#[derive(Debug, Clone)]
+pub struct CompileResponse {
+    /// The compiled kernel artifact.
+    pub artifact: Arc<KernelArtifact>,
+    /// Where the artifact came from.
+    pub served_from: ServedFrom,
+}
+
+impl CompileResponse {
+    /// The estimated kernel latency in microseconds.
+    pub fn latency_us(&self) -> f64 {
+        self.artifact.latency_us()
+    }
+}
+
+/// Counters describing a [`CompileService`]'s behaviour. Snapshot via
+/// [`CompileService::stats`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceStats {
+    /// Requests served (including batch members).
+    pub requests: u64,
+    /// Requests that joined another request's in-flight synthesis.
+    pub coalesced: u64,
+    /// Syntheses actually executed.
+    pub syntheses: u64,
+    /// [`CompileService::compile_batch`] invocations.
+    pub batches: u64,
+    /// The artifact cache's counters.
+    pub cache: KernelCacheStats,
+}
+
+impl fmt::Display for ServiceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} requests ({} coalesced, {} batches), {} syntheses; artifact cache: {}",
+            self.requests, self.coalesced, self.batches, self.syntheses, self.cache
+        )
+    }
+}
+
+/// The result slot of one in-flight synthesis.
+enum InflightState {
+    /// Synthesis still running.
+    Pending,
+    /// Finished; joiners clone this result.
+    Done(Result<Arc<KernelArtifact>, CompileError>),
+    /// The claiming request unwound without completing; joiners retry.
+    Abandoned,
+}
+
+struct Inflight {
+    state: Mutex<InflightState>,
+    ready: Condvar,
+}
+
+impl fmt::Debug for Inflight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Inflight").finish_non_exhaustive()
+    }
+}
+
+impl Inflight {
+    fn new() -> Self {
+        Inflight {
+            state: Mutex::new(InflightState::Pending),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, result: Result<Arc<KernelArtifact>, CompileError>) {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        *state = InflightState::Done(result);
+        self.ready.notify_all();
+    }
+
+    fn abandon(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        if matches!(*state, InflightState::Pending) {
+            *state = InflightState::Abandoned;
+        }
+        self.ready.notify_all();
+    }
+
+    /// Blocks until the synthesis finishes. `None` means the claimant
+    /// abandoned the job (it panicked): the joiner retries from the cache.
+    fn wait(&self) -> Option<Result<Arc<KernelArtifact>, CompileError>> {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            match &*state {
+                InflightState::Pending => {
+                    state = self.ready.wait(state).unwrap_or_else(|p| p.into_inner());
+                }
+                InflightState::Done(result) => return Some(result.clone()),
+                InflightState::Abandoned => return None,
+            }
+        }
+    }
+}
+
+/// Removes the in-flight entry (and wakes joiners) even if the claiming
+/// request unwinds mid-synthesis, so joiners never block forever.
+struct ClaimGuard<'a> {
+    service: &'a CompileService,
+    fingerprint: u64,
+    entry: Arc<Inflight>,
+    completed: bool,
+}
+
+impl Drop for ClaimGuard<'_> {
+    fn drop(&mut self) {
+        if !self.completed {
+            self.entry.abandon();
+        }
+        self.service
+            .inflight
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(&self.fingerprint);
+    }
+}
+
+/// A compile front-end for one target architecture: an artifact cache, a
+/// request-coalescing layer and pool-backed batch compilation. The service
+/// is `Sync` — one instance serves concurrent requests from many threads.
+/// See the [module docs](self) for the serving rationale and an example.
+#[derive(Debug)]
+pub struct CompileService {
+    compiler: Compiler,
+    cache: KernelCache,
+    inflight: Mutex<HashMap<u64, Arc<Inflight>>>,
+    requests: AtomicU64,
+    coalesced: AtomicU64,
+    syntheses: AtomicU64,
+    batches: AtomicU64,
+}
+
+impl CompileService {
+    /// A service for `arch` with default compiler options and a
+    /// **memory-only** cache (no files are touched). Use
+    /// [`CompileService::with_config`] or [`CompileService::from_env`] for a
+    /// persistent disk store.
+    pub fn new(arch: GpuArch) -> Self {
+        Self::with_config(arch, CompilerOptions::new(), KernelCacheConfig::default())
+    }
+
+    /// A service with explicit compiler options and cache configuration.
+    pub fn with_config(
+        arch: GpuArch,
+        options: CompilerOptions,
+        cache_config: KernelCacheConfig,
+    ) -> Self {
+        CompileService {
+            compiler: Compiler::with_options(arch, options),
+            cache: KernelCache::new(cache_config),
+            inflight: Mutex::new(HashMap::new()),
+            requests: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            syntheses: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+        }
+    }
+
+    /// A service whose cache reads the `HEXCUTE_CACHE_*` environment
+    /// variables (see [`KernelCacheConfig::from_env`]).
+    pub fn from_env(arch: GpuArch) -> Self {
+        Self::with_config(arch, CompilerOptions::new(), KernelCacheConfig::from_env())
+    }
+
+    /// The target architecture.
+    pub fn arch(&self) -> &GpuArch {
+        self.compiler.arch()
+    }
+
+    /// The underlying artifact cache.
+    pub fn cache(&self) -> &KernelCache {
+        &self.cache
+    }
+
+    /// Serves one compilation: answered from the cache when possible,
+    /// coalesced onto an in-flight synthesis of the same fingerprint when
+    /// one exists, synthesized (and stored) otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] when the synthesis fails; the error is
+    /// shared by every coalesced requester of the same fingerprint (and is
+    /// not cached — a later request retries).
+    pub fn compile(&self, program: &Program) -> Result<CompileResponse, CompileError> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let fingerprint = self.compiler.artifact_fingerprint(program);
+        loop {
+            if let Some((artifact, source)) = self.cache.get(fingerprint) {
+                return Ok(CompileResponse {
+                    artifact,
+                    served_from: source.into(),
+                });
+            }
+            let claim = {
+                let mut inflight = self.inflight.lock().unwrap_or_else(|p| p.into_inner());
+                // Re-check under the map lock: a claimant inserts into the
+                // cache *before* retiring its in-flight entry, so a request
+                // arriving in between must not start a second synthesis.
+                if let Some((artifact, source)) = self.cache.get(fingerprint) {
+                    return Ok(CompileResponse {
+                        artifact,
+                        served_from: source.into(),
+                    });
+                }
+                match inflight.get(&fingerprint) {
+                    Some(entry) => Err(entry.clone()),
+                    None => {
+                        let entry = Arc::new(Inflight::new());
+                        inflight.insert(fingerprint, entry.clone());
+                        Ok(entry)
+                    }
+                }
+            };
+            match claim {
+                Err(entry) => {
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    match entry.wait() {
+                        Some(result) => {
+                            return result.map(|artifact| CompileResponse {
+                                artifact,
+                                served_from: ServedFrom::Coalesced,
+                            });
+                        }
+                        // The claimant unwound without a result: retry.
+                        None => continue,
+                    }
+                }
+                Ok(entry) => {
+                    let mut guard = ClaimGuard {
+                        service: self,
+                        fingerprint,
+                        entry,
+                        completed: false,
+                    };
+                    self.syntheses.fetch_add(1, Ordering::Relaxed);
+                    let result = self.compiler.compile_artifact(program).map(Arc::new);
+                    if let Ok(artifact) = &result {
+                        self.cache.insert(artifact.clone());
+                    }
+                    guard.entry.complete(result.clone());
+                    guard.completed = true;
+                    drop(guard);
+                    return result.map(|artifact| CompileResponse {
+                        artifact,
+                        served_from: ServedFrom::Synthesized,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Serves a batch of compilations concurrently on the persistent worker
+    /// pool. Distinct fingerprints synthesize in parallel; duplicate
+    /// fingerprints within the batch coalesce onto one synthesis. Results
+    /// are returned in request order.
+    pub fn compile_batch(
+        &self,
+        programs: Vec<Program>,
+    ) -> Vec<Result<CompileResponse, CompileError>> {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        hexcute_parallel::par_map(programs, |program| self.compile(&program))
+    }
+
+    /// A snapshot of the service and cache counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            syntheses: self.syntheses.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            cache: self.cache.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hexcute_arch::DType;
+    use hexcute_ir::KernelBuilder;
+    use hexcute_kernels::attention::{mha_forward, AttentionConfig, AttentionShape};
+    use hexcute_kernels::gemm::{fp16_gemm, GemmConfig, GemmShape};
+    use hexcute_layout::Layout;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+
+    fn small_program(name: &str) -> Program {
+        let mut kb = KernelBuilder::new(name, 128);
+        let x = kb.global_view("x", DType::F32, Layout::row_major(&[64, 64]), &[64, 64]);
+        let y = kb.global_view("y", DType::F32, Layout::row_major(&[64, 64]), &[64, 64]);
+        let r = kb.register_tensor("r", DType::F32, &[64, 64]);
+        kb.copy(x, r);
+        kb.copy(r, y);
+        kb.build().unwrap()
+    }
+
+    fn unique_temp_dir(tag: &str) -> std::path::PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        std::env::temp_dir().join(format!(
+            "hexcute-service-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn concurrent_same_key_requests_coalesce_to_one_synthesis() {
+        let service = CompileService::new(GpuArch::a100());
+        let program = fp16_gemm(GemmShape::new(1024, 1024, 1024), GemmConfig::default()).unwrap();
+        let threads = 8;
+        let barrier = Barrier::new(threads);
+        let artifacts: Vec<Arc<KernelArtifact>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        barrier.wait();
+                        service.compile(&program).unwrap().artifact
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let stats = service.stats();
+        assert_eq!(stats.requests, threads as u64);
+        assert_eq!(
+            stats.syntheses, 1,
+            "concurrent requests for one fingerprint must coalesce: {stats}"
+        );
+        for artifact in &artifacts[1..] {
+            assert_eq!(**artifact, *artifacts[0]);
+        }
+    }
+
+    #[test]
+    fn batch_deduplicates_and_preserves_order() {
+        let service = CompileService::new(GpuArch::a100());
+        let a = small_program("batch_a");
+        let b = small_program("batch_b");
+        let batch = vec![a.clone(), b.clone(), a.clone(), b.clone(), a.clone()];
+        let responses = service.compile_batch(batch);
+        assert_eq!(responses.len(), 5);
+        let artifacts: Vec<_> = responses.into_iter().map(|r| r.unwrap().artifact).collect();
+        assert_eq!(artifacts[0].kernel, "batch_a");
+        assert_eq!(artifacts[1].kernel, "batch_b");
+        assert_eq!(*artifacts[0], *artifacts[2]);
+        assert_eq!(*artifacts[0], *artifacts[4]);
+        assert_eq!(*artifacts[1], *artifacts[3]);
+        let stats = service.stats();
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.requests, 5);
+        assert_eq!(
+            stats.syntheses, 2,
+            "three duplicate requests must be served without re-synthesis: {stats}"
+        );
+    }
+
+    #[test]
+    fn distinct_options_get_distinct_artifacts() {
+        let arch = GpuArch::a100();
+        let program = small_program("options_sensitive");
+        let default = CompileService::new(arch.clone());
+        let scalar = CompileService::with_config(
+            arch,
+            CompilerOptions {
+                synthesis: hexcute_core::SynthesisOptions::scalar_fallback(),
+                use_cost_model: true,
+            },
+            KernelCacheConfig::default(),
+        );
+        let d = default.compile(&program).unwrap();
+        let s = scalar.compile(&program).unwrap();
+        assert_ne!(d.artifact.fingerprint, s.artifact.fingerprint);
+    }
+
+    #[test]
+    fn disk_store_survives_a_service_restart() {
+        let dir = unique_temp_dir("restart");
+        let config = KernelCacheConfig {
+            dir: Some(dir.clone()),
+            ..KernelCacheConfig::default()
+        };
+        let program = mha_forward(
+            AttentionShape::decoding(4, 8, 512, 64),
+            AttentionConfig::default(),
+        )
+        .unwrap();
+        let first =
+            CompileService::with_config(GpuArch::h100(), CompilerOptions::new(), config.clone());
+        let cold = first.compile(&program).unwrap();
+        assert_eq!(cold.served_from, ServedFrom::Synthesized);
+        drop(first);
+
+        // A fresh service (fresh memory front) over the same directory
+        // serves the artifact from disk, bit-identically.
+        let second = CompileService::with_config(GpuArch::h100(), CompilerOptions::new(), config);
+        let warm = second.compile(&program).unwrap();
+        assert_eq!(warm.served_from, ServedFrom::Disk);
+        assert_eq!(*warm.artifact, *cold.artifact);
+        assert_eq!(second.stats().syntheses, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn synthesis_errors_are_not_cached() {
+        // An empty program fails synthesis; the failure must propagate and a
+        // subsequent request must retry (not serve a cached error).
+        let service = CompileService::new(GpuArch::a100());
+        let program = KernelBuilder::new("empty", 128).build();
+        if let Ok(program) = program {
+            let first = service.compile(&program);
+            let second = service.compile(&program);
+            match (first, second) {
+                (Err(_), Err(_)) => {
+                    assert_eq!(service.stats().syntheses, 2, "errors must not be cached");
+                }
+                (Ok(_), Ok(_)) => {
+                    assert_eq!(service.stats().syntheses, 1);
+                }
+                other => panic!("inconsistent results across identical requests: {other:?}"),
+            }
+        }
+    }
+}

@@ -77,6 +77,16 @@ const SHARDS: usize = 16;
 ///
 /// Values are returned by clone, so `V` is usually cheap to clone (a small
 /// struct or an `Arc`). All operations take `&self`.
+///
+/// ```
+/// use hexcute_parallel::cache::ShardedMap;
+///
+/// let memo: ShardedMap<u64, u64> = ShardedMap::new();
+/// assert_eq!(memo.get_or_insert_with(6, || 720), 720); // computed
+/// assert_eq!(memo.get_or_insert_with(6, || 999), 720); // served from cache
+/// let stats = memo.stats();
+/// assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+/// ```
 pub struct ShardedMap<K, V> {
     shards: Vec<RwLock<HashMap<K, V>>>,
     /// Per-shard capacity; `usize::MAX` means unbounded.

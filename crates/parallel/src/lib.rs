@@ -342,6 +342,12 @@ where
 /// Falls back to a plain serial map when there is a single worker or at most
 /// one item. `f` may be called from multiple threads concurrently.
 ///
+/// ```
+/// let squares = hexcute_parallel::par_map((0..64).collect::<Vec<u64>>(), |x| x * x);
+/// assert_eq!(squares[7], 49);
+/// assert_eq!(squares.len(), 64); // order and length are preserved
+/// ```
+///
 /// # Panics
 ///
 /// A panic inside `f` is caught, the remaining items are abandoned (sibling

@@ -18,6 +18,27 @@ use crate::smem::synthesize_smem_layouts;
 
 /// The layout synthesis engine: produces candidate programs for a tile-level
 /// program on a target architecture.
+///
+/// ```
+/// use hexcute_arch::{DType, GpuArch};
+/// use hexcute_ir::KernelBuilder;
+/// use hexcute_layout::Layout;
+/// use hexcute_synthesis::{SynthesisOptions, Synthesizer};
+///
+/// let mut kb = KernelBuilder::new("roundtrip", 128);
+/// let src = kb.global_view("src", DType::F16, Layout::row_major(&[64, 64]), &[64, 64]);
+/// let dst = kb.global_view("dst", DType::F16, Layout::row_major(&[64, 64]), &[64, 64]);
+/// let tile = kb.register_tensor("tile", DType::F16, &[64, 64]);
+/// kb.copy(src, tile);
+/// kb.copy(tile, dst);
+/// let program = kb.build()?;
+///
+/// let arch = GpuArch::a100();
+/// let synthesizer = Synthesizer::new(&program, &arch, SynthesisOptions::default());
+/// let preferred = synthesizer.synthesize_preferred()?;
+/// assert!(preferred.tv_layouts.contains_key(&tile));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 #[derive(Debug)]
 pub struct Synthesizer<'a> {
     program: &'a Program,

@@ -84,6 +84,31 @@ impl SynthesisOptions {
         }
     }
 
+    /// Feeds every *result-affecting* field into `state`, in a fixed order.
+    /// The persistent kernel-artifact cache keys artifacts on this hash (via
+    /// a stable hasher), so the contract matters:
+    ///
+    /// * Fields that change which candidates exist or how they rank
+    ///   (instruction allowances, `max_candidates`, the ablation switches)
+    ///   all participate.
+    /// * `incremental`, `parallel_subtree_depth` and `parallel_workers` are
+    ///   **deliberately excluded**: the incremental and parallel walks are
+    ///   cross-checked bit-for-bit against the serial reference, so they
+    ///   cannot change the winning candidate — hashing them would only
+    ///   fragment the cache across thread counts.
+    pub fn hash_stable<H: std::hash::Hasher>(&self, state: &mut H) {
+        use std::hash::Hash;
+        self.allow_ldmatrix.hash(state);
+        self.allow_cp_async.hash(state);
+        self.allow_tma.hash(state);
+        self.allow_wgmma.hash(state);
+        self.max_candidates.hash(state);
+        self.force_scalar_copies.hash(state);
+        self.force_row_major_smem.hash(state);
+        self.disable_swizzles.hash(state);
+        self.allow_non_power_of_two_tiles.hash(state);
+    }
+
     /// Options mimicking the "Triton shared-memory layout" ablation of
     /// Fig. 14 (row-major shared memory, no swizzle search).
     pub fn triton_smem_layout() -> Self {

@@ -5,7 +5,7 @@
 //! atom and the same copy plan for most edges. The reference path re-unifies
 //! shared-memory constraints and re-selects swizzles from scratch for every
 //! candidate; this module instead treats each selection as a path through a
-//! prefix tree of [`PrefixNode`]s, carrying per-shared-tensor constraint
+//! prefix tree of `PrefixNode`s, carrying per-shared-tensor constraint
 //! state down the path (each edge unifies only the constraint of the newly
 //! decided copy), and memoizes the expensive per-tensor finishing step
 //! (materialization + swizzle selection) keyed by the choices of exactly the

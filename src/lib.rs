@@ -15,10 +15,18 @@
 //! * [`costmodel`] — the analytical latency model (Section VI).
 //! * [`codegen`] — lowering to per-thread kernels and CUDA-like text.
 //! * [`sim`] — functional and performance GPU simulation.
-//! * [`core`] — the compiler driver tying everything together.
+//! * [`core`] — the compiler driver tying everything together, plus the
+//!   persistent kernel-artifact cache (`core::cache`).
 //! * [`kernels`] — GEMM, attention, mixed-type MoE and Mamba-scan kernels.
 //! * [`baselines`] — Triton-style compiler, Marlin and library models.
-//! * [`e2e`] — vLLM-style end-to-end serving simulation.
+//! * [`e2e`] — vLLM-style end-to-end serving simulation and the batched
+//!   compile service.
+//! * [`parallel`] — the persistent worker pool (`par_map`) and the sharded
+//!   concurrent memo maps the search shares across workers.
+//!
+//! `docs/ARCHITECTURE.md` maps the paper's sections onto these crates and
+//! walks the synthesis pipeline end to end; `docs/TUNING.md` documents every
+//! `HEXCUTE_*` environment variable and `SynthesisOptions` field.
 
 #![warn(missing_docs)]
 
@@ -31,5 +39,6 @@ pub use hexcute_e2e as e2e;
 pub use hexcute_ir as ir;
 pub use hexcute_kernels as kernels;
 pub use hexcute_layout as layout;
+pub use hexcute_parallel as parallel;
 pub use hexcute_sim as sim;
 pub use hexcute_synthesis as synthesis;
