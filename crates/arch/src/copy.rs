@@ -29,6 +29,12 @@ pub enum CopyKind {
     },
     /// Bulk tensor copy issued by a single thread (Hopper TMA).
     Tma,
+    /// Vectorized shared→register load of *packed sub-byte* elements followed
+    /// by an in-register unpack (`lop3`/`prmt` bit manipulation, the Marlin
+    /// dequant-in-flight weight path): each thread loads a contiguous run of
+    /// packed nibbles and expands them into its own lanes, so no inter-thread
+    /// exchange is needed before the dequantization arithmetic.
+    Unpack,
     /// Scalar fallback (one element per thread per instruction).
     Scalar,
 }
@@ -306,6 +312,30 @@ pub fn copy_catalog(arch: &GpuArch) -> Vec<CopyAtom> {
             latency_class: LatencyClass::Dram,
         });
     }
+    // Shared → register unpack loads for packed sub-byte weight tensors: a
+    // plain vector load of the packed nibbles plus the in-register unpack
+    // sequence (charged as one extra issue cycle). Only offered by the
+    // synthesis engine when the tensor's dtype is sub-byte.
+    for bytes in [16, 8, 4] {
+        let suffix = match bytes {
+            16 => "b128",
+            8 => "b64",
+            _ => "b32",
+        };
+        atoms.push(CopyAtom {
+            name: format!("ld.shared.{suffix}.unpack"),
+            kind: CopyKind::Unpack,
+            src: MemSpace::Shared,
+            dst: MemSpace::Register,
+            bytes_per_thread: bytes,
+            threads: 32,
+            alignment_bytes: bytes,
+            is_async: false,
+            min_cc: (7, 0),
+            issue_cycles: 3.0,
+            latency_class: LatencyClass::Smem,
+        });
+    }
     // Shared → register: ldmatrix then plain vector loads.
     for matrices in [4, 2, 1] {
         atoms.push(CopyAtom {
@@ -470,6 +500,27 @@ mod tests {
         let global = &copy_candidates(&arch, MemSpace::Global, MemSpace::Register)[0];
         let shared = &copy_candidates(&arch, MemSpace::Shared, MemSpace::Register)[0];
         assert!(global.completion_cycles(&arch) > shared.completion_cycles(&arch));
+    }
+
+    #[test]
+    fn unpack_atoms_cover_the_packed_weight_path() {
+        let arch = GpuArch::a100();
+        let unpacks: Vec<CopyAtom> = copy_candidates(&arch, MemSpace::Shared, MemSpace::Register)
+            .into_iter()
+            .filter(|a| a.kind == CopyKind::Unpack)
+            .collect();
+        assert_eq!(unpacks.len(), 3);
+        // The widest unpack moves 32 packed int4 elements per thread and
+        // costs one extra issue cycle over the plain vector load.
+        let widest = &unpacks[0];
+        assert_eq!(widest.bytes_per_thread, 16);
+        assert_eq!(widest.elements_per_thread(DType::I4), 32);
+        assert!(widest.issue_cycles > 2.0);
+        // Its thread-value layout is the plain contiguous distribution (the
+        // unpack happens within each thread's own lanes).
+        let (p, q) = widest.tv_layouts(DType::I4).unwrap();
+        assert_eq!(p, q);
+        assert!(p.is_exclusive());
     }
 
     #[test]

@@ -146,6 +146,37 @@ impl fmt::Display for DType {
     }
 }
 
+/// Packs signed 4-bit integers two per byte, low nibble first (the storage
+/// layout of the W4A16 weight tensors). Values are clamped to the int4 range
+/// `[-8, 7]`.
+pub fn pack_int4(values: &[i8]) -> Vec<u8> {
+    let mut packed = vec![0u8; values.len().div_ceil(2)];
+    for (i, &v) in values.iter().enumerate() {
+        let nibble = (v.clamp(-8, 7) as u8) & 0x0F;
+        if i % 2 == 0 {
+            packed[i / 2] |= nibble;
+        } else {
+            packed[i / 2] |= nibble << 4;
+        }
+    }
+    packed
+}
+
+/// Unpacks `count` signed 4-bit integers from bytes written by [`pack_int4`]
+/// (low nibble first, sign-extended). This is the scalar reference for the
+/// in-register unpack sequence the [`crate::CopyKind::Unpack`] copy atoms
+/// model.
+pub fn unpack_int4(packed: &[u8], count: usize) -> Vec<i8> {
+    (0..count)
+        .map(|i| {
+            let byte = packed[i / 2];
+            let nibble = if i % 2 == 0 { byte & 0x0F } else { byte >> 4 };
+            // Sign-extend the 4-bit value.
+            ((nibble << 4) as i8) >> 4
+        })
+        .collect()
+}
+
 /// Error returned when parsing an unknown data-type name.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseDTypeError(pub String);
@@ -241,6 +272,18 @@ mod tests {
             assert_eq!(d.name().parse::<DType>().unwrap(), d);
         }
         assert!("float4".parse::<DType>().is_err());
+    }
+
+    #[test]
+    fn int4_pack_unpack_round_trips() {
+        let values: Vec<i8> = vec![-8, -1, 0, 7, 3, -5, 2];
+        let packed = pack_int4(&values);
+        assert_eq!(packed.len(), 4, "7 nibbles pack into 4 bytes");
+        assert_eq!(unpack_int4(&packed, values.len()), values);
+        // Out-of-range values are clamped, not wrapped.
+        assert_eq!(unpack_int4(&pack_int4(&[100, -100]), 2), vec![7, -8]);
+        // An empty slice packs into nothing.
+        assert!(pack_int4(&[]).is_empty());
     }
 
     #[test]

@@ -31,7 +31,7 @@ mod gpu;
 mod mma;
 
 pub use copy::{copy_candidates, copy_catalog, ldmatrix_layouts, CopyAtom, CopyKind, LatencyClass};
-pub use dtype::{DType, MemSpace, ParseDTypeError};
+pub use dtype::{pack_int4, unpack_int4, DType, MemSpace, ParseDTypeError};
 pub use gpu::{GpuArch, GpuGeneration};
 pub use mma::{
     fastest_mma, mma_candidates_sorted, mma_catalog, mma_m16n8k16, mma_m16n8k32, mma_m16n8k8,

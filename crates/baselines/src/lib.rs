@@ -22,5 +22,8 @@ pub mod marlin;
 pub mod triton;
 
 pub use libraries::{library_latency_us, Library, Workload};
-pub use marlin::{marlin_new_moe_latency_us, marlin_old_moe_latency_us};
+pub use marlin::{
+    fused_grouped_gemm_latency_us, marlin_new_moe_latency_us, marlin_old_moe_latency_us,
+    marlin_w4a16_latency_us, per_group_launch_latency_us,
+};
 pub use triton::{triton_latency_us, triton_moe_program, triton_options, TritonReport};

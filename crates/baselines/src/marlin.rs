@@ -9,7 +9,9 @@
 //!   0.89×–1.01× of it.
 
 use hexcute_arch::{DType, GpuArch};
+use hexcute_kernels::grouped_gemm::GroupedGemmShape;
 use hexcute_kernels::moe::MoeShape;
+use hexcute_kernels::quant_gemm::QuantGemmShape;
 
 /// Fraction of the weight-streaming roofline the fused Marlin-new kernel
 /// achieves.
@@ -24,11 +26,22 @@ pub const MARLIN_OLD_BANDWIDTH_EFFICIENCY: f64 = 0.70;
 /// is the source of the 28× gap the paper reports.
 pub const MARLIN_OLD_DISPATCH_US: f64 = 90.0;
 
-fn roofline_us(shape: &MoeShape, arch: &GpuArch, bandwidth_efficiency: f64) -> f64 {
-    let bytes = shape.weight_bytes() + shape.activation_bytes();
+/// The streaming-roofline kernel-time model every Marlin baseline shares:
+/// memory time at `bandwidth_efficiency` of the DRAM roofline (the dequant /
+/// epilogue arithmetic hides under the loads), or FP16 compute bound.
+fn streaming_roofline_us(bytes: f64, flops: f64, bandwidth_efficiency: f64, arch: &GpuArch) -> f64 {
     let mem_us = bytes / (arch.dram_bandwidth_gbs * bandwidth_efficiency) * 1e-3;
-    let compute_us = arch.roofline_latency_us(0.0, shape.flops(), DType::F16);
+    let compute_us = arch.roofline_latency_us(0.0, flops, DType::F16);
     mem_us.max(compute_us)
+}
+
+fn roofline_us(shape: &MoeShape, arch: &GpuArch, bandwidth_efficiency: f64) -> f64 {
+    streaming_roofline_us(
+        shape.weight_bytes() + shape.activation_bytes(),
+        shape.flops(),
+        bandwidth_efficiency,
+        arch,
+    )
 }
 
 /// Latency of the Marlin-new fused MoE kernel.
@@ -49,11 +62,58 @@ pub fn marlin_old_moe_latency_us(shape: &MoeShape, arch: &GpuArch) -> f64 {
         + (per_expert_rows * (shape.hidden + shape.intermediate)) as f64 * 2.0;
     let per_expert_flops =
         2.0 * per_expert_rows as f64 * shape.hidden as f64 * shape.intermediate as f64;
-    let mem_us =
-        per_expert_bytes / (arch.dram_bandwidth_gbs * MARLIN_OLD_BANDWIDTH_EFFICIENCY) * 1e-3;
-    let compute_us = arch.roofline_latency_us(0.0, per_expert_flops, DType::F16);
-    experts as f64
-        * (arch.kernel_launch_overhead_us + MARLIN_OLD_DISPATCH_US + mem_us.max(compute_us))
+    let per_expert_us = streaming_roofline_us(
+        per_expert_bytes,
+        per_expert_flops,
+        MARLIN_OLD_BANDWIDTH_EFFICIENCY,
+        arch,
+    );
+    experts as f64 * (arch.kernel_launch_overhead_us + MARLIN_OLD_DISPATCH_US + per_expert_us)
+}
+
+/// Latency of the hand-written Marlin W4A16 dense GEMM kernel: weight
+/// streaming at [`MARLIN_NEW_BANDWIDTH_EFFICIENCY`] of the DRAM roofline (the
+/// dequant arithmetic hides under the loads), or compute bound at large M.
+/// The reference the synthesized `w4a16_gemm` kernel is compared against in
+/// `BENCH_pr5.json`.
+pub fn marlin_w4a16_latency_us(shape: &QuantGemmShape, arch: &GpuArch) -> f64 {
+    arch.kernel_launch_overhead_us
+        + streaming_roofline_us(
+            shape.weight_bytes() + shape.activation_bytes(),
+            shape.flops(),
+            MARLIN_NEW_BANDWIDTH_EFFICIENCY,
+            arch,
+        )
+}
+
+/// Latency of a fused grouped-GEMM baseline (Marlin-new style): one launch
+/// covering the whole problem list at the streaming roofline.
+pub fn fused_grouped_gemm_latency_us(shape: &GroupedGemmShape, arch: &GpuArch) -> f64 {
+    arch.kernel_launch_overhead_us
+        + streaming_roofline_us(
+            shape.weight_bytes() + shape.activation_bytes(),
+            shape.flops(),
+            MARLIN_NEW_BANDWIDTH_EFFICIENCY,
+            arch,
+        )
+}
+
+/// Latency of the pre-fusion grouped-GEMM path: one kernel launch (plus the
+/// Python-level dispatch of the expert loop) per active group — the
+/// Marlin-old dispatch model applied to a dense per-group problem list.
+pub fn per_group_launch_latency_us(shape: &GroupedGemmShape, arch: &GpuArch) -> f64 {
+    shape
+        .group_tokens
+        .iter()
+        .filter(|&&m| m > 0)
+        .map(|&m| {
+            let bytes = (shape.n * shape.k) as f64 * 2.0 + (m * (shape.k + shape.n)) as f64 * 2.0;
+            let flops = 2.0 * m as f64 * shape.n as f64 * shape.k as f64;
+            arch.kernel_launch_overhead_us
+                + MARLIN_OLD_DISPATCH_US
+                + streaming_roofline_us(bytes, flops, MARLIN_OLD_BANDWIDTH_EFFICIENCY, arch)
+        })
+        .sum()
 }
 
 #[cfg(test)]
@@ -94,5 +154,42 @@ mod tests {
         let small = marlin_new_moe_latency_us(&MoeShape::deepseek_r1(16), &arch);
         let large = marlin_new_moe_latency_us(&MoeShape::deepseek_r1(4096), &arch);
         assert!(large > small);
+    }
+
+    #[test]
+    fn w4a16_baseline_tracks_the_weight_streaming_roofline() {
+        let arch = GpuArch::h100();
+        let shape = QuantGemmShape::llama_70b_proj(16);
+        let latency = marlin_w4a16_latency_us(&shape, &arch);
+        let ideal =
+            (shape.weight_bytes() + shape.activation_bytes()) / arch.dram_bandwidth_gbs * 1e-3;
+        assert!(latency > ideal);
+        // Net of the launch overhead, the kernel runs within ~1/0.88 of the
+        // ideal streaming time.
+        assert!(latency - arch.kernel_launch_overhead_us < ideal * 1.2);
+        // Quantized weights (including the scale/zero columns) stream ~3.5x
+        // fewer bytes than an FP16 GEMM of the same shape, so the
+        // decode-time latency is much lower.
+        assert!(shape.weight_bytes() * 3.5 < (shape.n * shape.k) as f64 * 2.0);
+    }
+
+    #[test]
+    fn fused_grouped_gemm_beats_per_group_launches() {
+        let arch = GpuArch::h100();
+        let shape = GroupedGemmShape::uniform(64, 4, 2048, 4096);
+        let fused = fused_grouped_gemm_latency_us(&shape, &arch);
+        let looped = per_group_launch_latency_us(&shape, &arch);
+        assert!(
+            looped / fused > 3.0,
+            "expected the fused kernel to win clearly, got {:.2}x",
+            looped / fused
+        );
+        // Zero-token groups cost nothing in either path.
+        let sparse = GroupedGemmShape::from_token_counts(vec![4, 0, 0, 4], 2048, 4096);
+        let dense = GroupedGemmShape::from_token_counts(vec![4, 4], 2048, 4096);
+        assert_eq!(
+            per_group_launch_latency_us(&sparse, &arch),
+            per_group_launch_latency_us(&dense, &arch)
+        );
     }
 }

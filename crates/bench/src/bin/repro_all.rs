@@ -15,4 +15,5 @@ fn main() {
     }
     println!("{}", hexcute_bench::compile_time::compile_time_report());
     hexcute_bench::print_shared_cache_summary();
+    hexcute_bench::checks::exit_if_failed();
 }

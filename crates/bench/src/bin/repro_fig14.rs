@@ -3,4 +3,5 @@ fn main() {
     let quick = !std::env::args().any(|a| a == "--full");
     println!("{}", hexcute_bench::ablation::fig14(quick));
     hexcute_bench::print_shared_cache_summary();
+    hexcute_bench::checks::exit_if_failed();
 }

@@ -17,4 +17,5 @@ fn main() {
         }
     }
     hexcute_bench::print_shared_cache_summary();
+    hexcute_bench::checks::exit_if_failed();
 }

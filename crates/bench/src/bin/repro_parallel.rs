@@ -93,4 +93,5 @@ fn main() {
             std::process::exit(1);
         }
     }
+    hexcute_bench::checks::exit_if_failed();
 }

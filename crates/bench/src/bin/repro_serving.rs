@@ -56,4 +56,5 @@ fn main() {
             std::process::exit(1);
         }
     }
+    hexcute_bench::checks::exit_if_failed();
 }

@@ -2,4 +2,5 @@
 fn main() {
     println!("{}", hexcute_bench::tables34::table3());
     hexcute_bench::print_shared_cache_summary();
+    hexcute_bench::checks::exit_if_failed();
 }

@@ -1,0 +1,59 @@
+//! Benchmarks the PR 5 workload families and writes the machine-readable
+//! comparison committed as `BENCH_pr5.json`:
+//!
+//! * synthesized W4A16 quantized GEMM vs. the Marlin hand-written-kernel
+//!   model (`quant_gemm_vs_marlin`; geomean ≈ 1.0 means parity),
+//! * fused grouped GEMM vs. one-kernel-launch-per-expert dispatch
+//!   (`grouped_vs_per_expert`),
+//! * cold vs. warm artifact-cache compiles of both families, with warm
+//!   results checked bit-identical (`workload_compile_warm`).
+//!
+//! Any failed internal check (bit-identity, cache hit, regime) exits
+//! nonzero. Pass `--full` for the full token/expert sweeps.
+//!
+//! Usage: `cargo run --release --bin repro_workloads [-- output.json]`
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = !args.iter().any(|a| a == "--full");
+    let out_path = args
+        .iter()
+        .find(|a| a.as_str() != "--full")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr5.json".to_string());
+
+    let mut entries = hexcute_bench::workloads_bench::quant_gemm_entries(quick);
+    entries.extend(hexcute_bench::workloads_bench::grouped_gemm_entries(quick));
+    let cache_dir =
+        std::env::temp_dir().join(format!("hexcute-workloads-cache-{}", std::process::id()));
+    entries.extend(hexcute_bench::workloads_bench::workload_cache_entries(
+        &cache_dir,
+    ));
+    std::fs::remove_dir_all(&cache_dir).ok();
+
+    let mut report = hexcute_bench::fastpath::as_report(&entries);
+    report.title =
+        "Workload families: quantized & grouped GEMM vs. baselines, cold vs. warm".to_string();
+    report.push_note(
+        "quant_gemm_vs_marlin: reference = Marlin model, fast = synthesized \
+         (geomean ~1.0 = parity with the hand-written kernel)",
+    );
+    report.push_note(
+        "grouped_vs_per_expert: reference = one launch per expert, fast = fused grouped GEMM",
+    );
+    print!("{report}");
+    hexcute_bench::print_shared_cache_summary();
+
+    match hexcute_bench::fastpath::write_json_named(
+        &out_path,
+        "quantized & grouped workload families",
+        &entries,
+    ) {
+        Ok(()) => println!("\nwrote {out_path}"),
+        Err(e) => {
+            eprintln!("failed to write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    hexcute_bench::checks::exit_if_failed();
+}

@@ -1,0 +1,64 @@
+//! Process-level pass/fail accounting for the `repro_*` binaries.
+//!
+//! The harness functions verify internal invariants (warm cache hits,
+//! bit-identical replays) as they run. Historically some of those outcomes
+//! were *printed* but never failed the process, so a broken invariant could
+//! scroll past in CI with exit code 0. Every check now goes through
+//! [`check`], and every `repro_*` binary ends its `main` with
+//! [`exit_if_failed`]: any failed check turns into a nonzero exit.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static FAILED: AtomicU64 = AtomicU64::new(0);
+static PASSED: AtomicU64 = AtomicU64::new(0);
+
+/// Records one internal invariant check. A failure is printed immediately
+/// (prefixed `CHECK FAILED`) and remembered for [`exit_if_failed`].
+pub fn check(condition: bool, message: &str) {
+    if condition {
+        PASSED.fetch_add(1, Ordering::Relaxed);
+    } else {
+        FAILED.fetch_add(1, Ordering::Relaxed);
+        eprintln!("CHECK FAILED: {message}");
+    }
+}
+
+/// Number of checks that failed so far in this process.
+pub fn failures() -> u64 {
+    FAILED.load(Ordering::Relaxed)
+}
+
+/// Number of checks that passed so far in this process.
+pub fn passes() -> u64 {
+    PASSED.load(Ordering::Relaxed)
+}
+
+/// Exits the process with a nonzero status when any [`check`] failed,
+/// printing a one-line summary either way. Call this at the *end* of every
+/// `repro_*` binary's `main` (after writing output files, so a failed check
+/// never suppresses the artifacts a human would want for debugging).
+pub fn exit_if_failed() {
+    let failed = failures();
+    let passed = passes();
+    if failed > 0 {
+        eprintln!("\n{failed} internal check(s) FAILED ({passed} passed) — exiting nonzero");
+        std::process::exit(1);
+    }
+    if passed > 0 {
+        println!("\nall {passed} internal checks passed");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_checks_do_not_accumulate_failures() {
+        let before = failures();
+        check(true, "always fine");
+        check(true, "still fine");
+        assert_eq!(failures(), before);
+        assert!(passes() >= 2);
+    }
+}

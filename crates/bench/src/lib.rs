@@ -11,6 +11,7 @@
 pub mod report;
 
 pub mod ablation;
+pub mod checks;
 pub mod compile_time;
 pub mod cost_model;
 pub mod end_to_end;
@@ -21,6 +22,7 @@ pub mod scan_bench;
 pub mod serving_bench;
 pub mod table2;
 pub mod tables34;
+pub mod workloads_bench;
 
 pub use report::Report;
 
@@ -58,6 +60,12 @@ pub fn write_output(path: &str, contents: &str) -> std::io::Result<()> {
 /// model's per-operation and whole-candidate estimates, and the kernel
 /// artifact cache — each exercised on a small GEMM. Every `repro_*` binary
 /// calls this in its summary.
+///
+/// The exercise's cache-hit invariants are *verified*, not just printed:
+/// the second pass must hit the simulator-table and per-op cost caches,
+/// and the second compile of the unchanged program must be an
+/// artifact-cache memory hit. A violation fails the binary through
+/// [`checks::exit_if_failed`].
 pub fn print_shared_cache_summary() {
     let (tables, op_costs, candidate_costs) = fastpath::shared_cache_stats();
     let artifacts = fastpath::artifact_cache_stats();
@@ -66,6 +74,18 @@ pub fn print_shared_cache_summary() {
     println!("  per-op cost estimates:     {op_costs}");
     println!("  whole-candidate estimates: {candidate_costs}");
     println!("  kernel artifacts:          {artifacts}");
+    checks::check(
+        tables.hits > 0,
+        "the second simulation pass produced no index-table hits",
+    );
+    checks::check(
+        op_costs.hits > 0,
+        "the second scoring pass produced no per-op cost-cache hits",
+    );
+    checks::check(
+        artifacts.memory.hits >= 1,
+        "the second compile of an unchanged program was not an artifact-cache hit",
+    );
 }
 
 /// Geometric mean of a slice of positive numbers.

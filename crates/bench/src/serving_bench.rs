@@ -35,6 +35,8 @@ fn request_matrix() -> Vec<(ModelConfig, usize)> {
         ModelConfig::deepseek_r1_awq(),
         ModelConfig::jamba_mini(),
         ModelConfig::qwen3_32b(),
+        ModelConfig::llama3_70b_awq(),
+        ModelConfig::mixtral_8x7b(),
     ];
     let batches = [1usize, 8];
     models
@@ -158,8 +160,8 @@ mod tests {
             COUNTER.fetch_add(1, Ordering::Relaxed)
         ));
         let (entries, notes) = serving_entries(&dir);
-        // 6 requests × 2 warm variants.
-        assert_eq!(entries.len(), 12);
+        // 10 requests (5 models × 2 batch sizes) × 2 warm variants.
+        assert_eq!(entries.len(), 20);
         assert!(entries
             .iter()
             .all(|e| e.reference_ns > 0.0 && e.fast_ns > 0.0));

@@ -1,0 +1,234 @@
+//! The PR 5 workload-family benchmarks, feeding `BENCH_pr5.json` through the
+//! `repro_workloads` binary:
+//!
+//! * **`quant_gemm_vs_marlin`** — the synthesized W4A16 quantized GEMM
+//!   against the hand-written Marlin kernel's performance model, across
+//!   decode/prefill token counts (`reference_ns` = Marlin, `fast_ns` =
+//!   Hexcute, so the geomean is Marlin-over-Hexcute: ~1.0 means the
+//!   synthesized kernel matches the hand-written one, as the paper reports
+//!   for the MoE case at 0.89×–1.01×).
+//! * **`grouped_vs_per_expert`** — the fused grouped GEMM (one launch for
+//!   the whole per-expert problem list) against one-kernel-launch-per-expert
+//!   dispatch (`reference_ns` = per-expert loop, `fast_ns` = fused).
+//! * **`workload_compile_warm`** — cold synthesis vs. warm artifact-cache
+//!   compile wall time for both new families through a [`CompileService`],
+//!   with the warm artifacts *checked* bit-identical to the cold ones
+//!   (via [`crate::checks`], so a violation fails the binary).
+
+use std::path::Path;
+use std::time::Instant;
+
+use hexcute_arch::GpuArch;
+use hexcute_baselines::{
+    fused_grouped_gemm_latency_us, marlin_w4a16_latency_us, per_group_launch_latency_us,
+};
+use hexcute_core::{CompilerOptions, KernelCacheConfig};
+use hexcute_e2e::CompileService;
+use hexcute_kernels::grouped_gemm::{grouped_gemm, GroupedGemmConfig, GroupedGemmShape};
+use hexcute_kernels::quant_gemm::{w4a16_gemm, QuantGemmConfig, QuantGemmShape};
+
+use crate::checks;
+use crate::compile_hexcute;
+use crate::fastpath::FastPathEntry;
+
+/// Token counts for the quantized-GEMM sweep: the decode regime (small
+/// batches), where weight streaming dominates and W4A16 pays off.
+pub fn quant_token_sweep(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![1, 16, 64]
+    } else {
+        vec![1, 8, 16, 32, 64, 128]
+    }
+}
+
+/// Synthesized W4A16 GEMM vs. the Marlin performance model. Latencies are
+/// the modelled kernel times in nanoseconds.
+pub fn quant_gemm_entries(quick: bool) -> Vec<FastPathEntry> {
+    let arch = GpuArch::h100();
+    quant_token_sweep(quick)
+        .into_iter()
+        .map(|tokens| {
+            let shape = QuantGemmShape::llama_70b_proj(tokens);
+            let program = w4a16_gemm(shape, QuantGemmConfig::for_shape(&shape))
+                .expect("W4A16 GEMM construction");
+            let hexcute_us = compile_hexcute(&program, &arch).latency_us();
+            let marlin_us = marlin_w4a16_latency_us(&shape, &arch);
+            // Regime guard (fails the binary, not just the unit test): the
+            // synthesized kernel must stay comparable to the hand-written
+            // model in the decode regime.
+            let ratio = marlin_us / hexcute_us;
+            checks::check(
+                ratio > 0.3 && ratio < 3.0,
+                &format!(
+                    "W4A16 GEMM at m={tokens}: Marlin/Hexcute ratio {ratio:.2} out of regime \
+                     ({marlin_us:.1} us vs {hexcute_us:.1} us)"
+                ),
+            );
+            FastPathEntry {
+                group: "quant_gemm_vs_marlin".to_string(),
+                name: format!("llama70b_proj_m{tokens}"),
+                reference_ns: marlin_us * 1e3,
+                fast_ns: hexcute_us * 1e3,
+            }
+        })
+        .collect()
+}
+
+/// Expert-batch shapes for the grouped-GEMM sweep: (label, problem list).
+fn grouped_sweep(quick: bool) -> Vec<(String, GroupedGemmShape)> {
+    let mut shapes = vec![
+        ("mixtral_b8".to_string(), GroupedGemmShape::mixtral(8)),
+        ("mixtral_b64".to_string(), GroupedGemmShape::mixtral(64)),
+        (
+            "ragged_16experts".to_string(),
+            GroupedGemmShape::from_token_counts(
+                vec![1, 0, 7, 64, 3, 0, 16, 2, 1, 0, 0, 5, 9, 31, 4, 12],
+                2048,
+                4096,
+            ),
+        ),
+    ];
+    if !quick {
+        shapes.push((
+            "deepseek_256experts".to_string(),
+            GroupedGemmShape::uniform(256, 2, 2048, 7168),
+        ));
+    }
+    shapes
+}
+
+/// Fused grouped GEMM vs. one launch per expert.
+pub fn grouped_gemm_entries(quick: bool) -> Vec<FastPathEntry> {
+    let arch = GpuArch::h100();
+    grouped_sweep(quick)
+        .into_iter()
+        .map(|(name, shape)| {
+            let program = grouped_gemm(&shape, GroupedGemmConfig::default()).expect("grouped GEMM");
+            let fused_us = compile_hexcute(&program, &arch).latency_us();
+            let looped_us = per_group_launch_latency_us(&shape, &arch);
+            // The fused-baseline model should agree with the synthesized
+            // kernel's regime (both stream the active expert weights once).
+            let fused_baseline_us = fused_grouped_gemm_latency_us(&shape, &arch);
+            checks::check(
+                fused_us < looped_us,
+                &format!(
+                    "fused grouped GEMM `{name}` ({fused_us:.1} us) is not faster than \
+                     per-expert launches ({looped_us:.1} us)"
+                ),
+            );
+            checks::check(
+                fused_us < fused_baseline_us * 10.0 && fused_baseline_us < fused_us * 10.0,
+                &format!(
+                    "synthesized grouped GEMM `{name}` ({fused_us:.1} us) is out of regime \
+                     vs. the fused baseline model ({fused_baseline_us:.1} us)"
+                ),
+            );
+            FastPathEntry {
+                group: "grouped_vs_per_expert".to_string(),
+                name,
+                reference_ns: looped_us * 1e3,
+                fast_ns: fused_us * 1e3,
+            }
+        })
+        .collect()
+}
+
+/// Cold vs. warm compile wall time for both new families through a
+/// disk-backed [`CompileService`]; warm artifacts are checked bit-identical.
+pub fn workload_cache_entries(cache_dir: &Path) -> Vec<FastPathEntry> {
+    let arch = GpuArch::h100();
+    let config = KernelCacheConfig {
+        dir: Some(cache_dir.to_path_buf()),
+        ..KernelCacheConfig::default()
+    };
+    let service = CompileService::with_config(arch.clone(), CompilerOptions::new(), config);
+    let programs = vec![
+        (
+            "quant_gemm".to_string(),
+            w4a16_gemm(
+                QuantGemmShape::llama_70b_proj(64),
+                QuantGemmConfig::default(),
+            )
+            .expect("W4A16 GEMM construction"),
+        ),
+        (
+            "grouped_gemm".to_string(),
+            grouped_gemm(&GroupedGemmShape::mixtral(64), GroupedGemmConfig::default())
+                .expect("grouped GEMM construction"),
+        ),
+    ];
+    let mut entries = Vec::new();
+    for (name, program) in programs {
+        let cold_start = Instant::now();
+        let cold = service.compile(&program).expect("cold compile");
+        let cold_ns = cold_start.elapsed().as_secs_f64() * 1e9;
+        let warm_start = Instant::now();
+        let warm = service.compile(&program).expect("warm compile");
+        let warm_ns = warm_start.elapsed().as_secs_f64() * 1e9;
+        checks::check(
+            *warm.artifact == *cold.artifact,
+            &format!("warm `{name}` artifact is not bit-identical to the cold synthesis"),
+        );
+        checks::check(
+            warm.served_from == hexcute_e2e::ServedFrom::Memory,
+            &format!("warm `{name}` compile was not an artifact-cache hit"),
+        );
+        entries.push(FastPathEntry {
+            group: "workload_compile_warm".to_string(),
+            name,
+            reference_ns: cold_ns,
+            fast_ns: warm_ns,
+        });
+    }
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn quant_entries_compare_against_marlin() {
+        let before = checks::failures();
+        let entries = quant_gemm_entries(true);
+        // The regime bound (0.3 < Marlin/Hexcute < 3.0, the paper reports
+        // 0.89x-1.01x for the MoE analogue) is enforced inside the harness
+        // itself, so a drift also fails the repro_workloads binary.
+        assert_eq!(checks::failures(), before, "regime checks failed");
+        assert_eq!(entries.len(), quant_token_sweep(true).len());
+        for e in &entries {
+            assert!(e.reference_ns > 0.0 && e.fast_ns > 0.0);
+        }
+    }
+
+    #[test]
+    fn grouped_entries_show_the_fusion_win() {
+        let before = checks::failures();
+        let entries = grouped_gemm_entries(true);
+        assert_eq!(checks::failures(), before, "internal checks failed");
+        assert_eq!(entries.len(), 3);
+        for e in &entries {
+            assert!(
+                e.speedup() > 1.0,
+                "{}: fused grouped GEMM must beat per-expert launches",
+                e.name
+            );
+        }
+    }
+
+    #[test]
+    fn cache_entries_verify_bit_identity() {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "hexcute-workloads-bench-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let before = checks::failures();
+        let entries = workload_cache_entries(&dir);
+        assert_eq!(checks::failures(), before, "internal checks failed");
+        assert_eq!(entries.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -36,6 +36,11 @@ pub enum SimtKind {
     Fill(f64),
     /// Register redistribution through shared memory.
     Rearrange,
+    /// Grouped weight dequantization `(src - zero) * scale` within registers.
+    Dequant {
+        /// Elements along dimension 1 sharing one scale/zero column.
+        group_size: usize,
+    },
 }
 
 /// One instruction of the lowered kernel.
@@ -373,6 +378,27 @@ pub fn lower(program: &Program, candidate: &Candidate) -> LoweredKernel {
                 *dst,
                 op.in_main_loop,
             )),
+            OpKind::Dequant {
+                src,
+                scale,
+                zero,
+                dst,
+                group_size,
+            } => {
+                let mut inputs = vec![*src, *scale];
+                inputs.extend(zero.iter().copied());
+                body.push(simt(
+                    program,
+                    candidate,
+                    op.id,
+                    SimtKind::Dequant {
+                        group_size: *group_size,
+                    },
+                    inputs,
+                    *dst,
+                    op.in_main_loop,
+                ));
+            }
         }
     }
 

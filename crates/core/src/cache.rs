@@ -126,9 +126,13 @@ impl Hasher for StableHasher {
 /// [`SynthesisOptions::hash_stable`]: hexcute_synthesis::SynthesisOptions::hash_stable
 pub fn artifact_fingerprint(program: &Program, arch: &GpuArch, options: &CompilerOptions) -> u64 {
     let mut h = StableHasher::new();
-    // Program structure.
+    // Program structure. The grid participates: two programs differing only
+    // in `grid_blocks` (e.g. the same tile kernel at two batch sizes, or two
+    // grouped-GEMM problem lists with different routings) produce different
+    // device-level performance reports, so they must not share an artifact.
     program.name.hash(&mut h);
     program.threads_per_block.hash(&mut h);
+    program.grid_blocks.hash(&mut h);
     program.main_loop_trip_count.hash(&mut h);
     program.schedule.pipeline_stages.hash(&mut h);
     program.schedule.warp_specialized.hash(&mut h);

@@ -15,8 +15,10 @@ use hexcute_core::{
 use hexcute_ir::Program;
 use hexcute_kernels::attention::{mha_forward, AttentionConfig, AttentionShape};
 use hexcute_kernels::gemm::{fp16_gemm, GemmConfig, GemmShape};
+use hexcute_kernels::grouped_gemm::{grouped_gemm, GroupedGemmConfig, GroupedGemmShape};
 use hexcute_kernels::mamba::{selective_scan, ScanConfig, ScanShape};
 use hexcute_kernels::moe::{mixed_type_moe, MoeConfig, MoeDataflow, MoeShape};
+use hexcute_kernels::quant_gemm::{w4a16_gemm, QuantGemmConfig, QuantGemmShape};
 
 fn unique_temp_dir(tag: &str) -> PathBuf {
     static COUNTER: AtomicUsize = AtomicUsize::new(0);
@@ -62,6 +64,22 @@ fn kernel_families() -> Vec<(&'static str, Program)> {
             "mamba",
             selective_scan(ScanShape::new(4, 512, 16, 256), ScanConfig::default()).unwrap(),
         ),
+        (
+            "quant_gemm",
+            w4a16_gemm(
+                QuantGemmShape::new(16, 128, 256, 64),
+                QuantGemmConfig::default(),
+            )
+            .unwrap(),
+        ),
+        (
+            "grouped_gemm",
+            grouped_gemm(
+                &GroupedGemmShape::uniform(8, 16, 256, 512),
+                GroupedGemmConfig::default(),
+            )
+            .unwrap(),
+        ),
     ]
 }
 
@@ -101,7 +119,7 @@ fn cache_hits_are_bit_identical_to_fresh_synthesis_across_families() {
         assert_eq!(*disk, reference, "{family}: disk hit differs");
     }
     let stats = cache.stats();
-    assert_eq!(stats.stores, 4);
+    assert_eq!(stats.stores, 6);
     assert_eq!(stats.corrupt + stats.stale_version + stats.expired, 0);
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -196,8 +214,8 @@ fn disk_capacity_prunes_oldest_artifacts() {
         ..KernelCacheConfig::default()
     });
     // Three distinct fingerprints: three K extents (K changes the main-loop
-    // trip count, so the tile-level programs differ; M only changes the
-    // grid and would fingerprint identically).
+    // trip count; since PR 5 a different M would also fingerprint
+    // differently through the grid).
     let compiler = Compiler::new(GpuArch::a100());
     for k in [128usize, 256, 512] {
         let program = fp16_gemm(GemmShape::new(256, 256, k), GemmConfig::default()).unwrap();
@@ -228,6 +246,48 @@ fn artifact_json_round_trips_exactly() {
     assert!(round.cuda.contains("__global__"));
     assert!(round.cost.total_cycles > 0.0);
     assert!(round.perf.latency_us > 0.0);
+}
+
+#[test]
+fn fingerprints_sense_quant_groups_and_batch_shapes() {
+    use hexcute_core::{artifact_fingerprint, CompilerOptions};
+    let defaults = CompilerOptions::new();
+    let h100 = GpuArch::h100();
+    let fp = |program: &Program| artifact_fingerprint(program, &h100, &defaults);
+
+    // Quantized GEMM: the group size changes the scale-tensor geometry and
+    // the dequant operation, so it must change the fingerprint.
+    let config = QuantGemmConfig::default();
+    let g64 = w4a16_gemm(QuantGemmShape::new(16, 128, 256, 64), config).unwrap();
+    let g32 = w4a16_gemm(QuantGemmShape::new(16, 128, 256, 32), config).unwrap();
+    let g64_again = w4a16_gemm(QuantGemmShape::new(16, 128, 256, 64), config).unwrap();
+    assert_eq!(fp(&g64), fp(&g64_again), "same shape must be stable");
+    assert_ne!(
+        fp(&g64),
+        fp(&g32),
+        "group size must fingerprint differently"
+    );
+
+    // Grouped GEMM: a different group count changes the batched tile list
+    // (the grid), so it must change the fingerprint too.
+    let gconfig = GroupedGemmConfig::default();
+    let four = grouped_gemm(&GroupedGemmShape::uniform(4, 16, 256, 512), gconfig).unwrap();
+    let eight = grouped_gemm(&GroupedGemmShape::uniform(8, 16, 256, 512), gconfig).unwrap();
+    let ragged = grouped_gemm(
+        &GroupedGemmShape::from_token_counts(vec![16, 16, 16, 32], 256, 512),
+        gconfig,
+    )
+    .unwrap();
+    assert_ne!(
+        fp(&four),
+        fp(&eight),
+        "group count must fingerprint differently"
+    );
+    assert_ne!(
+        fp(&four),
+        fp(&ragged),
+        "token routing must fingerprint differently"
+    );
 }
 
 #[test]

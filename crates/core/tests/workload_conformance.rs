@@ -1,0 +1,393 @@
+//! Workload-conformance suite (PR 5): a randomized differential harness over
+//! the *whole* workload zoo — GEMM (FP16/BF16), warp-specialized GEMM, FP8
+//! GEMM, attention, mixed-type MoE, Mamba scan, W4A16 quantized GEMM and
+//! grouped GEMM — asserting that the ordered candidate list and every
+//! cost-model / performance-simulator score is **bit-identical** across the
+//! full execution-toggle matrix:
+//!
+//! * flat-layout fast path on/off (`HEXCUTE_DISABLE_FAST_PATH` /
+//!   `hexcute_layout::set_fast_path`),
+//! * incremental prefix-shared search on/off
+//!   (`HEXCUTE_DISABLE_INCREMENTAL` / `SynthesisOptions::incremental`),
+//! * worker counts 1 and 4 (`HEXCUTE_THREADS` /
+//!   `SynthesisOptions::parallel_workers`),
+//! * artifact cache cold vs. warm (memory and disk hits).
+//!
+//! Every new workload family plugs into this harness by construction: adding
+//! a variant to [`Workload`] covers it across all toggles. The CI
+//! `determinism-mt` (`HEXCUTE_THREADS=4`) and `reference-paths`
+//! (`HEXCUTE_DISABLE_FAST_PATH=1 HEXCUTE_DISABLE_INCREMENTAL=1
+//! HEXCUTE_THREADS=1`) legs re-run this file under the env-driven toggles,
+//! so the environment-variable spellings get real coverage too (mutating the
+//! environment of a threaded test process is unsafe, so the in-process sweep
+//! uses the options instead).
+
+use std::sync::Mutex;
+
+use hexcute_arch::{DType, GpuArch};
+use hexcute_core::{Compiler, CompilerOptions, KernelCache, KernelCacheConfig};
+use hexcute_costmodel::CostBreakdown;
+use hexcute_ir::Program;
+use hexcute_kernels::attention::{mha_forward, AttentionConfig, AttentionShape};
+use hexcute_kernels::gemm::{
+    bf16_gemm, fp16_gemm, fp8_blockwise_gemm, warp_specialized_gemm, GemmConfig, GemmShape,
+};
+use hexcute_kernels::grouped_gemm::{grouped_gemm, GroupedGemmConfig, GroupedGemmShape};
+use hexcute_kernels::mamba::{selective_scan, ScanConfig, ScanShape};
+use hexcute_kernels::moe::{mixed_type_moe, MoeConfig, MoeDataflow, MoeShape};
+use hexcute_kernels::quant_gemm::{w4a16_gemm, QuantGemmConfig, QuantGemmShape};
+use hexcute_sim::PerfReport;
+use hexcute_synthesis::{Candidate, SynthesisOptions};
+use proptest::prelude::*;
+
+/// One sampled workload instance: a family plus its shape/dtype parameters.
+#[derive(Debug, Clone, PartialEq)]
+enum Workload {
+    /// Plain GEMM at the given element type (F16 or BF16).
+    Gemm {
+        dtype: DType,
+        m_tiles: usize,
+        k_tiles: usize,
+    },
+    /// Hopper warp-specialized FP16 GEMM.
+    WarpGemm,
+    /// Blockwise-scaled FP8 GEMM (Hopper only).
+    Fp8Gemm,
+    /// Fused attention forward.
+    Attention {
+        heads: usize,
+        seq_tiles: usize,
+        head_dim: usize,
+    },
+    /// Mixed-type FP16×INT4 MoE.
+    Moe { tokens: usize, efficient: bool },
+    /// Mamba selective scan.
+    Mamba { batch: usize },
+    /// W4A16 quantized GEMM with grouped dequantization.
+    QuantGemm {
+        group_size: usize,
+        n: usize,
+        k: usize,
+    },
+    /// Fused grouped/batched GEMM over a per-expert problem list.
+    GroupedGemm { tokens: Vec<usize> },
+}
+
+impl Workload {
+    /// Whether the workload is buildable for the architecture.
+    fn supports(&self, arch: &GpuArch) -> bool {
+        match self {
+            Workload::WarpGemm | Workload::Fp8Gemm => arch.has_wgmma,
+            _ => true,
+        }
+    }
+
+    fn build(&self) -> Program {
+        match self {
+            Workload::Gemm {
+                dtype,
+                m_tiles,
+                k_tiles,
+            } => {
+                let config = GemmConfig::default();
+                let shape = GemmShape::new(
+                    m_tiles * config.block_m,
+                    config.block_n,
+                    k_tiles * config.block_k,
+                );
+                // Both dtypes go through the one shared GEMM builder in the
+                // kernels crate, so the conformance copy cannot drift.
+                match dtype {
+                    DType::F16 => fp16_gemm(shape, config).unwrap(),
+                    _ => bf16_gemm(shape, config).unwrap(),
+                }
+            }
+            Workload::WarpGemm => warp_specialized_gemm(
+                GemmShape::new(512, 512, 256),
+                GemmConfig::warp_specialized_hopper(),
+            )
+            .unwrap(),
+            Workload::Fp8Gemm => {
+                fp8_blockwise_gemm(GemmShape::new(512, 512, 256), GemmConfig::default()).unwrap()
+            }
+            Workload::Attention {
+                heads,
+                seq_tiles,
+                head_dim,
+            } => {
+                let config = AttentionConfig::default();
+                mha_forward(
+                    AttentionShape::forward(1, *heads, seq_tiles * config.block_kv, *head_dim),
+                    config,
+                )
+                .unwrap()
+            }
+            Workload::Moe { tokens, efficient } => {
+                let dataflow = if *efficient {
+                    MoeDataflow::Efficient
+                } else {
+                    MoeDataflow::TritonStyle
+                };
+                mixed_type_moe(
+                    MoeShape::deepseek_r1(*tokens),
+                    MoeConfig::default(),
+                    dataflow,
+                )
+                .unwrap()
+            }
+            Workload::Mamba { batch } => {
+                selective_scan(ScanShape::new(*batch, 512, 16, 256), ScanConfig::default()).unwrap()
+            }
+            Workload::QuantGemm { group_size, n, k } => w4a16_gemm(
+                QuantGemmShape::new(16, *n, *k, *group_size),
+                QuantGemmConfig::default(),
+            )
+            .unwrap(),
+            Workload::GroupedGemm { tokens } => grouped_gemm(
+                &GroupedGemmShape::from_token_counts(tokens.clone(), 256, 512),
+                GroupedGemmConfig::default(),
+            )
+            .unwrap(),
+        }
+    }
+}
+
+type Scored = Vec<(Candidate, CostBreakdown, PerfReport)>;
+
+fn compile_config(
+    program: &Program,
+    arch: &GpuArch,
+    incremental: bool,
+    workers: usize,
+    depth: Option<usize>,
+) -> Scored {
+    let options = CompilerOptions {
+        synthesis: SynthesisOptions {
+            incremental,
+            parallel_workers: Some(workers),
+            parallel_subtree_depth: depth,
+            ..SynthesisOptions::default()
+        },
+        use_cost_model: true,
+    };
+    Compiler::with_options(arch.clone(), options)
+        .compile_candidates(program)
+        .unwrap()
+}
+
+fn assert_scored_equal(label: &str, program: &Program, reference: &Scored, other: &Scored) {
+    assert_eq!(
+        reference.len(),
+        other.len(),
+        "[{label}] candidate counts diverged for {}",
+        program.name
+    );
+    for (i, ((rc, rcost, rperf), (oc, ocost, operf))) in
+        reference.iter().zip(other.iter()).enumerate()
+    {
+        assert_eq!(
+            rc, oc,
+            "[{label}] candidate {i} of {} diverged",
+            program.name
+        );
+        assert_eq!(
+            rcost.total_cycles.to_bits(),
+            ocost.total_cycles.to_bits(),
+            "[{label}] cost of candidate {i} of {} diverged",
+            program.name
+        );
+        assert_eq!(rcost, ocost);
+        assert_eq!(
+            rperf.latency_us.to_bits(),
+            operf.latency_us.to_bits(),
+            "[{label}] latency of candidate {i} of {} diverged",
+            program.name
+        );
+        assert_eq!(rperf, operf);
+    }
+}
+
+/// Serializes the sections that flip the process-global fast-path switch so
+/// parallel test threads in this binary never observe each other's toggles.
+static FASTPATH_LOCK: Mutex<()> = Mutex::new(());
+
+fn unique_temp_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "hexcute-conformance-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// The full toggle matrix for one (workload, arch) pair.
+fn assert_conformance(workload: &Workload, arch: &GpuArch) {
+    if !workload.supports(arch) {
+        return;
+    }
+    let program = workload.build();
+
+    // Reference: full re-evaluation, one worker, serial walk.
+    let reference = compile_config(&program, arch, false, 1, Some(0));
+
+    // Incremental, serial.
+    let inc_serial = compile_config(&program, arch, true, 1, Some(0));
+    assert_scored_equal("incremental/serial", &program, &reference, &inc_serial);
+
+    // Incremental, 4 workers, auto subtree depth (the HEXCUTE_THREADS=4
+    // configuration).
+    let inc_parallel = compile_config(&program, arch, true, 4, None);
+    assert_scored_equal("incremental/4-workers", &program, &reference, &inc_parallel);
+
+    // Reference evaluation on 4 workers (parallel scoring path).
+    let ref_parallel = compile_config(&program, arch, false, 4, None);
+    assert_scored_equal("reference/4-workers", &program, &reference, &ref_parallel);
+
+    // Fast path off: the recursive layout algebra and the element-by-element
+    // simulator (the HEXCUTE_DISABLE_FAST_PATH configuration). The switch is
+    // process-global, so hold the lock while it is flipped.
+    {
+        let _guard = FASTPATH_LOCK.lock().unwrap();
+        let was_enabled = hexcute_layout::fast_path_enabled();
+        hexcute_layout::set_fast_path(false);
+        let slow = compile_config(&program, arch, false, 1, Some(0));
+        hexcute_layout::set_fast_path(was_enabled);
+        assert_scored_equal("fast-path-off", &program, &reference, &slow);
+    }
+
+    // Cache cold vs. warm: a memory hit and a disk hit (fresh cache over the
+    // same directory) must both return the cold artifact bit for bit.
+    let dir = unique_temp_dir("matrix");
+    let cache = KernelCache::new(KernelCacheConfig {
+        dir: Some(dir.clone()),
+        ..KernelCacheConfig::default()
+    });
+    let compiler = Compiler::new(arch.clone());
+    let (cold, cold_src) = compiler.compile_with_cache(&program, &cache).unwrap();
+    assert_eq!(cold_src, hexcute_core::ArtifactSource::Synthesized);
+    let (mem, mem_src) = compiler.compile_with_cache(&program, &cache).unwrap();
+    assert_eq!(mem_src, hexcute_core::ArtifactSource::Memory);
+    assert_eq!(*mem, *cold, "memory hit differs for {}", program.name);
+    let fresh = KernelCache::new(KernelCacheConfig {
+        dir: Some(dir.clone()),
+        ..KernelCacheConfig::default()
+    });
+    let (disk, disk_src) = compiler.compile_with_cache(&program, &fresh).unwrap();
+    assert_eq!(disk_src, hexcute_core::ArtifactSource::Disk);
+    assert_eq!(*disk, *cold, "disk hit differs for {}", program.name);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Every family once (one representative instance each), on its natural
+/// architecture — the deterministic anchor of the suite.
+#[test]
+fn every_family_conforms_across_the_toggle_matrix() {
+    let a100 = GpuArch::a100();
+    let h100 = GpuArch::h100();
+    let cases: Vec<(Workload, &GpuArch)> = vec![
+        (
+            Workload::Gemm {
+                dtype: DType::F16,
+                m_tiles: 1,
+                k_tiles: 2,
+            },
+            &a100,
+        ),
+        (
+            Workload::Gemm {
+                dtype: DType::BF16,
+                m_tiles: 1,
+                k_tiles: 2,
+            },
+            &a100,
+        ),
+        (Workload::WarpGemm, &h100),
+        (Workload::Fp8Gemm, &h100),
+        (
+            Workload::Attention {
+                heads: 4,
+                seq_tiles: 2,
+                head_dim: 64,
+            },
+            &a100,
+        ),
+        (
+            Workload::Moe {
+                tokens: 4,
+                efficient: true,
+            },
+            &h100,
+        ),
+        (Workload::Mamba { batch: 4 }, &a100),
+        (
+            Workload::QuantGemm {
+                group_size: 64,
+                n: 128,
+                k: 256,
+            },
+            &h100,
+        ),
+        (
+            Workload::GroupedGemm {
+                tokens: vec![16, 0, 5, 32],
+            },
+            &h100,
+        ),
+    ];
+    for (workload, arch) in &cases {
+        assert_conformance(workload, arch);
+    }
+}
+
+/// Maps a sampled (family index, parameter draws) tuple to a workload
+/// instance — the generator of the (family × shape × dtype) dimensions.
+fn workload_from(family: usize, a: usize, b: usize, c: usize, tokens: Vec<usize>) -> Workload {
+    match family % 8 {
+        0 => Workload::Gemm {
+            dtype: [DType::F16, DType::BF16][a % 2],
+            m_tiles: 1 + b % 2,
+            k_tiles: 1 + c % 2,
+        },
+        1 => Workload::WarpGemm,
+        2 => Workload::Fp8Gemm,
+        3 => Workload::Attention {
+            heads: 1 + a % 4,
+            seq_tiles: 1 + b % 2,
+            head_dim: [64, 128][c % 2],
+        },
+        4 => Workload::Moe {
+            tokens: [2, 4, 16][a % 3],
+            efficient: b.is_multiple_of(2),
+        },
+        5 => Workload::Mamba { batch: 1 + a % 4 },
+        6 => Workload::QuantGemm {
+            // Groups below, at, and above block_k (64): the third exercises
+            // the shared-scale-column (stride-0) tile→group mapping.
+            group_size: [32, 64, 128][a % 3],
+            n: [128, 256][b % 2],
+            k: 256,
+        },
+        _ => Workload::GroupedGemm { tokens },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Randomized sweep over (family × shape × dtype × arch): the toggle
+    /// matrix must hold for every sampled instance.
+    #[test]
+    fn random_workloads_conform(
+        family in 0usize..8,
+        a in 0usize..12,
+        b in 0usize..12,
+        c in 0usize..12,
+        tokens in collection::vec(0usize..=48, 2..=6),
+        on_h100 in 0usize..2,
+    ) {
+        let workload = workload_from(family, a, b, c, tokens);
+        let arch = if on_h100 == 1 { GpuArch::h100() } else { GpuArch::a100() };
+        assert_conformance(&workload, &arch);
+    }
+}

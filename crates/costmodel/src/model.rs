@@ -356,6 +356,12 @@ impl<'a> CostModel<'a> {
                 let width = candidate.simt_widths.get(&op.id).copied().unwrap_or(1);
                 (width as f64, 4.0)
             }
+            OpKind::Dequant { .. } => {
+                // Subtract + multiply per element (lop3/fma pairs in the
+                // Marlin sequence), all within each thread's own lanes.
+                let width = candidate.simt_widths.get(&op.id).copied().unwrap_or(1);
+                (2.0 * width as f64, 4.0)
+            }
             OpKind::Reduce { src, dim, .. } => {
                 // Intra-thread accumulation plus a log-depth warp shuffle tree.
                 let width = candidate.simt_widths.get(&op.id).copied().unwrap_or(1);
@@ -484,6 +490,11 @@ pub fn op_choice_fingerprint(candidate: &Candidate, op: &Op) -> u64 {
         | OpKind::Fill { .. }
         | OpKind::Reduce { .. } => {
             mix(6);
+            mix(candidate.simt_widths.get(&op.id).copied().unwrap_or(1) as u64);
+        }
+        OpKind::Dequant { group_size, .. } => {
+            mix(7);
+            mix(*group_size as u64);
             mix(candidate.simt_widths.get(&op.id).copied().unwrap_or(1) as u64);
         }
     }

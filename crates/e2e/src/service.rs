@@ -494,6 +494,72 @@ mod tests {
     }
 
     #[test]
+    fn quant_and_grouped_families_serve_through_the_cache_bit_identically() {
+        use hexcute_kernels::grouped_gemm::{grouped_gemm, GroupedGemmConfig, GroupedGemmShape};
+        use hexcute_kernels::quant_gemm::{w4a16_gemm, QuantGemmConfig, QuantGemmShape};
+
+        let dir = unique_temp_dir("families");
+        let config = KernelCacheConfig {
+            dir: Some(dir.clone()),
+            ..KernelCacheConfig::default()
+        };
+        let quant = w4a16_gemm(
+            QuantGemmShape::new(16, 128, 256, 64),
+            QuantGemmConfig::default(),
+        )
+        .unwrap();
+        let grouped = grouped_gemm(
+            &GroupedGemmShape::uniform(8, 16, 256, 512),
+            GroupedGemmConfig::default(),
+        )
+        .unwrap();
+
+        let service =
+            CompileService::with_config(GpuArch::h100(), CompilerOptions::new(), config.clone());
+        // A batch over both families: two syntheses, duplicates coalesce.
+        let responses = service.compile_batch(vec![
+            quant.clone(),
+            grouped.clone(),
+            quant.clone(),
+            grouped.clone(),
+        ]);
+        let artifacts: Vec<_> = responses.into_iter().map(|r| r.unwrap().artifact).collect();
+        assert_eq!(service.stats().syntheses, 2);
+        assert_eq!(*artifacts[0], *artifacts[2]);
+        assert_eq!(*artifacts[1], *artifacts[3]);
+        assert_eq!(artifacts[0].kernel, "w4a16_gemm");
+        assert_eq!(artifacts[1].kernel, "grouped_gemm");
+        // The artifacts carry the new pipeline features end to end.
+        assert!(
+            artifacts[0].cuda.contains("dequant"),
+            "{}",
+            artifacts[0].cuda
+        );
+        assert!(artifacts[0]
+            .lowered
+            .iter()
+            .any(|line| line.contains("unpack")));
+
+        // Warm memory hits are bit-identical.
+        let warm = service.compile(&quant).unwrap();
+        assert_eq!(warm.served_from, ServedFrom::Memory);
+        assert_eq!(*warm.artifact, *artifacts[0]);
+
+        // A restart (fresh memory front, same directory) serves both
+        // families from disk, bit-identically, with zero syntheses.
+        let restarted =
+            CompileService::with_config(GpuArch::h100(), CompilerOptions::new(), config);
+        let disk_quant = restarted.compile(&quant).unwrap();
+        let disk_grouped = restarted.compile(&grouped).unwrap();
+        assert_eq!(disk_quant.served_from, ServedFrom::Disk);
+        assert_eq!(disk_grouped.served_from, ServedFrom::Disk);
+        assert_eq!(*disk_quant.artifact, *artifacts[0]);
+        assert_eq!(*disk_grouped.artifact, *artifacts[1]);
+        assert_eq!(restarted.stats().syntheses, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn synthesis_errors_are_not_cached() {
         // An empty program fails synthesis; the failure must propagate and a
         // subsequent request must retry (not serve a cached error).

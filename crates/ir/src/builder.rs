@@ -268,6 +268,36 @@ impl KernelBuilder {
         self.add_op(OpKind::Fill { dst, value })
     }
 
+    /// `dequant(src, scale, zero, dtype, group_size)`: creates the
+    /// dequantized destination tensor (same shape as `src`, element type
+    /// `dtype`) and the operation `dst = (src - zero) * scale`, with one
+    /// scale/zero column per `group_size` elements along dimension 1.
+    pub fn dequant(
+        &mut self,
+        src: TensorId,
+        scale: TensorId,
+        zero: Option<TensorId>,
+        dtype: DType,
+        group_size: usize,
+    ) -> TensorId {
+        let src_decl = self.tensors[src.0].clone();
+        let dst = self.add_tensor(
+            format!("{}_dq", src_decl.name),
+            dtype,
+            MemSpace::Register,
+            &src_decl.shape,
+            None,
+        );
+        self.add_op(OpKind::Dequant {
+            src,
+            scale,
+            zero,
+            dst,
+            group_size,
+        });
+        dst
+    }
+
     /// Finalizes and verifies the program.
     ///
     /// # Errors
@@ -364,6 +394,44 @@ mod tests {
         let a = bad.register_tensor("a", DType::F32, &[8, 8]);
         bad.elementwise(ElementwiseOp::Add, &[a]);
         assert!(matches!(bad.build(), Err(IrError::InvalidOperands { .. })));
+    }
+
+    #[test]
+    fn dequant_creates_the_float_output() {
+        let mut kb = KernelBuilder::new("dq", 32);
+        let w = kb.register_tensor("w", DType::I4, &[16, 64]);
+        let scale = kb.register_tensor("scale", DType::F16, &[16, 2]);
+        let zp = kb.register_tensor("zp", DType::F16, &[16, 2]);
+        let dq = kb.dequant(w, scale, Some(zp), DType::F16, 32);
+        let p = kb.build().unwrap();
+        assert_eq!(p.tensor(dq).dtype, DType::F16);
+        assert_eq!(p.tensor(dq).shape, vec![16, 64]);
+        assert_eq!(p.ops()[0].mnemonic(), "dequant");
+        assert_eq!(p.ops()[0].inputs().len(), 3);
+    }
+
+    #[test]
+    fn dequant_validates_group_shapes_and_dtypes() {
+        // Scale column count must match ceil(k / group_size) (or broadcast 1).
+        let mut kb = KernelBuilder::new("dq_bad", 32);
+        let w = kb.register_tensor("w", DType::I4, &[16, 64]);
+        let scale = kb.register_tensor("scale", DType::F16, &[16, 3]);
+        kb.dequant(w, scale, None, DType::F16, 32);
+        assert!(matches!(kb.build(), Err(IrError::InvalidOperands { .. })));
+
+        // A float source is rejected: dequant consumes quantized integers.
+        let mut kb = KernelBuilder::new("dq_float_src", 32);
+        let w = kb.register_tensor("w", DType::F16, &[16, 64]);
+        let scale = kb.register_tensor("scale", DType::F16, &[16, 2]);
+        kb.dequant(w, scale, None, DType::F16, 32);
+        assert!(kb.build().is_err());
+
+        // Odd group sizes with a tail group are fine: ceil(64 / 24) = 3.
+        let mut kb = KernelBuilder::new("dq_tail", 32);
+        let w = kb.register_tensor("w", DType::I4, &[16, 64]);
+        let scale = kb.register_tensor("scale", DType::F16, &[16, 3]);
+        kb.dequant(w, scale, None, DType::F16, 24);
+        assert!(kb.build().is_ok());
     }
 
     #[test]

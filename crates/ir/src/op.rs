@@ -145,6 +145,24 @@ pub enum OpKind {
         /// The fill value.
         value: f64,
     },
+    /// `dequant(src, scale, zero, dst)`: weight-only dequantization
+    /// `dst = (src - zero) * scale`, entirely within registers. `scale` (and
+    /// the optional `zero`) carry one column per *group* of `group_size`
+    /// elements along the K dimension (dimension 1) of `src` — the W4A16
+    /// grouped-quantization scheme of Marlin/AWQ. A trailing partial group is
+    /// served by the last scale column.
+    Dequant {
+        /// The quantized source tensor (a sub-byte or narrow integer type).
+        src: TensorId,
+        /// Per-group scales, shape `[src.shape[0], ceil(src.shape[1]/group_size)]`.
+        scale: TensorId,
+        /// Optional per-group zero points (same shape as `scale`).
+        zero: Option<TensorId>,
+        /// The dequantized output tensor (a float type, same shape as `src`).
+        dst: TensorId,
+        /// Elements along dimension 1 sharing one scale/zero column.
+        group_size: usize,
+    },
 }
 
 /// A tile-level operation together with scheduling metadata.
@@ -169,6 +187,15 @@ impl Op {
             OpKind::Elementwise { inputs, .. } => inputs.clone(),
             OpKind::Reduce { src, .. } => vec![*src],
             OpKind::Fill { .. } => vec![],
+            OpKind::Dequant {
+                src, scale, zero, ..
+            } => {
+                let mut inputs = vec![*src, *scale];
+                if let Some(z) = zero {
+                    inputs.push(*z);
+                }
+                inputs
+            }
         }
     }
 
@@ -182,6 +209,7 @@ impl Op {
             OpKind::Elementwise { output, .. } => vec![*output],
             OpKind::Reduce { dst, .. } => vec![*dst],
             OpKind::Fill { dst, .. } => vec![*dst],
+            OpKind::Dequant { dst, .. } => vec![*dst],
         }
     }
 
@@ -206,6 +234,7 @@ impl Op {
             OpKind::Elementwise { .. } => "elementwise",
             OpKind::Reduce { .. } => "reduce",
             OpKind::Fill { .. } => "fill",
+            OpKind::Dequant { .. } => "dequant",
         }
     }
 }

@@ -405,6 +405,65 @@ impl Program {
                 }
                 Ok(())
             }
+            OpKind::Dequant {
+                src,
+                scale,
+                zero,
+                dst,
+                group_size,
+            } => {
+                let (s, d) = (self.tensor(*src), self.tensor(*dst));
+                if *group_size == 0 {
+                    return invalid("dequant group size must be positive".to_string());
+                }
+                if s.space != MemSpace::Register || d.space != MemSpace::Register {
+                    return invalid("dequant operates on register tensors".to_string());
+                }
+                if !s.dtype.is_integer() {
+                    return invalid(format!(
+                        "dequant source must be an integer type, got {}",
+                        s.dtype
+                    ));
+                }
+                if !d.dtype.is_float() {
+                    return invalid(format!(
+                        "dequant output must be a float type, got {}",
+                        d.dtype
+                    ));
+                }
+                if s.shape != d.shape {
+                    return invalid("dequant preserves the tile shape".to_string());
+                }
+                let groups = s
+                    .shape
+                    .get(1)
+                    .copied()
+                    .unwrap_or(1)
+                    .div_ceil(*group_size)
+                    .max(1);
+                let mut params = vec![*scale];
+                params.extend(zero.iter().copied());
+                for &p in &params {
+                    let t = self.tensor(p);
+                    if t.space != MemSpace::Register {
+                        return invalid("dequant scales/zeros live in registers".to_string());
+                    }
+                    if !t.dtype.is_float() {
+                        return invalid("dequant scales/zeros must be float tensors".to_string());
+                    }
+                    let cols = t.shape.get(1).copied().unwrap_or(1);
+                    if t.shape.first().copied().unwrap_or(1) != s.shape[0]
+                        || (cols != groups && cols != 1)
+                    {
+                        return invalid(format!(
+                            "dequant scale/zero shape {:?} does not match [{}, {groups}] \
+                             (or broadcast [{}, 1]) for group size {group_size}",
+                            t.shape, s.shape[0], s.shape[0]
+                        ));
+                    }
+                }
+                Ok(())
+            }
         }
     }
 

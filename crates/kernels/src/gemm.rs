@@ -96,6 +96,17 @@ pub fn fp16_gemm(shape: GemmShape, config: GemmConfig) -> Result<Program, IrErro
     gemm_kernel(shape, config, DType::F16, "fp16_gemm")
 }
 
+/// The BF16 spelling of the same kernel (`mma.m16n8k16` has a BF16 variant
+/// on both modelled architectures) — the dtype dimension of the workload
+/// conformance matrix.
+///
+/// # Errors
+///
+/// Returns an error when the block tile does not divide the problem.
+pub fn bf16_gemm(shape: GemmShape, config: GemmConfig) -> Result<Program, IrError> {
+    gemm_kernel(shape, config, DType::BF16, "bf16_gemm")
+}
+
 /// Builds the Hopper warp-specialized FP16 GEMM: operands are staged in
 /// shared memory and consumed directly by warp-group MMA, with producer
 /// warps issuing TMA/`cp.async` copies.

@@ -10,7 +10,13 @@
 //! * [`moe`] — the mixed-type FP16×INT4 mixture-of-experts kernel with both
 //!   the efficient (Marlin-style) and the Triton-style dataflows (Fig. 4,
 //!   Fig. 11, Fig. 14);
-//! * [`mamba`] — the selective-scan kernel (Fig. 21, Table IV).
+//! * [`mamba`] — the selective-scan kernel (Fig. 21, Table IV);
+//! * [`mod@quant_gemm`] — the W4A16 quantized GEMM with Marlin-style
+//!   dequant-in-flight (packed-INT4 weights, grouped scales, the
+//!   first-class `dequant` operation);
+//! * [`mod@grouped_gemm`] — the fused grouped/batched GEMM: a per-expert
+//!   problem list compiled as one synthesis problem and launched as one
+//!   kernel.
 //!
 //! Every kernel is a plain [`hexcute_ir::Program`] builder: the layouts and
 //! instructions are left for the compiler to synthesize, exactly as in the
@@ -21,10 +27,16 @@
 
 pub mod attention;
 pub mod gemm;
+pub mod grouped_gemm;
 pub mod mamba;
 pub mod moe;
+pub mod quant_gemm;
 
 pub use attention::{mha_decoding, mha_forward, AttentionConfig, AttentionShape};
-pub use gemm::{fp16_gemm, fp8_blockwise_gemm, warp_specialized_gemm, GemmConfig, GemmShape};
+pub use gemm::{
+    bf16_gemm, fp16_gemm, fp8_blockwise_gemm, warp_specialized_gemm, GemmConfig, GemmShape,
+};
+pub use grouped_gemm::{grouped_gemm, GroupedGemmConfig, GroupedGemmShape};
 pub use mamba::{selective_scan, ScanConfig, ScanShape};
 pub use moe::{mixed_type_moe, MoeConfig, MoeDataflow, MoeShape};
+pub use quant_gemm::{w4a16_gemm, QuantGemmConfig, QuantGemmShape};

@@ -447,6 +447,14 @@ impl<'a> Synthesizer<'a> {
                     OpKind::Cast { src, dst } => {
                         changed |= self.propagate_equal(*src, *dst, base);
                     }
+                    OpKind::Dequant { src, dst, .. } => {
+                        // Like cast: the dequantized tensor keeps the source
+                        // distribution, so the unpack + arithmetic stay
+                        // within each thread's own lanes (no exchange). The
+                        // scale/zero tensors have their own (smaller) shapes
+                        // and are constrained by their memory copies instead.
+                        changed |= self.propagate_equal(*src, *dst, base);
+                    }
                     OpKind::Elementwise { inputs, output, .. } => {
                         changed |= self.propagate_elementwise(inputs, *output, base)?;
                     }
@@ -721,6 +729,23 @@ impl<'a> Synthesizer<'a> {
                             }
                         }
                     }
+                    CopyKind::Unpack => {
+                        // Unpack loads only apply to packed sub-byte tensors
+                        // being expanded into a register fragment (the W4A16
+                        // weight path). Like Marlin's offline weight
+                        // permutation, the *shared* layout adapts so each
+                        // thread's packed nibbles are stored consecutively;
+                        // the filter is therefore the thread's lane count,
+                        // not the fragment's tile contiguity.
+                        if dtype.is_sub_byte() {
+                            if let Some(f) = reg_layout {
+                                let elems = atom.elements_per_thread(dtype).max(1);
+                                if f.values_per_thread() >= elems {
+                                    alternatives.push((atom, elems));
+                                }
+                            }
+                        }
+                    }
                     _ => {
                         let elems = atom.elements_per_thread(dtype).max(1);
                         if elems <= max_elems && tile[vector_dim] % elems.min(tile[vector_dim]) == 0
@@ -779,6 +804,7 @@ impl<'a> Synthesizer<'a> {
                 self.options.allow_ldmatrix && !self.options.force_scalar_copies
             }
             CopyKind::CpAsync => self.options.allow_cp_async,
+            CopyKind::Unpack => self.options.allow_unpack && !self.options.force_scalar_copies,
             CopyKind::Tma => self.options.allow_tma && !self.options.force_scalar_copies,
             _ => true,
         }
@@ -857,6 +883,7 @@ impl<'a> Synthesizer<'a> {
                 | OpKind::Reduce { dst, .. }
                 | OpKind::Fill { dst, .. }
                 | OpKind::Rearrange { dst, .. }
+                | OpKind::Dequant { dst, .. }
                 | OpKind::Elementwise { output: dst, .. } => {
                     let width = candidate
                         .tv_layouts
@@ -881,8 +908,11 @@ fn copy_kind_rank(atom: &CopyAtom) -> usize {
         CopyKind::LdMatrix { .. } => 0,
         CopyKind::CpAsync => 1,
         CopyKind::Tma => 2,
-        CopyKind::Vector => 3,
-        CopyKind::Scalar => 4,
+        // For packed sub-byte tensors the unpack load wins width ties against
+        // the plain vector load: it feeds the dequant arithmetic directly.
+        CopyKind::Unpack => 3,
+        CopyKind::Vector => 4,
+        CopyKind::Scalar => 5,
     }
 }
 

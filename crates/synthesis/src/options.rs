@@ -8,6 +8,10 @@ pub struct SynthesisOptions {
     pub allow_ldmatrix: bool,
     /// Allow `cp.async` for global→shared copies.
     pub allow_cp_async: bool,
+    /// Allow unpack loads (vectorized shared→register loads of packed
+    /// sub-byte elements with an in-register unpack) for quantized weight
+    /// tensors — the Marlin dequant-in-flight path.
+    pub allow_unpack: bool,
     /// Allow TMA bulk copies on architectures that support it.
     pub allow_tma: bool,
     /// Allow warp-group MMA (`wgmma`) on architectures that support it.
@@ -56,6 +60,7 @@ impl Default for SynthesisOptions {
         SynthesisOptions {
             allow_ldmatrix: true,
             allow_cp_async: true,
+            allow_unpack: true,
             allow_tma: true,
             allow_wgmma: true,
             max_candidates: 128,
@@ -100,6 +105,7 @@ impl SynthesisOptions {
         use std::hash::Hash;
         self.allow_ldmatrix.hash(state);
         self.allow_cp_async.hash(state);
+        self.allow_unpack.hash(state);
         self.allow_tma.hash(state);
         self.allow_wgmma.hash(state);
         self.max_candidates.hash(state);
