@@ -61,6 +61,7 @@ use hexcute_ir::Program;
 use hexcute_parallel::cache::{CacheStats, ShardedMap};
 
 use crate::compiler::{CompiledKernel, CompilerOptions};
+use crate::faults::{self, FaultInjector, FaultKind};
 use crate::json::{JsonError, JsonValue};
 
 /// Version tag written into every artifact file. Bump it whenever the
@@ -682,6 +683,12 @@ pub struct KernelCacheConfig {
     /// file modification time on disk — are treated as stale (disk files are
     /// deleted) and re-synthesized. `None` disables expiry.
     pub ttl: Option<Duration>,
+    /// Consecutive disk-write failures that trip the circuit breaker into
+    /// memory-only mode. `0` disables the breaker.
+    pub breaker_threshold: usize,
+    /// While the breaker is open, one probe write per interval tests whether
+    /// the disk tier has recovered; a successful probe closes the breaker.
+    pub breaker_probe_interval: Duration,
 }
 
 impl Default for KernelCacheConfig {
@@ -691,6 +698,8 @@ impl Default for KernelCacheConfig {
             memory_capacity: 256,
             disk_capacity: 1024,
             ttl: None,
+            breaker_threshold: 8,
+            breaker_probe_interval: Duration::from_millis(500),
         }
     }
 }
@@ -704,6 +713,8 @@ impl KernelCacheConfig {
     /// | `HEXCUTE_CACHE_CAPACITY` | in-memory artifact bound | 256 |
     /// | `HEXCUTE_CACHE_DISK_CAPACITY` | max artifact files on disk | 1024 |
     /// | `HEXCUTE_CACHE_TTL_SECS` | artifact time-to-live in seconds (`0` = everything is immediately stale) | unset → no expiry |
+    /// | `HEXCUTE_CACHE_BREAKER_THRESHOLD` | consecutive write failures tripping memory-only mode (`0` = never) | 8 |
+    /// | `HEXCUTE_CACHE_BREAKER_PROBE_MS` | milliseconds between recovery probes while tripped | 500 |
     ///
     /// Unparsable numeric values fall back to the defaults.
     pub fn from_env() -> Self {
@@ -722,6 +733,113 @@ impl KernelCacheConfig {
                 .ok()
                 .and_then(|v| v.trim().parse::<u64>().ok())
                 .map(Duration::from_secs),
+            breaker_threshold: parse(
+                "HEXCUTE_CACHE_BREAKER_THRESHOLD",
+                defaults.breaker_threshold,
+            ),
+            breaker_probe_interval: std::env::var("HEXCUTE_CACHE_BREAKER_PROBE_MS")
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .map(Duration::from_millis)
+                .unwrap_or(defaults.breaker_probe_interval),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The disk-tier circuit breaker.
+// ---------------------------------------------------------------------------
+
+/// What the breaker allows a disk write to do right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerDecision {
+    /// Breaker closed: writes proceed normally.
+    Closed,
+    /// Breaker open, probe interval elapsed: this one write may test the
+    /// disk tier; its outcome closes or re-arms the breaker.
+    Probe,
+    /// Breaker open: skip the disk tier (memory-only mode).
+    Skip,
+}
+
+#[derive(Debug)]
+struct BreakerState {
+    consecutive_failures: usize,
+    open: bool,
+    last_probe: Option<Instant>,
+}
+
+/// A consecutive-failure circuit breaker over the disk store. Writes drive
+/// it: `threshold` failures in a row open it (the cache degrades to
+/// memory-only), after which one probe write per `probe_interval` tests for
+/// recovery; any successful write closes it again.
+#[derive(Debug)]
+struct Breaker {
+    threshold: usize,
+    probe_interval: Duration,
+    state: std::sync::Mutex<BreakerState>,
+    trips: AtomicU64,
+    recoveries: AtomicU64,
+}
+
+impl Breaker {
+    fn new(threshold: usize, probe_interval: Duration) -> Self {
+        Breaker {
+            threshold,
+            probe_interval,
+            state: std::sync::Mutex::new(BreakerState {
+                consecutive_failures: 0,
+                open: false,
+                last_probe: None,
+            }),
+            trips: AtomicU64::new(0),
+            recoveries: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BreakerState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn is_open(&self) -> bool {
+        self.lock().open
+    }
+
+    fn decide(&self) -> BreakerDecision {
+        let mut s = self.lock();
+        if !s.open {
+            return BreakerDecision::Closed;
+        }
+        let now = Instant::now();
+        match s.last_probe {
+            Some(t) if now.duration_since(t) < self.probe_interval => BreakerDecision::Skip,
+            _ => {
+                s.last_probe = Some(now);
+                BreakerDecision::Probe
+            }
+        }
+    }
+
+    fn success(&self) {
+        let mut s = self.lock();
+        s.consecutive_failures = 0;
+        if s.open {
+            s.open = false;
+            s.last_probe = None;
+            self.recoveries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn failure(&self) {
+        if self.threshold == 0 {
+            return;
+        }
+        let mut s = self.lock();
+        s.consecutive_failures += 1;
+        if !s.open && s.consecutive_failures >= self.threshold {
+            s.open = true;
+            s.last_probe = Some(Instant::now());
+            self.trips.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -750,6 +868,22 @@ pub struct KernelCacheStats {
     pub file_evictions: u64,
     /// Artifact files currently on disk (0 for memory-only caches).
     pub disk_entries: usize,
+    /// Defective files renamed aside (`.quarantined`) for post-mortem
+    /// inspection instead of being served.
+    pub quarantined: u64,
+    /// Disk writes that failed (I/O error or injected fault).
+    pub write_failures: u64,
+    /// Atomic-rename races lost to a concurrent writer of the same artifact
+    /// (benign: the other writer's bit-identical file stands).
+    pub rename_races: u64,
+    /// Disk operations skipped because the circuit breaker was open.
+    pub breaker_skips: u64,
+    /// Times the breaker tripped into memory-only mode.
+    pub breaker_trips: u64,
+    /// Times a probe write closed the breaker again.
+    pub breaker_recoveries: u64,
+    /// Whether the breaker is open right now (disk tier bypassed).
+    pub breaker_open: bool,
 }
 
 impl fmt::Display for KernelCacheStats {
@@ -757,7 +891,9 @@ impl fmt::Display for KernelCacheStats {
         write!(
             f,
             "memory: {}; disk: {} hits / {} misses, {} stored, {} resident, \
-             {} corrupt, {} stale-version, {} expired, {} pruned",
+             {} corrupt, {} stale-version, {} expired, {} pruned, \
+             {} quarantined, {} write-failures, {} rename-races; \
+             breaker: {} ({} trips, {} recoveries, {} skips)",
             self.memory,
             self.disk_hits,
             self.disk_misses,
@@ -766,7 +902,14 @@ impl fmt::Display for KernelCacheStats {
             self.corrupt,
             self.stale_version,
             self.expired,
-            self.file_evictions
+            self.file_evictions,
+            self.quarantined,
+            self.write_failures,
+            self.rename_races,
+            if self.breaker_open { "open" } else { "closed" },
+            self.breaker_trips,
+            self.breaker_recoveries,
+            self.breaker_skips
         )
     }
 }
@@ -775,17 +918,23 @@ impl fmt::Display for KernelCacheStats {
 /// [`ShardedMap`] front.
 ///
 /// Lookups go memory → disk → miss; a disk hit is promoted into memory.
-/// Artifacts are written atomically (temp file + rename), so a concurrent
-/// reader never observes a partial file, and every defect a reader *can*
-/// observe (corruption, version drift, expiry) is rejected, deleted and
-/// counted instead of surfacing as an error — the caller just re-synthesizes.
-/// See the [module docs](self) for a usage example.
+/// Artifacts are written crash-consistently (temp file, fsync, atomic
+/// rename), so a concurrent reader never observes a partial file even across
+/// power loss, and every defect a reader *can* observe (corruption, version
+/// drift, expiry) is rejected and counted instead of surfacing as an error —
+/// corrupt files are quarantined (renamed aside for post-mortem inspection)
+/// and the caller just re-synthesizes. Persistent write failure trips a
+/// circuit breaker into memory-only mode with probe-based recovery, and
+/// a [`FaultInjector`] can be threaded through every disk path for chaos
+/// testing. See the [module docs](self) for a usage example.
 #[derive(Debug)]
 pub struct KernelCache {
     config: KernelCacheConfig,
     /// Each resident artifact carries its insertion instant so the TTL
     /// applies to the memory front too, not just the disk files.
     memory: ShardedMap<u64, (Arc<KernelArtifact>, Instant)>,
+    faults: Option<Arc<FaultInjector>>,
+    breaker: Breaker,
     disk_hits: AtomicU64,
     disk_misses: AtomicU64,
     corrupt: AtomicU64,
@@ -793,16 +942,31 @@ pub struct KernelCache {
     expired: AtomicU64,
     stores: AtomicU64,
     file_evictions: AtomicU64,
+    quarantined: AtomicU64,
+    write_failures: AtomicU64,
+    rename_races: AtomicU64,
+    breaker_skips: AtomicU64,
 }
 
 impl KernelCache {
     /// Creates a cache with the given configuration. The cache directory is
-    /// created lazily on first store.
+    /// created lazily on first store. Fault injection follows the global
+    /// `HEXCUTE_FAULTS` injector ([`faults::global`]); use
+    /// [`KernelCache::with_faults`] to inject a schedule in-process.
     pub fn new(config: KernelCacheConfig) -> Self {
+        Self::with_faults(config, faults::global().cloned())
+    }
+
+    /// Creates a cache with an explicit fault injector (or `None` for a
+    /// fault-free cache regardless of the environment).
+    pub fn with_faults(config: KernelCacheConfig, faults: Option<Arc<FaultInjector>>) -> Self {
         let memory = ShardedMap::bounded(config.memory_capacity.max(1));
+        let breaker = Breaker::new(config.breaker_threshold, config.breaker_probe_interval);
         KernelCache {
             config,
             memory,
+            faults,
+            breaker,
             disk_hits: AtomicU64::new(0),
             disk_misses: AtomicU64::new(0),
             corrupt: AtomicU64::new(0),
@@ -810,6 +974,10 @@ impl KernelCache {
             expired: AtomicU64::new(0),
             stores: AtomicU64::new(0),
             file_evictions: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            write_failures: AtomicU64::new(0),
+            rename_races: AtomicU64::new(0),
+            breaker_skips: AtomicU64::new(0),
         }
     }
 
@@ -851,6 +1019,12 @@ impl KernelCache {
             }
         }
         let path = self.artifact_path(fingerprint)?;
+        if self.breaker.is_open() {
+            // Memory-only mode: the disk tier is misbehaving, don't touch it
+            // on the read path (probes happen on writes).
+            self.breaker_skips.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
         match self.load(&path, fingerprint) {
             Some(artifact) => {
                 self.disk_hits.fetch_add(1, Ordering::Relaxed);
@@ -878,33 +1052,63 @@ impl KernelCache {
                 return None;
             }
         }
-        let text = std::fs::read_to_string(path).ok()?;
-        match KernelArtifact::from_json(&text) {
+        if let Some(f) = &self.faults {
+            f.io_delay();
+        }
+        let mut text = std::fs::read_to_string(path).ok()?;
+        let parsed = match &self.faults {
+            Some(f) if f.should(FaultKind::DiskReadCorrupt) => {
+                text = f.corrupt_text(&text);
+                KernelArtifact::from_json(&text)
+            }
+            Some(f) if f.should(FaultKind::StaleVersion) => Err(ArtifactError::Version {
+                found: ARTIFACT_VERSION + 1,
+            }),
+            _ => KernelArtifact::from_json(&text),
+        };
+        match parsed {
             Ok(artifact) if artifact.fingerprint == fingerprint => Some(artifact),
             Ok(_) => {
                 // A file whose content disagrees with its name: treat as
                 // corruption (e.g. a hand-copied or bit-flipped file).
                 self.corrupt.fetch_add(1, Ordering::Relaxed);
-                let _ = std::fs::remove_file(path);
+                self.quarantine(path);
                 None
             }
             Err(ArtifactError::Version { .. }) => {
+                // Version drift is expected across upgrades, not worth a
+                // post-mortem: delete rather than quarantine.
                 self.stale_version.fetch_add(1, Ordering::Relaxed);
                 let _ = std::fs::remove_file(path);
                 None
             }
             Err(_) => {
                 self.corrupt.fetch_add(1, Ordering::Relaxed);
-                let _ = std::fs::remove_file(path);
+                self.quarantine(path);
                 None
             }
         }
     }
 
+    /// Moves a defective artifact file aside as `<fingerprint>.quarantined`
+    /// so it can never be served again but survives for inspection. Falls
+    /// back to deletion if the rename fails; either way the `.json` name is
+    /// free for the re-synthesized replacement.
+    fn quarantine(&self, path: &Path) {
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        let aside = path.with_extension("quarantined");
+        if std::fs::rename(path, &aside).is_err() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
     /// Inserts an artifact into the memory front and (when a directory is
-    /// configured) the disk store. Disk writes are atomic — temp file then
-    /// rename — and filesystem failures degrade to a memory-only insert
-    /// rather than an error: the cache is an accelerator, not a dependency.
+    /// configured) the disk store. Disk writes are crash-consistent — temp
+    /// file, fsync, atomic rename — and filesystem failures degrade to a
+    /// memory-only insert rather than an error: the cache is an accelerator,
+    /// not a dependency. Enough consecutive write failures trip the circuit
+    /// breaker, after which the disk tier is skipped entirely except for one
+    /// probe write per probe interval.
     pub fn insert(&self, artifact: Arc<KernelArtifact>) {
         let fingerprint = artifact.fingerprint;
         self.memory
@@ -912,18 +1116,75 @@ impl KernelCache {
         let Some(path) = self.artifact_path(fingerprint) else {
             return;
         };
-        let dir = path.parent().expect("artifact path has a parent");
-        if std::fs::create_dir_all(dir).is_err() {
+        if self.breaker.decide() == BreakerDecision::Skip {
+            self.breaker_skips.fetch_add(1, Ordering::Relaxed);
             return;
         }
-        let tmp = dir.join(format!("{fingerprint:016x}.tmp-{}", std::process::id()));
-        if std::fs::write(&tmp, artifact.to_json()).is_ok() && std::fs::rename(&tmp, &path).is_ok()
-        {
-            self.stores.fetch_add(1, Ordering::Relaxed);
-            self.prune(dir);
-        } else {
-            let _ = std::fs::remove_file(&tmp);
+        let dir = path.parent().expect("artifact path has a parent");
+        if std::fs::create_dir_all(dir).is_err() {
+            self.write_failures.fetch_add(1, Ordering::Relaxed);
+            self.breaker.failure();
+            return;
         }
+        // The counter keeps concurrent writers of the *same* fingerprint in
+        // one process from sharing a temp file.
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = dir.join(format!(
+            "{fingerprint:016x}.tmp-{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        if let Some(f) = &self.faults {
+            f.io_delay();
+        }
+        let json = artifact.to_json();
+        let injected_fail = self
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.should(FaultKind::DiskWriteFail));
+        let written = if injected_fail {
+            // Simulate ENOSPC mid-write: leave a truncated temp file behind,
+            // then report failure. The rename never happens, so readers
+            // never see the partial content.
+            let _ = std::fs::write(&tmp, &json[..json.len() / 2]);
+            false
+        } else {
+            Self::write_durable(&tmp, json.as_bytes()).is_ok()
+        };
+        if !written {
+            self.write_failures.fetch_add(1, Ordering::Relaxed);
+            self.breaker.failure();
+            let _ = std::fs::remove_file(&tmp);
+            return;
+        }
+        match std::fs::rename(&tmp, &path) {
+            Ok(()) => {
+                self.stores.fetch_add(1, Ordering::Relaxed);
+                self.breaker.success();
+                self.prune(dir);
+            }
+            Err(_) if path.exists() => {
+                // Lost an atomic-rename race: a concurrent writer landed its
+                // (bit-identical) file first. Benign — count and move on.
+                self.rename_races.fetch_add(1, Ordering::Relaxed);
+                self.breaker.success();
+                let _ = std::fs::remove_file(&tmp);
+            }
+            Err(_) => {
+                self.write_failures.fetch_add(1, Ordering::Relaxed);
+                self.breaker.failure();
+                let _ = std::fs::remove_file(&tmp);
+            }
+        }
+    }
+
+    /// Writes `bytes` and fsyncs before returning, so the subsequent rename
+    /// never publishes a file whose content could still be lost to a crash.
+    fn write_durable(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        use std::io::Write;
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(bytes)?;
+        file.sync_all()
     }
 
     /// Enforces the disk-capacity bound by deleting the oldest artifact
@@ -945,11 +1206,13 @@ impl KernelCache {
             } else if path
                 .file_name()
                 .and_then(|n| n.to_str())
-                .is_some_and(|n| n.contains(".tmp-"))
+                .is_some_and(|n| n.contains(".tmp-") || n.ends_with(".quarantined"))
                 && SystemTime::now()
                     .duration_since(modified)
                     .is_ok_and(|age| age >= Duration::from_secs(60))
             {
+                // Orphaned temp files and inspected quarantine debris: both
+                // are invisible to lookups; sweep once they are stale.
                 let _ = std::fs::remove_file(&path);
             }
         }
@@ -992,6 +1255,13 @@ impl KernelCache {
             stores: self.stores.load(Ordering::Relaxed),
             file_evictions: self.file_evictions.load(Ordering::Relaxed),
             disk_entries: self.disk_entries(),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            write_failures: self.write_failures.load(Ordering::Relaxed),
+            rename_races: self.rename_races.load(Ordering::Relaxed),
+            breaker_skips: self.breaker_skips.load(Ordering::Relaxed),
+            breaker_trips: self.breaker.trips.load(Ordering::Relaxed),
+            breaker_recoveries: self.breaker.recoveries.load(Ordering::Relaxed),
+            breaker_open: self.breaker.is_open(),
         }
     }
 }

@@ -96,17 +96,55 @@ impl CompiledKernel {
     }
 }
 
-/// Errors produced by compilation.
+/// Errors produced by compilation and by the serving layer on top of it.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CompileError {
     /// Layout synthesis failed.
     Synthesis(SynthesisError),
+    /// The serving layer shed this request: its admission queue was full.
+    Overloaded {
+        /// Requests already waiting for an admission slot.
+        queued: usize,
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The request's deadline elapsed while it was queued or while it
+    /// waited on a coalesced in-flight synthesis.
+    DeadlineExceeded {
+        /// How long the request had been waiting when it gave up.
+        elapsed: std::time::Duration,
+    },
+    /// The synthesis panicked (a worker-job crash, possibly injected). The
+    /// kernel itself may be fine — this error is transient and retryable.
+    Panicked(String),
+}
+
+impl CompileError {
+    /// Whether a retry of the same request could plausibly succeed.
+    /// Synthesis failures are deterministic and overload/deadline outcomes
+    /// are the caller's backpressure signal; only a panicked synthesis — a
+    /// crashed worker, not a property of the program — is worth retrying.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, CompileError::Panicked(_))
+    }
 }
 
 impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CompileError::Synthesis(e) => write!(f, "layout synthesis failed: {e}"),
+            CompileError::Overloaded { queued, capacity } => write!(
+                f,
+                "request shed: admission queue full ({queued} waiting, capacity {capacity})"
+            ),
+            CompileError::DeadlineExceeded { elapsed } => {
+                write!(
+                    f,
+                    "deadline exceeded after {:.1}ms",
+                    elapsed.as_secs_f64() * 1e3
+                )
+            }
+            CompileError::Panicked(msg) => write!(f, "synthesis panicked: {msg}"),
         }
     }
 }

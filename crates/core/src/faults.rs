@@ -1,0 +1,486 @@
+//! Deterministic, seedable fault injection for chaos testing.
+//!
+//! Production serving systems are validated by injecting the failures they
+//! claim to survive — disk corruption, failed writes, stale cache schemas,
+//! slow I/O, crashing workers — and asserting the system degrades instead of
+//! corrupting results. This module is the injection substrate: a
+//! [`FaultInjector`] draws a deterministic pseudo-random stream per fault
+//! kind from a seed, so any chaos run can be replayed exactly by rerunning
+//! with the same [`FaultSpec`].
+//!
+//! The spec is a comma-separated `key=value` string (the `HEXCUTE_FAULTS`
+//! environment variable), e.g.:
+//!
+//! ```text
+//! HEXCUTE_FAULTS=disk_read_corrupt=0.05,write_fail=0.02,seed=42
+//! ```
+//!
+//! | Key | Value | Injected failure |
+//! |---|---|---|
+//! | `disk_read_corrupt` | probability | artifact file content corrupted on read |
+//! | `disk_write_fail` / `write_fail` | probability | artifact store fails mid-write (ENOSPC-style) |
+//! | `stale_version` | probability | artifact file rewritten with a wrong [`ARTIFACT_VERSION`] |
+//! | `synth_panic` | probability | an in-flight synthesis panics |
+//! | `worker_panic` | probability | a pool worker panics while running one job item |
+//! | `worker_death` | probability | a pool worker thread dies before claiming a job |
+//! | `io_delay_us` | microseconds | artificial latency added to each disk access |
+//! | `seed` | u64 | the replay seed (default 0) |
+//!
+//! Probabilities are clamped to `[0, 1]`. Unknown keys are an error so typos
+//! fail loudly. When `HEXCUTE_FAULTS` is unset, [`global()`] is `None` and
+//! every injection site reduces to one relaxed atomic load (or, in the pool,
+//! a process-global flag check) — the injector is compiled in but inert.
+//!
+//! Consumers: `hexcute_core::cache` threads an injector through its disk
+//! tier, `hexcute-e2e`'s `CompileService` uses `synth_panic`, and
+//! [`install_pool_hook`] wires `worker_panic`/`worker_death` into the
+//! `hexcute_parallel` worker pool.
+//!
+//! [`ARTIFACT_VERSION`]: crate::cache::ARTIFACT_VERSION
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use hexcute_parallel::{set_pool_fault_hook, PoolFaultPoint};
+
+/// The failure classes the injector can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Artifact file content is corrupted when read from disk.
+    DiskReadCorrupt,
+    /// An artifact store fails mid-write (ENOSPC-style partial write).
+    DiskWriteFail,
+    /// An artifact file carries a wrong schema version.
+    StaleVersion,
+    /// An in-flight synthesis panics.
+    SynthPanic,
+    /// A pool worker panics while running a job item.
+    WorkerPanic,
+    /// A pool worker thread dies before claiming a job.
+    WorkerDeath,
+}
+
+/// All fault kinds, indexable by `FaultKind as usize`.
+pub const FAULT_KINDS: [FaultKind; 6] = [
+    FaultKind::DiskReadCorrupt,
+    FaultKind::DiskWriteFail,
+    FaultKind::StaleVersion,
+    FaultKind::SynthPanic,
+    FaultKind::WorkerPanic,
+    FaultKind::WorkerDeath,
+];
+
+impl FaultKind {
+    /// The canonical spec-string key.
+    pub fn key(self) -> &'static str {
+        match self {
+            FaultKind::DiskReadCorrupt => "disk_read_corrupt",
+            FaultKind::DiskWriteFail => "disk_write_fail",
+            FaultKind::StaleVersion => "stale_version",
+            FaultKind::SynthPanic => "synth_panic",
+            FaultKind::WorkerPanic => "worker_panic",
+            FaultKind::WorkerDeath => "worker_death",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// A malformed fault-spec string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpecError(pub String);
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid fault spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+/// A parsed fault schedule: per-kind probabilities, I/O latency and the
+/// replay seed. See the [module docs](self) for the grammar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Per-kind injection probability, indexed by `FaultKind as usize`.
+    pub rates: [f64; FAULT_KINDS.len()],
+    /// Artificial latency added to each disk access.
+    pub io_delay: Duration,
+    /// Seed of the deterministic draw streams.
+    pub seed: u64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            rates: [0.0; FAULT_KINDS.len()],
+            io_delay: Duration::ZERO,
+            seed: 0,
+        }
+    }
+}
+
+impl FaultSpec {
+    /// The injection probability for one fault kind.
+    pub fn rate(&self, kind: FaultKind) -> f64 {
+        self.rates[kind as usize]
+    }
+
+    /// Sets one kind's probability (clamped to `[0, 1]`); builder-style.
+    pub fn with_rate(mut self, kind: FaultKind, rate: f64) -> Self {
+        self.rates[kind as usize] = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the replay seed; builder-style.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Parses a `key=value,...` spec string (the `HEXCUTE_FAULTS` grammar).
+    ///
+    /// # Errors
+    ///
+    /// [`FaultSpecError`] on unknown keys, missing `=`, or unparsable
+    /// values — chaos configurations must fail loudly, not silently no-op.
+    pub fn parse(text: &str) -> Result<Self, FaultSpecError> {
+        let mut spec = FaultSpec::default();
+        for part in text.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| FaultSpecError(format!("`{part}` is not key=value")))?;
+            let (key, value) = (key.trim(), value.trim());
+            let rate = || {
+                value
+                    .parse::<f64>()
+                    .map(|r| r.clamp(0.0, 1.0))
+                    .map_err(|_| {
+                        FaultSpecError(format!("`{key}` needs a probability, got `{value}`"))
+                    })
+            };
+            match key {
+                "disk_read_corrupt" | "read_corrupt" => {
+                    spec.rates[FaultKind::DiskReadCorrupt as usize] = rate()?
+                }
+                "disk_write_fail" | "write_fail" => {
+                    spec.rates[FaultKind::DiskWriteFail as usize] = rate()?
+                }
+                "stale_version" => spec.rates[FaultKind::StaleVersion as usize] = rate()?,
+                "synth_panic" => spec.rates[FaultKind::SynthPanic as usize] = rate()?,
+                "worker_panic" => spec.rates[FaultKind::WorkerPanic as usize] = rate()?,
+                "worker_death" => spec.rates[FaultKind::WorkerDeath as usize] = rate()?,
+                "io_delay_us" => {
+                    spec.io_delay = Duration::from_micros(value.parse::<u64>().map_err(|_| {
+                        FaultSpecError(format!("`io_delay_us` needs microseconds, got `{value}`"))
+                    })?)
+                }
+                "seed" => {
+                    spec.seed = value
+                        .parse::<u64>()
+                        .map_err(|_| FaultSpecError(format!("`seed` needs a u64, got `{value}`")))?
+                }
+                _ => return Err(FaultSpecError(format!("unknown key `{key}`"))),
+            }
+        }
+        Ok(spec)
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        let mut sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            if !first {
+                f.write_str(",")?;
+            }
+            first = false;
+            Ok(())
+        };
+        for kind in FAULT_KINDS {
+            if self.rate(kind) > 0.0 {
+                sep(f)?;
+                write!(f, "{}={}", kind.key(), self.rate(kind))?;
+            }
+        }
+        if !self.io_delay.is_zero() {
+            sep(f)?;
+            write!(f, "io_delay_us={}", self.io_delay.as_micros())?;
+        }
+        sep(f)?;
+        write!(f, "seed={}", self.seed)
+    }
+}
+
+/// SplitMix64 finalizer: a well-mixed 64-bit hash of its input.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic fault source for one chaos run.
+///
+/// Each fault kind has its own draw counter: the `n`-th query for a kind
+/// fires iff `hash(seed, kind, n) < rate`, so whether one site fires never
+/// depends on how many *other* sites were queried — schedules stay replayable
+/// even when thread interleavings differ. Per-kind injected-event counters
+/// make every chaos run auditable.
+#[derive(Debug)]
+pub struct FaultInjector {
+    spec: FaultSpec,
+    enabled: AtomicBool,
+    draws: [AtomicU64; FAULT_KINDS.len()],
+    injected: [AtomicU64; FAULT_KINDS.len()],
+}
+
+impl FaultInjector {
+    /// Creates an injector for the given schedule.
+    pub fn new(spec: FaultSpec) -> Arc<Self> {
+        Arc::new(FaultInjector {
+            spec,
+            enabled: AtomicBool::new(true),
+            draws: Default::default(),
+            injected: Default::default(),
+        })
+    }
+
+    /// The schedule this injector replays.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// Turns injection on or off without losing draw positions — tests use
+    /// this to "heal" the system mid-run and assert recovery.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Release);
+    }
+
+    /// Whether the next query for `kind` injects a fault. Deterministic in
+    /// (seed, kind, per-kind draw index); counts the event when it fires.
+    pub fn should(&self, kind: FaultKind) -> bool {
+        let rate = self.spec.rate(kind);
+        if rate <= 0.0 || !self.enabled.load(Ordering::Acquire) {
+            return false;
+        }
+        let idx = kind as usize;
+        let draw = self.draws[idx].fetch_add(1, Ordering::Relaxed);
+        let bits = mix(self
+            .spec
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((idx as u64 + 1).wrapping_mul(0xA24B_AED4_963E_E407))
+            .wrapping_add(draw));
+        let unit = (bits >> 11) as f64 / (1u64 << 53) as f64;
+        let fires = unit < rate;
+        if fires {
+            self.injected[idx].fetch_add(1, Ordering::Relaxed);
+        }
+        fires
+    }
+
+    /// Number of injected events of one kind so far.
+    pub fn injected(&self, kind: FaultKind) -> u64 {
+        self.injected[kind as usize].load(Ordering::Relaxed)
+    }
+
+    /// Total injected events across all kinds.
+    pub fn injected_total(&self) -> u64 {
+        self.injected
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Corrupts artifact text the way a torn read / bad sector would:
+    /// truncation to half length (an artifact file is one JSON object, so
+    /// the lost closing brace guarantees the result no longer parses).
+    pub fn corrupt_text(&self, text: &str) -> String {
+        let cut = text.len() / 2;
+        let mut cut = cut.min(text.len());
+        while cut > 0 && !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        text[..cut].to_string()
+    }
+
+    /// Sleeps for the schedule's artificial I/O latency (no-op when zero or
+    /// disabled). Called once per disk access by the cache.
+    pub fn io_delay(&self) {
+        if !self.spec.io_delay.is_zero() && self.enabled.load(Ordering::Acquire) {
+            std::thread::sleep(self.spec.io_delay);
+        }
+    }
+}
+
+/// The process-global injector parsed from `HEXCUTE_FAULTS`, or `None` when
+/// the variable is unset (the common, zero-overhead case). A malformed spec
+/// warns once on stderr and disables injection rather than aborting.
+pub fn global() -> Option<&'static Arc<FaultInjector>> {
+    static GLOBAL: OnceLock<Option<Arc<FaultInjector>>> = OnceLock::new();
+    GLOBAL
+        .get_or_init(|| match std::env::var("HEXCUTE_FAULTS") {
+            Ok(text) => match FaultSpec::parse(&text) {
+                Ok(spec) => Some(FaultInjector::new(spec)),
+                Err(e) => {
+                    eprintln!("hexcute: ignoring HEXCUTE_FAULTS: {e}");
+                    None
+                }
+            },
+            Err(_) => None,
+        })
+        .as_ref()
+}
+
+/// Wires `worker_panic` / `worker_death` into the `hexcute_parallel` worker
+/// pool. The hook holds a clone of the injector; [`clear_pool_hook`] (or
+/// installing another) releases it. When the injector's schedule has zero
+/// rates for both kinds this is a no-op, keeping the pool's fast path free.
+pub fn install_pool_hook(injector: &Arc<FaultInjector>) {
+    if injector.spec.rate(FaultKind::WorkerPanic) <= 0.0
+        && injector.spec.rate(FaultKind::WorkerDeath) <= 0.0
+    {
+        return;
+    }
+    let injector = injector.clone();
+    set_pool_fault_hook(Some(Arc::new(move |point| match point {
+        PoolFaultPoint::JobItem => injector.should(FaultKind::WorkerPanic),
+        PoolFaultPoint::WorkerClaim => injector.should(FaultKind::WorkerDeath),
+    })));
+}
+
+/// Removes any installed pool fault hook.
+pub fn clear_pool_hook() {
+    set_pool_fault_hook(None);
+}
+
+/// Installs the pool hook for the global `HEXCUTE_FAULTS` injector, if any.
+/// Idempotent; called by the serving layer on construction.
+pub fn install_global_pool_hook() {
+    if let Some(injector) = global() {
+        install_pool_hook(injector);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_the_issue_example() {
+        let spec = FaultSpec::parse("disk_read_corrupt=0.05,write_fail=0.02,seed=42").unwrap();
+        assert_eq!(spec.rate(FaultKind::DiskReadCorrupt), 0.05);
+        assert_eq!(spec.rate(FaultKind::DiskWriteFail), 0.02);
+        assert_eq!(spec.rate(FaultKind::SynthPanic), 0.0);
+        assert_eq!(spec.seed, 42);
+        let reparsed = FaultSpec::parse(&spec.to_string()).unwrap();
+        assert_eq!(spec, reparsed);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_loudly() {
+        assert!(FaultSpec::parse("disk_read_corrupt").is_err());
+        assert!(FaultSpec::parse("no_such_fault=0.5").is_err());
+        assert!(FaultSpec::parse("seed=abc").is_err());
+        assert!(FaultSpec::parse("worker_panic=maybe").is_err());
+        // Empty parts and whitespace are tolerated.
+        let spec = FaultSpec::parse(" io_delay_us=250 , , seed=7 ").unwrap();
+        assert_eq!(spec.io_delay, Duration::from_micros(250));
+        assert_eq!(spec.seed, 7);
+    }
+
+    #[test]
+    fn rates_clamp_to_unit_interval() {
+        let spec = FaultSpec::parse("synth_panic=3.5,worker_death=-1").unwrap();
+        assert_eq!(spec.rate(FaultKind::SynthPanic), 1.0);
+        assert_eq!(spec.rate(FaultKind::WorkerDeath), 0.0);
+    }
+
+    #[test]
+    fn draws_are_deterministic_per_seed_and_kind() {
+        let spec = FaultSpec::default()
+            .with_rate(FaultKind::DiskReadCorrupt, 0.3)
+            .with_rate(FaultKind::DiskWriteFail, 0.3)
+            .with_seed(42);
+        let a = FaultInjector::new(spec.clone());
+        let b = FaultInjector::new(spec.clone());
+        let stream_a: Vec<bool> = (0..256)
+            .map(|_| a.should(FaultKind::DiskReadCorrupt))
+            .collect();
+        // Interleave queries of another kind on `b`: the per-kind streams
+        // must not shift.
+        let stream_b: Vec<bool> = (0..256)
+            .map(|_| {
+                b.should(FaultKind::DiskWriteFail);
+                b.should(FaultKind::DiskReadCorrupt)
+            })
+            .collect();
+        assert_eq!(stream_a, stream_b);
+        assert!(
+            stream_a.iter().any(|&f| f),
+            "rate 0.3 must fire in 256 draws"
+        );
+        assert!(!stream_a.iter().all(|&f| f), "rate 0.3 must also not fire");
+        assert_eq!(
+            a.injected(FaultKind::DiskReadCorrupt),
+            b.injected(FaultKind::DiskReadCorrupt)
+        );
+
+        let other_seed = FaultInjector::new(spec.with_seed(43));
+        let stream_c: Vec<bool> = (0..256)
+            .map(|_| other_seed.should(FaultKind::DiskReadCorrupt))
+            .collect();
+        assert_ne!(stream_a, stream_c, "different seeds, different schedule");
+    }
+
+    #[test]
+    fn rate_one_always_fires_rate_zero_never() {
+        let inj = FaultInjector::new(FaultSpec::default().with_rate(FaultKind::SynthPanic, 1.0));
+        assert!((0..64).all(|_| inj.should(FaultKind::SynthPanic)));
+        assert!((0..64).all(|_| !inj.should(FaultKind::WorkerPanic)));
+        assert_eq!(inj.injected(FaultKind::SynthPanic), 64);
+        assert_eq!(inj.injected_total(), 64);
+    }
+
+    #[test]
+    fn disabling_suppresses_without_losing_the_stream() {
+        let spec = FaultSpec::default().with_rate(FaultKind::DiskWriteFail, 1.0);
+        let inj = FaultInjector::new(spec);
+        assert!(inj.should(FaultKind::DiskWriteFail));
+        inj.set_enabled(false);
+        assert!(!inj.should(FaultKind::DiskWriteFail));
+        inj.set_enabled(true);
+        assert!(inj.should(FaultKind::DiskWriteFail));
+        assert_eq!(inj.injected(FaultKind::DiskWriteFail), 2);
+    }
+
+    #[test]
+    fn corrupt_text_breaks_json() {
+        let inj = FaultInjector::new(FaultSpec::default());
+        let json = r#"{"version": 1, "fingerprint": "00000000000000ff"}"#;
+        let corrupted = inj.corrupt_text(json);
+        assert!(corrupted.len() < json.len());
+        assert!(crate::json::JsonValue::parse(&corrupted).is_err());
+    }
+
+    #[test]
+    fn pool_hook_installation_skips_zero_rate_schedules() {
+        // A schedule with no pool faults must not pay for a hook.
+        let inj = FaultInjector::new(FaultSpec::default().with_rate(FaultKind::SynthPanic, 1.0));
+        install_pool_hook(&inj);
+        // No way to observe the hook directly from here, but clearing is
+        // always safe and leaves the pool pristine for other tests.
+        clear_pool_hook();
+    }
+}

@@ -43,6 +43,7 @@
 
 pub mod cache;
 mod compiler;
+pub mod faults;
 pub mod json;
 
 pub use cache::{
@@ -50,6 +51,7 @@ pub use cache::{
     KernelCacheConfig, KernelCacheStats, StableHasher, ARTIFACT_VERSION,
 };
 pub use compiler::{CompileError, CompileStats, CompiledKernel, Compiler, CompilerOptions};
+pub use faults::{FaultInjector, FaultKind, FaultSpec, FaultSpecError};
 
 pub use hexcute_costmodel::CostBreakdown;
 pub use hexcute_sim::PerfReport;

@@ -6,11 +6,13 @@
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use hexcute_arch::GpuArch;
 use hexcute_core::{
-    ArtifactSource, Compiler, KernelArtifact, KernelCache, KernelCacheConfig, ARTIFACT_VERSION,
+    ArtifactSource, Compiler, FaultInjector, FaultKind, FaultSpec, KernelArtifact, KernelCache,
+    KernelCacheConfig, ARTIFACT_VERSION,
 };
 use hexcute_ir::Program;
 use hexcute_kernels::attention::{mha_forward, AttentionConfig, AttentionShape};
@@ -288,6 +290,180 @@ fn fingerprints_sense_quant_groups_and_batch_shapes() {
         fp(&ragged),
         "token routing must fingerprint differently"
     );
+}
+
+/// One compiler shared across the chaos tests: its internal per-kernel memo
+/// makes the repeated re-syntheses forced by injected faults cheap, without
+/// touching the artifact cache under test.
+fn shared_compiler() -> &'static Compiler {
+    static COMPILER: OnceLock<Compiler> = OnceLock::new();
+    COMPILER.get_or_init(|| Compiler::new(GpuArch::h100()))
+}
+
+/// Fault-free reference artifacts for every kernel family, compiled once.
+fn reference_artifacts() -> &'static Vec<(&'static str, Program, KernelArtifact)> {
+    static REFS: OnceLock<Vec<(&'static str, Program, KernelArtifact)>> = OnceLock::new();
+    REFS.get_or_init(|| {
+        kernel_families()
+            .into_iter()
+            .map(|(family, program)| {
+                let artifact = shared_compiler()
+                    .compile_artifact(&program)
+                    .unwrap_or_else(|e| panic!("{family}: reference compilation failed: {e}"));
+                (family, program, artifact)
+            })
+            .collect()
+    })
+}
+
+/// Satellite (b): a crash can leave a truncated JSON file behind. It must be
+/// quarantined (renamed aside, counted) — never served, never fatal — and
+/// the cache must heal itself on the next store.
+#[test]
+fn truncated_artifact_is_quarantined_and_healed() {
+    let dir = unique_temp_dir("truncated");
+    let cache = KernelCache::new(disk_config(&dir));
+    let program = fp16_gemm(GemmShape::new(256, 256, 192), GemmConfig::default()).unwrap();
+    let compiler = Compiler::new(GpuArch::a100());
+    let (original, _) = compiler.compile_with_cache(&program, &cache).unwrap();
+
+    // Simulate a crash mid-write: keep only the first half of the file.
+    let path = cache.artifact_path(original.fingerprint).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+
+    let fresh = KernelCache::new(disk_config(&dir));
+    let (artifact, source) = compiler.compile_with_cache(&program, &fresh).unwrap();
+    assert_eq!(source, ArtifactSource::Synthesized);
+    assert_eq!(*artifact, *original, "re-synthesis must be bit-identical");
+    let stats = fresh.stats();
+    assert_eq!(stats.corrupt, 1, "{stats}");
+    assert_eq!(stats.quarantined, 1, "{stats}");
+
+    // The defective file was renamed aside, not deleted: it is available
+    // for post-mortem inspection but invisible to the cache.
+    let quarantined = path.with_extension("quarantined");
+    assert!(quarantined.exists(), "defective file must be kept aside");
+    assert!(
+        path.exists(),
+        "the store after re-synthesis must heal the slot"
+    );
+
+    // A healed cache serves from disk again and never reads the
+    // quarantined copy.
+    let healed = KernelCache::new(disk_config(&dir));
+    let (served, source) = compiler.compile_with_cache(&program, &healed).unwrap();
+    assert_eq!(source, ArtifactSource::Disk, "cache must self-heal");
+    assert_eq!(*served, *original);
+    assert_eq!(healed.stats().corrupt, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Persistent write failures trip the circuit breaker into memory-only
+/// mode; once the disk recovers, a probe write closes it again.
+#[test]
+fn write_failures_trip_breaker_and_probe_recovers() {
+    let dir = unique_temp_dir("breaker");
+    let injector =
+        FaultInjector::new(FaultSpec::default().with_rate(FaultKind::DiskWriteFail, 1.0));
+    let config = KernelCacheConfig {
+        dir: Some(dir.clone()),
+        breaker_threshold: 2,
+        breaker_probe_interval: Duration::from_millis(10),
+        ..KernelCacheConfig::default()
+    };
+    let cache = KernelCache::with_faults(config, Some(injector.clone()));
+
+    let base = reference_artifacts()
+        .iter()
+        .find(|(family, _, _)| *family == "gemm")
+        .map(|(_, _, artifact)| artifact.clone())
+        .unwrap();
+    let variant = |i: u64| {
+        let mut a = base.clone();
+        a.fingerprint = base.fingerprint.wrapping_add(i);
+        Arc::new(a)
+    };
+
+    // Two consecutive write failures reach the threshold and trip the
+    // breaker; the third insert is skipped without touching the disk.
+    cache.insert(variant(1));
+    cache.insert(variant(2));
+    cache.insert(variant(3));
+    let stats = cache.stats();
+    assert_eq!(stats.write_failures, 2, "{stats}");
+    assert_eq!(stats.breaker_trips, 1, "{stats}");
+    assert!(stats.breaker_skips >= 1, "{stats}");
+    assert!(stats.breaker_open, "{stats}");
+    assert_eq!(stats.stores, 0, "{stats}");
+    assert_eq!(stats.disk_entries, 0, "{stats}");
+
+    // Memory-only degradation: the front still serves what it holds.
+    let (_, source) = cache.get(base.fingerprint.wrapping_add(1)).unwrap();
+    assert_eq!(source, ArtifactSource::Memory);
+
+    // Heal the disk and wait out the probe interval: the next insert is a
+    // probe, succeeds, and closes the breaker.
+    injector.set_enabled(false);
+    std::thread::sleep(Duration::from_millis(20));
+    cache.insert(variant(4));
+    let stats = cache.stats();
+    assert_eq!(stats.breaker_recoveries, 1, "{stats}");
+    assert!(!stats.breaker_open, "{stats}");
+    assert_eq!(stats.stores, 1, "{stats}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// Satellite (c): randomized chaos sweep. Under any mix of disk faults —
+// read corruption, write failures, stale versions — every compile still
+// returns an artifact bit-identical to the fault-free reference, corrupt
+// files are always quarantined (never served), and the cache never
+// deadlocks or errors out.
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
+    #[test]
+    fn chaos_sweep_preserves_bit_identity(
+        read_corrupt_pct in 0u32..=60,
+        write_fail_pct in 0u32..=50,
+        stale_pct in 0u32..=30,
+        seed in 0u64..=0xFFFF_FFFF,
+    ) {
+        let dir = unique_temp_dir("chaos");
+        let spec = FaultSpec::default()
+            .with_rate(FaultKind::DiskReadCorrupt, read_corrupt_pct as f64 / 100.0)
+            .with_rate(FaultKind::DiskWriteFail, write_fail_pct as f64 / 100.0)
+            .with_rate(FaultKind::StaleVersion, stale_pct as f64 / 100.0)
+            .with_seed(seed);
+        let injector = FaultInjector::new(spec);
+        let compiler = shared_compiler();
+
+        // Pass 1: cold compiles under write faults.
+        let cache = KernelCache::with_faults(disk_config(&dir), Some(injector.clone()));
+        for (family, program, reference) in reference_artifacts() {
+            let (artifact, _) = compiler.compile_with_cache(program, &cache).unwrap();
+            proptest::prop_assert_eq!(
+                &*artifact, reference,
+                "{} diverged under faults (pass 1)", family
+            );
+        }
+
+        // Pass 2: a fresh memory front forces disk reads under read faults.
+        let fresh = KernelCache::with_faults(disk_config(&dir), Some(injector));
+        for (family, program, reference) in reference_artifacts() {
+            let (artifact, _) = compiler.compile_with_cache(program, &fresh).unwrap();
+            proptest::prop_assert_eq!(
+                &*artifact, reference,
+                "{} diverged under faults (pass 2)", family
+            );
+        }
+
+        // Every corrupt read was quarantined, and quarantined files are
+        // invisible to the cache: re-listing the directory only counts
+        // live `.json` entries.
+        let stats = fresh.stats();
+        proptest::prop_assert_eq!(stats.quarantined, stats.corrupt, "{}", stats);
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }
 
 #[test]

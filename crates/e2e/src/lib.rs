@@ -20,7 +20,8 @@
 pub mod service;
 mod serving;
 
-pub use service::{CompileResponse, CompileService, ServedFrom, ServiceStats};
+pub use service::{CompileResponse, CompileService, ServedFrom, ServiceConfig, ServiceStats};
 pub use serving::{
-    decode_latency_ms, decode_latency_ms_with, DecodeReport, KernelBackend, ModelConfig, ModelKind,
+    decode_latency_ms, decode_latency_ms_with, decode_step_programs, DecodeReport, KernelBackend,
+    ModelConfig, ModelKind,
 };

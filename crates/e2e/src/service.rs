@@ -15,6 +15,17 @@
 //! * **Batching.** [`CompileService::compile_batch`] fans *distinct*
 //!   requests out across the PR 3 persistent worker pool; duplicates within
 //!   a batch deduplicate through the coalescing path.
+//! * **Admission control & fault tolerance** (PR 6). A [`ServiceConfig`]
+//!   bounds concurrent syntheses plus a pending queue (full queue → typed
+//!   load shedding via [`CompileError::Overloaded`]), enforces per-request
+//!   deadlines while queued *and* while coalesced
+//!   ([`CompileError::DeadlineExceeded`]), and retries transient failures —
+//!   a panicked synthesis wakes every coalesced waiter with a retryable
+//!   [`CompileError::Panicked`] instead of deadlocking them — with
+//!   exponential backoff and deterministic seeded jitter. Cache hits bypass
+//!   admission entirely: backpressure protects the expensive synthesis
+//!   path, never the cheap one. See `docs/ROBUSTNESS.md` for the full
+//!   degradation ladder.
 //!
 //! ```
 //! use hexcute_arch::{DType, GpuArch};
@@ -41,13 +52,15 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use hexcute_arch::GpuArch;
 use hexcute_core::{
-    ArtifactSource, CompileError, Compiler, CompilerOptions, KernelArtifact, KernelCache,
-    KernelCacheConfig, KernelCacheStats,
+    faults, ArtifactSource, CompileError, Compiler, CompilerOptions, FaultInjector, FaultKind,
+    KernelArtifact, KernelCache, KernelCacheConfig, KernelCacheStats,
 };
 use hexcute_ir::Program;
 
@@ -101,6 +114,214 @@ impl CompileResponse {
     }
 }
 
+/// Admission, deadline and retry policy of a [`CompileService`].
+///
+/// The defaults are fully permissive — unbounded concurrency, no deadline —
+/// so a service constructed without an explicit config behaves exactly like
+/// the pre-admission-control service; production deployments opt in via
+/// [`ServiceConfig::from_env`] (`HEXCUTE_SERVICE_*`) or explicit fields.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Maximum syntheses running at once. `0` (the default) means
+    /// unbounded: no admission accounting at all.
+    pub max_concurrent: usize,
+    /// Requests allowed to wait for an admission slot beyond
+    /// `max_concurrent`; arrivals past this are shed with
+    /// [`CompileError::Overloaded`]. Ignored while `max_concurrent` is 0.
+    pub queue_capacity: usize,
+    /// Per-request deadline, enforced while queued for admission and while
+    /// waiting on a coalesced in-flight synthesis. `None` disables it.
+    pub deadline: Option<Duration>,
+    /// Retries of a *transient* failure (a panicked synthesis) before the
+    /// error is returned. `0` disables retrying.
+    pub max_retries: usize,
+    /// Base of the exponential retry backoff: retry `n` sleeps
+    /// `retry_backoff * 2^(n-1)` plus jitter in `[0, retry_backoff)`.
+    pub retry_backoff: Duration,
+    /// Seed of the deterministic jitter stream (replayable chaos runs).
+    pub seed: u64,
+    /// Fault injector threaded through the service and its cache. Defaults
+    /// to the process-global `HEXCUTE_FAULTS` injector ([`faults::global`]),
+    /// i.e. `None` in production.
+    pub faults: Option<Arc<FaultInjector>>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            max_concurrent: 0,
+            queue_capacity: 64,
+            deadline: None,
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(2),
+            seed: 0,
+            faults: faults::global().cloned(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Reads the policy from the environment:
+    ///
+    /// | Variable | Meaning | Default |
+    /// |---|---|---|
+    /// | `HEXCUTE_SERVICE_MAX_CONCURRENT` | concurrent synthesis bound (`0` = unbounded) | 0 |
+    /// | `HEXCUTE_SERVICE_QUEUE_CAPACITY` | pending-queue capacity before shedding | 64 |
+    /// | `HEXCUTE_SERVICE_DEADLINE_MS` | per-request deadline in milliseconds (`0` = none) | unset → none |
+    /// | `HEXCUTE_SERVICE_RETRIES` | transient-failure retries | 2 |
+    /// | `HEXCUTE_SERVICE_RETRY_BACKOFF_MS` | backoff base in milliseconds | 2 |
+    /// | `HEXCUTE_SERVICE_SEED` | jitter seed | 0 |
+    ///
+    /// Unparsable values fall back to the defaults.
+    pub fn from_env() -> Self {
+        let defaults = Self::default();
+        let parse = |name: &str, default: usize| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .unwrap_or(default)
+        };
+        ServiceConfig {
+            max_concurrent: parse("HEXCUTE_SERVICE_MAX_CONCURRENT", defaults.max_concurrent),
+            queue_capacity: parse("HEXCUTE_SERVICE_QUEUE_CAPACITY", defaults.queue_capacity),
+            deadline: std::env::var("HEXCUTE_SERVICE_DEADLINE_MS")
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .filter(|&ms| ms > 0)
+                .map(Duration::from_millis),
+            max_retries: parse("HEXCUTE_SERVICE_RETRIES", defaults.max_retries),
+            retry_backoff: std::env::var("HEXCUTE_SERVICE_RETRY_BACKOFF_MS")
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .map(Duration::from_millis)
+                .unwrap_or(defaults.retry_backoff),
+            seed: std::env::var("HEXCUTE_SERVICE_SEED")
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .unwrap_or(defaults.seed),
+            faults: defaults.faults,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Admission control.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct AdmissionState {
+    /// Synthesis slots currently held.
+    active: usize,
+    /// Requests parked waiting for a slot.
+    waiting: usize,
+}
+
+/// A bounded-concurrency gate with a bounded wait queue: the synchronous
+/// analogue of an async semaphore + listen queue. Cache hits never touch it;
+/// only requests about to synthesize (or join a synthesis) pass through.
+#[derive(Debug)]
+struct Admission {
+    max_concurrent: usize,
+    queue_capacity: usize,
+    state: Mutex<AdmissionState>,
+    available: Condvar,
+    max_queue_depth: AtomicU64,
+}
+
+/// RAII admission slot; dropping it releases the slot and wakes one waiter.
+struct AdmissionPermit<'a> {
+    admission: Option<&'a Admission>,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        if let Some(admission) = self.admission.take() {
+            let mut state = admission.state.lock().unwrap_or_else(|p| p.into_inner());
+            state.active = state.active.saturating_sub(1);
+            drop(state);
+            admission.available.notify_one();
+        }
+    }
+}
+
+impl Admission {
+    fn new(max_concurrent: usize, queue_capacity: usize) -> Self {
+        Admission {
+            max_concurrent,
+            queue_capacity,
+            state: Mutex::new(AdmissionState {
+                active: 0,
+                waiting: 0,
+            }),
+            available: Condvar::new(),
+            max_queue_depth: AtomicU64::new(0),
+        }
+    }
+
+    /// Acquires a synthesis slot, waiting (up to `deadline`) in the bounded
+    /// queue when all slots are busy.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::Overloaded`] when the wait queue is already full and
+    /// [`CompileError::DeadlineExceeded`] when the deadline passes first.
+    fn acquire(
+        &self,
+        start: Instant,
+        deadline: Option<Instant>,
+    ) -> Result<AdmissionPermit<'_>, CompileError> {
+        if self.max_concurrent == 0 {
+            return Ok(AdmissionPermit { admission: None });
+        }
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        if state.active >= self.max_concurrent {
+            if state.waiting >= self.queue_capacity {
+                return Err(CompileError::Overloaded {
+                    queued: state.waiting,
+                    capacity: self.queue_capacity,
+                });
+            }
+            state.waiting += 1;
+            self.max_queue_depth
+                .fetch_max(state.waiting as u64, Ordering::Relaxed);
+            while state.active >= self.max_concurrent {
+                match deadline {
+                    None => {
+                        state = self
+                            .available
+                            .wait(state)
+                            .unwrap_or_else(|p| p.into_inner());
+                    }
+                    Some(dl) => {
+                        let now = Instant::now();
+                        if now >= dl {
+                            state.waiting -= 1;
+                            return Err(CompileError::DeadlineExceeded {
+                                elapsed: start.elapsed(),
+                            });
+                        }
+                        let (s, _) = self
+                            .available
+                            .wait_timeout(state, dl - now)
+                            .unwrap_or_else(|p| p.into_inner());
+                        state = s;
+                    }
+                }
+            }
+            state.waiting -= 1;
+        }
+        state.active += 1;
+        Ok(AdmissionPermit {
+            admission: Some(self),
+        })
+    }
+
+    /// Requests currently parked waiting for a slot.
+    fn queue_depth(&self) -> usize {
+        self.state.lock().unwrap_or_else(|p| p.into_inner()).waiting
+    }
+}
+
 /// Counters describing a [`CompileService`]'s behaviour. Snapshot via
 /// [`CompileService::stats`].
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -113,6 +334,19 @@ pub struct ServiceStats {
     pub syntheses: u64,
     /// [`CompileService::compile_batch`] invocations.
     pub batches: u64,
+    /// Requests shed because the admission queue was full.
+    pub shed: u64,
+    /// Requests that gave up on their deadline (queued or coalesced).
+    pub deadline_exceeded: u64,
+    /// Transient-failure retries performed.
+    pub retries: u64,
+    /// Syntheses that panicked (caught, turned into
+    /// [`CompileError::Panicked`] and broadcast to coalesced waiters).
+    pub synth_panics: u64,
+    /// Deepest the admission queue has ever been.
+    pub max_queue_depth: u64,
+    /// Requests currently parked in the admission queue.
+    pub queue_depth: usize,
     /// The artifact cache's counters.
     pub cache: KernelCacheStats,
 }
@@ -121,8 +355,20 @@ impl fmt::Display for ServiceStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} requests ({} coalesced, {} batches), {} syntheses; artifact cache: {}",
-            self.requests, self.coalesced, self.batches, self.syntheses, self.cache
+            "{} requests ({} coalesced, {} batches), {} syntheses, \
+             {} shed, {} deadline-exceeded, {} retries, {} synth-panics, \
+             queue {} (max {}); artifact cache: {}",
+            self.requests,
+            self.coalesced,
+            self.batches,
+            self.syntheses,
+            self.shed,
+            self.deadline_exceeded,
+            self.retries,
+            self.synth_panics,
+            self.queue_depth,
+            self.max_queue_depth,
+            self.cache
         )
     }
 }
@@ -170,20 +416,44 @@ impl Inflight {
         self.ready.notify_all();
     }
 
-    /// Blocks until the synthesis finishes. `None` means the claimant
-    /// abandoned the job (it panicked): the joiner retries from the cache.
-    fn wait(&self) -> Option<Result<Arc<KernelArtifact>, CompileError>> {
+    /// Blocks until the synthesis finishes or `deadline` passes.
+    fn wait(&self, deadline: Option<Instant>) -> WaitOutcome {
         let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
         loop {
             match &*state {
-                InflightState::Pending => {
-                    state = self.ready.wait(state).unwrap_or_else(|p| p.into_inner());
-                }
-                InflightState::Done(result) => return Some(result.clone()),
-                InflightState::Abandoned => return None,
+                InflightState::Pending => match deadline {
+                    None => {
+                        state = self.ready.wait(state).unwrap_or_else(|p| p.into_inner());
+                    }
+                    Some(dl) => {
+                        let now = Instant::now();
+                        if now >= dl {
+                            return WaitOutcome::TimedOut;
+                        }
+                        let (s, _) = self
+                            .ready
+                            .wait_timeout(state, dl - now)
+                            .unwrap_or_else(|p| p.into_inner());
+                        state = s;
+                    }
+                },
+                InflightState::Done(result) => return WaitOutcome::Done(result.clone()),
+                InflightState::Abandoned => return WaitOutcome::Abandoned,
             }
         }
     }
+}
+
+/// What a coalesced waiter observed.
+enum WaitOutcome {
+    /// The claimant finished; the shared result (which may be a retryable
+    /// [`CompileError::Panicked`]) is cloned to every waiter.
+    Done(Result<Arc<KernelArtifact>, CompileError>),
+    /// The claimant unwound without completing (defensive backstop — a
+    /// panicked synthesis normally completes with `Panicked`): retry.
+    Abandoned,
+    /// The waiter's deadline passed first.
+    TimedOut,
 }
 
 /// Removes the in-flight entry (and wakes joiners) even if the claiming
@@ -216,11 +486,18 @@ impl Drop for ClaimGuard<'_> {
 pub struct CompileService {
     compiler: Compiler,
     cache: KernelCache,
+    config: ServiceConfig,
+    admission: Admission,
     inflight: Mutex<HashMap<u64, Arc<Inflight>>>,
     requests: AtomicU64,
     coalesced: AtomicU64,
     syntheses: AtomicU64,
     batches: AtomicU64,
+    shed: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    retries: AtomicU64,
+    synth_panics: AtomicU64,
+    jitter_ticket: AtomicU64,
 }
 
 impl CompileService {
@@ -232,27 +509,62 @@ impl CompileService {
         Self::with_config(arch, CompilerOptions::new(), KernelCacheConfig::default())
     }
 
-    /// A service with explicit compiler options and cache configuration.
+    /// A service with explicit compiler options and cache configuration,
+    /// and the default (fully permissive) admission policy.
     pub fn with_config(
         arch: GpuArch,
         options: CompilerOptions,
         cache_config: KernelCacheConfig,
     ) -> Self {
+        Self::with_service_config(arch, options, cache_config, ServiceConfig::default())
+    }
+
+    /// A service with explicit compiler options, cache configuration and
+    /// admission/deadline/retry policy. The policy's fault injector (if
+    /// any) is threaded into the artifact cache too, so one schedule drives
+    /// the whole serving stack.
+    pub fn with_service_config(
+        arch: GpuArch,
+        options: CompilerOptions,
+        cache_config: KernelCacheConfig,
+        config: ServiceConfig,
+    ) -> Self {
+        faults::install_global_pool_hook();
+        let cache = KernelCache::with_faults(cache_config, config.faults.clone());
+        let admission = Admission::new(config.max_concurrent, config.queue_capacity);
         CompileService {
             compiler: Compiler::with_options(arch, options),
-            cache: KernelCache::new(cache_config),
+            cache,
+            config,
+            admission,
             inflight: Mutex::new(HashMap::new()),
             requests: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             syntheses: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            synth_panics: AtomicU64::new(0),
+            jitter_ticket: AtomicU64::new(0),
         }
     }
 
     /// A service whose cache reads the `HEXCUTE_CACHE_*` environment
-    /// variables (see [`KernelCacheConfig::from_env`]).
+    /// variables and whose admission policy reads `HEXCUTE_SERVICE_*` (see
+    /// [`KernelCacheConfig::from_env`] and [`ServiceConfig::from_env`]).
     pub fn from_env(arch: GpuArch) -> Self {
-        Self::with_config(arch, CompilerOptions::new(), KernelCacheConfig::from_env())
+        Self::with_service_config(
+            arch,
+            CompilerOptions::new(),
+            KernelCacheConfig::from_env(),
+            ServiceConfig::from_env(),
+        )
+    }
+
+    /// The active admission/deadline/retry policy.
+    pub fn service_config(&self) -> &ServiceConfig {
+        &self.config
     }
 
     /// The target architecture.
@@ -267,16 +579,85 @@ impl CompileService {
 
     /// Serves one compilation: answered from the cache when possible,
     /// coalesced onto an in-flight synthesis of the same fingerprint when
-    /// one exists, synthesized (and stored) otherwise.
+    /// one exists, synthesized (and stored) otherwise — under the service's
+    /// admission, deadline and retry policy.
     ///
     /// # Errors
     ///
-    /// Returns a [`CompileError`] when the synthesis fails; the error is
-    /// shared by every coalesced requester of the same fingerprint (and is
-    /// not cached — a later request retries).
+    /// [`CompileError::Overloaded`] when the admission queue is full,
+    /// [`CompileError::DeadlineExceeded`] when the configured deadline
+    /// passes while queued or coalesced, [`CompileError::Panicked`] when a
+    /// synthesis crashed and the retry budget is exhausted, and the
+    /// underlying synthesis error otherwise. Errors are shared by every
+    /// coalesced requester of the same fingerprint and are never cached — a
+    /// later request retries.
     pub fn compile(&self, program: &Program) -> Result<CompileResponse, CompileError> {
         self.requests.fetch_add(1, Ordering::Relaxed);
         let fingerprint = self.compiler.artifact_fingerprint(program);
+        let start = Instant::now();
+        let deadline = self.config.deadline.map(|d| start + d);
+        let mut attempt = 0usize;
+        let result = loop {
+            match self.compile_attempt(program, fingerprint, start, deadline) {
+                Err(e) if e.is_transient() && attempt < self.config.max_retries => {
+                    attempt += 1;
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    let backoff = self.backoff(attempt);
+                    if let Some(dl) = deadline {
+                        if Instant::now() + backoff >= dl {
+                            break Err(CompileError::DeadlineExceeded {
+                                elapsed: start.elapsed(),
+                            });
+                        }
+                    }
+                    std::thread::sleep(backoff);
+                }
+                other => break other,
+            }
+        };
+        match &result {
+            Err(CompileError::Overloaded { .. }) => {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(CompileError::DeadlineExceeded { .. }) => {
+                self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        result
+    }
+
+    /// Exponential backoff with deterministic seeded jitter: retry `n`
+    /// sleeps `base * 2^(n-1) + jitter`, `jitter ∈ [0, base)` drawn from a
+    /// SplitMix64 stream over (seed, ticket) so chaos runs replay exactly.
+    fn backoff(&self, attempt: usize) -> Duration {
+        let base = self.config.retry_backoff;
+        if base.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = base.saturating_mul(1u32 << (attempt - 1).min(16) as u32);
+        let ticket = self.jitter_ticket.fetch_add(1, Ordering::Relaxed);
+        let mut z = self
+            .config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(ticket)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let jitter = Duration::from_nanos(z % base.as_nanos().max(1) as u64);
+        exp + jitter
+    }
+
+    /// One admission-gated attempt at serving `fingerprint`.
+    fn compile_attempt(
+        &self,
+        program: &Program,
+        fingerprint: u64,
+        start: Instant,
+        deadline: Option<Instant>,
+    ) -> Result<CompileResponse, CompileError> {
         loop {
             if let Some((artifact, source)) = self.cache.get(fingerprint) {
                 return Ok(CompileResponse {
@@ -284,6 +665,14 @@ impl CompileService {
                     served_from: source.into(),
                 });
             }
+            if deadline.is_some_and(|dl| Instant::now() >= dl) {
+                return Err(CompileError::DeadlineExceeded {
+                    elapsed: start.elapsed(),
+                });
+            }
+            // Admission bounds the synthesis path only; the cache hit above
+            // never queues.
+            let permit = self.admission.acquire(start, deadline)?;
             let claim = {
                 let mut inflight = self.inflight.lock().unwrap_or_else(|p| p.into_inner());
                 // Re-check under the map lock: a claimant inserts into the
@@ -306,16 +695,25 @@ impl CompileService {
             };
             match claim {
                 Err(entry) => {
+                    // A coalesced waiter consumes no synthesis slot: release
+                    // it before parking so admission capacity tracks actual
+                    // work, not waiters.
+                    drop(permit);
                     self.coalesced.fetch_add(1, Ordering::Relaxed);
-                    match entry.wait() {
-                        Some(result) => {
+                    match entry.wait(deadline) {
+                        WaitOutcome::Done(result) => {
                             return result.map(|artifact| CompileResponse {
                                 artifact,
                                 served_from: ServedFrom::Coalesced,
                             });
                         }
                         // The claimant unwound without a result: retry.
-                        None => continue,
+                        WaitOutcome::Abandoned => continue,
+                        WaitOutcome::TimedOut => {
+                            return Err(CompileError::DeadlineExceeded {
+                                elapsed: start.elapsed(),
+                            });
+                        }
                     }
                 }
                 Ok(entry) => {
@@ -326,13 +724,35 @@ impl CompileService {
                         completed: false,
                     };
                     self.syntheses.fetch_add(1, Ordering::Relaxed);
-                    let result = self.compiler.compile_artifact(program).map(Arc::new);
+                    // A panicking synthesis (worker-job crash, injected
+                    // fault) must not strand coalesced waiters: catch the
+                    // unwind and broadcast a retryable error through the
+                    // normal completion path. The `ClaimGuard` abandon
+                    // remains as a backstop for panics outside this scope.
+                    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                        if let Some(f) = &self.config.faults {
+                            if f.should(FaultKind::SynthPanic) {
+                                panic!("injected: synthesis panic");
+                            }
+                        }
+                        self.compiler.compile_artifact(program).map(Arc::new)
+                    }))
+                    .unwrap_or_else(|payload| {
+                        self.synth_panics.fetch_add(1, Ordering::Relaxed);
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_string());
+                        Err(CompileError::Panicked(msg))
+                    });
                     if let Ok(artifact) = &result {
                         self.cache.insert(artifact.clone());
                     }
                     guard.entry.complete(result.clone());
                     guard.completed = true;
                     drop(guard);
+                    drop(permit);
                     return result.map(|artifact| CompileResponse {
                         artifact,
                         served_from: ServedFrom::Synthesized,
@@ -361,6 +781,12 @@ impl CompileService {
             coalesced: self.coalesced.load(Ordering::Relaxed),
             syntheses: self.syntheses.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            synth_panics: self.synth_panics.load(Ordering::Relaxed),
+            max_queue_depth: self.admission.max_queue_depth.load(Ordering::Relaxed),
+            queue_depth: self.admission.queue_depth(),
             cache: self.cache.stats(),
         }
     }

@@ -171,6 +171,75 @@ impl ModelConfig {
     }
 }
 
+/// The Hexcute-compiled programs one decode step of `model` requests (the
+/// attention component calls a library and never compiles). This is exactly
+/// the request set [`decode_latency_ms_with`] sends for
+/// [`KernelBackend::Hexcute`], exposed so harnesses (the chaos replay in
+/// `repro_robustness`) can drive the compile service request-by-request and
+/// compare artifacts against a reference run.
+pub fn decode_step_programs(
+    model: &ModelConfig,
+    batch: usize,
+    seq_len: usize,
+) -> Vec<hexcute_ir::Program> {
+    let tp = model.tensor_parallel.max(1);
+    let mut programs = Vec::new();
+    match model.kind {
+        ModelKind::MoeAwq | ModelKind::Hybrid if model.experts > 0 => {
+            let shape = MoeShape {
+                tokens: batch,
+                hidden: model.hidden,
+                intermediate: (model.intermediate / tp).max(256),
+                experts: model.experts,
+                top_k: 8.min(model.experts),
+            };
+            programs.push(
+                mixed_type_moe(shape, MoeConfig::default(), MoeDataflow::Efficient)
+                    .expect("MoE kernel construction"),
+            );
+        }
+        ModelKind::DenseW4A16 => {
+            let shape = QuantGemmShape::new(
+                batch.max(16),
+                (model.intermediate / tp).max(256),
+                model.hidden,
+                128,
+            );
+            programs.push(
+                w4a16_gemm(shape, QuantGemmConfig::default()).expect("W4A16 GEMM construction"),
+            );
+        }
+        ModelKind::MoeGrouped => {
+            let shape = GroupedGemmShape::top_k_routed(
+                model.experts,
+                batch,
+                2,
+                (model.intermediate / tp).max(256),
+                model.hidden,
+            );
+            programs.push(
+                grouped_gemm(&shape, GroupedGemmConfig::default())
+                    .expect("grouped GEMM construction"),
+            );
+        }
+        _ => {
+            let shape = GemmShape::new(
+                batch.max(16),
+                (model.intermediate / tp).max(256),
+                model.hidden,
+            );
+            programs.push(
+                fp8_blockwise_gemm(shape, GemmConfig::default()).expect("FP8 GEMM construction"),
+            );
+        }
+    }
+    if (model.layers as f64 * model.mamba_fraction).round() > 0.0 {
+        let shape = ScanShape::new(batch, model.hidden / tp, model.mamba_state, seq_len.max(64));
+        programs.push(selective_scan(shape, ScanConfig::default()).expect("scan construction"));
+    }
+    programs
+}
+
 /// The per-component breakdown of one decode step.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DecodeReport {

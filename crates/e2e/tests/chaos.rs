@@ -1,0 +1,311 @@
+//! Chaos tests for the fault-tolerant compile service (PR 6): injected
+//! synthesis panics must release every coalesced waiter with a typed,
+//! retryable error (never a deadlock), transient failures must be retried
+//! to success, and the admission controller must shed typed overload and
+//! enforce deadlines both while queued and while coalesced.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use hexcute_arch::GpuArch;
+use hexcute_core::{
+    CompileError, CompilerOptions, FaultInjector, FaultKind, FaultSpec, KernelCacheConfig,
+};
+use hexcute_e2e::{CompileService, ServedFrom, ServiceConfig};
+use hexcute_ir::Program;
+use hexcute_kernels::gemm::{fp16_gemm, GemmConfig, GemmShape};
+
+fn unique_temp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "hexcute-chaos-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// A kernel that takes long enough to synthesize that other requests can
+/// observably queue behind or coalesce onto it.
+fn slow_program() -> Program {
+    fp16_gemm(GemmShape::new(1024, 1024, 1024), GemmConfig::default()).unwrap()
+}
+
+fn small_program(k: usize) -> Program {
+    fp16_gemm(GemmShape::new(128, 128, k), GemmConfig::default()).unwrap()
+}
+
+fn service_with(config: ServiceConfig, dir: Option<&std::path::Path>) -> CompileService {
+    let cache_config = KernelCacheConfig {
+        dir: dir.map(|d| d.to_path_buf()),
+        ..KernelCacheConfig::default()
+    };
+    CompileService::with_service_config(
+        GpuArch::h100(),
+        CompilerOptions::new(),
+        cache_config,
+        config,
+    )
+}
+
+/// Satellite (a): when the claimant of an in-flight synthesis panics, every
+/// coalesced waiter must be woken with a typed, retryable error — no waiter
+/// may hang, and the service must keep working once the fault clears.
+#[test]
+fn panicking_synthesis_releases_all_coalesced_waiters() {
+    let injector = FaultInjector::new(FaultSpec::default().with_rate(FaultKind::SynthPanic, 1.0));
+    let config = ServiceConfig {
+        max_retries: 0, // surface the panic instead of retrying it away
+        faults: Some(injector.clone()),
+        ..ServiceConfig::default()
+    };
+    let service = Arc::new(service_with(config, None));
+    let program = slow_program();
+
+    let n = 6;
+    let barrier = Arc::new(Barrier::new(n));
+    let handles: Vec<_> = (0..n)
+        .map(|_| {
+            let service = Arc::clone(&service);
+            let program = program.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                service.compile(&program)
+            })
+        })
+        .collect();
+
+    // Every thread — claimants and coalesced waiters alike — must return
+    // (joining proves no waiter deadlocked) and must see the panic as a
+    // typed, transient error.
+    for handle in handles {
+        match handle.join().expect("client thread must not die") {
+            Err(CompileError::Panicked(msg)) => {
+                assert!(msg.contains("injected"), "unexpected payload: {msg}");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+    let stats = service.stats();
+    assert!(stats.synth_panics >= 1, "{stats}");
+    assert!(
+        CompileError::Panicked(String::new()).is_transient(),
+        "panics must be classified retryable"
+    );
+
+    // Heal the fault: the same program now compiles fine.
+    injector.set_enabled(false);
+    let response = service.compile(&program).unwrap();
+    assert_eq!(response.served_from, ServedFrom::Synthesized);
+    assert_eq!(service.stats().requests, n as u64 + 1);
+}
+
+/// A transient panic on the first attempt is retried with backoff and the
+/// request still succeeds.
+#[test]
+fn transient_panics_are_retried_to_success() {
+    let spec = FaultSpec::default().with_rate(FaultKind::SynthPanic, 0.5);
+    // Find a replay seed whose synth-panic draw stream starts
+    // (fire, don't fire): attempt one panics, the retry succeeds.
+    let seed = (0..1000)
+        .find(|&s| {
+            let probe = FaultInjector::new(spec.clone().with_seed(s));
+            probe.should(FaultKind::SynthPanic) && !probe.should(FaultKind::SynthPanic)
+        })
+        .expect("some seed must start with (fire, no-fire)");
+    let config = ServiceConfig {
+        max_retries: 2,
+        retry_backoff: Duration::from_micros(200),
+        faults: Some(FaultInjector::new(spec.with_seed(seed))),
+        ..ServiceConfig::default()
+    };
+    let service = service_with(config, None);
+
+    let response = service.compile(&small_program(64)).unwrap();
+    assert_eq!(response.served_from, ServedFrom::Synthesized);
+    let stats = service.stats();
+    assert_eq!(stats.synth_panics, 1, "{stats}");
+    assert_eq!(stats.retries, 1, "{stats}");
+    assert_eq!(
+        stats.syntheses, 2,
+        "both attempts claimed the synthesis, {stats}"
+    );
+}
+
+/// With the one slot taken and a zero-length queue, the next request is
+/// shed immediately with a typed `Overloaded` — and admitted again once
+/// the slot frees up.
+#[test]
+fn full_queue_sheds_with_typed_overload() {
+    let dir = unique_temp_dir("shed");
+    // The slot-holder's artifact store is slowed by injected I/O latency,
+    // which keeps the admission slot occupied for a deterministic window
+    // even if the synthesis itself is fast.
+    let injector = FaultInjector::new(FaultSpec {
+        io_delay: Duration::from_millis(400),
+        ..FaultSpec::default()
+    });
+    let config = ServiceConfig {
+        max_concurrent: 1,
+        queue_capacity: 0,
+        faults: Some(injector.clone()),
+        ..ServiceConfig::default()
+    };
+    let service = Arc::new(service_with(config, Some(&dir)));
+
+    let holder = {
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || service.compile(&slow_program()))
+    };
+    // Wait until the holder owns the only concurrency slot.
+    while service.stats().syntheses == 0 {
+        std::thread::yield_now();
+    }
+
+    let err = service.compile(&small_program(96)).unwrap_err();
+    match err {
+        CompileError::Overloaded { queued, capacity } => {
+            assert_eq!(capacity, 0);
+            assert_eq!(queued, 0);
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    assert_eq!(service.stats().shed, 1);
+
+    holder
+        .join()
+        .unwrap()
+        .expect("the slot holder itself succeeds");
+    // The slot is free again: the shed request is admitted on retry.
+    injector.set_enabled(false);
+    let response = service.compile(&small_program(96)).unwrap();
+    assert_eq!(response.served_from, ServedFrom::Synthesized);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A request that coalesces onto a long-running synthesis gives up with
+/// `DeadlineExceeded` when its budget runs out — while the claimant, whose
+/// work is not interruptible, still completes.
+#[test]
+fn deadline_expires_while_coalesced() {
+    let dir = unique_temp_dir("deadline-coalesced");
+    let injector = FaultInjector::new(FaultSpec {
+        io_delay: Duration::from_millis(400),
+        ..FaultSpec::default()
+    });
+    let config = ServiceConfig {
+        deadline: Some(Duration::from_millis(20)),
+        faults: Some(injector),
+        ..ServiceConfig::default()
+    };
+    let service = Arc::new(service_with(config, Some(&dir)));
+    let program = slow_program();
+
+    let claimant = {
+        let service = Arc::clone(&service);
+        let program = program.clone();
+        std::thread::spawn(move || service.compile(&program))
+    };
+    while service.stats().syntheses == 0 {
+        std::thread::yield_now();
+    }
+
+    // Joins the in-flight synthesis, then times out waiting on it.
+    let err = service.compile(&program).unwrap_err();
+    match err {
+        CompileError::DeadlineExceeded { elapsed } => {
+            assert!(elapsed >= Duration::from_millis(20), "elapsed {elapsed:?}");
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    let stats = service.stats();
+    assert_eq!(stats.deadline_exceeded, 1, "{stats}");
+
+    let response = claimant
+        .join()
+        .unwrap()
+        .expect("claimant is never interrupted");
+    assert_eq!(response.served_from, ServedFrom::Synthesized);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A request still sitting in the admission queue when its deadline passes
+/// fails with `DeadlineExceeded` instead of waiting forever.
+#[test]
+fn deadline_expires_while_queued() {
+    let dir = unique_temp_dir("deadline-queued");
+    let injector = FaultInjector::new(FaultSpec {
+        io_delay: Duration::from_millis(400),
+        ..FaultSpec::default()
+    });
+    let config = ServiceConfig {
+        max_concurrent: 1,
+        queue_capacity: 4,
+        deadline: Some(Duration::from_millis(20)),
+        faults: Some(injector),
+        ..ServiceConfig::default()
+    };
+    let service = Arc::new(service_with(config, Some(&dir)));
+
+    let holder = {
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || service.compile(&slow_program()))
+    };
+    while service.stats().syntheses == 0 {
+        std::thread::yield_now();
+    }
+
+    // A *different* kernel can't coalesce; it queues for the slot and its
+    // deadline expires there.
+    let err = service.compile(&small_program(32)).unwrap_err();
+    assert!(
+        matches!(err, CompileError::DeadlineExceeded { .. }),
+        "expected DeadlineExceeded, got {err:?}"
+    );
+    let stats = service.stats();
+    assert!(stats.deadline_exceeded >= 1, "{stats}");
+    assert!(stats.max_queue_depth >= 1, "{stats}");
+
+    holder
+        .join()
+        .unwrap()
+        .expect("the slot holder itself succeeds");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A bounded service admits everything that fits in the queue: four
+/// distinct kernels through one slot all succeed, serialized.
+#[test]
+fn bounded_queue_serializes_without_loss() {
+    let config = ServiceConfig {
+        max_concurrent: 1,
+        queue_capacity: 8,
+        ..ServiceConfig::default()
+    };
+    let service = Arc::new(service_with(config, None));
+    let barrier = Arc::new(Barrier::new(4));
+    let handles: Vec<_> = [32usize, 48, 64, 80]
+        .into_iter()
+        .map(|k| {
+            let service = Arc::clone(&service);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                service.compile(&small_program(k))
+            })
+        })
+        .collect();
+    for handle in handles {
+        let response = handle
+            .join()
+            .unwrap()
+            .expect("queued requests must all be served");
+        assert_eq!(response.served_from, ServedFrom::Synthesized);
+    }
+    let stats = service.stats();
+    assert_eq!(stats.syntheses, 4, "{stats}");
+    assert_eq!(stats.shed + stats.deadline_exceeded, 0, "{stats}");
+    assert_eq!(stats.queue_depth, 0, "queue must drain, {stats}");
+}

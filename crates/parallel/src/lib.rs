@@ -35,8 +35,8 @@ pub mod cache;
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, Once, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Once, OnceLock};
 
 /// How the `HEXCUTE_THREADS` environment variable parsed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +92,93 @@ pub fn worker_count() -> usize {
             machine_parallelism()
         }
         ThreadsSpec::Unset | ThreadsSpec::Auto => machine_parallelism(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection hooks (chaos testing).
+// ---------------------------------------------------------------------------
+
+/// Where in the pool a fault hook is consulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolFaultPoint {
+    /// Before one claimed item of a [`par_map`] job runs its closure. A
+    /// `true` verdict panics the item, which abandons the map and propagates
+    /// to the submitting thread exactly like a closure panic (the pool's
+    /// ordinary panic-propagation contract).
+    JobItem,
+    /// Before a pool worker claims a queued job. A `true` verdict kills the
+    /// worker thread itself (its unwind is caught and the worker is revived;
+    /// see [`pool_stats`]). The job keeps its helper ticket and is picked up
+    /// by another worker or by the submitting thread.
+    WorkerClaim,
+}
+
+/// A fault verdict function: `true` means "inject a fault here". Installed
+/// process-wide by the fault-injection layer (`hexcute_core::faults`).
+pub type PoolFaultHook = Arc<dyn Fn(PoolFaultPoint) -> bool + Send + Sync>;
+
+static HOOK_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn hook_slot() -> &'static Mutex<Option<PoolFaultHook>> {
+    static HOOK: OnceLock<Mutex<Option<PoolFaultHook>>> = OnceLock::new();
+    HOOK.get_or_init(|| Mutex::new(None))
+}
+
+/// Installs (or, with `None`, removes) the process-wide pool fault hook.
+/// When no hook is installed the pool's hot paths check a single relaxed
+/// atomic and nothing else — the injection points are compiled in but inert.
+pub fn set_pool_fault_hook(hook: Option<PoolFaultHook>) {
+    let mut slot = hook_slot().lock().unwrap_or_else(|p| p.into_inner());
+    HOOK_ACTIVE.store(hook.is_some(), Ordering::Release);
+    *slot = hook;
+}
+
+/// Consults the installed hook; `false` when none is installed.
+fn fault_fires(point: PoolFaultPoint) -> bool {
+    if !HOOK_ACTIVE.load(Ordering::Acquire) {
+        return false;
+    }
+    let hook = hook_slot()
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .clone();
+    hook.is_some_and(|h| h(point))
+}
+
+/// Counters describing the pool's lifetime behaviour. Snapshot via
+/// [`pool_stats`]; deltas across a run give job/item throughput and — under
+/// fault injection — how many workers died and were revived.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Persistent worker threads spawned so far.
+    pub spawned: usize,
+    /// Jobs submitted to the pool queue ([`par_map`] calls that fanned out).
+    pub jobs: u64,
+    /// Items claimed and executed across all jobs (by helpers *and*
+    /// submitting threads).
+    pub items: u64,
+    /// Worker threads whose loop unwound (injected or real panics escaping
+    /// the per-item catch).
+    pub deaths: u64,
+    /// Workers revived after a death; equals [`PoolStats::deaths`] unless a
+    /// revival itself failed.
+    pub respawns: u64,
+}
+
+static POOL_JOBS: AtomicU64 = AtomicU64::new(0);
+static POOL_ITEMS: AtomicU64 = AtomicU64::new(0);
+static POOL_DEATHS: AtomicU64 = AtomicU64::new(0);
+static POOL_RESPAWNS: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the pool's lifetime counters.
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        spawned: pool_thread_count(),
+        jobs: POOL_JOBS.load(Ordering::Relaxed),
+        items: POOL_ITEMS.load(Ordering::Relaxed),
+        deaths: POOL_DEATHS.load(Ordering::Relaxed),
+        respawns: POOL_RESPAWNS.load(Ordering::Relaxed),
     }
 }
 
@@ -204,12 +291,26 @@ impl Pool {
         for _ in 0..deficit.min(headroom) {
             match std::thread::Builder::new()
                 .name("hexcute-pool".to_string())
-                .spawn(move || self.worker_loop())
-            {
+                .spawn(move || {
+                    // A worker whose loop unwinds (an injected worker death,
+                    // or a defect escaping the per-item catch) is revived in
+                    // place instead of silently shrinking the pool. The
+                    // queue bookkeeping tolerates the unwind: a death before
+                    // a claim leaves the job's ticket for someone else, and
+                    // every pool lock acquisition is poison-tolerant.
+                    loop {
+                        if panic::catch_unwind(AssertUnwindSafe(|| self.worker_loop())).is_ok() {
+                            break;
+                        }
+                        POOL_DEATHS.fetch_add(1, Ordering::Relaxed);
+                        POOL_RESPAWNS.fetch_add(1, Ordering::Relaxed);
+                    }
+                }) {
                 Ok(_) => inner.spawned += 1,
                 Err(_) => break,
             }
         }
+        POOL_JOBS.fetch_add(1, Ordering::Relaxed);
         let id = inner.next_id;
         inner.next_id += 1;
         inner.queue.push_back(QueuedJob {
@@ -234,6 +335,13 @@ impl Pool {
         let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         loop {
             if let Some(pos) = inner.queue.iter().position(|job| job.tickets > 0) {
+                // Injected worker death: unwind *before* consuming the job's
+                // helper ticket, so the job is simply picked up by another
+                // worker (or finished by its submitting thread). The unwind
+                // is caught by the spawn wrapper, which revives the worker.
+                if fault_fires(PoolFaultPoint::WorkerClaim) {
+                    panic!("injected: pool worker death");
+                }
                 let handle = {
                     let job = &mut inner.queue[pos];
                     job.tickets -= 1;
@@ -317,9 +425,17 @@ where
         let item = (*job.items.cells[i].get())
             .take()
             .expect("each index is claimed once");
+        POOL_ITEMS.fetch_add(1, Ordering::Relaxed);
         // `AssertUnwindSafe` is sound here: on panic the whole map is
-        // abandoned and only the stored payload escapes.
-        match panic::catch_unwind(AssertUnwindSafe(|| (job.f)(item))) {
+        // abandoned and only the stored payload escapes. An injected item
+        // fault panics inside the catch, so it follows the exact propagation
+        // path of a genuine closure panic.
+        match panic::catch_unwind(AssertUnwindSafe(|| {
+            if fault_fires(PoolFaultPoint::JobItem) {
+                panic!("injected: pool worker-job panic");
+            }
+            (job.f)(item)
+        })) {
             Ok(out) => {
                 // SAFETY: as above — this worker owns index `i`.
                 *job.results.cells[i].get() = Some(out);
@@ -604,5 +720,62 @@ mod tests {
     fn uneven_workers_larger_than_items_are_clamped() {
         let out = par_map_with_workers((0..3).collect::<Vec<_>>(), |x| x * x, 64);
         assert_eq!(out, vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn pool_stats_count_jobs_and_items() {
+        let before = pool_stats();
+        let _ = par_map_with_workers((0..128).collect::<Vec<_>>(), |x| x + 1, 4);
+        let after = pool_stats();
+        assert!(after.jobs > before.jobs, "{before:?} -> {after:?}");
+        assert!(after.items >= before.items + 128, "{before:?} -> {after:?}");
+    }
+
+    #[test]
+    fn injected_worker_deaths_are_survived_and_counted() {
+        // Kill the first few workers that try to claim a job: the map must
+        // still complete correctly (the submitter participates, surviving
+        // workers pick up tickets) and the dead workers must be revived.
+        // `WorkerClaim` faults never corrupt results, so the process-global
+        // hook is safe even with sibling tests mapping concurrently.
+        let budget = AtomicUsize::new(3);
+        let budget = Arc::new(budget);
+        let b = budget.clone();
+        set_pool_fault_hook(Some(Arc::new(move |point| {
+            point == PoolFaultPoint::WorkerClaim
+                && b.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                    .is_ok()
+        })));
+        let before = pool_stats();
+        let out = par_map_with_workers((0..256).collect::<Vec<_>>(), |x| x * 2, 4);
+        set_pool_fault_hook(None);
+        assert_eq!(out, (0..256).map(|x| x * 2).collect::<Vec<_>>());
+        // The dead worker's respawn bookkeeping runs on its own thread, so
+        // give it a moment to be scheduled before reading the counters.
+        let injected = 3 - budget.load(Ordering::Relaxed);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let after = loop {
+            let s = pool_stats();
+            if (s.deaths >= before.deaths + injected as u64 && s.respawns == s.deaths)
+                || std::time::Instant::now() > deadline
+            {
+                break s;
+            }
+            std::thread::yield_now();
+        };
+        assert!(
+            after.deaths >= before.deaths + injected as u64,
+            "deaths not counted: {before:?} -> {after:?} ({injected} injected)"
+        );
+        assert_eq!(after.deaths, after.respawns, "every death must respawn");
+        // The revived workers keep serving jobs.
+        let again = par_map_with_workers((0..64).collect::<Vec<_>>(), |x| x + 7, 4);
+        assert_eq!(again, (0..64).map(|x| x + 7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn no_hook_means_no_injection() {
+        assert!(!fault_fires(PoolFaultPoint::JobItem));
+        assert!(!fault_fires(PoolFaultPoint::WorkerClaim));
     }
 }
