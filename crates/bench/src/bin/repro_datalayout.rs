@@ -1,0 +1,33 @@
+//! Data-layout reproduction (PR 7): per-candidate cold-compile cost of the
+//! search core with the lossy direct-mapped memo tier disabled (the PR 6
+//! sharded-map baseline) vs enabled, over the paper's five workload
+//! families, plus both tiers' hit/miss/eviction counters on one
+//! instrumented compile each. Writes the machine-readable summary committed
+//! as `BENCH_pr7.json`.
+//!
+//! The process exits nonzero unless the lossy tier sees a nonzero hit rate
+//! on every family's cold compile and the shared-cache warm-repeat
+//! invariants hold.
+//!
+//! Usage: `cargo run --release --bin repro_datalayout [-- output.json]`
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr7.json".to_string());
+
+    let entries = hexcute_bench::datalayout::run_suite();
+    println!("{}", hexcute_bench::datalayout::as_report(&entries));
+
+    let json = hexcute_bench::datalayout::to_json(&entries);
+    match hexcute_bench::write_output(&out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("failed to write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    hexcute_bench::print_shared_cache_summary();
+    hexcute_bench::checks::exit_if_failed();
+}

@@ -92,5 +92,6 @@ fn main() {
             std::process::exit(1);
         }
     }
+    hexcute_bench::print_shared_cache_summary();
     hexcute_bench::checks::exit_if_failed();
 }

@@ -1,0 +1,440 @@
+//! Before/after measurements of the cache-conscious data-layout refactor
+//! (PR 7): the lossy direct-mapped memo tier in front of the shared sharded
+//! maps, measured on cold compiles of the paper's five workload families.
+//!
+//! Each family is synthesized and cost-ranked exactly like the compiler's
+//! candidate-selection loop (cost model estimate + analytical perf
+//! evaluation per candidate), twice per entry: once with the lossy tier
+//! disabled via [`set_lossy_memo`] — the sharded maps alone, the PR 6
+//! behaviour — and once with it enabled. Every iteration constructs fresh
+//! model/evaluator instances, so their salted lossy keys never hit across
+//! iterations: both sides stay *cold-compile* measurements, and the speedup
+//! isolates the in-compile memo traffic (sibling candidates sharing most op
+//! choices) that the refactor moves from lock-guarded hash maps onto
+//! thread-local direct-mapped probes.
+//!
+//! The results feed `BENCH_pr7.json` via the `repro_datalayout` binary,
+//! which also records the hit/miss/eviction counters of both tiers on one
+//! instrumented cold compile per family.
+//!
+//! The lossy toggle only isolates the memo tier; the rest of the refactor
+//! (arena-allocated prefix tree, interned tensor slots, bitmap injectivity,
+//! bijective-swizzle scoring shortcut) is always on. To compare against the
+//! true pre-refactor code, set `HEXCUTE_DATALAYOUT_BASELINE` to
+//! per-candidate nanoseconds measured at the PR 6 commit with the same
+//! synthesize-and-score loop (`family=ns,family=ns,...`), and optionally
+//! `HEXCUTE_DATALAYOUT_BASELINE_SOURCE` to a provenance string; both flow
+//! into the report and the JSON as a third comparison column.
+
+use hexcute_arch::GpuArch;
+use hexcute_costmodel::CostModel;
+use hexcute_ir::Program;
+use hexcute_kernels::attention::{mha_forward, AttentionConfig, AttentionShape};
+use hexcute_kernels::gemm::{fp16_gemm, GemmConfig, GemmShape};
+use hexcute_kernels::grouped_gemm::{grouped_gemm, GroupedGemmConfig, GroupedGemmShape};
+use hexcute_kernels::moe::{mixed_type_moe, MoeConfig, MoeDataflow, MoeShape};
+use hexcute_kernels::quant_gemm::{w4a16_gemm, QuantGemmConfig, QuantGemmShape};
+use hexcute_layout::set_fast_path;
+use hexcute_parallel::cache::CacheStats;
+use hexcute_parallel::lossy::{self, set_lossy_memo};
+use hexcute_sim::PerfEvaluator;
+use hexcute_synthesis::{SynthesisOptions, Synthesizer};
+
+use crate::fastpath::measure_ns;
+use crate::report::Report;
+use crate::{checks, geomean};
+
+/// One family's before/after measurement plus the memo counters of one
+/// instrumented cold compile with the lossy tier enabled.
+#[derive(Debug, Clone)]
+pub struct DataLayoutEntry {
+    /// Workload family (`gemm`, `attention`, `moe`, `quant`, `grouped`).
+    pub family: String,
+    /// Sibling candidates the search enumerates for the family.
+    pub candidates: usize,
+    /// Median nanoseconds per candidate with the lossy tier disabled (the
+    /// PR 6 sharded-map-only behaviour).
+    pub reference_ns_per_candidate: f64,
+    /// Median nanoseconds per candidate with the lossy tier enabled.
+    pub fast_ns_per_candidate: f64,
+    /// Per-candidate nanoseconds of the true pre-refactor code, injected via
+    /// `HEXCUTE_DATALAYOUT_BASELINE` from a measurement at the PR 6 commit.
+    pub pr6_ns_per_candidate: Option<f64>,
+    /// Lossy-tier counters over the instrumented compile (all purposes).
+    pub lossy: CacheStats,
+    /// Shared per-op cost cache counters over the instrumented compile.
+    pub shared_op_cost: CacheStats,
+    /// Shared whole-candidate cache counters over the instrumented compile.
+    pub shared_candidate: CacheStats,
+    /// Shared bank-penalty cache counters over the instrumented compile.
+    pub shared_bank: CacheStats,
+}
+
+impl DataLayoutEntry {
+    /// Reference per-candidate cost over fast per-candidate cost.
+    pub fn speedup(&self) -> f64 {
+        if self.fast_ns_per_candidate > 0.0 {
+            self.reference_ns_per_candidate / self.fast_ns_per_candidate
+        } else {
+            0.0
+        }
+    }
+
+    /// Speedup over the injected PR 6 pre-refactor baseline, when present.
+    pub fn speedup_vs_pr6(&self) -> Option<f64> {
+        let pr6 = self.pr6_ns_per_candidate?;
+        if self.fast_ns_per_candidate > 0.0 {
+            Some(pr6 / self.fast_ns_per_candidate)
+        } else {
+            None
+        }
+    }
+}
+
+/// Parses `HEXCUTE_DATALAYOUT_BASELINE` (`family=ns,family=ns,...`) into
+/// per-family per-candidate nanoseconds. Malformed pairs are skipped.
+fn baseline_from_env() -> Vec<(String, f64)> {
+    let Ok(raw) = std::env::var("HEXCUTE_DATALAYOUT_BASELINE") else {
+        return Vec::new();
+    };
+    raw.split(',')
+        .filter_map(|pair| {
+            let (family, ns) = pair.split_once('=')?;
+            let ns: f64 = ns.trim().parse().ok()?;
+            (ns > 0.0).then(|| (family.trim().to_string(), ns))
+        })
+        .collect()
+}
+
+/// The cold-compile workload suite: the paper's five families at the shapes
+/// the compile-time evaluation uses.
+fn suite() -> Vec<(&'static str, Program)> {
+    let quant_shape = QuantGemmShape::llama_70b_proj(64);
+    vec![
+        (
+            "gemm",
+            fp16_gemm(GemmShape::new(4096, 4096, 4096), GemmConfig::default())
+                .expect("GEMM construction"),
+        ),
+        (
+            "attention",
+            mha_forward(
+                AttentionShape::forward(8, 32, 2048, 128),
+                AttentionConfig::default(),
+            )
+            .expect("attention construction"),
+        ),
+        (
+            "moe",
+            mixed_type_moe(
+                MoeShape::deepseek_r1(128),
+                MoeConfig::default(),
+                MoeDataflow::Efficient,
+            )
+            .expect("MoE construction"),
+        ),
+        (
+            "quant",
+            w4a16_gemm(quant_shape, QuantGemmConfig::for_shape(&quant_shape))
+                .expect("W4A16 GEMM construction"),
+        ),
+        (
+            "grouped",
+            grouped_gemm(&GroupedGemmShape::mixtral(64), GroupedGemmConfig::default())
+                .expect("grouped GEMM construction"),
+        ),
+    ]
+}
+
+/// One cold synthesis + candidate-scoring pass, the compiler's selection
+/// loop in miniature: fresh model and evaluator (fresh lossy salts — a true
+/// cold compile even under repeated measurement), every candidate estimated
+/// and perf-evaluated.
+fn score_pass(program: &Program, arch: &GpuArch) -> usize {
+    let candidates = Synthesizer::new(program, arch, SynthesisOptions::default())
+        .synthesize()
+        .expect("suite programs synthesize");
+    let model = CostModel::new(arch);
+    let evaluator = PerfEvaluator::new(arch);
+    let n = candidates.len();
+    for candidate in &candidates {
+        let cost = model.estimate(program, candidate);
+        std::hint::black_box(evaluator.evaluate(program, candidate, &cost));
+    }
+    n
+}
+
+/// Measures one family: per-candidate cold-compile cost with the lossy tier
+/// off then on, plus both tiers' counters on one instrumented pass.
+fn measure_family(family: &str, program: &Program, arch: &GpuArch) -> DataLayoutEntry {
+    set_fast_path(true);
+
+    // Instrumented pass first (lossy on): fresh caches, counters read after
+    // a single cold compile.
+    set_lossy_memo(true);
+    let lossy_before = lossy::lossy_stats_total();
+    let candidates = Synthesizer::new(program, arch, SynthesisOptions::default())
+        .synthesize()
+        .expect("suite programs synthesize");
+    let model = CostModel::new(arch);
+    let evaluator = PerfEvaluator::new(arch);
+    for candidate in &candidates {
+        let cost = model.estimate(program, candidate);
+        std::hint::black_box(evaluator.evaluate(program, candidate, &cost));
+    }
+    let lossy_after = lossy::lossy_stats_total();
+    let mut entry = DataLayoutEntry {
+        family: family.to_string(),
+        candidates: candidates.len(),
+        reference_ns_per_candidate: 0.0,
+        fast_ns_per_candidate: 0.0,
+        pr6_ns_per_candidate: None,
+        lossy: CacheStats {
+            hits: lossy_after.hits - lossy_before.hits,
+            misses: lossy_after.misses - lossy_before.misses,
+            evictions: lossy_after.evictions - lossy_before.evictions,
+            entries: lossy_after.entries,
+        },
+        shared_op_cost: model.op_cache_stats(),
+        shared_candidate: model.candidate_cache_stats(),
+        shared_bank: evaluator.bank_cache_stats(),
+    };
+    drop(candidates);
+
+    // Timed passes: lossy off (PR 6 baseline) then on.
+    set_lossy_memo(false);
+    let reference_ns = measure_ns(
+        || {
+            std::hint::black_box(score_pass(program, arch));
+        },
+        5,
+        40.0,
+    );
+    set_lossy_memo(true);
+    let fast_ns = measure_ns(
+        || {
+            std::hint::black_box(score_pass(program, arch));
+        },
+        5,
+        40.0,
+    );
+    let n = entry.candidates.max(1) as f64;
+    entry.reference_ns_per_candidate = reference_ns / n;
+    entry.fast_ns_per_candidate = fast_ns / n;
+    entry
+}
+
+/// Runs the whole suite, leaving the lossy tier enabled afterwards.
+///
+/// The measured invariants are verified, not just printed: the lossy tier
+/// must see traffic and a nonzero hit rate on every family's cold compile
+/// (the sibling candidates of one search share most op choices, so a memo
+/// in front of the op-cost and bank-penalty maps that never hits means the
+/// wiring is broken).
+pub fn run_suite() -> Vec<DataLayoutEntry> {
+    let arch = GpuArch::a100();
+    let baseline = baseline_from_env();
+    let mut entries: Vec<DataLayoutEntry> = suite()
+        .iter()
+        .map(|(family, program)| measure_family(family, program, &arch))
+        .collect();
+    for e in &mut entries {
+        e.pr6_ns_per_candidate = baseline
+            .iter()
+            .find(|(family, _)| family == &e.family)
+            .map(|&(_, ns)| ns);
+    }
+    for e in &entries {
+        checks::check(
+            e.lossy.hits > 0,
+            &format!(
+                "family {}: the lossy tier saw no hits on a cold compile",
+                e.family
+            ),
+        );
+    }
+    set_lossy_memo(true);
+    entries
+}
+
+/// Geometric-mean per-candidate speedup over the suite.
+pub fn geomean_speedup(entries: &[DataLayoutEntry]) -> f64 {
+    let speedups: Vec<f64> = entries.iter().map(DataLayoutEntry::speedup).collect();
+    geomean(&speedups)
+}
+
+/// Geometric-mean speedup over the injected PR 6 baseline; `None` unless
+/// every entry carries a baseline figure.
+pub fn geomean_speedup_vs_pr6(entries: &[DataLayoutEntry]) -> Option<f64> {
+    let speedups: Vec<f64> = entries
+        .iter()
+        .map(DataLayoutEntry::speedup_vs_pr6)
+        .collect::<Option<_>>()?;
+    (!speedups.is_empty()).then(|| geomean(&speedups))
+}
+
+/// Formats the entries as a human-readable report.
+pub fn as_report(entries: &[DataLayoutEntry]) -> Report {
+    let mut report = Report::new(
+        "Cache-conscious data layout: per-candidate cold-compile cost",
+        &[
+            "family",
+            "candidates",
+            "sharded-only /cand",
+            "two-tier /cand",
+            "speedup",
+            "PR 6 /cand",
+            "vs PR 6",
+            "lossy hit rate",
+        ],
+    );
+    for e in entries {
+        report.push_row(vec![
+            e.family.clone(),
+            e.candidates.to_string(),
+            format!("{:.2} µs", e.reference_ns_per_candidate / 1e3),
+            format!("{:.2} µs", e.fast_ns_per_candidate / 1e3),
+            format!("{:.2}x", e.speedup()),
+            e.pr6_ns_per_candidate
+                .map(|ns| format!("{:.2} µs", ns / 1e3))
+                .unwrap_or_else(|| "-".to_string()),
+            e.speedup_vs_pr6()
+                .map(|s| format!("{s:.2}x"))
+                .unwrap_or_else(|| "-".to_string()),
+            format!("{:.1}%", e.lossy.hit_rate() * 100.0),
+        ]);
+    }
+    report.push_note(format!(
+        "geomean per-candidate speedup {:.2}x (lossy tier off = sharded maps only)",
+        geomean_speedup(entries)
+    ));
+    if let Some(vs_pr6) = geomean_speedup_vs_pr6(entries) {
+        report.push_note(format!(
+            "geomean vs PR 6 pre-refactor baseline {vs_pr6:.2}x (injected via \
+             HEXCUTE_DATALAYOUT_BASELINE)"
+        ));
+    }
+    report
+}
+
+fn stats_json(stats: &CacheStats) -> String {
+    format!(
+        "{{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.4}}}",
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        stats.hit_rate()
+    )
+}
+
+/// Serializes the suite as the `BENCH_pr7.json` document: per-family
+/// per-candidate costs, the two-tier memo counters of one instrumented cold
+/// compile, and the suite geomean.
+pub fn to_json(entries: &[DataLayoutEntry]) -> String {
+    let mut out = format!(
+        "{{\n  \"benchmark\": \"cache-conscious data layout\",\n  \"meta\": {{\n    \
+         \"threads\": {},\n    \"host_parallelism\": {},\n    \"os\": \"{}\",\n    \
+         \"arch\": \"{}\",\n    \"lossy_capacity\": {},\n    \
+         \"pr6_baseline_source\": {}\n  }},\n  \"families\": {{\n",
+        hexcute_parallel::worker_count(),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        lossy::lossy_capacity(),
+        std::env::var("HEXCUTE_DATALAYOUT_BASELINE_SOURCE")
+            .map(|s| format!("\"{}\"", s.replace('"', "'")))
+            .unwrap_or_else(|_| "null".to_string()),
+    );
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\n      \"candidates\": {},\n      \
+             \"reference_ns_per_candidate\": {:.1},\n      \
+             \"fast_ns_per_candidate\": {:.1},\n      \"speedup\": {:.3},\n      \
+             \"pr6_baseline_ns_per_candidate\": {},\n      \"speedup_vs_pr6\": {},\n      \
+             \"tiers\": {{\n        \"lossy\": {},\n        \"shared_op_cost\": {},\n        \
+             \"shared_candidate\": {},\n        \"shared_bank\": {}\n      }}\n    }}{}\n",
+            e.family,
+            e.candidates,
+            e.reference_ns_per_candidate,
+            e.fast_ns_per_candidate,
+            e.speedup(),
+            e.pr6_ns_per_candidate
+                .map(|ns| format!("{ns:.1}"))
+                .unwrap_or_else(|| "null".to_string()),
+            e.speedup_vs_pr6()
+                .map(|s| format!("{s:.3}"))
+                .unwrap_or_else(|| "null".to_string()),
+            stats_json(&e.lossy),
+            stats_json(&e.shared_op_cost),
+            stats_json(&e.shared_candidate),
+            stats_json(&e.shared_bank),
+            if i + 1 == entries.len() { "" } else { "," }
+        ));
+    }
+    out.push_str(&format!(
+        "  }},\n  \"geomean_speedup\": {:.3},\n  \"geomean_speedup_vs_pr6\": {}\n}}\n",
+        geomean_speedup(entries),
+        geomean_speedup_vs_pr6(entries)
+            .map(|s| format!("{s:.3}"))
+            .unwrap_or_else(|| "null".to_string()),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(family: &str, reference: f64, fast: f64) -> DataLayoutEntry {
+        DataLayoutEntry {
+            family: family.to_string(),
+            candidates: 8,
+            reference_ns_per_candidate: reference,
+            fast_ns_per_candidate: fast,
+            pr6_ns_per_candidate: None,
+            lossy: CacheStats {
+                hits: 30,
+                misses: 10,
+                evictions: 2,
+                entries: 8,
+            },
+            shared_op_cost: CacheStats::default(),
+            shared_candidate: CacheStats::default(),
+            shared_bank: CacheStats::default(),
+        }
+    }
+
+    #[test]
+    fn json_carries_families_tiers_and_geomean() {
+        let entries = vec![entry("gemm", 4000.0, 1000.0), entry("moe", 9000.0, 3000.0)];
+        let json = to_json(&entries);
+        assert!(json.contains("\"gemm\""));
+        assert!(json.contains("\"lossy\": {\"hits\": 30"));
+        // geomean(4.0, 3.0) = sqrt(12)
+        assert!(json.contains(&format!("\"geomean_speedup\": {:.3}", 12.0f64.sqrt())));
+        let report = as_report(&entries).to_string();
+        assert!(report.contains("4.00x"));
+        // No baseline injected: the vs-PR 6 figures degrade to null/dash.
+        assert!(json.contains("\"speedup_vs_pr6\": null"));
+        assert!(json.contains("\"geomean_speedup_vs_pr6\": null"));
+    }
+
+    #[test]
+    fn injected_pr6_baseline_flows_into_json_and_report() {
+        let mut entries = vec![entry("gemm", 4000.0, 1000.0), entry("moe", 9000.0, 3000.0)];
+        entries[0].pr6_ns_per_candidate = Some(8000.0);
+        assert_eq!(entries[0].speedup_vs_pr6(), Some(8.0));
+        // One family missing a baseline → no suite geomean.
+        assert!(geomean_speedup_vs_pr6(&entries).is_none());
+        entries[1].pr6_ns_per_candidate = Some(6000.0);
+        // geomean(8.0, 2.0) = 4.0
+        assert_eq!(geomean_speedup_vs_pr6(&entries), Some(4.0));
+        let json = to_json(&entries);
+        assert!(json.contains("\"pr6_baseline_ns_per_candidate\": 8000.0"));
+        assert!(json.contains("\"geomean_speedup_vs_pr6\": 4.000"));
+        let report = as_report(&entries).to_string();
+        assert!(report.contains("geomean vs PR 6 pre-refactor baseline 4.00x"));
+    }
+}

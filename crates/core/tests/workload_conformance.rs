@@ -11,6 +11,9 @@
 //!   (`HEXCUTE_DISABLE_INCREMENTAL` / `SynthesisOptions::incremental`),
 //! * worker counts 1 and 4 (`HEXCUTE_THREADS` /
 //!   `SynthesisOptions::parallel_workers`),
+//! * lossy direct-mapped memo tier on/off (`HEXCUTE_DISABLE_LOSSY_MEMO` /
+//!   `hexcute_parallel::lossy::set_lossy_memo`), crossed with the fast-path
+//!   and worker-count axes,
 //! * artifact cache cold vs. warm (memory and disk hits).
 //!
 //! Every new workload family plugs into this harness by construction: adding
@@ -246,14 +249,57 @@ fn assert_conformance(workload: &Workload, arch: &GpuArch) {
 
     // Fast path off: the recursive layout algebra and the element-by-element
     // simulator (the HEXCUTE_DISABLE_FAST_PATH configuration). The switch is
-    // process-global, so hold the lock while it is flipped.
+    // process-global, so hold the lock while it is flipped. Crossed with the
+    // lossy direct-mapped memo tier (HEXCUTE_DISABLE_LOSSY_MEMO), which must
+    // be invisible to results: its tables tag-check and full-key-compare
+    // before returning, so a lossy hit is always the value the sharded maps
+    // would have produced. The on×on×{1,4} cells are the reference /
+    // inc_parallel runs above (both switches default on); the remaining six
+    // cells of the lossy × fast-path × workers cube run here.
     {
         let _guard = FASTPATH_LOCK.lock().unwrap();
-        let was_enabled = hexcute_layout::fast_path_enabled();
+        let was_fast = hexcute_layout::fast_path_enabled();
+        let was_lossy = hexcute_parallel::lossy::lossy_memo_enabled();
+
         hexcute_layout::set_fast_path(false);
         let slow = compile_config(&program, arch, false, 1, Some(0));
-        hexcute_layout::set_fast_path(was_enabled);
+        let slow_parallel = compile_config(&program, arch, true, 4, None);
+
+        hexcute_parallel::lossy::set_lossy_memo(false);
+        let slow_lossless = compile_config(&program, arch, false, 1, Some(0));
+        let slow_lossless_parallel = compile_config(&program, arch, true, 4, None);
+
+        hexcute_layout::set_fast_path(was_fast);
+        let lossless = compile_config(&program, arch, false, 1, Some(0));
+        let lossless_parallel = compile_config(&program, arch, true, 4, None);
+
+        hexcute_parallel::lossy::set_lossy_memo(was_lossy);
         assert_scored_equal("fast-path-off", &program, &reference, &slow);
+        assert_scored_equal(
+            "fast-path-off/4-workers",
+            &program,
+            &reference,
+            &slow_parallel,
+        );
+        assert_scored_equal(
+            "lossy-off/fast-path-off",
+            &program,
+            &reference,
+            &slow_lossless,
+        );
+        assert_scored_equal(
+            "lossy-off/fast-path-off/4-workers",
+            &program,
+            &reference,
+            &slow_lossless_parallel,
+        );
+        assert_scored_equal("lossy-off", &program, &reference, &lossless);
+        assert_scored_equal(
+            "lossy-off/4-workers",
+            &program,
+            &reference,
+            &lossless_parallel,
+        );
     }
 
     // Cache cold vs. warm: a memory hit and a disk hit (fresh cache over the

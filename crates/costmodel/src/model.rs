@@ -16,15 +16,16 @@
 //! disabled together with their respective switches, restoring the
 //! recompute-everything reference behaviour.
 
+use std::cell::RefCell;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 
 use hexcute_arch::GpuArch;
 use hexcute_ir::{Op, OpId, OpKind, Program, TensorId};
 use hexcute_layout::fastpath;
 use hexcute_parallel::cache::{CacheStats, ShardedMap};
+use hexcute_parallel::lossy::{self, LossyPurpose};
 use hexcute_synthesis::Candidate;
 
 /// Bound on resident whole-candidate estimates: each entry carries a per-op
@@ -92,6 +93,22 @@ pub struct CostModel<'a> {
     /// within one program, so estimating a different program clears both
     /// caches (see [`CostModel::retag`]).
     program_tag: RwLock<Option<u64>>,
+    /// Prologue/body/epilogue op-index partition for the tagged program,
+    /// computed once per retag instead of re-partitioning (three `Vec<&Op>`
+    /// allocations) per estimate.
+    partition: RwLock<Option<(u64, Arc<OpPartition>)>>,
+    /// Process-unique salt mixed into every lossy-tier key: thread-local
+    /// lossy tables outlive this model, and a later model for a different
+    /// architecture must never see its entries.
+    salt: u64,
+}
+
+/// Indices into `program.ops()` split by position relative to the main loop.
+#[derive(Debug, Default)]
+struct OpPartition {
+    pre: Vec<u32>,
+    body: Vec<u32>,
+    post: Vec<u32>,
 }
 
 impl<'a> CostModel<'a> {
@@ -102,6 +119,8 @@ impl<'a> CostModel<'a> {
             op_cache: ShardedMap::new(),
             candidate_cache: ShardedMap::bounded(CANDIDATE_CACHE_CAPACITY),
             program_tag: RwLock::new(None),
+            partition: RwLock::new(None),
+            salt: lossy::instance_salt(),
         }
     }
 
@@ -109,17 +128,50 @@ impl<'a> CostModel<'a> {
     /// they were built for, making *sequential* reuse of one model across
     /// programs safe (`OpId`s are only unique within a program). Estimating
     /// different programs concurrently on one model is not supported.
-    fn retag(&self, program: &Program) {
+    /// Returns the program's fingerprint so the estimate path can salt its
+    /// lossy-tier keys without re-reading the lock.
+    fn retag(&self, program: &Program) -> u64 {
         let tag = program_fingerprint(program);
         if *self.program_tag.read().unwrap() == Some(tag) {
-            return;
+            return tag;
         }
         let mut current = self.program_tag.write().unwrap();
         if *current != Some(tag) {
             *current = Some(tag);
             self.op_cache.clear();
             self.candidate_cache.clear();
+            *self.partition.write().unwrap() = None;
         }
+        tag
+    }
+
+    /// The op partition for the tagged program, built on first use per tag.
+    fn partition(&self, program: &Program, tag: u64) -> Arc<OpPartition> {
+        if let Some((t, p)) = self.partition.read().unwrap().as_ref() {
+            if *t == tag {
+                return p.clone();
+            }
+        }
+        let ops = program.ops();
+        let first_loop = ops.iter().position(|o| o.in_main_loop);
+        let last_loop = ops.iter().rposition(|o| o.in_main_loop);
+        let part = match (first_loop, last_loop) {
+            (Some(first), Some(last)) => OpPartition {
+                pre: (0..first as u32).collect(),
+                body: (first..=last)
+                    .filter(|&i| ops[i].in_main_loop)
+                    .map(|i| i as u32)
+                    .collect(),
+                post: (last as u32 + 1..ops.len() as u32).collect(),
+            },
+            _ => OpPartition {
+                pre: (0..ops.len() as u32).collect(),
+                ..OpPartition::default()
+            },
+        };
+        let part = Arc::new(part);
+        *self.partition.write().unwrap() = Some((tag, part.clone()));
+        part
     }
 
     /// Estimates the per-block latency of a candidate program.
@@ -128,50 +180,48 @@ impl<'a> CostModel<'a> {
     /// whole estimate is memoized per candidate fingerprint; the memoized
     /// value is bit-identical to a recomputation.
     pub fn estimate(&self, program: &Program, candidate: &Candidate) -> CostBreakdown {
-        self.retag(program);
+        let tag = self.retag(program);
         if fastpath::enabled() && hexcute_synthesis::incremental_enabled() {
             let key = candidate_fingerprint(program, candidate);
-            return self
-                .candidate_cache
-                .get_or_insert_with(key, || self.estimate_uncached(program, candidate));
+            // The candidate fingerprint already embeds the program
+            // fingerprint, so the lossy key only needs the instance salt.
+            return lossy::two_tier_get_or_insert_with(
+                LossyPurpose::CandidateEstimate,
+                self.salt,
+                key,
+                &self.candidate_cache,
+                key,
+                || self.estimate_uncached(program, candidate, tag),
+            );
         }
-        self.estimate_uncached(program, candidate)
+        self.estimate_uncached(program, candidate, tag)
     }
 
     /// The uncached estimate behind [`CostModel::estimate`].
-    fn estimate_uncached(&self, program: &Program, candidate: &Candidate) -> CostBreakdown {
-        let prologue: Vec<&Op> = program
-            .ops()
-            .iter()
-            .filter(|o| !o.in_main_loop)
-            .take_while(|o| !o.in_main_loop)
-            .collect();
+    fn estimate_uncached(
+        &self,
+        program: &Program,
+        candidate: &Candidate,
+        tag: u64,
+    ) -> CostBreakdown {
         // Split the static ops into prologue (before the loop), loop body and
-        // epilogue (after the loop) by program order.
-        let first_loop = program.ops().iter().position(|o| o.in_main_loop);
-        let last_loop = program.ops().iter().rposition(|o| o.in_main_loop);
-        let (pre, body, post): (Vec<&Op>, Vec<&Op>, Vec<&Op>) = match (first_loop, last_loop) {
-            (Some(first), Some(last)) => (
-                program.ops()[..first].iter().collect(),
-                program.ops()[first..=last]
-                    .iter()
-                    .filter(|o| o.in_main_loop)
-                    .collect(),
-                program.ops()[last + 1..].iter().collect(),
-            ),
-            _ => (prologue, Vec::new(), Vec::new()),
-        };
+        // epilogue (after the loop) by program order; the index partition is
+        // computed once per program tag.
+        let partition = self.partition(program, tag);
+        let (pre, body, post) = (&partition.pre, &partition.body, &partition.post);
 
-        let mut per_op = Vec::new();
+        let mut per_op = Vec::with_capacity(program.ops().len());
 
-        let prologue_cycles = self.sequence_cycles(program, candidate, &pre, &mut per_op, false);
-        let body_serial = self.sequence_cycles(program, candidate, &body, &mut per_op, false);
-        let epilogue_cycles = self.sequence_cycles(program, candidate, &post, &mut per_op, true);
+        let prologue_cycles =
+            self.sequence_cycles(program, candidate, pre, &mut per_op, false, tag);
+        let body_serial = self.sequence_cycles(program, candidate, body, &mut per_op, false, tag);
+        let epilogue_cycles =
+            self.sequence_cycles(program, candidate, post, &mut per_op, true, tag);
 
         // Pipelining and warp specialization overlap the memory and compute
         // portions of the loop body across iterations.
         let (body_mem_issue, body_compute_issue, body_max_completion) =
-            self.body_split(program, candidate, &body);
+            self.body_split(program, candidate, body, tag);
         let stages = program.schedule.pipeline_stages.max(1) as f64;
         let overlapped = program.schedule.pipeline_stages > 1 || program.schedule.warp_specialized;
         let loop_iteration_cycles = if body.is_empty() {
@@ -220,44 +270,54 @@ impl<'a> CostModel<'a> {
 
     /// Issue-plus-stall cycles of a straight-line op sequence, tracking
     /// read-after-write dependencies against in-flight completions.
+    ///
+    /// The tensor-readiness map is a thread-local SoA scratch (epoch-stamped
+    /// clock vector indexed by the dense [`TensorId::index`]) reused across
+    /// every candidate a worker scores — sibling candidates in the search
+    /// walk pay zero allocations here.
     fn sequence_cycles(
         &self,
         program: &Program,
         candidate: &Candidate,
-        ops: &[&Op],
+        ops: &[u32],
         per_op: &mut Vec<OpCost>,
         wait_for_all: bool,
+        tag: u64,
     ) -> f64 {
-        let mut clock = 0.0f64;
-        let mut ready: HashMap<TensorId, f64> = HashMap::new();
-        let mut last_completion = 0.0f64;
-        for op in ops {
-            // RAW stall: wait until every input is ready.
-            let input_ready = op
-                .inputs()
-                .iter()
-                .map(|t| ready.get(t).copied().unwrap_or(0.0))
-                .fold(0.0f64, f64::max);
-            let stall = (input_ready - clock).max(0.0);
-            clock += stall;
+        READY_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let epoch = scratch.begin(program.tensors().len());
+            let mut clock = 0.0f64;
+            let mut last_completion = 0.0f64;
+            for &i in ops {
+                let op = &program.ops()[i as usize];
+                // RAW stall: wait until every input is ready.
+                let input_ready = op
+                    .inputs()
+                    .iter()
+                    .map(|t| scratch.ready(epoch, *t))
+                    .fold(0.0f64, f64::max);
+                let stall = (input_ready - clock).max(0.0);
+                clock += stall;
 
-            let (issue, completion) = self.op_cycles_memo(program, candidate, op);
-            clock += issue;
-            for out in op.outputs() {
-                ready.insert(out, clock + completion);
+                let (issue, completion) = self.op_cycles_memo(program, candidate, op, tag);
+                clock += issue;
+                for out in op.outputs() {
+                    scratch.set_ready(epoch, out, clock + completion);
+                }
+                last_completion = last_completion.max(clock + completion);
+                per_op.push(OpCost {
+                    op: op.id,
+                    issue_cycles: issue,
+                    stall_cycles: stall,
+                    completion_cycles: completion,
+                });
             }
-            last_completion = last_completion.max(clock + completion);
-            per_op.push(OpCost {
-                op: op.id,
-                issue_cycles: issue,
-                stall_cycles: stall,
-                completion_cycles: completion,
-            });
-        }
-        if wait_for_all {
-            clock = clock.max(last_completion);
-        }
-        clock
+            if wait_for_all {
+                clock = clock.max(last_completion);
+            }
+            clock
+        })
     }
 
     /// Splits the loop body into memory-pipe issue cycles, compute-pipe issue
@@ -267,13 +327,15 @@ impl<'a> CostModel<'a> {
         &self,
         program: &Program,
         candidate: &Candidate,
-        body: &[&Op],
+        body: &[u32],
+        tag: u64,
     ) -> (f64, f64, f64) {
         let mut mem = 0.0f64;
         let mut compute = 0.0f64;
         let mut max_completion = 0.0f64;
-        for op in body {
-            let (issue, completion) = self.op_cycles_memo(program, candidate, op);
+        for &i in body {
+            let op = &program.ops()[i as usize];
+            let (issue, completion) = self.op_cycles_memo(program, candidate, op, tag);
             max_completion = max_completion.max(completion);
             if matches!(op.kind, OpKind::Copy { .. } | OpKind::Rearrange { .. }) {
                 mem += issue;
@@ -293,19 +355,35 @@ impl<'a> CostModel<'a> {
     /// differs from the one the model last saw (operation ids are only
     /// unique within a program).
     pub fn op_cycles(&self, program: &Program, candidate: &Candidate, op: &Op) -> (f64, f64) {
-        self.retag(program);
-        self.op_cycles_memo(program, candidate, op)
+        let tag = self.retag(program);
+        self.op_cycles_memo(program, candidate, op, tag)
     }
 
     /// [`CostModel::op_cycles`] without the per-call retag — used by the
-    /// estimate loops, which retag once per candidate.
-    fn op_cycles_memo(&self, program: &Program, candidate: &Candidate, op: &Op) -> (f64, f64) {
+    /// estimate loops, which retag once per candidate. The lossy front is
+    /// salted with the program tag: `OpId`s are only unique within one
+    /// program, and the thread-local tables are never cleared.
+    fn op_cycles_memo(
+        &self,
+        program: &Program,
+        candidate: &Candidate,
+        op: &Op,
+        tag: u64,
+    ) -> (f64, f64) {
         if !fastpath::enabled() {
             return self.op_cycles_uncached(program, candidate, op);
         }
-        let key = (op.id, op_choice_fingerprint(candidate, op));
-        self.op_cache
-            .get_or_insert_with(key, || self.op_cycles_uncached(program, candidate, op))
+        let fp = op_choice_fingerprint(candidate, op);
+        // The op-cost compute is cheap and touches no other cache, so the
+        // shared fallthrough can afford the compute-under-lock single probe.
+        lossy::two_tier_probe_or_insert_with(
+            LossyPurpose::OpCost,
+            lossy::mix(self.salt, tag),
+            lossy::mix(op.id.index() as u64, fp),
+            &self.op_cache,
+            (op.id, fp),
+            || self.op_cycles_uncached(program, candidate, op),
+        )
     }
 
     /// The uncached estimate behind [`CostModel::op_cycles`].
@@ -372,7 +450,10 @@ impl<'a> CostModel<'a> {
         }
     }
 
-    /// Clears the per-operation and per-candidate memoization caches.
+    /// Clears the per-operation and per-candidate memoization caches. The
+    /// thread-local lossy front retains its (salted) entries — every cached
+    /// value is a pure function of its key, so a post-clear hit there is
+    /// still bit-identical to a recomputation.
     pub fn clear_cache(&self) {
         self.op_cache.clear();
         self.candidate_cache.clear();
@@ -403,6 +484,61 @@ impl<'a> CostModel<'a> {
             })
             .sum()
     }
+}
+
+/// Thread-local SoA scratch for [`CostModel::sequence_cycles`]: tensor
+/// readiness clocks in a flat vector indexed by the dense
+/// [`TensorId::index`], invalidated wholesale by bumping an epoch stamp
+/// instead of clearing (one add per sequence, zero allocation once grown to
+/// the largest program seen by the thread).
+struct ReadyScratch {
+    epoch: u64,
+    marks: Vec<u64>,
+    clocks: Vec<f64>,
+}
+
+impl ReadyScratch {
+    /// Starts a fresh sequence over a program with `tensors` declarations,
+    /// returning the epoch that validates this sequence's writes.
+    fn begin(&mut self, tensors: usize) -> u64 {
+        self.epoch += 1;
+        if self.marks.len() < tensors {
+            self.marks.resize(tensors, 0);
+            self.clocks.resize(tensors, 0.0);
+        }
+        self.epoch
+    }
+
+    /// The readiness clock of `t` in this epoch (0.0 when never produced —
+    /// the same default the old per-call hash map returned).
+    fn ready(&self, epoch: u64, t: TensorId) -> f64 {
+        match self.marks.get(t.index()) {
+            Some(&mark) if mark == epoch => self.clocks[t.index()],
+            _ => 0.0,
+        }
+    }
+
+    fn set_ready(&mut self, epoch: u64, t: TensorId, clock: f64) {
+        let i = t.index();
+        if i >= self.marks.len() {
+            // Defensive: a tensor id past the decl count (should not happen
+            // with the dense builder ids, but growth is cheap and correct).
+            self.marks.resize(i + 1, 0);
+            self.clocks.resize(i + 1, 0.0);
+        }
+        self.marks[i] = epoch;
+        self.clocks[i] = clock;
+    }
+}
+
+thread_local! {
+    static READY_SCRATCH: RefCell<ReadyScratch> = const {
+        RefCell::new(ReadyScratch {
+            epoch: 0,
+            marks: Vec::new(),
+            clocks: Vec::new(),
+        })
+    };
 }
 
 /// A fingerprint of everything candidate-independent the cost model reads

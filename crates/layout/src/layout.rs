@@ -337,8 +337,27 @@ impl Layout {
 
     /// Returns `true` when the layout is injective over its domain.
     pub fn is_injective(&self) -> bool {
-        let mut seen = std::collections::HashSet::with_capacity(self.size());
-        (0..self.size()).all(|i| seen.insert(self.map(i)))
+        let size = self.size();
+        let cosize = self.cosize();
+        // One bit per address beats hashing whenever the codomain is small
+        // enough to fit a dense bitmap — the common case for tile layouts,
+        // and the hot case in shared-memory swizzle scoring.
+        const BITMAP_LIMIT: usize = 1 << 26;
+        if cosize <= BITMAP_LIMIT {
+            let mut seen = vec![0u64; cosize.div_ceil(64)];
+            for i in 0..size {
+                let v = self.map(i);
+                let (word, bit) = (v / 64, v % 64);
+                if seen[word] >> bit & 1 == 1 {
+                    return false;
+                }
+                seen[word] |= 1 << bit;
+            }
+            true
+        } else {
+            let mut seen = std::collections::HashSet::with_capacity(size);
+            (0..size).all(|i| seen.insert(self.map(i)))
+        }
     }
 
     /// Returns `true` when the layout is a bijection onto `[0, size)`.

@@ -82,6 +82,20 @@ impl Swizzle {
         offset ^ ((offset >> self.shift) & mask)
     }
 
+    /// Whether the swizzle is a bijection on addresses.
+    ///
+    /// `apply` XORs the bits at `[base, base + bits)` with the bits at
+    /// `[base + shift, base + shift + bits)`. When the two ranges are
+    /// disjoint (`shift >= bits`) the source bits pass through unchanged, so
+    /// the XOR term can be recomputed from the output and undone — the map
+    /// is its own inverse. Every swizzle in [`Swizzle::candidates`] is
+    /// bijective; composing a bijection with a layout preserves the layout's
+    /// injectivity, which lets the swizzle-scoring loop check the base
+    /// layout once instead of re-walking the domain per swizzle.
+    pub fn is_bijective(&self) -> bool {
+        self.bits == 0 || self.shift >= self.bits
+    }
+
     /// The standard candidate swizzles enumerated by the shared-memory layout
     /// pass, ordered from the strongest (128-byte) to the identity.
     pub fn candidates() -> Vec<Swizzle> {
@@ -152,6 +166,12 @@ impl SwizzledLayout {
 
     /// Returns `true` when the function remains injective over the domain.
     pub fn is_injective(&self) -> bool {
+        // A bijective swizzle cannot merge two distinct addresses, so the
+        // composite is injective exactly when the base layout is — and the
+        // base check uses the dense-bitmap fast path.
+        if self.swizzle.is_bijective() {
+            return self.layout.is_injective();
+        }
         let mut seen = std::collections::HashSet::with_capacity(self.size());
         (0..self.size()).all(|i| seen.insert(self.map(i)))
     }

@@ -193,6 +193,31 @@ impl<K: Hash + Eq, V: Clone> ShardedMap<K, V> {
         value
     }
 
+    /// The cached value for `key`, computing it **under the shard write
+    /// lock** on a miss: one lock acquisition and one `HashMap` probe total,
+    /// versus up to three probes (read-miss, recheck, insert) for
+    /// [`ShardedMap::get_or_insert_with`], and no redundant concurrent
+    /// recomputation. Only for *cheap, non-reentrant* `compute` closures: a
+    /// closure that re-enters this map (any key in the same shard) or blocks
+    /// on work that does would deadlock, and an expensive closure would
+    /// serialize every concurrent access to the shard.
+    pub fn probe_or_insert_with<F: FnOnce() -> V>(&self, key: K, compute: F) -> V {
+        let mut shard = self.shard(&key).write().unwrap_or_else(|p| p.into_inner());
+        if let Some(hit) = shard.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if shard.len() >= self.shard_capacity {
+            self.evictions
+                .fetch_add(shard.len() as u64, Ordering::Relaxed);
+            shard.clear();
+        }
+        let value = compute();
+        shard.insert(key, value.clone());
+        value
+    }
+
     /// Number of resident entries across all shards.
     pub fn len(&self) -> usize {
         self.shards
@@ -240,6 +265,24 @@ mod tests {
         assert_eq!(stats.entries, 1);
         assert_eq!(stats.evictions, 0);
         assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probe_or_insert_is_a_single_probe_memo() {
+        let map: ShardedMap<u64, u64> = ShardedMap::new();
+        assert_eq!(map.probe_or_insert_with(5, || 50), 50);
+        assert_eq!(map.probe_or_insert_with(5, || 99), 50);
+        let stats = map.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+        // Bounded maps still evict on the single-probe path.
+        let bounded: ShardedMap<u64, u64> = ShardedMap::bounded(16);
+        for k in 0..1000 {
+            let _ = bounded.probe_or_insert_with(k, || k);
+        }
+        assert!(bounded.stats().evictions > 0);
+        assert_eq!(bounded.probe_or_insert_with(7, || 70), 70);
     }
 
     #[test]

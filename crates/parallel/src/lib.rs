@@ -25,12 +25,15 @@
 //!
 //! The [`cache`] module provides the sharded concurrent memo map the
 //! synthesis/cost/simulation caches use to stay safe (and mostly
-//! uncontended) when the parallel search shares them across workers.
+//! uncontended) when the parallel search shares them across workers; the
+//! [`lossy`] module puts a thread-local direct-mapped table in front of it
+//! on the single-threaded hot path.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod cache;
+pub mod lossy;
 
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;

@@ -50,5 +50,8 @@ pub use engine::Synthesizer;
 pub use error::{Result, SynthesisError};
 pub use incremental::{incremental_enabled, set_incremental};
 pub use options::SynthesisOptions;
-pub use prefix::PrefixStats;
-pub use smem::{bank_conflict_degree, synthesize_smem_layouts, ConstraintMode, LayoutConstraint};
+pub use prefix::{PrefixStats, TensorSlotInterner};
+pub use smem::{
+    bank_conflict_degree, synthesize_smem_layouts, ConstraintError, ConstraintMode,
+    LayoutConstraint,
+};

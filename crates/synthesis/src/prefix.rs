@@ -5,13 +5,27 @@
 //! atom and the same copy plan for most edges. The reference path re-unifies
 //! shared-memory constraints and re-selects swizzles from scratch for every
 //! candidate; this module instead treats each selection as a path through a
-//! prefix tree of `PrefixNode`s, carrying per-shared-tensor constraint
-//! state down the path (each edge unifies only the constraint of the newly
-//! decided copy), and memoizes the expensive per-tensor finishing step
-//! (materialization + swizzle selection) keyed by the choices of exactly the
-//! copies touching the tensor — a sibling whose differing suffix does not
-//! touch a tensor reuses its finished layout outright. This is the same
-//! trick BDD packages use with apply-caches over shared subgraphs.
+//! prefix tree, carrying per-shared-tensor constraint state down the path
+//! (each edge unifies only the constraint of the newly decided copy), and
+//! memoizes the expensive per-tensor finishing step (materialization +
+//! swizzle selection) keyed by the choices of exactly the copies touching
+//! the tensor — a sibling whose differing suffix does not touch a tensor
+//! reuses its finished layout outright. This is the same trick BDD packages
+//! use with apply-caches over shared subgraphs.
+//!
+//! ## Data layout
+//!
+//! The tree is not a tree of owned maps. Shared tensors are interned to
+//! dense slots by a [`TensorSlotInterner`], so per-node constraint state is
+//! a flat `Vec<ConstraintSlot>` indexed by slot; the states live in an
+//! **arena** of reusable rows, and the walk's stack holds `u32` row indices
+//! instead of owned nodes. An edge whose copy touches no shared tensor
+//! pushes its parent's row index (zero cost); a stateful edge clones its
+//! parent's row into the next arena slot, reusing the allocations of rows
+//! abandoned by earlier backtracking (allocation order = traversal order).
+//! Constraint conflicts are carried as the `Copy`
+//! [`ConstraintError`] code — the `String` reason
+//! only materializes at the API boundary.
 //!
 //! The results are bit-identical to the reference path: the same constraints
 //! are unified in the same (program) order and the same finishing code runs
@@ -35,7 +49,7 @@
 //! subtrees rarely recompute a layout redundantly.
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
 use hexcute_arch::DType;
@@ -45,21 +59,88 @@ use hexcute_parallel::cache::{CacheStats, ShardedMap};
 
 use crate::choice::{Candidate, CopyChoice};
 use crate::engine::{degrade_to_scalar, CopyPlan, Synthesizer, TvBase};
-use crate::smem::{copy_constraint, materialize_and_swizzle, unify_touching, LayoutConstraint};
+use crate::smem::{
+    copy_constraint, materialize_and_swizzle, unify_touching, ConstraintError, LayoutConstraint,
+};
 
-/// One node of the prefix tree: the per-shared-tensor constraint state after
-/// the first `depth` copy choices of the path. Children extend the state by
-/// unifying only the constraint of their newly decided copy.
-#[derive(Debug, Clone)]
-struct PrefixNode {
-    /// Unified constraint per shared tensor, or the first unification
-    /// conflict encountered along the path (which sends every candidate
-    /// below this node to the scalar fallback). `None` means the node's
-    /// choice touches no shared tensor and the state of the nearest
-    /// ancestor with `Some` applies unchanged — edges for register/global
-    /// copies then cost nothing.
-    constraints: Option<BTreeMap<TensorId, Result<LayoutConstraint, String>>>,
+/// Sentinel for "tensor not interned" in the sparse index.
+const NO_SLOT: u32 = u32::MAX;
+
+/// Interns a set of [`TensorId`]s to dense `u32` slots, so per-tensor state
+/// can live in flat vectors indexed by slot instead of ordered maps keyed by
+/// id. Slot order is insertion order; lookups in both directions are O(1)
+/// (ids are dense per program, so the reverse index is a plain vector).
+#[derive(Debug, Clone, Default)]
+pub struct TensorSlotInterner {
+    /// `slot -> tensor`, in insertion order.
+    tensors: Vec<TensorId>,
+    /// `tensor.index() -> slot`, [`NO_SLOT`] when not interned.
+    slots: Vec<u32>,
 }
+
+impl TensorSlotInterner {
+    /// Interns the tensors in iteration order (duplicates keep their first
+    /// slot).
+    pub fn new(tensors: impl IntoIterator<Item = TensorId>) -> Self {
+        let mut interner = TensorSlotInterner::default();
+        for tensor in tensors {
+            interner.intern(tensor);
+        }
+        interner
+    }
+
+    /// The slot of `tensor`, interning it if new.
+    pub fn intern(&mut self, tensor: TensorId) -> u32 {
+        if let Some(slot) = self.slot(tensor) {
+            return slot;
+        }
+        let slot = u32::try_from(self.tensors.len()).expect("fewer than 2^32 tensors");
+        if tensor.index() >= self.slots.len() {
+            self.slots.resize(tensor.index() + 1, NO_SLOT);
+        }
+        self.slots[tensor.index()] = slot;
+        self.tensors.push(tensor);
+        slot
+    }
+
+    /// The slot of `tensor`, if interned.
+    pub fn slot(&self, tensor: TensorId) -> Option<u32> {
+        match self.slots.get(tensor.index()) {
+            Some(&slot) if slot != NO_SLOT => Some(slot),
+            _ => None,
+        }
+    }
+
+    /// The tensor occupying `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slot` was never handed out.
+    pub fn tensor(&self, slot: u32) -> TensorId {
+        self.tensors[slot as usize]
+    }
+
+    /// Number of interned tensors.
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Whether no tensor is interned.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// The interned tensors in slot order.
+    pub fn tensors(&self) -> &[TensorId] {
+        &self.tensors
+    }
+}
+
+/// Per-tensor constraint state of one tree node: the unified constraint, or
+/// the first unification conflict encountered along the path (which sends
+/// every candidate below the node to the scalar fallback). `Copy` error
+/// codes keep cloning a row allocation-free on the error side.
+type ConstraintSlot = Result<LayoutConstraint, ConstraintError>;
 
 /// Counters exposing how much work the prefix sharing saved and how the
 /// parallel walk split it. Used by tests to assert that sharing actually
@@ -84,28 +165,34 @@ pub struct PrefixStats {
 }
 
 /// The shared per-tensor finishing memo: finished shared-memory layouts (or
-/// the unification/materialization error) keyed by the tensor and the
+/// the unification/materialization error code) keyed by the tensor and the
 /// fingerprint of the copy choices touching it. Values are pure functions of
 /// the key, which is what makes sharing it across subtree workers safe *and*
 /// deterministic.
-type FinishedMemo = ShardedMap<(TensorId, u64), Result<SwizzledLayout, String>>;
+type FinishedMemo = ShardedMap<(TensorId, u64), Result<SwizzledLayout, ConstraintError>>;
 
 /// The state of one incremental search: the current path through the prefix
 /// tree plus the cross-path memo of finished per-tensor layouts.
 struct PrefixSearch<'s, 'a> {
     synth: &'s Synthesizer<'a>,
     plans: &'s [CopyPlan],
-    /// Shared tensors in `program.shared_tensors()` order (the order the
-    /// reference path processes them in).
-    shared: Vec<TensorId>,
-    /// Tile shape and dtype per shared tensor.
-    info: BTreeMap<TensorId, (Vec<usize>, DType)>,
-    /// Plan indices (in plan = program order) touching each shared tensor.
-    touch: BTreeMap<TensorId, Vec<usize>>,
-    /// Shared tensors touched by each plan.
-    plan_touch: Vec<Vec<TensorId>>,
-    /// `stack[d]` is the node after the first `d` choices of `path`.
-    stack: Vec<PrefixNode>,
+    /// Shared tensors interned to dense slots, in `program.shared_tensors()`
+    /// order (the order the reference path processes them in).
+    interner: TensorSlotInterner,
+    /// Tile shape and dtype per slot.
+    info: Vec<(Vec<usize>, DType)>,
+    /// Plan indices (in plan = program order) touching each slot.
+    touch: Vec<Vec<u32>>,
+    /// Slots touched by each plan.
+    plan_touch: Vec<Vec<u32>>,
+    /// Arena of constraint-state rows; `arena[..arena_len]` are live, rows
+    /// beyond keep their allocations for reuse after backtracking.
+    arena: Vec<Vec<ConstraintSlot>>,
+    arena_len: usize,
+    /// `stack[d]` is the arena row holding the state after the first `d`
+    /// choices of `path`. Stateless edges repeat their parent's row, so the
+    /// indices are non-decreasing along the stack.
+    stack: Vec<u32>,
     path: Vec<usize>,
     /// Finished per-tensor layouts keyed by the choices of the copies
     /// touching the tensor; shared across every subtree worker of one
@@ -117,41 +204,42 @@ struct PrefixSearch<'s, 'a> {
 impl<'s, 'a> PrefixSearch<'s, 'a> {
     fn new(synth: &'s Synthesizer<'a>, plans: &'s [CopyPlan], finished: &'s FinishedMemo) -> Self {
         let program = synth.program();
-        let shared = program.shared_tensors();
-        let mut info = BTreeMap::new();
-        let mut touch: BTreeMap<TensorId, Vec<usize>> = BTreeMap::new();
-        for &tensor in &shared {
+        let interner = TensorSlotInterner::new(program.shared_tensors());
+        let mut info = Vec::with_capacity(interner.len());
+        for &tensor in interner.tensors() {
             let decl = program.tensor(tensor);
-            info.insert(tensor, (decl.tile_shape_2d(), decl.dtype));
-            touch.insert(tensor, Vec::new());
+            info.push((decl.tile_shape_2d(), decl.dtype));
         }
-        let mut plan_touch = vec![Vec::new(); plans.len()];
+        let mut touch: Vec<Vec<u32>> = vec![Vec::new(); interner.len()];
+        let mut plan_touch: Vec<Vec<u32>> = vec![Vec::new(); plans.len()];
         for (d, plan) in plans.iter().enumerate() {
             let OpKind::Copy { src, dst } = program.op(plan.op).kind else {
                 continue;
             };
             for tensor in [src, dst] {
-                if info.contains_key(&tensor) && !plan_touch[d].contains(&tensor) {
-                    plan_touch[d].push(tensor);
-                    touch.get_mut(&tensor).expect("shared tensor").push(d);
+                let Some(slot) = interner.slot(tensor) else {
+                    continue;
+                };
+                if !plan_touch[d].contains(&slot) {
+                    plan_touch[d].push(slot);
+                    touch[slot as usize].push(d as u32);
                 }
             }
         }
-        let root = PrefixNode {
-            constraints: Some(
-                info.iter()
-                    .map(|(&t, (tile, _))| (t, Ok(LayoutConstraint::unconstrained(tile))))
-                    .collect(),
-            ),
-        };
+        let root: Vec<ConstraintSlot> = info
+            .iter()
+            .map(|(tile, _)| Ok(LayoutConstraint::unconstrained(tile)))
+            .collect();
         PrefixSearch {
             synth,
             plans,
-            shared,
+            interner,
             info,
             touch,
             plan_touch,
-            stack: vec![root],
+            arena: vec![root],
+            arena_len: 1,
+            stack: vec![0],
             path: Vec::new(),
             finished,
             stats: PrefixStats::default(),
@@ -160,7 +248,8 @@ impl<'s, 'a> PrefixSearch<'s, 'a> {
 
     /// Repositions the walk at the leaf for `sel`, reusing the nodes of the
     /// longest prefix shared with the previous path and expanding only the
-    /// differing suffix.
+    /// differing suffix. Arena rows abandoned by the backtrack keep their
+    /// allocations and are overwritten by the new branch.
     fn walk_to(&mut self, sel: &[usize]) {
         let common = self
             .path
@@ -170,45 +259,61 @@ impl<'s, 'a> PrefixSearch<'s, 'a> {
             .count();
         self.path.truncate(common);
         self.stack.truncate(common + 1);
+        // Row indices are non-decreasing along the stack, so everything past
+        // the kept top is unreachable from the new branch.
+        self.arena_len = self.stack[common] as usize + 1;
         for (depth, &alternative) in sel.iter().enumerate().skip(common) {
             self.extend(depth, alternative);
         }
     }
 
-    /// The constraint state at the current end of the path: the nearest
-    /// node that actually carries state (see [`PrefixNode::constraints`]).
-    fn current_constraints(&self) -> &BTreeMap<TensorId, Result<LayoutConstraint, String>> {
-        self.stack
-            .iter()
-            .rev()
-            .find_map(|node| node.constraints.as_ref())
-            .expect("the root always carries state")
+    /// The arena row holding the constraint state at the current end of the
+    /// path.
+    fn current_row(&self) -> u32 {
+        *self.stack.last().expect("the root is always on the stack")
+    }
+
+    /// Clones the parent row into the next arena slot (reusing a spare row's
+    /// allocations when the walk backtracked past it) and returns its index.
+    fn push_row_from(&mut self, parent: u32) -> u32 {
+        let idx = self.arena_len;
+        if idx < self.arena.len() {
+            let (live, spare) = self.arena.split_at_mut(idx);
+            spare[0].clone_from(&live[parent as usize]);
+        } else {
+            let row = self.arena[parent as usize].clone();
+            self.arena.push(row);
+        }
+        self.arena_len += 1;
+        u32::try_from(idx).expect("fewer than 2^32 tree rows")
     }
 
     /// Pushes one choice: unifies the chosen copy's constraint into the
     /// state of every shared tensor the copy touches. Choices touching no
-    /// shared tensor push a stateless node (the ancestor state applies).
+    /// shared tensor repeat their parent's row (the ancestor state applies
+    /// unchanged — edges for register/global copies cost nothing).
     fn extend(&mut self, depth: usize, alternative: usize) {
         let plan = &self.plans[depth];
-        let constraints = if self.plan_touch[depth].is_empty() {
-            None
+        let parent = self.current_row();
+        let row = if self.plan_touch[depth].is_empty() {
+            parent
         } else {
             self.stats.nodes_expanded += 1;
-            let mut constraints = self.current_constraints().clone();
+            let row = self.push_row_from(parent);
             // Mirror the clamp `materialize_candidate` applies to the
             // alternative index.
             let (atom, elems) = &plan.alternatives[alternative.min(plan.alternatives.len() - 1)];
-            for tensor in &self.plan_touch[depth] {
-                let (tile, dtype) = &self.info[tensor];
-                let entry = constraints.get_mut(tensor).expect("tracked tensor");
+            for &slot in &self.plan_touch[depth] {
+                let (tile, dtype) = &self.info[slot as usize];
+                let entry = &mut self.arena[row as usize][slot as usize];
                 if let Ok(current) = entry {
                     let c = copy_constraint(atom, plan.vector_dim, *elems, tile, *dtype);
                     *entry = current.unify(&c);
                 }
             }
-            Some(constraints)
+            row
         };
-        self.stack.push(PrefixNode { constraints });
+        self.stack.push(row);
         self.path.push(alternative);
     }
 
@@ -218,8 +323,8 @@ impl<'s, 'a> PrefixSearch<'s, 'a> {
     /// fallback is unsatisfiable) — exactly like the reference path.
     fn finish_leaf(&mut self, base: &TvBase, sel: &[usize]) -> Option<Candidate> {
         let mut candidate = self.synth.materialize_candidate(base, self.plans, sel);
-        let leaf = self.current_constraints().clone();
-        if self.attach_smem(&mut candidate, Some(&leaf)).is_ok() {
+        let leaf = self.current_row();
+        if self.attach_smem(&mut candidate, Some(leaf)).is_ok() {
             return Some(candidate);
         }
         // Degrade every shared-memory copy to its scalar alternative and
@@ -236,31 +341,50 @@ impl<'s, 'a> PrefixSearch<'s, 'a> {
         None
     }
 
+    /// Fingerprint of the copy choices touching the tensor in `slot` —
+    /// exactly the inputs `copy_constraint` and the swizzle scoring read
+    /// (the per-thread coverage is plan-constant, so the op identity covers
+    /// it). Walks the precomputed per-slot plan indices and hashes the
+    /// choices in place — no temporary `Vec<&CopyChoice>` per tensor per
+    /// leaf.
+    fn touching_fingerprint(&self, candidate: &Candidate, slot: u32) -> u64 {
+        let mut hasher = DefaultHasher::new();
+        for &pi in &self.touch[slot as usize] {
+            let choice = &candidate.copy_choices[&self.plans[pi as usize].op];
+            choice.atom.name.hash(&mut hasher);
+            choice.elements_per_thread.hash(&mut hasher);
+            choice.vector_dim.hash(&mut hasher);
+        }
+        hasher.finish()
+    }
+
+    /// The touching copy choices of `slot`, materialized only on memo misses
+    /// (the finishing code needs the actual slice).
+    fn touching_choices_of<'c>(&self, candidate: &'c Candidate, slot: u32) -> Vec<&'c CopyChoice> {
+        self.touch[slot as usize]
+            .iter()
+            .map(|&pi| &candidate.copy_choices[&self.plans[pi as usize].op])
+            .collect()
+    }
+
     /// Attaches a synthesized layout for every shared tensor of the program
     /// to `candidate`, reusing memoized results when the choices of the
-    /// copies touching a tensor were seen before. `leaf` carries the
-    /// prefix-unified constraints; `None` (the degraded fallback) re-unifies
-    /// from the candidate's actual choices on a memo miss.
-    fn attach_smem(
-        &mut self,
-        candidate: &mut Candidate,
-        leaf: Option<&BTreeMap<TensorId, Result<LayoutConstraint, String>>>,
-    ) -> Result<(), ()> {
+    /// copies touching a tensor were seen before. `leaf` is the arena row
+    /// carrying the prefix-unified constraints; `None` (the degraded
+    /// fallback) re-unifies from the candidate's actual choices on a memo
+    /// miss.
+    fn attach_smem(&mut self, candidate: &mut Candidate, leaf: Option<u32>) -> Result<(), ()> {
         let options = self.synth.options();
-        for i in 0..self.shared.len() {
-            let tensor = self.shared[i];
-            let (tile, dtype) = self.info[&tensor].clone();
+        for slot in 0..self.interner.len() as u32 {
+            let tensor = self.interner.tensor(slot);
             if options.force_row_major_smem {
+                let (tile, _) = &self.info[slot as usize];
                 candidate
                     .smem_layouts
-                    .insert(tensor, SwizzledLayout::unswizzled(Layout::row_major(&tile)));
+                    .insert(tensor, SwizzledLayout::unswizzled(Layout::row_major(tile)));
                 continue;
             }
-            let touching: Vec<&CopyChoice> = self.touch[&tensor]
-                .iter()
-                .map(|&pi| &candidate.copy_choices[&self.plans[pi].op])
-                .collect();
-            let key = (tensor, touching_fingerprint(&touching));
+            let key = (tensor, self.touching_fingerprint(candidate, slot));
             let result = match self.finished.get(&key) {
                 Some(hit) => {
                     self.stats.tensor_layout_hits += 1;
@@ -268,15 +392,17 @@ impl<'s, 'a> PrefixSearch<'s, 'a> {
                 }
                 None => {
                     self.stats.tensor_layouts_computed += 1;
+                    let (tile, dtype) = &self.info[slot as usize];
+                    let touching = self.touching_choices_of(candidate, slot);
                     let constraint = match leaf {
-                        Some(leaf) => leaf[&tensor].clone(),
-                        None => unify_touching(&tile, &touching, dtype),
+                        Some(row) => self.arena[row as usize][slot as usize].clone(),
+                        None => unify_touching(tile, &touching, *dtype),
                     };
                     let computed = constraint.and_then(|c| {
                         materialize_and_swizzle(
                             &c,
                             &touching,
-                            &tile,
+                            tile,
                             dtype.bits(),
                             self.synth.arch(),
                             options,
@@ -298,19 +424,6 @@ impl<'s, 'a> PrefixSearch<'s, 'a> {
         }
         Ok(())
     }
-}
-
-/// Fingerprint of the copy choices touching one shared tensor — exactly the
-/// inputs `copy_constraint` and the swizzle scoring read (the per-thread
-/// coverage is plan-constant, so the op identity covers it).
-fn touching_fingerprint(touching: &[&CopyChoice]) -> u64 {
-    let mut hasher = DefaultHasher::new();
-    for choice in touching {
-        choice.atom.name.hash(&mut hasher);
-        choice.elements_per_thread.hash(&mut hasher);
-        choice.vector_dim.hash(&mut hasher);
-    }
-    hasher.finish()
 }
 
 /// The subtree depth the parallel walk uses: the explicit option when set,
@@ -489,5 +602,57 @@ fn merge_stats(a: &PrefixStats, b: &PrefixStats) -> PrefixStats {
         finished_cache: a.finished_cache,
         subtrees: a.subtrees,
         workers: a.workers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hexcute_arch::DType;
+    use hexcute_ir::KernelBuilder;
+    use hexcute_layout::Layout as IrLayout;
+
+    /// Builds a small program just to obtain real (dense) tensor ids.
+    fn some_tensor_ids(n: usize) -> Vec<TensorId> {
+        let mut kb = KernelBuilder::new("interner_fixture", 128);
+        (0..n)
+            .map(|i| {
+                kb.global_view(
+                    format!("t{i}"),
+                    DType::F16,
+                    IrLayout::row_major(&[8, 8]),
+                    &[8, 8],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn interner_assigns_dense_slots_in_insertion_order() {
+        let ids = some_tensor_ids(4);
+        // Intern out of order, with a duplicate.
+        let interner = TensorSlotInterner::new([ids[2], ids[0], ids[2], ids[3]]);
+        assert_eq!(interner.len(), 3);
+        assert_eq!(interner.slot(ids[2]), Some(0));
+        assert_eq!(interner.slot(ids[0]), Some(1));
+        assert_eq!(interner.slot(ids[3]), Some(2));
+        assert_eq!(interner.slot(ids[1]), None, "never interned");
+        // Both directions agree.
+        for slot in 0..interner.len() as u32 {
+            assert_eq!(interner.slot(interner.tensor(slot)), Some(slot));
+        }
+        assert_eq!(interner.tensors(), &[ids[2], ids[0], ids[3]]);
+    }
+
+    #[test]
+    fn interner_is_idempotent_and_growable() {
+        let ids = some_tensor_ids(3);
+        let mut interner = TensorSlotInterner::default();
+        assert!(interner.is_empty());
+        let s0 = interner.intern(ids[1]);
+        assert_eq!(interner.intern(ids[1]), s0, "re-interning keeps the slot");
+        let s1 = interner.intern(ids[0]);
+        assert_ne!(s0, s1);
+        assert_eq!(interner.len(), 2);
     }
 }

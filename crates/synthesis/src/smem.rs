@@ -8,6 +8,8 @@
 //! a concrete compact layout, and finally a swizzle is selected by counting
 //! bank conflicts of the actual warp access patterns.
 
+use std::fmt;
+
 use hexcute_arch::{CopyAtom, CopyKind, DType, GpuArch};
 use hexcute_ir::{OpKind, Program};
 use hexcute_layout::{IntTuple, Layout, Swizzle, SwizzledLayout};
@@ -15,6 +17,108 @@ use hexcute_layout::{IntTuple, Layout, Swizzle, SwizzledLayout};
 use crate::choice::{Candidate, CopyChoice};
 use crate::error::SynthesisError;
 use crate::options::SynthesisOptions;
+
+/// An interned constraint-conflict code: why unification or materialization
+/// of a shared-memory layout constraint failed.
+///
+/// The prefix-shared search stores one of these per tensor per tree node and
+/// clones that state along every stateful edge, so the type is deliberately
+/// `Copy` — the hot path never allocates for an error. The human-readable
+/// description (what the old `Result<_, String>` carried) is produced by the
+/// `Display` impl only at the API boundary
+/// ([`crate::synthesize_smem_layouts`] converting into
+/// [`SynthesisError::SmemUnsatisfiable`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintError {
+    /// Two constraints describe tiles of different ranks.
+    RankMismatch,
+    /// Two constraints disagree on a dimension's total extent.
+    ExtentMismatch {
+        /// Total extent on the left-hand side.
+        a: usize,
+        /// Total extent on the right-hand side.
+        b: usize,
+    },
+    /// Mode factorizations cannot be refined into a common one.
+    IncompatibleFactorization {
+        /// Remaining left-hand extent at the point of failure.
+        a: usize,
+        /// Remaining right-hand extent at the point of failure.
+        b: usize,
+    },
+    /// Two determined strides disagree for one shared mode.
+    StrideConflict {
+        /// The left-hand stride.
+        a: usize,
+        /// The right-hand stride.
+        b: usize,
+        /// The size of the shared mode.
+        size: usize,
+    },
+    /// Two different dimensions both require stride-1 modes (Case 2 of
+    /// Fig. 10(c)): distinct elements would alias.
+    AliasingContiguity {
+        /// The first dimension demanding contiguity.
+        first: usize,
+        /// The second dimension demanding contiguity.
+        second: usize,
+    },
+    /// A determined mode cannot be placed at the next free address offset.
+    ModePlacement {
+        /// The mode's extent.
+        size: usize,
+        /// The mode's determined stride.
+        stride: usize,
+        /// The dimension the mode belongs to.
+        dim: usize,
+        /// The offset at which placement was attempted.
+        offset: usize,
+    },
+    /// The materialized layout maps distinct coordinates to one address.
+    NotInjective,
+    /// The assembled shape/stride pair was rejected by the layout algebra.
+    LayoutBuild,
+}
+
+impl fmt::Display for ConstraintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ConstraintError::RankMismatch => {
+                write!(f, "constraints describe tiles of different ranks")
+            }
+            ConstraintError::ExtentMismatch { a, b } => {
+                write!(f, "dimension extents differ ({a} vs {b})")
+            }
+            ConstraintError::IncompatibleFactorization { a, b } => {
+                write!(f, "mode factorizations are incompatible ({a} vs {b})")
+            }
+            ConstraintError::StrideConflict { a, b, size } => {
+                write!(f, "conflicting strides {a} and {b} for a shared mode of size {size}")
+            }
+            ConstraintError::AliasingContiguity { first, second } => write!(
+                f,
+                "dimensions [{first}, {second}] all require stride-1 modes; distinct elements would alias"
+            ),
+            ConstraintError::ModePlacement {
+                size,
+                stride,
+                dim,
+                offset,
+            } => write!(
+                f,
+                "mode {size}:{stride} of dimension {dim} cannot be placed at offset {offset}"
+            ),
+            ConstraintError::NotInjective => {
+                write!(f, "materialized layout is not injective")
+            }
+            ConstraintError::LayoutBuild => {
+                write!(f, "materialized shape and stride are inconsistent")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConstraintError {}
 
 /// One factor of a layout constraint: a mode whose stride is either pinned
 /// (e.g. `1` for an alignment requirement) or still a free variable
@@ -92,10 +196,11 @@ impl LayoutConstraint {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable description of the conflict.
-    pub fn unify(&self, other: &LayoutConstraint) -> Result<LayoutConstraint, String> {
+    /// Returns the interned [`ConstraintError`] code of the conflict (its
+    /// `Display` impl produces the human-readable description).
+    pub fn unify(&self, other: &LayoutConstraint) -> Result<LayoutConstraint, ConstraintError> {
         if self.dims.len() != other.dims.len() {
-            return Err("constraints describe tiles of different ranks".to_string());
+            return Err(ConstraintError::RankMismatch);
         }
         let mut dims = Vec::with_capacity(self.dims.len());
         for (a, b) in self.dims.iter().zip(other.dims.iter()) {
@@ -114,8 +219,9 @@ impl LayoutConstraint {
     ///
     /// # Errors
     ///
-    /// Returns a description of the conflict when no valid assignment exists.
-    pub fn materialize(&self) -> Result<Layout, String> {
+    /// Returns the interned [`ConstraintError`] code when no valid assignment
+    /// exists.
+    pub fn materialize(&self) -> Result<Layout, ConstraintError> {
         // Which dimensions require contiguity (a known stride-1 mode of size > 1)?
         let contiguous_dims: Vec<usize> = self
             .dims
@@ -125,9 +231,10 @@ impl LayoutConstraint {
             .map(|(d, _)| d)
             .collect();
         if contiguous_dims.len() > 1 {
-            return Err(format!(
-                "dimensions {contiguous_dims:?} all require stride-1 modes; distinct elements would alias"
-            ));
+            return Err(ConstraintError::AliasingContiguity {
+                first: contiguous_dims[0],
+                second: contiguous_dims[1],
+            });
         }
         // Order: the contiguous dimension first, then the remaining
         // dimensions in index order.
@@ -148,10 +255,12 @@ impl LayoutConstraint {
                 match mode.stride {
                     Some(s) => {
                         if s != current && mode.size > 1 {
-                            return Err(format!(
-                                "mode {}:{} of dimension {d} cannot be placed at offset {current}",
-                                mode.size, s
-                            ));
+                            return Err(ConstraintError::ModePlacement {
+                                size: mode.size,
+                                stride: s,
+                                dim: d,
+                                offset: current,
+                            });
                         }
                         strides[d][i] = s;
                         current = current.max(s * mode.size);
@@ -189,19 +298,25 @@ impl LayoutConstraint {
                 })
                 .collect(),
         );
-        let layout = Layout::new(shape, stride).map_err(|e| e.to_string())?;
+        let layout = Layout::new(shape, stride).map_err(|_| ConstraintError::LayoutBuild)?;
         if !layout.is_injective() {
-            return Err("materialized layout is not injective".to_string());
+            return Err(ConstraintError::NotInjective);
         }
         Ok(layout)
     }
 }
 
-fn unify_dim(a: &[ConstraintMode], b: &[ConstraintMode]) -> Result<Vec<ConstraintMode>, String> {
+fn unify_dim(
+    a: &[ConstraintMode],
+    b: &[ConstraintMode],
+) -> Result<Vec<ConstraintMode>, ConstraintError> {
     let total_a: usize = a.iter().map(|m| m.size).product();
     let total_b: usize = b.iter().map(|m| m.size).product();
     if total_a != total_b {
-        return Err(format!("dimension extents differ ({total_a} vs {total_b})"));
+        return Err(ConstraintError::ExtentMismatch {
+            a: total_a,
+            b: total_b,
+        });
     }
     let mut out = Vec::new();
     let mut ai = 0usize;
@@ -213,16 +328,16 @@ fn unify_dim(a: &[ConstraintMode], b: &[ConstraintMode]) -> Result<Vec<Constrain
     while ai < a.len() && bi < b.len() {
         let take = a_rem.min(b_rem);
         if take > 0 && (!a_rem.is_multiple_of(take) || !b_rem.is_multiple_of(take)) {
-            return Err(format!(
-                "mode factorizations are incompatible ({a_rem} vs {b_rem})"
-            ));
+            return Err(ConstraintError::IncompatibleFactorization { a: a_rem, b: b_rem });
         }
         if take > 0 {
             let stride = match (a_stride, b_stride) {
                 (Some(x), Some(y)) if x != y => {
-                    return Err(format!(
-                        "conflicting strides {x} and {y} for a shared mode of size {take}"
-                    ))
+                    return Err(ConstraintError::StrideConflict {
+                        a: x,
+                        b: y,
+                        size: take,
+                    })
                 }
                 (Some(x), _) => Some(x),
                 (_, Some(y)) => Some(y),
@@ -279,20 +394,31 @@ pub fn bank_conflict_degree(
     element_bits: usize,
     arch: &GpuArch,
 ) -> usize {
-    use std::collections::HashMap;
-    let mut per_bank: HashMap<usize, std::collections::HashSet<usize>> = HashMap::new();
+    // A warp touches at most 32 addresses, so a flat sort-and-dedup of
+    // (bank, word) pairs beats nested hash maps: distinct words per bank
+    // are runs in the sorted order.
+    let mut accesses: Vec<(usize, usize)> = Vec::with_capacity(element_indices.len());
     for &idx in element_indices {
         let byte = layout.map(idx) * element_bits / 8;
         let word = byte / arch.smem_bank_bytes;
         let bank = word % arch.smem_banks;
-        per_bank.entry(bank).or_default().insert(word);
+        accesses.push((bank, word));
     }
-    per_bank
-        .values()
-        .map(|words| words.len())
-        .max()
-        .unwrap_or(1)
-        .saturating_sub(1)
+    accesses.sort_unstable();
+    accesses.dedup();
+    let mut worst = 0usize;
+    let mut run = 0usize;
+    let mut prev_bank = usize::MAX;
+    for &(bank, _) in &accesses {
+        if bank == prev_bank {
+            run += 1;
+        } else {
+            prev_bank = bank;
+            run = 1;
+        }
+        worst = worst.max(run);
+    }
+    worst.saturating_sub(1)
 }
 
 /// Builds the warp access pattern of a copy: the element index (within the
@@ -345,13 +471,13 @@ pub(crate) fn copy_constraint(
 }
 
 /// Unifies the constraints of every copy touching one shared tile, in the
-/// order given (program order). Returns the first conflict as a
-/// human-readable reason.
+/// order given (program order). Returns the first conflict as an interned
+/// [`ConstraintError`] code.
 pub(crate) fn unify_touching(
     tile: &[usize],
     touching: &[&CopyChoice],
     dtype: DType,
-) -> Result<LayoutConstraint, String> {
+) -> Result<LayoutConstraint, ConstraintError> {
     let mut constraint = LayoutConstraint::unconstrained(tile);
     for choice in touching {
         let c = copy_constraint(
@@ -376,23 +502,35 @@ pub(crate) fn materialize_and_swizzle(
     dtype_bits: usize,
     arch: &GpuArch,
     options: &SynthesisOptions,
-) -> Result<SwizzledLayout, String> {
+) -> Result<SwizzledLayout, ConstraintError> {
     let base_layout = constraint.materialize()?;
     if options.disable_swizzles {
         return Ok(SwizzledLayout::unswizzled(base_layout));
     }
+    // The warp access patterns depend only on the choices and the tile, and
+    // a bijective swizzle preserves the base layout's injectivity — hoist
+    // both out of the scoring loop so each swizzle costs only the (at most
+    // 32-element) bank count per touching copy.
+    let patterns: Vec<Vec<usize>> = touching
+        .iter()
+        .map(|choice| warp_access_pattern(choice, tile))
+        .collect();
+    let base_injective = base_layout.is_injective();
     let mut best = SwizzledLayout::unswizzled(base_layout.clone());
     let mut best_score = usize::MAX;
     for swizzle in Swizzle::candidates() {
         let sl = SwizzledLayout::new(swizzle, base_layout.clone());
-        if !sl.is_injective() {
+        let injective = if swizzle.is_bijective() {
+            base_injective
+        } else {
+            sl.is_injective()
+        };
+        if !injective {
             continue;
         }
-        let score: usize = touching
+        let score: usize = patterns
             .iter()
-            .map(|choice| {
-                bank_conflict_degree(&sl, &warp_access_pattern(choice, tile), dtype_bits, arch)
-            })
+            .map(|pattern| bank_conflict_degree(&sl, pattern, dtype_bits, arch))
             .sum();
         if score < best_score || (score == best_score && swizzle.is_identity()) {
             best_score = score;
@@ -467,9 +605,11 @@ pub fn synthesize_smem_layouts(
                     options,
                 )
             })
-            .map_err(|reason| SynthesisError::SmemUnsatisfiable {
+            .map_err(|code| SynthesisError::SmemUnsatisfiable {
                 tensor: decl.name.clone(),
-                reason,
+                // The String materializes only here, at the API boundary; the
+                // search paths below carry the `Copy` code.
+                reason: code.to_string(),
             })?;
         candidate.smem_layouts.insert(tensor, chosen);
     }
