@@ -1,8 +1,9 @@
 //! Chaos-replay reproduction for the fault-tolerant compile service
-//! (PR 6): replays the Fig. 13 serving trace under several fault schedules
-//! (disk chaos, synthesis panics, worker deaths, deadline pressure,
-//! admission overload) and writes the machine-readable summary committed
-//! as `BENCH_pr6.json`.
+//! (PR 6, extended in PR 8 with the cancellation ladder): replays the
+//! Fig. 13 serving trace under several fault schedules (disk chaos,
+//! synthesis panics, worker deaths, deadline pressure, admission overload,
+//! cancellation storm) and writes the machine-readable summary committed
+//! as `BENCH_pr8.json`.
 //!
 //! The process exits nonzero unless every schedule stays above its
 //! availability floor, every served artifact is bit-identical to the
@@ -13,7 +14,7 @@
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_pr6.json".to_string());
+        .unwrap_or_else(|| "BENCH_pr8.json".to_string());
 
     // The injector must be inert unless the environment opts in: a plain
     // run (like the CI bench smoke) must not construct a global injector.
@@ -64,7 +65,9 @@ fn main() {
         println!(
             "{}: spec={} coalesced={} syntheses={} max_queue_depth={} quarantined={} \
              write_failures={} breaker_trips={}/{} stale_version={} injected={} \
-             pool jobs/items/deaths/respawns={}/{}/{}/{} mismatches={}",
+             pool jobs/items/deaths/respawns={}/{}/{}/{} mismatches={} \
+             cancelled={} watchdog_trips={} shutdown_drained={} pool_cancelled={} \
+             cancel_free_p99_ms={:.2}",
             r.name,
             r.spec,
             r.coalesced,
@@ -80,7 +83,12 @@ fn main() {
             r.pool_items,
             r.pool_deaths,
             r.pool_respawns,
-            r.mismatches
+            r.mismatches,
+            r.synth_cancelled,
+            r.watchdog_trips,
+            r.shutdown_drained,
+            r.pool_cancelled,
+            r.cancel_free_p99_ms
         );
     }
 

@@ -61,8 +61,9 @@ pub fn write_output(path: &str, contents: &str) -> std::io::Result<()> {
 /// pipeline maintains — the *shared* sharded maps (simulator index tables,
 /// the cost model's per-operation and whole-candidate estimates, kernel
 /// artifacts) and the *lossy* thread-local direct-mapped tables sitting in
-/// front of them — each exercised on a small GEMM. Every `repro_*` binary
-/// calls this in its summary.
+/// front of them — each exercised on a small GEMM — plus the process-wide
+/// worker-pool counters (jobs, items, cancelled subtrees, deaths/respawns).
+/// Every `repro_*` binary calls this in its summary.
 ///
 /// The exercise's cache-hit invariants are *verified*, not just printed:
 /// the second pass must hit the simulator-table and per-op cost memos in
@@ -96,6 +97,10 @@ pub fn print_shared_cache_summary() {
     println!("  per-op cost estimates:     {op_costs}");
     println!("  whole-candidate estimates: {candidate_costs}");
     println!("  kernel artifacts:          {artifacts}");
+    println!(
+        "Worker pool (process lifetime): {}",
+        hexcute_parallel::pool_stats()
+    );
     let lossy_on = lossy::lossy_memo_enabled();
     println!(
         "Lossy direct-mapped front tier ({}, this exercise only):",

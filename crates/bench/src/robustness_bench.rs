@@ -5,7 +5,10 @@
 //! against a disk-backed [`CompileService`], once per **fault schedule**:
 //! a fault-free reference, disk chaos (corrupt reads, failed writes, stale
 //! versions, I/O latency), a synthesis panic storm, worker-pool deaths,
-//! deadline pressure and admission overload.
+//! deadline pressure, admission overload, and a cancellation storm (PR 8:
+//! stalled searches under per-request deadlines, a synthesis watchdog and
+//! a mid-burst shutdown — every abort must be a typed error, free its
+//! admission slot promptly, and never cache a partial result).
 //!
 //! Three properties are *checked*, not just reported, and any violation
 //! fails the process through [`crate::checks`]:
@@ -21,7 +24,7 @@
 //!
 //! The per-schedule counters (shed, deadline-expired, retries, panics,
 //! quarantines, breaker trips, queue depths, pool deaths/respawns) feed
-//! `BENCH_pr6.json` via the `repro_robustness` binary.
+//! `BENCH_pr8.json` via the `repro_robustness` binary.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -47,6 +50,12 @@ use crate::checks;
 /// deadlock (hung coalesced waiter, stuck queue) and fails the process.
 pub const SCHEDULE_WALL_LIMIT: Duration = Duration::from_secs(600);
 
+/// Upper bound on the p99 cancel-to-worker-free latency: a cancelled
+/// synthesis must release its admission slot within the cancellation-poll
+/// granularity (one search row plus an interruptible stall slice), never
+/// hold it for the rest of the search.
+pub const CANCEL_FREE_P99_LIMIT: Duration = Duration::from_millis(500);
+
 /// One fault schedule: an injected-fault mix plus the service policy and
 /// client pressure it is replayed under.
 #[derive(Debug, Clone)]
@@ -59,12 +68,21 @@ pub struct Schedule {
     pub spec: Option<FaultSpec>,
     /// Whether the worker-pool fault hook is installed for this schedule.
     pub pool_hook: bool,
+    /// Whether the synthesis fault hook (search-row stalls, cancel races)
+    /// is installed for this schedule.
+    pub synth_hook: bool,
     /// Admission: concurrent synthesis slots (0 = unbounded).
     pub max_concurrent: usize,
     /// Admission: pending-queue capacity.
     pub queue_capacity: usize,
     /// Per-request deadline.
     pub deadline: Option<Duration>,
+    /// Per-synthesis watchdog budget ([`ServiceConfig::watchdog`]).
+    pub watchdog: Option<Duration>,
+    /// Shut the cold service down once half of its pass-1 requests have
+    /// arrived — queued waiters must drain typed and in-flight syntheses
+    /// must cancel, mid-burst.
+    pub shutdown_mid_burst: bool,
     /// Retry budget for transient failures.
     pub max_retries: usize,
     /// Concurrent client threads replaying the trace.
@@ -87,9 +105,12 @@ pub fn schedules() -> Vec<Schedule> {
         description: "reference replay, no injected faults",
         spec: None,
         pool_hook: false,
+        synth_hook: false,
         max_concurrent: 0,
         queue_capacity: 64,
         deadline: None,
+        watchdog: None,
+        shutdown_mid_burst: false,
         max_retries: 2,
         clients: 4,
         workers: None,
@@ -168,6 +189,32 @@ pub fn schedules() -> Vec<Schedule> {
             queue_capacity: 2,
             clients: 8,
             floor: 0.25,
+            ..base.clone()
+        },
+        Schedule {
+            name: "cancellation_storm",
+            description: "stalled searches under deadlines, a watchdog and a mid-burst shutdown",
+            // Search-row stalls slow syntheses into the deadline/watchdog
+            // window; cancel races delay cancellation polls to stress the
+            // first-cancel-wins path.
+            spec: Some(
+                FaultSpec {
+                    synth_stall: Duration::from_millis(5),
+                    ..FaultSpec::default()
+                }
+                .with_rate(FaultKind::SynthStall, 0.10)
+                .with_rate(FaultKind::CancelRace, 0.10)
+                .with_seed(17),
+            ),
+            synth_hook: true,
+            max_concurrent: 2,
+            queue_capacity: 16,
+            deadline: Some(Duration::from_millis(150)),
+            watchdog: Some(Duration::from_millis(80)),
+            shutdown_mid_burst: true,
+            max_retries: 1,
+            clients: 6,
+            floor: 0.20,
             ..base
         },
     ]
@@ -213,6 +260,10 @@ pub struct ScheduleResult {
     pub deadline_expired: u64,
     /// … of which `Panicked`.
     pub panicked: u64,
+    /// … of which `Cancelled` (shutdown drains, mostly).
+    pub cancelled: u64,
+    /// … of which `SynthesisTimeout` (watchdog trips).
+    pub watchdog_timeouts: u64,
     /// … of which any other error (must stay zero).
     pub other_errors: u64,
     /// ok / requests.
@@ -233,6 +284,18 @@ pub struct ScheduleResult {
     pub syntheses: u64,
     /// High-water mark of the admission queue.
     pub max_queue_depth: u64,
+    /// In-flight syntheses aborted by cooperative cancellation (service
+    /// view, both passes).
+    pub synth_cancelled: u64,
+    /// Watchdog trips (service view, both passes).
+    pub watchdog_trips: u64,
+    /// Requests drained with a typed shutdown cancellation.
+    pub shutdown_drained: u64,
+    /// Worker-pool items skipped because their job was cancelled.
+    pub pool_cancelled: u64,
+    /// 99th-percentile cancel-to-worker-free latency (ms); 0 when nothing
+    /// was cancelled. Checked against [`CANCEL_FREE_P99_LIMIT`].
+    pub cancel_free_p99_ms: f64,
     /// Cache: corrupt files moved aside.
     pub quarantined: u64,
     /// Cache: failed disk writes.
@@ -267,6 +330,8 @@ struct Tally {
     overloaded: u64,
     deadline_expired: u64,
     panicked: u64,
+    cancelled: u64,
+    watchdog_timeouts: u64,
     other: u64,
     unexpected: Vec<String>,
     latencies_ms: Vec<f64>,
@@ -334,6 +399,11 @@ pub fn run_schedule(
             faults::install_pool_hook(inj);
         }
     }
+    if schedule.synth_hook {
+        if let Some(inj) = &injector {
+            faults::install_synth_hook(inj);
+        }
+    }
     let pool_before = pool_stats();
     let started = Instant::now();
 
@@ -341,6 +411,7 @@ pub fn run_schedule(
         max_concurrent: schedule.max_concurrent,
         queue_capacity: schedule.queue_capacity,
         deadline: schedule.deadline,
+        watchdog: schedule.watchdog,
         max_retries: schedule.max_retries,
         retry_backoff: Duration::from_millis(1),
         seed: 42,
@@ -382,9 +453,24 @@ pub fn run_schedule(
         let trace: Arc<Vec<Program>> = Arc::new(trace.to_vec());
         let clients = schedule.clients;
         let verify_coverage = schedule.verify_decode_coverage;
+        let shutdown_mid_burst = schedule.shutdown_mid_burst;
         std::thread::spawn(move || {
             let tally = Arc::new(Mutex::new(Tally::default()));
             let barrier = Arc::new(Barrier::new(clients));
+            // Mid-burst shutdown: once half of the cold pass's requests
+            // have arrived, shut the cold service down while clients are
+            // still bursting against it. (Every client issues the full
+            // trace in pass 1, so the threshold is always reached.)
+            let shutdown_watcher = shutdown_mid_burst.then(|| {
+                let cold = Arc::clone(&passes[0]);
+                let threshold = (clients * trace.len()) as u64 / 2;
+                std::thread::spawn(move || {
+                    while cold.stats().requests < threshold.max(1) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    cold.shutdown();
+                })
+            });
             let workers: Vec<_> = (0..clients)
                 .map(|_| {
                     let passes = [Arc::clone(&passes[0]), Arc::clone(&passes[1])];
@@ -414,6 +500,10 @@ pub fn run_schedule(
                                         t.deadline_expired += 1
                                     }
                                     Err(CompileError::Panicked(_)) => t.panicked += 1,
+                                    Err(CompileError::Cancelled { .. }) => t.cancelled += 1,
+                                    Err(CompileError::SynthesisTimeout { .. }) => {
+                                        t.watchdog_timeouts += 1
+                                    }
                                     Err(e) => {
                                         t.other += 1;
                                         t.unexpected.push(e.to_string());
@@ -426,6 +516,9 @@ pub fn run_schedule(
                 .collect();
             for w in workers {
                 let _ = w.join();
+            }
+            if let Some(watcher) = shutdown_watcher {
+                let _ = watcher.join();
             }
             if verify_coverage {
                 // The trace must cover the whole decode step: serving every
@@ -481,6 +574,9 @@ pub fn run_schedule(
             unreachable!("exit_if_failed returns only when no check failed");
         }
     };
+    if schedule.synth_hook {
+        faults::clear_synth_hook();
+    }
     if schedule.pool_hook {
         faults::clear_pool_hook();
         // Respawn bookkeeping runs on the replacement worker's own thread;
@@ -511,7 +607,16 @@ pub fn run_schedule(
     let cold = service.stats();
     let warm = restarted.stats();
     let pool_after = pool_stats();
-    let failed = tally.overloaded + tally.deadline_expired + tally.panicked + tally.other;
+    let mut cancel_free: Vec<Duration> = service.cancel_to_free_latencies();
+    cancel_free.extend(restarted.cancel_to_free_latencies());
+    let mut cancel_free_ms: Vec<f64> = cancel_free.iter().map(|d| d.as_secs_f64() * 1e3).collect();
+    cancel_free_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let failed = tally.overloaded
+        + tally.deadline_expired
+        + tally.panicked
+        + tally.cancelled
+        + tally.watchdog_timeouts
+        + tally.other;
     let requests = tally.ok + failed;
     let availability = if requests == 0 {
         0.0
@@ -535,6 +640,8 @@ pub fn run_schedule(
         overloaded: tally.overloaded,
         deadline_expired: tally.deadline_expired,
         panicked: tally.panicked,
+        cancelled: tally.cancelled,
+        watchdog_timeouts: tally.watchdog_timeouts,
         other_errors: tally.other,
         availability,
         mismatches,
@@ -545,6 +652,11 @@ pub fn run_schedule(
         coalesced: cold.coalesced + warm.coalesced,
         syntheses: cold.syntheses + warm.syntheses,
         max_queue_depth: cold.max_queue_depth.max(warm.max_queue_depth),
+        synth_cancelled: cold.cancelled + warm.cancelled,
+        watchdog_trips: cold.watchdog_trips + warm.watchdog_trips,
+        shutdown_drained: cold.shutdown_drained + warm.shutdown_drained,
+        pool_cancelled: pool_after.cancelled - pool_before.cancelled,
+        cancel_free_p99_ms: percentile(&cancel_free_ms, 0.99),
         quarantined: cold.cache.quarantined + warm.cache.quarantined,
         write_failures: cold.cache.write_failures + warm.cache.write_failures,
         breaker_trips: cold.cache.breaker_trips + warm.cache.breaker_trips,
@@ -600,6 +712,37 @@ pub fn run_schedule(
             ),
         );
     }
+    // Cancellation invariants: every cancelled synthesis must have freed
+    // its admission slot (no leaked slots once all clients returned), and
+    // promptly — the p99 cancel-to-worker-free latency stays within the
+    // cancellation-poll bound.
+    checks::check(
+        cold.queue_depth == 0 && warm.queue_depth == 0,
+        &format!(
+            "{}: leaked admission slots (queue depths {} / {})",
+            result.name, cold.queue_depth, warm.queue_depth
+        ),
+    );
+    if !cancel_free_ms.is_empty() {
+        checks::check(
+            result.cancel_free_p99_ms <= CANCEL_FREE_P99_LIMIT.as_secs_f64() * 1e3,
+            &format!(
+                "{}: p99 cancel-to-worker-free latency {:.1}ms exceeds {}ms",
+                result.name,
+                result.cancel_free_p99_ms,
+                CANCEL_FREE_P99_LIMIT.as_millis()
+            ),
+        );
+    }
+    if schedule.shutdown_mid_burst {
+        checks::check(
+            result.shutdown_drained > 0,
+            &format!(
+                "{}: a mid-burst shutdown must drain at least one request",
+                result.name
+            ),
+        );
+    }
 
     std::fs::remove_dir_all(&dir).ok();
     (result, tally.artifacts)
@@ -627,7 +770,7 @@ pub fn run_all() -> (Vec<ScheduleResult>, (usize, usize)) {
     (results, (trace.len(), distinct))
 }
 
-/// Renders the results as the `BENCH_pr6.json` document.
+/// Renders the results as the `BENCH_pr8.json` document.
 pub fn to_json(results: &[ScheduleResult], trace_kernels: usize, distinct: usize) -> String {
     let mut out = format!(
         "{{\n  \"benchmark\": \"fault-tolerant compile serving under chaos schedules\",\n  \
@@ -647,9 +790,13 @@ pub fn to_json(results: &[ScheduleResult], trace_kernels: usize, distinct: usize
             "    \"{}\": {{\n      \"spec\": \"{}\",\n      \"availability\": {:.4},\n      \
              \"floor\": {:.2},\n      \"requests\": {},\n      \"ok\": {},\n      \
              \"failed\": {},\n      \"overloaded\": {},\n      \"deadline_expired\": {},\n      \
-             \"panicked\": {},\n      \"mismatches\": {},\n      \"shed\": {},\n      \
+             \"panicked\": {},\n      \"cancelled\": {},\n      \"watchdog_timeouts\": {},\n      \
+             \"mismatches\": {},\n      \"shed\": {},\n      \
              \"retries\": {},\n      \"synth_panics\": {},\n      \"coalesced\": {},\n      \
-             \"syntheses\": {},\n      \"max_queue_depth\": {},\n      \"quarantined\": {},\n      \
+             \"syntheses\": {},\n      \"max_queue_depth\": {},\n      \
+             \"synth_cancelled\": {},\n      \"watchdog_trips\": {},\n      \
+             \"shutdown_drained\": {},\n      \"pool_cancelled\": {},\n      \
+             \"cancel_free_p99_ms\": {:.3},\n      \"quarantined\": {},\n      \
              \"write_failures\": {},\n      \"breaker_trips\": {},\n      \
              \"breaker_recoveries\": {},\n      \"stale_version\": {},\n      \
              \"injected_faults\": {},\n      \"pool_jobs\": {},\n      \"pool_items\": {},\n      \
@@ -665,6 +812,8 @@ pub fn to_json(results: &[ScheduleResult], trace_kernels: usize, distinct: usize
             r.overloaded,
             r.deadline_expired,
             r.panicked,
+            r.cancelled,
+            r.watchdog_timeouts,
             r.mismatches,
             r.shed,
             r.retries,
@@ -672,6 +821,11 @@ pub fn to_json(results: &[ScheduleResult], trace_kernels: usize, distinct: usize
             r.coalesced,
             r.syntheses,
             r.max_queue_depth,
+            r.synth_cancelled,
+            r.watchdog_trips,
+            r.shutdown_drained,
+            r.pool_cancelled,
+            r.cancel_free_p99_ms,
             r.quarantined,
             r.write_failures,
             r.breaker_trips,
@@ -738,6 +892,40 @@ mod tests {
     }
 
     #[test]
+    fn cancellation_storm_replay_stays_typed_and_leak_free() {
+        let all = schedules();
+        let trace = tiny_trace();
+        let storm = Schedule {
+            clients: 2,
+            // Debug-build syntheses are slow enough that the watchdog and the
+            // deadline may cancel everything; this test is about typed errors
+            // and slot hygiene, not throughput, so drop the floor.
+            floor: 0.0,
+            verify_decode_coverage: false,
+            ..all
+                .iter()
+                .find(|s| s.name == "cancellation_storm")
+                .unwrap()
+                .clone()
+        };
+        let failures_before = checks::failures();
+        let (result, _) = run_schedule(&storm, &trace, None);
+        assert_eq!(
+            result.other_errors, 0,
+            "every failure must be a typed cancellation-ladder error"
+        );
+        assert!(
+            result.shutdown_drained > 0,
+            "the mid-burst shutdown must drain at least one request"
+        );
+        assert_eq!(
+            checks::failures(),
+            failures_before,
+            "no harness invariant may fail (leaked slots, unbounded cancel-to-free)"
+        );
+    }
+
+    #[test]
     fn json_report_includes_every_schedule_field() {
         let result = ScheduleResult {
             name: "fault_free".into(),
@@ -749,6 +937,8 @@ mod tests {
             overloaded: 0,
             deadline_expired: 0,
             panicked: 0,
+            cancelled: 0,
+            watchdog_timeouts: 0,
             other_errors: 0,
             availability: 1.0,
             mismatches: 0,
@@ -759,6 +949,11 @@ mod tests {
             coalesced: 3,
             syntheses: 2,
             max_queue_depth: 1,
+            synth_cancelled: 0,
+            watchdog_trips: 0,
+            shutdown_drained: 0,
+            pool_cancelled: 0,
+            cancel_free_p99_ms: 0.0,
             quarantined: 0,
             write_failures: 0,
             breaker_trips: 0,
@@ -784,6 +979,11 @@ mod tests {
             "\"pool_respawns\"",
             "\"p99_ms\"",
             "\"distinct_fingerprints\"",
+            "\"cancelled\"",
+            "\"watchdog_trips\"",
+            "\"shutdown_drained\"",
+            "\"pool_cancelled\"",
+            "\"cancel_free_p99_ms\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

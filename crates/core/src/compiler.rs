@@ -14,7 +14,9 @@ use hexcute_codegen::{emit_cuda_like, lower, LoweredKernel};
 use hexcute_costmodel::{CostBreakdown, CostModel};
 use hexcute_ir::Program;
 use hexcute_sim::{estimate_kernel, FunctionalSim, PerfEvaluator, PerfReport, SimError};
-use hexcute_synthesis::{Candidate, SynthesisError, SynthesisOptions, Synthesizer};
+use hexcute_synthesis::{
+    CancelReason, CancelToken, Candidate, SynthesisError, SynthesisOptions, Synthesizer,
+};
 
 /// Options controlling compilation.
 #[derive(Debug, Clone, Default)]
@@ -117,13 +119,28 @@ pub enum CompileError {
     /// The synthesis panicked (a worker-job crash, possibly injected). The
     /// kernel itself may be fine — this error is transient and retryable.
     Panicked(String),
+    /// The in-flight synthesis was cancelled cooperatively (the request's
+    /// deadline, the service watchdog, or a shutdown tripped its
+    /// [`CancelToken`]). Cancellation yields this typed error only — never a
+    /// partial result, and cancelled compiles are never cached.
+    Cancelled {
+        /// Which trigger won the cancel.
+        reason: CancelReason,
+    },
+    /// The service watchdog tripped on a runaway compile
+    /// (`HEXCUTE_WATCHDOG_MS`).
+    SynthesisTimeout {
+        /// How long the synthesis had been running when the watchdog fired.
+        elapsed: std::time::Duration,
+    },
 }
 
 impl CompileError {
     /// Whether a retry of the same request could plausibly succeed.
-    /// Synthesis failures are deterministic and overload/deadline outcomes
-    /// are the caller's backpressure signal; only a panicked synthesis — a
-    /// crashed worker, not a property of the program — is worth retrying.
+    /// Synthesis failures are deterministic, overload/deadline outcomes are
+    /// the caller's backpressure signal, and cancellations/watchdog trips
+    /// are deliberate bounds; only a panicked synthesis — a crashed worker,
+    /// not a property of the program — is worth retrying.
     pub fn is_transient(&self) -> bool {
         matches!(self, CompileError::Panicked(_))
     }
@@ -145,6 +162,14 @@ impl fmt::Display for CompileError {
                 )
             }
             CompileError::Panicked(msg) => write!(f, "synthesis panicked: {msg}"),
+            CompileError::Cancelled { reason } => {
+                write!(f, "compile cancelled ({reason})")
+            }
+            CompileError::SynthesisTimeout { elapsed } => write!(
+                f,
+                "watchdog tripped: synthesis still running after {:.1}ms",
+                elapsed.as_secs_f64() * 1e3
+            ),
         }
     }
 }
@@ -153,7 +178,12 @@ impl std::error::Error for CompileError {}
 
 impl From<SynthesisError> for CompileError {
     fn from(e: SynthesisError) -> Self {
-        CompileError::Synthesis(e)
+        match e {
+            // A cancelled search is not a synthesis *failure*: surface it as
+            // the typed cancellation so callers can map it per trigger.
+            SynthesisError::Cancelled(reason) => CompileError::Cancelled { reason },
+            other => CompileError::Synthesis(other),
+        }
     }
 }
 
@@ -205,6 +235,26 @@ impl Compiler {
     ///
     /// Returns a [`CompileError`] when layout synthesis fails.
     pub fn compile(&self, program: &Program) -> Result<CompiledKernel, CompileError> {
+        self.compile_cancellable(program, None)
+    }
+
+    /// [`Compiler::compile`] with a cooperative [`CancelToken`]: the token is
+    /// polled at row granularity by the synthesis walks and at job
+    /// granularity by the scoring fan-out, so a cancel aborts the compile
+    /// promptly with a typed [`CompileError::Cancelled`]. A cancelled
+    /// compile is never inserted into the name-keyed memo — reissuing the
+    /// request recompiles from scratch and yields the exact same result a
+    /// never-cancelled compile would.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Compiler::compile`], plus [`CompileError::Cancelled`] when
+    /// `token` trips mid-compile.
+    pub fn compile_cancellable(
+        &self,
+        program: &Program,
+        token: Option<&CancelToken>,
+    ) -> Result<CompiledKernel, CompileError> {
         let key = format!("{}::{}", self.arch.name, program.name);
         if let Some(hit) = self.cache.lock().get(&key) {
             if hit.program == *program {
@@ -212,7 +262,7 @@ impl Compiler {
             }
         }
         let start = Instant::now();
-        let ranked = self.compile_candidates(program)?;
+        let ranked = self.compile_candidates_cancellable(program, token)?;
         let candidates_explored = ranked.len();
 
         // Ground truth: the candidate with the lowest simulated latency.
@@ -284,8 +334,24 @@ impl Compiler {
     ///
     /// Returns a [`CompileError`] when layout synthesis fails.
     pub fn compile_artifact(&self, program: &Program) -> Result<KernelArtifact, CompileError> {
+        self.compile_artifact_cancellable(program, None)
+    }
+
+    /// [`Compiler::compile_artifact`] with a cooperative [`CancelToken`]
+    /// (see [`Compiler::compile_cancellable`] for the cancellation
+    /// contract).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Compiler::compile_artifact`], plus
+    /// [`CompileError::Cancelled`] when `token` trips mid-compile.
+    pub fn compile_artifact_cancellable(
+        &self,
+        program: &Program,
+        token: Option<&CancelToken>,
+    ) -> Result<KernelArtifact, CompileError> {
         let fingerprint = self.artifact_fingerprint(program);
-        let compiled = self.compile(program)?;
+        let compiled = self.compile_cancellable(program, token)?;
         Ok(KernelArtifact::from_compiled(
             fingerprint,
             &compiled,
@@ -336,8 +402,26 @@ impl Compiler {
         &self,
         program: &Program,
     ) -> Result<Vec<(Candidate, CostBreakdown, PerfReport)>, CompileError> {
+        self.compile_candidates_cancellable(program, None)
+    }
+
+    /// [`Compiler::compile_candidates`] with a cooperative [`CancelToken`]
+    /// threaded through both the synthesis walks and the scoring fan-out.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Compiler::compile_candidates`], plus
+    /// [`CompileError::Cancelled`] when `token` trips.
+    pub fn compile_candidates_cancellable(
+        &self,
+        program: &Program,
+        token: Option<&CancelToken>,
+    ) -> Result<Vec<(Candidate, CostBreakdown, PerfReport)>, CompileError> {
         let synthesizer = Synthesizer::new(program, &self.arch, self.options.synthesis.clone());
-        let candidates = synthesizer.synthesize()?;
+        let (outcome, _) = synthesizer.synthesize_outcome(token)?;
+        // A budget-truncated outcome still ranks normally: `best_so_far` is
+        // a deterministic prefix of the exhaustive candidate list.
+        let candidates = outcome.into_candidates();
         let model = CostModel::new(&self.arch);
         let workers = self
             .options
@@ -346,7 +430,7 @@ impl Compiler {
             .unwrap_or_else(hexcute_parallel::worker_count);
         if self.options.synthesis.incremental && hexcute_synthesis::incremental_enabled() {
             let evaluator = PerfEvaluator::new(&self.arch);
-            Ok(score_all(
+            score_all(
                 candidates,
                 |candidate| {
                     let cost = model.estimate(program, &candidate);
@@ -354,9 +438,10 @@ impl Compiler {
                     (candidate, cost, perf)
                 },
                 workers,
-            ))
+                token,
+            )
         } else {
-            Ok(score_all(
+            score_all(
                 candidates,
                 |candidate| {
                     let cost = model.estimate(program, &candidate);
@@ -364,8 +449,17 @@ impl Compiler {
                     (candidate, cost, perf)
                 },
                 workers,
-            ))
+                token,
+            )
         }
+    }
+}
+
+/// The typed error for a tripped token (the reason defaults defensively —
+/// a token that cancelled a map always carries one).
+fn cancelled_error(token: &CancelToken) -> CompileError {
+    CompileError::Cancelled {
+        reason: token.reason().unwrap_or(CancelReason::Shutdown),
     }
 }
 
@@ -373,18 +467,35 @@ impl Compiler {
 /// the fast path is on (order preserved) and serially otherwise. `workers`
 /// follows [`hexcute_synthesis::SynthesisOptions::parallel_workers`], so an
 /// explicit override applies to scoring and to the subtree search alike.
+/// A carried token cancels between items (and per pool job in parallel).
 fn score_all<F>(
     candidates: Vec<Candidate>,
     score: F,
     workers: usize,
-) -> Vec<(Candidate, CostBreakdown, PerfReport)>
+    token: Option<&CancelToken>,
+) -> Result<Vec<(Candidate, CostBreakdown, PerfReport)>, CompileError>
 where
     F: Fn(Candidate) -> (Candidate, CostBreakdown, PerfReport) + Sync,
 {
     if hexcute_layout::fast_path_enabled() {
-        hexcute_parallel::par_map_with_workers(candidates, score, workers)
+        match token {
+            Some(tok) => hexcute_parallel::par_map_cancellable(candidates, score, workers, tok)
+                .ok_or_else(|| cancelled_error(tok)),
+            None => Ok(hexcute_parallel::par_map_with_workers(
+                candidates, score, workers,
+            )),
+        }
     } else {
-        candidates.into_iter().map(score).collect()
+        let mut scored = Vec::with_capacity(candidates.len());
+        for candidate in candidates {
+            if let Some(tok) = token {
+                if tok.is_cancelled() {
+                    return Err(cancelled_error(tok));
+                }
+            }
+            scored.push(score(candidate));
+        }
+        Ok(scored)
     }
 }
 

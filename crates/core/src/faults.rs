@@ -23,7 +23,10 @@
 //! | `synth_panic` | probability | an in-flight synthesis panics |
 //! | `worker_panic` | probability | a pool worker panics while running one job item |
 //! | `worker_death` | probability | a pool worker thread dies before claiming a job |
+//! | `synth_stall` | probability | a synthesis walk stalls for `synth_stall_ms` (interruptibly) |
+//! | `cancel_race` | probability | a cancellation poll is delayed ~1 ms, widening the cancel race |
 //! | `io_delay_us` | microseconds | artificial latency added to each disk access |
+//! | `synth_stall_ms` | milliseconds | how long each injected `synth_stall` lasts (default 0 = no-op) |
 //! | `seed` | u64 | the replay seed (default 0) |
 //!
 //! Probabilities are clamped to `[0, 1]`. Unknown keys are an error so typos
@@ -32,9 +35,11 @@
 //! a process-global flag check) — the injector is compiled in but inert.
 //!
 //! Consumers: `hexcute_core::cache` threads an injector through its disk
-//! tier, `hexcute-e2e`'s `CompileService` uses `synth_panic`, and
+//! tier, `hexcute-e2e`'s `CompileService` uses `synth_panic`,
 //! [`install_pool_hook`] wires `worker_panic`/`worker_death` into the
-//! `hexcute_parallel` worker pool.
+//! `hexcute_parallel` worker pool, and [`install_synth_hook`] wires
+//! `synth_stall`/`cancel_race` into the synthesis walks of
+//! `hexcute_synthesis` (exercising the watchdog and cancellation paths).
 //!
 //! [`ARTIFACT_VERSION`]: crate::cache::ARTIFACT_VERSION
 
@@ -44,6 +49,7 @@ use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use hexcute_parallel::{set_pool_fault_hook, PoolFaultPoint};
+use hexcute_synthesis::{set_synth_fault_hook, SynthFaultPoint};
 
 /// The failure classes the injector can produce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,16 +66,26 @@ pub enum FaultKind {
     WorkerPanic,
     /// A pool worker thread dies before claiming a job.
     WorkerDeath,
+    /// A synthesis walk stalls for [`FaultSpec::synth_stall`] (interruptibly:
+    /// the stall re-polls the walk's cancel token every ~1 ms). Exercises
+    /// the watchdog and deadline-abort paths deterministically.
+    SynthStall,
+    /// A cancellation poll inside the walk is delayed ~1 ms before reading
+    /// the flag, deterministically widening the window in which a cancel can
+    /// land "just before" the poll.
+    CancelRace,
 }
 
 /// All fault kinds, indexable by `FaultKind as usize`.
-pub const FAULT_KINDS: [FaultKind; 6] = [
+pub const FAULT_KINDS: [FaultKind; 8] = [
     FaultKind::DiskReadCorrupt,
     FaultKind::DiskWriteFail,
     FaultKind::StaleVersion,
     FaultKind::SynthPanic,
     FaultKind::WorkerPanic,
     FaultKind::WorkerDeath,
+    FaultKind::SynthStall,
+    FaultKind::CancelRace,
 ];
 
 impl FaultKind {
@@ -82,6 +98,8 @@ impl FaultKind {
             FaultKind::SynthPanic => "synth_panic",
             FaultKind::WorkerPanic => "worker_panic",
             FaultKind::WorkerDeath => "worker_death",
+            FaultKind::SynthStall => "synth_stall",
+            FaultKind::CancelRace => "cancel_race",
         }
     }
 }
@@ -112,6 +130,10 @@ pub struct FaultSpec {
     pub rates: [f64; FAULT_KINDS.len()],
     /// Artificial latency added to each disk access.
     pub io_delay: Duration,
+    /// How long each injected [`FaultKind::SynthStall`] lasts. Zero (the
+    /// default) makes an injected stall a no-op, so `synth_stall` schedules
+    /// must set `synth_stall_ms` explicitly.
+    pub synth_stall: Duration,
     /// Seed of the deterministic draw streams.
     pub seed: u64,
 }
@@ -121,6 +143,7 @@ impl Default for FaultSpec {
         FaultSpec {
             rates: [0.0; FAULT_KINDS.len()],
             io_delay: Duration::ZERO,
+            synth_stall: Duration::ZERO,
             seed: 0,
         }
     }
@@ -180,6 +203,16 @@ impl FaultSpec {
                 "synth_panic" => spec.rates[FaultKind::SynthPanic as usize] = rate()?,
                 "worker_panic" => spec.rates[FaultKind::WorkerPanic as usize] = rate()?,
                 "worker_death" => spec.rates[FaultKind::WorkerDeath as usize] = rate()?,
+                "synth_stall" => spec.rates[FaultKind::SynthStall as usize] = rate()?,
+                "cancel_race" => spec.rates[FaultKind::CancelRace as usize] = rate()?,
+                "synth_stall_ms" => {
+                    spec.synth_stall =
+                        Duration::from_millis(value.parse::<u64>().map_err(|_| {
+                            FaultSpecError(format!(
+                                "`synth_stall_ms` needs milliseconds, got `{value}`"
+                            ))
+                        })?)
+                }
                 "io_delay_us" => {
                     spec.io_delay = Duration::from_micros(value.parse::<u64>().map_err(|_| {
                         FaultSpecError(format!("`io_delay_us` needs microseconds, got `{value}`"))
@@ -216,6 +249,10 @@ impl fmt::Display for FaultSpec {
         if !self.io_delay.is_zero() {
             sep(f)?;
             write!(f, "io_delay_us={}", self.io_delay.as_micros())?;
+        }
+        if !self.synth_stall.is_zero() {
+            sep(f)?;
+            write!(f, "synth_stall_ms={}", self.synth_stall.as_millis())?;
         }
         sep(f)?;
         write!(f, "seed={}", self.seed)
@@ -373,6 +410,41 @@ pub fn install_global_pool_hook() {
     }
 }
 
+/// Wires `synth_stall` / `cancel_race` into the synthesis walks of
+/// `hexcute_synthesis`. The hook holds a clone of the injector;
+/// [`clear_synth_hook`] (or installing another) releases it. When both rates
+/// are zero this is a no-op, keeping the walks' poll sites on their one-load
+/// fast path.
+pub fn install_synth_hook(injector: &Arc<FaultInjector>) {
+    if injector.spec.rate(FaultKind::SynthStall) <= 0.0
+        && injector.spec.rate(FaultKind::CancelRace) <= 0.0
+    {
+        return;
+    }
+    let injector = injector.clone();
+    set_synth_fault_hook(Some(Arc::new(move |point| match point {
+        SynthFaultPoint::Stall => injector
+            .should(FaultKind::SynthStall)
+            .then_some(injector.spec.synth_stall),
+        SynthFaultPoint::CancelPoll => injector
+            .should(FaultKind::CancelRace)
+            .then_some(Duration::from_millis(1)),
+    })));
+}
+
+/// Removes any installed synthesis fault hook.
+pub fn clear_synth_hook() {
+    set_synth_fault_hook(None);
+}
+
+/// Installs the synthesis hook for the global `HEXCUTE_FAULTS` injector, if
+/// any. Idempotent; called by the serving layer on construction.
+pub fn install_global_synth_hook() {
+    if let Some(injector) = global() {
+        install_synth_hook(injector);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -398,6 +470,18 @@ mod tests {
         let spec = FaultSpec::parse(" io_delay_us=250 , , seed=7 ").unwrap();
         assert_eq!(spec.io_delay, Duration::from_micros(250));
         assert_eq!(spec.seed, 7);
+    }
+
+    #[test]
+    fn parse_round_trips_the_cancellation_faults() {
+        let spec =
+            FaultSpec::parse("synth_stall=0.25,cancel_race=0.1,synth_stall_ms=40,seed=9").unwrap();
+        assert_eq!(spec.rate(FaultKind::SynthStall), 0.25);
+        assert_eq!(spec.rate(FaultKind::CancelRace), 0.1);
+        assert_eq!(spec.synth_stall, Duration::from_millis(40));
+        let reparsed = FaultSpec::parse(&spec.to_string()).unwrap();
+        assert_eq!(spec, reparsed);
+        assert!(FaultSpec::parse("synth_stall_ms=soon").is_err());
     }
 
     #[test]

@@ -55,4 +55,6 @@ pub use faults::{FaultInjector, FaultKind, FaultSpec, FaultSpecError};
 
 pub use hexcute_costmodel::CostBreakdown;
 pub use hexcute_sim::PerfReport;
-pub use hexcute_synthesis::{Candidate, SynthesisOptions};
+pub use hexcute_synthesis::{
+    CancelReason, CancelToken, Candidate, SynthesisOptions, SynthesisOutcome,
+};

@@ -18,7 +18,8 @@
 //! * **Admission control & fault tolerance** (PR 6). A [`ServiceConfig`]
 //!   bounds concurrent syntheses plus a pending queue (full queue → typed
 //!   load shedding via [`CompileError::Overloaded`]), enforces per-request
-//!   deadlines while queued *and* while coalesced
+//!   deadlines while queued, while coalesced *and* — since PR 8 — against
+//!   the in-flight synthesis itself
 //!   ([`CompileError::DeadlineExceeded`]), and retries transient failures —
 //!   a panicked synthesis wakes every coalesced waiter with a retryable
 //!   [`CompileError::Panicked`] instead of deadlocking them — with
@@ -26,6 +27,19 @@
 //!   admission entirely: backpressure protects the expensive synthesis
 //!   path, never the cheap one. See `docs/ROBUSTNESS.md` for the full
 //!   degradation ladder.
+//! * **Cooperative cancellation & supervision** (PR 8). Every synthesis
+//!   carries a [`CancelToken`](hexcute_core::CancelToken) that the search
+//!   walks poll at row granularity, so a deadline that expires *mid-
+//!   synthesis* now aborts the in-flight search — freeing its admission
+//!   slot and broadcasting a typed [`CompileError::DeadlineExceeded`] to
+//!   every coalesced waiter — instead of running to completion. A lazily
+//!   spawned watchdog thread (`HEXCUTE_WATCHDOG_MS`) trips runaway
+//!   compiles with [`CompileError::SynthesisTimeout`], and
+//!   [`CompileService::shutdown`] drains the admission queue and cancels
+//!   all in-flight work with typed [`CompileError::Cancelled`] errors.
+//!   Wall-clock cancellation yields typed errors only: a cancelled
+//!   synthesis never produces a partial artifact and never touches the
+//!   cache.
 //!
 //! ```
 //! use hexcute_arch::{DType, GpuArch};
@@ -53,14 +67,14 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::time::{Duration, Instant};
 
 use hexcute_arch::GpuArch;
 use hexcute_core::{
-    faults, ArtifactSource, CompileError, Compiler, CompilerOptions, FaultInjector, FaultKind,
-    KernelArtifact, KernelCache, KernelCacheConfig, KernelCacheStats,
+    faults, ArtifactSource, CancelReason, CancelToken, CompileError, Compiler, CompilerOptions,
+    FaultInjector, FaultKind, KernelArtifact, KernelCache, KernelCacheConfig, KernelCacheStats,
 };
 use hexcute_ir::Program;
 
@@ -129,9 +143,18 @@ pub struct ServiceConfig {
     /// `max_concurrent`; arrivals past this are shed with
     /// [`CompileError::Overloaded`]. Ignored while `max_concurrent` is 0.
     pub queue_capacity: usize,
-    /// Per-request deadline, enforced while queued for admission and while
-    /// waiting on a coalesced in-flight synthesis. `None` disables it.
+    /// Per-request deadline, enforced while queued for admission, while
+    /// waiting on a coalesced in-flight synthesis, *and* — since PR 8 —
+    /// against the in-flight synthesis itself, which is cooperatively
+    /// cancelled when the deadline passes. `None` disables it.
     pub deadline: Option<Duration>,
+    /// Wall-clock watchdog for one synthesis: a search still running this
+    /// long after it started is cancelled with
+    /// [`CompileError::SynthesisTimeout`]. Unlike `deadline` (which counts
+    /// from request arrival, queueing included), the watchdog counts from
+    /// synthesis start and so catches runaway searches specifically.
+    /// `None` disables it.
+    pub watchdog: Option<Duration>,
     /// Retries of a *transient* failure (a panicked synthesis) before the
     /// error is returned. `0` disables retrying.
     pub max_retries: usize,
@@ -152,6 +175,7 @@ impl Default for ServiceConfig {
             max_concurrent: 0,
             queue_capacity: 64,
             deadline: None,
+            watchdog: None,
             max_retries: 2,
             retry_backoff: Duration::from_millis(2),
             seed: 0,
@@ -168,6 +192,7 @@ impl ServiceConfig {
     /// | `HEXCUTE_SERVICE_MAX_CONCURRENT` | concurrent synthesis bound (`0` = unbounded) | 0 |
     /// | `HEXCUTE_SERVICE_QUEUE_CAPACITY` | pending-queue capacity before shedding | 64 |
     /// | `HEXCUTE_SERVICE_DEADLINE_MS` | per-request deadline in milliseconds (`0` = none) | unset → none |
+    /// | `HEXCUTE_WATCHDOG_MS` | per-synthesis watchdog in milliseconds (`0` = none) | unset → none |
     /// | `HEXCUTE_SERVICE_RETRIES` | transient-failure retries | 2 |
     /// | `HEXCUTE_SERVICE_RETRY_BACKOFF_MS` | backoff base in milliseconds | 2 |
     /// | `HEXCUTE_SERVICE_SEED` | jitter seed | 0 |
@@ -185,6 +210,11 @@ impl ServiceConfig {
             max_concurrent: parse("HEXCUTE_SERVICE_MAX_CONCURRENT", defaults.max_concurrent),
             queue_capacity: parse("HEXCUTE_SERVICE_QUEUE_CAPACITY", defaults.queue_capacity),
             deadline: std::env::var("HEXCUTE_SERVICE_DEADLINE_MS")
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .filter(|&ms| ms > 0)
+                .map(Duration::from_millis),
+            watchdog: std::env::var("HEXCUTE_WATCHDOG_MS")
                 .ok()
                 .and_then(|v| v.trim().parse::<u64>().ok())
                 .filter(|&ms| ms > 0)
@@ -226,6 +256,10 @@ struct Admission {
     state: Mutex<AdmissionState>,
     available: Condvar,
     max_queue_depth: AtomicU64,
+    /// Set by [`CompileService::shutdown`]: parked waiters drain out with a
+    /// typed shutdown cancellation instead of waiting for a slot that will
+    /// never be used.
+    shutdown: AtomicBool,
 }
 
 /// RAII admission slot; dropping it releases the slot and wakes one waiter.
@@ -255,7 +289,19 @@ impl Admission {
             }),
             available: Condvar::new(),
             max_queue_depth: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
         }
+    }
+
+    /// Drains the wait queue: every parked waiter wakes and exits with a
+    /// typed shutdown cancellation.
+    fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Take (and drop) the state lock before notifying: a waiter between
+        // its shutdown check and its park holds the lock, so this serializes
+        // against it and the notification cannot be lost.
+        drop(self.state.lock().unwrap_or_else(|p| p.into_inner()));
+        self.available.notify_all();
     }
 
     /// Acquires a synthesis slot, waiting (up to `deadline`) in the bounded
@@ -263,8 +309,10 @@ impl Admission {
     ///
     /// # Errors
     ///
-    /// [`CompileError::Overloaded`] when the wait queue is already full and
-    /// [`CompileError::DeadlineExceeded`] when the deadline passes first.
+    /// [`CompileError::Overloaded`] when the wait queue is already full,
+    /// [`CompileError::DeadlineExceeded`] when the deadline passes first
+    /// and [`CompileError::Cancelled`] (shutdown) when the service shuts
+    /// down while this request is parked.
     fn acquire(
         &self,
         start: Instant,
@@ -285,6 +333,12 @@ impl Admission {
             self.max_queue_depth
                 .fetch_max(state.waiting as u64, Ordering::Relaxed);
             while state.active >= self.max_concurrent {
+                if self.shutdown.load(Ordering::SeqCst) {
+                    state.waiting -= 1;
+                    return Err(CompileError::Cancelled {
+                        reason: CancelReason::Shutdown,
+                    });
+                }
                 match deadline {
                     None => {
                         state = self
@@ -343,6 +397,17 @@ pub struct ServiceStats {
     /// Syntheses that panicked (caught, turned into
     /// [`CompileError::Panicked`] and broadcast to coalesced waiters).
     pub synth_panics: u64,
+    /// In-flight syntheses aborted by cooperative cancellation (deadline,
+    /// watchdog or shutdown). Each freed its admission slot early and
+    /// returned a typed error; none produced or cached an artifact.
+    pub cancelled: u64,
+    /// Times the watchdog thread tripped a runaway synthesis
+    /// ([`CompileError::SynthesisTimeout`]).
+    pub watchdog_trips: u64,
+    /// Requests drained with a typed shutdown cancellation — parked
+    /// admission waiters woken by [`CompileService::shutdown`], requests
+    /// arriving after it, and in-flight syntheses it cancelled.
+    pub shutdown_drained: u64,
     /// Deepest the admission queue has ever been.
     pub max_queue_depth: u64,
     /// Requests currently parked in the admission queue.
@@ -357,6 +422,7 @@ impl fmt::Display for ServiceStats {
             f,
             "{} requests ({} coalesced, {} batches), {} syntheses, \
              {} shed, {} deadline-exceeded, {} retries, {} synth-panics, \
+             {} cancelled ({} watchdog trips, {} shutdown-drained), \
              queue {} (max {}); artifact cache: {}",
             self.requests,
             self.coalesced,
@@ -366,6 +432,9 @@ impl fmt::Display for ServiceStats {
             self.deadline_exceeded,
             self.retries,
             self.synth_panics,
+            self.cancelled,
+            self.watchdog_trips,
+            self.shutdown_drained,
             self.queue_depth,
             self.max_queue_depth,
             self.cache
@@ -478,6 +547,119 @@ impl Drop for ClaimGuard<'_> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Watchdog supervision.
+// ---------------------------------------------------------------------------
+
+/// One in-flight synthesis under supervision.
+#[derive(Debug)]
+struct Watch {
+    token: CancelToken,
+    /// When the synthesis started (watchdog budget counts from here).
+    synth_start: Instant,
+    /// The owning request's absolute deadline, if any.
+    deadline: Option<Instant>,
+}
+
+/// Shared state between the service and its (lazily spawned) watchdog
+/// thread: the registry of in-flight syntheses and the trip counter.
+#[derive(Debug)]
+struct Supervisor {
+    registry: Mutex<HashMap<u64, Watch>>,
+    /// Per-synthesis wall-clock budget ([`ServiceConfig::watchdog`]).
+    watchdog: Option<Duration>,
+    watchdog_trips: AtomicU64,
+    thread_spawned: AtomicBool,
+}
+
+/// How often the watchdog thread scans the registry. Cancellation latency
+/// is bounded by this scan interval plus the search's poll granularity.
+const SUPERVISOR_SCAN_INTERVAL: Duration = Duration::from_millis(1);
+
+impl Supervisor {
+    fn new(watchdog: Option<Duration>) -> Self {
+        Supervisor {
+            registry: Mutex::new(HashMap::new()),
+            watchdog,
+            watchdog_trips: AtomicU64::new(0),
+            thread_spawned: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether any supervised trigger is configured — if not, registered
+    /// watches only serve the shutdown path and no thread is needed.
+    fn needs_thread(&self, deadline: Option<Instant>) -> bool {
+        deadline.is_some() || self.watchdog.is_some()
+    }
+
+    /// Registers `fingerprint`'s synthesis and lazily spawns the scanner
+    /// thread the first time a watch actually needs one. The thread holds a
+    /// [`Weak`] reference and exits when the service is dropped.
+    fn register(self: &Arc<Self>, fingerprint: u64, watch: Watch) {
+        let needs_thread = self.needs_thread(watch.deadline);
+        self.registry
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(fingerprint, watch);
+        if needs_thread && !self.thread_spawned.swap(true, Ordering::SeqCst) {
+            let weak: Weak<Supervisor> = Arc::downgrade(self);
+            std::thread::Builder::new()
+                .name("hexcute-watchdog".into())
+                .spawn(move || Supervisor::run(weak))
+                .expect("spawning the watchdog thread");
+        }
+    }
+
+    fn unregister(&self, fingerprint: u64) {
+        self.registry
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(&fingerprint);
+    }
+
+    /// The scanner loop: every [`SUPERVISOR_SCAN_INTERVAL`], trip tokens
+    /// whose deadline has passed or whose synthesis has outlived the
+    /// watchdog budget. First cancel wins, so a request whose deadline and
+    /// the watchdog race reports one coherent reason.
+    fn run(weak: Weak<Supervisor>) {
+        loop {
+            let Some(supervisor) = weak.upgrade() else {
+                return;
+            };
+            let now = Instant::now();
+            {
+                let registry = supervisor
+                    .registry
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner());
+                for watch in registry.values() {
+                    if watch.deadline.is_some_and(|dl| now >= dl) {
+                        watch.token.cancel(CancelReason::Deadline);
+                    }
+                    if let Some(budget) = supervisor.watchdog {
+                        if now.duration_since(watch.synth_start) >= budget
+                            && watch.token.cancel(CancelReason::Watchdog)
+                        {
+                            supervisor.watchdog_trips.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            drop(supervisor);
+            std::thread::sleep(SUPERVISOR_SCAN_INTERVAL);
+        }
+    }
+
+    /// Cancels every registered in-flight synthesis with the shutdown
+    /// reason (the service is draining).
+    fn cancel_all_for_shutdown(&self) {
+        let registry = self.registry.lock().unwrap_or_else(|p| p.into_inner());
+        for watch in registry.values() {
+            watch.token.cancel(CancelReason::Shutdown);
+        }
+    }
+}
+
 /// A compile front-end for one target architecture: an artifact cache, a
 /// request-coalescing layer and pool-backed batch compilation. The service
 /// is `Sync` — one instance serves concurrent requests from many threads.
@@ -497,7 +679,15 @@ pub struct CompileService {
     deadline_exceeded: AtomicU64,
     retries: AtomicU64,
     synth_panics: AtomicU64,
+    cancelled: AtomicU64,
+    shutdown_drained: AtomicU64,
     jitter_ticket: AtomicU64,
+    supervisor: Arc<Supervisor>,
+    shutdown: AtomicBool,
+    /// Cancel-to-worker-free latencies: how long each cancelled synthesis
+    /// held its admission slot past the cancel, sampled as the claimant
+    /// releases it.
+    cancel_free: Mutex<Vec<Duration>>,
 }
 
 impl CompileService {
@@ -530,8 +720,10 @@ impl CompileService {
         config: ServiceConfig,
     ) -> Self {
         faults::install_global_pool_hook();
+        faults::install_global_synth_hook();
         let cache = KernelCache::with_faults(cache_config, config.faults.clone());
         let admission = Admission::new(config.max_concurrent, config.queue_capacity);
+        let supervisor = Arc::new(Supervisor::new(config.watchdog));
         CompileService {
             compiler: Compiler::with_options(arch, options),
             cache,
@@ -546,7 +738,12 @@ impl CompileService {
             deadline_exceeded: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             synth_panics: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            shutdown_drained: AtomicU64::new(0),
             jitter_ticket: AtomicU64::new(0),
+            supervisor,
+            shutdown: AtomicBool::new(false),
+            cancel_free: Mutex::new(Vec::new()),
         }
     }
 
@@ -593,6 +790,12 @@ impl CompileService {
     /// later request retries.
     pub fn compile(&self, program: &Program) -> Result<CompileResponse, CompileError> {
         self.requests.fetch_add(1, Ordering::Relaxed);
+        if self.shutdown.load(Ordering::SeqCst) {
+            self.shutdown_drained.fetch_add(1, Ordering::Relaxed);
+            return Err(CompileError::Cancelled {
+                reason: CancelReason::Shutdown,
+            });
+        }
         let fingerprint = self.compiler.artifact_fingerprint(program);
         let start = Instant::now();
         let deadline = self.config.deadline.map(|d| start + d);
@@ -621,6 +824,11 @@ impl CompileService {
             }
             Err(CompileError::DeadlineExceeded { .. }) => {
                 self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(CompileError::Cancelled {
+                reason: CancelReason::Shutdown,
+            }) => {
+                self.shutdown_drained.fetch_add(1, Ordering::Relaxed);
             }
             _ => {}
         }
@@ -724,6 +932,26 @@ impl CompileService {
                         completed: false,
                     };
                     self.syntheses.fetch_add(1, Ordering::Relaxed);
+                    // Put the synthesis under supervision: its token is
+                    // tripped by the watchdog thread (deadline/runaway) or
+                    // by `shutdown`, and the search walks poll it at row
+                    // granularity.
+                    let token = CancelToken::new();
+                    let synth_start = Instant::now();
+                    self.supervisor.register(
+                        fingerprint,
+                        Watch {
+                            token: token.clone(),
+                            synth_start,
+                            deadline,
+                        },
+                    );
+                    // A shutdown racing this registration may have swept
+                    // the registry already; re-check the flag so the new
+                    // synthesis is cancelled either way.
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        token.cancel(CancelReason::Shutdown);
+                    }
                     // A panicking synthesis (worker-job crash, injected
                     // fault) must not strand coalesced waiters: catch the
                     // unwind and broadcast a retryable error through the
@@ -735,7 +963,9 @@ impl CompileService {
                                 panic!("injected: synthesis panic");
                             }
                         }
-                        self.compiler.compile_artifact(program).map(Arc::new)
+                        self.compiler
+                            .compile_artifact_cancellable(program, Some(&token))
+                            .map(Arc::new)
                     }))
                     .unwrap_or_else(|payload| {
                         self.synth_panics.fetch_add(1, Ordering::Relaxed);
@@ -746,12 +976,49 @@ impl CompileService {
                             .unwrap_or_else(|| "non-string panic payload".to_string());
                         Err(CompileError::Panicked(msg))
                     });
+                    self.supervisor.unregister(fingerprint);
+                    // Map the raw cancellation onto the trigger's typed
+                    // error: a tripped deadline reads as the deadline
+                    // error waiters already understand, a watchdog trip as
+                    // a synthesis timeout; shutdown keeps its reason.
+                    let result = result.map_err(|error| match error {
+                        CompileError::Cancelled {
+                            reason: CancelReason::Deadline,
+                        } => CompileError::DeadlineExceeded {
+                            elapsed: start.elapsed(),
+                        },
+                        CompileError::Cancelled {
+                            reason: CancelReason::Watchdog,
+                        } => CompileError::SynthesisTimeout {
+                            elapsed: synth_start.elapsed(),
+                        },
+                        other => other,
+                    });
+                    // A cancelled synthesis yields a typed error only —
+                    // the `Err` below never reaches `cache.insert`, so a
+                    // cancel can never alter or cache a result.
                     if let Ok(artifact) = &result {
                         self.cache.insert(artifact.clone());
                     }
                     guard.entry.complete(result.clone());
                     guard.completed = true;
                     drop(guard);
+                    if matches!(
+                        result,
+                        Err(CompileError::Cancelled { .. }
+                            | CompileError::DeadlineExceeded { .. }
+                            | CompileError::SynthesisTimeout { .. })
+                    ) {
+                        self.cancelled.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Sample cancel-to-worker-free latency at the moment
+                    // the slot is released (the permit drops next).
+                    if let Some(latency) = token.since_cancelled() {
+                        self.cancel_free
+                            .lock()
+                            .unwrap_or_else(|p| p.into_inner())
+                            .push(latency);
+                    }
                     drop(permit);
                     return result.map(|artifact| CompileResponse {
                         artifact,
@@ -774,6 +1041,51 @@ impl CompileService {
         hexcute_parallel::par_map(programs, |program| self.compile(&program))
     }
 
+    /// Gracefully shuts the service down: new requests are rejected with a
+    /// typed shutdown cancellation, parked admission waiters drain out with
+    /// the same error, every in-flight synthesis is cooperatively
+    /// cancelled, and the call waits (bounded) for the in-flight map to
+    /// empty so callers can observe "no leaked slots" deterministically.
+    /// Idempotent — later calls return immediately.
+    pub fn shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.supervisor.cancel_all_for_shutdown();
+        self.admission.shutdown();
+        // Bounded drain: in-flight claimants poll their tokens at row
+        // granularity, so they unwind within a poll interval each. The cap
+        // only guards against a wedged (non-cooperative) synthesis.
+        let drain_deadline = Instant::now() + Duration::from_secs(10);
+        while Instant::now() < drain_deadline {
+            let drained = self
+                .inflight
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .is_empty();
+            if drained {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Whether [`CompileService::shutdown`] has begun.
+    pub fn is_shut_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Cancel-to-worker-free latencies observed so far: for each cancelled
+    /// synthesis, how long it held its admission slot after its token
+    /// tripped (cancel-poll granularity plus unwind time). The robustness
+    /// bench asserts a p99 bound over these.
+    pub fn cancel_to_free_latencies(&self) -> Vec<Duration> {
+        self.cancel_free
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
     /// A snapshot of the service and cache counters.
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
@@ -785,6 +1097,9 @@ impl CompileService {
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             synth_panics: self.synth_panics.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            watchdog_trips: self.supervisor.watchdog_trips.load(Ordering::Relaxed),
+            shutdown_drained: self.shutdown_drained.load(Ordering::Relaxed),
             max_queue_depth: self.admission.max_queue_depth.load(Ordering::Relaxed),
             queue_depth: self.admission.queue_depth(),
             cache: self.cache.stats(),
@@ -983,6 +1298,59 @@ mod tests {
         assert_eq!(*disk_grouped.artifact, *artifacts[1]);
         assert_eq!(restarted.stats().syntheses, 0);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shutdown_rejects_new_requests_with_a_typed_error() {
+        let service = CompileService::new(GpuArch::a100());
+        let program = small_program("shutdown_entry");
+        service.shutdown();
+        match service.compile(&program) {
+            Err(CompileError::Cancelled {
+                reason: CancelReason::Shutdown,
+            }) => {}
+            other => panic!("expected a typed shutdown cancellation, got {other:?}"),
+        }
+        let stats = service.stats();
+        assert_eq!(stats.shutdown_drained, 1, "{stats}");
+        assert_eq!(stats.syntheses, 0, "no synthesis may start after shutdown");
+        // Idempotent.
+        service.shutdown();
+        assert!(service.is_shut_down());
+    }
+
+    #[test]
+    fn watchdog_trips_a_runaway_synthesis_with_a_typed_timeout() {
+        // A large GEMM search runs far longer than a 1 ms watchdog budget;
+        // the supervisor must trip it and the claimant must return
+        // `SynthesisTimeout` without caching anything.
+        let service = CompileService::with_service_config(
+            GpuArch::a100(),
+            CompilerOptions::new(),
+            KernelCacheConfig::default(),
+            ServiceConfig {
+                watchdog: Some(Duration::from_millis(1)),
+                ..ServiceConfig::default()
+            },
+        );
+        let program = fp16_gemm(GemmShape::new(1024, 1024, 1024), GemmConfig::default()).unwrap();
+        match service.compile(&program) {
+            Err(CompileError::SynthesisTimeout { elapsed }) => {
+                assert!(elapsed >= Duration::from_millis(1), "{elapsed:?}");
+            }
+            other => panic!("expected a watchdog timeout, got {other:?}"),
+        }
+        let stats = service.stats();
+        assert_eq!(stats.watchdog_trips, 1, "{stats}");
+        assert_eq!(stats.cancelled, 1, "{stats}");
+        assert_eq!(
+            stats.cache.memory.entries, 0,
+            "a cancelled synthesis must never cache: {stats}"
+        );
+        assert!(
+            !service.cancel_to_free_latencies().is_empty(),
+            "the cancelled claimant must record its cancel-to-free latency"
+        );
     }
 
     #[test]

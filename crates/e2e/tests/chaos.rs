@@ -1,8 +1,11 @@
-//! Chaos tests for the fault-tolerant compile service (PR 6): injected
-//! synthesis panics must release every coalesced waiter with a typed,
-//! retryable error (never a deadlock), transient failures must be retried
-//! to success, and the admission controller must shed typed overload and
-//! enforce deadlines both while queued and while coalesced.
+//! Chaos tests for the fault-tolerant compile service (PR 6 + PR 8):
+//! injected synthesis panics must release every coalesced waiter with a
+//! typed, retryable error (never a deadlock), transient failures must be
+//! retried to success, the admission controller must shed typed overload,
+//! and deadlines are enforced while queued, while coalesced *and* against
+//! the in-flight synthesis itself — which is cooperatively cancelled,
+//! freeing its slot and broadcasting a typed error. Shutdown drains the
+//! queue and cancels in-flight work the same way.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -185,69 +188,155 @@ fn full_queue_sheds_with_typed_overload() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
-/// A request that coalesces onto a long-running synthesis gives up with
-/// `DeadlineExceeded` when its budget runs out — while the claimant, whose
-/// work is not interruptible, still completes.
+/// Regression test for the PR 6 gap: a deadline expiring *after* admission
+/// but *during* synthesis must cooperatively cancel the in-flight search —
+/// the claimant returns a typed `DeadlineExceeded` within the cancellation
+/// poll bound and frees its admission slot, instead of running the search
+/// to completion.
 #[test]
-fn deadline_expires_while_coalesced() {
-    let dir = unique_temp_dir("deadline-coalesced");
-    let injector = FaultInjector::new(FaultSpec {
-        io_delay: Duration::from_millis(400),
-        ..FaultSpec::default()
-    });
+fn deadline_expiring_mid_synthesis_cancels_the_claimant() {
     let config = ServiceConfig {
         deadline: Some(Duration::from_millis(20)),
-        faults: Some(injector),
         ..ServiceConfig::default()
     };
-    let service = Arc::new(service_with(config, Some(&dir)));
-    let program = slow_program();
+    let service = service_with(config, None);
 
-    let claimant = {
-        let service = Arc::clone(&service);
-        let program = program.clone();
-        std::thread::spawn(move || service.compile(&program))
-    };
-    while service.stats().syntheses == 0 {
-        std::thread::yield_now();
-    }
-
-    // Joins the in-flight synthesis, then times out waiting on it.
-    let err = service.compile(&program).unwrap_err();
+    let started = std::time::Instant::now();
+    let err = service.compile(&slow_program()).unwrap_err();
+    let turnaround = started.elapsed();
     match err {
         CompileError::DeadlineExceeded { elapsed } => {
             assert!(elapsed >= Duration::from_millis(20), "elapsed {elapsed:?}");
         }
         other => panic!("expected DeadlineExceeded, got {other:?}"),
     }
+    // The search aborts within the cancellation-poll bound (watchdog scan
+    // interval + one search row + unwind), not after the full multi-second
+    // search. The generous cap still distinguishes abort from completion.
+    assert!(
+        turnaround < Duration::from_secs(5),
+        "cancellation took {turnaround:?} — the search likely ran to completion"
+    );
     let stats = service.stats();
     assert_eq!(stats.deadline_exceeded, 1, "{stats}");
+    assert_eq!(
+        stats.cancelled, 1,
+        "the in-flight synthesis aborted: {stats}"
+    );
+    // The slot was freed and the cancel-to-free latency recorded.
+    assert_eq!(stats.queue_depth, 0, "{stats}");
+    let latencies = service.cancel_to_free_latencies();
+    assert_eq!(latencies.len(), 1, "{latencies:?}");
+}
 
-    let response = claimant
-        .join()
-        .unwrap()
-        .expect("claimant is never interrupted");
-    assert_eq!(response.served_from, ServedFrom::Synthesized);
-    std::fs::remove_dir_all(&dir).ok();
+/// The barrier-synced coalesced variant of the regression above: waiters
+/// that joined the doomed synthesis all receive the broadcast typed error —
+/// nobody hangs, nobody gets a partial artifact.
+#[test]
+fn deadline_expires_while_coalesced() {
+    let config = ServiceConfig {
+        deadline: Some(Duration::from_millis(25)),
+        ..ServiceConfig::default()
+    };
+    let service = Arc::new(service_with(config, None));
+    let program = slow_program();
+
+    let n = 4;
+    let barrier = Arc::new(Barrier::new(n));
+    let handles: Vec<_> = (0..n)
+        .map(|_| {
+            let service = Arc::clone(&service);
+            let program = program.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                service.compile(&program)
+            })
+        })
+        .collect();
+
+    // Every thread — the claimant whose search is cancelled mid-flight and
+    // the coalesced waiters it broadcasts to — returns DeadlineExceeded.
+    for handle in handles {
+        match handle.join().expect("client thread must not die") {
+            Err(CompileError::DeadlineExceeded { .. }) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+    let stats = service.stats();
+    assert_eq!(stats.deadline_exceeded, n as u64, "{stats}");
+    assert_eq!(stats.cancelled, 1, "one cancelled synthesis: {stats}");
+    assert_eq!(stats.queue_depth, 0, "no leaked slots: {stats}");
+}
+
+/// Shutdown mid-burst: queued waiters drain with a typed shutdown
+/// cancellation, the in-flight synthesis is cancelled, and the in-flight
+/// map empties — no client hangs and no slot leaks.
+#[test]
+fn shutdown_drains_queued_waiters_and_cancels_inflight() {
+    let config = ServiceConfig {
+        max_concurrent: 1,
+        queue_capacity: 8,
+        ..ServiceConfig::default()
+    };
+    let service = Arc::new(service_with(config, None));
+
+    // The slot holder runs a long synthesis...
+    let holder = {
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || service.compile(&slow_program()))
+    };
+    while service.stats().syntheses == 0 {
+        std::thread::yield_now();
+    }
+    // ...and distinct kernels queue behind it.
+    let queued: Vec<_> = [32usize, 48, 64]
+        .into_iter()
+        .map(|k| {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || service.compile(&small_program(k)))
+        })
+        .collect();
+    while service.stats().queue_depth < 3 {
+        std::thread::yield_now();
+    }
+
+    service.shutdown();
+
+    match holder.join().expect("holder thread must not die") {
+        Err(CompileError::Cancelled { .. }) => {}
+        other => panic!("the in-flight synthesis must be cancelled, got {other:?}"),
+    }
+    for handle in queued {
+        match handle.join().expect("queued thread must not die") {
+            Err(CompileError::Cancelled { .. }) => {}
+            other => panic!("queued waiters must drain typed, got {other:?}"),
+        }
+    }
+    let stats = service.stats();
+    assert!(stats.shutdown_drained >= 4, "{stats}");
+    assert_eq!(stats.cancelled, 1, "{stats}");
+    assert_eq!(stats.queue_depth, 0, "queue must drain: {stats}");
+    // Requests after shutdown are rejected typed, immediately.
+    assert!(matches!(
+        service.compile(&small_program(96)),
+        Err(CompileError::Cancelled { .. })
+    ));
 }
 
 /// A request still sitting in the admission queue when its deadline passes
-/// fails with `DeadlineExceeded` instead of waiting forever.
+/// fails with `DeadlineExceeded` instead of waiting forever. (Since PR 8
+/// the slot holder's own deadline also cancels its in-flight synthesis, so
+/// both requests fail typed.)
 #[test]
 fn deadline_expires_while_queued() {
-    let dir = unique_temp_dir("deadline-queued");
-    let injector = FaultInjector::new(FaultSpec {
-        io_delay: Duration::from_millis(400),
-        ..FaultSpec::default()
-    });
     let config = ServiceConfig {
         max_concurrent: 1,
         queue_capacity: 4,
         deadline: Some(Duration::from_millis(20)),
-        faults: Some(injector),
         ..ServiceConfig::default()
     };
-    let service = Arc::new(service_with(config, Some(&dir)));
+    let service = Arc::new(service_with(config, None));
 
     let holder = {
         let service = Arc::clone(&service);
@@ -258,7 +347,8 @@ fn deadline_expires_while_queued() {
     }
 
     // A *different* kernel can't coalesce; it queues for the slot and its
-    // deadline expires there.
+    // deadline expires (while queued, or mid-synthesis if the cancelled
+    // holder frees the slot first — typed either way).
     let err = service.compile(&small_program(32)).unwrap_err();
     assert!(
         matches!(err, CompileError::DeadlineExceeded { .. }),
@@ -268,11 +358,14 @@ fn deadline_expires_while_queued() {
     assert!(stats.deadline_exceeded >= 1, "{stats}");
     assert!(stats.max_queue_depth >= 1, "{stats}");
 
-    holder
+    let err = holder
         .join()
         .unwrap()
-        .expect("the slot holder itself succeeds");
-    std::fs::remove_dir_all(&dir).ok();
+        .expect_err("the holder's own deadline cancels its synthesis");
+    assert!(
+        matches!(err, CompileError::DeadlineExceeded { .. }),
+        "expected DeadlineExceeded, got {err:?}"
+    );
 }
 
 /// A bounded service admits everything that fits in the queue: four

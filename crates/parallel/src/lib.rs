@@ -27,12 +27,17 @@
 //! synthesis/cost/simulation caches use to stay safe (and mostly
 //! uncontended) when the parallel search shares them across workers; the
 //! [`lossy`] module puts a thread-local direct-mapped table in front of it
-//! on the single-threaded hot path.
+//! on the single-threaded hot path. The [`cancel`] module provides the
+//! cooperative [`cancel::CancelToken`] that [`par_map_cancellable`] and the
+//! synthesis walks poll so a deadline, watchdog or shutdown can abort
+//! in-flight work promptly (skipped items are counted in
+//! [`PoolStats::cancelled`]).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod cache;
+pub mod cancel;
 pub mod lossy;
 
 use std::cell::UnsafeCell;
@@ -167,12 +172,26 @@ pub struct PoolStats {
     /// Workers revived after a death; equals [`PoolStats::deaths`] unless a
     /// revival itself failed.
     pub respawns: u64,
+    /// Job items skipped because their job's [`cancel::CancelToken`] tripped
+    /// before they ran (see [`par_map_cancellable`]).
+    pub cancelled: u64,
+}
+
+impl std::fmt::Display for PoolStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} workers, {} jobs, {} items ({} cancelled), {} deaths / {} respawns",
+            self.spawned, self.jobs, self.items, self.cancelled, self.deaths, self.respawns
+        )
+    }
 }
 
 static POOL_JOBS: AtomicU64 = AtomicU64::new(0);
 static POOL_ITEMS: AtomicU64 = AtomicU64::new(0);
 static POOL_DEATHS: AtomicU64 = AtomicU64::new(0);
 static POOL_RESPAWNS: AtomicU64 = AtomicU64::new(0);
+static POOL_CANCELLED: AtomicU64 = AtomicU64::new(0);
 
 /// A snapshot of the pool's lifetime counters.
 pub fn pool_stats() -> PoolStats {
@@ -182,6 +201,7 @@ pub fn pool_stats() -> PoolStats {
         items: POOL_ITEMS.load(Ordering::Relaxed),
         deaths: POOL_DEATHS.load(Ordering::Relaxed),
         respawns: POOL_RESPAWNS.load(Ordering::Relaxed),
+        cancelled: POOL_CANCELLED.load(Ordering::Relaxed),
     }
 }
 
@@ -402,6 +422,10 @@ struct JobShared<'f, T, R, F> {
     n: usize,
     cursor: AtomicUsize,
     panicked: AtomicBool,
+    /// Set once any worker skips an item because `cancel` tripped; the
+    /// submitter then discards the (partially filled) results.
+    cancelled: AtomicBool,
+    cancel: Option<&'f cancel::CancelToken>,
     payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
 }
 
@@ -422,6 +446,15 @@ where
         let i = job.cursor.fetch_add(1, Ordering::Relaxed);
         if i >= job.n {
             break;
+        }
+        // A tripped cancel token drains the remaining indices without
+        // running the closure: each skipped item is counted exactly once
+        // (the cursor hands out every index exactly once) and the job is
+        // flagged so the submitter returns `None` instead of partial output.
+        if job.cancel.is_some_and(|t| t.is_cancelled()) {
+            job.cancelled.store(true, Ordering::Relaxed);
+            POOL_CANCELLED.fetch_add(1, Ordering::Relaxed);
+            continue;
         }
         // SAFETY: the cursor hands each index to exactly one worker, so this
         // cell is not accessed by any other thread.
@@ -494,8 +527,53 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    par_map_inner(items, f, workers, None).expect("uncancellable maps always complete")
+}
+
+/// [`par_map_with_workers`] gated by a [`cancel::CancelToken`]: every worker
+/// re-checks the token before claiming its next item, so a cancelled map
+/// stops within one item's work per worker. Returns `None` — and counts the
+/// skipped items in [`PoolStats::cancelled`] — when the token tripped before
+/// all items ran; a token that trips only after the last item was claimed
+/// still yields the complete `Some(results)`.
+pub fn par_map_cancellable<T, R, F>(
+    items: Vec<T>,
+    f: F,
+    workers: usize,
+    token: &cancel::CancelToken,
+) -> Option<Vec<R>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    par_map_inner(items, f, workers, Some(token))
+}
+
+/// The shared implementation of the [`par_map`] family. `None` (cancelled)
+/// is only possible when a `token` was supplied.
+fn par_map_inner<T, R, F>(
+    items: Vec<T>,
+    f: F,
+    workers: usize,
+    token: Option<&cancel::CancelToken>,
+) -> Option<Vec<R>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
     if workers <= 1 || items.len() <= 1 {
-        return items.into_iter().map(f).collect();
+        let n = items.len();
+        let mut out = Vec::with_capacity(n);
+        for (i, item) in items.into_iter().enumerate() {
+            if token.is_some_and(|t| t.is_cancelled()) {
+                POOL_CANCELLED.fetch_add((n - i) as u64, Ordering::Relaxed);
+                return None;
+            }
+            out.push(f(item));
+        }
+        return Some(out);
     }
 
     let n = items.len();
@@ -518,6 +596,8 @@ where
         n,
         cursor: AtomicUsize::new(0),
         panicked: AtomicBool::new(false),
+        cancelled: AtomicBool::new(false),
+        cancel: token,
         payload: Mutex::new(None),
     };
     let gate = DoneGate::new();
@@ -537,11 +617,16 @@ where
     if let Some(e) = first_panic {
         panic::resume_unwind(e);
     }
-    job.results
-        .cells
-        .into_iter()
-        .map(|cell| cell.into_inner().expect("worker filled every slot"))
-        .collect()
+    if job.cancelled.load(Ordering::Relaxed) {
+        return None;
+    }
+    Some(
+        job.results
+            .cells
+            .into_iter()
+            .map(|cell| cell.into_inner().expect("worker filled every slot"))
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -780,5 +865,66 @@ mod tests {
     fn no_hook_means_no_injection() {
         assert!(!fault_fires(PoolFaultPoint::JobItem));
         assert!(!fault_fires(PoolFaultPoint::WorkerClaim));
+    }
+
+    #[test]
+    fn uncancelled_token_completes_like_a_plain_map() {
+        let token = cancel::CancelToken::new();
+        let out = par_map_cancellable((0..128).collect::<Vec<_>>(), |x| x * 3, 4, &token);
+        assert_eq!(out, Some((0..128).map(|x| x * 3).collect::<Vec<_>>()));
+        let serial = par_map_cancellable((0..128).collect::<Vec<_>>(), |x| x * 3, 1, &token);
+        assert_eq!(serial, out);
+    }
+
+    #[test]
+    fn pre_cancelled_token_skips_everything_and_counts() {
+        let token = cancel::CancelToken::new();
+        token.cancel(cancel::CancelReason::Shutdown);
+        for workers in [1, 4] {
+            let before = pool_stats().cancelled;
+            let ran = AtomicUsize::new(0);
+            let out = par_map_cancellable(
+                (0..64).collect::<Vec<usize>>(),
+                |x| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                    x
+                },
+                workers,
+                &token,
+            );
+            assert_eq!(out, None, "{workers} workers");
+            assert_eq!(ran.load(Ordering::Relaxed), 0, "{workers} workers");
+            assert!(
+                pool_stats().cancelled >= before + 64,
+                "skipped items must be counted ({workers} workers)"
+            );
+        }
+    }
+
+    #[test]
+    fn mid_flight_cancel_stops_within_the_poll_bound() {
+        // Cancel from inside the closure: every worker stops at its next
+        // claim, so far fewer than all items run.
+        let token = cancel::CancelToken::new();
+        let ran = AtomicUsize::new(0);
+        let out = par_map_cancellable(
+            (0..4096).collect::<Vec<usize>>(),
+            |x| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if x == 0 {
+                    token.cancel(cancel::CancelReason::Deadline);
+                }
+                x
+            },
+            4,
+            &token,
+        );
+        assert_eq!(out, None);
+        let executed = ran.load(Ordering::Relaxed);
+        assert!(executed >= 1);
+        assert!(
+            executed < 4096,
+            "cancellation must abort the map early, ran {executed} items"
+        );
     }
 }

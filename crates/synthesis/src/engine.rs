@@ -9,12 +9,57 @@ use hexcute_arch::{
 };
 use hexcute_ir::{Op, OpId, OpKind, Program, TensorId};
 use hexcute_layout::{Layout, RepeatMode, TvLayout};
+use hexcute_parallel::cancel::{CancelReason, CancelToken};
 
 use crate::choice::{Candidate, CopyChoice, MmaChoice, RearrangeFix};
 use crate::constraints::{collapse_dim, contiguous_run_along, same_distribution};
 use crate::error::{Result, SynthesisError};
+use crate::hooks;
 use crate::options::SynthesisOptions;
 use crate::smem::synthesize_smem_layouts;
+
+/// The result of a (possibly budgeted) synthesis search.
+///
+/// The deterministic node budget ([`SynthesisOptions::node_budget`]) bounds
+/// how many selections the enumeration evaluates by truncating the
+/// deterministic selection list *before* the walk fans out, so a truncated
+/// outcome is bit-identical at any worker count and for the incremental and
+/// reference paths alike. Contrast with wall-clock cancellation, which
+/// yields a typed [`SynthesisError::Cancelled`] and never a partial result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthesisOutcome {
+    /// The full enumeration was evaluated.
+    Complete(Vec<Candidate>),
+    /// The node budget truncated the enumeration; these are the candidates
+    /// finished within the budget (in enumeration order, preferred first).
+    Truncated {
+        /// Candidates finished before the budget ran out.
+        best_so_far: Vec<Candidate>,
+    },
+}
+
+impl SynthesisOutcome {
+    /// The finished candidates, complete or not.
+    pub fn candidates(&self) -> &[Candidate] {
+        match self {
+            SynthesisOutcome::Complete(c) => c,
+            SynthesisOutcome::Truncated { best_so_far } => best_so_far,
+        }
+    }
+
+    /// Consumes the outcome, returning the finished candidates.
+    pub fn into_candidates(self) -> Vec<Candidate> {
+        match self {
+            SynthesisOutcome::Complete(c) => c,
+            SynthesisOutcome::Truncated { best_so_far } => best_so_far,
+        }
+    }
+
+    /// Whether the node budget truncated the search.
+    pub fn is_truncated(&self) -> bool {
+        matches!(self, SynthesisOutcome::Truncated { .. })
+    }
+}
 
 /// The layout synthesis engine: produces candidate programs for a tile-level
 /// program on a target architecture.
@@ -129,37 +174,77 @@ impl<'a> Synthesizer<'a> {
     pub fn synthesize_with_stats(
         &self,
     ) -> Result<(Vec<Candidate>, Option<crate::prefix::PrefixStats>)> {
+        let (outcome, stats) = self.synthesize_outcome(None)?;
+        Ok((outcome.into_candidates(), stats))
+    }
+
+    /// The full synthesis with both bounding mechanisms exposed: the
+    /// deterministic node budget of [`SynthesisOptions::node_budget`]
+    /// (reported as [`SynthesisOutcome::Truncated`]) and an optional
+    /// wall-clock [`CancelToken`] polled cooperatively at row granularity by
+    /// the walks and at job granularity by the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Synthesizer::synthesize`], plus
+    /// [`SynthesisError::Cancelled`] when `token` trips mid-search —
+    /// cancellation never yields a partial candidate list.
+    pub fn synthesize_outcome(
+        &self,
+        token: Option<&CancelToken>,
+    ) -> Result<(SynthesisOutcome, Option<crate::prefix::PrefixStats>)> {
         let base = self.solve_tv()?;
         let plans = self.build_copy_plans(&base)?;
-        let selections = self.enumerate_selections(&plans);
+        let mut selections = self.enumerate_selections(&plans);
+        // The node budget truncates the deterministic enumeration *before*
+        // either evaluation path fans out, which is what makes a truncated
+        // outcome bit-identical across worker counts and toggles. (A budget
+        // of 0 is clamped to 1: the preferred selection always runs.)
+        let truncated = match self.options.node_budget {
+            Some(budget) if selections.len() > budget.max(1) => {
+                selections.truncate(budget.max(1));
+                true
+            }
+            _ => false,
+        };
         let max = self.options.max_candidates.max(1);
         let (finished, stats) = if self.options.incremental && crate::incremental_enabled() {
             let (finished, stats) =
-                self.evaluate_incremental_with_stats(&base, &plans, &selections, max);
+                self.evaluate_incremental_with_stats(&base, &plans, &selections, max, token)?;
             (finished, Some(stats))
         } else {
             (
-                self.evaluate_reference(&base, &plans, &selections, max),
+                self.evaluate_reference(&base, &plans, &selections, max, token)?,
                 None,
             )
         };
         if finished.is_empty() {
             return Err(SynthesisError::NoCandidates);
         }
-        Ok((finished, stats))
+        let outcome = if truncated {
+            SynthesisOutcome::Truncated {
+                best_so_far: finished,
+            }
+        } else {
+            SynthesisOutcome::Complete(finished)
+        };
+        Ok((outcome, stats))
     }
 
     /// The reference evaluation: every candidate is materialized and its
     /// shared-memory layouts are synthesized from scratch. When the fast
     /// path is on the candidates are finished in parallel (order preserved);
-    /// the serial loop is the pre-fast-path behaviour.
+    /// the serial loop is the pre-fast-path behaviour. `token` (when
+    /// carried) cancels cooperatively, per candidate here and per job in
+    /// the pool — a tripped token yields [`SynthesisError::Cancelled`].
     pub(crate) fn evaluate_reference(
         &self,
         base: &TvBase,
         plans: &[CopyPlan],
         selections: &[Vec<usize>],
         max: usize,
-    ) -> Vec<Candidate> {
+        token: Option<&CancelToken>,
+    ) -> Result<Vec<Candidate>> {
         // Shared-memory synthesis; drop candidates whose constraints cannot
         // be satisfied even after falling back.
         let finish = |mut candidate: Candidate| -> Option<Candidate> {
@@ -199,22 +284,51 @@ impl<'a> Synthesizer<'a> {
                 .iter()
                 .map(|sel| self.materialize_candidate(base, plans, sel))
                 .collect();
-            hexcute_parallel::par_map(candidates, finish)
-                .into_iter()
-                .flatten()
-                .take(max)
-                .collect()
+            let finish_checked =
+                |candidate: Candidate| -> std::result::Result<Option<Candidate>, CancelReason> {
+                    if let Some(reason) = hooks::injected_stall(token) {
+                        return Err(reason);
+                    }
+                    Ok(finish(candidate))
+                };
+            let results = match token {
+                Some(tok) => hexcute_parallel::par_map_cancellable(
+                    candidates,
+                    finish_checked,
+                    hexcute_parallel::worker_count().max(1),
+                    tok,
+                )
+                .ok_or_else(|| {
+                    SynthesisError::Cancelled(tok.reason().unwrap_or(CancelReason::Shutdown))
+                })?,
+                None => hexcute_parallel::par_map(candidates, finish_checked),
+            };
+            let mut finished = Vec::with_capacity(max.min(results.len()));
+            for result in results {
+                if let Some(done) = result.map_err(SynthesisError::Cancelled)? {
+                    if finished.len() < max {
+                        finished.push(done);
+                    }
+                }
+            }
+            Ok(finished)
         } else {
             let mut finished = Vec::new();
             for sel in selections {
                 if finished.len() >= max {
                     break;
                 }
+                if let Some(reason) = hooks::injected_stall(token) {
+                    return Err(SynthesisError::Cancelled(reason));
+                }
+                if let Some(reason) = hooks::poll_cancelled(token) {
+                    return Err(SynthesisError::Cancelled(reason));
+                }
                 if let Some(done) = finish(self.materialize_candidate(base, plans, sel)) {
                     finished.push(done);
                 }
             }
-            finished
+            Ok(finished)
         }
     }
 
@@ -1339,7 +1453,9 @@ mod tests {
         );
         assert_eq!(selections[0], vec![0, 0, 0], "preferred first");
 
-        let reference = synth.evaluate_reference(&base, &plans, &selections, 1);
+        let reference = synth
+            .evaluate_reference(&base, &plans, &selections, 1, None)
+            .unwrap();
         assert_eq!(
             reference.len(),
             1,
@@ -1354,14 +1470,18 @@ mod tests {
 
         // The incremental path agrees bit for bit, including on fallbacks.
         let incremental = synth
-            .evaluate_incremental_with_stats(&base, &plans, &selections, 1)
+            .evaluate_incremental_with_stats(&base, &plans, &selections, 1, None)
+            .unwrap()
             .0;
         assert_eq!(reference, incremental);
 
         // Unbounded, both paths agree on the full feasible set too.
-        let all_ref = synth.evaluate_reference(&base, &plans, &selections, usize::MAX);
+        let all_ref = synth
+            .evaluate_reference(&base, &plans, &selections, usize::MAX, None)
+            .unwrap();
         let all_inc = synth
-            .evaluate_incremental_with_stats(&base, &plans, &selections, usize::MAX)
+            .evaluate_incremental_with_stats(&base, &plans, &selections, usize::MAX, None)
+            .unwrap()
             .0;
         assert_eq!(all_ref, all_inc);
         assert_eq!(all_ref.len(), 1, "every other selection is infeasible");
@@ -1375,9 +1495,12 @@ mod tests {
         let base = synth.solve_tv().unwrap();
         let plans = synth.build_copy_plans(&base).unwrap();
         let selections = synth.enumerate_selections(&plans);
-        let reference = synth.evaluate_reference(&base, &plans, &selections, usize::MAX);
-        let (incremental, stats) =
-            synth.evaluate_incremental_with_stats(&base, &plans, &selections, usize::MAX);
+        let reference = synth
+            .evaluate_reference(&base, &plans, &selections, usize::MAX, None)
+            .unwrap();
+        let (incremental, stats) = synth
+            .evaluate_incremental_with_stats(&base, &plans, &selections, usize::MAX, None)
+            .unwrap();
         assert_eq!(reference, incremental);
         // The sharing must actually kick in: siblings re-finish only the
         // tensors their differing suffix touches.
@@ -1389,6 +1512,72 @@ mod tests {
             stats.tensor_layouts_computed < selections.len() * program.shared_tensors().len(),
             "every tensor was re-finished per candidate: {stats:?}"
         );
+    }
+
+    #[test]
+    fn node_budget_truncates_deterministically() {
+        let program = register_gemm_program();
+        let arch = GpuArch::a100();
+        let exhaustive = Synthesizer::new(&program, &arch, SynthesisOptions::default())
+            .synthesize()
+            .unwrap();
+        assert!(exhaustive.len() > 2, "fixture must enumerate alternatives");
+
+        // Budget ≥ the full space: a Complete outcome, identical candidates.
+        let roomy = SynthesisOptions {
+            node_budget: Some(10_000),
+            ..SynthesisOptions::default()
+        };
+        let (outcome, _) = Synthesizer::new(&program, &arch, roomy)
+            .synthesize_outcome(None)
+            .unwrap();
+        assert!(!outcome.is_truncated());
+        assert_eq!(outcome.candidates(), &exhaustive[..]);
+
+        // A tight budget truncates: the preferred prefix of the exhaustive
+        // list, bit-identical across the serial and parallel walks and the
+        // reference path.
+        let mut results = Vec::new();
+        for (incremental, workers) in [(true, 1), (true, 4), (false, 1)] {
+            let tight = SynthesisOptions {
+                node_budget: Some(2),
+                incremental,
+                parallel_workers: Some(workers),
+                ..SynthesisOptions::default()
+            };
+            let (outcome, _) = Synthesizer::new(&program, &arch, tight)
+                .synthesize_outcome(None)
+                .unwrap();
+            assert!(outcome.is_truncated(), "2 < full space must truncate");
+            results.push(outcome.into_candidates());
+        }
+        assert_eq!(results[0], results[1], "serial vs parallel walk");
+        assert_eq!(results[0], results[2], "incremental vs reference");
+        assert_eq!(
+            results[0],
+            exhaustive[..results[0].len()],
+            "a truncated search is a prefix of the exhaustive one"
+        );
+    }
+
+    #[test]
+    fn cancelled_token_yields_a_typed_error_not_a_partial_list() {
+        use hexcute_parallel::cancel::{CancelReason, CancelToken};
+        let program = register_gemm_program();
+        let arch = GpuArch::a100();
+        let token = CancelToken::new();
+        token.cancel(CancelReason::Deadline);
+        for incremental in [true, false] {
+            let options = SynthesisOptions {
+                incremental,
+                ..SynthesisOptions::default()
+            };
+            let synth = Synthesizer::new(&program, &arch, options);
+            match synth.synthesize_outcome(Some(&token)) {
+                Err(SynthesisError::Cancelled(CancelReason::Deadline)) => {}
+                other => panic!("expected a typed cancellation, got {other:?}"),
+            }
+        }
     }
 
     #[test]

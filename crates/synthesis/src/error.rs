@@ -3,6 +3,7 @@
 use std::fmt;
 
 use hexcute_layout::LayoutError;
+use hexcute_parallel::cancel::CancelReason;
 
 /// Errors produced by thread-value and shared-memory layout synthesis.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,6 +44,10 @@ pub enum SynthesisError {
     /// No valid candidate program exists (should not happen: the scalar
     /// fallback is always valid).
     NoCandidates,
+    /// The search was cancelled cooperatively (deadline, watchdog or
+    /// shutdown) before it finished. Cancellation never yields a partial
+    /// candidate list — only this typed error.
+    Cancelled(CancelReason),
 }
 
 impl fmt::Display for SynthesisError {
@@ -65,6 +70,9 @@ impl fmt::Display for SynthesisError {
                 write!(f, "shared-memory layout constraints for {tensor} are unsatisfiable: {reason}")
             }
             SynthesisError::NoCandidates => write!(f, "the search produced no valid candidate programs"),
+            SynthesisError::Cancelled(reason) => {
+                write!(f, "the search was cancelled ({reason})")
+            }
         }
     }
 }

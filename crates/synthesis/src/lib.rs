@@ -28,6 +28,14 @@
 //! per-candidate re-evaluation stays available behind
 //! [`SynthesisOptions::incremental`]` = false` /
 //! `HEXCUTE_DISABLE_INCREMENTAL=1` and is cross-checked bit-for-bit.
+//!
+//! Searches can be bounded two ways: a deterministic node budget
+//! ([`SynthesisOptions::node_budget`] / `HEXCUTE_SYNTH_BUDGET`) truncates the
+//! enumeration up front and reports [`SynthesisOutcome::Truncated`]
+//! bit-identically at any worker count, while a wall-clock [`CancelToken`]
+//! (deadline, watchdog, shutdown) is polled cooperatively at row granularity
+//! and aborts the walk with a typed [`SynthesisError::Cancelled`] — never a
+//! partial result.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -36,6 +44,7 @@ mod choice;
 mod constraints;
 mod engine;
 mod error;
+pub mod hooks;
 mod incremental;
 mod options;
 pub mod prefix;
@@ -46,8 +55,10 @@ pub use constraints::{
     collapse_dim, contiguous_run_along, copy_constraint_holds, gemm_constraint_holds,
     same_distribution, solve_copy_peer,
 };
-pub use engine::Synthesizer;
+pub use engine::{SynthesisOutcome, Synthesizer};
 pub use error::{Result, SynthesisError};
+pub use hexcute_parallel::cancel::{CancelReason, CancelToken};
+pub use hooks::{set_synth_fault_hook, SynthFaultHook, SynthFaultPoint};
 pub use incremental::{incremental_enabled, set_incremental};
 pub use options::SynthesisOptions;
 pub use prefix::{PrefixStats, TensorSlotInterner};

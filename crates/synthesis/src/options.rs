@@ -53,6 +53,27 @@ pub struct SynthesisOptions {
     /// (i.e. `HEXCUTE_THREADS`); tests and benchmarks set an explicit count
     /// because mutating the environment of a threaded process is unsafe.
     pub parallel_workers: Option<usize>,
+    /// Deterministic node-count budget for the search: at most this many
+    /// selections (leaves of the choice tree) are evaluated, truncating the
+    /// deterministic enumeration *before* the walk fans out. A truncated
+    /// search reports `SynthesisOutcome::Truncated` with the best candidates
+    /// found so far — bit-identical at any worker count and toggle, unlike
+    /// wall-clock cancellation which yields typed errors only. `None` (the
+    /// default) searches exhaustively; the environment default comes from
+    /// `HEXCUTE_SYNTH_BUDGET` (unset or `0` means unbudgeted).
+    pub node_budget: Option<usize>,
+}
+
+/// The process-wide default node budget, parsed once from
+/// `HEXCUTE_SYNTH_BUDGET`. Unset, unparsable or `0` all mean "no budget".
+fn env_node_budget() -> Option<usize> {
+    static BUDGET: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        std::env::var("HEXCUTE_SYNTH_BUDGET")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&b| b > 0)
+    })
 }
 
 impl Default for SynthesisOptions {
@@ -71,6 +92,7 @@ impl Default for SynthesisOptions {
             incremental: true,
             parallel_subtree_depth: None,
             parallel_workers: None,
+            node_budget: env_node_budget(),
         }
     }
 }
@@ -101,6 +123,10 @@ impl SynthesisOptions {
     ///   cross-checked bit-for-bit against the serial reference, so they
     ///   cannot change the winning candidate — hashing them would only
     ///   fragment the cache across thread counts.
+    /// * `node_budget` participates **only when set**: a budgeted search may
+    ///   return different (truncated) candidates, so budgeted artifacts must
+    ///   never alias full-search artifacts — while the unbudgeted hash stays
+    ///   byte-compatible with caches written before budgets existed.
     pub fn hash_stable<H: std::hash::Hasher>(&self, state: &mut H) {
         use std::hash::Hash;
         self.allow_ldmatrix.hash(state);
@@ -113,6 +139,10 @@ impl SynthesisOptions {
         self.force_row_major_smem.hash(state);
         self.disable_swizzles.hash(state);
         self.allow_non_power_of_two_tiles.hash(state);
+        if let Some(budget) = self.node_budget {
+            1u8.hash(state);
+            budget.hash(state);
+        }
     }
 
     /// Options mimicking the "Triton shared-memory layout" ablation of
@@ -140,6 +170,29 @@ mod tests {
         assert!(o.max_candidates >= 16);
         assert_eq!(o.parallel_subtree_depth, None, "default is auto-tuned");
         assert_eq!(o.parallel_workers, None, "default follows HEXCUTE_THREADS");
+    }
+
+    #[test]
+    fn node_budget_fragments_the_stable_hash_only_when_set() {
+        fn fp(o: &SynthesisOptions) -> u64 {
+            let mut h = std::hash::DefaultHasher::new();
+            o.hash_stable(&mut h);
+            std::hash::Hasher::finish(&h)
+        }
+        let unbudgeted = SynthesisOptions {
+            node_budget: None,
+            ..SynthesisOptions::default()
+        };
+        let threaded = SynthesisOptions {
+            parallel_workers: Some(7),
+            ..unbudgeted.clone()
+        };
+        assert_eq!(fp(&unbudgeted), fp(&threaded), "workers never fragment");
+        let budgeted = SynthesisOptions {
+            node_budget: Some(8),
+            ..unbudgeted.clone()
+        };
+        assert_ne!(fp(&unbudgeted), fp(&budgeted), "budgets must not alias");
     }
 
     #[test]

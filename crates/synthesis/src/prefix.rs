@@ -56,9 +56,12 @@ use hexcute_arch::DType;
 use hexcute_ir::{OpKind, TensorId};
 use hexcute_layout::{Layout, SwizzledLayout};
 use hexcute_parallel::cache::{CacheStats, ShardedMap};
+use hexcute_parallel::cancel::{CancelReason, CancelToken};
 
 use crate::choice::{Candidate, CopyChoice};
 use crate::engine::{degrade_to_scalar, CopyPlan, Synthesizer, TvBase};
+use crate::error::SynthesisError;
+use crate::hooks;
 use crate::smem::{
     copy_constraint, materialize_and_swizzle, unify_touching, ConstraintError, LayoutConstraint,
 };
@@ -198,11 +201,19 @@ struct PrefixSearch<'s, 'a> {
     /// touching the tensor; shared across every subtree worker of one
     /// search.
     finished: &'s FinishedMemo,
+    /// Wall-clock cancellation flag, polled once per tree row (each
+    /// [`PrefixSearch::extend`] is one row). `None` runs uninterruptible.
+    cancel: Option<&'s CancelToken>,
     stats: PrefixStats,
 }
 
 impl<'s, 'a> PrefixSearch<'s, 'a> {
-    fn new(synth: &'s Synthesizer<'a>, plans: &'s [CopyPlan], finished: &'s FinishedMemo) -> Self {
+    fn new(
+        synth: &'s Synthesizer<'a>,
+        plans: &'s [CopyPlan],
+        finished: &'s FinishedMemo,
+        cancel: Option<&'s CancelToken>,
+    ) -> Self {
         let program = synth.program();
         let interner = TensorSlotInterner::new(program.shared_tensors());
         let mut info = Vec::with_capacity(interner.len());
@@ -242,6 +253,7 @@ impl<'s, 'a> PrefixSearch<'s, 'a> {
             stack: vec![0],
             path: Vec::new(),
             finished,
+            cancel,
             stats: PrefixStats::default(),
         }
     }
@@ -250,7 +262,10 @@ impl<'s, 'a> PrefixSearch<'s, 'a> {
     /// longest prefix shared with the previous path and expanding only the
     /// differing suffix. Arena rows abandoned by the backtrack keep their
     /// allocations and are overwritten by the new branch.
-    fn walk_to(&mut self, sel: &[usize]) {
+    ///
+    /// The cancel token (when carried) is polled once per expanded row, so a
+    /// deadline or watchdog cancel aborts the walk within one row of work.
+    fn walk_to(&mut self, sel: &[usize]) -> Result<(), CancelReason> {
         let common = self
             .path
             .iter()
@@ -263,8 +278,12 @@ impl<'s, 'a> PrefixSearch<'s, 'a> {
         // the kept top is unreachable from the new branch.
         self.arena_len = self.stack[common] as usize + 1;
         for (depth, &alternative) in sel.iter().enumerate().skip(common) {
+            if let Some(reason) = hooks::poll_cancelled(self.cancel) {
+                return Err(reason);
+            }
             self.extend(depth, alternative);
         }
+        Ok(())
     }
 
     /// The arena row holding the constraint state at the current end of the
@@ -483,13 +502,18 @@ impl<'a> Synthesizer<'a> {
     /// one worker, `parallel_subtree_depth = 0`, or a trivial selection
     /// list) and the parallel subtree walk. Both produce bit-identical
     /// candidate lists; only the counters differ.
+    ///
+    /// `token` (when carried) is polled cooperatively at row granularity;
+    /// a tripped token aborts with [`SynthesisError::Cancelled`] — never a
+    /// partial candidate list.
     pub(crate) fn evaluate_incremental_with_stats(
         &self,
         base: &TvBase,
         plans: &[CopyPlan],
         selections: &[Vec<usize>],
         max: usize,
-    ) -> (Vec<Candidate>, PrefixStats) {
+        token: Option<&CancelToken>,
+    ) -> Result<(Vec<Candidate>, PrefixStats), SynthesisError> {
         let workers = self
             .options()
             .parallel_workers
@@ -499,9 +523,18 @@ impl<'a> Synthesizer<'a> {
             resolve_subtree_depth(self.options().parallel_subtree_depth, workers, selections);
         let finished_memo = FinishedMemo::new();
         if workers <= 1 || depth == 0 || selections.len() <= 2 {
-            return self.walk_serial(base, plans, selections, max, &finished_memo);
+            return self.walk_serial(base, plans, selections, max, &finished_memo, token);
         }
-        self.walk_parallel(base, plans, selections, max, depth, workers, &finished_memo)
+        self.walk_parallel(
+            base,
+            plans,
+            selections,
+            max,
+            depth,
+            workers,
+            &finished_memo,
+            token,
+        )
     }
 
     /// The serial incremental walk (the PR 2 behaviour).
@@ -512,14 +545,18 @@ impl<'a> Synthesizer<'a> {
         selections: &[Vec<usize>],
         max: usize,
         finished_memo: &FinishedMemo,
-    ) -> (Vec<Candidate>, PrefixStats) {
-        let mut search = PrefixSearch::new(self, plans, finished_memo);
+        token: Option<&CancelToken>,
+    ) -> Result<(Vec<Candidate>, PrefixStats), SynthesisError> {
+        let mut search = PrefixSearch::new(self, plans, finished_memo, token);
         let mut finished = Vec::new();
         for sel in selections {
             if finished.len() >= max {
                 break;
             }
-            search.walk_to(sel);
+            if let Some(reason) = hooks::injected_stall(token) {
+                return Err(SynthesisError::Cancelled(reason));
+            }
+            search.walk_to(sel).map_err(SynthesisError::Cancelled)?;
             if let Some(candidate) = search.finish_leaf(base, sel) {
                 finished.push(candidate);
             }
@@ -528,7 +565,7 @@ impl<'a> Synthesizer<'a> {
         stats.subtrees = 1;
         stats.workers = 1;
         stats.finished_cache = finished_memo.stats();
-        (finished, stats)
+        Ok((finished, stats))
     }
 
     /// The parallel subtree walk: the first (preferred) selection is
@@ -550,36 +587,53 @@ impl<'a> Synthesizer<'a> {
         depth: usize,
         workers: usize,
         finished_memo: &FinishedMemo,
-    ) -> (Vec<Candidate>, PrefixStats) {
+        token: Option<&CancelToken>,
+    ) -> Result<(Vec<Candidate>, PrefixStats), SynthesisError> {
         let mut slots: Vec<Option<Candidate>> = vec![None; selections.len()];
         let mut stats = PrefixStats::default();
 
         // Warm the memo with the preferred selection: it carries the common
         // choices, so concurrent subtrees mostly hit instead of racing.
         {
-            let mut search = PrefixSearch::new(self, plans, finished_memo);
-            search.walk_to(&selections[0]);
+            let mut search = PrefixSearch::new(self, plans, finished_memo, token);
+            if let Some(reason) = hooks::injected_stall(token) {
+                return Err(SynthesisError::Cancelled(reason));
+            }
+            search
+                .walk_to(&selections[0])
+                .map_err(SynthesisError::Cancelled)?;
             slots[0] = search.finish_leaf(base, &selections[0]);
             stats = merge_stats(&stats, &search.stats);
         }
 
         let groups = subtree_groups(&selections[1..], depth);
         let subtrees = groups.len() + 1;
-        let evaluated = hexcute_parallel::par_map_with_workers(
-            groups,
-            |group| {
-                let mut search = PrefixSearch::new(self, plans, finished_memo);
-                let mut out = Vec::with_capacity(group.len());
-                for idx in group {
-                    let sel = &selections[idx + 1];
-                    search.walk_to(sel);
-                    out.push((idx + 1, search.finish_leaf(base, sel)));
+        type GroupResult = Result<(Vec<(usize, Option<Candidate>)>, PrefixStats), CancelReason>;
+        let eval_group = |group: Vec<usize>| -> GroupResult {
+            let mut search = PrefixSearch::new(self, plans, finished_memo, token);
+            let mut out = Vec::with_capacity(group.len());
+            for idx in group {
+                let sel = &selections[idx + 1];
+                if let Some(reason) = hooks::injected_stall(token) {
+                    return Err(reason);
                 }
-                (out, search.stats)
-            },
-            workers,
-        );
-        for (group, group_stats) in evaluated {
+                search.walk_to(sel)?;
+                out.push((idx + 1, search.finish_leaf(base, sel)));
+            }
+            Ok((out, search.stats))
+        };
+        // A carried token additionally cancels at pool-job granularity:
+        // subtrees not yet claimed when the token trips are never started
+        // (and are counted by `PoolStats::cancelled`).
+        let evaluated = match token {
+            Some(tok) => hexcute_parallel::par_map_cancellable(groups, eval_group, workers, tok)
+                .ok_or_else(|| {
+                    SynthesisError::Cancelled(tok.reason().unwrap_or(CancelReason::Shutdown))
+                })?,
+            None => hexcute_parallel::par_map_with_workers(groups, eval_group, workers),
+        };
+        for group_result in evaluated {
+            let (group, group_stats) = group_result.map_err(SynthesisError::Cancelled)?;
             stats = merge_stats(&stats, &group_stats);
             for (idx, candidate) in group {
                 slots[idx] = candidate;
@@ -589,7 +643,7 @@ impl<'a> Synthesizer<'a> {
         stats.workers = workers;
         stats.finished_cache = finished_memo.stats();
         let finished: Vec<Candidate> = slots.into_iter().flatten().take(max).collect();
-        (finished, stats)
+        Ok((finished, stats))
     }
 }
 
