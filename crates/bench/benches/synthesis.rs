@@ -9,6 +9,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 use hexcute_arch::GpuArch;
 use hexcute_core::{Compiler, CompilerOptions};
+use hexcute_costmodel::{CompletionBounds, CostModel};
 use hexcute_kernels::gemm::{fp16_gemm, GemmConfig, GemmShape};
 use hexcute_kernels::moe::{mixed_type_moe, MoeConfig, MoeDataflow, MoeShape};
 use hexcute_layout::set_fast_path;
@@ -61,6 +62,44 @@ fn bench_synthesis(c: &mut Criterion) {
         b.iter(|| {
             Synthesizer::new(black_box(&gemm), &arch, options.clone())
                 .synthesize()
+                .unwrap()
+        })
+    });
+
+    // PR 9: branch-and-bound pruned selection against scoring the full
+    // enumeration, both serial, on the relaxed-cap (enlarged) choice space.
+    let enlarged = SynthesisOptions {
+        max_candidates: 4096,
+        node_budget: None,
+        beam_width: None,
+        parallel_workers: Some(1),
+        parallel_subtree_depth: Some(0),
+        ..SynthesisOptions::default()
+    };
+    c.bench_function("synthesis_pruned/gemm_exhaustive_argmin", |b| {
+        b.iter(|| {
+            let candidates = Synthesizer::new(black_box(&gemm), &arch, enlarged.clone())
+                .synthesize()
+                .unwrap();
+            let model = CostModel::new(&arch);
+            candidates
+                .into_iter()
+                .min_by(|x, y| {
+                    model
+                        .estimate(&gemm, x)
+                        .total_cycles
+                        .total_cmp(&model.estimate(&gemm, y).total_cycles)
+                })
+                .unwrap()
+        })
+    });
+    c.bench_function("synthesis_pruned/gemm_branch_and_bound", |b| {
+        b.iter(|| {
+            let model = CostModel::new(&arch);
+            let mut bounder = CompletionBounds::new(&model, &gemm);
+            Synthesizer::new(black_box(&gemm), &arch, enlarged.clone())
+                .synthesize_pruned(&mut bounder, None)
+                .unwrap()
                 .unwrap()
         })
     });

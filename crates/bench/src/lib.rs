@@ -19,6 +19,7 @@ pub mod end_to_end;
 pub mod fastpath;
 pub mod moe_bench;
 pub mod per_shape;
+pub mod prune;
 pub mod robustness_bench;
 pub mod scan_bench;
 pub mod serving_bench;

@@ -67,7 +67,7 @@ use crate::json::{JsonError, JsonValue};
 /// Version tag written into every artifact file. Bump it whenever the
 /// artifact schema *or* the semantics of any serialized field change: files
 /// carrying a different version are rejected on read and re-synthesized.
-pub const ARTIFACT_VERSION: usize = 1;
+pub const ARTIFACT_VERSION: usize = 2;
 
 // ---------------------------------------------------------------------------
 // Stable fingerprints.
@@ -282,11 +282,6 @@ pub struct KernelArtifact {
     pub cost: CostRecord,
     /// Simulated performance of the winner.
     pub perf: PerfRecord,
-    /// Number of candidates the search explored.
-    pub candidates_explored: usize,
-    /// Simulated latency of the winner over the true optimum (1.0 = the
-    /// cost model picked the best candidate).
-    pub selection_quality: f64,
 }
 
 /// Why an artifact file could not be used.
@@ -434,8 +429,6 @@ impl KernelArtifact {
                 bank_conflict_cycles: compiled.perf.bank_conflict_cycles,
                 launch_overhead_us: compiled.perf.launch_overhead_us,
             },
-            candidates_explored: compiled.stats.candidates_explored,
-            selection_quality: compiled.stats.selection_quality,
         }
     }
 
@@ -541,8 +534,6 @@ impl KernelArtifact {
                     ("launch_overhead_us", num(self.perf.launch_overhead_us)),
                 ]),
             ),
-            ("candidates_explored", num(self.candidates_explored as f64)),
-            ("selection_quality", num(self.selection_quality)),
         ])
         .write()
     }
@@ -636,8 +627,6 @@ impl KernelArtifact {
                 bank_conflict_cycles: get_f64(perf_v, "bank_conflict_cycles")?,
                 launch_overhead_us: get_f64(perf_v, "launch_overhead_us")?,
             },
-            candidates_explored: get_usize(&v, "candidates_explored")?,
-            selection_quality: get_f64(&v, "selection_quality")?,
         })
     }
 }

@@ -11,7 +11,7 @@ use crate::cache::{ArtifactSource, KernelArtifact, KernelCache};
 
 use hexcute_arch::GpuArch;
 use hexcute_codegen::{emit_cuda_like, lower, LoweredKernel};
-use hexcute_costmodel::{CostBreakdown, CostModel};
+use hexcute_costmodel::{CompletionBounds, CostBreakdown, CostModel};
 use hexcute_ir::Program;
 use hexcute_sim::{estimate_kernel, FunctionalSim, PerfEvaluator, PerfReport, SimError};
 use hexcute_synthesis::{
@@ -262,6 +262,12 @@ impl Compiler {
             }
         }
         let start = Instant::now();
+        if self.prunes() {
+            if let Some(compiled) = self.compile_pruned(program, token, start)? {
+                self.cache.lock().insert(key, compiled.clone());
+                return Ok(compiled);
+            }
+        }
         let ranked = self.compile_candidates_cancellable(program, token)?;
         let candidates_explored = ranked.len();
 
@@ -314,6 +320,63 @@ impl Compiler {
         };
         self.cache.lock().insert(key, compiled.clone());
         Ok(compiled)
+    }
+
+    /// Whether [`Compiler::compile`] takes the branch-and-bound pruned
+    /// search. Pruning needs the cost model for scoring (so the Fig. 12
+    /// ground-truth mode, `use_cost_model = false`, still exhaustively
+    /// simulates every candidate) and rides on the incremental prefix walk;
+    /// both the per-request option and the process-wide kill switch
+    /// (`HEXCUTE_DISABLE_PRUNE`) must be on.
+    fn prunes(&self) -> bool {
+        self.options.use_cost_model
+            && self.options.synthesis.prune
+            && hexcute_synthesis::prune_enabled()
+            && self.options.synthesis.incremental
+            && hexcute_synthesis::incremental_enabled()
+    }
+
+    /// The branch-and-bound compile path: scores only the leaves the
+    /// admissible bound cannot rule out, yielding the same winning candidate
+    /// — and the same cost and perf breakdowns, bit for bit — as the
+    /// exhaustive ranking. Returns `Ok(None)` when the search declines to
+    /// prune (the enumeration exceeds `max_candidates`, where the exhaustive
+    /// path's truncation semantics apply), in which case the caller falls
+    /// back to the exhaustive ranking.
+    fn compile_pruned(
+        &self,
+        program: &Program,
+        token: Option<&CancelToken>,
+        start: Instant,
+    ) -> Result<Option<CompiledKernel>, CompileError> {
+        let synthesizer = Synthesizer::new(program, &self.arch, self.options.synthesis.clone());
+        let model = CostModel::new(&self.arch);
+        let mut bounder = CompletionBounds::new(&model, program);
+        let Some(outcome) = synthesizer.synthesize_pruned(&mut bounder, token)? else {
+            return Ok(None);
+        };
+        // Same calls the exhaustive scorer makes for the same candidate, so
+        // the breakdowns are bit-identical to the unpruned compile's.
+        let cost = model.estimate(program, &outcome.winner);
+        let perf = PerfEvaluator::new(&self.arch).evaluate(program, &outcome.winner, &cost);
+        let lowered = lower(program, &outcome.winner);
+        let stats = CompileStats {
+            candidates_explored: outcome.enumerated,
+            // The winner is the only candidate scored end to end; the
+            // simulated ranking of the pruned non-winners does not exist.
+            selected_by_cost_model: 0,
+            best_by_simulation: 0,
+            selection_quality: 1.0,
+            compile_time_ms: start.elapsed().as_secs_f64() * 1e3,
+        };
+        Ok(Some(CompiledKernel {
+            program: program.clone(),
+            candidate: outcome.winner,
+            lowered,
+            cost,
+            perf,
+            stats,
+        }))
     }
 
     /// The stable cache key for compiling `program` on this compiler (see

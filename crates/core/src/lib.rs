@@ -56,5 +56,6 @@ pub use faults::{FaultInjector, FaultKind, FaultSpec, FaultSpecError};
 pub use hexcute_costmodel::CostBreakdown;
 pub use hexcute_sim::PerfReport;
 pub use hexcute_synthesis::{
-    CancelReason, CancelToken, Candidate, SynthesisOptions, SynthesisOutcome,
+    prune_enabled, set_pruning, CancelReason, CancelToken, Candidate, SynthesisOptions,
+    SynthesisOutcome,
 };

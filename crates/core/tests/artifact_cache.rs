@@ -137,10 +137,13 @@ fn corrupt_artifact_files_are_rejected_and_resynthesized() {
     let path = cache
         .artifact_path(original.fingerprint)
         .expect("disk-backed cache has a path");
+    // Current version but wrong types / missing fields: a schema reject, not
+    // a stale-version one.
+    let wrong_types = format!("{{\"version\": {ARTIFACT_VERSION}, \"fingerprint\": 3}}");
     for garbage in [
         "not json at all",
-        "{\"version\": ",                       // truncated
-        "{\"version\": 1, \"fingerprint\": 3}", // wrong types / missing fields
+        "{\"version\": ", // truncated
+        wrong_types.as_str(),
         "",
     ] {
         std::fs::write(&path, garbage).unwrap();

@@ -249,6 +249,147 @@ fn assert_scored_equal(label: &str, program: &Program, reference: &Scored, other
     }
 }
 
+/// Runs a full compile (selection + lowering) with branch-and-bound pruning
+/// forced on or off, returning the compiled kernel.
+fn compile_pruned_config(
+    program: &Program,
+    arch: &GpuArch,
+    prune: bool,
+    workers: usize,
+    depth: Option<usize>,
+) -> hexcute_core::CompiledKernel {
+    let options = CompilerOptions {
+        synthesis: SynthesisOptions {
+            prune,
+            beam_width: None,
+            parallel_workers: Some(workers),
+            parallel_subtree_depth: depth,
+            ..SynthesisOptions::default()
+        },
+        use_cost_model: true,
+    };
+    Compiler::with_options(arch.clone(), options)
+        .compile(program)
+        .unwrap()
+}
+
+/// Asserts that a pruned compile's winner, score and perf are bit-identical
+/// to the exhaustive reference compile.
+fn assert_winner_equal(
+    label: &str,
+    program: &Program,
+    reference: &hexcute_core::CompiledKernel,
+    pruned: &hexcute_core::CompiledKernel,
+) {
+    assert_eq!(
+        reference.candidate, pruned.candidate,
+        "[{label}] pruned winner diverged for {}",
+        program.name
+    );
+    assert_eq!(
+        reference.cost.total_cycles.to_bits(),
+        pruned.cost.total_cycles.to_bits(),
+        "[{label}] pruned winner score diverged for {}",
+        program.name
+    );
+    assert_eq!(
+        reference.cost, pruned.cost,
+        "[{label}] pruned cost breakdown diverged for {}",
+        program.name
+    );
+    assert_eq!(
+        reference.perf.latency_us.to_bits(),
+        pruned.perf.latency_us.to_bits(),
+        "[{label}] pruned latency diverged for {}",
+        program.name
+    );
+    assert_eq!(
+        reference.perf, pruned.perf,
+        "[{label}] pruned perf report diverged for {}",
+        program.name
+    );
+}
+
+/// The prune axis of the matrix: exact branch-and-bound must pick the same
+/// winner — same candidate, same cost bits, same perf bits, same emitted
+/// artifact — as the exhaustive ranking, across fast-path on/off × lossy
+/// on/off × {1, 4} workers.
+fn assert_prune_conformance(workload: &Workload, arch: &GpuArch) {
+    if !workload.supports(arch) {
+        return;
+    }
+    let program = workload.build();
+    let reference = compile_pruned_config(&program, arch, false, 1, Some(0));
+
+    // Default toggles: pruned serial and pruned parallel.
+    for (label, workers, depth) in [("prune/serial", 1, Some(0)), ("prune/4-workers", 4, None)] {
+        let pruned = compile_pruned_config(&program, arch, true, workers, depth);
+        assert_winner_equal(label, &program, &reference, &pruned);
+    }
+
+    // Fast path × lossy memo off-cells (the on×on cells ran above). The
+    // switches are process-global, so hold the lock while they are flipped.
+    {
+        let _guard = FASTPATH_LOCK.lock().unwrap();
+        let was_fast = hexcute_layout::fast_path_enabled();
+        let was_lossy = hexcute_parallel::lossy::lossy_memo_enabled();
+        let mut runs = Vec::new();
+        for (fast, lossy) in [(false, true), (false, false), (true, false)] {
+            hexcute_layout::set_fast_path(fast);
+            hexcute_parallel::lossy::set_lossy_memo(lossy);
+            for (workers, depth) in [(1, Some(0)), (4, None)] {
+                runs.push((
+                    format!("prune/fast={fast}/lossy={lossy}/{workers}-workers"),
+                    compile_pruned_config(&program, arch, true, workers, depth),
+                ));
+            }
+        }
+        hexcute_layout::set_fast_path(was_fast);
+        hexcute_parallel::lossy::set_lossy_memo(was_lossy);
+        for (label, pruned) in &runs {
+            assert_winner_equal(label, &program, &reference, pruned);
+        }
+    }
+
+    // The emitted artifact must be bit-identical too — pruning must be
+    // invisible in the persistent cache (same fingerprint, same JSON).
+    let pruned_artifact = Compiler::with_options(
+        arch.clone(),
+        CompilerOptions {
+            synthesis: SynthesisOptions {
+                prune: true,
+                ..SynthesisOptions::default()
+            },
+            use_cost_model: true,
+        },
+    )
+    .compile_artifact(&program)
+    .unwrap();
+    let exhaustive_artifact = Compiler::with_options(
+        arch.clone(),
+        CompilerOptions {
+            synthesis: SynthesisOptions {
+                prune: false,
+                ..SynthesisOptions::default()
+            },
+            use_cost_model: true,
+        },
+    )
+    .compile_artifact(&program)
+    .unwrap();
+    assert_eq!(
+        pruned_artifact.fingerprint, exhaustive_artifact.fingerprint,
+        "the prune toggle must not fragment the artifact fingerprint for {}",
+        program.name
+    );
+    assert_eq!(
+        pruned_artifact.to_json(),
+        exhaustive_artifact.to_json(),
+        "pruned artifact JSON diverged for {}",
+        program.name
+    );
+}
+
 /// Serializes the sections that flip the process-global fast-path switch so
 /// parallel test threads in this binary never observe each other's toggles.
 static FASTPATH_LOCK: Mutex<()> = Mutex::new(());
@@ -393,6 +534,9 @@ fn assert_conformance(workload: &Workload, arch: &GpuArch) {
             &lossless_parallel,
         );
     }
+
+    // Prune axis: exact branch-and-bound vs. the exhaustive ranking.
+    assert_prune_conformance(workload, arch);
 
     // Cache cold vs. warm: a memory hit and a disk hit (fresh cache over the
     // same directory) must both return the cold artifact bit for bit.

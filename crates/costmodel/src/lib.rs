@@ -17,8 +17,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod bounds;
 mod model;
 
+pub use bounds::CompletionBounds;
 pub use model::{
     candidate_fingerprint, op_choice_fingerprint, program_fingerprint, CostBreakdown, CostModel,
     OpCost,

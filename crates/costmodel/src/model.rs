@@ -130,7 +130,7 @@ impl<'a> CostModel<'a> {
     /// different programs concurrently on one model is not supported.
     /// Returns the program's fingerprint so the estimate path can salt its
     /// lossy-tier keys without re-reading the lock.
-    fn retag(&self, program: &Program) -> u64 {
+    pub(crate) fn retag(&self, program: &Program) -> u64 {
         let tag = program_fingerprint(program);
         if *self.program_tag.read().unwrap() == Some(tag) {
             return tag;
@@ -204,6 +204,28 @@ impl<'a> CostModel<'a> {
         candidate: &Candidate,
         tag: u64,
     ) -> CostBreakdown {
+        self.estimate_with_costs(
+            program,
+            tag,
+            &|op| self.op_cycles_memo(program, candidate, op, tag),
+            self.rearrange_cycles(candidate),
+        )
+    }
+
+    /// The estimate arithmetic with the per-operation costs supplied by the
+    /// caller instead of [`CostModel::op_cycles`]. With the memoized costs
+    /// this *is* [`CostModel::estimate`]; the branch-and-bound completion
+    /// bound feeds per-op cost *floors* through the same formulas, and the
+    /// formulas are monotone nondecreasing in every op's issue and completion
+    /// cycles, so the result is an admissible lower bound (see
+    /// [`crate::CompletionBounds`]).
+    pub(crate) fn estimate_with_costs(
+        &self,
+        program: &Program,
+        tag: u64,
+        costs: &dyn Fn(&Op) -> (f64, f64),
+        rearrange_cycles: f64,
+    ) -> CostBreakdown {
         // Split the static ops into prologue (before the loop), loop body and
         // epilogue (after the loop) by program order; the index partition is
         // computed once per program tag.
@@ -212,16 +234,14 @@ impl<'a> CostModel<'a> {
 
         let mut per_op = Vec::with_capacity(program.ops().len());
 
-        let prologue_cycles =
-            self.sequence_cycles(program, candidate, pre, &mut per_op, false, tag);
-        let body_serial = self.sequence_cycles(program, candidate, body, &mut per_op, false, tag);
-        let epilogue_cycles =
-            self.sequence_cycles(program, candidate, post, &mut per_op, true, tag);
+        let prologue_cycles = self.sequence_cycles(program, pre, &mut per_op, false, costs);
+        let body_serial = self.sequence_cycles(program, body, &mut per_op, false, costs);
+        let epilogue_cycles = self.sequence_cycles(program, post, &mut per_op, true, costs);
 
         // Pipelining and warp specialization overlap the memory and compute
         // portions of the loop body across iterations.
         let (body_mem_issue, body_compute_issue, body_max_completion) =
-            self.body_split(program, candidate, body, tag);
+            self.body_split(program, body, costs);
         let stages = program.schedule.pipeline_stages.max(1) as f64;
         let overlapped = program.schedule.pipeline_stages > 1 || program.schedule.warp_specialized;
         let loop_iteration_cycles = if body.is_empty() {
@@ -250,8 +270,6 @@ impl<'a> CostModel<'a> {
             0.0
         };
 
-        let rearrange_cycles = self.rearrange_cycles(candidate);
-
         let total_cycles = prologue_cycles
             + fill
             + trip * loop_iteration_cycles
@@ -278,11 +296,10 @@ impl<'a> CostModel<'a> {
     fn sequence_cycles(
         &self,
         program: &Program,
-        candidate: &Candidate,
         ops: &[u32],
         per_op: &mut Vec<OpCost>,
         wait_for_all: bool,
-        tag: u64,
+        costs: &dyn Fn(&Op) -> (f64, f64),
     ) -> f64 {
         READY_SCRATCH.with(|cell| {
             let scratch = &mut *cell.borrow_mut();
@@ -300,7 +317,7 @@ impl<'a> CostModel<'a> {
                 let stall = (input_ready - clock).max(0.0);
                 clock += stall;
 
-                let (issue, completion) = self.op_cycles_memo(program, candidate, op, tag);
+                let (issue, completion) = costs(op);
                 clock += issue;
                 for out in op.outputs() {
                     scratch.set_ready(epoch, out, clock + completion);
@@ -326,16 +343,15 @@ impl<'a> CostModel<'a> {
     fn body_split(
         &self,
         program: &Program,
-        candidate: &Candidate,
         body: &[u32],
-        tag: u64,
+        costs: &dyn Fn(&Op) -> (f64, f64),
     ) -> (f64, f64, f64) {
         let mut mem = 0.0f64;
         let mut compute = 0.0f64;
         let mut max_completion = 0.0f64;
         for &i in body {
             let op = &program.ops()[i as usize];
-            let (issue, completion) = self.op_cycles_memo(program, candidate, op, tag);
+            let (issue, completion) = costs(op);
             max_completion = max_completion.max(completion);
             if matches!(op.kind, OpKind::Copy { .. } | OpKind::Rearrange { .. }) {
                 mem += issue;
@@ -363,7 +379,7 @@ impl<'a> CostModel<'a> {
     /// estimate loops, which retag once per candidate. The lossy front is
     /// salted with the program tag: `OpId`s are only unique within one
     /// program, and the thread-local tables are never cleared.
-    fn op_cycles_memo(
+    pub(crate) fn op_cycles_memo(
         &self,
         program: &Program,
         candidate: &Candidate,
@@ -470,7 +486,7 @@ impl<'a> CostModel<'a> {
         self.candidate_cache.stats()
     }
 
-    fn rearrange_cycles(&self, candidate: &Candidate) -> f64 {
+    pub(crate) fn rearrange_cycles(&self, candidate: &Candidate) -> f64 {
         // Each inserted rearrange is a shared-memory round trip of the tensor.
         candidate
             .rearranges

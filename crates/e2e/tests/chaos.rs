@@ -324,6 +324,50 @@ fn shutdown_drains_queued_waiters_and_cancels_inflight() {
     ));
 }
 
+/// PR 9 regression: shutting down mid-flight cancels an in-flight
+/// *branch-and-bound pruned* search (pruning is the default compile path)
+/// with the typed `Cancelled` error and leaves zero admission slots held —
+/// the shared incumbent cell must not keep the claimant running or wedge
+/// the cooperative cancel.
+#[test]
+fn cancelled_pruned_search_frees_its_admission_slot() {
+    if !hexcute_core::prune_enabled() {
+        // Reference-paths CI leg (HEXCUTE_DISABLE_PRUNE=1): the pruned
+        // compile path is off process-wide, so there is nothing to regress.
+        return;
+    }
+    assert!(
+        CompilerOptions::new().synthesis.prune,
+        "this regression targets the default pruned compile path"
+    );
+    let config = ServiceConfig {
+        max_concurrent: 1,
+        queue_capacity: 4,
+        ..ServiceConfig::default()
+    };
+    let service = Arc::new(service_with(config, None));
+    let holder = {
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || service.compile(&slow_program()))
+    };
+    while service.stats().syntheses == 0 {
+        std::thread::yield_now();
+    }
+    service.shutdown();
+    match holder.join().expect("holder thread must not die") {
+        Err(CompileError::Cancelled { .. }) => {}
+        other => panic!("the pruned in-flight synthesis must cancel typed, got {other:?}"),
+    }
+    let stats = service.stats();
+    assert_eq!(stats.cancelled, 1, "{stats}");
+    assert_eq!(stats.queue_depth, 0, "no leaked admission slots: {stats}");
+    assert_eq!(
+        service.cancel_to_free_latencies().len(),
+        1,
+        "the cancelled claimant must free its slot"
+    );
+}
+
 /// A request still sitting in the admission queue when its deadline passes
 /// fails with `DeadlineExceeded` instead of waiting forever. (Since PR 8
 /// the slot holder's own deadline also cancels its in-flight synthesis, so

@@ -1,0 +1,141 @@
+//! A shared *incumbent* best-(score, index) pair for branch-and-bound
+//! searches.
+//!
+//! The pruned synthesis walk (PR 9) races many workers over disjoint
+//! subtrees; each needs to read the best scored candidate found so far
+//! ("the incumbent") to decide whether a subtree's lower bound can still
+//! beat it, and to publish improvements. [`IncumbentCell`] holds the
+//! lexicographic minimum of `(score, enumeration index)` — the same order
+//! the search's final tie-break uses — so ties on score can be pruned too:
+//! a subtree whose bound *equals* the incumbent score can only produce
+//! equal-score candidates, and those lose the first-minimal tie-break
+//! whenever their indices are larger than the incumbent's.
+//!
+//! The cell is deliberately *monotone*: [`IncumbentCell::offer`] only ever
+//! lowers the stored pair (scores under [`f64::total_cmp`], then index), so
+//! a stale read is always lexicographically **greater or equal** to the
+//! true incumbent. A pruning rule of the form "cut when `(bound, first
+//! index) > incumbent`" therefore errs on the side of keeping subtrees when
+//! reads race, which is exactly what losslessness requires: every global
+//! minimizer survives no matter how the workers interleave.
+
+use std::sync::Mutex;
+
+/// A monotonically decreasing best-(score, index) cell shared by the
+/// workers of one branch-and-bound search.
+///
+/// Scores are compared with [`f64::total_cmp`] (then index ascending), so
+/// the cell is well defined even for non-finite offers (`NaN` compares
+/// greater than `+∞` and will never displace it). Offers and reads take a
+/// short uncontended lock — they happen once per scored leaf and once per
+/// bound evaluation, far off the search's hot path.
+#[derive(Debug)]
+pub struct IncumbentCell {
+    /// The current best `(score, enumeration index)` pair.
+    best: Mutex<(f64, usize)>,
+}
+
+impl IncumbentCell {
+    /// Creates a cell holding `(+∞, usize::MAX)`: nothing has been scored
+    /// yet, so no bound can exceed the incumbent and nothing is pruned.
+    pub fn new() -> Self {
+        Self {
+            best: Mutex::new((f64::INFINITY, usize::MAX)),
+        }
+    }
+
+    /// The current incumbent `(score, index)`. May be stale under
+    /// contention, but only ever in the lexicographically *greater*
+    /// (safe-for-pruning) direction.
+    pub fn get(&self) -> (f64, usize) {
+        *self.best.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Offers a scored candidate; the cell keeps the lexicographic minimum
+    /// of `(score, index)` (scores under [`f64::total_cmp`]). Returns
+    /// `true` when the offer lowered the incumbent.
+    pub fn offer(&self, score: f64, index: usize) -> bool {
+        let mut best = self.best.lock().unwrap_or_else(|e| e.into_inner());
+        let improves = match score.total_cmp(&best.0) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Equal => index < best.1,
+            std::cmp::Ordering::Greater => false,
+        };
+        if improves {
+            *best = (score, index);
+        }
+        improves
+    }
+}
+
+impl Default for IncumbentCell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_infinity_and_keeps_the_lexicographic_minimum() {
+        let cell = IncumbentCell::new();
+        assert_eq!(cell.get(), (f64::INFINITY, usize::MAX));
+        assert!(cell.offer(10.0, 7));
+        assert_eq!(cell.get(), (10.0, 7));
+        assert!(!cell.offer(10.0, 7), "the same pair is not an improvement");
+        assert!(!cell.offer(12.5, 0), "a worse score never displaces");
+        assert!(
+            cell.offer(10.0, 3),
+            "an equal score with a smaller index wins the tie-break"
+        );
+        assert_eq!(cell.get(), (10.0, 3));
+        assert!(!cell.offer(10.0, 5));
+        assert!(cell.offer(3.25, 9));
+        assert_eq!(cell.get(), (3.25, 9));
+    }
+
+    #[test]
+    fn nan_never_displaces_a_real_score() {
+        let cell = IncumbentCell::new();
+        // Under total_cmp, NaN > +inf, so it is not an improvement even on a
+        // fresh cell.
+        assert!(!cell.offer(f64::NAN, 0));
+        assert_eq!(cell.get(), (f64::INFINITY, usize::MAX));
+        assert!(cell.offer(1.0, 4));
+        assert!(!cell.offer(f64::NAN, 0));
+        assert_eq!(cell.get(), (1.0, 4));
+    }
+
+    #[test]
+    fn concurrent_offers_converge_to_the_global_minimum() {
+        let cell = std::sync::Arc::new(IncumbentCell::new());
+        let offer_of = |t: u64, i: u64| {
+            let score = ((i * 7919 + t * 104729) % 10007) as f64 + 1.0;
+            let index = ((i * 31 + t * 17) % 977) as usize;
+            (score, index)
+        };
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let cell = std::sync::Arc::clone(&cell);
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        let (score, index) = offer_of(t, i);
+                        cell.offer(score, index);
+                    }
+                });
+            }
+        });
+        let expected = (0..8u64)
+            .flat_map(|t| (0..1000u64).map(move |i| offer_of(t, i)))
+            .fold((f64::INFINITY, usize::MAX), |acc, pair| {
+                match pair.0.total_cmp(&acc.0) {
+                    std::cmp::Ordering::Less => pair,
+                    std::cmp::Ordering::Equal if pair.1 < acc.1 => pair,
+                    _ => acc,
+                }
+            });
+        assert_eq!(cell.get(), expected);
+    }
+}

@@ -38,6 +38,7 @@
 
 pub mod cache;
 pub mod cancel;
+pub mod incumbent;
 pub mod lossy;
 
 use std::cell::UnsafeCell;

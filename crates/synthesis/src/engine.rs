@@ -970,25 +970,9 @@ impl<'a> Synthesizer<'a> {
             ..Candidate::default()
         };
         for (plan, &choice_idx) in plans.iter().zip(selection.iter()) {
-            let (atom, elems) =
-                plan.alternatives[choice_idx.min(plan.alternatives.len() - 1)].clone();
-            let threads = self.program.threads_per_block;
-            let per_round = if atom.kind == CopyKind::Tma {
-                plan.tile_elems
-            } else {
-                threads * elems
-            };
-            let invocations = plan.tile_elems.div_ceil(per_round.max(1)).max(1);
-            candidate.copy_choices.insert(
-                plan.op,
-                CopyChoice {
-                    atom,
-                    elements_per_thread: elems,
-                    invocations,
-                    vector_dim: plan.vector_dim,
-                    coverage: plan.coverage.clone(),
-                },
-            );
+            candidate
+                .copy_choices
+                .insert(plan.op, self.plan_choice(plan, choice_idx));
         }
         // SIMT widths for compute operations.
         for op in self.program.ops() {
@@ -1013,6 +997,206 @@ impl<'a> Synthesizer<'a> {
             }
         }
         candidate
+    }
+
+    /// The [`CopyChoice`] a selection picking alternative `choice_idx` of
+    /// `plan` produces (the index is clamped like the enumeration clamps
+    /// it). Shared by [`Synthesizer::materialize_candidate`] and the search
+    /// space handed to bounders, so both see bit-identical choices.
+    pub(crate) fn plan_choice(&self, plan: &CopyPlan, choice_idx: usize) -> CopyChoice {
+        let (atom, elems) = plan.alternatives[choice_idx.min(plan.alternatives.len() - 1)].clone();
+        let threads = self.program.threads_per_block;
+        let per_round = if atom.kind == CopyKind::Tma {
+            plan.tile_elems
+        } else {
+            threads * elems
+        };
+        let invocations = plan.tile_elems.div_ceil(per_round.max(1)).max(1);
+        CopyChoice {
+            atom,
+            elements_per_thread: elems,
+            invocations,
+            vector_dim: plan.vector_dim,
+            coverage: plan.coverage.clone(),
+        }
+    }
+
+    /// The [`CopyChoice`] the all-plans scalar-degradation fallback
+    /// substitutes for `plan` — field-for-field what [`degrade_to_scalar`]
+    /// writes (its invocation count divides by the atom's thread count, not
+    /// `threads * elems`, so it is *not* the scalar alternative's normal
+    /// materialization).
+    pub(crate) fn degraded_choice(&self, plan: &CopyPlan) -> CopyChoice {
+        let mut choice = self.plan_choice(plan, plan.alternatives.len().saturating_sub(1));
+        if let Some((atom, _)) = plan.alternatives.last() {
+            choice.atom = atom.clone();
+            choice.elements_per_thread = 1;
+            choice.invocations = plan.tile_elems.div_ceil(choice.atom.threads).max(1);
+        }
+        choice
+    }
+
+    /// The search space of this problem — one materialized instruction menu
+    /// per copy plan (see [`crate::SearchSpace`]) — for preparing a
+    /// [`crate::SearchBounder`] outside the engine.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Synthesizer::synthesize`]: the thread-value solve and copy
+    /// planning can fail (e.g. no Tensor Core instruction).
+    pub fn search_space(&self) -> Result<crate::SearchSpace> {
+        let base = self.solve_tv()?;
+        let plans = self.build_copy_plans(&base)?;
+        Ok(self.space_from_plans(&plans))
+    }
+
+    pub(crate) fn space_from_plans(&self, plans: &[CopyPlan]) -> crate::SearchSpace {
+        crate::SearchSpace {
+            plans: plans
+                .iter()
+                .map(|plan| crate::PlanAlternatives {
+                    op: plan.op,
+                    choices: (0..plan.alternatives.len())
+                        .map(|j| self.plan_choice(plan, j))
+                        .collect(),
+                    degraded: self.degraded_choice(plan),
+                })
+                .collect(),
+        }
+    }
+
+    /// The branch-and-bound search: enumerates the same deterministic
+    /// selection list as [`Synthesizer::synthesize_outcome`] (including the
+    /// node-budget truncation), but walks it best-known-first with an
+    /// incumbent `(score, index)` pair, cutting every subtree and leaf whose
+    /// admissible completion bound (from `bounder`) cannot beat the
+    /// incumbent lexicographically — equal-bound subtrees behind the
+    /// incumbent's index lose the first-minimal tie-break too. Only the
+    /// winner is finished, scored and returned; in exact mode (no beam) it
+    /// is **bit-identical** — candidate and score — to the argmin the
+    /// exhaustive selection loop computes with the same tie-breaking
+    /// (earliest enumeration index among equal scores, matching
+    /// `Iterator::min_by`, which keeps the first minimal element).
+    ///
+    /// Returns `Ok(None)` when pruning cannot reproduce exhaustive
+    /// semantics: `max_candidates` caps *finished* candidates, and a pruned
+    /// walk skips leaves without learning their feasibility, so whenever the
+    /// cap could bind (more selections than the cap, without a beam) the
+    /// caller must fall back to the exhaustive path. With the default cap
+    /// this never triggers.
+    ///
+    /// With [`SynthesisOptions::beam_width`] set, per-depth prefix frontiers
+    /// are truncated by bound rank (stable, enumeration-ordered) before the
+    /// walk — lossy but bit-identical across worker counts.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Synthesizer::synthesize_outcome`]: mapping failures,
+    /// [`SynthesisError::NoCandidates`] when no feasible candidate exists
+    /// (nothing is pruned while the incumbent is infinite, so this is
+    /// equivalent to the exhaustive search finding none), and
+    /// [`SynthesisError::Cancelled`] when `token` trips.
+    pub fn synthesize_pruned<B: crate::SearchBounder>(
+        &self,
+        bounder: &mut B,
+        token: Option<&CancelToken>,
+    ) -> Result<Option<crate::PrunedOutcome>> {
+        let base = self.solve_tv()?;
+        let plans = self.build_copy_plans(&base)?;
+        let mut selections = self.enumerate_selections(&plans);
+        let truncated = match self.options.node_budget {
+            Some(budget) if selections.len() > budget.max(1) => {
+                selections.truncate(budget.max(1));
+                true
+            }
+            _ => false,
+        };
+        let beam = self.options.beam_width.map(|w| w.max(1));
+        if beam.is_none() && selections.len() > self.options.max_candidates.max(1) {
+            return Ok(None);
+        }
+        bounder.prepare(&self.space_from_plans(&plans));
+        let mut beam_bound_evaluations = 0usize;
+        let beamed = match beam {
+            Some(width) => self.beam_filter(
+                &base,
+                &plans,
+                &mut selections,
+                width,
+                &*bounder,
+                &mut beam_bound_evaluations,
+            ),
+            None => false,
+        };
+        let enumerated = selections.len();
+        let (winner, mut stats) =
+            self.evaluate_pruned(&base, &plans, &selections, &*bounder, token)?;
+        stats.bound_evaluations += beam_bound_evaluations;
+        let Some((winner_index, winner, score)) = winner else {
+            return Err(SynthesisError::NoCandidates);
+        };
+        Ok(Some(crate::PrunedOutcome {
+            winner,
+            score,
+            winner_index,
+            enumerated,
+            truncated,
+            beamed,
+            stats,
+        }))
+    }
+
+    /// Truncates each per-depth prefix frontier to the `width` prefixes with
+    /// the best completion bounds. Everything is deterministic and
+    /// worker-independent: prefixes are listed in first-occurrence
+    /// (enumeration) order, ranked by `(bound, first occurrence)` under
+    /// [`f64::total_cmp`], and surviving selections keep their enumeration
+    /// order. Returns whether any prefix was dropped.
+    fn beam_filter<B: crate::SearchBounder + ?Sized>(
+        &self,
+        base: &TvBase,
+        plans: &[CopyPlan],
+        selections: &mut Vec<Vec<usize>>,
+        width: usize,
+        bounder: &B,
+        bound_evaluations: &mut usize,
+    ) -> bool {
+        let mut any_dropped = false;
+        for depth in 1..=plans.len() {
+            let mut prefixes: Vec<Vec<usize>> = Vec::new();
+            for sel in selections.iter() {
+                let prefix = sel[..depth].to_vec();
+                if !prefixes.contains(&prefix) {
+                    prefixes.push(prefix);
+                }
+            }
+            if prefixes.len() <= width {
+                continue;
+            }
+            any_dropped = true;
+            let undecided: Vec<OpId> = plans[depth..].iter().map(|p| p.op).collect();
+            let mut ranked: Vec<(f64, usize)> = prefixes
+                .iter()
+                .enumerate()
+                .map(|(i, prefix)| {
+                    let first = selections
+                        .iter()
+                        .find(|sel| sel[..depth] == prefix[..])
+                        .expect("every prefix came from a selection");
+                    let candidate = self.materialize_candidate(base, plans, first);
+                    *bound_evaluations += 1;
+                    (bounder.completion_bound(&candidate, &undecided), i)
+                })
+                .collect();
+            ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            let kept: std::collections::BTreeSet<Vec<usize>> = ranked
+                .iter()
+                .take(width)
+                .map(|&(_, i)| prefixes[i].clone())
+                .collect();
+            selections.retain(|sel| kept.contains(&sel[..depth]));
+        }
+        any_dropped
     }
 }
 

@@ -36,10 +36,21 @@
 //! (deadline, watchdog, shutdown) is polled cooperatively at row granularity
 //! and aborts the walk with a typed [`SynthesisError::Cancelled`] — never a
 //! partial result.
+//!
+//! When the caller can score candidates (the compiler's cost model), the
+//! search can also run as lossless branch-and-bound
+//! ([`Synthesizer::synthesize_pruned`] with a [`SearchBounder`]): subtrees
+//! whose admissible completion bound cannot beat the shared incumbent are
+//! cut, and the winner is bit-identical to the exhaustive argmin. An
+//! optional deterministic beam ([`SynthesisOptions::beam_width`] /
+//! `HEXCUTE_SYNTH_BEAM`) truncates per-depth frontiers by bound rank —
+//! lossy, but bit-identical across worker counts. The process-wide kill
+//! switch is [`set_pruning`] / `HEXCUTE_DISABLE_PRUNE`.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod bound;
 mod choice;
 mod constraints;
 mod engine;
@@ -48,8 +59,10 @@ pub mod hooks;
 mod incremental;
 mod options;
 pub mod prefix;
+mod pruning;
 mod smem;
 
+pub use bound::{PlanAlternatives, PrunedOutcome, SearchBounder, SearchSpace};
 pub use choice::{Candidate, CopyChoice, MmaChoice, RearrangeFix};
 pub use constraints::{
     collapse_dim, contiguous_run_along, copy_constraint_holds, gemm_constraint_holds,
@@ -62,6 +75,7 @@ pub use hooks::{set_synth_fault_hook, SynthFaultHook, SynthFaultPoint};
 pub use incremental::{incremental_enabled, set_incremental};
 pub use options::SynthesisOptions;
 pub use prefix::{PrefixStats, TensorSlotInterner};
+pub use pruning::{prune_enabled, set_pruning};
 pub use smem::{
     bank_conflict_degree, synthesize_smem_layouts, ConstraintError, ConstraintMode,
     LayoutConstraint,

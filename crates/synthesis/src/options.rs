@@ -62,6 +62,23 @@ pub struct SynthesisOptions {
     /// default) searches exhaustively; the environment default comes from
     /// `HEXCUTE_SYNTH_BUDGET` (unset or `0` means unbudgeted).
     pub node_budget: Option<usize>,
+    /// Prune the search with branch-and-bound: cut subtrees whose admissible
+    /// lower bound (from [`crate::SearchBounder`]) cannot beat the incumbent
+    /// best score. Pruning is *lossless* — the winning candidate and its
+    /// score are bit-identical to exhaustive search — so, like
+    /// `incremental`, this toggle is excluded from the stable hash. The
+    /// process-wide kill switch is [`crate::set_pruning`] /
+    /// `HEXCUTE_DISABLE_PRUNE`; the compiler prunes only when both are on.
+    pub prune: bool,
+    /// Deterministic beam width for the pruned search: at each choice depth,
+    /// keep only the `width` distinct prefixes with the best completion
+    /// bounds (ties broken by enumeration order) before the walk fans out.
+    /// Unlike exact branch-and-bound this is *lossy* — the winner may differ
+    /// from exhaustive search — so a set beam width participates in the
+    /// stable hash. It is still bit-identical across worker counts and
+    /// toggles. `None` (the default) disables the beam; the environment
+    /// default comes from `HEXCUTE_SYNTH_BEAM` (unset or `0` means no beam).
+    pub beam_width: Option<usize>,
 }
 
 /// The process-wide default node budget, parsed once from
@@ -73,6 +90,18 @@ fn env_node_budget() -> Option<usize> {
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())
             .filter(|&b| b > 0)
+    })
+}
+
+/// The process-wide default beam width, parsed once from
+/// `HEXCUTE_SYNTH_BEAM`. Unset, unparsable or `0` all mean "no beam".
+fn env_beam_width() -> Option<usize> {
+    static BEAM: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+    *BEAM.get_or_init(|| {
+        std::env::var("HEXCUTE_SYNTH_BEAM")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&w| w > 0)
     })
 }
 
@@ -93,6 +122,8 @@ impl Default for SynthesisOptions {
             parallel_subtree_depth: None,
             parallel_workers: None,
             node_budget: env_node_budget(),
+            prune: true,
+            beam_width: env_beam_width(),
         }
     }
 }
@@ -118,15 +149,19 @@ impl SynthesisOptions {
     /// * Fields that change which candidates exist or how they rank
     ///   (instruction allowances, `max_candidates`, the ablation switches)
     ///   all participate.
-    /// * `incremental`, `parallel_subtree_depth` and `parallel_workers` are
-    ///   **deliberately excluded**: the incremental and parallel walks are
-    ///   cross-checked bit-for-bit against the serial reference, so they
-    ///   cannot change the winning candidate — hashing them would only
-    ///   fragment the cache across thread counts.
+    /// * `incremental`, `parallel_subtree_depth`, `parallel_workers` and
+    ///   `prune` are **deliberately excluded**: the incremental, parallel
+    ///   and branch-and-bound walks are cross-checked bit-for-bit against
+    ///   the serial exhaustive reference, so they cannot change the winning
+    ///   candidate — hashing them would only fragment the cache across
+    ///   thread counts and prune toggles.
     /// * `node_budget` participates **only when set**: a budgeted search may
     ///   return different (truncated) candidates, so budgeted artifacts must
     ///   never alias full-search artifacts — while the unbudgeted hash stays
     ///   byte-compatible with caches written before budgets existed.
+    /// * `beam_width` likewise participates **only when set** (under a
+    ///   distinct tag): beam search is lossy, so beamed artifacts must never
+    ///   alias exact-search artifacts.
     pub fn hash_stable<H: std::hash::Hasher>(&self, state: &mut H) {
         use std::hash::Hash;
         self.allow_ldmatrix.hash(state);
@@ -142,6 +177,10 @@ impl SynthesisOptions {
         if let Some(budget) = self.node_budget {
             1u8.hash(state);
             budget.hash(state);
+        }
+        if let Some(width) = self.beam_width {
+            2u8.hash(state);
+            width.hash(state);
         }
     }
 
@@ -170,6 +209,10 @@ mod tests {
         assert!(o.max_candidates >= 16);
         assert_eq!(o.parallel_subtree_depth, None, "default is auto-tuned");
         assert_eq!(o.parallel_workers, None, "default follows HEXCUTE_THREADS");
+        assert!(
+            o.prune,
+            "exact branch-and-bound is lossless, so it defaults on"
+        );
     }
 
     #[test]
@@ -193,6 +236,49 @@ mod tests {
             ..unbudgeted.clone()
         };
         assert_ne!(fp(&unbudgeted), fp(&budgeted), "budgets must not alias");
+    }
+
+    #[test]
+    fn beam_width_fragments_the_stable_hash_but_prune_does_not() {
+        fn fp(o: &SynthesisOptions) -> u64 {
+            let mut h = std::hash::DefaultHasher::new();
+            o.hash_stable(&mut h);
+            std::hash::Hasher::finish(&h)
+        }
+        let base = SynthesisOptions {
+            node_budget: None,
+            beam_width: None,
+            ..SynthesisOptions::default()
+        };
+        let unpruned = SynthesisOptions {
+            prune: false,
+            ..base.clone()
+        };
+        assert_eq!(
+            fp(&base),
+            fp(&unpruned),
+            "exact B&B is lossless, so the prune toggle never fragments"
+        );
+        let beamed = SynthesisOptions {
+            beam_width: Some(2),
+            ..base.clone()
+        };
+        assert_ne!(
+            fp(&base),
+            fp(&beamed),
+            "beam search is lossy, must not alias"
+        );
+        // The beam tag (2u8) must not collide with the budget tag (1u8) at
+        // equal widths/budgets.
+        let budgeted = SynthesisOptions {
+            node_budget: Some(2),
+            ..base.clone()
+        };
+        assert_ne!(
+            fp(&budgeted),
+            fp(&beamed),
+            "beam and budget tags are distinct"
+        );
     }
 
     #[test]

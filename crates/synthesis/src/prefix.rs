@@ -165,6 +165,22 @@ pub struct PrefixStats {
     pub subtrees: usize,
     /// Worker threads the walk used (1 = serial walk).
     pub workers: usize,
+    /// Admissible completion bounds evaluated by the pruned walk (group
+    /// prefixes, individual leaves and beam frontiers). Zero for the
+    /// exhaustive walks.
+    pub bound_evaluations: usize,
+    /// Subtree groups cut whole because their prefix bound could not beat
+    /// the incumbent. Depends on incumbent timing: **not** deterministic
+    /// across worker counts (the winner is).
+    pub subtrees_cut: usize,
+    /// Selections skipped by pruning — members of cut groups plus
+    /// individually cut leaves. Timing-dependent like `subtrees_cut`.
+    pub selections_pruned: usize,
+    /// Offers that actually lowered the shared incumbent score.
+    pub incumbent_updates: usize,
+    /// Leaves the pruned walk finished and exactly scored (the quantity the
+    /// `repro_prune` bench compares against the exhaustive candidate count).
+    pub candidates_scored: usize,
 }
 
 /// The shared per-tensor finishing memo: finished shared-memory layouts (or
@@ -645,7 +661,203 @@ impl<'a> Synthesizer<'a> {
         let finished: Vec<Candidate> = slots.into_iter().flatten().take(max).collect();
         Ok((finished, stats))
     }
+
+    /// The branch-and-bound walk behind [`Synthesizer::synthesize_pruned`]:
+    /// evaluates the selections through the shared-prefix search, but keeps
+    /// a shared incumbent `(score, index)` pair and cuts every subtree
+    /// group (and individual leaf) whose admissible completion bound cannot
+    /// beat it lexicographically. Returns the winner as `(enumeration
+    /// index, candidate, score)` plus the walk counters.
+    ///
+    /// ## Why the winner is deterministic under a racing incumbent
+    ///
+    /// The incumbent only ever holds exact `(score, index)` pairs of
+    /// finished candidates, so at any instant it is lexicographically ≥ the
+    /// global minimum pair. A subtree containing the global minimizer has a
+    /// bound ≤ its score and a first index ≤ its index, so its `(bound,
+    /// first index)` pair is ≤ the incumbent — and pruning requires the
+    /// pair to be **strictly greater** (score under [`f64::total_cmp`],
+    /// then index). Every global minimizer therefore survives every
+    /// interleaving; pruning on index breaks score *ties* exactly the way
+    /// the final reduction does. Survivors are reduced to the lexicographic
+    /// minimum of `(score, enumeration index)`, which reproduces the
+    /// exhaustive argmin's first-minimal tie-break exactly. Only the
+    /// *counters* (`subtrees_cut`, `selections_pruned`,
+    /// `bound_evaluations`, `incumbent_updates`, `candidates_scored`)
+    /// depend on timing.
+    pub(crate) fn evaluate_pruned<B: crate::SearchBounder + ?Sized>(
+        &self,
+        base: &TvBase,
+        plans: &[CopyPlan],
+        selections: &[Vec<usize>],
+        bounder: &B,
+        token: Option<&CancelToken>,
+    ) -> PrunedWalk {
+        type Best = (f64, usize, Candidate);
+        let mut stats = PrefixStats::default();
+        if selections.is_empty() {
+            stats.subtrees = 1;
+            stats.workers = 1;
+            return Ok((None, stats));
+        }
+        let workers = self
+            .options()
+            .parallel_workers
+            .unwrap_or_else(hexcute_parallel::worker_count)
+            .max(1);
+        let depth =
+            resolve_subtree_depth(self.options().parallel_subtree_depth, workers, selections);
+        let finished_memo = FinishedMemo::new();
+        let incumbent = hexcute_parallel::incumbent::IncumbentCell::new();
+
+        // Seed: finish and score the preferred selection serially. This
+        // warms the shared memo (like the exhaustive parallel walk) and —
+        // because the preferred selection usually wins — gives every group
+        // a near-final incumbent before the fan-out.
+        let mut best: Option<Best> = None;
+        {
+            let mut search = PrefixSearch::new(self, plans, &finished_memo, token);
+            if let Some(reason) = hooks::injected_stall(token) {
+                return Err(SynthesisError::Cancelled(reason));
+            }
+            search
+                .walk_to(&selections[0])
+                .map_err(SynthesisError::Cancelled)?;
+            if let Some(candidate) = search.finish_leaf(base, &selections[0]) {
+                let score = bounder.exact_score(&candidate);
+                search.stats.candidates_scored += 1;
+                if incumbent.offer(score, 0) {
+                    search.stats.incumbent_updates += 1;
+                }
+                best = Some((score, 0, candidate));
+            }
+            stats = merge_stats(&stats, &search.stats);
+        }
+
+        // Ops still open below the split depth: the prefix bound of a group
+        // leaves exactly these undecided.
+        let undecided: Vec<hexcute_ir::OpId> = plans.iter().skip(depth).map(|p| p.op).collect();
+        // Cut when `(bound, first index)` is lexicographically above the
+        // incumbent pair: a strictly larger bound can never win, and an
+        // *equal* bound from a later index can only tie on score and then
+        // loses the first-minimal tie-break.
+        let prunes = |bound: f64, first_index: usize| {
+            let (inc_score, inc_index) = incumbent.get();
+            match bound.total_cmp(&inc_score) {
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Equal => first_index > inc_index,
+                std::cmp::Ordering::Less => false,
+            }
+        };
+        type GroupResult = Result<(Option<(f64, usize, Candidate)>, PrefixStats), CancelReason>;
+        let eval_group = |group: Vec<usize>| -> GroupResult {
+            let mut search = PrefixSearch::new(self, plans, &finished_memo, token);
+            let mut extra = PrefixStats::default();
+            // Prefix bound: one probe for the whole group (its members share
+            // the first `depth` choices, which is all the bound reads — the
+            // suffix ops are passed as undecided).
+            if group.len() > 1 && !undecided.is_empty() {
+                if let Some(reason) = hooks::poll_cancelled(token) {
+                    return Err(reason);
+                }
+                let probe = self.materialize_candidate(base, plans, &selections[group[0] + 1]);
+                extra.bound_evaluations += 1;
+                if prunes(bounder.completion_bound(&probe, &undecided), group[0] + 1) {
+                    extra.subtrees_cut += 1;
+                    extra.selections_pruned += group.len();
+                    return Ok((None, extra));
+                }
+            }
+            let mut local: Option<Best> = None;
+            for idx in group {
+                let sel = &selections[idx + 1];
+                if let Some(reason) = hooks::injected_stall(token) {
+                    return Err(reason);
+                }
+                if let Some(reason) = hooks::poll_cancelled(token) {
+                    return Err(reason);
+                }
+                // Leaf bound: fully decided. Admissible for both ways the
+                // leaf can finish — as materialized, or through the
+                // all-plans scalar degradation — so a cut leaf cannot hide
+                // a winner.
+                let candidate = self.materialize_candidate(base, plans, sel);
+                extra.bound_evaluations += 1;
+                if prunes(bounder.completion_bound(&candidate, &[]), idx + 1) {
+                    extra.selections_pruned += 1;
+                    continue;
+                }
+                search.walk_to(sel)?;
+                if let Some(finished) = search.finish_leaf(base, sel) {
+                    let score = bounder.exact_score(&finished);
+                    extra.candidates_scored += 1;
+                    if incumbent.offer(score, idx + 1) {
+                        extra.incumbent_updates += 1;
+                    }
+                    let better = match &local {
+                        None => true,
+                        Some((s, i, _)) => match score.total_cmp(s) {
+                            std::cmp::Ordering::Less => true,
+                            std::cmp::Ordering::Equal => idx + 1 < *i,
+                            std::cmp::Ordering::Greater => false,
+                        },
+                    };
+                    if better {
+                        local = Some((score, idx + 1, finished));
+                    }
+                }
+            }
+            Ok((local, merge_stats(&extra, &search.stats)))
+        };
+
+        let groups = subtree_groups(&selections[1..], depth);
+        let subtrees = groups.len() + 1;
+        let serial = workers <= 1 || depth == 0 || selections.len() <= 2;
+        let evaluated: Vec<GroupResult> = if serial {
+            groups.into_iter().map(eval_group).collect()
+        } else {
+            match token {
+                Some(tok) => {
+                    hexcute_parallel::par_map_cancellable(groups, eval_group, workers, tok)
+                        .ok_or_else(|| {
+                            SynthesisError::Cancelled(
+                                tok.reason().unwrap_or(CancelReason::Shutdown),
+                            )
+                        })?
+                }
+                None => hexcute_parallel::par_map_with_workers(groups, eval_group, workers),
+            }
+        };
+        for group_result in evaluated {
+            let (local, group_stats) = group_result.map_err(SynthesisError::Cancelled)?;
+            stats = merge_stats(&stats, &group_stats);
+            if let Some((score, idx, candidate)) = local {
+                let better = match &best {
+                    None => true,
+                    Some((s, i, _)) => match score.total_cmp(s) {
+                        std::cmp::Ordering::Less => true,
+                        std::cmp::Ordering::Equal => idx < *i,
+                        std::cmp::Ordering::Greater => false,
+                    },
+                };
+                if better {
+                    best = Some((score, idx, candidate));
+                }
+            }
+        }
+        stats.subtrees = subtrees;
+        stats.workers = if serial { 1 } else { workers };
+        stats.finished_cache = finished_memo.stats();
+        Ok((
+            best.map(|(score, idx, candidate)| (idx, candidate, score)),
+            stats,
+        ))
+    }
 }
+
+/// Result of the pruned walk: the winning `(enumeration index, candidate,
+/// score)` triple, when any leaf finished, plus the walk counters.
+type PrunedWalk = Result<(Option<(usize, Candidate, f64)>, PrefixStats), SynthesisError>;
 
 /// Sums the per-walk counters (the cache snapshot is set once at the end).
 fn merge_stats(a: &PrefixStats, b: &PrefixStats) -> PrefixStats {
@@ -656,6 +868,11 @@ fn merge_stats(a: &PrefixStats, b: &PrefixStats) -> PrefixStats {
         finished_cache: a.finished_cache,
         subtrees: a.subtrees,
         workers: a.workers,
+        bound_evaluations: a.bound_evaluations + b.bound_evaluations,
+        subtrees_cut: a.subtrees_cut + b.subtrees_cut,
+        selections_pruned: a.selections_pruned + b.selections_pruned,
+        incumbent_updates: a.incumbent_updates + b.incumbent_updates,
+        candidates_scored: a.candidates_scored + b.candidates_scored,
     }
 }
 

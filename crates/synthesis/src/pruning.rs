@@ -1,0 +1,52 @@
+//! Process-wide switch for the branch-and-bound pruned candidate search
+//! (see [`crate::prefix`] and [`crate::SearchBounder`]).
+//!
+//! Mirrors [`crate::incremental`]: the switch is initialized from the
+//! `HEXCUTE_DISABLE_PRUNE` environment variable and can be flipped at
+//! runtime so before/after benchmarks and the prune-conformance matrix
+//! exercise both the pruned walk and the exhaustive enumeration in one
+//! process. The per-search override lives in
+//! [`crate::SynthesisOptions::prune`]; the compiler prunes only when *both*
+//! are on (and the incremental walk is available to prune).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// 0 = uninitialized, 1 = enabled, 2 = disabled.
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+/// Returns `true` when branch-and-bound pruning is globally enabled (the
+/// default; `HEXCUTE_DISABLE_PRUNE=1` disables it at startup).
+pub fn prune_enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let disabled = std::env::var("HEXCUTE_DISABLE_PRUNE")
+                .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+                .unwrap_or(false);
+            STATE.store(if disabled { 2 } else { 1 }, Ordering::Relaxed);
+            !disabled
+        }
+    }
+}
+
+/// Globally enables or disables branch-and-bound pruning (all threads,
+/// process-wide).
+pub fn set_pruning(on: bool) {
+    STATE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switch_round_trips() {
+        let initial = prune_enabled();
+        set_pruning(false);
+        assert!(!prune_enabled());
+        set_pruning(true);
+        assert!(prune_enabled());
+        set_pruning(initial);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property test for the branch-and-bound admissibility contract
+//! (`SearchBounder::completion_bound`): for any partial assignment, the
+//! completion bound must never exceed the exact score of *any* finished
+//! candidate that agrees with the assignment on its decided ops — including
+//! the all-plans scalar-degraded candidate the feasibility fallback can
+//! substitute for any leaf. Pruning is lossless if and only if this holds.
+
+use hexcute_arch::GpuArch;
+use hexcute_costmodel::{CompletionBounds, CostModel};
+use hexcute_ir::Program;
+use hexcute_kernels::attention::{mha_forward, AttentionConfig, AttentionShape};
+use hexcute_kernels::gemm::{fp16_gemm, GemmConfig, GemmShape};
+use hexcute_kernels::quant_gemm::{w4a16_gemm, QuantGemmConfig, QuantGemmShape};
+use hexcute_synthesis::{SearchBounder, SynthesisOptions, Synthesizer};
+use proptest::prelude::*;
+
+fn program_for(pick: usize) -> Program {
+    match pick % 3 {
+        0 => fp16_gemm(GemmShape::new(128, 128, 128), GemmConfig::default()).unwrap(),
+        1 => w4a16_gemm(
+            QuantGemmShape::new(16, 128, 256, 64),
+            QuantGemmConfig::default(),
+        )
+        .unwrap(),
+        _ => mha_forward(
+            AttentionShape::forward(1, 2, 128, 64),
+            AttentionConfig::default(),
+        )
+        .unwrap(),
+    }
+}
+
+fn arch_for(pick: usize) -> GpuArch {
+    if pick.is_multiple_of(2) {
+        GpuArch::a100()
+    } else {
+        GpuArch::h100()
+    }
+}
+
+/// Checks every (prefix depth × base candidate) cut of the search space of
+/// one program: the bound of the partial assignment taking `base`'s choices
+/// for the first `depth` plans must lower-bound every finished candidate
+/// sharing those choices, and the all-degraded fallback candidate.
+fn assert_admissible(
+    program: &Program,
+    arch: &GpuArch,
+    base_pick: usize,
+    depth_pick: usize,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let synth = Synthesizer::new(program, arch, SynthesisOptions::default());
+    let space = synth.search_space().unwrap();
+    let pool = synth.synthesize().unwrap();
+    prop_assert!(!pool.is_empty());
+
+    let model = CostModel::new(arch);
+    let mut bounder = CompletionBounds::new(&model, program);
+    bounder.prepare(&space);
+
+    let base = &pool[base_pick % pool.len()];
+    let depth = depth_pick % (space.plans.len() + 1);
+    let decided: Vec<_> = space.plans[..depth].iter().map(|p| p.op).collect();
+    let undecided: Vec<_> = space.plans[depth..].iter().map(|p| p.op).collect();
+    let bound = bounder.completion_bound(base, &undecided);
+    prop_assert!(bound.is_finite(), "bound must be finite, got {bound}");
+
+    // Every finished candidate agreeing with the prefix is a feasible
+    // completion; none may score below the bound.
+    for (i, candidate) in pool.iter().enumerate() {
+        let agrees = decided
+            .iter()
+            .all(|op| candidate.copy_choices.get(op) == base.copy_choices.get(op));
+        if !agrees {
+            continue;
+        }
+        let score = bounder.exact_score(candidate);
+        prop_assert!(
+            bound <= score,
+            "bound {bound} exceeds score {score} of candidate {i} at depth {depth} \
+             for {}",
+            program.name
+        );
+    }
+
+    // The scalar-degradation fallback rewrites *decided* choices too, so the
+    // all-degraded candidate is a feasible completion of every prefix.
+    let mut degraded = base.clone();
+    for plan in &space.plans {
+        degraded.copy_choices.insert(plan.op, plan.degraded.clone());
+    }
+    let degraded_score = bounder.exact_score(&degraded);
+    prop_assert!(
+        bound <= degraded_score,
+        "bound {bound} exceeds the degraded fallback score {degraded_score} at \
+         depth {depth} for {}",
+        program.name
+    );
+
+    // A leaf (nothing undecided) must be bounded by its own exact score.
+    let leaf_bound = bounder.completion_bound(base, &[]);
+    let leaf_score = bounder.exact_score(base);
+    prop_assert!(
+        leaf_bound <= leaf_score,
+        "leaf bound {leaf_bound} exceeds the leaf's own score {leaf_score} for {}",
+        program.name
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn completion_bounds_are_admissible(
+        program_pick in 0usize..3,
+        arch_pick in 0usize..2,
+        base_pick in 0usize..64,
+        depth_pick in 0usize..8,
+    ) {
+        let program = program_for(program_pick);
+        let arch = arch_for(arch_pick);
+        assert_admissible(&program, &arch, base_pick, depth_pick)?;
+    }
+}
