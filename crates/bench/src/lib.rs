@@ -25,6 +25,7 @@ pub mod scan_bench;
 pub mod serving_bench;
 pub mod table2;
 pub mod tables34;
+pub mod traffic;
 pub mod workloads_bench;
 
 pub use report::Report;

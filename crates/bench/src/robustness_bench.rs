@@ -416,6 +416,7 @@ pub fn run_schedule(
         retry_backoff: Duration::from_millis(1),
         seed: 42,
         faults: injector.clone(),
+        ..ServiceConfig::default()
     };
     let compiler_options = CompilerOptions {
         synthesis: SynthesisOptions {

@@ -13,6 +13,12 @@
 //! [`decode_latency_ms_with`] is the warm-cache serving mode; the
 //! `repro_serving` binary reports the resulting cold vs. warm throughput
 //! (`BENCH_pr4.json`).
+//!
+//! Since PR 10 the front-end is priority- and tenant-aware: requests carry
+//! a [`Priority`] class and a [`TenantId`], admission is a ticketed
+//! two-class queue with anti-starvation boosts and per-tenant fairness,
+//! and an optional speculative prefetcher warms predicted fingerprints
+//! from spare capacity (`repro_serving_traffic`, `BENCH_pr10.json`).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -20,7 +26,9 @@
 pub mod service;
 mod serving;
 
-pub use service::{CompileResponse, CompileService, ServedFrom, ServiceConfig, ServiceStats};
+pub use service::{
+    CompileResponse, CompileService, Priority, ServedFrom, ServiceConfig, ServiceStats, TenantId,
+};
 pub use serving::{
     decode_latency_ms, decode_latency_ms_with, decode_step_programs, DecodeReport, KernelBackend,
     ModelConfig, ModelKind,

@@ -28,7 +28,7 @@
 //!   path, never the cheap one. See `docs/ROBUSTNESS.md` for the full
 //!   degradation ladder.
 //! * **Cooperative cancellation & supervision** (PR 8). Every synthesis
-//!   carries a [`CancelToken`](hexcute_core::CancelToken) that the search
+//!   carries a [`CancelToken`] that the search
 //!   walks poll at row granularity, so a deadline that expires *mid-
 //!   synthesis* now aborts the in-flight search — freeing its admission
 //!   slot and broadcasting a typed [`CompileError::DeadlineExceeded`] to
@@ -40,6 +40,16 @@
 //!   Wall-clock cancellation yields typed errors only: a cancelled
 //!   synthesis never produces a partial artifact and never touches the
 //!   cache.
+//! * **Priority-aware serving front-end** (PR 10). Admission is a
+//!   *ticketed* bounded queue per [`Priority`] class, granted strictly in
+//!   ticket order within a class (no `notify_one` starvation) with
+//!   periodic background boosts so autotune traffic is never starved,
+//!   per-[`TenantId`] weighted fair scheduling with optional quotas
+//!   (`HEXCUTE_SERVICE_TENANT_QUOTA`), per-class load shedding, and
+//!   **speculative precompilation**: the request stream is mined for
+//!   recurring fingerprint transitions and predicted successors are
+//!   prefetched into the warm cache tier on spare pool capacity
+//!   ([`hexcute_parallel::spawn_background`]) before they are requested.
 //!
 //! ```
 //! use hexcute_arch::{DType, GpuArch};
@@ -64,11 +74,11 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
 use std::time::{Duration, Instant};
 
 use hexcute_arch::GpuArch;
@@ -112,6 +122,69 @@ impl From<ArtifactSource> for ServedFrom {
     }
 }
 
+/// The scheduling class of a compile request.
+///
+/// Latency-critical requests (decode-step compiles on the serving path) and
+/// background requests (autotune sweeps, warmup, batch precompiles) wait in
+/// separate bounded queues; the grant loop prefers the latency class but
+/// periodically boosts a background waiter ([`ServiceConfig::boost_interval`])
+/// so background traffic makes guaranteed progress under sustained
+/// latency-critical load.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Priority {
+    /// Serve as soon as a slot frees: decode-path compiles.
+    #[default]
+    LatencyCritical,
+    /// Yield to latency-critical traffic: autotune / warmup compiles.
+    Background,
+}
+
+impl Priority {
+    /// Index into per-class arrays (`[latency, background]`).
+    pub fn index(self) -> usize {
+        match self {
+            Priority::LatencyCritical => LATENCY,
+            Priority::Background => BACKGROUND,
+        }
+    }
+
+    /// A stable lowercase label (bench JSON keys, logs).
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::LatencyCritical => "latency_critical",
+            Priority::Background => "background",
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// An opaque tenant identity used for weighted fair scheduling and quotas.
+///
+/// The scheduler grants the eligible waiter whose tenant currently holds the
+/// fewest synthesis slots (ties broken by ticket, i.e. arrival order), and
+/// [`ServiceConfig::tenant_quota`] caps how many slots one tenant may hold at
+/// once. The default `TenantId(0)` is fine for single-tenant callers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u32);
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant-{}", self.0)
+    }
+}
+
+/// Queue index of [`Priority::LatencyCritical`].
+const LATENCY: usize = 0;
+/// Queue index of [`Priority::Background`].
+const BACKGROUND: usize = 1;
+/// The pseudo-tenant that speculative prefetch slots are accounted to.
+const PREFETCH_TENANT: TenantId = TenantId(u32::MAX);
+
 /// One served compilation: the (shared) artifact plus how it was obtained.
 #[derive(Debug, Clone)]
 pub struct CompileResponse {
@@ -139,10 +212,27 @@ pub struct ServiceConfig {
     /// Maximum syntheses running at once. `0` (the default) means
     /// unbounded: no admission accounting at all.
     pub max_concurrent: usize,
-    /// Requests allowed to wait for an admission slot beyond
-    /// `max_concurrent`; arrivals past this are shed with
+    /// Latency-critical requests allowed to wait for an admission slot
+    /// beyond `max_concurrent`; arrivals past this are shed with
     /// [`CompileError::Overloaded`]. Ignored while `max_concurrent` is 0.
     pub queue_capacity: usize,
+    /// The same bound for the background class, so a flood of autotune
+    /// requests sheds without consuming latency-critical queue slots.
+    pub background_queue_capacity: usize,
+    /// Synthesis slots one tenant may hold at once; a tenant at its quota
+    /// parks (other tenants overtake it) until it releases a slot. `0` (the
+    /// default) means no quota.
+    pub tenant_quota: usize,
+    /// After this many consecutive latency-critical grants made while a
+    /// background waiter was parked, one background waiter is boosted ahead
+    /// of the latency queue — bounded starvation for the background class.
+    /// `0` disables boosting (strict priority).
+    pub boost_interval: u64,
+    /// Enables speculative precompilation: mine the request stream for
+    /// recurring fingerprint transitions and warm predicted successors in
+    /// the background on spare capacity. Off by default so synthesis counts
+    /// stay exact for callers that assert them.
+    pub prefetch: bool,
     /// Per-request deadline, enforced while queued for admission, while
     /// waiting on a coalesced in-flight synthesis, *and* — since PR 8 —
     /// against the in-flight synthesis itself, which is cooperatively
@@ -174,6 +264,10 @@ impl Default for ServiceConfig {
         ServiceConfig {
             max_concurrent: 0,
             queue_capacity: 64,
+            background_queue_capacity: 64,
+            tenant_quota: 0,
+            boost_interval: 4,
+            prefetch: false,
             deadline: None,
             watchdog: None,
             max_retries: 2,
@@ -184,51 +278,103 @@ impl Default for ServiceConfig {
     }
 }
 
+/// What an environment variable held, as seen by [`env_setting`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EnvParse<T> {
+    /// The variable is not set.
+    Unset,
+    /// The variable parsed.
+    Value(T),
+    /// The variable is set but does not parse as `T`.
+    Invalid,
+}
+
+/// Classifies `raw` (the variable's value, if set) without consuming errors
+/// silently — the caller decides whether `Invalid` warrants a warning.
+fn parse_env<T: std::str::FromStr>(raw: Option<&str>) -> EnvParse<T> {
+    match raw {
+        None => EnvParse::Unset,
+        Some(raw) => match raw.trim().parse::<T>() {
+            Ok(value) => EnvParse::Value(value),
+            Err(_) => EnvParse::Invalid,
+        },
+    }
+}
+
+/// Warns on stderr about an unparsable variable, at most once per variable
+/// name per process (the `HEXCUTE_THREADS` convention from the parallel
+/// crate). Returns whether this call was the one that warned.
+fn warn_once_unparsable(name: &str, raw: &str) -> bool {
+    static WARNED: OnceLock<Mutex<HashSet<String>>> = OnceLock::new();
+    let mut warned = WARNED
+        .get_or_init(|| Mutex::new(HashSet::new()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner());
+    if !warned.insert(name.to_string()) {
+        return false;
+    }
+    eprintln!("hexcute: ignoring unparsable {name}={raw:?}; using the default");
+    true
+}
+
+/// Reads `name` from the environment: unset → `default`, parsable → the
+/// value, unparsable → `default` plus a once-per-variable stderr warning
+/// (never a silent swallow).
+fn env_setting<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let raw = std::env::var(name).ok();
+    match parse_env::<T>(raw.as_deref()) {
+        EnvParse::Unset => default,
+        EnvParse::Value(value) => value,
+        EnvParse::Invalid => {
+            warn_once_unparsable(name, raw.as_deref().unwrap_or(""));
+            default
+        }
+    }
+}
+
 impl ServiceConfig {
     /// Reads the policy from the environment:
     ///
     /// | Variable | Meaning | Default |
     /// |---|---|---|
-    /// | `HEXCUTE_SERVICE_MAX_CONCURRENT` | concurrent synthesis bound (`0` = unbounded) | 0 |
-    /// | `HEXCUTE_SERVICE_QUEUE_CAPACITY` | pending-queue capacity before shedding | 64 |
+    /// | `HEXCUTE_SERVICE_MAX_CONCURRENT` | concurrent synthesis bound (`0` = admission disabled entirely) | 0 |
+    /// | `HEXCUTE_SERVICE_QUEUE_CAPACITY` | latency-class queue capacity before shedding | 64 |
+    /// | `HEXCUTE_SERVICE_BG_QUEUE_CAPACITY` | background-class queue capacity before shedding | 64 |
+    /// | `HEXCUTE_SERVICE_TENANT_QUOTA` | synthesis slots one tenant may hold (`0` = no quota) | 0 |
+    /// | `HEXCUTE_SERVICE_BOOST_INTERVAL` | latency grants between background boosts (`0` = strict priority) | 4 |
+    /// | `HEXCUTE_SERVICE_PREFETCH` | nonzero enables speculative precompilation | 0 |
     /// | `HEXCUTE_SERVICE_DEADLINE_MS` | per-request deadline in milliseconds (`0` = none) | unset → none |
     /// | `HEXCUTE_WATCHDOG_MS` | per-synthesis watchdog in milliseconds (`0` = none) | unset → none |
     /// | `HEXCUTE_SERVICE_RETRIES` | transient-failure retries | 2 |
     /// | `HEXCUTE_SERVICE_RETRY_BACKOFF_MS` | backoff base in milliseconds | 2 |
     /// | `HEXCUTE_SERVICE_SEED` | jitter seed | 0 |
     ///
-    /// Unparsable values fall back to the defaults.
+    /// An unparsable value falls back to its default and warns **once** per
+    /// variable on stderr; see `docs/TUNING.md` for the full knob reference.
     pub fn from_env() -> Self {
         let defaults = Self::default();
-        let parse = |name: &str, default: usize| {
-            std::env::var(name)
-                .ok()
-                .and_then(|v| v.trim().parse::<usize>().ok())
-                .unwrap_or(default)
+        let duration_ms = |name: &str| match env_setting::<u64>(name, 0) {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
         };
         ServiceConfig {
-            max_concurrent: parse("HEXCUTE_SERVICE_MAX_CONCURRENT", defaults.max_concurrent),
-            queue_capacity: parse("HEXCUTE_SERVICE_QUEUE_CAPACITY", defaults.queue_capacity),
-            deadline: std::env::var("HEXCUTE_SERVICE_DEADLINE_MS")
-                .ok()
-                .and_then(|v| v.trim().parse::<u64>().ok())
-                .filter(|&ms| ms > 0)
-                .map(Duration::from_millis),
-            watchdog: std::env::var("HEXCUTE_WATCHDOG_MS")
-                .ok()
-                .and_then(|v| v.trim().parse::<u64>().ok())
-                .filter(|&ms| ms > 0)
-                .map(Duration::from_millis),
-            max_retries: parse("HEXCUTE_SERVICE_RETRIES", defaults.max_retries),
-            retry_backoff: std::env::var("HEXCUTE_SERVICE_RETRY_BACKOFF_MS")
-                .ok()
-                .and_then(|v| v.trim().parse::<u64>().ok())
-                .map(Duration::from_millis)
-                .unwrap_or(defaults.retry_backoff),
-            seed: std::env::var("HEXCUTE_SERVICE_SEED")
-                .ok()
-                .and_then(|v| v.trim().parse::<u64>().ok())
-                .unwrap_or(defaults.seed),
+            max_concurrent: env_setting("HEXCUTE_SERVICE_MAX_CONCURRENT", defaults.max_concurrent),
+            queue_capacity: env_setting("HEXCUTE_SERVICE_QUEUE_CAPACITY", defaults.queue_capacity),
+            background_queue_capacity: env_setting(
+                "HEXCUTE_SERVICE_BG_QUEUE_CAPACITY",
+                defaults.background_queue_capacity,
+            ),
+            tenant_quota: env_setting("HEXCUTE_SERVICE_TENANT_QUOTA", defaults.tenant_quota),
+            boost_interval: env_setting("HEXCUTE_SERVICE_BOOST_INTERVAL", defaults.boost_interval),
+            prefetch: env_setting::<u64>("HEXCUTE_SERVICE_PREFETCH", 0) != 0,
+            deadline: duration_ms("HEXCUTE_SERVICE_DEADLINE_MS"),
+            watchdog: duration_ms("HEXCUTE_WATCHDOG_MS"),
+            max_retries: env_setting("HEXCUTE_SERVICE_RETRIES", defaults.max_retries),
+            retry_backoff: Duration::from_millis(env_setting(
+                "HEXCUTE_SERVICE_RETRY_BACKOFF_MS",
+                defaults.retry_backoff.as_millis() as u64,
+            )),
+            seed: env_setting("HEXCUTE_SERVICE_SEED", defaults.seed),
             faults: defaults.faults,
         }
     }
@@ -238,141 +384,393 @@ impl ServiceConfig {
 // Admission control.
 // ---------------------------------------------------------------------------
 
+/// Where a ticketed waiter is in its admission lifecycle. Transitions are
+/// made under the waiter's own `phase` mutex, which is only ever taken
+/// *after* the admission state lock (lock order: state, then phase).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WaiterPhase {
+    /// Parked in a class queue.
+    Waiting,
+    /// Granted a slot (the grantor already charged `active`); the waiter
+    /// owns the slot as soon as it observes this.
+    Granted,
+    /// Drained by shutdown; the waiter exits with a typed cancellation.
+    Drained,
+}
+
+/// One parked request in the ticketed admission queue.
+#[derive(Debug)]
+struct Waiter {
+    /// Monotone admission ticket: FIFO order within a class and tenant.
+    ticket: u64,
+    tenant: TenantId,
+    phase: Mutex<WaiterPhase>,
+    wake: Condvar,
+}
+
 #[derive(Debug)]
 struct AdmissionState {
     /// Synthesis slots currently held.
     active: usize,
-    /// Requests parked waiting for a slot.
-    waiting: usize,
+    /// Slots held per tenant (entries removed at zero) — drives the
+    /// weighted-fair grant order and the quota check.
+    active_per_tenant: HashMap<TenantId, usize>,
+    /// Parked waiters per class (`[LATENCY, BACKGROUND]`), in ticket order.
+    queues: [VecDeque<Arc<Waiter>>; 2],
+    /// Next admission ticket to issue.
+    next_ticket: u64,
+    /// Consecutive latency-class grants made while a background waiter was
+    /// parked; at [`ServiceConfig::boost_interval`] the next grant boosts
+    /// the background class instead.
+    latency_run: u64,
 }
 
-/// A bounded-concurrency gate with a bounded wait queue: the synchronous
-/// analogue of an async semaphore + listen queue. Cache hits never touch it;
-/// only requests about to synthesize (or join a synthesis) pass through.
+/// A bounded-concurrency gate with a *ticketed* bounded wait queue per
+/// priority class: the synchronous analogue of an async weighted-fair
+/// semaphore + listen queues. Cache hits never touch it; only requests
+/// about to synthesize (or join a synthesis) pass through. Grants are made
+/// by the releasing thread under the state lock — directly to a specific
+/// waiter, in ticket order within a class — so a `notify_one` can never
+/// wake the "wrong" waiter and strand an older one (the starvation mode of
+/// the previous Condvar gate).
 #[derive(Debug)]
 struct Admission {
     max_concurrent: usize,
-    queue_capacity: usize,
+    /// Per-class queue capacity (`[LATENCY, BACKGROUND]`).
+    queue_capacity: [usize; 2],
+    /// Slots one tenant may hold at once (`0` = no quota).
+    tenant_quota: usize,
+    /// Latency grants between background boosts (`0` = strict priority).
+    boost_interval: u64,
     state: Mutex<AdmissionState>,
-    available: Condvar,
     max_queue_depth: AtomicU64,
-    /// Set by [`CompileService::shutdown`]: parked waiters drain out with a
-    /// typed shutdown cancellation instead of waiting for a slot that will
-    /// never be used.
+    /// Background waiters granted ahead of a parked latency waiter by the
+    /// anti-starvation boost (the only sanctioned reordering).
+    background_boosts: AtomicU64,
+    /// Background grants that overtook a parked latency waiter *outside* a
+    /// boost. Zero by construction; counted (and asserted zero by the
+    /// traffic bench) as a defensive scheduling-invariant probe.
+    priority_inversions: AtomicU64,
+    /// Set by [`CompileService::shutdown`]: new arrivals are rejected on
+    /// the fast path and parked waiters drain out with a typed shutdown
+    /// cancellation instead of waiting for a slot that will never be used.
     shutdown: AtomicBool,
 }
 
-/// RAII admission slot; dropping it releases the slot and wakes one waiter.
+/// RAII admission slot; dropping it releases the slot, re-credits the
+/// tenant and grants to the next eligible waiter(s).
 struct AdmissionPermit<'a> {
     admission: Option<&'a Admission>,
+    tenant: TenantId,
 }
 
 impl Drop for AdmissionPermit<'_> {
     fn drop(&mut self) {
         if let Some(admission) = self.admission.take() {
             let mut state = admission.state.lock().unwrap_or_else(|p| p.into_inner());
-            state.active = state.active.saturating_sub(1);
-            drop(state);
-            admission.available.notify_one();
+            admission.release_locked(&mut state, self.tenant);
         }
     }
 }
 
 impl Admission {
-    fn new(max_concurrent: usize, queue_capacity: usize) -> Self {
+    fn new(config: &ServiceConfig) -> Self {
         Admission {
-            max_concurrent,
-            queue_capacity,
+            max_concurrent: config.max_concurrent,
+            queue_capacity: [config.queue_capacity, config.background_queue_capacity],
+            tenant_quota: config.tenant_quota,
+            boost_interval: config.boost_interval,
             state: Mutex::new(AdmissionState {
                 active: 0,
-                waiting: 0,
+                active_per_tenant: HashMap::new(),
+                queues: [VecDeque::new(), VecDeque::new()],
+                next_ticket: 0,
+                latency_run: 0,
             }),
-            available: Condvar::new(),
             max_queue_depth: AtomicU64::new(0),
+            background_boosts: AtomicU64::new(0),
+            priority_inversions: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
         }
     }
 
-    /// Drains the wait queue: every parked waiter wakes and exits with a
+    /// Drains both wait queues: every parked waiter wakes and exits with a
     /// typed shutdown cancellation.
     fn shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Take (and drop) the state lock before notifying: a waiter between
-        // its shutdown check and its park holds the lock, so this serializes
-        // against it and the notification cannot be lost.
-        drop(self.state.lock().unwrap_or_else(|p| p.into_inner()));
-        self.available.notify_all();
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        for class in [LATENCY, BACKGROUND] {
+            while let Some(waiter) = state.queues[class].pop_front() {
+                *waiter.phase.lock().unwrap_or_else(|p| p.into_inner()) = WaiterPhase::Drained;
+                waiter.wake.notify_all();
+            }
+        }
     }
 
-    /// Acquires a synthesis slot, waiting (up to `deadline`) in the bounded
-    /// queue when all slots are busy.
+    /// The queue position of the next grantable waiter in `class`, or
+    /// `None` when every parked waiter of the class is quota-blocked (or
+    /// the queue is empty). Within a tenant only its earliest waiter is
+    /// eligible (FIFO per tenant); across tenants the one holding the
+    /// fewest slots wins, ties broken by ticket — weighted fair share with
+    /// arrival order as the tiebreak.
+    fn candidate(&self, state: &AdmissionState, class: usize) -> Option<usize> {
+        let mut best: Option<(usize, u64, usize)> = None;
+        let mut seen: HashSet<TenantId> = HashSet::new();
+        for (pos, waiter) in state.queues[class].iter().enumerate() {
+            if !seen.insert(waiter.tenant) {
+                continue;
+            }
+            let held = state
+                .active_per_tenant
+                .get(&waiter.tenant)
+                .copied()
+                .unwrap_or(0);
+            if self.tenant_quota > 0 && held >= self.tenant_quota {
+                continue;
+            }
+            if best.is_none_or(|(bh, bt, _)| (held, waiter.ticket) < (bh, bt)) {
+                best = Some((held, waiter.ticket, pos));
+            }
+        }
+        best.map(|(_, _, pos)| pos)
+    }
+
+    /// Grants slots to eligible waiters while capacity remains: latency
+    /// class first, a background waiter every `boost_interval` consecutive
+    /// latency grants made over its head. Runs under the state lock, on
+    /// every enqueue and every release.
+    fn grant_ready(&self, state: &mut AdmissionState) {
+        while state.active < self.max_concurrent {
+            let latency = self.candidate(state, LATENCY);
+            let background = self.candidate(state, BACKGROUND);
+            let boost = self.boost_interval > 0 && state.latency_run >= self.boost_interval;
+            let class = match (latency, background) {
+                (None, None) => break,
+                (Some(_), None) => LATENCY,
+                (None, Some(_)) => BACKGROUND,
+                (Some(_), Some(_)) if boost => BACKGROUND,
+                (Some(_), Some(_)) => LATENCY,
+            };
+            if class == BACKGROUND {
+                if latency.is_some() {
+                    if boost {
+                        self.background_boosts.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        // Unreachable by construction; see the field docs.
+                        self.priority_inversions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                state.latency_run = 0;
+            } else {
+                // The run only counts grants made *over a parked background
+                // waiter's head*; an empty background queue starves nobody.
+                state.latency_run = if background.is_some() {
+                    state.latency_run + 1
+                } else {
+                    0
+                };
+            }
+            let pos = match class {
+                LATENCY => latency.expect("latency candidate exists"),
+                _ => background.expect("background candidate exists"),
+            };
+            let waiter = state.queues[class]
+                .remove(pos)
+                .expect("candidate position is in range");
+            state.active += 1;
+            *state.active_per_tenant.entry(waiter.tenant).or_insert(0) += 1;
+            *waiter.phase.lock().unwrap_or_else(|p| p.into_inner()) = WaiterPhase::Granted;
+            waiter.wake.notify_all();
+        }
+    }
+
+    /// Releases one slot held by `tenant` and grants onward. Caller holds
+    /// the state lock.
+    fn release_locked(&self, state: &mut AdmissionState, tenant: TenantId) {
+        state.active = state.active.saturating_sub(1);
+        if let Some(held) = state.active_per_tenant.get_mut(&tenant) {
+            *held = held.saturating_sub(1);
+            if *held == 0 {
+                state.active_per_tenant.remove(&tenant);
+            }
+        }
+        self.grant_ready(state);
+    }
+
+    /// Acquires a synthesis slot, waiting (up to `deadline`) in the class's
+    /// bounded ticketed queue when no slot can be granted immediately.
     ///
     /// # Errors
     ///
-    /// [`CompileError::Overloaded`] when the wait queue is already full,
-    /// [`CompileError::DeadlineExceeded`] when the deadline passes first
-    /// and [`CompileError::Cancelled`] (shutdown) when the service shuts
-    /// down while this request is parked.
+    /// [`CompileError::Overloaded`] when the class's wait queue is already
+    /// full, [`CompileError::DeadlineExceeded`] when the deadline passes
+    /// first and [`CompileError::Cancelled`] (shutdown) when the service is
+    /// shutting down — checked on the fast path too, so a post-shutdown
+    /// request can never start a fresh synthesis on a draining service.
     fn acquire(
         &self,
+        priority: Priority,
+        tenant: TenantId,
         start: Instant,
         deadline: Option<Instant>,
     ) -> Result<AdmissionPermit<'_>, CompileError> {
-        if self.max_concurrent == 0 {
-            return Ok(AdmissionPermit { admission: None });
+        // Fast-path shutdown check: without it, a request arriving after
+        // `shutdown()` that found `active < max_concurrent` was handed a
+        // slot and started synthesizing on a draining service.
+        if self.shutdown.load(Ordering::SeqCst) {
+            return Err(CompileError::Cancelled {
+                reason: CancelReason::Shutdown,
+            });
         }
-        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
-        if state.active >= self.max_concurrent {
-            if state.waiting >= self.queue_capacity {
-                return Err(CompileError::Overloaded {
-                    queued: state.waiting,
-                    capacity: self.queue_capacity,
+        if self.max_concurrent == 0 {
+            // Documented sentinel: admission disabled entirely (no slot
+            // accounting, no queues, no quotas). See `docs/TUNING.md`.
+            return Ok(AdmissionPermit {
+                admission: None,
+                tenant,
+            });
+        }
+        let class = priority.index();
+        let waiter = {
+            let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+            // Re-check under the lock: a racing `shutdown()` that already
+            // swept the queues must not miss this arrival.
+            if self.shutdown.load(Ordering::SeqCst) {
+                return Err(CompileError::Cancelled {
+                    reason: CancelReason::Shutdown,
                 });
             }
-            state.waiting += 1;
-            self.max_queue_depth
-                .fetch_max(state.waiting as u64, Ordering::Relaxed);
-            while state.active >= self.max_concurrent {
-                if self.shutdown.load(Ordering::SeqCst) {
-                    state.waiting -= 1;
+            let waiter = Arc::new(Waiter {
+                ticket: state.next_ticket,
+                tenant,
+                phase: Mutex::new(WaiterPhase::Waiting),
+                wake: Condvar::new(),
+            });
+            state.next_ticket += 1;
+            state.queues[class].push_back(waiter.clone());
+            self.grant_ready(&mut state);
+            let granted =
+                *waiter.phase.lock().unwrap_or_else(|p| p.into_inner()) == WaiterPhase::Granted;
+            if !granted && state.queues[class].len() > self.queue_capacity[class] {
+                // This arrival would park beyond its class's capacity: shed
+                // it. The high-water mark records the depth it was denied at
+                // (parked waiters + itself), so fill-and-shed traffic where
+                // nobody ever parks still registers.
+                let depth = state.queues[LATENCY].len() + state.queues[BACKGROUND].len();
+                self.max_queue_depth
+                    .fetch_max(depth as u64, Ordering::Relaxed);
+                state.queues[class].retain(|w| w.ticket != waiter.ticket);
+                return Err(CompileError::Overloaded {
+                    queued: state.queues[class].len(),
+                    capacity: self.queue_capacity[class],
+                });
+            }
+            let parked = state.queues[LATENCY].len() + state.queues[BACKGROUND].len();
+            if parked > 0 {
+                self.max_queue_depth
+                    .fetch_max(parked as u64, Ordering::Relaxed);
+            }
+            waiter
+        };
+        let mut phase = waiter.phase.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            match *phase {
+                WaiterPhase::Granted => {
+                    return Ok(AdmissionPermit {
+                        admission: Some(self),
+                        tenant,
+                    });
+                }
+                WaiterPhase::Drained => {
                     return Err(CompileError::Cancelled {
                         reason: CancelReason::Shutdown,
                     });
                 }
-                match deadline {
+                WaiterPhase::Waiting => match deadline {
                     None => {
-                        state = self
-                            .available
-                            .wait(state)
-                            .unwrap_or_else(|p| p.into_inner());
+                        phase = waiter.wake.wait(phase).unwrap_or_else(|p| p.into_inner());
                     }
                     Some(dl) => {
                         let now = Instant::now();
                         if now >= dl {
-                            state.waiting -= 1;
-                            return Err(CompileError::DeadlineExceeded {
-                                elapsed: start.elapsed(),
-                            });
+                            drop(phase);
+                            return self.abandon(&waiter, class, start);
                         }
-                        let (s, _) = self
-                            .available
-                            .wait_timeout(state, dl - now)
+                        let (p, _) = waiter
+                            .wake
+                            .wait_timeout(phase, dl - now)
                             .unwrap_or_else(|p| p.into_inner());
-                        state = s;
+                        phase = p;
                     }
-                }
+                },
             }
-            state.waiting -= 1;
         }
-        state.active += 1;
-        Ok(AdmissionPermit {
-            admission: Some(self),
-        })
     }
 
-    /// Requests currently parked waiting for a slot.
+    /// Resolves a waiter whose deadline expired: dequeue it, or — when a
+    /// grant raced the timeout — hand the already-charged slot onward
+    /// instead of serving a request whose deadline has passed.
+    fn abandon(
+        &self,
+        waiter: &Arc<Waiter>,
+        class: usize,
+        start: Instant,
+    ) -> Result<AdmissionPermit<'_>, CompileError> {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let phase = *waiter.phase.lock().unwrap_or_else(|p| p.into_inner());
+        match phase {
+            WaiterPhase::Granted => {
+                self.release_locked(&mut state, waiter.tenant);
+                Err(CompileError::DeadlineExceeded {
+                    elapsed: start.elapsed(),
+                })
+            }
+            WaiterPhase::Drained => Err(CompileError::Cancelled {
+                reason: CancelReason::Shutdown,
+            }),
+            WaiterPhase::Waiting => {
+                state.queues[class].retain(|w| w.ticket != waiter.ticket);
+                Err(CompileError::DeadlineExceeded {
+                    elapsed: start.elapsed(),
+                })
+            }
+        }
+    }
+
+    /// A slot for speculative work, granted only from genuinely *spare*
+    /// capacity: a free slot while **both** class queues are empty.
+    /// Speculation never displaces or delays a demand request; the slot is
+    /// accounted to [`PREFETCH_TENANT`] so quotas and fairness see it.
+    fn try_acquire_spare(&self) -> Option<AdmissionPermit<'_>> {
+        if self.shutdown.load(Ordering::SeqCst) {
+            return None;
+        }
+        if self.max_concurrent == 0 {
+            return Some(AdmissionPermit {
+                admission: None,
+                tenant: PREFETCH_TENANT,
+            });
+        }
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        if state.active < self.max_concurrent
+            && state.queues[LATENCY].is_empty()
+            && state.queues[BACKGROUND].is_empty()
+        {
+            state.active += 1;
+            *state.active_per_tenant.entry(PREFETCH_TENANT).or_insert(0) += 1;
+            Some(AdmissionPermit {
+                admission: Some(self),
+                tenant: PREFETCH_TENANT,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Requests currently parked waiting for a slot (both classes).
     fn queue_depth(&self) -> usize {
-        self.state.lock().unwrap_or_else(|p| p.into_inner()).waiting
+        let state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        state.queues[LATENCY].len() + state.queues[BACKGROUND].len()
     }
 }
 
@@ -408,10 +806,31 @@ pub struct ServiceStats {
     /// admission waiters woken by [`CompileService::shutdown`], requests
     /// arriving after it, and in-flight syntheses it cancelled.
     pub shutdown_drained: u64,
-    /// Deepest the admission queue has ever been.
+    /// Deepest the admission queue has ever been. A shed arrival counts at
+    /// the depth it was denied (parked waiters + itself), so fill-and-shed
+    /// traffic that never parks still registers.
     pub max_queue_depth: u64,
-    /// Requests currently parked in the admission queue.
+    /// Requests currently parked in the admission queue (both classes).
     pub queue_depth: usize,
+    /// Requests submitted in the [`Priority::Background`] class.
+    pub background_requests: u64,
+    /// Background waiters granted ahead of a parked latency-critical waiter
+    /// by the periodic anti-starvation boost.
+    pub background_boosts: u64,
+    /// Background grants that overtook a parked latency-critical waiter
+    /// outside a boost. Zero by construction — a scheduling-invariant probe
+    /// asserted by the traffic bench.
+    pub priority_inversions: u64,
+    /// Speculative prefetches issued (predicted successor not already warm).
+    pub prefetch_issued: u64,
+    /// Prefetches that left their fingerprint warm in the memory tier.
+    pub prefetch_warmed: u64,
+    /// Prefetches dropped without warming (no spare capacity, cancelled,
+    /// program unknown, or lost to a concurrent demand synthesis).
+    pub prefetch_dropped: u64,
+    /// Demand memory hits whose entry was put there by a prefetch — the
+    /// "warm-hit share" the speculation actually earned.
+    pub prefetch_hits: u64,
     /// The artifact cache's counters.
     pub cache: KernelCacheStats,
 }
@@ -420,13 +839,15 @@ impl fmt::Display for ServiceStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} requests ({} coalesced, {} batches), {} syntheses, \
+            "{} requests ({} coalesced, {} batches, {} background), {} syntheses, \
              {} shed, {} deadline-exceeded, {} retries, {} synth-panics, \
              {} cancelled ({} watchdog trips, {} shutdown-drained), \
-             queue {} (max {}); artifact cache: {}",
+             queue {} (max {}), {} boosts, {} inversions, \
+             prefetch {}/{} warmed ({} dropped, {} hits); artifact cache: {}",
             self.requests,
             self.coalesced,
             self.batches,
+            self.background_requests,
             self.syntheses,
             self.shed,
             self.deadline_exceeded,
@@ -437,6 +858,12 @@ impl fmt::Display for ServiceStats {
             self.shutdown_drained,
             self.queue_depth,
             self.max_queue_depth,
+            self.background_boosts,
+            self.priority_inversions,
+            self.prefetch_warmed,
+            self.prefetch_issued,
+            self.prefetch_dropped,
+            self.prefetch_hits,
             self.cache
         )
     }
@@ -660,18 +1087,94 @@ impl Supervisor {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Speculative precompilation.
+// ---------------------------------------------------------------------------
+
+/// Consecutive observations of a fingerprint transition before its successor
+/// is considered a prediction worth prefetching.
+const PREFETCH_MIN_OBSERVATIONS: u32 = 2;
+/// Programs retained for speculative re-synthesis (a fingerprint whose
+/// program was never captured can still be warmed by disk promotion).
+const PREFETCH_PROGRAM_CAP: usize = 512;
+
+/// The request-stream miner behind speculative precompilation: a first-order
+/// Markov model over artifact fingerprints. Serving traffic repeats short
+/// sequences (the per-decode-step kernel set of a model), so after a
+/// transition `A → B` has been seen [`PREFETCH_MIN_OBSERVATIONS`] times, a
+/// request for `A` predicts `B` and a background job warms `B` — disk
+/// promotion or a full speculative synthesis — on *spare* capacity
+/// ([`Admission::try_acquire_spare`], [`hexcute_parallel::spawn_background`])
+/// before `B` is requested.
+struct PrefetchState {
+    /// `transitions[a][b]` = times a request for `b` directly followed one
+    /// for `a` (self-transitions excluded).
+    transitions: Mutex<HashMap<u64, HashMap<u64, u32>>>,
+    /// The previous request's fingerprint (the Markov state).
+    last_fingerprint: Mutex<Option<u64>>,
+    /// Programs seen so far, for speculative re-synthesis of cold
+    /// predictions. Bounded by [`PREFETCH_PROGRAM_CAP`].
+    programs: Mutex<HashMap<u64, Program>>,
+    /// Fingerprints with a prefetch job currently queued or running
+    /// (dedup so a hot transition does not fan out duplicate jobs).
+    inflight: Mutex<HashSet<u64>>,
+    /// Fingerprints whose memory-tier entry was placed by a prefetch and
+    /// not yet claimed by a demand hit; a demand memory hit that removes
+    /// one counts as a `prefetch_hits`.
+    warmed: Mutex<HashSet<u64>>,
+    /// Trips on service shutdown: in-flight speculative syntheses abort and
+    /// no new ones start.
+    cancel: CancelToken,
+    issued: AtomicU64,
+    warmed_count: AtomicU64,
+    dropped: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl fmt::Debug for PrefetchState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PrefetchState")
+            .field("issued", &self.issued.load(Ordering::Relaxed))
+            .field("warmed", &self.warmed_count.load(Ordering::Relaxed))
+            .field("dropped", &self.dropped.load(Ordering::Relaxed))
+            .field("hits", &self.hits.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl PrefetchState {
+    fn new() -> Self {
+        PrefetchState {
+            transitions: Mutex::new(HashMap::new()),
+            last_fingerprint: Mutex::new(None),
+            programs: Mutex::new(HashMap::new()),
+            inflight: Mutex::new(HashSet::new()),
+            warmed: Mutex::new(HashSet::new()),
+            cancel: CancelToken::new(),
+            issued: AtomicU64::new(0),
+            warmed_count: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+}
+
 /// A compile front-end for one target architecture: an artifact cache, a
 /// request-coalescing layer and pool-backed batch compilation. The service
 /// is `Sync` — one instance serves concurrent requests from many threads.
 /// See the [module docs](self) for the serving rationale and an example.
 #[derive(Debug)]
 pub struct CompileService {
-    compiler: Compiler,
-    cache: KernelCache,
+    // `Arc`s so speculative background jobs can hold `Weak` handles that
+    // die with the service instead of borrowing from it.
+    compiler: Arc<Compiler>,
+    cache: Arc<KernelCache>,
     config: ServiceConfig,
-    admission: Admission,
+    admission: Arc<Admission>,
+    prefetch: Option<Arc<PrefetchState>>,
     inflight: Mutex<HashMap<u64, Arc<Inflight>>>,
     requests: AtomicU64,
+    background_requests: AtomicU64,
     coalesced: AtomicU64,
     syntheses: AtomicU64,
     batches: AtomicU64,
@@ -721,16 +1224,22 @@ impl CompileService {
     ) -> Self {
         faults::install_global_pool_hook();
         faults::install_global_synth_hook();
-        let cache = KernelCache::with_faults(cache_config, config.faults.clone());
-        let admission = Admission::new(config.max_concurrent, config.queue_capacity);
+        let cache = Arc::new(KernelCache::with_faults(
+            cache_config,
+            config.faults.clone(),
+        ));
+        let admission = Arc::new(Admission::new(&config));
+        let prefetch = config.prefetch.then(|| Arc::new(PrefetchState::new()));
         let supervisor = Arc::new(Supervisor::new(config.watchdog));
         CompileService {
-            compiler: Compiler::with_options(arch, options),
+            compiler: Arc::new(Compiler::with_options(arch, options)),
             cache,
             config,
             admission,
+            prefetch,
             inflight: Mutex::new(HashMap::new()),
             requests: AtomicU64::new(0),
+            background_requests: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             syntheses: AtomicU64::new(0),
             batches: AtomicU64::new(0),
@@ -789,7 +1298,26 @@ impl CompileService {
     /// coalesced requester of the same fingerprint and are never cached — a
     /// later request retries.
     pub fn compile(&self, program: &Program) -> Result<CompileResponse, CompileError> {
+        self.compile_as(program, Priority::LatencyCritical, TenantId::default())
+    }
+
+    /// [`CompileService::compile`] with an explicit scheduling class and
+    /// tenant identity: background-class requests queue separately and
+    /// yield to latency-critical traffic (boosted periodically so they are
+    /// never starved), and `tenant` drives the weighted-fair grant order
+    /// plus the optional [`ServiceConfig::tenant_quota`]. Scheduling only
+    /// reorders *when* a synthesis runs, never what it produces — artifacts
+    /// stay bit-identical across classes, tenants and thread counts.
+    pub fn compile_as(
+        &self,
+        program: &Program,
+        priority: Priority,
+        tenant: TenantId,
+    ) -> Result<CompileResponse, CompileError> {
         self.requests.fetch_add(1, Ordering::Relaxed);
+        if priority == Priority::Background {
+            self.background_requests.fetch_add(1, Ordering::Relaxed);
+        }
         if self.shutdown.load(Ordering::SeqCst) {
             self.shutdown_drained.fetch_add(1, Ordering::Relaxed);
             return Err(CompileError::Cancelled {
@@ -797,11 +1325,12 @@ impl CompileService {
             });
         }
         let fingerprint = self.compiler.artifact_fingerprint(program);
+        self.observe_for_prefetch(fingerprint, program);
         let start = Instant::now();
         let deadline = self.config.deadline.map(|d| start + d);
         let mut attempt = 0usize;
         let result = loop {
-            match self.compile_attempt(program, fingerprint, start, deadline) {
+            match self.compile_attempt(program, fingerprint, start, deadline, priority, tenant) {
                 Err(e) if e.is_transient() && attempt < self.config.max_retries => {
                     attempt += 1;
                     self.retries.fetch_add(1, Ordering::Relaxed);
@@ -858,6 +1387,141 @@ impl CompileService {
         exp + jitter
     }
 
+    /// Feeds one request into the prefetch miner and spawns background
+    /// warmers for any successor predicted by the transition model. No-op
+    /// unless [`ServiceConfig::prefetch`] is enabled.
+    fn observe_for_prefetch(&self, fingerprint: u64, program: &Program) {
+        let Some(prefetch) = &self.prefetch else {
+            return;
+        };
+        if prefetch.cancel.is_cancelled() {
+            return;
+        }
+        {
+            let mut programs = prefetch.programs.lock().unwrap_or_else(|p| p.into_inner());
+            if programs.len() < PREFETCH_PROGRAM_CAP || programs.contains_key(&fingerprint) {
+                programs.insert(fingerprint, program.clone());
+            }
+        }
+        let previous = prefetch
+            .last_fingerprint
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .replace(fingerprint);
+        let predictions: Vec<u64> = {
+            let mut transitions = prefetch
+                .transitions
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            if let Some(prev) = previous {
+                if prev != fingerprint {
+                    *transitions
+                        .entry(prev)
+                        .or_default()
+                        .entry(fingerprint)
+                        .or_insert(0) += 1;
+                }
+            }
+            transitions
+                .get(&fingerprint)
+                .map(|successors| {
+                    successors
+                        .iter()
+                        .filter(|(_, &count)| count >= PREFETCH_MIN_OBSERVATIONS)
+                        .map(|(&fp, _)| fp)
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        for predicted in predictions {
+            self.spawn_prefetch(prefetch, predicted);
+        }
+    }
+
+    /// Queues a background job that warms `fingerprint` — disk promotion or
+    /// a speculative synthesis — if spare admission capacity exists when
+    /// the job runs. Holds only `Weak` handles so a dropped service (or its
+    /// shutdown cancel) quietly retires pending jobs.
+    fn spawn_prefetch(&self, prefetch: &Arc<PrefetchState>, fingerprint: u64) {
+        if self.cache.peek_memory(fingerprint) {
+            return;
+        }
+        if !prefetch
+            .inflight
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(fingerprint)
+        {
+            return;
+        }
+        prefetch.issued.fetch_add(1, Ordering::Relaxed);
+        let prefetch = Arc::downgrade(prefetch);
+        let cache = Arc::downgrade(&self.cache);
+        let compiler = Arc::downgrade(&self.compiler);
+        let admission = Arc::downgrade(&self.admission);
+        hexcute_parallel::spawn_background(move || {
+            let (Some(prefetch), Some(cache), Some(compiler), Some(admission)) = (
+                prefetch.upgrade(),
+                cache.upgrade(),
+                compiler.upgrade(),
+                admission.upgrade(),
+            ) else {
+                return;
+            };
+            let mut warmed = false;
+            if !prefetch.cancel.is_cancelled() {
+                if let Some(permit) = admission.try_acquire_spare() {
+                    let program = prefetch
+                        .programs
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .get(&fingerprint)
+                        .cloned();
+                    warmed = cache.prefetch_with(fingerprint, || {
+                        let program = program?;
+                        compiler
+                            .compile_artifact_cancellable(&program, Some(&prefetch.cancel))
+                            .ok()
+                            .map(Arc::new)
+                    });
+                    drop(permit);
+                }
+            }
+            if warmed {
+                prefetch.warmed_count.fetch_add(1, Ordering::Relaxed);
+                prefetch
+                    .warmed
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .insert(fingerprint);
+            } else {
+                prefetch.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            prefetch
+                .inflight
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .remove(&fingerprint);
+        });
+    }
+
+    /// Attributes a demand memory hit to the prefetch that placed it, if
+    /// one did (the "did speculation actually earn anything" counter).
+    fn note_cache_hit(&self, fingerprint: u64, source: ArtifactSource) {
+        let Some(prefetch) = &self.prefetch else {
+            return;
+        };
+        if source == ArtifactSource::Memory
+            && prefetch
+                .warmed
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .remove(&fingerprint)
+        {
+            prefetch.hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// One admission-gated attempt at serving `fingerprint`.
     fn compile_attempt(
         &self,
@@ -865,9 +1529,12 @@ impl CompileService {
         fingerprint: u64,
         start: Instant,
         deadline: Option<Instant>,
+        priority: Priority,
+        tenant: TenantId,
     ) -> Result<CompileResponse, CompileError> {
         loop {
             if let Some((artifact, source)) = self.cache.get(fingerprint) {
+                self.note_cache_hit(fingerprint, source);
                 return Ok(CompileResponse {
                     artifact,
                     served_from: source.into(),
@@ -880,13 +1547,14 @@ impl CompileService {
             }
             // Admission bounds the synthesis path only; the cache hit above
             // never queues.
-            let permit = self.admission.acquire(start, deadline)?;
+            let permit = self.admission.acquire(priority, tenant, start, deadline)?;
             let claim = {
                 let mut inflight = self.inflight.lock().unwrap_or_else(|p| p.into_inner());
                 // Re-check under the map lock: a claimant inserts into the
                 // cache *before* retiring its in-flight entry, so a request
                 // arriving in between must not start a second synthesis.
                 if let Some((artifact, source)) = self.cache.get(fingerprint) {
+                    self.note_cache_hit(fingerprint, source);
                     return Ok(CompileResponse {
                         artifact,
                         served_from: source.into(),
@@ -1037,8 +1705,22 @@ impl CompileService {
         &self,
         programs: Vec<Program>,
     ) -> Vec<Result<CompileResponse, CompileError>> {
+        self.compile_batch_as(programs, Priority::LatencyCritical, TenantId::default())
+    }
+
+    /// [`CompileService::compile_batch`] with an explicit scheduling class
+    /// and tenant for every member (autotune sweeps submit as
+    /// [`Priority::Background`] so they never crowd out decode compiles).
+    pub fn compile_batch_as(
+        &self,
+        programs: Vec<Program>,
+        priority: Priority,
+        tenant: TenantId,
+    ) -> Vec<Result<CompileResponse, CompileError>> {
         self.batches.fetch_add(1, Ordering::Relaxed);
-        hexcute_parallel::par_map(programs, |program| self.compile(&program))
+        hexcute_parallel::par_map(programs, |program| {
+            self.compile_as(&program, priority, tenant)
+        })
     }
 
     /// Gracefully shuts the service down: new requests are rejected with a
@@ -1050,6 +1732,11 @@ impl CompileService {
     pub fn shutdown(&self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
+        }
+        if let Some(prefetch) = &self.prefetch {
+            // Speculative work aborts too: queued background jobs see the
+            // cancel and retire without compiling.
+            prefetch.cancel.cancel(CancelReason::Shutdown);
         }
         self.supervisor.cancel_all_for_shutdown();
         self.admission.shutdown();
@@ -1102,6 +1789,25 @@ impl CompileService {
             shutdown_drained: self.shutdown_drained.load(Ordering::Relaxed),
             max_queue_depth: self.admission.max_queue_depth.load(Ordering::Relaxed),
             queue_depth: self.admission.queue_depth(),
+            background_requests: self.background_requests.load(Ordering::Relaxed),
+            background_boosts: self.admission.background_boosts.load(Ordering::Relaxed),
+            priority_inversions: self.admission.priority_inversions.load(Ordering::Relaxed),
+            prefetch_issued: self
+                .prefetch
+                .as_ref()
+                .map_or(0, |p| p.issued.load(Ordering::Relaxed)),
+            prefetch_warmed: self
+                .prefetch
+                .as_ref()
+                .map_or(0, |p| p.warmed_count.load(Ordering::Relaxed)),
+            prefetch_dropped: self
+                .prefetch
+                .as_ref()
+                .map_or(0, |p| p.dropped.load(Ordering::Relaxed)),
+            prefetch_hits: self
+                .prefetch
+                .as_ref()
+                .map_or(0, |p| p.hits.load(Ordering::Relaxed)),
             cache: self.cache.stats(),
         }
     }
@@ -1372,5 +2078,297 @@ mod tests {
                 other => panic!("inconsistent results across identical requests: {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn admission_fast_path_rejects_acquire_after_shutdown() {
+        // Regression: the old gate only checked `shutdown` inside the wait
+        // loop, so a post-shutdown request that found a free slot was
+        // granted one and started a fresh synthesis on a draining service.
+        let config = ServiceConfig {
+            max_concurrent: 2,
+            ..ServiceConfig::default()
+        };
+        let admission = Admission::new(&config);
+        let held = admission
+            .acquire(Priority::LatencyCritical, TenantId(0), Instant::now(), None)
+            .unwrap();
+        admission.shutdown();
+        match admission.acquire(Priority::LatencyCritical, TenantId(0), Instant::now(), None) {
+            Err(CompileError::Cancelled {
+                reason: CancelReason::Shutdown,
+            }) => {}
+            Err(other) => panic!("expected a shutdown cancellation, got {other:?}"),
+            Ok(_) => panic!("a free slot must not be granted after shutdown"),
+        }
+        drop(held);
+    }
+
+    #[test]
+    fn shed_requests_raise_the_queue_depth_high_water_mark() {
+        // Regression: the high-water mark was only sampled when a waiter
+        // parked, so a zero-capacity queue that filled and shed reported
+        // `max_queue_depth == 0` under overload.
+        let config = ServiceConfig {
+            max_concurrent: 1,
+            queue_capacity: 0,
+            ..ServiceConfig::default()
+        };
+        let admission = Admission::new(&config);
+        let held = admission
+            .acquire(Priority::LatencyCritical, TenantId(0), Instant::now(), None)
+            .unwrap();
+        assert_eq!(admission.max_queue_depth.load(Ordering::Relaxed), 0);
+        match admission.acquire(Priority::LatencyCritical, TenantId(1), Instant::now(), None) {
+            Err(CompileError::Overloaded {
+                queued: 0,
+                capacity: 0,
+            }) => {}
+            Err(other) => panic!("expected a typed overload, got {other:?}"),
+            Ok(_) => panic!("a full (zero-capacity) queue must shed"),
+        }
+        assert_eq!(
+            admission.max_queue_depth.load(Ordering::Relaxed),
+            1,
+            "a shed arrival must raise the high-water mark"
+        );
+        drop(held);
+    }
+
+    #[test]
+    fn ticketed_queue_grants_fifo_with_periodic_background_boosts() {
+        // One slot, held while six waiters queue up in a known ticket
+        // order. Grants must be FIFO within each class, with exactly one
+        // background boost after `boost_interval` consecutive latency
+        // grants made over the parked background waiters' heads.
+        let config = ServiceConfig {
+            max_concurrent: 1,
+            queue_capacity: 16,
+            background_queue_capacity: 16,
+            boost_interval: 2,
+            ..ServiceConfig::default()
+        };
+        let admission = Admission::new(&config);
+        let order: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            let holder = admission
+                .acquire(Priority::LatencyCritical, TenantId(0), Instant::now(), None)
+                .unwrap();
+            let arrivals: [(Priority, &'static str); 6] = [
+                (Priority::LatencyCritical, "L0"),
+                (Priority::LatencyCritical, "L1"),
+                (Priority::Background, "B0"),
+                (Priority::LatencyCritical, "L2"),
+                (Priority::Background, "B1"),
+                (Priority::Background, "B2"),
+            ];
+            let mut expected_depth = 0usize;
+            for (priority, label) in arrivals {
+                let admission = &admission;
+                let order = &order;
+                scope.spawn(move || {
+                    let permit = admission
+                        .acquire(priority, TenantId(0), Instant::now(), None)
+                        .unwrap();
+                    order.lock().unwrap_or_else(|p| p.into_inner()).push(label);
+                    drop(permit);
+                });
+                // Serialize arrivals so ticket order matches spawn order.
+                expected_depth += 1;
+                while admission.queue_depth() < expected_depth {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            }
+            drop(holder);
+        });
+        let order = order.lock().unwrap_or_else(|p| p.into_inner());
+        assert_eq!(
+            *order,
+            ["L0", "L1", "B0", "L2", "B1", "B2"],
+            "expected FIFO-within-class with one boost after 2 latency grants"
+        );
+        assert_eq!(admission.background_boosts.load(Ordering::Relaxed), 1);
+        assert_eq!(admission.priority_inversions.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn tenant_quota_parks_only_the_over_quota_tenant() {
+        let config = ServiceConfig {
+            max_concurrent: 4,
+            tenant_quota: 2,
+            ..ServiceConfig::default()
+        };
+        let admission = Admission::new(&config);
+        let t1 = TenantId(1);
+        let t2 = TenantId(2);
+        let a = admission
+            .acquire(Priority::LatencyCritical, t1, Instant::now(), None)
+            .unwrap();
+        let b = admission
+            .acquire(Priority::LatencyCritical, t1, Instant::now(), None)
+            .unwrap();
+        std::thread::scope(|scope| {
+            let admission = &admission;
+            // Tenant 1 is at its quota: its third request parks despite two
+            // free slots.
+            let third = scope.spawn(move || {
+                admission
+                    .acquire(Priority::LatencyCritical, t1, Instant::now(), None)
+                    .map(drop)
+            });
+            while admission.queue_depth() < 1 {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+            // An under-quota tenant is admitted immediately, straight past
+            // the quota-blocked waiter.
+            let c = admission
+                .acquire(Priority::LatencyCritical, t2, Instant::now(), None)
+                .unwrap();
+            assert_eq!(
+                admission.queue_depth(),
+                1,
+                "t1's third request stays parked"
+            );
+            drop(c);
+            // Releasing one of tenant 1's slots un-blocks its parked waiter.
+            drop(a);
+            third.join().unwrap().unwrap();
+        });
+        drop(b);
+    }
+
+    #[test]
+    fn weighted_fairness_prefers_the_less_loaded_tenant() {
+        let config = ServiceConfig {
+            max_concurrent: 2,
+            ..ServiceConfig::default()
+        };
+        let admission = Admission::new(&config);
+        let t1 = TenantId(1);
+        let t2 = TenantId(2);
+        let t1_held = admission
+            .acquire(Priority::LatencyCritical, t1, Instant::now(), None)
+            .unwrap();
+        let blocker = admission
+            .acquire(Priority::LatencyCritical, TenantId(3), Instant::now(), None)
+            .unwrap();
+        let order: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            let admission = &admission;
+            let order = &order;
+            // Tenant 1 (already holding a slot) queues first...
+            scope.spawn(move || {
+                let permit = admission
+                    .acquire(Priority::LatencyCritical, t1, Instant::now(), None)
+                    .unwrap();
+                order.lock().unwrap_or_else(|p| p.into_inner()).push("t1");
+                drop(permit);
+            });
+            while admission.queue_depth() < 1 {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+            // ...then tenant 2, holding nothing, with a younger ticket.
+            scope.spawn(move || {
+                let permit = admission
+                    .acquire(Priority::LatencyCritical, t2, Instant::now(), None)
+                    .unwrap();
+                order.lock().unwrap_or_else(|p| p.into_inner()).push("t2");
+                drop(permit);
+            });
+            while admission.queue_depth() < 2 {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+            drop(blocker);
+        });
+        assert_eq!(
+            *order.lock().unwrap_or_else(|p| p.into_inner()),
+            ["t2", "t1"],
+            "the tenant holding fewer slots must be granted first"
+        );
+        drop(t1_held);
+    }
+
+    #[test]
+    fn env_parsing_warns_once_and_falls_back() {
+        assert_eq!(parse_env::<usize>(None), EnvParse::Unset);
+        assert_eq!(parse_env::<usize>(Some(" 7 ")), EnvParse::Value(7));
+        assert_eq!(
+            parse_env::<usize>(Some("seven")),
+            EnvParse::<usize>::Invalid
+        );
+        // Warn-once is keyed by variable name, not by value.
+        assert!(warn_once_unparsable("HEXCUTE_SERVICE_TEST_ONLY_A", "seven"));
+        assert!(!warn_once_unparsable(
+            "HEXCUTE_SERVICE_TEST_ONLY_A",
+            "eight"
+        ));
+        assert!(warn_once_unparsable("HEXCUTE_SERVICE_TEST_ONLY_B", "nine"));
+    }
+
+    #[test]
+    fn background_class_requests_serve_and_are_counted() {
+        let service = CompileService::new(GpuArch::a100());
+        let program = small_program("background_class");
+        let tenant = TenantId(7);
+        let first = service
+            .compile_as(&program, Priority::Background, tenant)
+            .unwrap();
+        assert_eq!(first.served_from, ServedFrom::Synthesized);
+        let second = service
+            .compile_as(&program, Priority::Background, tenant)
+            .unwrap();
+        assert_eq!(second.served_from, ServedFrom::Memory);
+        assert_eq!(*first.artifact, *second.artifact);
+        let stats = service.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.background_requests, 2, "{stats}");
+    }
+
+    #[test]
+    fn speculative_prefetch_warms_predicted_fingerprints() {
+        let dir = unique_temp_dir("prefetch");
+        let cache_config = KernelCacheConfig {
+            dir: Some(dir.clone()),
+            ttl: Some(Duration::from_millis(80)),
+            ..KernelCacheConfig::default()
+        };
+        let service = CompileService::with_service_config(
+            GpuArch::a100(),
+            CompilerOptions::new(),
+            cache_config,
+            ServiceConfig {
+                prefetch: true,
+                ..ServiceConfig::default()
+            },
+        );
+        let a = small_program("prefetch_a");
+        let b = small_program("prefetch_b");
+        // Teach the transition model the A → B pattern.
+        for _ in 0..3 {
+            service.compile(&a).unwrap();
+            service.compile(&b).unwrap();
+        }
+        // Let both tiers expire so B is genuinely cold again.
+        std::thread::sleep(Duration::from_millis(120));
+        // Serving A predicts B; a background job re-warms it speculatively.
+        service.compile(&a).unwrap();
+        assert!(
+            hexcute_parallel::wait_background_idle(Duration::from_secs(10)),
+            "prefetch jobs must drain"
+        );
+        let warm = service.compile(&b).unwrap();
+        assert_eq!(
+            warm.served_from,
+            ServedFrom::Memory,
+            "the predicted fingerprint must already be warm"
+        );
+        let stats = service.stats();
+        assert!(stats.prefetch_issued >= 1, "{stats}");
+        assert!(stats.prefetch_warmed >= 1, "{stats}");
+        assert!(
+            stats.prefetch_hits >= 1,
+            "the demand hit must be attributed to the prefetch: {stats}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

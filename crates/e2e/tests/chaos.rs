@@ -175,7 +175,14 @@ fn full_queue_sheds_with_typed_overload() {
         }
         other => panic!("expected Overloaded, got {other:?}"),
     }
-    assert_eq!(service.stats().shed, 1);
+    let stats = service.stats();
+    assert_eq!(stats.shed, 1);
+    // A shed arrival must register in the queue-depth high-water mark even
+    // though it never parked (it was denied at depth 1: itself).
+    assert!(
+        stats.max_queue_depth >= 1,
+        "shed traffic must raise max_queue_depth: {stats}"
+    );
 
     holder
         .join()
